@@ -1,0 +1,39 @@
+"""Impact-set correctness checks (Section 5.3: "<3s for all data
+structures" on the paper's testbed): the Appendix C obligations for every
+(field, broken-set) pair of every structure, including the guarded custom
+mutations (AddToLastHsList etc.)."""
+
+from repro.core import check_impact_sets
+from repro.structures.registry import EXPERIMENTS
+
+
+def run_impact_checks():
+    results = []
+    for exp in EXPERIMENTS:
+        ids = exp.ids_factory()
+        res = check_impact_sets(ids)
+        results.append((exp.structure, res))
+    return results
+
+
+def print_results(results):
+    print()
+    print("=" * 72)
+    print("IMPACT-SET CORRECTNESS (Appendix C) -- one VC per field x broken set")
+    print("=" * 72)
+    for structure, res in results:
+        status = "ok" if res.ok else "FAILED"
+        print(f"{structure:40s} checks={res.n_checks:3d} time={res.time_s:6.2f}s  {status}")
+        for f in res.failures:
+            print("   !", f)
+    print("=" * 72)
+
+
+def test_impact_sets(benchmark):
+    results = benchmark.pedantic(run_impact_checks, rounds=1, iterations=1)
+    print_results(results)
+    assert all(res.ok for _, res in results)
+
+
+if __name__ == "__main__":
+    print_results(run_impact_checks())

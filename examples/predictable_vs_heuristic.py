@@ -1,0 +1,56 @@
+"""Predictable vs heuristic verification (the RQ3 story, Section 5.3).
+
+The same FWYB-annotated method is verified twice:
+
+- decidable mode -- the paper's Boogie encoding: ground closure facts,
+  pointwise map updates for frames, zero quantifiers in any VC;
+- quantified mode -- the Dafny architecture: frame/allocation modeled with
+  ``forall``, discharged by a bounded instantiation heuristic.
+
+Run:  python examples/predictable_vs_heuristic.py
+"""
+
+import time
+
+from repro.core.verifier import Verifier
+from repro.core.vcgen import VcGen
+from repro.smt.printer import QuantifierFound, assert_quantifier_free
+from repro.structures.bst import bst_ids, bst_program
+
+
+def main() -> None:
+    ids = bst_ids()
+    program = bst_program()
+    method = "bst_find"
+
+    print(f"== Verifying {method} in both encodings ==\n")
+
+    for encoding in ("decidable", "quantified"):
+        verifier = Verifier(program, ids, encoding=encoding)
+        start = time.perf_counter()
+        report = verifier.verify(method)
+        elapsed = time.perf_counter() - start
+        print(f"[{encoding:10s}] {'VERIFIED' if report.ok else 'FAILED':8s} "
+              f"{report.n_vcs} VCs in {elapsed:.2f}s")
+
+    print()
+    print("== Why: inspect the raw VCs ==")
+    elab = Verifier(program, ids).elaborated_program()
+    for encoding in ("decidable", "quantified"):
+        gen = VcGen(elab, elab.proc(method), encoding=encoding)
+        vcs = gen.run()
+        n_quant = 0
+        for vc in vcs:
+            try:
+                assert_quantifier_free(vc.formula())
+            except QuantifierFound:
+                n_quant += 1
+        print(f"[{encoding:10s}] {len(vcs)} VCs, {n_quant} contain quantifiers")
+    print()
+    print("The decidable encoding's VCs land in a decision procedure: given")
+    print("the FWYB annotations, verification cannot get stuck -- the engine")
+    print("either proves the method or returns a genuine countermodel.")
+
+
+if __name__ == "__main__":
+    main()

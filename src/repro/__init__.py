@@ -1,0 +1,12 @@
+"""Reproduction of "Predictable Verification using Intrinsic Definitions"
+(Murali, Rivera, Madhusudan; PLDI 2024).
+
+Subpackages:
+
+- :mod:`repro.smt`        -- the from-scratch quantifier-free SMT backend
+- :mod:`repro.lang`       -- the while-language substrate (Fig. 1 / Fig. 6)
+- :mod:`repro.core`       -- intrinsic definitions + FWYB + decidable VC gen
+- :mod:`repro.structures` -- the Table 2 benchmark suite
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,12 @@
+"""The paper's contribution: intrinsic definitions (Section 2), the FWYB
+methodology (Sections 3-4), impact-set checking (Appendix C), decidable VC
+generation (Section 3.7), and the verification driver (Section 5)."""
+
+from .fwyb import elaborate_proc
+from .ids import LC_VAR, IntrinsicDefinition, conjunct_count
+from .impact import ImpactCheckResult, check_impact_sets, synthesize_impact_set
+from .runtime import DynamicChecker, FwybViolation, check_lc_everywhere, run_checked
+from .vcgen import VC, VcGen, VcGenError
+from .verifier import MethodReport, Verifier, verify_method
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,221 @@
+"""FWYB macro elaboration (Section 4.1, "Macros that Ensure Well-Behaved
+Programs").
+
+Elaboration turns the macro statements into base statements relative to an
+intrinsic definition:
+
+- ``Mut(x, f, v)``  ->  snapshot the impact terms (pre-state reads --
+  ``old(next(x))`` etc.), assert the mutation precondition if the field has
+  one, perform the store, then add every non-nil impact object to each
+  broken set (Fig. 2, Mutation rule);
+- ``NewObj(x)``     ->  ``x := new C(); Br := Br + {x}`` (Allocation rule);
+- ``AssertLCAndRemove(x)`` -> ``assert x != nil ==> LC(x); Br := Br - {x}``
+  (Assert-LC-and-Remove rule);
+- ``InferLCOutsideBr(x)``  -> ``assume (x != nil and x not in Br) ==> LC(x)``
+  (Infer-LC-outside-Br rule).
+
+The output contains only base statements, which both the interpreter and
+the VC generator understand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+from ..lang import exprs as E
+from ..lang.ast import (
+    Procedure,
+    SAssert,
+    SBlock,
+    SAssertLCAndRemove,
+    SAssign,
+    SAssume,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNew,
+    SNewObj,
+    SStore,
+    SWhile,
+    Stmt,
+)
+from ..smt.sorts import LOC
+from .ids import IntrinsicDefinition, LC_VAR as LC_VAR_KEY
+
+__all__ = ["elaborate_proc"]
+
+
+def _strip_old(e: E.Expr) -> E.Expr:
+    """Impact templates mark pre-state reads with old(.); elaboration
+    snapshots them *before* the store, so old(.) peels off."""
+    if isinstance(e, E.EOld):
+        return _strip_old(e.arg)
+    kids = E.children(e)
+    if not kids:
+        return e
+    new_kids = tuple(_strip_old(k) for k in kids)
+    if new_kids == kids:
+        return e
+    return E._rebuild_expr(e, new_kids)
+
+
+def elaborate_proc(proc: Procedure, ids: IntrinsicDefinition) -> Procedure:
+    counter = itertools.count()
+    ghost_locals: Dict[str, object] = dict(proc.ghost_locals)
+
+    def fresh_tmp() -> str:
+        name = f"$imp{next(counter)}"
+        ghost_locals[name] = LOC
+        return name
+
+    def elab_block(stmts: List[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for s in stmts:
+            out.extend(elab(s))
+        return out
+
+    def elab(s: Stmt) -> List[Stmt]:
+        if isinstance(s, SMut):
+            out: List[Stmt] = []
+            if s.variant is not None:
+                return elab_custom(s)
+            pre = ids.mut_pre_at(s.field, s.obj)
+            if pre is not None:
+                out.append(SAssert(pre, label=f"mutation precondition of .{s.field}"))
+            # Snapshot impact terms in the pre-state.
+            updates = []  # (broken_set, [tmp names])
+            for set_name in ids.broken_set_names:
+                tmps = []
+                for tmpl in ids.impact_at(s.field, s.obj, set_name):
+                    tmp = fresh_tmp()
+                    out.append(SAssign(tmp, _strip_old(tmpl)))
+                    tmps.append(tmp)
+                updates.append((set_name, tmps))
+            out.append(SStore(s.obj, s.field, s.expr))
+            for set_name, tmps in updates:
+                acc: E.Expr = E.EVar(set_name)
+                for tmp in tmps:
+                    acc = E.union(
+                        acc,
+                        E.ite(
+                            E.ne(E.EVar(tmp), E.NIL_E),
+                            E.singleton(E.EVar(tmp)),
+                            E.empty_loc_set(),
+                        ),
+                    )
+                if tmps:
+                    out.append(SAssign(set_name, acc))
+            return [SBlock(out)]
+        if isinstance(s, SNewObj):
+            pass  # handled below
+        return elab_rest(s)
+
+    def elab_custom(s: SMut) -> List[Stmt]:
+        from .ids import AUX_VAR, VAL_VAR
+
+        cm = ids.custom_muts[s.variant]
+        if cm.field != s.field:
+            raise ValueError(
+                f"custom mutation {s.variant!r} is for field {cm.field!r}, "
+                f"not {s.field!r}"
+            )
+        out: List[Stmt] = []
+        inst = {LC_VAR_KEY: s.obj, VAL_VAR: s.expr}
+        if s.aux is not None:
+            inst[AUX_VAR] = s.aux
+        if cm.pre is not None:
+            out.append(
+                SAssert(
+                    E.subst_expr(cm.pre, inst),
+                    label=f"precondition of custom mutation {s.variant}",
+                )
+            )
+        if cm.val_constraint is not None:
+            out.append(
+                SAssert(
+                    E.subst_expr(cm.val_constraint, inst),
+                    label=f"value constraint of custom mutation {s.variant}",
+                )
+            )
+        updates = []
+        for set_name in ids.broken_set_names:
+            tmps = []
+            for tmpl in cm.impact:
+                tmp = fresh_tmp()
+                out.append(SAssign(tmp, _strip_old(E.subst_expr(tmpl, {LC_VAR_KEY: s.obj}))))
+                tmps.append(tmp)
+            updates.append((set_name, tmps))
+        out.append(SStore(s.obj, s.field, s.expr))
+        for set_name, tmps in updates:
+            acc: E.Expr = E.EVar(set_name)
+            for tmp in tmps:
+                acc = E.union(
+                    acc,
+                    E.ite(
+                        E.ne(E.EVar(tmp), E.NIL_E),
+                        E.singleton(E.EVar(tmp)),
+                        E.empty_loc_set(),
+                    ),
+                )
+            if tmps:
+                out.append(SAssign(set_name, acc))
+        return [SBlock(out)]
+
+    def elab_rest(s: Stmt) -> List[Stmt]:
+        if isinstance(s, SNewObj):
+            out = [SNew(s.var)]
+            for set_name in ids.broken_set_names:
+                out.append(
+                    SAssign(
+                        set_name,
+                        E.union(E.EVar(set_name), E.singleton(E.EVar(s.var))),
+                    )
+                )
+            return [SBlock(out)]
+        if isinstance(s, SAssertLCAndRemove):
+            lc = ids.lc_at(s.obj, s.broken_set)
+            return [
+                SAssert(
+                    E.implies(E.ne(s.obj, E.NIL_E), lc),
+                    label=f"LC({s.obj}) [{s.broken_set}]",
+                ),
+                SAssign(
+                    s.broken_set,
+                    E.diff(E.EVar(s.broken_set), E.singleton(s.obj)),
+                ),
+            ]
+        if isinstance(s, SInferLCOutsideBr):
+            lc = ids.lc_at(s.obj, s.broken_set)
+            guard = E.and_(
+                E.ne(s.obj, E.NIL_E),
+                E.not_(E.member(s.obj, E.EVar(s.broken_set))),
+            )
+            return [SAssume(E.implies(guard, lc))]
+        if isinstance(s, SIf):
+            return [SIf(s.cond, elab_block(s.then), elab_block(s.els))]
+        if isinstance(s, SWhile):
+            return [
+                SWhile(
+                    s.cond,
+                    list(s.invariants),
+                    elab_block(s.body),
+                    s.decreases,
+                    s.is_ghost,
+                )
+            ]
+        return [s]
+
+    body = elab_block(proc.body)
+    return Procedure(
+        name=proc.name,
+        params=list(proc.params),
+        outs=list(proc.outs),
+        requires=list(proc.requires),
+        ensures=list(proc.ensures),
+        body=body,
+        modifies=proc.modifies,
+        locals=dict(proc.locals),
+        ghost_locals=ghost_locals,
+        is_well_behaved=proc.is_well_behaved,
+    )

@@ -1,0 +1,130 @@
+"""Intrinsic definitions of data structures (Section 2 of the paper).
+
+An :class:`IntrinsicDefinition` packages:
+
+- the class signature with its ghost monadic maps ``G`` (Definition 2.4),
+- the local condition ``LC`` as an expression template over a distinguished
+  location variable (instantiated at concrete location expressions --
+  never quantified), partitioned by broken set for overlaid structures
+  (Section 3.5, "finer-grained broken sets"),
+- the correlation formula ``phi(y)`` characterizing entry points,
+- the impact-set table for every mutable field (Section 4.1, Table 1),
+  whose correctness is *checked*, not trusted (Appendix C;
+  see ``repro.core.impact``),
+- optional per-field mutation preconditions (the circular-list scaffolding
+  trick of Appendix D.4, Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Union
+
+from ..lang.ast import ClassSignature
+from ..lang import exprs as E
+
+__all__ = ["LC_VAR", "VAL_VAR", "AUX_VAR", "CustomMutation", "IntrinsicDefinition", "conjunct_count"]
+
+#: The distinguished location variable of LC / correlation / impact templates.
+LC_VAR = E.EVar("$x")
+#: In custom-mutation value constraints: the value being written.
+VAL_VAR = E.EVar("$v")
+#: In custom-mutation value constraints: the auxiliary argument.
+AUX_VAR = E.EVar("$aux")
+
+
+@dataclass
+class CustomMutation:
+    """A guarded mutation macro with its own (usually smaller) impact set
+    (the paper's ``AddToLastHsList`` of Appendix D.4 is the prototype).
+
+    ``pre`` is a precondition template over LC_VAR; ``val_constraint`` is a
+    template over LC_VAR / VAL_VAR / AUX_VAR restricting the written value
+    (e.g. "only grows the set"); both are *asserted* at use sites and
+    *assumed* by the Appendix C impact-correctness check."""
+
+    field: str
+    impact: List[E.Expr]
+    pre: Optional[E.Expr] = None
+    val_constraint: Optional[E.Expr] = None
+
+
+def conjunct_count(e: E.Expr) -> int:
+    """Number of conjuncts (the paper's "LC size" column of Table 2)."""
+    if isinstance(e, E.EAnd):
+        return sum(conjunct_count(a) for a in e.args)
+    if isinstance(e, E.EImplies):
+        return conjunct_count(e.rhs)
+    return 1
+
+
+@dataclass
+class IntrinsicDefinition:
+    name: str
+    sig: ClassSignature
+    #: broken-set name -> local-condition template over LC_VAR
+    lc_parts: Dict[str, E.Expr]
+    #: correlation formula template over LC_VAR
+    correlation: E.Expr
+    #: field -> impact templates over LC_VAR.  A plain list applies to every
+    #: broken set; a dict selects per-set impact terms (overlaid structures).
+    impact: Dict[str, Union[List[E.Expr], Dict[str, List[E.Expr]]]]
+    #: field -> mutation precondition template over LC_VAR (optional)
+    mut_pre: Dict[str, E.Expr] = dc_field(default_factory=dict)
+    #: named custom mutation macros (variant name -> CustomMutation)
+    custom_muts: Dict[str, "CustomMutation"] = dc_field(default_factory=dict)
+
+    def __post_init__(self):
+        for fname in self.impact:
+            self.sig.sort_of_field(fname)  # raises on unknown fields
+
+    # -- broken sets --------------------------------------------------------
+
+    @property
+    def broken_set_names(self) -> List[str]:
+        return list(self.lc_parts)
+
+    # -- LC instantiation ---------------------------------------------------
+
+    def lc_template(self, set_name: str = "Br") -> E.Expr:
+        return self.lc_parts[set_name]
+
+    def lc_at(self, obj: E.Expr, set_name: str = "Br") -> E.Expr:
+        """LC(obj): the quantifier-free local condition instantiated at a
+        location expression."""
+        return E.subst_expr(self.lc_parts[set_name], {LC_VAR: obj})
+
+    def full_lc_at(self, obj: E.Expr) -> E.Expr:
+        """Conjunction of every LC partition at obj."""
+        return E.and_(*[self.lc_at(obj, s) for s in self.broken_set_names])
+
+    def correlation_at(self, obj: E.Expr) -> E.Expr:
+        return E.subst_expr(self.correlation, {LC_VAR: obj})
+
+    @property
+    def lc_size(self) -> int:
+        return sum(conjunct_count(p) for p in self.lc_parts.values())
+
+    # -- impact sets ---------------------------------------------------------
+
+    def impact_terms(self, fname: str, set_name: str) -> List[E.Expr]:
+        """Impact templates for mutating ``fname`` w.r.t. one broken set."""
+        entry = self.impact.get(fname)
+        if entry is None:
+            raise KeyError(
+                f"{self.name}: no impact set declared for field {fname!r}"
+            )
+        if isinstance(entry, dict):
+            return list(entry.get(set_name, []))
+        return list(entry)
+
+    def impact_at(self, fname: str, obj: E.Expr, set_name: str) -> List[E.Expr]:
+        return [
+            E.subst_expr(t, {LC_VAR: obj}) for t in self.impact_terms(fname, set_name)
+        ]
+
+    def mut_pre_at(self, fname: str, obj: E.Expr) -> Optional[E.Expr]:
+        tmpl = self.mut_pre.get(fname)
+        if tmpl is None:
+            return None
+        return E.subst_expr(tmpl, {LC_VAR: obj})

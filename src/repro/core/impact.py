@@ -1,0 +1,174 @@
+"""Automatic correctness checking of impact sets (Appendix C).
+
+The Mutation rule of Fig. 2 is sound only if the declared impact set
+``A_f(x)`` really covers every object whose local condition the mutation
+``x.f := v`` can break.  The paper checks each table entry by discharging
+
+    { u != t_1  and ... and  u != t_k  and  LC(u)  and  x != nil }
+        x.f := v
+    { LC(u) }
+
+for the impact terms ``t_i`` and arbitrary ``u``, ``v`` -- a decidable,
+quantifier-free obligation.  ``check_impact_sets`` builds exactly this VC
+for every (field, broken-set) pair of an intrinsic definition and solves
+it with the SMT backend.  ``synthesize_impact_set`` additionally searches
+for a *minimal* correct subset of the candidate terms (the automatic
+construction sketched at the end of Appendix C).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..lang import exprs as E
+from ..lang.ast import Program, Procedure
+from ..smt import terms as T
+from ..smt.solver import is_valid
+from ..smt.sorts import LOC, MapSort, SET_LOC
+from .ids import AUX_VAR, LC_VAR, VAL_VAR, IntrinsicDefinition
+from .vcgen import SymState, VcGen
+
+__all__ = ["ImpactCheckResult", "check_impact_sets", "synthesize_impact_set"]
+
+
+@dataclass
+class ImpactCheckResult:
+    structure: str
+    ok: bool
+    failures: List[str]
+    time_s: float
+    n_checks: int
+
+
+def _strip_old_expr(e: E.Expr) -> E.Expr:
+    if isinstance(e, E.EOld):
+        return _strip_old_expr(e.arg)
+    kids = E.children(e)
+    if not kids:
+        return e
+    new_kids = tuple(_strip_old_expr(k) for k in kids)
+    if new_kids == kids:
+        return e
+    return E._rebuild_expr(e, new_kids)
+
+
+def _spec_tt(ids: IntrinsicDefinition, maps, store, expr: E.Expr) -> T.Term:
+    """Translate a spec expression over fixed map snapshots."""
+    prog = Program(ids.sig, {})
+    proc = Procedure("impact$check", [], [], [], [], [])
+    gen = VcGen(prog, proc, memory_safety=False)
+    state = SymState(dict(store), dict(maps), [])
+    return gen.tt(expr, state, spec=True)
+
+
+def _mutation_vc(
+    ids: IntrinsicDefinition,
+    fname: str,
+    impact_terms: List[E.Expr],
+    set_name: str,
+    pre: "E.Expr | None" = None,
+    val_constraint: "E.Expr | None" = None,
+) -> T.Term:
+    """The Appendix C triple as a single ground formula."""
+    sig = ids.sig
+    maps_pre = {
+        f: T.mk_const(f"M_{f}", MapSort(LOC, s)) for f, s in sig.all_fields.items()
+    }
+    x = T.mk_const("mut$x", LOC)
+    u = T.mk_const("mut$u", LOC)
+    v = T.mk_const("mut$v", sig.sort_of_field(fname))
+    aux = T.mk_const("mut$aux", LOC)
+    store = {"$xv": x, "$uv": u, "$vv": v, "$auxv": aux,
+             "Alloc": T.mk_const("mut$Alloc", SET_LOC)}
+    xe, ue = E.EVar("$xv"), E.EVar("$uv")
+    inst = {LC_VAR: xe, VAL_VAR: E.EVar("$vv"), AUX_VAR: E.EVar("$auxv")}
+
+    hyps: List[T.Term] = [T.mk_ne(x, T.NIL), T.mk_ne(u, T.NIL)]
+    # u differs from every non-nil impact term (the impact table is expected
+    # to contain x itself -- if it does not, the check rightly fails).
+    for tmpl in impact_terms:
+        t_inst = _strip_old_expr(E.subst_expr(tmpl, {LC_VAR: xe}))
+        t = _spec_tt(ids, maps_pre, store, t_inst)
+        hyps.append(T.mk_or(T.mk_eq(t, T.NIL), T.mk_ne(u, t)))
+    if pre is None:
+        pre = ids.mut_pre.get(fname)
+    if pre is not None:
+        hyps.append(_spec_tt(ids, maps_pre, store, E.subst_expr(pre, inst)))
+    if val_constraint is not None:
+        hyps.append(
+            _spec_tt(ids, maps_pre, store, E.subst_expr(val_constraint, inst))
+        )
+    lc_u = ids.lc_at(ue, set_name)
+    hyps.append(_spec_tt(ids, maps_pre, store, lc_u))
+    maps_post = dict(maps_pre)
+    maps_post[fname] = T.mk_store(maps_pre[fname], x, v)
+    goal = _spec_tt(ids, maps_post, store, lc_u)
+    return T.mk_implies(T.mk_and(*hyps), goal)
+
+
+def check_impact_sets(
+    ids: IntrinsicDefinition, conflict_budget: Optional[int] = None
+) -> ImpactCheckResult:
+    """Verify every declared impact-set entry (Appendix C)."""
+    start = time.perf_counter()
+    failures: List[str] = []
+    n = 0
+    for fname in ids.impact:
+        for set_name in ids.broken_set_names:
+            terms = ids.impact_terms(fname, set_name)
+            n += 1
+            vc = _mutation_vc(ids, fname, terms, set_name)
+            ok, _ = is_valid(vc, conflict_budget=conflict_budget)
+            if not ok:
+                failures.append(
+                    f"{ids.name}: impact set for .{fname} w.r.t. {set_name} "
+                    f"does not cover all broken objects"
+                )
+    for vname, cm in ids.custom_muts.items():
+        for set_name in ids.broken_set_names:
+            n += 1
+            vc = _mutation_vc(
+                ids, cm.field, list(cm.impact), set_name,
+                pre=cm.pre, val_constraint=cm.val_constraint,
+            )
+            ok, _ = is_valid(vc, conflict_budget=conflict_budget)
+            if not ok:
+                failures.append(
+                    f"{ids.name}: custom mutation {vname!r} impact set "
+                    f"w.r.t. {set_name} does not cover all broken objects"
+                )
+    return ImpactCheckResult(
+        structure=ids.name,
+        ok=not failures,
+        failures=failures,
+        time_s=time.perf_counter() - start,
+        n_checks=n,
+    )
+
+
+def synthesize_impact_set(
+    ids: IntrinsicDefinition,
+    fname: str,
+    set_name: str = "Br",
+    max_size: int = 3,
+) -> Optional[List[E.Expr]]:
+    """Search for a minimal correct impact set among the candidate terms of
+    ``ImpactableObjects`` (Appendix C): x itself, its one-hop pointer/ghost
+    neighbours, and old(.) of the mutated field."""
+    sig = ids.sig
+    candidates: List[E.Expr] = [LC_VAR]
+    for f, sort in sig.all_fields.items():
+        if sort == LOC:
+            candidates.append(E.F(LC_VAR, f))
+            if f == fname:
+                candidates.append(E.old(E.F(LC_VAR, f)))
+    for size in range(0, max_size + 1):
+        for combo in itertools.combinations(candidates, size):
+            vc = _mutation_vc(ids, fname, list(combo), set_name)
+            ok, _ = is_valid(vc)
+            if ok:
+                return list(combo)
+    return None

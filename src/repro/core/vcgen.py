@@ -1,0 +1,634 @@
+"""Verification-condition generation (Section 3.7 + Appendix A.3).
+
+The heap program is compiled to a *scalar* program over map-valued SSA
+snapshots:
+
+- every field/monadic map ``f`` is a map term ``M_f``; mutation is
+  ``M_f := store(M_f, x, v)``;
+- allocation maintains a ghost ``Alloc`` set; dereferences add ground
+  closure assumptions (parameters and read pointers are allocated-or-nil);
+- heap change across a call havocs the field maps through a *pointwise
+  map update* ``M_f := map_ite(Mod+, M_f_havoc, M_f)`` where ``Mod+`` is
+  the callee's declared modifies set plus its fresh allocations --
+  no quantifiers anywhere (``encoding="decidable"``);
+- loops are cut by invariants: assert on entry, havoc the assigned
+  state, assume invariants, re-assert at the back edge;
+- every ``assert``/``requires``/``ensures``/invariant obligation becomes
+  its own small VC (per-assertion splitting keeps queries decidable *and*
+  fast, mirroring the paper's VC-split setting).
+
+``encoding="quantified"`` is the RQ3 baseline: frame and allocation
+closure are expressed with ``forall`` (the Dafny architecture), which the
+solver must then ground heuristically (``repro.smt.quant``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import exprs as E
+from ..lang.ast import (
+    ClassSignature,
+    Procedure,
+    Program,
+    SAssert,
+    SAssign,
+    SAssume,
+    SBlock,
+    SCall,
+    SIf,
+    SNew,
+    SSkip,
+    SStore,
+    SWhile,
+    Stmt,
+)
+from ..smt import terms as T
+from ..smt.sorts import BOOL, INT, LOC, REAL, SET_LOC, MapSort, SetSort, Sort
+
+__all__ = ["VC", "VcGen", "VcGenError"]
+
+
+class VcGenError(Exception):
+    pass
+
+
+@dataclass
+class VC:
+    label: str
+    hypotheses: List[T.Term]
+    goal: T.Term
+
+    def formula(self) -> T.Term:
+        return T.mk_implies(T.mk_and(*self.hypotheses), self.goal)
+
+    def __repr__(self):
+        return f"<VC {self.label}>"
+
+
+def _default_term(sort: Sort) -> T.Term:
+    if sort == LOC:
+        return T.NIL
+    if sort == INT:
+        return T.mk_int(0)
+    if sort == REAL:
+        return T.mk_real(0)
+    if sort == BOOL:
+        return T.FALSE
+    if isinstance(sort, SetSort):
+        return T.mk_empty_set(sort.elem)
+    raise VcGenError(f"no default for sort {sort}")
+
+
+class SymState:
+    """SSA snapshot: scalar store + one map term per field + path facts."""
+
+    def __init__(self, store: Dict[str, T.Term], maps: Dict[str, T.Term], path: List[T.Term]):
+        self.store = store
+        self.maps = maps
+        self.path = path
+        self.old: Optional[SymState] = None
+
+    def clone(self) -> "SymState":
+        st = SymState(dict(self.store), dict(self.maps), list(self.path))
+        st.old = self.old
+        return st
+
+
+class VcGen:
+    def __init__(
+        self,
+        program: Program,
+        proc: Procedure,
+        encoding: str = "decidable",
+        memory_safety: bool = True,
+        check_modifies: bool = True,
+        broken_sets=("Br",),
+    ):
+        if encoding not in ("decidable", "quantified"):
+            raise VcGenError(f"unknown encoding {encoding!r}")
+        self.program = program
+        self.proc = proc
+        self.sig = program.class_sig
+        self.encoding = encoding
+        self.memory_safety = memory_safety
+        self.check_modifies = check_modifies
+        self.broken_sets = tuple(broken_sets)
+        self.vcs: List[VC] = []
+        self._fresh = itertools.count()
+        self._qvar = itertools.count()
+        self._mod_entry: Optional[T.Term] = None
+        self._alloc_entry: Optional[T.Term] = None
+        # For each field, the base map snapshots together with the Alloc set
+        # current when they were introduced.  Ground closure facts are
+        # instantiated per read against these pairs (the decidable analogue
+        # of Dafny's quantified $IsAlloc axioms; see Appendix A.3).
+        self._field_bases: Dict[str, List[Tuple[T.Term, T.Term]]] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _freshc(self, prefix: str, sort: Sort) -> T.Term:
+        return T.mk_const(f"{prefix}#{next(self._fresh)}", sort)
+
+    def _emit(self, st: SymState, label: str, goal: T.Term) -> None:
+        if goal is T.TRUE:
+            return
+        self.vcs.append(VC(label, list(st.path), goal))
+
+    def _broken_set_vars(self) -> List[str]:
+        names = set(self.broken_sets)
+        for n in list(self.proc.locals) + [p for p, _ in self.proc.params] + [
+            o for o, _ in self.proc.outs
+        ] + list(self.proc.ghost_locals):
+            if n == "Br" or n.startswith("Br_"):
+                names.add(n)
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # Expression translation
+    # ------------------------------------------------------------------
+
+    def tt(self, e: E.Expr, st: SymState, spec: bool, ctx: str = "") -> T.Term:
+        if isinstance(e, E.EVar):
+            term = st.store.get(e.name)
+            if term is None:
+                raise VcGenError(f"{self.proc.name}: unbound variable {e.name!r} ({ctx})")
+            return term
+        if isinstance(e, E.ENil):
+            return T.NIL
+        if isinstance(e, E.EInt):
+            return T.mk_int(e.value)
+        if isinstance(e, E.EReal):
+            return T.mk_real(e.value)
+        if isinstance(e, E.EBool):
+            return T.mk_bool(e.value)
+        if isinstance(e, E.EField):
+            obj = self.tt(e.obj, st, spec, ctx)
+            if self.memory_safety and not spec:
+                self._emit(st, f"{ctx}: {_pp(e.obj)} != nil (memory safety)", T.mk_ne(obj, T.NIL))
+            fmap = st.maps.get(e.field)
+            if fmap is None:
+                raise VcGenError(f"{self.proc.name}: unknown field {e.field!r}")
+            val = T.mk_select(fmap, obj)
+            if self.encoding == "decidable":
+                self._read_closure_facts(st, e.field, obj)
+            return val
+        if isinstance(e, E.ENot):
+            return T.mk_not(self.tt(e.arg, st, spec, ctx))
+        if isinstance(e, E.EAnd):
+            return T.mk_and(*[self.tt(a, st, spec, ctx) for a in e.args])
+        if isinstance(e, E.EOr):
+            return T.mk_or(*[self.tt(a, st, spec, ctx) for a in e.args])
+        if isinstance(e, E.EImplies):
+            return T.mk_implies(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EIff):
+            return T.mk_iff(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EIte):
+            return T.mk_ite(
+                self.tt(e.cond, st, spec, ctx),
+                self.tt(e.then, st, spec, ctx),
+                self.tt(e.els, st, spec, ctx),
+            )
+        if isinstance(e, E.EEq):
+            return T.mk_eq(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.ELe):
+            return T.mk_le(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.ELt):
+            return T.mk_lt(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EAdd):
+            return T.mk_add(*[self.tt(a, st, spec, ctx) for a in e.args])
+        if isinstance(e, E.ESub):
+            return T.mk_sub(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EMul):
+            return T.mk_mul(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EDiv):
+            return T.mk_div(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EEmptySet):
+            return T.mk_empty_set(LOC if e.elem_sort_name == "Loc" else INT)
+        if isinstance(e, E.ESingleton):
+            return T.mk_singleton(self.tt(e.arg, st, spec, ctx))
+        if isinstance(e, E.EUnion):
+            return T.mk_union(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EInter):
+            return T.mk_inter(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EDiff):
+            return T.mk_setdiff(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EMember):
+            return T.mk_member(self.tt(e.elem, st, spec, ctx), self.tt(e.the_set, st, spec, ctx))
+        if isinstance(e, E.ESubset):
+            return T.mk_subset(self.tt(e.lhs, st, spec, ctx), self.tt(e.rhs, st, spec, ctx))
+        if isinstance(e, E.EAllGe):
+            return T.mk_all_ge(self.tt(e.the_set, st, spec, ctx), self.tt(e.bound, st, spec, ctx))
+        if isinstance(e, E.EAllLe):
+            return T.mk_all_le(self.tt(e.the_set, st, spec, ctx), self.tt(e.bound, st, spec, ctx))
+        if isinstance(e, E.EOld):
+            if st.old is None:
+                raise VcGenError(f"{self.proc.name}: old(.) without pre-state ({ctx})")
+            return self.tt(e.arg, st.old, True, ctx)
+        raise VcGenError(f"cannot translate {e!r}")
+
+    def _closure_assumption(self, st: SymState, val: T.Term) -> None:
+        """Ground allocation-closure fact for a value known to be current
+        (parameters at entry, call results): allocated-or-nil."""
+        alloc = st.store.get("Alloc")
+        if alloc is None:
+            return
+        if val.sort == LOC:
+            fact = T.mk_or(T.mk_eq(val, T.NIL), T.mk_member(val, alloc))
+            if fact not in st.path:
+                st.path.append(fact)
+        elif isinstance(val.sort, SetSort) and val.sort.elem == LOC:
+            fact = T.mk_subset(val, alloc)
+            if fact not in st.path:
+                st.path.append(fact)
+
+    def _read_closure_facts(self, st: SymState, fname: str, obj: T.Term) -> None:
+        """Ground allocation-closure facts (Appendix A.3): for every base
+        snapshot ``B`` of the field with paired allocation set ``A``:
+        if obj was allocated at that time, its stored value respects ``A``
+        (pointers allocated-or-nil, heaplets subsets).  This is what makes
+        freshly allocated objects provably absent from pre-existing heaplets
+        -- without quantifiers."""
+        sort = self.sig.sort_of_field(fname)
+        if sort != LOC and not (isinstance(sort, SetSort) and sort.elem == LOC):
+            return
+        for base, snap in self._field_bases.get(fname, ()):
+            val = T.mk_select(base, obj)
+            if sort == LOC:
+                closed = T.mk_or(T.mk_eq(val, T.NIL), T.mk_member(val, snap))
+            else:
+                closed = T.mk_subset(val, snap)
+            fact = T.mk_implies(T.mk_member(obj, snap), closed)
+            if fact not in st.path:
+                st.path.append(fact)
+
+    def _register_base(self, fname: str, base: T.Term, alloc: T.Term) -> None:
+        self._field_bases.setdefault(fname, []).append((base, alloc))
+
+    # ------------------------------------------------------------------
+    # Statement walking (path splitting)
+    # ------------------------------------------------------------------
+
+    def walk(self, stmts: List[Stmt], st: SymState) -> List[SymState]:
+        states = [st]
+        for s in stmts:
+            next_states: List[SymState] = []
+            for cur in states:
+                next_states.extend(self.step(s, cur))
+            states = next_states
+        return states
+
+    def step(self, s: Stmt, st: SymState) -> List[SymState]:
+        if isinstance(s, SSkip):
+            return [st]
+        if isinstance(s, SBlock):
+            return self.walk(s.stmts, st)
+        if isinstance(s, SAssign):
+            st.store[s.var] = self.tt(s.expr, st, spec=False, ctx=f"{s.var} := ...")
+            return [st]
+        if isinstance(s, SStore):
+            obj = self.tt(s.obj, st, spec=False, ctx=f"....{s.field} := ...")
+            if self.memory_safety:
+                self._emit(st, f"store target {_pp(s.obj)} != nil", T.mk_ne(obj, T.NIL))
+            if self.check_modifies and self._mod_entry is not None:
+                # Frame obligation: writes stay inside the declared modifies
+                # set or hit freshly allocated objects.
+                in_frame = T.mk_or(
+                    T.mk_member(obj, self._mod_entry),
+                    T.mk_not(T.mk_member(obj, self._alloc_entry)),
+                )
+                self._emit(st, f"store to {_pp(s.obj)}.{s.field} within modifies", in_frame)
+            val = self.tt(s.expr, st, spec=False, ctx=f".{s.field} := rhs")
+            st.maps[s.field] = T.mk_store(st.maps[s.field], obj, val)
+            return [st]
+        if isinstance(s, SNew):
+            n = self._freshc(f"new_{s.var}", LOC)
+            alloc = st.store["Alloc"]
+            st.path.append(T.mk_ne(n, T.NIL))
+            st.path.append(T.mk_not(T.mk_member(n, alloc)))
+            st.store["Alloc"] = T.mk_union(alloc, T.mk_singleton(n))
+            st.store[s.var] = n
+            for fname, sort in self.sig.all_fields.items():
+                st.maps[fname] = T.mk_store(st.maps[fname], n, _default_term(sort))
+            return [st]
+        if isinstance(s, SAssert):
+            goal = self.tt(s.expr, st, spec=True, ctx="assert")
+            self._emit(st, f"assert {s.label or _pp(s.expr)}", goal)
+            st.path.append(goal)
+            return [st]
+        if isinstance(s, SAssume):
+            st.path.append(self.tt(s.expr, st, spec=True, ctx="assume"))
+            return [st]
+        if isinstance(s, SIf):
+            cond = self.tt(s.cond, st, spec=False, ctx="if-cond")
+            then_st = st.clone()
+            then_st.path.append(cond)
+            else_st = st.clone()
+            else_st.path.append(T.mk_not(cond))
+            return self.walk(s.then, then_st) + self.walk(s.els, else_st)
+        if isinstance(s, SWhile):
+            return self._step_while(s, st)
+        if isinstance(s, SCall):
+            return self._step_call(s, st)
+        raise VcGenError(f"unelaborated statement reached vcgen: {type(s).__name__}")
+
+    # -- loops ----------------------------------------------------------
+
+    def _step_while(self, s: SWhile, st: SymState) -> List[SymState]:
+        loop_id = next(self._fresh)
+        for inv in s.invariants:
+            self._emit(
+                st,
+                f"loop#{loop_id} invariant on entry: {_pp(inv)}",
+                self.tt(inv, st, spec=True, ctx="inv-entry"),
+            )
+        assigned, stored_fields, has_call, has_new = _body_effects(s.body, self.program)
+        havoc = st.clone()
+        for var in assigned:
+            if var in havoc.store:
+                havoc.store[var] = self._freshc(f"loop{loop_id}_{var}", havoc.store[var].sort)
+        fields_to_havoc = (
+            set(havoc.maps)
+            if (has_call or has_new)  # allocation writes defaults to every map
+            else {f for f in stored_fields if f in havoc.maps}
+        )
+        if has_new or has_call:
+            old_alloc = havoc.store["Alloc"]
+            new_alloc = self._freshc(f"loop{loop_id}_Alloc", SET_LOC)
+            havoc.store["Alloc"] = new_alloc
+            havoc.path.append(T.mk_subset(old_alloc, new_alloc))
+        for fname in fields_to_havoc:
+            hv = self._freshc(f"loop{loop_id}_M_{fname}", havoc.maps[fname].sort)
+            if self.encoding == "decidable":
+                self._register_base(fname, hv, havoc.store["Alloc"])
+            havoc.maps[fname] = hv
+        for inv in s.invariants:
+            havoc.path.append(self.tt(inv, havoc, spec=True, ctx="inv-assume"))
+        # body path
+        body_st = havoc.clone()
+        cond_t = self.tt(s.cond, body_st, spec=False, ctx="loop-cond")
+        body_st.path.append(cond_t)
+        dec_pre = None
+        if s.decreases is not None:
+            dec_pre = self.tt(s.decreases, body_st, spec=True, ctx="decreases")
+        end_states = self.walk(s.body, body_st)
+        for i, end in enumerate(end_states):
+            for inv in s.invariants:
+                self._emit(
+                    end,
+                    f"loop#{loop_id} invariant preserved: {_pp(inv)}",
+                    self.tt(inv, end, spec=True, ctx="inv-preserve"),
+                )
+            if dec_pre is not None:
+                dec_post = self.tt(s.decreases, end, spec=True, ctx="decreases")
+                self._emit(
+                    end,
+                    f"loop#{loop_id} ghost termination measure decreases",
+                    T.mk_and(T.mk_lt(dec_post, dec_pre), T.mk_ge(dec_pre, _zero_of(dec_pre))),
+                )
+        after = havoc.clone()
+        after.path.append(T.mk_not(self.tt(s.cond, after, spec=False, ctx="loop-exit")))
+        return [after]
+
+    # -- calls ------------------------------------------------------------
+
+    def _step_call(self, s: SCall, st: SymState) -> List[SymState]:
+        callee = self.program.proc(s.proc)
+        if len(s.args) != len(callee.params):
+            raise VcGenError(f"call to {s.proc}: arity mismatch")
+        arg_terms = [
+            self.tt(a, st, spec=False, ctx=f"call {s.proc} arg") for a in s.args
+        ]
+        pre_store = {n: t for (n, _), t in zip(callee.params, arg_terms)}
+        for br in self._broken_set_vars():
+            pre_store.setdefault(br, st.store.get(br, _default_term(SET_LOC)))
+        pre_store["Alloc"] = st.store["Alloc"]
+        pre_state = SymState(pre_store, dict(st.maps), st.path)
+        for req in callee.requires:
+            self._emit(
+                st,
+                f"precondition of {s.proc}: {_pp(req)}",
+                self.tt(req, pre_state, spec=True, ctx="call-pre"),
+            )
+        # modifies set, evaluated in the pre-state
+        unrestricted = callee.modifies is None
+        if not unrestricted:
+            mod = self.tt(callee.modifies, pre_state, spec=True, ctx="modifies")
+            if self.check_modifies and self._mod_entry is not None:
+                frame_ok = T.mk_subset(
+                    mod,
+                    T.mk_union(
+                        self._mod_entry,
+                        T.mk_setdiff(st.store["Alloc"], self._alloc_entry),
+                    ),
+                )
+                self._emit(st, f"call {s.proc}: callee frame within modifies", frame_ok)
+        else:
+            mod = T.mk_empty_set(LOC)
+            if self.check_modifies and self._mod_entry is not None:
+                self._emit(
+                    st,
+                    f"call {s.proc}: callee without modifies from framed caller",
+                    T.FALSE,
+                )
+        old_alloc = st.store["Alloc"]
+        new_alloc = self._freshc(f"Alloc_after_{s.proc}", SET_LOC)
+        st.path.append(T.mk_subset(old_alloc, new_alloc))
+        mod_plus = T.mk_union(mod, T.mk_setdiff(new_alloc, old_alloc))
+        # havoc the heap through the frame
+        if unrestricted:
+            for fname in st.maps:
+                hv = self._freshc(f"M_{fname}_after_{s.proc}", st.maps[fname].sort)
+                if self.encoding == "decidable":
+                    self._register_base(fname, hv, new_alloc)
+                st.maps[fname] = hv
+        elif self.encoding == "decidable":
+            for fname in st.maps:
+                hv = self._freshc(f"M_{fname}_after_{s.proc}", st.maps[fname].sort)
+                self._register_base(fname, hv, new_alloc)
+                st.maps[fname] = T.mk_map_ite(mod_plus, hv, st.maps[fname])
+        else:
+            for fname in list(st.maps):
+                old_map = st.maps[fname]
+                hv = self._freshc(f"M_{fname}_after_{s.proc}", old_map.sort)
+                st.maps[fname] = hv
+                o = T.mk_var(f"o{next(self._qvar)}", LOC)
+                st.path.append(
+                    T.mk_forall(
+                        [o],
+                        T.mk_or(
+                            T.mk_member(o, mod_plus),
+                            T.mk_eq(T.mk_select(hv, o), T.mk_select(old_map, o)),
+                        ),
+                    )
+                )
+        st.store["Alloc"] = new_alloc
+        # havoc outputs and broken sets; assume postconditions
+        post_store = dict(pre_store)
+        post_store["Alloc"] = new_alloc
+        out_terms = []
+        for oname, osort in callee.outs:
+            ot = self._freshc(f"{s.proc}_{oname}", osort)
+            post_store[oname] = ot
+            out_terms.append(ot)
+        for br in self._broken_set_vars():
+            post_store[br] = self._freshc(f"{br}_after_{s.proc}", SET_LOC)
+        post_state = SymState(post_store, st.maps, st.path)
+        post_state.old = pre_state
+        for ens in callee.ensures:
+            st.path.append(self.tt(ens, post_state, spec=True, ctx="call-post"))
+        for caller_out, ot in zip(s.outs, out_terms):
+            st.store[caller_out] = ot
+        for br in self._broken_set_vars():
+            if br in st.store:
+                st.store[br] = post_store[br]
+        if self.encoding == "decidable":
+            for (oname, osort), ot in zip(callee.outs, out_terms):
+                self._closure_assumption(st, ot)
+        else:
+            self._quantified_closure(st)
+        return [st]
+
+    def _quantified_closure(self, st: SymState) -> None:
+        """Dafny-style quantified heap-closure axioms (RQ3 mode)."""
+        alloc = st.store["Alloc"]
+        for fname, sort in self.sig.all_fields.items():
+            if sort == LOC:
+                o = T.mk_var(f"o{next(self._qvar)}", LOC)
+                sel = T.mk_select(st.maps[fname], o)
+                st.path.append(
+                    T.mk_forall(
+                        [o],
+                        T.mk_implies(
+                            T.mk_member(o, alloc),
+                            T.mk_or(T.mk_eq(sel, T.NIL), T.mk_member(sel, alloc)),
+                        ),
+                    )
+                )
+            elif isinstance(sort, SetSort) and sort.elem == LOC:
+                o = T.mk_var(f"o{next(self._qvar)}", LOC)
+                sel = T.mk_select(st.maps[fname], o)
+                st.path.append(
+                    T.mk_forall(
+                        [o],
+                        T.mk_implies(T.mk_member(o, alloc), T.mk_subset(sel, alloc)),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Procedure driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[VC]:
+        proc = self.proc
+        store: Dict[str, T.Term] = {}
+        maps = {
+            fname: T.mk_const(f"M_{fname}", MapSort(LOC, sort))
+            for fname, sort in self.sig.all_fields.items()
+        }
+        alloc0 = T.mk_const("Alloc0", SET_LOC)
+        store["Alloc"] = alloc0
+        for br in self._broken_set_vars():
+            store[br] = T.mk_const(f"{br}0", SET_LOC)
+        for pname, psort in proc.params:
+            store[pname] = T.mk_const(f"{pname}", psort)
+        for oname, osort in proc.outs:
+            store.setdefault(oname, _default_term(osort))
+        for lname, lsort in list(proc.locals.items()) + list(proc.ghost_locals.items()):
+            store.setdefault(lname, _default_term(lsort))
+        st = SymState(store, maps, [])
+        self._alloc_entry = alloc0
+        if self.encoding == "decidable":
+            for fname, fmap in maps.items():
+                self._register_base(fname, fmap, alloc0)
+        # Broken sets only ever hold allocated objects (methodology invariant).
+        for br in self._broken_set_vars():
+            st.path.append(T.mk_subset(store[br], alloc0))
+        if proc.modifies is not None:
+            self._mod_entry = self.tt(proc.modifies, st, spec=True, ctx="modifies")
+        # parameter closure facts
+        for pname, psort in proc.params:
+            if psort == LOC:
+                st.path.append(
+                    T.mk_or(T.mk_eq(store[pname], T.NIL), T.mk_member(store[pname], alloc0))
+                )
+            elif isinstance(psort, SetSort) and psort.elem == LOC:
+                st.path.append(T.mk_subset(store[pname], alloc0))
+        if self.encoding == "quantified":
+            self._quantified_closure(st)
+        entry = st.clone()
+        st.old = entry
+        for req in proc.requires:
+            st.path.append(self.tt(req, st, spec=True, ctx="requires"))
+        end_states = self.walk(proc.body, st)
+        for i, end in enumerate(end_states):
+            end.old = entry
+            for ens in proc.ensures:
+                self._emit(
+                    end,
+                    f"ensures: {_pp(ens)} (path {i})",
+                    self.tt(ens, end, spec=True, ctx="ensures"),
+                )
+        return self.vcs
+
+
+# ---------------------------------------------------------------------------
+
+
+def _zero_of(term: T.Term) -> T.Term:
+    return T.mk_int(0) if term.sort == INT else T.mk_real(0)
+
+
+def _body_effects(stmts: List[Stmt], program: Program) -> Tuple[set, set, bool, bool]:
+    assigned, stored, has_call, has_new = set(), set(), False, False
+
+    def go(ss: List[Stmt]):
+        nonlocal has_call, has_new
+        for s in ss:
+            if isinstance(s, SAssign):
+                assigned.add(s.var)
+            elif isinstance(s, SStore):
+                stored.add(s.field)
+            elif isinstance(s, SNew):
+                assigned.add(s.var)
+                assigned.add("Alloc")
+                has_new = True
+            elif isinstance(s, SCall):
+                assigned.update(s.outs)
+                assigned.add("Br")
+                has_call = True
+            elif isinstance(s, SIf):
+                go(s.then)
+                go(s.els)
+            elif isinstance(s, SWhile):
+                go(s.body)
+            elif isinstance(s, SBlock):
+                go(s.stmts)
+
+    go(stmts)
+    return assigned, stored, has_call, has_new
+
+
+def _pp(e: E.Expr) -> str:
+    """Compact expression printer for VC labels."""
+    if isinstance(e, E.EVar):
+        return e.name
+    if isinstance(e, E.ENil):
+        return "nil"
+    if isinstance(e, E.EInt):
+        return str(e.value)
+    if isinstance(e, E.EBool):
+        return str(e.value).lower()
+    if isinstance(e, E.EField):
+        return f"{_pp(e.obj)}.{e.field}"
+    if isinstance(e, E.EEq):
+        return f"{_pp(e.lhs)} == {_pp(e.rhs)}"
+    if isinstance(e, E.ENot):
+        return f"!({_pp(e.arg)})"
+    if isinstance(e, E.EAnd):
+        return " && ".join(_pp(a) for a in e.args[:3]) + ("..." if len(e.args) > 3 else "")
+    return type(e).__name__

@@ -1,0 +1,166 @@
+"""The verification driver: the reproduction's analogue of running Boogie.
+
+``verify_method`` performs, in order:
+
+1. the well-behavedness check (Fig. 2 discipline, Section 3.5),
+2. the ghost-code discipline check (Appendix A.2),
+3. FWYB macro elaboration (Section 4.1),
+4. decidable VC generation (Section 3.7/Appendix A.3),
+5. the quantifier-freeness cross-check on every VC (Section 5.1), and
+6. SMT solving of every VC with the from-scratch decision procedure.
+
+``encoding="quantified"`` runs the RQ3 baseline instead: quantified VCs
+grounded by bounded instantiation (the Dafny architecture), which is both
+slower and -- when the instantiation heuristic gives out -- *incomplete*,
+which is precisely the unpredictability the paper eliminates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional
+
+from ..lang.ast import Procedure, Program, stmt_count
+from ..lang.ghost import ghost_violations
+from ..lang.wellbehaved import wb_violations
+from ..smt.printer import assert_quantifier_free, QuantifierFound
+from ..smt.quant import InstantiationBudgetExceeded, instantiate
+from ..smt.solver import Solver, SolverError
+from ..smt.terms import mk_not
+from .fwyb import elaborate_proc
+from .ids import IntrinsicDefinition
+from .vcgen import VC, VcGen
+
+__all__ = ["MethodReport", "verify_method", "Verifier"]
+
+
+@dataclass
+class MethodReport:
+    structure: str
+    method: str
+    ok: bool
+    n_vcs: int
+    failed: List[str]
+    time_s: float
+    encoding: str
+    wb_ok: bool = True
+    ghost_ok: bool = True
+    notes: List[str] = dc_field(default_factory=list)
+
+    def __repr__(self):
+        status = "verified" if self.ok else "FAILED"
+        return (
+            f"<{self.structure}.{self.method}: {status}, {self.n_vcs} VCs, "
+            f"{self.time_s:.2f}s ({self.encoding})>"
+        )
+
+
+class Verifier:
+    def __init__(
+        self,
+        program: Program,
+        ids: IntrinsicDefinition,
+        encoding: str = "decidable",
+        memory_safety: bool = True,
+        conflict_budget: Optional[int] = 200000,
+        instantiation_rounds: int = 2,
+    ):
+        self.program = program
+        self.ids = ids
+        self.encoding = encoding
+        self.memory_safety = memory_safety
+        self.conflict_budget = conflict_budget
+        self.instantiation_rounds = instantiation_rounds
+        self._elab_cache: Dict[str, Procedure] = {}
+
+    # -- elaboration (shared between verification and VC generation of
+    # callees' contracts, which must see the same program) -----------------
+
+    def elaborated(self, name: str) -> Procedure:
+        if name not in self._elab_cache:
+            self._elab_cache[name] = elaborate_proc(self.program.proc(name), self.ids)
+        return self._elab_cache[name]
+
+    def elaborated_program(self) -> Program:
+        procs = {n: self.elaborated(n) for n in self.program.procedures}
+        return Program(self.program.class_sig, procs)
+
+    # -- main entry ---------------------------------------------------------
+
+    def verify(self, proc_name: str) -> MethodReport:
+        start = time.perf_counter()
+        proc = self.program.proc(proc_name)
+        failed: List[str] = []
+        notes: List[str] = []
+
+        wb = wb_violations(proc) if proc.is_well_behaved else []
+        ghost = ghost_violations(proc, self.program.class_sig)
+        failed.extend(wb)
+        failed.extend(ghost)
+
+        elab_program = self.elaborated_program()
+        gen = VcGen(
+            elab_program,
+            elab_program.proc(proc_name),
+            encoding=self.encoding,
+            memory_safety=self.memory_safety,
+            broken_sets=self.ids.broken_set_names,
+        )
+        vcs = gen.run()
+
+        for vc in vcs:
+            formula = vc.formula()
+            if self.encoding == "quantified":
+                try:
+                    formula = instantiate(formula, rounds=self.instantiation_rounds)
+                except InstantiationBudgetExceeded as e:
+                    failed.append(f"{vc.label}: instantiation budget ({e})")
+                    continue
+            try:
+                assert_quantifier_free(formula)
+            except QuantifierFound as e:
+                if self.encoding == "decidable":
+                    failed.append(f"{vc.label}: NOT QUANTIFIER FREE ({e})")
+                    continue
+                notes.append(f"{vc.label}: residual quantifier after instantiation")
+                failed.append(f"{vc.label}: residual quantifier (incomplete grounding)")
+                continue
+            solver = Solver(conflict_budget=self.conflict_budget)
+            solver.add(mk_not(formula))
+            try:
+                result = solver.check()
+            except SolverError as e:
+                failed.append(f"{vc.label}: solver error ({e})")
+                continue
+            if result != "unsat":
+                failed.append(f"{vc.label}: countermodel found")
+        return MethodReport(
+            structure=self.ids.name,
+            method=proc_name,
+            ok=not failed,
+            n_vcs=len(vcs),
+            failed=failed,
+            time_s=time.perf_counter() - start,
+            encoding=self.encoding,
+            wb_ok=not wb,
+            ghost_ok=not ghost,
+            notes=notes,
+        )
+
+
+def verify_method(
+    program: Program,
+    ids: IntrinsicDefinition,
+    proc_name: str,
+    encoding: str = "decidable",
+    memory_safety: bool = True,
+    conflict_budget: Optional[int] = 200000,
+) -> MethodReport:
+    return Verifier(
+        program,
+        ids,
+        encoding=encoding,
+        memory_safety=memory_safety,
+        conflict_budget=conflict_budget,
+    ).verify(proc_name)

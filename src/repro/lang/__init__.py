@@ -1,0 +1,38 @@
+"""The while-language substrate: expressions, statements, operational
+semantics (Appendix A.1), ghost-code discipline (Appendix A.2), and the
+well-behavedness checker (Fig. 2)."""
+
+from .ast import (
+    ClassSignature,
+    Procedure,
+    Program,
+    SAssert,
+    SAssertLCAndRemove,
+    SAssign,
+    SAssume,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNew,
+    SNewObj,
+    SSkip,
+    SStore,
+    SWhile,
+    Stmt,
+)
+from .ghost import ghost_violations, project
+from .semantics import (
+    AssertionFailure,
+    AssumptionViolated,
+    Heap,
+    Interpreter,
+    NilDereference,
+    Obj,
+    default_value,
+    eval_expr,
+    Env,
+)
+from .wellbehaved import wb_violations
+
+__all__ = [name for name in dir() if not name.startswith("_")]

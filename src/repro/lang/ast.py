@@ -1,0 +1,261 @@
+"""Statement/procedure AST for the while-language of Fig. 1 + Fig. 6,
+extended with the FWYB well-behavedness macros of Section 4.1.
+
+The macro statements (``SMut``, ``SNewObj``, ``SAssertLCAndRemove``,
+``SInferLCOutsideBr``) are *elaborated* by ``repro.core.fwyb`` into base
+statements relative to an intrinsic definition (its impact-set tables and
+local conditions); the interpreter and the VC generator only ever see base
+statements.  Keeping the macros first-class lets the well-behavedness
+checker (Fig. 2) enforce that heap mutation and broken-set manipulation
+happen only through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+from ..smt.sorts import BOOL, INT, LOC, REAL, SET_LOC, SetSort, Sort
+from .exprs import Expr
+
+__all__ = [
+    "ClassSignature",
+    "Stmt",
+    "SSkip",
+    "SAssign",
+    "SStore",
+    "SNew",
+    "SCall",
+    "SIf",
+    "SWhile",
+    "SAssert",
+    "SAssume",
+    "SMut",
+    "SNewObj",
+    "SAssertLCAndRemove",
+    "SInferLCOutsideBr",
+    "SBlock",
+    "Procedure",
+    "Program",
+]
+
+
+@dataclass
+class ClassSignature:
+    """The class C = (S, F) of Section 2.1, extended with ghost maps G.
+
+    ``fields`` are the user pointer/data fields; ``ghosts`` are the monadic
+    maps of the intrinsic definition (Definition 2.4).  Both map a field
+    name to the sort of its value.
+    """
+
+    name: str
+    fields: Dict[str, Sort]
+    ghosts: Dict[str, Sort] = dc_field(default_factory=dict)
+
+    def sort_of_field(self, fname: str) -> Sort:
+        if fname in self.fields:
+            return self.fields[fname]
+        if fname in self.ghosts:
+            return self.ghosts[fname]
+        raise KeyError(f"unknown field {fname!r} of class {self.name}")
+
+    def is_ghost_field(self, fname: str) -> bool:
+        return fname in self.ghosts
+
+    @property
+    def all_fields(self) -> Dict[str, Sort]:
+        out = dict(self.fields)
+        out.update(self.ghosts)
+        return out
+
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class SSkip(Stmt):
+    pass
+
+
+@dataclass
+class SAssign(Stmt):
+    """``var := expr`` (scalar/ghost-scalar assignment, including Br)."""
+
+    var: str
+    expr: Expr
+
+
+@dataclass
+class SStore(Stmt):
+    """``obj.field := expr`` -- raw heap mutation.
+
+    Raw stores are rejected by the well-behavedness checker; they appear in
+    elaborated code only (as the expansion of ``SMut``) and in deliberately
+    non-well-behaved example programs.
+    """
+
+    obj: Expr
+    field: str
+    expr: Expr
+
+
+@dataclass
+class SNew(Stmt):
+    """``var := new C()`` -- raw allocation (elaboration target of SNewObj)."""
+
+    var: str
+
+
+@dataclass
+class SCall(Stmt):
+    outs: Tuple[str, ...]
+    proc: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass
+class SIf(Stmt):
+    cond: Expr
+    then: List[Stmt]
+    els: List[Stmt]
+
+
+@dataclass
+class SWhile(Stmt):
+    cond: Expr
+    invariants: List[Expr]
+    body: List[Stmt]
+    decreases: Optional[Expr] = None
+    is_ghost: bool = False
+
+
+@dataclass
+class SAssert(Stmt):
+    expr: Expr
+    label: str = ""
+
+
+@dataclass
+class SAssume(Stmt):
+    expr: Expr
+
+
+@dataclass
+class SBlock(Stmt):
+    """A sequence executed atomically w.r.t. the dynamic FWYB checker.
+    Macro elaborations are wrapped in blocks so the broken-set update and
+    the mutation it accounts for are observed together (the macros of
+    Section 4.1 are single statements in the paper's language)."""
+
+    stmts: List["Stmt"]
+
+
+# ---------------------------------------------------------------------------
+# FWYB macros (Section 4.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SMut(Stmt):
+    """``Mut(x, f, v, Br)``: mutate and add the impact set to the broken
+    set(s).  Elaborates to the mutation preceded by pre-state snapshots of
+    the impact terms and followed by broken-set updates.
+
+    ``variant`` selects a named :class:`~repro.core.ids.CustomMutation`
+    (guarded macro with its own impact set, e.g. the paper's
+    ``AddToLastHsList``); ``aux`` is its extra argument."""
+
+    obj: Expr
+    field: str
+    expr: Expr
+    variant: Optional[str] = None
+    aux: Optional[Expr] = None
+
+
+@dataclass
+class SNewObj(Stmt):
+    """``NewObj(x, Br)``: allocate and add the new object to the broken sets."""
+
+    var: str
+
+
+@dataclass
+class SAssertLCAndRemove(Stmt):
+    """``AssertLCAndRemove(x, Br)``: prove LC(x) and shrink the broken set.
+    ``broken_set`` selects the partition for overlaid structures."""
+
+    obj: Expr
+    broken_set: str = "Br"
+
+
+@dataclass
+class SInferLCOutsideBr(Stmt):
+    """``InferLCOutsideBr(x, Br)``: if x is a non-nil object outside the
+    broken set, its local condition may be assumed (Fig. 2, Infer rule)."""
+
+    obj: Expr
+    broken_set: str = "Br"
+
+
+@dataclass
+class Procedure:
+    name: str
+    params: List[Tuple[str, Sort]]
+    outs: List[Tuple[str, Sort]]
+    requires: List[Expr]
+    ensures: List[Expr]
+    body: List[Stmt]
+    modifies: Optional[Expr] = None  # set-of-Loc expression over the params
+    locals: Dict[str, Sort] = dc_field(default_factory=dict)
+    ghost_locals: Dict[str, Sort] = dc_field(default_factory=dict)
+    is_well_behaved: bool = True
+
+    def var_sort(self, name: str) -> Sort:
+        for n, s in self.params + self.outs:
+            if n == name:
+                return s
+        if name in self.locals:
+            return self.locals[name]
+        if name in self.ghost_locals:
+            return self.ghost_locals[name]
+        if name in ("Br", "Br2", "Alloc") or name.startswith("Br_"):
+            return SET_LOC
+        raise KeyError(f"unknown variable {name!r} in {self.name}")
+
+    def declares(self, name: str) -> bool:
+        try:
+            self.var_sort(name)
+            return True
+        except KeyError:
+            return False
+
+    @property
+    def out_names(self) -> List[str]:
+        return [n for n, _ in self.outs]
+
+
+@dataclass
+class Program:
+    class_sig: ClassSignature
+    procedures: Dict[str, Procedure]
+
+    def proc(self, name: str) -> Procedure:
+        return self.procedures[name]
+
+
+def stmt_count(body: List[Stmt]) -> int:
+    """Executable statement count (used for the Table 2 LoC column)."""
+    n = 0
+    for s in body:
+        if isinstance(s, SIf):
+            n += 1 + stmt_count(s.then) + stmt_count(s.els)
+        elif isinstance(s, SWhile):
+            n += 1 + stmt_count(s.body)
+        elif isinstance(s, (SAssert, SAssume, SInferLCOutsideBr, SAssertLCAndRemove)):
+            continue
+        else:
+            n += 1
+    return n

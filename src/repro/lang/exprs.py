@@ -1,0 +1,538 @@
+"""Expression AST shared by programs, contracts, and intrinsic definitions.
+
+Expressions are evaluated in two ways:
+
+- *symbolically* by ``repro.core.vcgen`` (producing SMT terms over the SSA
+  heap snapshot), and
+- *concretely* by ``repro.lang.semantics`` (producing Python values over a
+  concrete heap), which powers the dynamic FWYB checker.
+
+The language matches what the paper's quantifier-free contracts need:
+boolean structure, arithmetic, heap field reads (including ghost monadic
+maps), finite sets, and ``old(.)`` for two-state postconditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+from ..smt.sorts import BOOL, INT, LOC, REAL, SetSort, Sort
+
+__all__ = [
+    "Expr",
+    "EVar",
+    "ENil",
+    "EInt",
+    "EReal",
+    "EBool",
+    "EField",
+    "ENot",
+    "EAnd",
+    "EOr",
+    "EImplies",
+    "EIff",
+    "EIte",
+    "EEq",
+    "ENe",
+    "ELe",
+    "ELt",
+    "EGe",
+    "EGt",
+    "EAdd",
+    "ESub",
+    "EMul",
+    "EDiv",
+    "EEmptySet",
+    "ESingleton",
+    "EUnion",
+    "EInter",
+    "EDiff",
+    "EMember",
+    "ESubset",
+    "EOld",
+    "EAllGe",
+    "EAllLe",
+    "V",
+    "F",
+    "I",
+    "R",
+    "B",
+    "NIL_E",
+    "BR",
+    "ALLOC",
+    "and_",
+    "or_",
+    "not_",
+    "implies",
+    "iff",
+    "ite",
+    "eq",
+    "ne",
+    "le",
+    "lt",
+    "ge",
+    "gt",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "union",
+    "inter",
+    "diff",
+    "singleton",
+    "empty_loc_set",
+    "empty_int_set",
+    "member",
+    "subset",
+    "old",
+    "all_ge",
+    "all_le",
+    "disjoint_union_eq",
+    "subst_expr",
+    "expr_vars",
+    "expr_fields",
+]
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class ENil(Expr):
+    pass
+
+
+@dataclass(frozen=True)
+class EInt(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class EReal(Expr):
+    num: int
+    den: int = 1
+
+    @property
+    def value(self) -> Fraction:
+        return Fraction(self.num, self.den)
+
+
+@dataclass(frozen=True)
+class EBool(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class EField(Expr):
+    obj: Expr
+    field: str
+
+
+@dataclass(frozen=True)
+class ENot(Expr):
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class EAnd(Expr):
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class EOr(Expr):
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class EImplies(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EIff(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EIte(Expr):
+    cond: Expr
+    then: Expr
+    els: Expr
+
+
+@dataclass(frozen=True)
+class EEq(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class ELe(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class ELt(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EAdd(Expr):
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ESub(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EMul(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EDiv(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EEmptySet(Expr):
+    elem_sort_name: str  # "Loc" or "Int"
+
+
+@dataclass(frozen=True)
+class ESingleton(Expr):
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class EUnion(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EInter(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EDiff(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EMember(Expr):
+    elem: Expr
+    the_set: Expr
+
+
+@dataclass(frozen=True)
+class ESubset(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class EOld(Expr):
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class EAllGe(Expr):
+    """Every element of an Int set is >= bound (pointwise; see smt.terms)."""
+
+    the_set: Expr
+    bound: Expr
+
+
+@dataclass(frozen=True)
+class EAllLe(Expr):
+    the_set: Expr
+    bound: Expr
+
+
+# ---------------------------------------------------------------------------
+# Short constructors (the structures modules use these heavily)
+# ---------------------------------------------------------------------------
+
+
+def V(name: str) -> EVar:
+    return EVar(name)
+
+
+def F(obj: Expr, *fields: str) -> Expr:
+    """Chained field access: F(x, 'next', 'key') is x.next.key."""
+    out: Expr = obj
+    for f in fields:
+        out = EField(out, f)
+    return out
+
+
+def I(value: int) -> EInt:
+    return EInt(value)
+
+
+def R(num: int, den: int = 1) -> EReal:
+    return EReal(num, den)
+
+
+def B(value: bool) -> EBool:
+    return EBool(value)
+
+
+NIL_E = ENil()
+BR = EVar("Br")
+ALLOC = EVar("Alloc")
+
+
+def and_(*args: Expr) -> Expr:
+    flat = []
+    for a in args:
+        if isinstance(a, EAnd):
+            flat.extend(a.args)
+        elif isinstance(a, EBool) and a.value:
+            continue
+        else:
+            flat.append(a)
+    if not flat:
+        return EBool(True)
+    if len(flat) == 1:
+        return flat[0]
+    return EAnd(tuple(flat))
+
+
+def or_(*args: Expr) -> Expr:
+    flat = []
+    for a in args:
+        if isinstance(a, EOr):
+            flat.extend(a.args)
+        elif isinstance(a, EBool) and not a.value:
+            continue
+        else:
+            flat.append(a)
+    if not flat:
+        return EBool(False)
+    if len(flat) == 1:
+        return flat[0]
+    return EOr(tuple(flat))
+
+
+def not_(a: Expr) -> Expr:
+    return ENot(a)
+
+
+def implies(a: Expr, b: Expr) -> Expr:
+    return EImplies(a, b)
+
+
+def iff(a: Expr, b: Expr) -> Expr:
+    return EIff(a, b)
+
+
+def ite(c: Expr, a: Expr, b: Expr) -> Expr:
+    return EIte(c, a, b)
+
+
+def eq(a: Expr, b: Expr) -> Expr:
+    return EEq(a, b)
+
+
+def ne(a: Expr, b: Expr) -> Expr:
+    return ENot(EEq(a, b))
+
+
+def le(a: Expr, b: Expr) -> Expr:
+    return ELe(a, b)
+
+
+def lt(a: Expr, b: Expr) -> Expr:
+    return ELt(a, b)
+
+
+def ge(a: Expr, b: Expr) -> Expr:
+    return ELe(b, a)
+
+
+def gt(a: Expr, b: Expr) -> Expr:
+    return ELt(b, a)
+
+
+def add(*args: Expr) -> Expr:
+    return EAdd(tuple(args))
+
+
+def sub(a: Expr, b: Expr) -> Expr:
+    return ESub(a, b)
+
+
+def mul(a: Expr, b: Expr) -> Expr:
+    return EMul(a, b)
+
+
+def div(a: Expr, b: Expr) -> Expr:
+    return EDiv(a, b)
+
+
+def union(*args: Expr) -> Expr:
+    out = args[0]
+    for a in args[1:]:
+        out = EUnion(out, a)
+    return out
+
+
+def inter(a: Expr, b: Expr) -> Expr:
+    return EInter(a, b)
+
+
+def diff(a: Expr, b: Expr) -> Expr:
+    return EDiff(a, b)
+
+
+def singleton(a: Expr) -> Expr:
+    return ESingleton(a)
+
+
+def empty_loc_set() -> Expr:
+    return EEmptySet("Loc")
+
+
+def empty_int_set() -> Expr:
+    return EEmptySet("Int")
+
+
+def member(e: Expr, s: Expr) -> Expr:
+    return EMember(e, s)
+
+
+def subset(a: Expr, b: Expr) -> Expr:
+    return ESubset(a, b)
+
+
+def old(e: Expr) -> Expr:
+    return EOld(e)
+
+
+def all_ge(s: Expr, bound: Expr) -> Expr:
+    return EAllGe(s, bound)
+
+
+def all_le(s: Expr, bound: Expr) -> Expr:
+    return EAllLe(s, bound)
+
+
+def disjoint_union_eq(target: Expr, a: Expr, b: Expr) -> Expr:
+    """``target = a (+) b``: union equality plus disjointness (the paper's
+    heaplet conditions use disjoint union)."""
+    empty = EEmptySet("Loc")
+    return and_(eq(target, union(a, b)), eq(inter(a, b), empty))
+
+
+# ---------------------------------------------------------------------------
+# Traversal / substitution
+# ---------------------------------------------------------------------------
+
+_CHILD_FIELDS = {
+    EField: ("obj",),
+    ENot: ("arg",),
+    EImplies: ("lhs", "rhs"),
+    EIff: ("lhs", "rhs"),
+    EIte: ("cond", "then", "els"),
+    EEq: ("lhs", "rhs"),
+    ELe: ("lhs", "rhs"),
+    ELt: ("lhs", "rhs"),
+    ESub: ("lhs", "rhs"),
+    EMul: ("lhs", "rhs"),
+    EDiv: ("lhs", "rhs"),
+    ESingleton: ("arg",),
+    EUnion: ("lhs", "rhs"),
+    EInter: ("lhs", "rhs"),
+    EDiff: ("lhs", "rhs"),
+    EMember: ("elem", "the_set"),
+    ESubset: ("lhs", "rhs"),
+    EOld: ("arg",),
+    EAllGe: ("the_set", "bound"),
+    EAllLe: ("the_set", "bound"),
+}
+
+
+def children(e: Expr):
+    if isinstance(e, (EAnd, EOr, EAdd)):
+        return e.args
+    names = _CHILD_FIELDS.get(type(e))
+    if not names:
+        return ()
+    return tuple(getattr(e, n) for n in names)
+
+
+def _rebuild_expr(e: Expr, new_children: tuple) -> Expr:
+    if isinstance(e, (EAnd, EOr, EAdd)):
+        return type(e)(tuple(new_children))
+    names = _CHILD_FIELDS.get(type(e))
+    if not names:
+        return e
+    kwargs = {n: c for n, c in zip(names, new_children)}
+    extra = {
+        f.name: getattr(e, f.name)
+        for f in e.__dataclass_fields__.values()
+        if f.name not in kwargs
+    }
+    return type(e)(**{**extra, **kwargs})
+
+
+def subst_expr(e: Expr, mapping: Dict[Expr, Expr]) -> Expr:
+    hit = mapping.get(e)
+    if hit is not None:
+        return hit
+    kids = children(e)
+    if not kids:
+        return e
+    new_kids = tuple(subst_expr(k, mapping) for k in kids)
+    if new_kids == kids:
+        return e
+    return _rebuild_expr(e, new_kids)
+
+
+def expr_vars(e: Expr) -> set:
+    out = set()
+
+    def walk(x: Expr):
+        if isinstance(x, EVar):
+            out.add(x.name)
+        for k in children(x):
+            walk(k)
+
+    walk(e)
+    return out
+
+
+def expr_fields(e: Expr) -> set:
+    out = set()
+
+    def walk(x: Expr):
+        if isinstance(x, EField):
+            out.add(x.field)
+        for k in children(x):
+            walk(k)
+
+    walk(e)
+    return out

@@ -1,0 +1,161 @@
+"""Ghost-code discipline (Fig. 6) and the projection operator (Def. 3.3).
+
+Ghost state = the monadic maps ``G`` (ghost fields), declared ghost locals,
+and the broken/allocation sets.  The static checks reproduce Appendix A.2:
+
+1. user variables/fields never read ghost state;
+2. a conditional or loop whose condition reads ghost state has an all-ghost
+   body (ghost code cannot steer the user program);
+3. ghost loops carry a ``decreases`` measure (termination is required for
+   soundness of the reduction, Section 3.2).
+
+``project`` erases ghost code, yielding the pure user program ``P-hat``
+whose intrinsic triple Theorem 3.8 concludes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .ast import (
+    ClassSignature,
+    Procedure,
+    SAssert,
+    SAssertLCAndRemove,
+    SAssign,
+    SAssume,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNew,
+    SNewObj,
+    SSkip,
+    SStore,
+    SWhile,
+    Stmt,
+)
+from .exprs import Expr, expr_fields, expr_vars
+
+__all__ = ["ghost_violations", "is_ghost_expr", "is_ghost_stmt", "project"]
+
+
+def _ghost_vars_of(proc: Procedure) -> Set[str]:
+    ghosts = set(proc.ghost_locals)
+    ghosts.update(n for n in ("Br", "Alloc") )
+    ghosts.update(n for n, _ in proc.params if n == "Br" or n.startswith("Br_"))
+    for name in list(proc.locals) + [n for n, _ in proc.params]:
+        if name.startswith("Br_"):
+            ghosts.add(name)
+    ghosts.add("Br")
+    return ghosts
+
+
+def is_ghost_expr(e: Expr, sig: ClassSignature, ghost_vars: Set[str]) -> bool:
+    """Does the expression read any ghost state?"""
+    if expr_vars(e) & ghost_vars:
+        return True
+    return any(sig.is_ghost_field(f) for f in expr_fields(e) if f in sig.all_fields)
+
+
+def is_ghost_stmt(s: Stmt, sig: ClassSignature, ghost_vars: Set[str]) -> bool:
+    """Is the statement pure ghost code (erased by projection)?"""
+    if isinstance(s, (SAssert, SAssume, SAssertLCAndRemove, SInferLCOutsideBr)):
+        return True
+    if isinstance(s, SAssign):
+        return s.var in ghost_vars
+    if isinstance(s, (SStore, SMut)):
+        return sig.is_ghost_field(s.field)
+    if isinstance(s, SIf):
+        return is_ghost_expr(s.cond, sig, ghost_vars) or (
+            all(is_ghost_stmt(t, sig, ghost_vars) for t in s.then)
+            and all(is_ghost_stmt(t, sig, ghost_vars) for t in s.els)
+            and bool(s.then or s.els)
+        )
+    if isinstance(s, SWhile):
+        return s.is_ghost
+    return False
+
+
+def ghost_violations(proc: Procedure, sig: ClassSignature) -> List[str]:
+    ghost_vars = _ghost_vars_of(proc)
+    out: List[str] = []
+
+    def check_user_rhs(e: Expr, where: str):
+        if is_ghost_expr(e, sig, ghost_vars):
+            out.append(f"{proc.name}: ghost data flows into user state at {where}")
+
+    def walk(stmts: List[Stmt], ghost_context: bool):
+        for s in stmts:
+            if isinstance(s, SAssign):
+                if s.var not in ghost_vars and (
+                    ghost_context or is_ghost_expr(s.expr, sig, ghost_vars)
+                ):
+                    check_user_rhs(s.expr, f"assignment to {s.var}")
+                    if ghost_context:
+                        out.append(
+                            f"{proc.name}: user assignment to {s.var} inside ghost context"
+                        )
+            elif isinstance(s, (SStore, SMut)):
+                if not sig.is_ghost_field(s.field):
+                    if ghost_context:
+                        out.append(
+                            f"{proc.name}: user field {s.field} mutated in ghost context"
+                        )
+                    if is_ghost_expr(s.expr, sig, ghost_vars):
+                        check_user_rhs(s.expr, f"store to .{s.field}")
+            elif isinstance(s, (SNew, SNewObj)):
+                if ghost_context:
+                    out.append(f"{proc.name}: allocation in ghost context")
+            elif isinstance(s, SIf):
+                inner_ghost = ghost_context or is_ghost_expr(s.cond, sig, ghost_vars)
+                walk(s.then, inner_ghost)
+                walk(s.els, inner_ghost)
+            elif isinstance(s, SWhile):
+                inner_ghost = (
+                    ghost_context
+                    or s.is_ghost
+                    or is_ghost_expr(s.cond, sig, ghost_vars)
+                )
+                if inner_ghost and s.decreases is None:
+                    out.append(
+                        f"{proc.name}: ghost loop without a decreases measure"
+                    )
+                walk(s.body, inner_ghost)
+    walk(proc.body, False)
+    return out
+
+
+def project(proc: Procedure, sig: ClassSignature) -> Procedure:
+    """Definition 3.3: erase ghost code and ghost parameters."""
+    ghost_vars = _ghost_vars_of(proc)
+
+    def walk(stmts: List[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for s in stmts:
+            if is_ghost_stmt(s, sig, ghost_vars):
+                continue
+            if isinstance(s, SIf):
+                out.append(SIf(s.cond, walk(s.then), walk(s.els)))
+            elif isinstance(s, SWhile):
+                out.append(SWhile(s.cond, [], walk(s.body), None, False))
+            elif isinstance(s, SMut):
+                out.append(SStore(s.obj, s.field, s.expr))
+            elif isinstance(s, SNewObj):
+                out.append(SNew(s.var))
+            else:
+                out.append(s)
+        return out
+
+    return Procedure(
+        name=proc.name,
+        params=[(n, s) for n, s in proc.params if n not in ghost_vars],
+        outs=[(n, s) for n, s in proc.outs if n not in ghost_vars],
+        requires=[],
+        ensures=[],
+        body=walk(proc.body),
+        modifies=proc.modifies,
+        locals=dict(proc.locals),
+        ghost_locals={},
+        is_well_behaved=False,
+    )

@@ -1,0 +1,335 @@
+"""Operational semantics (Appendix A.1): a concrete interpreter.
+
+Configurations are ``(store, heap)`` pairs; dereferencing nil transitions to
+the error state (raised as :class:`NilDereference`).  The interpreter runs
+*elaborated* procedures (FWYB macros already expanded) and exposes an
+``on_step`` hook used by the dynamic FWYB checker in ``repro.core.runtime``
+to validate that local conditions hold outside the broken set at every
+program point -- a direct executable check of the paper's Propositions
+3.5/3.7 invariant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional
+
+from ..smt.sorts import BOOL, INT, LOC, REAL, SetSort, Sort
+from .ast import (
+    ClassSignature,
+    Procedure,
+    Program,
+    SAssert,
+    SAssign,
+    SAssume,
+    SBlock,
+    SCall,
+    SIf,
+    SNew,
+    SSkip,
+    SStore,
+    SWhile,
+    Stmt,
+)
+from . import exprs as E
+
+__all__ = [
+    "Obj",
+    "Heap",
+    "Interpreter",
+    "NilDereference",
+    "AssertionFailure",
+    "AssumptionViolated",
+    "default_value",
+]
+
+
+class NilDereference(Exception):
+    """The error state (bottom) of the operational semantics."""
+
+
+class AssertionFailure(Exception):
+    pass
+
+
+class AssumptionViolated(Exception):
+    """An assume evaluated to false during concrete execution (harness bug)."""
+
+
+@dataclass(frozen=True)
+class Obj:
+    """A heap location.  ``None`` plays the role of nil."""
+
+    oid: int
+
+    def __repr__(self):
+        return f"o{self.oid}"
+
+
+def default_value(sort: Sort):
+    if sort == LOC:
+        return None
+    if sort == INT:
+        return 0
+    if sort == REAL:
+        return Fraction(0)
+    if sort == BOOL:
+        return False
+    if isinstance(sort, SetSort):
+        return frozenset()
+    raise ValueError(f"no default for sort {sort}")
+
+
+class Heap:
+    """A C-heap: finite object set + total field interpretation."""
+
+    def __init__(self, class_sig: ClassSignature):
+        self.class_sig = class_sig
+        self.objects: set = set()
+        self.fields: Dict[str, Dict[Obj, object]] = {
+            f: {} for f in class_sig.all_fields
+        }
+        self._counter = itertools.count(1)
+
+    def new_object(self) -> Obj:
+        o = Obj(next(self._counter))
+        self.objects.add(o)
+        for fname, sort in self.class_sig.all_fields.items():
+            self.fields[fname][o] = default_value(sort)
+        return o
+
+    def read(self, obj, fname: str):
+        if obj is None:
+            raise NilDereference(f"read of .{fname} on nil")
+        return self.fields[fname][obj]
+
+    def write(self, obj, fname: str, value) -> None:
+        if obj is None:
+            raise NilDereference(f"write of .{fname} on nil")
+        self.fields[fname][obj] = value
+
+    def snapshot(self) -> "Heap":
+        h = Heap(self.class_sig)
+        h.objects = set(self.objects)
+        h.fields = {f: dict(m) for f, m in self.fields.items()}
+        h._counter = self._counter
+        return h
+
+
+@dataclass
+class Env:
+    store: Dict[str, object]
+    heap: Heap
+    old_store: Optional[Dict[str, object]] = None
+    old_heap: Optional[Heap] = None
+
+
+def eval_expr(e: E.Expr, env: Env):
+    if isinstance(e, E.EVar):
+        if e.name not in env.store:
+            raise KeyError(f"unbound variable {e.name!r}")
+        return env.store[e.name]
+    if isinstance(e, E.ENil):
+        return None
+    if isinstance(e, E.EInt):
+        return e.value
+    if isinstance(e, E.EReal):
+        return e.value
+    if isinstance(e, E.EBool):
+        return e.value
+    if isinstance(e, E.EField):
+        return env.heap.read(eval_expr(e.obj, env), e.field)
+    if isinstance(e, E.ENot):
+        return not eval_expr(e.arg, env)
+    if isinstance(e, E.EAnd):
+        return all(eval_expr(a, env) for a in e.args)
+    if isinstance(e, E.EOr):
+        return any(eval_expr(a, env) for a in e.args)
+    if isinstance(e, E.EImplies):
+        return (not eval_expr(e.lhs, env)) or eval_expr(e.rhs, env)
+    if isinstance(e, E.EIff):
+        return bool(eval_expr(e.lhs, env)) == bool(eval_expr(e.rhs, env))
+    if isinstance(e, E.EIte):
+        return eval_expr(e.then, env) if eval_expr(e.cond, env) else eval_expr(e.els, env)
+    if isinstance(e, E.EEq):
+        return eval_expr(e.lhs, env) == eval_expr(e.rhs, env)
+    if isinstance(e, E.ELe):
+        return eval_expr(e.lhs, env) <= eval_expr(e.rhs, env)
+    if isinstance(e, E.ELt):
+        return eval_expr(e.lhs, env) < eval_expr(e.rhs, env)
+    if isinstance(e, E.EAdd):
+        return sum(eval_expr(a, env) for a in e.args)
+    if isinstance(e, E.ESub):
+        return eval_expr(e.lhs, env) - eval_expr(e.rhs, env)
+    if isinstance(e, E.EMul):
+        return eval_expr(e.lhs, env) * eval_expr(e.rhs, env)
+    if isinstance(e, E.EDiv):
+        return Fraction(eval_expr(e.lhs, env)) / Fraction(eval_expr(e.rhs, env))
+    if isinstance(e, E.EEmptySet):
+        return frozenset()
+    if isinstance(e, E.ESingleton):
+        return frozenset([eval_expr(e.arg, env)])
+    if isinstance(e, E.EUnion):
+        return eval_expr(e.lhs, env) | eval_expr(e.rhs, env)
+    if isinstance(e, E.EInter):
+        return eval_expr(e.lhs, env) & eval_expr(e.rhs, env)
+    if isinstance(e, E.EDiff):
+        return eval_expr(e.lhs, env) - eval_expr(e.rhs, env)
+    if isinstance(e, E.EMember):
+        return eval_expr(e.elem, env) in eval_expr(e.the_set, env)
+    if isinstance(e, E.ESubset):
+        return eval_expr(e.lhs, env) <= eval_expr(e.rhs, env)
+    if isinstance(e, E.EAllGe):
+        bound = eval_expr(e.bound, env)
+        return all(v >= bound for v in eval_expr(e.the_set, env))
+    if isinstance(e, E.EAllLe):
+        bound = eval_expr(e.bound, env)
+        return all(v <= bound for v in eval_expr(e.the_set, env))
+    if isinstance(e, E.EOld):
+        if env.old_store is None or env.old_heap is None:
+            raise ValueError("old(.) evaluated without a pre-state snapshot")
+        return eval_expr(e.arg, Env(env.old_store, env.old_heap))
+    raise TypeError(f"cannot evaluate expression {e!r}")
+
+
+class Interpreter:
+    """Executes elaborated procedures against a concrete heap."""
+
+    def __init__(
+        self,
+        program: Program,
+        check_annotations: bool = True,
+        on_step: Optional[Callable[[Env, Stmt], None]] = None,
+        max_steps: int = 200000,
+    ):
+        self.program = program
+        self.check_annotations = check_annotations
+        self.on_step = on_step
+        self.max_steps = max_steps
+        self._steps = 0
+
+    def call(
+        self,
+        heap: Heap,
+        name: str,
+        args: List[object],
+        broken_sets: Optional[Dict[str, frozenset]] = None,
+    ) -> Dict[str, object]:
+        """Run a procedure; returns the store of output values (including
+        the threaded broken sets, per the Stage 2 signature extension)."""
+        proc = self.program.proc(name)
+        if len(args) != len(proc.params):
+            raise ValueError(f"{name}: expected {len(proc.params)} args")
+        store: Dict[str, object] = {"Alloc": frozenset(heap.objects)}
+        store["Br"] = frozenset()
+        if broken_sets:
+            store.update(broken_sets)
+        for (pname, sort), val in zip(proc.params, args):
+            store[pname] = val
+        for oname, sort in proc.outs:
+            store.setdefault(oname, default_value(sort))
+        for lname, sort in list(proc.locals.items()) + list(proc.ghost_locals.items()):
+            store.setdefault(lname, default_value(sort))
+        env = Env(store, heap)
+        env.old_store = dict(store)
+        env.old_heap = heap.snapshot()
+        if self.check_annotations:
+            for pre in proc.requires:
+                if not eval_expr(pre, env):
+                    raise AssumptionViolated(f"{name}: precondition {pre} is false")
+        self._exec_block(proc.body, env)
+        store["Alloc"] = frozenset(heap.objects)
+        if self.check_annotations:
+            for post in proc.ensures:
+                if not eval_expr(post, env):
+                    raise AssertionFailure(f"{name}: postcondition {post} is false")
+        br_names = [n for n in store if n == "Br" or n.startswith("Br_")]
+        return {n: store.get(n) for n in proc.out_names + br_names if n in store}
+
+    # ------------------------------------------------------------------
+
+    def _tick(self):
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise RuntimeError("interpreter step budget exceeded (diverging loop?)")
+
+    def _exec_block(self, stmts: List[Stmt], env: Env) -> None:
+        for s in stmts:
+            self._exec(s, env)
+            if self.on_step is not None:
+                self.on_step(env, s)
+
+    def _exec(self, s: Stmt, env: Env) -> None:
+        self._tick()
+        if isinstance(s, SSkip):
+            return
+        if isinstance(s, SBlock):
+            # atomic w.r.t. the on_step hook (macro elaborations)
+            for sub in s.stmts:
+                self._exec(sub, env)
+            return
+        if isinstance(s, SAssign):
+            env.store[s.var] = eval_expr(s.expr, env)
+            return
+        if isinstance(s, SStore):
+            obj = eval_expr(s.obj, env)
+            env.heap.write(obj, s.field, eval_expr(s.expr, env))
+            return
+        if isinstance(s, SNew):
+            env.store[s.var] = env.heap.new_object()
+            env.store["Alloc"] = frozenset(env.heap.objects)
+            return
+        if isinstance(s, SCall):
+            args = [eval_expr(a, env) for a in s.args]
+            sub = Interpreter(
+                self.program, self.check_annotations, self.on_step, self.max_steps
+            )
+            sub._steps = self._steps
+            # Broken sets are threaded through calls (the Stage 2 signature
+            # extension): the callee starts from the caller's broken sets and
+            # the caller adopts the callee's final ones.
+            brs = {
+                k: v
+                for k, v in env.store.items()
+                if k == "Br" or k.startswith("Br_")
+            }
+            outs = sub.call(env.heap, s.proc, args, broken_sets=brs)
+            self._steps = sub._steps
+            for name, out_name in zip(s.outs, self.program.proc(s.proc).out_names):
+                env.store[name] = outs[out_name]
+            for k in brs:
+                if k in outs:
+                    env.store[k] = outs[k]
+            return
+        if isinstance(s, SIf):
+            if eval_expr(s.cond, env):
+                self._exec_block(s.then, env)
+            else:
+                self._exec_block(s.els, env)
+            return
+        if isinstance(s, SWhile):
+            if self.check_annotations:
+                for inv in s.invariants:
+                    if not eval_expr(inv, env):
+                        raise AssertionFailure(f"loop invariant {inv} fails on entry")
+            while eval_expr(s.cond, env):
+                self._tick()
+                self._exec_block(s.body, env)
+                if self.check_annotations:
+                    for inv in s.invariants:
+                        if not eval_expr(inv, env):
+                            raise AssertionFailure(f"loop invariant {inv} not preserved")
+            return
+        if isinstance(s, SAssert):
+            if not eval_expr(s.expr, env):
+                raise AssertionFailure(f"assert failed: {s.label or s.expr}")
+            return
+        if isinstance(s, SAssume):
+            if not eval_expr(s.expr, env):
+                raise AssumptionViolated(f"assume violated: {s.expr}")
+            return
+        raise TypeError(
+            f"interpreter got unelaborated or unknown statement {type(s).__name__}"
+        )

@@ -1,0 +1,82 @@
+"""The well-behavedness checker (Fig. 2 of the paper).
+
+Well-behaved programs may only touch the heap and the broken sets through
+the FWYB macros; this is the "programming discipline" of Section 4.1 that
+makes dropping the quantified invariant sound (Proposition 3.7):
+
+- mutation only via ``SMut`` (which appends the impact set to Br),
+- allocation only via ``SNewObj`` (which adds the fresh object to Br),
+- Br shrinks only via ``SAssertLCAndRemove`` (assert LC first),
+- LC may be assumed only via ``SInferLCOutsideBr`` (guarded by x not in Br),
+- branch/loop conditions never mention Br,
+- no raw ``assume`` statements.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Procedure,
+    SAssert,
+    SAssertLCAndRemove,
+    SAssign,
+    SAssume,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNew,
+    SNewObj,
+    SSkip,
+    SStore,
+    SWhile,
+    Stmt,
+)
+from .exprs import expr_vars
+
+__all__ = ["wb_violations"]
+
+
+def _mentions_broken_set(expr) -> bool:
+    return any(v == "Br" or v.startswith("Br_") for v in expr_vars(expr))
+
+
+def wb_violations(proc: Procedure) -> List[str]:
+    out: List[str] = []
+
+    def walk(stmts: List[Stmt]):
+        for s in stmts:
+            if isinstance(s, SStore):
+                out.append(
+                    f"{proc.name}: raw heap mutation .{s.field} (use Mut)"
+                )
+            elif isinstance(s, SNew):
+                out.append(f"{proc.name}: raw allocation (use NewObj)")
+            elif isinstance(s, SAssume):
+                out.append(
+                    f"{proc.name}: raw assume (use InferLCOutsideBr)"
+                )
+            elif isinstance(s, SAssign):
+                if s.var == "Br" or s.var.startswith("Br_"):
+                    out.append(
+                        f"{proc.name}: direct broken-set assignment "
+                        "(use Mut/NewObj/AssertLCAndRemove)"
+                    )
+                if s.var == "Alloc":
+                    out.append(f"{proc.name}: direct Alloc assignment")
+            elif isinstance(s, SIf):
+                if _mentions_broken_set(s.cond):
+                    out.append(
+                        f"{proc.name}: if-condition mentions the broken set"
+                    )
+                walk(s.then)
+                walk(s.els)
+            elif isinstance(s, SWhile):
+                if _mentions_broken_set(s.cond):
+                    out.append(
+                        f"{proc.name}: loop condition mentions the broken set"
+                    )
+                walk(s.body)
+    walk(proc.body)
+    return out

@@ -1,0 +1,65 @@
+"""A from-scratch quantifier-free SMT solver.
+
+This package is the substrate the reproduction runs on: the environment has
+no external SMT solver, and the paper's central claim -- *verification of
+FWYB-annotated programs is decidable* -- is reproduced by implementing an
+actual decision procedure for the combination of theories its VCs live in:
+
+- EUF (congruence closure with explanations)          ``repro.smt.euf``
+- linear integer/real arithmetic (simplex + B&B)      ``repro.smt.simplex``
+- finite sets (ground pointwise reduction)            ``repro.smt.setreduce``
+- maps/arrays with pointwise updates (eager rewriting) ``repro.smt.rewriter``
+- CDCL(T) search                                      ``repro.smt.sat`` / ``solver``
+"""
+
+from .sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC, MapSort, SetSort, Sort
+from .terms import (
+    FALSE,
+    NIL,
+    TRUE,
+    Term,
+    fresh_const,
+    mk_add,
+    mk_and,
+    mk_apply,
+    mk_bool,
+    mk_const,
+    mk_distinct,
+    mk_div,
+    mk_empty_set,
+    mk_eq,
+    mk_false,
+    mk_forall,
+    mk_ge,
+    mk_gt,
+    mk_implies,
+    mk_inter,
+    mk_int,
+    mk_ite,
+    mk_le,
+    mk_lt,
+    mk_map_ite,
+    mk_member,
+    mk_mul,
+    mk_ne,
+    mk_neg,
+    mk_not,
+    mk_or,
+    mk_real,
+    mk_select,
+    mk_setdiff,
+    mk_singleton,
+    mk_store,
+    mk_sub,
+    mk_subset,
+    mk_true,
+    mk_union,
+    mk_var,
+    substitute,
+    iter_subterms,
+)
+from .solver import NonLinearError, QuantifiedFormulaError, Solver, SolverError, is_valid
+from .printer import assert_quantifier_free, script, to_smtlib, QuantifierFound
+from .quant import instantiate, InstantiationBudgetExceeded
+
+__all__ = [name for name in dir() if not name.startswith("_")]

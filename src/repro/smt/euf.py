@@ -1,0 +1,325 @@
+"""Congruence closure (EUF) with explanation generation and backtracking.
+
+This is the workhorse theory for the paper's VCs: after the eager rewriter
+eliminates ``store``/``map_ite`` and the set reduction turns set algebra into
+membership predicates, almost every atom is an equality/disequality between
+ground uninterpreted terms (heap locations, ``select`` applications, set
+terms, monadic-map values).
+
+Implementation notes:
+
+- classic union-by-size closure with a *use list* and a signature table for
+  congruence detection;
+- a Nieuwenhuis-Oliveras proof forest for generating explanations (the
+  literal sets that become CDCL conflict clauses);
+- an explicit undo trail so the SAT core can backjump cheaply;
+- interpreted constants (integer/boolean literals) are pairwise distinct:
+  merging classes containing distinct literals is a conflict;
+- asserted disequalities are indexed per class and checked on every merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .terms import Term
+
+__all__ = ["EufSolver", "EufConflict"]
+
+
+class EufConflict(Exception):
+    def __init__(self, lits: List[int]):
+        self.lits = lits  # SAT literals whose conjunction is inconsistent
+
+
+# Operators that the congruence closure treats as uninterpreted function
+# applications (everything that can appear in a ground VC after rewriting).
+_APP_OPS = {
+    "apply",
+    "select",
+    "member",
+    "all_ge",
+    "all_le",
+    "union",
+    "inter",
+    "setdiff",
+    "singleton",
+    "add",
+    "sub",
+    "neg",
+    "mul",
+    "div",
+    "store",
+    "map_ite",
+}
+
+
+class EufSolver:
+    def __init__(self):
+        self.rep: Dict[Term, Term] = {}
+        self.members: Dict[Term, List[Term]] = {}
+        self.uses: Dict[Term, List[Term]] = {}  # rep -> application terms using it
+        self.sig_table: Dict[tuple, Term] = {}
+        self.const_val: Dict[Term, Term] = {}  # rep -> literal-const member
+        self.diseqs: Dict[Term, List[Tuple[Term, Term, Optional[int]]]] = {}
+        # proof forest
+        self.proof_parent: Dict[Term, Optional[Term]] = {}
+        self.proof_reason: Dict[Term, Optional[tuple]] = {}
+        # undo trail: list of records
+        self.trail: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, term: Term) -> None:
+        if term in self.rep:
+            return
+        for a in term.args:
+            self.register(a)
+        self.rep[term] = term
+        self.members[term] = [term]
+        self.uses[term] = []
+        self.diseqs[term] = []
+        self.proof_parent[term] = None
+        self.proof_reason[term] = None
+        if term.is_literal_const:
+            self.const_val[term] = term
+        if term.op in _APP_OPS and term.args:
+            sig = self._signature(term)
+            existing = self.sig_table.get(sig)
+            if existing is None:
+                self.sig_table[sig] = term
+                self.trail.append(("sig_add", sig))
+            elif self.find(existing) is not self.find(term):
+                self._merge(term, existing, ("cong", term, existing))
+            for a in term.args:
+                self.uses[self.find(a)].append(term)
+                self.trail.append(("use", self.find(a)))
+
+    def _signature(self, app: Term) -> tuple:
+        return (app.op, app.name, tuple(self.find(a) for a in app.args))
+
+    # ------------------------------------------------------------------
+    # Union-find
+    # ------------------------------------------------------------------
+
+    def find(self, term: Term) -> Term:
+        r = self.rep[term]
+        while self.rep[r] is not r:
+            r = self.rep[r]
+        # No path compression (keeps undo simple); classes stay shallow
+        # because `rep` is updated for every member on merge.
+        return r
+
+    # ------------------------------------------------------------------
+    # Assertions
+    # ------------------------------------------------------------------
+
+    def mark(self) -> int:
+        return len(self.trail)
+
+    def assert_eq(self, a: Term, b: Term, lit: Optional[int]) -> Optional[List[int]]:
+        """Returns a list of SAT literals forming an inconsistent set, or None."""
+        self.register(a)
+        self.register(b)
+        try:
+            self._merge(a, b, ("lit", lit, a, b))
+            return None
+        except EufConflict as e:
+            return e.lits
+
+    def assert_diseq(self, a: Term, b: Term, lit: Optional[int]) -> Optional[List[int]]:
+        self.register(a)
+        self.register(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra is rb:
+            lits = self.explain(a, b)
+            if lit is not None:
+                lits.append(lit)
+            return lits
+        self.diseqs[ra].append((a, b, lit))
+        self.diseqs[rb].append((a, b, lit))
+        self.trail.append(("diseq", ra, rb))
+        return None
+
+    def are_equal(self, a: Term, b: Term) -> bool:
+        if a not in self.rep or b not in self.rep:
+            return a is b
+        return self.find(a) is self.find(b)
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def _merge(self, a: Term, b: Term, reason: tuple) -> None:
+        pending = [(a, b, reason)]
+        while pending:
+            x, y, why = pending.pop()
+            rx, ry = self.find(x), self.find(y)
+            if rx is ry:
+                continue
+            # union by size: absorb the smaller class into the larger
+            if len(self.members[rx]) > len(self.members[ry]):
+                rx, ry = ry, rx
+                x, y = y, x
+            # conflict checks -------------------------------------------------
+            cx = self.const_val.get(rx)
+            cy = self.const_val.get(ry)
+            if cx is not None and cy is not None and cx.value != cy.value:
+                lits = self._explain_with_pending(x, y, why, cx, cy)
+                raise EufConflict(lits)
+            # proof forest edge (before rep changes)
+            self._proof_link(x, y, why)
+            # rep update ------------------------------------------------------
+            old_size = len(self.members[ry])
+            for m in self.members[rx]:
+                self.rep[m] = ry
+            self.members[ry].extend(self.members[rx])
+            self.trail.append(("union", rx, ry, old_size, cy))
+            if cx is not None and cy is None:
+                self.const_val[ry] = cx
+            # disequality check ----------------------------------------------
+            for (da, db, dlit) in self.diseqs[rx]:
+                if self.find(da) is self.find(db):
+                    lits = self.explain(da, db)
+                    if dlit is not None:
+                        lits.append(dlit)
+                    raise EufConflict(lits)
+            old_dlen = len(self.diseqs[ry])
+            self.diseqs[ry].extend(self.diseqs[rx])
+            self.trail.append(("diseq_merge", ry, old_dlen))
+            # congruence: recompute signatures of applications using rx -------
+            old_ulen = len(self.uses[ry])
+            for app in self.uses[rx]:
+                sig = self._signature(app)
+                existing = self.sig_table.get(sig)
+                if existing is None:
+                    self.sig_table[sig] = app
+                    self.trail.append(("sig_add", sig))
+                elif self.find(existing) is not self.find(app):
+                    pending.append((app, existing, ("cong", app, existing)))
+            self.uses[ry].extend(self.uses[rx])
+            self.trail.append(("use_merge", ry, old_ulen))
+
+    def _explain_with_pending(self, x, y, why, cx, cy) -> List[int]:
+        """Conflict raised *before* x~y is recorded: explanation is
+        explain(cx, x) + reason(why) + explain(y, cy)."""
+        lits: List[int] = []
+        seen: set = set()
+        self._collect(cx, x, lits, seen)
+        self._collect_reason(why, lits, seen)
+        self._collect(y, cy, lits, seen)
+        return lits
+
+    # ------------------------------------------------------------------
+    # Proof forest + explanations
+    # ------------------------------------------------------------------
+
+    def _proof_link(self, a: Term, b: Term, reason: tuple) -> None:
+        # Reverse the path from a to its proof root so a becomes a root.
+        path = []
+        node = a
+        while self.proof_parent[node] is not None:
+            path.append(node)
+            node = self.proof_parent[node]
+        changed = []
+        prev = None
+        prev_reason = None
+        for n in path + [node]:
+            changed.append((n, self.proof_parent[n], self.proof_reason[n]))
+        for i in range(len(path), 0, -1):
+            child = path[i - 1]
+            parent = self.proof_parent[child]
+            r = self.proof_reason[child]
+            self.proof_parent[parent] = child
+            self.proof_reason[parent] = r
+        self.proof_parent[a] = b
+        self.proof_reason[a] = reason
+        # `a`'s own old parent entry was overwritten above by path reversal
+        # bookkeeping; record all changes for undo.
+        changed.append((a, None, None))
+        self.trail.append(("proof", changed))
+
+    def explain(self, a: Term, b: Term) -> List[int]:
+        lits: List[int] = []
+        seen: set = set()
+        self._collect(a, b, lits, seen)
+        return lits
+
+    def _collect(self, a: Term, b: Term, lits: List[int], seen: set) -> None:
+        if a is b:
+            return
+        key = (a, b) if a._id < b._id else (b, a)
+        if key in seen:
+            return
+        seen.add(key)
+        # find common ancestor in the proof forest
+        anc = {}
+        node = a
+        d = 0
+        while node is not None:
+            anc[node] = d
+            node = self.proof_parent.get(node)
+            d += 1
+        node = b
+        while node is not None and node not in anc:
+            node = self.proof_parent.get(node)
+        common = node
+        if common is None:
+            # Not connected: a and b are only equal via... should not happen.
+            raise AssertionError(f"explain: no common ancestor for {a} and {b}")
+        node = a
+        while node is not common:
+            self._collect_reason(self.proof_reason[node], lits, seen)
+            node = self.proof_parent[node]
+        node = b
+        while node is not common:
+            self._collect_reason(self.proof_reason[node], lits, seen)
+            node = self.proof_parent[node]
+
+    def _collect_reason(self, reason: Optional[tuple], lits: List[int], seen: set) -> None:
+        if reason is None:
+            return
+        if reason[0] == "lit":
+            _, lit, _, _ = reason
+            if lit is not None and lit not in lits:
+                lits.append(lit)
+        else:  # congruence between two applications
+            _, u, v = reason
+            for ua, va in zip(u.args, v.args):
+                self._collect(ua, va, lits, seen)
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+
+    def undo_to(self, mark: int) -> None:
+        while len(self.trail) > mark:
+            rec = self.trail.pop()
+            tag = rec[0]
+            if tag == "union":
+                _, rx, ry, old_size, old_const = rec
+                for m in self.members[ry][old_size:]:
+                    self.rep[m] = rx
+                del self.members[ry][old_size:]
+                if old_const is None:
+                    self.const_val.pop(ry, None)
+            elif tag == "sig_add":
+                self.sig_table.pop(rec[1], None)
+            elif tag == "use":
+                self.uses[rec[1]].pop()
+            elif tag == "use_merge":
+                _, ry, old_len = rec
+                del self.uses[ry][old_len:]
+            elif tag == "diseq":
+                _, ra, rb = rec
+                self.diseqs[ra].pop()
+                self.diseqs[rb].pop()
+            elif tag == "diseq_merge":
+                _, ry, old_len = rec
+                del self.diseqs[ry][old_len:]
+            elif tag == "proof":
+                for (node, parent, reason) in reversed(rec[1]):
+                    self.proof_parent[node] = parent
+                    self.proof_reason[node] = reason

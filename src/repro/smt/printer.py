@@ -1,0 +1,124 @@
+"""SMT-LIB2 printing and the paper's quantifier-freeness cross-check.
+
+Section 5.1: *"we cross-check that the generated SMT query is
+quantifier-free and decidable by checking the absence of statements that
+introduce quantified reasoning, including exists, forall, and lambda."*
+``assert_quantifier_free`` is exactly that check, applied to every VC the
+decidable pipeline emits (the benchmark ``bench_qf_crosscheck`` runs it over
+the full suite).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from .sorts import BOOL, MapSort, SetSort, Sort
+from .terms import Term, iter_subterms
+
+__all__ = ["to_smtlib", "script", "assert_quantifier_free", "QuantifierFound"]
+
+
+class QuantifierFound(Exception):
+    pass
+
+
+_OP_NAMES = {
+    "and": "and",
+    "or": "or",
+    "not": "not",
+    "implies": "=>",
+    "eq": "=",
+    "ite": "ite",
+    "add": "+",
+    "sub": "-",
+    "neg": "-",
+    "mul": "*",
+    "div": "/",
+    "le": "<=",
+    "lt": "<",
+    "union": "union",
+    "inter": "intersection",
+    "setdiff": "setminus",
+    "singleton": "singleton",
+    "member": "member",
+    "subset": "subset",
+    "select": "select",
+    "store": "store",
+    "map_ite": "map-ite",
+}
+
+
+def to_smtlib(term: Term) -> str:
+    if term.op == "boolconst":
+        return "true" if term.value else "false"
+    if term.op in ("intconst", "realconst"):
+        v = term.value
+        if v < 0:
+            return f"(- {-v})"
+        return str(v)
+    if term.op in ("const", "var"):
+        return _mangle(term.name)
+    if term.op == "emptyset":
+        return f"(as emptyset {term.sort.name})"
+    if term.op == "apply":
+        return "(" + _mangle(term.name) + " " + " ".join(to_smtlib(a) for a in term.args) + ")"
+    if term.op == "forall":
+        bound = " ".join(f"({_mangle(v.name)} {v.sort.name})" for v in term.binders)
+        return f"(forall ({bound}) {to_smtlib(term.args[0])})"
+    name = _OP_NAMES.get(term.op, term.op)
+    return "(" + name + " " + " ".join(to_smtlib(a) for a in term.args) + ")"
+
+
+def _mangle(name: str) -> str:
+    return "|" + name + "|" if any(c in name for c in " !$#()") else name
+
+
+def script(assertions: Iterable[Term]) -> str:
+    """A full SMT-LIB2 script (declarations + assertions + check-sat)."""
+    assertions = list(assertions)
+    decls: List[str] = []
+    sorts: Set[str] = set()
+    seen: Set[tuple] = set()
+    for formula in assertions:
+        for t in iter_subterms(formula):
+            _declare_sort(t.sort, sorts, decls)
+            if t.op == "const":
+                key = ("const", t.name)
+                if key not in seen:
+                    seen.add(key)
+                    decls.append(f"(declare-const {_mangle(t.name)} {t.sort.name})")
+            elif t.op == "apply":
+                key = ("fun", t.name, tuple(a.sort.name for a in t.args))
+                if key not in seen:
+                    seen.add(key)
+                    dom = " ".join(a.sort.name for a in t.args)
+                    decls.append(f"(declare-fun {_mangle(t.name)} ({dom}) {t.sort.name})")
+    lines = ["(set-logic ALL)"] + decls
+    for formula in assertions:
+        lines.append(f"(assert {to_smtlib(formula)})")
+    lines.append("(check-sat)")
+    return "\n".join(lines)
+
+
+def _declare_sort(sort: Sort, sorts: Set[str], decls: List[str]) -> None:
+    if isinstance(sort, (SetSort,)):
+        _declare_sort(sort.elem, sorts, decls)
+        return
+    if isinstance(sort, MapSort):
+        _declare_sort(sort.dom, sorts, decls)
+        _declare_sort(sort.rng, sorts, decls)
+        return
+    if sort.name in ("Bool", "Int", "Real") or sort.name in sorts:
+        return
+    sorts.add(sort.name)
+    decls.append(f"(declare-sort {sort.name} 0)")
+
+
+def assert_quantifier_free(term: Term) -> None:
+    """Raise :class:`QuantifierFound` if the term contains any binder.
+
+    This is the decidability cross-check from Section 5.1 of the paper.
+    """
+    for t in iter_subterms(term):
+        if t.op in ("forall", "exists", "lambda", "var"):
+            raise QuantifierFound(f"quantified construct '{t.op}' in VC")

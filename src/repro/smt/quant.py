@@ -1,0 +1,106 @@
+"""Bounded ground instantiation of quantifiers (the RQ3 baseline mechanism).
+
+The paper's RQ3 compares the decidable Boogie encoding against Dafny, whose
+encoding models allocation and heap change across calls with *universal
+quantifiers*, leaving the SMT solver to find instantiations heuristically
+(E-matching).  We reproduce that architecture: ``repro.core.dafnymode``
+produces quantified VCs, and this module plays the E-matching role -- it
+replaces each ``forall`` with the conjunction of its instances over the
+ground terms of matching sort found in the formula, for a bounded number of
+rounds.
+
+Two properties mirror the real systems:
+
+- instantiation inflates the ground formula (hence the RQ3 slowdown), and
+- it is *incomplete* in general (bounded rounds / instance caps), which is
+  exactly the unpredictability the paper's methodology eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .sorts import Sort
+from .terms import Term, iter_subterms, mk_and, substitute
+
+__all__ = ["instantiate", "InstantiationBudgetExceeded"]
+
+
+class InstantiationBudgetExceeded(Exception):
+    pass
+
+
+def _ground_terms_by_sort(formula: Term) -> Dict[Sort, List[Term]]:
+    """Ground (binder-free) non-boolean terms usable as instantiation
+    candidates, grouped by sort."""
+    out: Dict[Sort, Set[Term]] = {}
+    has_var: Dict[Term, bool] = {}
+    for t in iter_subterms(formula):
+        hv = t.op == "var" or any(has_var.get(a, False) for a in t.args)
+        has_var[t] = hv
+        if hv or t.op == "forall":
+            continue
+        if t.sort.name == "Bool" or t.op in ("store", "map_ite"):
+            continue
+        if t.sort.name.startswith("(Array"):
+            continue
+        out.setdefault(t.sort, set()).add(t)
+    return {s: sorted(ts, key=lambda t: t._id) for s, ts in out.items()}
+
+
+def instantiate(formula: Term, rounds: int = 2, max_instances: int = 20000) -> Term:
+    """Replace every ``forall`` by its ground instances, iterated ``rounds``
+    times (instances can mention new ground terms that feed later rounds)."""
+    total = [0]
+    current = formula
+    for _ in range(rounds):
+        candidates = _ground_terms_by_sort(current)
+        replaced: Dict[Term, Term] = {}
+        changed = False
+        for t in iter_subterms(current):
+            if t.op != "forall" or t in replaced:
+                continue
+            instances = _instances_of(t, candidates, total, max_instances)
+            replaced[t] = mk_and(*instances) if instances else t
+            changed = True
+        if not changed:
+            break
+        current = substitute(current, replaced)
+        if not any(t.op == "forall" for t in iter_subterms(current)):
+            break
+    return current
+
+
+def _instances_of(
+    forall: Term,
+    candidates: Dict[Sort, List[Term]],
+    total: List[int],
+    max_instances: int,
+) -> List[Term]:
+    binders = forall.binders
+    body = forall.args[0]
+    tuples: List[Dict[Term, Term]] = [{}]
+    for v in binders:
+        cands = candidates.get(v.sort, [])
+        if not cands:
+            return []
+        new_tuples = []
+        for m in tuples:
+            for c in cands:
+                m2 = dict(m)
+                m2[v] = c
+                new_tuples.append(m2)
+        tuples = new_tuples
+        if len(tuples) > max_instances:
+            raise InstantiationBudgetExceeded(
+                f"quantifier instantiation exceeded {max_instances} instances"
+            )
+    out = []
+    for m in tuples:
+        total[0] += 1
+        if total[0] > max_instances:
+            raise InstantiationBudgetExceeded(
+                f"quantifier instantiation exceeded {max_instances} instances"
+            )
+        out.append(substitute(body, m))
+    return out

@@ -1,0 +1,386 @@
+"""CDCL SAT solver core with theory hooks (the "DPLL(T)" skeleton).
+
+A standard conflict-driven clause-learning solver:
+
+- two-watched-literal propagation,
+- first-UIP conflict analysis with clause learning,
+- VSIDS-style variable activities with phase saving,
+- Luby restarts,
+- mid-search clause/variable addition (used for theory lemmas such as
+  branch-and-bound splits for integer arithmetic).
+
+Theory integration follows the lazy SMT architecture: a *theory manager*
+(see ``repro.smt.solver``) is notified of every literal assignment and of
+backjumps, may veto an assignment with a conflict clause (explanation), and
+gets a ``final_check`` at full assignments which may return additional
+lemma clauses.
+
+Literals are encoded as ints: variable ``v`` yields literals ``2*v``
+(positive) and ``2*v + 1`` (negative).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import List, Optional, Sequence
+
+__all__ = ["SatSolver", "TheoryManager", "lit_of", "neg", "var_of", "is_pos"]
+
+
+def lit_of(var: int, positive: bool = True) -> int:
+    return 2 * var if positive else 2 * var + 1
+
+
+def neg(lit: int) -> int:
+    return lit ^ 1
+
+
+def var_of(lit: int) -> int:
+    return lit >> 1
+
+
+def is_pos(lit: int) -> bool:
+    return (lit & 1) == 0
+
+
+class TheoryManager:
+    """Interface the SAT core drives.  The default is a no-op (pure SAT)."""
+
+    def assert_lit(self, lit: int) -> Optional[List[int]]:
+        """Called for every literal placed on the trail.  Return a conflict
+        clause (a list of literals, all currently false) to veto, else None."""
+        return None
+
+    def backjump(self, trail_size: int) -> None:
+        """Undo theory state so that only the first ``trail_size`` theory
+        assertions remain."""
+
+    def final_check(self):
+        """Called on a full, theory-consistent-so-far assignment.
+
+        Return ``None`` for SAT, a conflict clause (list of lits), or a list
+        of lemma clauses (list of lists) to add and continue.
+        """
+        return None
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 1-indexed."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class SatSolver:
+    def __init__(self, theory: Optional[TheoryManager] = None):
+        self.theory = theory or TheoryManager()
+        self.clauses: List[List[int]] = []
+        self.watches: List[List[List[int]]] = []  # lit -> clauses watching it
+        self.assigns: List[Optional[bool]] = []
+        self.levels: List[int] = []
+        self.reasons: List[Optional[List[int]]] = []
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.activity: List[float] = []
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.order_heap: List[tuple] = []
+        self.saved_phase: List[bool] = []
+        self.n_conflicts = 0
+        self.ok = True
+        # literals asserted at theory level, mirrored count for backjump sync
+        self._theory_count = 0
+
+    # ------------------------------------------------------------------
+    # Variables and clauses
+    # ------------------------------------------------------------------
+
+    def new_var(self, phase: bool = False) -> int:
+        v = len(self.assigns)
+        self.assigns.append(None)
+        self.levels.append(-1)
+        self.reasons.append(None)
+        self.activity.append(0.0)
+        self.saved_phase.append(phase)
+        self.watches.append([])
+        self.watches.append([])
+        heappush(self.order_heap, (0.0, v))
+        return v
+
+    def value_lit(self, lit: int) -> Optional[bool]:
+        val = self.assigns[lit >> 1]
+        if val is None:
+            return None
+        return val if (lit & 1) == 0 else not val
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a clause; must be called at decision level 0 (or the solver
+        handles it during search via :meth:`add_lemma`)."""
+        if not self.ok:
+            return False
+        seen = set()
+        cl = []
+        for lit in lits:
+            if neg(lit) in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            if self.value_lit(lit) is True and self.levels[lit >> 1] == 0:
+                return True
+            if self.value_lit(lit) is False and self.levels[lit >> 1] == 0:
+                continue
+            cl.append(lit)
+        if not cl:
+            self.ok = False
+            return False
+        if len(cl) == 1:
+            if not self._enqueue(cl[0], None):
+                self.ok = False
+                return False
+            confl = self._propagate()
+            if confl is not None:
+                self.ok = False
+                return False
+            return True
+        self.clauses.append(cl)
+        self._watch_clause(cl)
+        return True
+
+    def _watch_clause(self, cl: List[int]) -> None:
+        self.watches[cl[0]].append(cl)
+        self.watches[cl[1]].append(cl)
+
+    # ------------------------------------------------------------------
+    # Trail management
+    # ------------------------------------------------------------------
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        val = self.value_lit(lit)
+        if val is not None:
+            return val
+        v = lit >> 1
+        self.assigns[v] = (lit & 1) == 0
+        self.levels[v] = self.decision_level
+        self.reasons[v] = reason
+        self.saved_phase[v] = self.assigns[v]
+        self.trail.append(lit)
+        return True
+
+    def _cancel_until(self, level: int) -> None:
+        if self.decision_level <= level:
+            return
+        bound = self.trail_lim[level]
+        for i in range(len(self.trail) - 1, bound - 1, -1):
+            lit = self.trail[i]
+            v = lit >> 1
+            self.assigns[v] = None
+            self.reasons[v] = None
+            heappush(self.order_heap, (-self.activity[v], v))
+        del self.trail[bound:]
+        del self.trail_lim[level:]
+        self.qhead = min(self.qhead, len(self.trail))
+        self.theory.backjump(len(self.trail))
+        self._theory_count = min(self._theory_count, len(self.trail))
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation + theory assertion.  Returns a conflict clause."""
+        while self.qhead < len(self.trail):
+            p = self.trail[self.qhead]
+            self.qhead += 1
+            # Boolean propagation on clauses watching the now-false literal.
+            false_lit = neg(p)
+            watchers = self.watches[false_lit]
+            i = 0
+            while i < len(watchers):
+                cl = watchers[i]
+                # Ensure cl[1] is the false literal.
+                if cl[0] == false_lit:
+                    cl[0], cl[1] = cl[1], cl[0]
+                first = cl[0]
+                if self.value_lit(first) is True:
+                    i += 1
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(cl)):
+                    if self.value_lit(cl[k]) is not False:
+                        cl[1], cl[k] = cl[k], cl[1]
+                        self.watches[cl[1]].append(cl)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                if self.value_lit(first) is False:
+                    self.qhead = len(self.trail)
+                    return cl
+                self._enqueue(first, cl)
+                i += 1
+            # Theory assertion for p (after boolean propagation of p).
+            confl = self._theory_assert_pending()
+            if confl is not None:
+                return confl
+        return self._theory_assert_pending()
+
+    def _theory_assert_pending(self) -> Optional[List[int]]:
+        while self._theory_count < len(self.trail):
+            lit = self.trail[self._theory_count]
+            self._theory_count += 1
+            confl = self.theory.assert_lit(lit)
+            if confl is not None:
+                return confl
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(len(self.activity)):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, confl: List[int]):
+        learnt = [0]  # placeholder for the asserting literal
+        seen = [False] * len(self.assigns)
+        counter = 0
+        p: Optional[int] = None
+        index = len(self.trail) - 1
+        cl = confl
+        while True:
+            for q in cl:
+                if p is not None and q == p:
+                    continue
+                v = q >> 1
+                if not seen[v] and self.levels[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self.levels[v] >= self.decision_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Select next literal to resolve on.
+            while index >= 0 and not seen[self.trail[index] >> 1]:
+                index -= 1
+            if index < 0:
+                break
+            p = self.trail[index]
+            v = p >> 1
+            seen[v] = False
+            counter -= 1
+            index -= 1
+            if counter <= 0:
+                learnt[0] = neg(p)
+                break
+            cl = self.reasons[v]
+            if cl is None:
+                # Should not happen: decision reached with counter > 0.
+                learnt[0] = neg(p)
+                break
+        # Compute backjump level.
+        if len(learnt) == 1:
+            bt = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self.levels[learnt[i] >> 1] > self.levels[learnt[max_i] >> 1]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt = self.levels[learnt[1] >> 1]
+        return learnt, bt
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _decide(self) -> bool:
+        while self.order_heap:
+            _, v = heappop(self.order_heap)
+            if self.assigns[v] is None:
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit_of(v, self.saved_phase[v]), None)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self, conflict_budget: Optional[int] = None) -> Optional[bool]:
+        """Returns True (SAT), False (UNSAT), or None if budget exhausted."""
+        if not self.ok:
+            return False
+        restart_idx = 1
+        conflicts_until_restart = 100 * _luby(restart_idx)
+        total_conflicts = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.n_conflicts += 1
+                total_conflicts += 1
+                conflicts_until_restart -= 1
+                if conflict_budget is not None and total_conflicts > conflict_budget:
+                    return None
+                if self.decision_level == 0:
+                    self.ok = False
+                    return False
+                learnt, bt = self._analyze(confl)
+                self._cancel_until(bt)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self.ok = False
+                        return False
+                else:
+                    self.clauses.append(learnt)
+                    self._watch_clause(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self.var_inc /= self.var_decay
+                continue
+            if conflicts_until_restart <= 0:
+                restart_idx += 1
+                conflicts_until_restart = 100 * _luby(restart_idx)
+                self._cancel_until(0)
+                continue
+            if not self._decide():
+                # Full assignment: ask the theories.
+                result = self.theory.final_check()
+                if result is None:
+                    return True
+                if result and not isinstance(result[0], list):
+                    result = [result]  # single conflict clause -> one lemma
+                # Lemma clauses: restart and add them.
+                self.n_conflicts += 1
+                total_conflicts += 1
+                if conflict_budget is not None and total_conflicts > conflict_budget:
+                    return None
+                self._cancel_until(0)
+                for lemma in result:
+                    if not self.add_clause(lemma):
+                        return False
+                if not self.ok:
+                    return False
+                continue
+
+    def model(self) -> List[bool]:
+        return [bool(v) for v in self.assigns]

@@ -1,0 +1,123 @@
+"""Complete ground reduction of quantifier-free set algebra.
+
+After ``rewriter.rewrite`` distributes membership over composite set terms,
+the remaining set reasoning concerns *equality* and *subset* atoms between
+set terms.  For ground formulas these admit a classic finite reduction:
+
+- Collect the relevant element terms ``E``: every element that occurs in a
+  ``member`` atom or inside a ``singleton``.
+- For every set-equality atom ``q = (S1 = S2)`` add, for each ``e`` in
+  ``E`` plus witnesses, the guarded pointwise clause
+  ``q -> (e in S1 <-> e in S2)``; and for the *negated* case a fresh witness
+  ``w_q`` with ``~q -> (w_q in S1 xor w_q in S2)``.
+- For every ``subset(A, B)`` atom: ``p -> (e in A -> e in B)`` pointwise and
+  ``~p -> (w_p in A and w_p not in B)``.
+
+All generated memberships go through the rewriter, so they bottom out in
+memberships over *base* set terms (which the congruence closure treats as
+uninterpreted boolean applications) and element equalities.  This is the
+standard decision procedure for the QF theory of finite sets (without
+cardinality), which is all the paper's local conditions need.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .rewriter import rewrite
+from .sorts import SetSort
+from .terms import (
+    Term,
+    fresh_const,
+    iter_subterms,
+    mk_and,
+    mk_implies,
+    mk_member,
+    mk_not,
+    mk_or,
+)
+
+__all__ = ["reduce_sets"]
+
+
+def reduce_sets(formula: Term) -> Term:
+    """Return ``formula`` conjoined with the finite pointwise reduction of
+    its set-equality and subset atoms."""
+    eq_atoms: List[Term] = []
+    subset_atoms: List[Term] = []
+    bound_atoms: List[Term] = []  # all_ge / all_le
+    elems_by_sort: dict = {}
+
+    for t in iter_subterms(formula):
+        if t.op == "eq" and isinstance(t.args[0].sort, SetSort):
+            eq_atoms.append(t)
+        elif t.op == "subset":
+            subset_atoms.append(t)
+        elif t.op in ("all_ge", "all_le"):
+            bound_atoms.append(t)
+        elif t.op == "member":
+            elems_by_sort.setdefault(t.args[0].sort, set()).add(t.args[0])
+        elif t.op == "singleton":
+            elems_by_sort.setdefault(t.args[0].sort, set()).add(t.args[0])
+
+    if not eq_atoms and not subset_atoms and not bound_atoms:
+        return formula
+
+    # One witness per (possibly negated) equality/subset/bound atom.
+    witnesses = {}
+    for atom in eq_atoms + subset_atoms + bound_atoms:
+        elem_sort = atom.args[0].sort.elem
+        w = fresh_const("setw", elem_sort)
+        witnesses[atom] = w
+        elems_by_sort.setdefault(elem_sort, set()).add(w)
+
+    constraints: List[Term] = []
+    for atom in eq_atoms:
+        s1, s2 = atom.args
+        elem_sort = s1.sort.elem
+        elems = sorted(elems_by_sort.get(elem_sort, ()), key=lambda t: t._id)
+        for e in elems:
+            m1 = mk_member(e, s1)
+            m2 = mk_member(e, s2)
+            constraints.append(mk_implies(atom, _iff(m1, m2)))
+        w = witnesses[atom]
+        mw1 = mk_member(w, s1)
+        mw2 = mk_member(w, s2)
+        # ~atom -> (mw1 xor mw2)
+        constraints.append(mk_or(atom, mw1, mw2))
+        constraints.append(mk_or(atom, mk_not(mw1), mk_not(mw2)))
+    for atom in subset_atoms:
+        a, b = atom.args
+        elem_sort = a.sort.elem
+        elems = sorted(elems_by_sort.get(elem_sort, ()), key=lambda t: t._id)
+        for e in elems:
+            constraints.append(
+                mk_implies(atom, mk_implies(mk_member(e, a), mk_member(e, b)))
+            )
+        w = witnesses[atom]
+        constraints.append(mk_or(atom, mk_member(w, a)))
+        constraints.append(mk_or(atom, mk_not(mk_member(w, b))))
+    for atom in bound_atoms:
+        s, bound = atom.args
+        elems = sorted(elems_by_sort.get(s.sort.elem, ()), key=lambda t: t._id)
+        from .terms import mk_le, mk_lt
+
+        for e in elems:
+            if atom.op == "all_ge":
+                cond = mk_le(bound, e)
+            else:
+                cond = mk_le(e, bound)
+            constraints.append(mk_implies(atom, mk_implies(mk_member(e, s), cond)))
+        w = witnesses[atom]
+        constraints.append(mk_or(atom, mk_member(w, s)))
+        if atom.op == "all_ge":
+            bad = mk_lt(w, bound)
+        else:
+            bad = mk_lt(bound, w)
+        constraints.append(mk_or(atom, bad))
+
+    return rewrite(mk_and(formula, *constraints))
+
+
+def _iff(a: Term, b: Term) -> Term:
+    return mk_and(mk_implies(a, b), mk_implies(b, a))

@@ -1,0 +1,337 @@
+"""Linear arithmetic solver: general simplex with delta-rationals.
+
+This implements the Dutertre-de Moura simplex used inside SMT solvers:
+
+- every arithmetic atom is normalized to a bound on a (possibly slack)
+  variable: ``x <= c`` / ``x >= c`` where ``c`` is a *delta-rational*
+  ``(r, k)`` representing ``r + k*delta`` for an infinitesimal ``delta``
+  (this models strict inequalities without case splits);
+- slack variables carry tableau rows ``s = sum a_j * x_j``;
+- ``assert_bound`` is cheap and backtrackable (bounds trail); pivots never
+  need undoing because all tableaux are equivalent;
+- ``check`` restores the basic-variable invariants by pivoting (Bland's rule
+  ensures termination) and produces *explanations* (sets of bound-reason
+  SAT literals) on infeasibility;
+- integer feasibility is layered on top via branch-and-bound in the theory
+  manager (``repro.smt.solver``), which asks for a rational model and splits
+  on a fractional integer variable.
+
+Rank/measure maps in the paper use Q+ (rationals), lengths and keys use Int;
+both land here.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ArithSolver", "Delta", "ZERO_DELTA"]
+
+
+class Delta:
+    """A delta-rational r + k*delta (delta an infinitesimal positive)."""
+
+    __slots__ = ("r", "k")
+
+    def __init__(self, r: Fraction, k: Fraction = Fraction(0)):
+        self.r = r
+        self.k = k
+
+    def __le__(self, other: "Delta") -> bool:
+        return (self.r, self.k) <= (other.r, other.k)
+
+    def __lt__(self, other: "Delta") -> bool:
+        return (self.r, self.k) < (other.r, other.k)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Delta) and self.r == other.r and self.k == other.k
+
+    def __hash__(self):
+        return hash((self.r, self.k))
+
+    def __add__(self, other: "Delta") -> "Delta":
+        return Delta(self.r + other.r, self.k + other.k)
+
+    def __sub__(self, other: "Delta") -> "Delta":
+        return Delta(self.r - other.r, self.k - other.k)
+
+    def scale(self, c: Fraction) -> "Delta":
+        return Delta(self.r * c, self.k * c)
+
+    def __repr__(self):
+        if self.k == 0:
+            return str(self.r)
+        return f"{self.r}{'+' if self.k > 0 else ''}{self.k}d"
+
+
+ZERO_DELTA = Delta(Fraction(0))
+
+
+class ArithSolver:
+    def __init__(self):
+        self.n_vars = 0
+        self.is_int: List[bool] = []
+        self.lower: List[Optional[Tuple[Delta, Optional[int]]]] = []
+        self.upper: List[Optional[Tuple[Delta, Optional[int]]]] = []
+        self.beta: List[Delta] = []
+        self.rows: Dict[int, Dict[int, Fraction]] = {}  # basic var -> row
+        self.cols: Dict[int, set] = {}  # var -> set of basic vars using it
+        self.slack_index: Dict[tuple, int] = {}  # normalized poly -> slack var
+        self.trail: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    def new_var(self, is_int: bool) -> int:
+        v = self.n_vars
+        self.n_vars += 1
+        self.is_int.append(is_int)
+        self.lower.append(None)
+        self.upper.append(None)
+        self.beta.append(ZERO_DELTA)
+        self.cols[v] = set()
+        return v
+
+    def slack_for(self, poly: Dict[int, Fraction]) -> Tuple[int, Fraction]:
+        """Return (variable, gamma) such that variable == poly / gamma.
+
+        A single-variable unit polynomial is returned directly; otherwise a
+        slack variable with a tableau row is created (memoized by the
+        normalized polynomial).
+        """
+        items = sorted(poly.items())
+        if len(items) == 1 and items[0][1] == 1:
+            return items[0][0], Fraction(1)
+        # Normalize to the primitive integer multiple (keeps integrality
+        # visible: 2x - 4y normalizes to x - 2y, not x - 2y scaled oddly).
+        from math import gcd
+
+        lcm = 1
+        for _, c in items:
+            lcm = lcm * c.denominator // gcd(lcm, c.denominator)
+        nums = [c.numerator * (lcm // c.denominator) for _, c in items]
+        g = 0
+        for n in nums:
+            g = gcd(g, abs(n))
+        sign = -1 if nums[0] < 0 else 1
+        prim = [Fraction(n * sign, g) for n in nums]
+        gamma = items[0][1] / prim[0]
+        norm = tuple((v, c) for (v, _), c in zip(items, prim))
+        cached = self.slack_index.get(norm)
+        if cached is not None:
+            return cached, gamma
+        is_int = all(self.is_int[v] for v, _ in items)
+        s = self.new_var(is_int)
+        # The tableau invariant requires rows over *nonbasic* variables;
+        # slacks can be created lazily (mid-search lemmas), so substitute
+        # any variable that has become basic by its defining row.
+        row: Dict[int, Fraction] = {}
+        for (v, _), c in zip(items, prim):
+            if v in self.rows:
+                for w, cw in self.rows[v].items():
+                    nv = row.get(w, Fraction(0)) + c * cw
+                    if nv == 0:
+                        row.pop(w, None)
+                    else:
+                        row[w] = nv
+            else:
+                nv = row.get(v, Fraction(0)) + c
+                if nv == 0:
+                    row.pop(v, None)
+                else:
+                    row[v] = nv
+        self.rows[s] = row
+        for v in row:
+            self.cols[v].add(s)
+        # establish beta invariant for the new basic variable
+        self.beta[s] = self._row_value(row)
+        self.slack_index[norm] = s
+        return s, gamma
+
+    def _row_value(self, row: Dict[int, Fraction]) -> Delta:
+        acc = ZERO_DELTA
+        for v, c in row.items():
+            acc = acc + self.beta[v].scale(c)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Bound assertion
+    # ------------------------------------------------------------------
+
+    def mark(self) -> int:
+        return len(self.trail)
+
+    def undo_to(self, mark: int) -> None:
+        while len(self.trail) > mark:
+            tag, v, old = self.trail.pop()
+            if tag == "lower":
+                self.lower[v] = old
+            else:
+                self.upper[v] = old
+
+    def assert_bound(self, v: int, kind: str, c: Delta, reason: Optional[int]):
+        """kind is 'le' or 'ge'.  Returns a conflict literal list or None."""
+        if kind == "le":
+            up = self.upper[v]
+            if up is not None and up[0] <= c:
+                return None  # weaker than current bound
+            lo = self.lower[v]
+            if lo is not None and c < lo[0]:
+                return _conflict(lo[1], reason)
+            self.trail.append(("upper", v, up))
+            self.upper[v] = (c, reason)
+            if v not in self.rows and c < self.beta[v]:
+                self._update(v, c)
+        else:
+            lo = self.lower[v]
+            if lo is not None and c <= lo[0]:
+                return None
+            up = self.upper[v]
+            if up is not None and up[0] < c:
+                return _conflict(up[1], reason)
+            self.trail.append(("lower", v, lo))
+            self.lower[v] = (c, reason)
+            if v not in self.rows and self.beta[v] < c:
+                self._update(v, c)
+        return None
+
+    def _update(self, nonbasic: int, val: Delta) -> None:
+        delta = val - self.beta[nonbasic]
+        for basic in self.cols[nonbasic]:
+            coeff = self.rows[basic][nonbasic]
+            self.beta[basic] = self.beta[basic] + delta.scale(coeff)
+        self.beta[nonbasic] = val
+
+    # ------------------------------------------------------------------
+    # Check (pivoting)
+    # ------------------------------------------------------------------
+
+    def check(self):
+        """Returns None if feasible, else a conflict literal list."""
+        while True:
+            # Bland's rule: smallest violating basic variable.
+            basic = None
+            for b in sorted(self.rows):
+                lo = self.lower[b]
+                up = self.upper[b]
+                if lo is not None and self.beta[b] < lo[0]:
+                    basic, need_increase = b, True
+                    break
+                if up is not None and up[0] < self.beta[b]:
+                    basic, need_increase = b, False
+                    break
+            if basic is None:
+                return None
+            row = self.rows[basic]
+            pivot_var = None
+            for j in sorted(row):
+                a = row[j]
+                if need_increase:
+                    ok = (a > 0 and _below_upper(self, j)) or (a < 0 and _above_lower(self, j))
+                else:
+                    ok = (a < 0 and _below_upper(self, j)) or (a > 0 and _above_lower(self, j))
+                if ok:
+                    pivot_var = j
+                    break
+            if pivot_var is None:
+                return self._row_conflict(basic, need_increase)
+            target = self.lower[basic][0] if need_increase else self.upper[basic][0]
+            self._pivot_and_update(basic, pivot_var, target)
+
+    def _row_conflict(self, basic: int, need_increase: bool) -> List[int]:
+        row = self.rows[basic]
+        reasons = []
+        if need_increase:
+            reasons.append(self.lower[basic][1])
+            for j, a in row.items():
+                if a > 0:
+                    reasons.append(self.upper[j][1])
+                else:
+                    reasons.append(self.lower[j][1])
+        else:
+            reasons.append(self.upper[basic][1])
+            for j, a in row.items():
+                if a > 0:
+                    reasons.append(self.lower[j][1])
+                else:
+                    reasons.append(self.upper[j][1])
+        return [r for r in reasons if r is not None]
+
+    def _pivot_and_update(self, basic: int, nonbasic: int, val: Delta) -> None:
+        a = self.rows[basic][nonbasic]
+        theta = (val - self.beta[basic]).scale(Fraction(1) / a)
+        self.beta[basic] = val
+        self.beta[nonbasic] = self.beta[nonbasic] + theta
+        for other in list(self.cols[nonbasic]):
+            if other != basic:
+                coeff = self.rows[other][nonbasic]
+                self.beta[other] = self.beta[other] + theta.scale(coeff)
+        self._pivot(basic, nonbasic)
+
+    def _pivot(self, basic: int, nonbasic: int) -> None:
+        row = self.rows.pop(basic)
+        a = row.pop(nonbasic)
+        self.cols[nonbasic].discard(basic)
+        for v in row:
+            self.cols[v].discard(basic)
+        # nonbasic = (basic - sum_{v != nonbasic} a_v v) / a
+        new_row = {basic: Fraction(1) / a}
+        for v, c in row.items():
+            new_row[v] = -c / a
+        # substitute into all other rows that mention `nonbasic`
+        for other in list(self.cols[nonbasic]):
+            orow = self.rows[other]
+            c = orow.pop(nonbasic)
+            self.cols[nonbasic].discard(other)
+            for v, nc in new_row.items():
+                prev = orow.get(v)
+                nv = (prev if prev is not None else Fraction(0)) + c * nc
+                if nv == 0:
+                    if prev is not None:
+                        del orow[v]
+                        self.cols[v].discard(other)
+                else:
+                    orow[v] = nv
+                    self.cols[v].add(other)
+        self.rows[nonbasic] = new_row
+        for v in new_row:
+            self.cols[v].add(nonbasic)
+
+    # ------------------------------------------------------------------
+    # Model extraction
+    # ------------------------------------------------------------------
+
+    def concrete_model(self) -> Dict[int, Fraction]:
+        """Resolve delta to a concrete positive rational and return values."""
+        delta = Fraction(1)
+        for v in range(self.n_vars):
+            b = self.beta[v]
+            lo = self.lower[v]
+            up = self.upper[v]
+            if lo is not None:
+                gap_r = b.r - lo[0].r
+                gap_k = lo[0].k - b.k
+                if gap_k > 0 and gap_r > 0:
+                    delta = min(delta, gap_r / gap_k)
+            if up is not None:
+                gap_r = up[0].r - b.r
+                gap_k = b.k - up[0].k
+                if gap_k > 0 and gap_r > 0:
+                    delta = min(delta, gap_r / gap_k)
+        delta = delta / 2
+        return {v: self.beta[v].r + self.beta[v].k * delta for v in range(self.n_vars)}
+
+
+def _below_upper(solver: ArithSolver, v: int) -> bool:
+    up = solver.upper[v]
+    return up is None or solver.beta[v] < up[0]
+
+
+def _above_lower(solver: ArithSolver, v: int) -> bool:
+    lo = solver.lower[v]
+    return lo is None or lo[0] < solver.beta[v]
+
+
+def _conflict(a: Optional[int], b: Optional[int]) -> List[int]:
+    return [x for x in (a, b) if x is not None]

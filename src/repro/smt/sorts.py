@@ -1,0 +1,80 @@
+"""Sort (type) system for the SMT term language.
+
+The verification conditions produced by the FWYB methodology live in a
+quantifier-free combination of theories over a small set of sorts:
+
+- ``BOOL``, ``INT``, ``REAL`` -- the usual interpreted sorts.
+- ``LOC`` -- the foreground sort of heap locations (the class sort ``C`` in
+  the paper, extended with the distinguished ``nil`` constant).
+- ``SetSort(elem)`` -- finite sets over an element sort (used for broken
+  sets, heaplets, and key sets).
+- ``MapSort(dom, rng)`` -- the map/array sort used to model pointer and data
+  fields (``M_f : Loc -> V`` per Section 3.7 of the paper).
+- ``UninterpretedSort(name)`` -- additional background sorts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sort:
+    """Base class for sorts.  Instances are immutable and hashable."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.name in ("Int", "Real")
+
+
+@dataclass(frozen=True)
+class SetSort(Sort):
+    """Finite sets over ``elem``.  ``name`` is derived for hashing/printing."""
+
+    elem: Sort = None  # type: ignore[assignment]
+
+    def __init__(self, elem: Sort):
+        object.__setattr__(self, "elem", elem)
+        object.__setattr__(self, "name", f"(Set {elem.name})")
+
+
+@dataclass(frozen=True)
+class MapSort(Sort):
+    """Total maps from ``dom`` to ``rng`` (SMT arrays)."""
+
+    dom: Sort = None  # type: ignore[assignment]
+    rng: Sort = None  # type: ignore[assignment]
+
+    def __init__(self, dom: Sort, rng: Sort):
+        object.__setattr__(self, "dom", dom)
+        object.__setattr__(self, "rng", rng)
+        object.__setattr__(self, "name", f"(Array {dom.name} {rng.name})")
+
+
+@dataclass(frozen=True)
+class UninterpretedSort(Sort):
+    pass
+
+
+BOOL = Sort("Bool")
+INT = Sort("Int")
+REAL = Sort("Real")
+# The foreground sort of heap locations; `nil` is a distinguished constant of
+# this sort (the paper's C? = C + {nil}).
+LOC = UninterpretedSort("Loc")
+
+SET_LOC = SetSort(LOC)
+SET_INT = SetSort(INT)
+
+
+def is_set_sort(sort: Sort) -> bool:
+    return isinstance(sort, SetSort)
+
+
+def is_map_sort(sort: Sort) -> bool:
+    return isinstance(sort, MapSort)

@@ -1,0 +1,2 @@
+"""The Table 2 benchmark suite: intrinsic definitions and FWYB-annotated
+methods for ten data structures.  See ``registry`` for the experiment index."""

@@ -1,0 +1,815 @@
+"""AVL trees: height-balanced BSTs (Table 2: Insert, Delete, Balance,
+Find-Min).
+
+The intrinsic definition extends the BST definition with a ``height`` map:
+``height(x) = 1 + max(h(l), h(r))`` (nil counts 0) and ``|h(l) - h(r)| <= 1``.
+
+``avl_balance`` is the paper's standalone Balance method and showcases the
+*nonempty broken set in a contract*: it takes a node x that is the single
+broken object (``Br = {x}``) whose subtrees are valid AVL trees with a
+balance factor off by at most two, repairs it with single/double rotations,
+and returns the new subtree root detached from the old parent.
+"""
+
+from __future__ import annotations
+
+from ..core.ids import IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    Program,
+    SAssert,
+    SAssertLCAndRemove,
+    SAssign,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNewObj,
+)
+from ..lang.exprs import (
+    B,
+    F,
+    I,
+    NIL_E,
+    V,
+    add,
+    and_,
+    diff,
+    empty_int_set,
+    empty_loc_set,
+    eq,
+    ge,
+    gt,
+    iff,
+    implies,
+    ite,
+    le,
+    lt,
+    member,
+    ne,
+    not_,
+    old,
+    or_,
+    singleton,
+    sub,
+    subset,
+    union,
+)
+from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC
+from .bst import BST_IMPACT, bst_lc, bst_signature
+from .common import EMPTY_BR, X, isnil, mkproc, nonnil
+
+__all__ = ["avl_ids", "avl_program", "METHODS"]
+
+
+def avl_signature():
+    sig = bst_signature(extra_ghosts={"height": INT})
+    sig.name = "AVL"
+    return sig
+
+
+def _h(node) -> E.Expr:
+    return ite(isnil(node), I(0), F(node, "height"))
+
+
+def avl_height_lc() -> E.Expr:
+    hl = _h(F(X, "l"))
+    hr = _h(F(X, "r"))
+    return and_(
+        eq(F(X, "height"), add(I(1), ite(ge(hl, hr), hl, hr))),
+        le(sub(hl, hr), I(1)),
+        le(sub(hr, hl), I(1)),
+        ge(F(X, "height"), I(1)),
+    )
+
+
+def avl_lc() -> E.Expr:
+    return and_(bst_lc(), avl_height_lc())
+
+
+def avl_partial_lc_at(ids_sig_unused, obj) -> E.Expr:
+    """Everything but the height conditions at obj, with balance off by at
+    most 2 (the Balance method's entry state)."""
+    from ..core.ids import LC_VAR
+    from ..lang.exprs import subst_expr
+
+    base = subst_expr(bst_lc(), {LC_VAR: obj})
+    hl = _h(F(obj, "l"))
+    hr = _h(F(obj, "r"))
+    return and_(
+        base,
+        le(sub(hl, hr), I(2)),
+        le(sub(hr, hl), I(2)),
+    )
+
+
+def avl_ids() -> IntrinsicDefinition:
+    impact = dict(BST_IMPACT)
+    impact["height"] = [X, F(X, "p")]
+    return IntrinsicDefinition(
+        name="AVL Tree",
+        sig=avl_signature(),
+        lc_parts={"Br": avl_lc()},
+        correlation=isnil(F(X, "p")),
+        impact=impact,
+    )
+
+
+_ids = avl_ids()
+LC = lambda obj: _ids.lc_at(obj)  # noqa: E731
+
+x, y, z, w, k, r, m, tmp, rest, b, xp = (
+    V("x"),
+    V("y"),
+    V("z"),
+    V("w"),
+    V("k"),
+    V("r"),
+    V("m"),
+    V("tmp"),
+    V("rest"),
+    V("b"),
+    V("xp"),
+)
+
+
+def _refresh_measures(node, with_height=True):
+    l, r_ = F(node, "l"), F(node, "r")
+    out = [
+        SMut(node, "min", ite(nonnil(l), F(node, "l", "min"), F(node, "key"))),
+        SMut(node, "max", ite(nonnil(r_), F(node, "r", "max"), F(node, "key"))),
+        SMut(
+            node,
+            "keys",
+            union(
+                singleton(F(node, "key")),
+                ite(nonnil(l), F(node, "l", "keys"), empty_int_set()),
+                ite(nonnil(r_), F(node, "r", "keys"), empty_int_set()),
+            ),
+        ),
+        SMut(
+            node,
+            "hs",
+            union(
+                singleton(node),
+                ite(nonnil(l), F(node, "l", "hs"), empty_loc_set()),
+                ite(nonnil(r_), F(node, "r", "hs"), empty_loc_set()),
+            ),
+        ),
+    ]
+    if with_height:
+        out.append(
+            SMut(
+                node,
+                "height",
+                add(I(1), ite(ge(_h(l), _h(r_)), _h(l), _h(r_))),
+            )
+        )
+    return out
+
+
+def _fix_singleton(node):
+    return [
+        SMut(node, "p", NIL_E),
+        SMut(node, "min", F(node, "key")),
+        SMut(node, "max", F(node, "key")),
+        SMut(node, "keys", singleton(F(node, "key"))),
+        SMut(node, "hs", singleton(node)),
+        SMut(node, "height", I(1)),
+    ]
+
+
+def _rotate_right(a, bvar, rankexpr):
+    """a's left child bvar becomes the local root; returns statements.
+    Precondition (established by callers): a, bvar both in Br or about to
+    be repaired; w is a free local name."""
+    return [
+        SAssign("w", F(bvar, "r")),
+        SMut(a, "l", V("w")),
+        SMut(bvar, "r", a),
+        SMut(bvar, "p", NIL_E),
+        SIf(nonnil(V("w")), [SMut(V("w"), "p", a)], []),
+        SAssertLCAndRemove(V("w")),
+        *_refresh_measures(a),
+        SMut(a, "p", bvar),
+        SMut(bvar, "rank", rankexpr),
+        SAssertLCAndRemove(a),
+        *_refresh_measures(bvar),
+    ]
+
+
+def _rotate_left(a, bvar, rankexpr):
+    return [
+        SAssign("w", F(bvar, "l")),
+        SMut(a, "r", V("w")),
+        SMut(bvar, "l", a),
+        SMut(bvar, "p", NIL_E),
+        SIf(nonnil(V("w")), [SMut(V("w"), "p", a)], []),
+        SAssertLCAndRemove(V("w")),
+        *_refresh_measures(a),
+        SMut(a, "p", bvar),
+        SMut(bvar, "rank", rankexpr),
+        SAssertLCAndRemove(a),
+        *_refresh_measures(bvar),
+    ]
+
+
+def _new_rank(xpv, av):
+    return ite(
+        isnil(xpv),
+        add(F(av, "rank"), E.R(1)),
+        E.div(add(F(xpv, "rank"), F(av, "rank")), E.R(2)),
+    )
+
+
+def proc_avl_balance():
+    """The standalone Balance: repair a single off-by-two node.
+
+    Entry: Br = {x}; x satisfies everything but the AVL height conditions,
+    with a balance factor within 2 and a stale height field; children are
+    valid AVL trees.  Exit: Br (= possibly {old p(x)}) and a valid subtree
+    root r with height within [old children max, old children max + 2]."""
+    hl0 = _h(old(F(x, "l")))
+    hr0 = _h(old(F(x, "r")))
+    maxh0 = ite(ge(hl0, hr0), hl0, hr0)
+    others = V("others")
+    return mkproc(
+        "avl_balance",
+        params=[("x", LOC), ("xp", LOC), ("others", SET_LOC)],
+        outs=[("r", LOC)],
+        requires=[
+            nonnil(x),
+            member(x, E.BR),
+            subset(E.BR, union(singleton(x), others)),
+            not_(member(x, others)),
+            avl_partial_lc_at(None, x),
+            eq(F(x, "p"), xp),
+            implies(nonnil(xp), lt(F(x, "rank"), F(xp, "rank"))),
+        ],
+        ensures=[
+            subset(
+                E.BR,
+                union(
+                    E.old(others),
+                    ite(isnil(E.old(xp)), empty_loc_set(), singleton(E.old(xp))),
+                ),
+            ),
+            nonnil(r),
+            LC(r),
+            isnil(F(r, "p")),
+            eq(F(r, "keys"), old(F(x, "keys"))),
+            eq(F(r, "hs"), old(F(x, "hs"))),
+            ge(F(r, "min"), old(F(x, "min"))),
+            le(F(r, "max"), old(F(x, "max"))),
+            implies(nonnil(E.old(xp)), lt(F(r, "rank"), old(F(xp, "rank")))),
+            le(F(r, "height"), add(maxh0, I(1))),
+            ge(F(r, "height"), maxh0),
+        ],
+        modifies=F(x, "hs"),
+        locals={"y": LOC, "z": LOC, "w": LOC},
+        body=[
+            SIf(
+                ge(sub(_h(F(x, "l")), _h(F(x, "r"))), I(2)),
+                [
+                    # left heavy
+                    SAssign("y", F(x, "l")),
+                    SInferLCOutsideBr(y),
+                    SIf(
+                        ge(_h(F(y, "l")), _h(F(y, "r"))),
+                        [
+                            # single right rotation
+                            *_rotate_right(x, y, _new_rank(xp, x)),
+                            SAssertLCAndRemove(y),
+                            SAssign("r", y),
+                        ],
+                        [
+                            # double rotation: left-rotate y with z = y.r,
+                            # then right-rotate x with z
+                            SAssign("z", F(y, "r")),
+                            SInferLCOutsideBr(z),
+                            # detach y from x temporarily is implicit: we
+                            # rotate y/z first (y is outside Br: add it)
+                            SAssign("w", F(z, "l")),
+                            SMut(y, "r", V("w")),
+                            SMut(z, "l", y),
+                            SMut(z, "p", NIL_E),
+                            SIf(nonnil(V("w")), [SMut(V("w"), "p", y)], []),
+                            SAssertLCAndRemove(V("w")),
+                            *_refresh_measures(y),
+                            SMut(y, "p", z),
+                            SMut(z, "rank", E.div(add(F(x, "rank"), F(y, "rank")), E.R(2))),
+                            SAssertLCAndRemove(y),
+                            *_refresh_measures(z),
+                            SMut(x, "l", z),
+                            SMut(z, "p", x),
+                            # z stays broken until the outer rotation (its
+                            # balance factor can legitimately be 2 here);
+                            # the re-attach re-broke the inner-rotated child
+                            SAssertLCAndRemove(y),
+                            # now single right rotation of (x, z)
+                            SAssign("y", F(x, "l")),
+                            *_rotate_right(x, y, _new_rank(xp, x)),
+                            SAssertLCAndRemove(y),
+                            SAssign("r", y),
+                        ],
+                    ),
+                ],
+                [
+                    SIf(
+                        ge(sub(_h(F(x, "r")), _h(F(x, "l"))), I(2)),
+                        [
+                            # right heavy
+                            SAssign("y", F(x, "r")),
+                            SInferLCOutsideBr(y),
+                            SIf(
+                                ge(_h(F(y, "r")), _h(F(y, "l"))),
+                                [
+                                    *_rotate_left(x, y, _new_rank(xp, x)),
+                                    SAssertLCAndRemove(y),
+                                    SAssign("r", y),
+                                ],
+                                [
+                                    SAssign("z", F(y, "l")),
+                                    SInferLCOutsideBr(z),
+                                    SAssign("w", F(z, "r")),
+                                    SMut(y, "l", V("w")),
+                                    SMut(z, "r", y),
+                                    SMut(z, "p", NIL_E),
+                                    SIf(nonnil(V("w")), [SMut(V("w"), "p", y)], []),
+                                    SAssertLCAndRemove(V("w")),
+                                    *_refresh_measures(y),
+                                    SMut(y, "p", z),
+                                    SMut(z, "rank", E.div(add(F(x, "rank"), F(y, "rank")), E.R(2))),
+                                    SAssertLCAndRemove(y),
+                                    *_refresh_measures(z),
+                                    SMut(x, "r", z),
+                                    SMut(z, "p", x),
+                                    SAssertLCAndRemove(y),
+                                    SAssign("y", F(x, "r")),
+                                    *_rotate_left(x, y, _new_rank(xp, x)),
+                                    SAssertLCAndRemove(y),
+                                    SAssign("r", y),
+                                ],
+                            ),
+                        ],
+                        [
+                            # balanced enough: just refresh the height
+                            *_refresh_measures(x),
+                            SMut(x, "p", NIL_E),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", x),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+        is_well_behaved=True,
+    )
+
+
+BR_SUBSET_OLD_PARENT = subset(
+    E.BR,
+    ite(isnil(old(F(x, "p"))), empty_loc_set(), singleton(old(F(x, "p")))),
+)
+
+
+def proc_avl_insert():
+    fresh = diff(E.ALLOC, old(E.ALLOC))
+    return mkproc(
+        "avl_insert",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            nonnil(r),
+            LC(r),
+            isnil(F(r, "p")),
+            eq(F(r, "keys"), union(old(F(x, "keys")), singleton(k))),
+            subset(old(F(x, "hs")), F(r, "hs")),
+            subset(F(r, "hs"), union(old(F(x, "hs")), fresh)),
+            implies(
+                isnil(old(F(x, "p"))),
+                le(F(r, "rank"), add(old(F(x, "rank")), E.R(1))),
+            ),
+            implies(
+                nonnil(old(F(x, "p"))),
+                lt(F(r, "rank"), old(F(x, "p", "rank"))),
+            ),
+            ge(F(r, "min"), ite(lt(k, old(F(x, "min"))), k, old(F(x, "min")))),
+            le(F(r, "max"), ite(gt(k, old(F(x, "max"))), k, old(F(x, "max")))),
+            ge(F(r, "height"), old(F(x, "height"))),
+            le(F(r, "height"), add(old(F(x, "height")), I(1))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"z": LOC, "tmp": LOC, "y": LOC, "xp": LOC, "w": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SInferLCOutsideBr(F(x, "p")),
+            SAssign("xp", F(x, "p")),
+            SIf(
+                eq(k, F(x, "key")),
+                [
+                    SMut(x, "p", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", x),
+                ],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [
+                                    SNewObj("z"),
+                                    SMut(z, "key", k),
+                                    SMut(z, "rank", sub(F(x, "rank"), E.R(1))),
+                                    SMut(z, "min", k),
+                                    SMut(z, "max", k),
+                                    SMut(z, "keys", singleton(k)),
+                                    SMut(z, "hs", singleton(z)),
+                                    SMut(z, "height", I(1)),
+                                    SAssertLCAndRemove(z),
+                                    SAssign("tmp", z),
+                                ],
+                                [
+                                    SAssign("y", F(x, "l")),
+                                    SInferLCOutsideBr(y),
+                                    SCall(("tmp",), "avl_insert", (y, k)),
+                                    SInferLCOutsideBr(y),
+                                ],
+                            ),
+                            SMut(x, "l", tmp),
+                            SAssertLCAndRemove(y),
+                            SMut(tmp, "p", x),
+                            SAssertLCAndRemove(tmp),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [
+                                    SNewObj("z"),
+                                    SMut(z, "key", k),
+                                    SMut(z, "rank", sub(F(x, "rank"), E.R(1))),
+                                    SMut(z, "min", k),
+                                    SMut(z, "max", k),
+                                    SMut(z, "keys", singleton(k)),
+                                    SMut(z, "hs", singleton(z)),
+                                    SMut(z, "height", I(1)),
+                                    SAssertLCAndRemove(z),
+                                    SAssign("tmp", z),
+                                ],
+                                [
+                                    SAssign("y", F(x, "r")),
+                                    SInferLCOutsideBr(y),
+                                    SCall(("tmp",), "avl_insert", (y, k)),
+                                    SInferLCOutsideBr(y),
+                                ],
+                            ),
+                            SMut(x, "r", tmp),
+                            SAssertLCAndRemove(y),
+                            SMut(tmp, "p", x),
+                            SAssertLCAndRemove(tmp),
+                        ],
+                    ),
+                    *_refresh_measures(x, with_height=False),
+                    SCall(
+                        ("r",),
+                        "avl_balance",
+                        (x, xp, ite(isnil(xp), empty_loc_set(), singleton(xp))),
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_avl_delete():
+    return mkproc(
+        "avl_delete",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            implies(
+                nonnil(r),
+                and_(
+                    LC(r),
+                    isnil(F(r, "p")),
+                    eq(F(r, "keys"), diff(old(F(x, "keys")), singleton(k))),
+                    subset(F(r, "hs"), old(F(x, "hs"))),
+                    implies(
+                        nonnil(old(F(x, "p"))),
+                        lt(F(r, "rank"), old(F(x, "p", "rank"))),
+                    ),
+                    implies(
+                        isnil(old(F(x, "p"))),
+                        le(F(r, "rank"), add(old(F(x, "rank")), E.R(1))),
+                    ),
+                    ge(F(r, "min"), old(F(x, "min"))),
+                    le(F(r, "max"), old(F(x, "max"))),
+                    le(F(r, "height"), old(F(x, "height"))),
+                    ge(F(r, "height"), sub(old(F(x, "height")), I(1))),
+                ),
+            ),
+            implies(isnil(r), subset(old(F(x, "keys")), singleton(k))),
+        ],
+        modifies=F(x, "hs"),
+        locals={
+            "z": LOC,
+            "tmp": LOC,
+            "y": LOC,
+            "xp": LOC,
+            "w": LOC,
+            "m": LOC,
+            "rest": LOC,
+        },
+        body=[
+            SInferLCOutsideBr(x),
+            SInferLCOutsideBr(F(x, "p")),
+            SAssign("xp", F(x, "p")),
+            SIf(
+                eq(k, F(x, "key")),
+                [
+                    SIf(
+                        and_(isnil(F(x, "l")), isnil(F(x, "r"))),
+                        [
+                            SMut(x, "p", NIL_E),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", NIL_E),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [
+                                    SAssign("z", F(x, "r")),
+                                    SInferLCOutsideBr(z),
+                                    SMut(x, "r", NIL_E),
+                                    SMut(z, "p", NIL_E),
+                                    SAssertLCAndRemove(z),
+                                    *_fix_singleton(x),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", z),
+                                ],
+                                [
+                                    SIf(
+                                        isnil(F(x, "r")),
+                                        [
+                                            SAssign("z", F(x, "l")),
+                                            SInferLCOutsideBr(z),
+                                            SMut(x, "l", NIL_E),
+                                            SMut(z, "p", NIL_E),
+                                            SAssertLCAndRemove(z),
+                                            *_fix_singleton(x),
+                                            SAssertLCAndRemove(x),
+                                            SAssign("r", z),
+                                        ],
+                                        [
+                                            # two children: splice min of right
+                                            SAssign("y", F(x, "l")),
+                                            SAssign("z", F(x, "r")),
+                                            SInferLCOutsideBr(y),
+                                            SInferLCOutsideBr(z),
+                                            SCall(("m", "rest"), "avl_extract_min", (z,)),
+                                            SInferLCOutsideBr(y),
+                                            SMut(x, "l", NIL_E),
+                                            SMut(x, "r", NIL_E),
+                                            SAssertLCAndRemove(z),
+                                            SMut(m, "rank", F(x, "rank")),
+                                            SMut(m, "l", y),
+                                            SMut(y, "p", m),
+                                            SAssertLCAndRemove(y),
+                                            SIf(
+                                                nonnil(rest),
+                                                [
+                                                    SMut(m, "r", rest),
+                                                    SMut(rest, "p", m),
+                                                    SAssertLCAndRemove(rest),
+                                                ],
+                                                [],
+                                            ),
+                                            *_refresh_measures(m, with_height=False),
+                                            *_fix_singleton(x),
+                                            SAssertLCAndRemove(x),
+                                            SCall(("r",), "avl_balance", (m, NIL_E, ite(isnil(xp), empty_loc_set(), singleton(xp)))),
+                                        ],
+                                    ),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                                [
+                                    SAssign("z", F(x, "l")),
+                                    SInferLCOutsideBr(z),
+                                    SCall(("tmp",), "avl_delete", (z, k)),
+                                    SInferLCOutsideBr(z),
+                                    SIf(
+                                        nonnil(tmp),
+                                        [
+                                            SMut(x, "l", tmp),
+                                            SAssertLCAndRemove(z),
+                                            SMut(tmp, "p", x),
+                                            SAssertLCAndRemove(tmp),
+                                        ],
+                                        [
+                                            SMut(x, "l", NIL_E),
+                                            SAssertLCAndRemove(z),
+                                        ],
+                                    ),
+                                    *_refresh_measures(x, with_height=False),
+                                    SCall(("r",), "avl_balance", (x, xp, ite(isnil(xp), empty_loc_set(), singleton(xp)))),
+                                ],
+                            ),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                                [
+                                    SAssign("z", F(x, "r")),
+                                    SInferLCOutsideBr(z),
+                                    SCall(("tmp",), "avl_delete", (z, k)),
+                                    SInferLCOutsideBr(z),
+                                    SIf(
+                                        nonnil(tmp),
+                                        [
+                                            SMut(x, "r", tmp),
+                                            SAssertLCAndRemove(z),
+                                            SMut(tmp, "p", x),
+                                            SAssertLCAndRemove(tmp),
+                                        ],
+                                        [
+                                            SMut(x, "r", NIL_E),
+                                            SAssertLCAndRemove(z),
+                                        ],
+                                    ),
+                                    *_refresh_measures(x, with_height=False),
+                                    SCall(("r",), "avl_balance", (x, xp, ite(isnil(xp), empty_loc_set(), singleton(xp)))),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_avl_extract_min():
+    """extract-min with rebalancing on the way up."""
+    return mkproc(
+        "avl_extract_min",
+        params=[("x", LOC)],
+        outs=[("m", LOC), ("rest", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            nonnil(m),
+            LC(m),
+            isnil(F(m, "p")),
+            isnil(F(m, "l")),
+            isnil(F(m, "r")),
+            eq(F(m, "key"), old(F(x, "min"))),
+            member(m, old(F(x, "hs"))),
+            implies(
+                nonnil(rest),
+                and_(
+                    LC(rest),
+                    isnil(F(rest, "p")),
+                    eq(F(rest, "keys"), diff(old(F(x, "keys")), singleton(old(F(x, "min"))))),
+                    subset(F(rest, "hs"), old(F(x, "hs"))),
+                    not_(member(m, F(rest, "hs"))),
+                    implies(
+                        nonnil(old(F(x, "p"))),
+                        lt(F(rest, "rank"), old(F(x, "p", "rank"))),
+                    ),
+                    implies(
+                        isnil(old(F(x, "p"))),
+                        le(F(rest, "rank"), add(old(F(x, "rank")), E.R(1))),
+                    ),
+                    le(F(rest, "max"), old(F(x, "max"))),
+                    E.all_ge(F(rest, "keys"), add(old(F(x, "min")), I(1))),
+                    le(F(rest, "height"), old(F(x, "height"))),
+                    ge(F(rest, "height"), sub(old(F(x, "height")), I(1))),
+                ),
+            ),
+            implies(isnil(rest), eq(old(F(x, "keys")), singleton(old(F(x, "min"))))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"z": LOC, "tmp": LOC, "xp": LOC, "y": LOC, "w": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SInferLCOutsideBr(F(x, "p")),
+            SAssign("xp", F(x, "p")),
+            SIf(
+                isnil(F(x, "l")),
+                [
+                    SAssign("m", x),
+                    SAssign("rest", F(x, "r")),
+                    SInferLCOutsideBr(rest),
+                    SMut(x, "r", NIL_E),
+                    SIf(
+                        nonnil(rest),
+                        [SMut(rest, "p", NIL_E), SAssertLCAndRemove(rest)],
+                        [],
+                    ),
+                    *_fix_singleton(x),
+                    SAssertLCAndRemove(x),
+                ],
+                [
+                    SAssign("z", F(x, "l")),
+                    SInferLCOutsideBr(z),
+                    SCall(("m", "tmp"), "avl_extract_min", (z,)),
+                    SIf(
+                        nonnil(tmp),
+                        [
+                            SMut(x, "l", tmp),
+                            SAssertLCAndRemove(z),
+                            SMut(tmp, "p", x),
+                            SAssertLCAndRemove(tmp),
+                        ],
+                        [
+                            SMut(x, "l", NIL_E),
+                            SAssertLCAndRemove(z),
+                        ],
+                    ),
+                    *_refresh_measures(x, with_height=False),
+                    SCall(("rest",), "avl_balance", (x, xp, ite(isnil(xp), empty_loc_set(), singleton(xp)))),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_avl_find_min():
+    return mkproc(
+        "avl_find_min",
+        params=[("x", LOC)],
+        outs=[("k", INT)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            EMPTY_BR,
+            eq(k, old(F(x, "min"))),
+            member(k, old(F(x, "keys"))),
+        ],
+        modifies=empty_loc_set(),
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(F(x, "l")),
+                [SAssign("k", F(x, "key"))],
+                [
+                    SInferLCOutsideBr(F(x, "l")),
+                    SCall(("k",), "avl_find_min", (F(x, "l"),)),
+                ],
+            ),
+        ],
+    )
+
+
+def avl_program() -> Program:
+    procs = [
+        proc_avl_balance(),
+        proc_avl_insert(),
+        proc_avl_delete(),
+        proc_avl_extract_min(),
+        proc_avl_find_min(),
+    ]
+    return Program(avl_signature(), {p.name: p for p in procs})
+
+
+METHODS = ["avl_insert", "avl_delete", "avl_balance", "avl_find_min"]
+
+
+def build_avl(sig, keys):
+    """Balanced build (a balanced BST of distinct keys is a valid AVL)."""
+    from .treebuild import build_bst
+
+    heap, root = build_bst(sig, keys)
+
+    def set_heights(node):
+        if node is None:
+            return 0
+        h = 1 + max(set_heights(heap.read(node, "l")), set_heights(heap.read(node, "r")))
+        heap.write(node, "height", h)
+        return h
+
+    set_heights(root)
+    return heap, root

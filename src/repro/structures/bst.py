@@ -1,0 +1,683 @@
+"""Binary search trees (Appendix D.2 definition, Table 2 methods).
+
+Ghost monadic maps: ``p`` (parent -- rules out merging), ``rank`` (strictly
+decreasing towards children -- rules out cycles), ``min``/``max`` (subtree
+key range, making the search-tree property local), ``keys`` and ``hs``
+(subtree key set and heaplet, for full functional contracts).
+
+Beyond Appendix D.2 we also keep two kinds of locally-checkable redundancy
+that make the *complete* functional specifications provable:
+
+- ``min(x)``/``max(x)`` are members of ``keys(x)``;
+- child key sets are bounded: ``all_le(keys(l(x)), key(x)-1)`` and
+  ``all_ge(keys(r(x)), key(x)+1)`` (the pointwise-comparison gadget of the
+  generalized array theory, cf. Section 5.1).
+"""
+
+from __future__ import annotations
+
+from ..core.ids import IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    ClassSignature,
+    Program,
+    SAssertLCAndRemove,
+    SAssign,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNewObj,
+)
+from ..lang.exprs import (
+    B,
+    F,
+    I,
+    NIL_E,
+    V,
+    add,
+    all_ge,
+    all_le,
+    and_,
+    diff,
+    empty_int_set,
+    empty_loc_set,
+    eq,
+    ge,
+    gt,
+    iff,
+    implies,
+    ite,
+    le,
+    lt,
+    member,
+    ne,
+    not_,
+    old,
+    or_,
+    singleton,
+    sub,
+    subset,
+    union,
+)
+from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC
+from .common import EMPTY_BR, X, isnil, mkproc, nonnil
+
+__all__ = ["bst_ids", "bst_program", "bst_lc", "bst_signature", "BST_IMPACT", "METHODS"]
+
+
+def bst_signature(extra_ghosts=None) -> ClassSignature:
+    ghosts = {
+        "p": LOC,
+        "rank": REAL,
+        "min": INT,
+        "max": INT,
+        "keys": SET_INT,
+        "hs": SET_LOC,
+    }
+    if extra_ghosts:
+        ghosts.update(extra_ghosts)
+    return ClassSignature(
+        name="BST",
+        fields={"l": LOC, "r": LOC, "key": INT},
+        ghosts=ghosts,
+    )
+
+
+def bst_lc() -> E.Expr:
+    """The local condition for plain binary search trees."""
+    l, r, key = F(X, "l"), F(X, "r"), F(X, "key")
+    return and_(
+        le(F(X, "min"), key),
+        le(key, F(X, "max")),
+        member(F(X, "min"), F(X, "keys")),
+        member(F(X, "max"), F(X, "keys")),
+        implies(
+            nonnil(F(X, "p")),
+            or_(eq(F(X, "p", "l"), X), eq(F(X, "p", "r"), X)),
+        ),
+        implies(
+            nonnil(l),
+            and_(
+                eq(F(X, "l", "p"), X),
+                lt(F(X, "l", "rank"), F(X, "rank")),
+                lt(F(X, "l", "max"), key),
+                eq(F(X, "min"), F(X, "l", "min")),
+                not_(member(X, F(X, "l", "hs"))),
+                all_le(F(X, "l", "keys"), sub(key, I(1))),
+            ),
+        ),
+        implies(isnil(l), eq(F(X, "min"), key)),
+        implies(
+            nonnil(r),
+            and_(
+                eq(F(X, "r", "p"), X),
+                lt(F(X, "r", "rank"), F(X, "rank")),
+                lt(key, F(X, "r", "min")),
+                eq(F(X, "max"), F(X, "r", "max")),
+                not_(member(X, F(X, "r", "hs"))),
+                all_ge(F(X, "r", "keys"), add(key, I(1))),
+            ),
+        ),
+        implies(isnil(r), eq(F(X, "max"), key)),
+        implies(
+            and_(nonnil(l), nonnil(r)),
+            and_(ne(l, r), eq(E.inter(F(X, "l", "hs"), F(X, "r", "hs")), empty_loc_set())),
+        ),
+        eq(
+            F(X, "keys"),
+            union(
+                singleton(key),
+                ite(nonnil(l), F(X, "l", "keys"), empty_int_set()),
+                ite(nonnil(r), F(X, "r", "keys"), empty_int_set()),
+            ),
+        ),
+        eq(
+            F(X, "hs"),
+            union(
+                singleton(X),
+                ite(nonnil(l), F(X, "l", "hs"), empty_loc_set()),
+                ite(nonnil(r), F(X, "r", "hs"), empty_loc_set()),
+            ),
+        ),
+    )
+
+
+BST_IMPACT = {
+    "l": [X, E.old(F(X, "l"))],
+    "r": [X, E.old(F(X, "r"))],
+    "p": [X, E.old(F(X, "p"))],
+    "key": [X, F(X, "p")],
+    "rank": [X, F(X, "p")],
+    "min": [X, F(X, "p")],
+    "max": [X, F(X, "p")],
+    "keys": [X, F(X, "p")],
+    "hs": [X, F(X, "p")],
+}
+
+
+def bst_ids() -> IntrinsicDefinition:
+    return IntrinsicDefinition(
+        name="Binary Search Tree",
+        sig=bst_signature(),
+        lc_parts={"Br": bst_lc()},
+        correlation=isnil(F(X, "p")),
+        impact=dict(BST_IMPACT),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Methods
+# ---------------------------------------------------------------------------
+
+_ids = bst_ids()
+LC = lambda obj: _ids.lc_at(obj)  # noqa: E731
+
+x, y, z, k, r, m, tmp, rest, b = (
+    V("x"),
+    V("y"),
+    V("z"),
+    V("k"),
+    V("r"),
+    V("m"),
+    V("tmp"),
+    V("rest"),
+    V("b"),
+)
+
+
+def _fix_singleton(node):
+    """Repair a detached node into a valid one-element tree."""
+    return [
+        SMut(node, "p", NIL_E),
+        SMut(node, "min", F(node, "key")),
+        SMut(node, "max", F(node, "key")),
+        SMut(node, "keys", singleton(F(node, "key"))),
+        SMut(node, "hs", singleton(node)),
+    ]
+
+
+def _refresh_measures(node):
+    """Recompute min/max/keys/hs of ``node`` from its (current) children,
+    exactly following the shape of the local condition."""
+    l, r_ = F(node, "l"), F(node, "r")
+    return [
+        SMut(node, "min", ite(nonnil(l), F(node, "l", "min"), F(node, "key"))),
+        SMut(node, "max", ite(nonnil(r_), F(node, "r", "max"), F(node, "key"))),
+        SMut(
+            node,
+            "keys",
+            union(
+                singleton(F(node, "key")),
+                ite(nonnil(l), F(node, "l", "keys"), empty_int_set()),
+                ite(nonnil(r_), F(node, "r", "keys"), empty_int_set()),
+            ),
+        ),
+        SMut(
+            node,
+            "hs",
+            union(
+                singleton(node),
+                ite(nonnil(l), F(node, "l", "hs"), empty_loc_set()),
+                ite(nonnil(r_), F(node, "r", "hs"), empty_loc_set()),
+            ),
+        ),
+    ]
+
+
+BR_SUBSET_OLD_PARENT = subset(
+    E.BR,
+    ite(isnil(old(F(x, "p"))), empty_loc_set(), singleton(old(F(x, "p")))),
+)
+
+
+def proc_bst_find():
+    return mkproc(
+        "bst_find",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("b", BOOL)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[EMPTY_BR, iff(b, member(k, old(F(x, "keys"))))],
+        modifies=empty_loc_set(),
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                eq(F(x, "key"), k),
+                [SAssign("b", B(True))],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [SAssign("b", B(False))],
+                                [
+                                    SInferLCOutsideBr(F(x, "l")),
+                                    SCall(("b",), "bst_find", (F(x, "l"), k)),
+                                ],
+                            ),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [SAssign("b", B(False))],
+                                [
+                                    SInferLCOutsideBr(F(x, "r")),
+                                    SCall(("b",), "bst_find", (F(x, "r"), k)),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_bst_insert():
+    """Insert k into the subtree rooted at x (no-op on duplicates)."""
+    fresh = diff(E.ALLOC, old(E.ALLOC))
+    return mkproc(
+        "bst_insert",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            eq(r, E.old(x)),
+            LC(x),
+            eq(F(x, "key"), old(F(x, "key"))),
+            eq(F(x, "rank"), old(F(x, "rank"))),
+            eq(F(x, "p"), old(F(x, "p"))),
+            eq(F(x, "l", "p") if False else F(x, "keys"), union(old(F(x, "keys")), singleton(k))),
+            eq(F(x, "min"), ite(lt(k, old(F(x, "min"))), k, old(F(x, "min")))),
+            eq(F(x, "max"), ite(gt(k, old(F(x, "max"))), k, old(F(x, "max")))),
+            subset(old(F(x, "hs")), F(x, "hs")),
+            subset(F(x, "hs"), union(old(F(x, "hs")), fresh)),
+        ],
+        modifies=F(x, "hs"),
+        locals={"z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                eq(k, F(x, "key")),
+                [SAssign("r", x)],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [
+                                    SNewObj("z"),
+                                    SMut(z, "key", k),
+                                    SMut(z, "rank", sub(F(x, "rank"), E.R(1))),
+                                    SMut(z, "min", k),
+                                    SMut(z, "max", k),
+                                    SMut(z, "keys", singleton(k)),
+                                    SMut(z, "hs", singleton(z)),
+                                    SMut(z, "p", x),
+                                    SMut(x, "l", z),
+                                    SAssertLCAndRemove(z),
+                                    SMut(x, "min", k),
+                                    SMut(x, "keys", union(F(x, "keys"), singleton(k))),
+                                    SMut(x, "hs", union(F(x, "hs"), singleton(z))),
+                                    SAssertLCAndRemove(x),
+                                ],
+                                [
+                                    SInferLCOutsideBr(F(x, "l")),
+                                    SCall(("tmp",), "bst_insert", (F(x, "l"), k)),
+                                    SMut(x, "min", ite(lt(k, F(x, "min")), k, F(x, "min"))),
+                                    SMut(x, "keys", union(F(x, "keys"), singleton(k))),
+                                    SMut(x, "hs", union(F(x, "hs"), F(tmp, "hs"))),
+                                    SAssertLCAndRemove(x),
+                                ],
+                            ),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [
+                                    SNewObj("z"),
+                                    SMut(z, "key", k),
+                                    SMut(z, "rank", sub(F(x, "rank"), E.R(1))),
+                                    SMut(z, "min", k),
+                                    SMut(z, "max", k),
+                                    SMut(z, "keys", singleton(k)),
+                                    SMut(z, "hs", singleton(z)),
+                                    SMut(z, "p", x),
+                                    SMut(x, "r", z),
+                                    SAssertLCAndRemove(z),
+                                    SMut(x, "max", k),
+                                    SMut(x, "keys", union(F(x, "keys"), singleton(k))),
+                                    SMut(x, "hs", union(F(x, "hs"), singleton(z))),
+                                    SAssertLCAndRemove(x),
+                                ],
+                                [
+                                    SInferLCOutsideBr(F(x, "r")),
+                                    SCall(("tmp",), "bst_insert", (F(x, "r"), k)),
+                                    SMut(x, "max", ite(gt(k, F(x, "max")), k, F(x, "max"))),
+                                    SMut(x, "keys", union(F(x, "keys"), singleton(k))),
+                                    SMut(x, "hs", union(F(x, "hs"), F(tmp, "hs"))),
+                                    SAssertLCAndRemove(x),
+                                ],
+                            ),
+                        ],
+                    ),
+                    SAssign("r", x),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_bst_extract_min():
+    """Remove and return the minimum node of the subtree rooted at x.
+
+    Outputs: ``m`` -- the detached minimum node (a valid singleton tree),
+    ``rest`` -- the remaining subtree root (nil if x was a leaf)."""
+    return mkproc(
+        "bst_extract_min",
+        params=[("x", LOC)],
+        outs=[("m", LOC), ("rest", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            nonnil(m),
+            LC(m),
+            isnil(F(m, "p")),
+            isnil(F(m, "l")),
+            isnil(F(m, "r")),
+            eq(F(m, "key"), old(F(x, "min"))),
+            member(m, old(F(x, "hs"))),
+            implies(
+                nonnil(rest),
+                and_(
+                    LC(rest),
+                    isnil(F(rest, "p")),
+                    eq(F(rest, "keys"), diff(old(F(x, "keys")), singleton(old(F(x, "min"))))),
+                    subset(F(rest, "hs"), old(F(x, "hs"))),
+                    not_(member(m, F(rest, "hs"))),
+                    le(F(rest, "rank"), old(F(x, "rank"))),
+                    le(F(rest, "max"), old(F(x, "max"))),
+                    all_ge(F(rest, "keys"), add(old(F(x, "min")), I(1))),
+                ),
+            ),
+            implies(isnil(rest), eq(old(F(x, "keys")), singleton(old(F(x, "min"))))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(F(x, "l")),
+                [
+                    # x is the minimum; promote its right child
+                    SAssign("m", x),
+                    SAssign("rest", F(x, "r")),
+                    SInferLCOutsideBr(rest),
+                    SMut(x, "r", NIL_E),
+                    SIf(
+                        nonnil(rest),
+                        [
+                            SMut(rest, "p", NIL_E),
+                            SAssertLCAndRemove(rest),
+                        ],
+                        [],
+                    ),
+                    *_fix_singleton(x),
+                    SAssertLCAndRemove(x),
+                ],
+                [
+                    SAssign("z", F(x, "l")),
+                    SInferLCOutsideBr(z),
+                    SCall(("m", "tmp"), "bst_extract_min", (z,)),
+                    SIf(
+                        nonnil(tmp),
+                        [
+                            SMut(x, "l", tmp),
+                            SAssertLCAndRemove(z),
+                            SMut(tmp, "p", x),
+                            SAssertLCAndRemove(tmp),
+                        ],
+                        [
+                            SMut(x, "l", NIL_E),
+                            SAssertLCAndRemove(z),
+                        ],
+                    ),
+                    *_refresh_measures(x),
+                    SMut(x, "p", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("rest", x),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_bst_remove_root():
+    """Remove the node x itself from its subtree; return the new root."""
+    return mkproc(
+        "bst_remove_root",
+        params=[("x", LOC)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            # x ends detached as a valid singleton
+            LC(x),
+            isnil(F(x, "p")),
+            isnil(F(x, "l")),
+            isnil(F(x, "r")),
+            eq(F(x, "key"), old(F(x, "key"))),
+            implies(
+                nonnil(r),
+                and_(
+                    LC(r),
+                    ne(r, E.old(x)),
+                    isnil(F(r, "p")),
+                    eq(F(r, "keys"), diff(old(F(x, "keys")), singleton(old(F(x, "key"))))),
+                    subset(F(r, "hs"), old(F(x, "hs"))),
+                    le(F(r, "rank"), old(F(x, "rank"))),
+                    ge(F(r, "min"), old(F(x, "min"))),
+                    le(F(r, "max"), old(F(x, "max"))),
+                ),
+            ),
+            implies(isnil(r), eq(old(F(x, "keys")), singleton(old(F(x, "key"))))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"y": LOC, "z": LOC, "m": LOC, "rest": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                and_(isnil(F(x, "l")), isnil(F(x, "r"))),
+                [
+                    SMut(x, "p", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", NIL_E),
+                ],
+                [
+                    SIf(
+                        isnil(F(x, "l")),
+                        [
+                            # only a right child: promote it
+                            SAssign("z", F(x, "r")),
+                            SInferLCOutsideBr(z),
+                            SMut(x, "r", NIL_E),
+                            SMut(z, "p", NIL_E),
+                            SAssertLCAndRemove(z),
+                            *_fix_singleton(x),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", z),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [
+                                    SAssign("z", F(x, "l")),
+                                    SInferLCOutsideBr(z),
+                                    SMut(x, "l", NIL_E),
+                                    SMut(z, "p", NIL_E),
+                                    SAssertLCAndRemove(z),
+                                    *_fix_singleton(x),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", z),
+                                ],
+                                [
+                                    # two children: the minimum of the right
+                                    # subtree becomes the new root
+                                    SAssign("y", F(x, "l")),
+                                    SAssign("z", F(x, "r")),
+                                    SInferLCOutsideBr(y),
+                                    SInferLCOutsideBr(z),
+                                    SCall(("m", "rest"), "bst_extract_min", (z,)),
+                                    SInferLCOutsideBr(y),
+                                    SMut(x, "l", NIL_E),
+                                    SMut(x, "r", NIL_E),
+                                    SAssertLCAndRemove(z),
+                                    SMut(m, "rank", F(x, "rank")),
+                                    SMut(m, "l", y),
+                                    SMut(y, "p", m),
+                                    SAssertLCAndRemove(y),
+                                    SIf(
+                                        nonnil(rest),
+                                        [
+                                            SMut(m, "r", rest),
+                                            SMut(rest, "p", m),
+                                            SAssertLCAndRemove(rest),
+                                        ],
+                                        [],
+                                    ),
+                                    *_refresh_measures(m),
+                                    SAssertLCAndRemove(m),
+                                    *_fix_singleton(x),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", m),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_bst_delete():
+    """Delete key k from the subtree rooted at x; return the new root."""
+    return mkproc(
+        "bst_delete",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            implies(
+                nonnil(r),
+                and_(
+                    LC(r),
+                    isnil(F(r, "p")),
+                    eq(F(r, "keys"), diff(old(F(x, "keys")), singleton(k))),
+                    subset(F(r, "hs"), old(F(x, "hs"))),
+                    le(F(r, "rank"), old(F(x, "rank"))),
+                    ge(F(r, "min"), old(F(x, "min"))),
+                    le(F(r, "max"), old(F(x, "max"))),
+                ),
+            ),
+            implies(isnil(r), subset(old(F(x, "keys")), singleton(k))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                eq(k, F(x, "key")),
+                [SCall(("r",), "bst_remove_root", (x,))],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                                [
+                                    SAssign("z", F(x, "l")),
+                                    SInferLCOutsideBr(z),
+                                    SCall(("tmp",), "bst_delete", (z, k)),
+                                    SInferLCOutsideBr(z),
+                                    SIf(
+                                        nonnil(tmp),
+                                        [
+                                            SMut(x, "l", tmp),
+                                            SAssertLCAndRemove(z),
+                                            SMut(tmp, "p", x),
+                                            SAssertLCAndRemove(tmp),
+                                        ],
+                                        [
+                                            SMut(x, "l", NIL_E),
+                                            SAssertLCAndRemove(z),
+                                        ],
+                                    ),
+                                    *_refresh_measures(x),
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                            ),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                                [
+                                    SAssign("z", F(x, "r")),
+                                    SInferLCOutsideBr(z),
+                                    SCall(("tmp",), "bst_delete", (z, k)),
+                                    SInferLCOutsideBr(z),
+                                    SIf(
+                                        nonnil(tmp),
+                                        [
+                                            SMut(x, "r", tmp),
+                                            SAssertLCAndRemove(z),
+                                            SMut(tmp, "p", x),
+                                            SAssertLCAndRemove(tmp),
+                                        ],
+                                        [
+                                            SMut(x, "r", NIL_E),
+                                            SAssertLCAndRemove(z),
+                                        ],
+                                    ),
+                                    *_refresh_measures(x),
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def bst_program() -> Program:
+    procs = [
+        proc_bst_find(),
+        proc_bst_insert(),
+        proc_bst_extract_min(),
+        proc_bst_remove_root(),
+        proc_bst_delete(),
+    ]
+    return Program(bst_signature(), {p.name: p for p in procs})
+
+
+METHODS = ["bst_find", "bst_insert", "bst_delete", "bst_remove_root"]

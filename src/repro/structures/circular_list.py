@@ -1,0 +1,662 @@
+"""Circular lists with a scaffolding node (Section 4.3 / Appendix D.4).
+
+Every node of a circular list sees the distinguished *scaffolding* node
+through the ``last`` monadic map; the scaffolding closes the cycle and is
+never deleted.  ``length`` counts forward distance to the scaffolding,
+``rev_length`` backward distance (the ghost-loop termination measures).
+``keys``/``hslist`` accumulate along the forward path and *stop before the
+scaffolding*; the scaffolding itself accumulates the entire circle (so
+``x in hslist(last(x))`` holds for every node, the Fig. 10 conjunct that
+bounds the impact sets).
+
+Following Table 4 of the paper:
+
+- ``last`` and ``hslist`` mutations carry a *mutation precondition*
+  (non-scaffolding, or an empty scaffolding);
+- scaffolding updates go through guarded custom macros with impact ``{x}``:
+  ``AddToLastHsList`` (grow-only), ``RemoveFromLastHsList`` (removes a node
+  already detached from the circle), and a scaffolding ``keys`` refresh.
+
+Insert-Back and Delete-Back repair keys/length/hslist with a *backward*
+ghost loop (following ``prev``, decreasing ``rev_length``); Insert-Front
+and Delete-Front repair ``rev_length`` with a *forward* ghost loop
+(decreasing ``length``).
+"""
+
+from __future__ import annotations
+
+from ..core.ids import AUX_VAR, CustomMutation, IntrinsicDefinition, VAL_VAR
+from ..lang import exprs as E
+from ..lang.ast import (
+    ClassSignature,
+    Program,
+    SAssertLCAndRemove,
+    SAssign,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNewObj,
+    SWhile,
+)
+from ..lang.exprs import (
+    F,
+    I,
+    NIL_E,
+    V,
+    add,
+    and_,
+    diff,
+    empty_int_set,
+    empty_loc_set,
+    eq,
+    ge,
+    implies,
+    ite,
+    member,
+    ne,
+    not_,
+    old,
+    or_,
+    singleton,
+    subset,
+    union,
+)
+from ..smt.sorts import INT, LOC, SET_INT, SET_LOC
+from .common import EMPTY_BR, X, isnil, mkproc, nonnil
+
+__all__ = ["circular_ids", "circular_program", "build_circular", "METHODS"]
+
+
+def circular_signature() -> ClassSignature:
+    return ClassSignature(
+        name="CircularList",
+        fields={"next": LOC, "key": INT},
+        ghosts={
+            "prev": LOC,
+            "last": LOC,
+            "length": INT,
+            "rev_length": INT,
+            "keys": SET_INT,
+            "hslist": SET_LOC,
+        },
+    )
+
+
+def circular_lc() -> E.Expr:
+    nxt, prv, last = F(X, "next"), F(X, "prev"), F(X, "last")
+    return and_(
+        nonnil(nxt),
+        nonnil(prv),
+        nonnil(last),
+        eq(F(X, "prev", "next"), X),
+        eq(F(X, "next", "prev"), X),
+        eq(F(X, "next", "last"), last),
+        eq(F(X, "last", "last"), last),
+        member(X, F(X, "last", "hslist")),
+        ge(F(X, "length"), I(0)),
+        ge(F(X, "rev_length"), I(0)),
+        implies(
+            eq(last, X),
+            and_(eq(F(X, "length"), I(0)), eq(F(X, "rev_length"), I(0))),
+        ),
+        implies(
+            ne(last, X),
+            and_(
+                eq(F(X, "length"), add(F(X, "next", "length"), I(1))),
+                eq(F(X, "rev_length"), add(F(X, "prev", "rev_length"), I(1))),
+            ),
+        ),
+        # keys / heaplet accumulate forward and stop before the scaffolding
+        implies(
+            and_(ne(last, X), eq(nxt, last)),
+            and_(
+                eq(F(X, "keys"), singleton(F(X, "key"))),
+                eq(F(X, "hslist"), singleton(X)),
+            ),
+        ),
+        implies(
+            and_(ne(last, X), ne(nxt, last)),
+            and_(
+                eq(F(X, "keys"), union(singleton(F(X, "key")), F(X, "next", "keys"))),
+                eq(F(X, "hslist"), union(singleton(X), F(X, "next", "hslist"))),
+                not_(member(X, F(X, "next", "hslist"))),
+            ),
+        ),
+        # the scaffolding accumulates the whole circle
+        implies(
+            and_(eq(last, X), eq(nxt, X)),
+            and_(
+                eq(F(X, "keys"), empty_int_set()),
+                eq(F(X, "hslist"), singleton(X)),
+            ),
+        ),
+        implies(
+            and_(eq(last, X), ne(nxt, X)),
+            and_(
+                eq(F(X, "keys"), F(X, "next", "keys")),
+                eq(F(X, "hslist"), union(singleton(X), F(X, "next", "hslist"))),
+                not_(member(X, F(X, "next", "hslist"))),
+            ),
+        ),
+    )
+
+
+_NOT_POPULATED_SCAFFOLD = or_(
+    ne(F(X, "last"), X),
+    eq(F(X, "hslist"), singleton(X)),
+)
+
+
+def circular_ids() -> IntrinsicDefinition:
+    return IntrinsicDefinition(
+        name="Circular List",
+        sig=circular_signature(),
+        lc_parts={"Br": circular_lc()},
+        correlation=eq(F(X, "last"), X),
+        impact={
+            "next": [X, E.old(F(X, "next"))],
+            "prev": [X, E.old(F(X, "prev"))],
+            "key": [X, F(X, "prev")],
+            "last": [X, F(X, "prev")],
+            "length": [X, F(X, "prev")],
+            "rev_length": [X, F(X, "next")],
+            "keys": [X, F(X, "prev")],
+            "hslist": [X, F(X, "prev")],
+        },
+        mut_pre={
+            # Table 4: only non-scaffoldings (or empty scaffoldings) may
+            # change `last`/`hslist` directly, else the impact is unbounded.
+            "last": _NOT_POPULATED_SCAFFOLD,
+            "hslist": _NOT_POPULATED_SCAFFOLD,
+        },
+        custom_muts={
+            # the paper's AddToLastHsList: scaffolding heaplet grows
+            "add_last_hslist": CustomMutation(
+                field="hslist",
+                impact=[X],
+                pre=eq(F(X, "last"), X),
+                val_constraint=subset(F(X, "hslist"), VAL_VAR),
+            ),
+            # removal of an already-detached node from the scaffolding heaplet
+            "remove_last_hslist": CustomMutation(
+                field="hslist",
+                impact=[X],
+                pre=eq(F(X, "last"), X),
+                val_constraint=and_(
+                    eq(VAL_VAR, diff(F(X, "hslist"), singleton(AUX_VAR))),
+                    nonnil(AUX_VAR),
+                    ne(F(AUX_VAR, "last"), X),
+                ),
+            ),
+            # scaffolding keys refresh (reads of keys(scaffold) are guarded
+            # away by the accumulation stop, so the impact is just {x})
+            "scaffold_keys": CustomMutation(
+                field="keys",
+                impact=[X],
+                pre=eq(F(X, "last"), X),
+            ),
+        },
+    )
+
+
+_ids = circular_ids()
+LC = lambda obj: _ids.lc_at(obj)  # noqa: E731
+
+x, z, k, r, cur, lastv, n1, n2 = (
+    V("x"),
+    V("z"),
+    V("k"),
+    V("r"),
+    V("cur"),
+    V("lastv"),
+    V("n1"),
+    V("n2"),
+)
+
+
+def _detach_to_singleton(node):
+    """Turn a node unlinked from the circle into a valid empty scaffolding."""
+    return [
+        SMut(node, "next", node),
+        SMut(node, "prev", node),
+        SMut(node, "length", I(0)),
+        SMut(node, "rev_length", I(0)),
+        SMut(node, "keys", empty_int_set()),
+        SMut(node, "hslist", singleton(node)),
+        SMut(node, "last", node),
+    ]
+
+
+def _lagging_common():
+    return and_(
+        nonnil(F(cur, "next")),
+        nonnil(F(cur, "prev")),
+        eq(F(cur, "prev", "next"), cur),
+        eq(F(cur, "next", "prev"), cur),
+        eq(F(cur, "last"), lastv),
+        eq(F(cur, "next", "last"), lastv),
+        member(cur, F(lastv, "hslist")),
+        eq(F(cur, "rev_length"), add(F(cur, "prev", "rev_length"), I(1))),
+        ge(F(cur, "rev_length"), I(0)),
+        ge(F(cur, "prev", "rev_length"), I(0)),
+        ne(F(cur, "next"), lastv),
+        not_(member(cur, F(cur, "next", "hslist"))),
+    )
+
+
+def _backward_keys_loop(protect=(), removed_key=None, removed_node=None):
+    """Backward ghost repair of keys/length/hslist (insert/delete-back)."""
+    if removed_key is None:
+        lag_keys = or_(
+            eq(
+                F(cur, "keys"),
+                diff(
+                    union(singleton(F(cur, "key")), F(cur, "next", "keys")),
+                    singleton(k),
+                ),
+            ),
+            eq(F(cur, "keys"), union(singleton(F(cur, "key")), F(cur, "next", "keys"))),
+        )
+        lag_hs = eq(
+            F(cur, "hslist"),
+            diff(
+                union(singleton(cur), F(cur, "next", "hslist")),
+                singleton(z),
+            ),
+        )
+        lag_len = eq(F(cur, "length"), F(cur, "next", "length"))
+        carried = member(k, F(cur, "next", "keys"))
+    else:
+        lag_keys = or_(
+            eq(
+                F(cur, "keys"),
+                union(
+                    singleton(removed_key),
+                    union(singleton(F(cur, "key")), F(cur, "next", "keys")),
+                ),
+            ),
+            eq(F(cur, "keys"), union(singleton(F(cur, "key")), F(cur, "next", "keys"))),
+        )
+        lag_hs = eq(
+            F(cur, "hslist"),
+            union(
+                singleton(removed_node),
+                union(singleton(cur), F(cur, "next", "hslist")),
+            ),
+        )
+        lag_len = eq(F(cur, "length"), add(F(cur, "next", "length"), I(2)))
+        carried = not_(member(removed_node, F(cur, "next", "hslist")))
+    lagging = and_(_lagging_common(), lag_len, lag_keys, lag_hs, carried)
+    invs = [
+        nonnil(cur),
+        eq(F(lastv, "last"), lastv),
+        subset(E.BR, union(singleton(cur), singleton(lastv))),
+        implies(ne(cur, lastv), lagging),
+    ]
+    for v in protect:
+        invs.insert(1, ne(cur, v))
+    body = [
+        SInferLCOutsideBr(F(cur, "prev")),
+        SMut(cur, "keys", union(singleton(F(cur, "key")), F(cur, "next", "keys"))),
+        SMut(cur, "length", add(F(cur, "next", "length"), I(1))),
+        SMut(cur, "hslist", union(singleton(cur), F(cur, "next", "hslist"))),
+        SAssertLCAndRemove(cur),
+        SAssign("cur", F(cur, "prev")),
+    ]
+    return SWhile(
+        ne(cur, lastv),
+        invariants=invs,
+        body=body,
+        decreases=F(cur, "rev_length"),
+        is_ghost=True,
+    )
+
+
+def _forward_rev_loop():
+    """Forward ghost repair of rev_length (insert/delete-front)."""
+    lagging = and_(
+        nonnil(F(cur, "next")),
+        nonnil(F(cur, "prev")),
+        eq(F(cur, "prev", "next"), cur),
+        eq(F(cur, "next", "prev"), cur),
+        eq(F(cur, "last"), lastv),
+        eq(F(cur, "next", "last"), lastv),
+        member(cur, F(lastv, "hslist")),
+        eq(F(cur, "length"), add(F(cur, "next", "length"), I(1))),
+        ge(F(cur, "length"), I(0)),
+        ge(F(cur, "next", "length"), I(0)),
+        ge(F(cur, "prev", "rev_length"), I(0)),
+    )
+    invs = [
+        nonnil(cur),
+        eq(F(lastv, "last"), lastv),
+        subset(E.BR, union(singleton(cur), singleton(lastv))),
+        implies(ne(cur, lastv), lagging),
+    ]
+    body = [
+        SInferLCOutsideBr(F(cur, "next")),
+        SMut(cur, "rev_length", add(F(cur, "prev", "rev_length"), I(1))),
+        SAssertLCAndRemove(cur),
+        SAssign("cur", F(cur, "next")),
+    ]
+    return SWhile(
+        ne(cur, lastv),
+        invariants=invs,
+        body=body,
+        decreases=F(cur, "length"),
+        is_ghost=True,
+    )
+
+
+def proc_insert_back():
+    """Insert k just before the scaffolding.  x is the current back node
+    (next(x) = last(x)); x is the scaffolding itself iff the circle is
+    empty."""
+    return mkproc(
+        "circ_insert_back",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x), eq(F(x, "next"), F(x, "last"))],
+        ensures=[
+            EMPTY_BR,
+            nonnil(r),
+            LC(r),
+            eq(F(r, "key"), k),
+            eq(F(x, "next"), r),
+            member(k, F(x, "last", "keys")),
+            member(r, F(x, "last", "hslist")),
+        ],
+        modifies=F(x, "last", "hslist"),
+        locals={"z": LOC, "lastv": LOC},
+        ghost_locals={"cur": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SAssign("lastv", F(x, "last")),
+            SInferLCOutsideBr(lastv),
+            SInferLCOutsideBr(F(x, "prev")),
+            SNewObj("z"),
+            SMut(z, "key", k),
+            SMut(z, "last", lastv),
+            SMut(z, "next", lastv),
+            SMut(z, "prev", x),
+            SMut(z, "length", add(F(lastv, "length"), I(1))),
+            SMut(z, "rev_length", add(F(x, "rev_length"), I(1))),
+            SMut(z, "keys", singleton(k)),
+            SMut(z, "hslist", singleton(z)),
+            SMut(x, "next", z),
+            SMut(lastv, "prev", z),
+            SMut(
+                lastv,
+                "hslist",
+                union(F(lastv, "hslist"), singleton(z)),
+                variant="add_last_hslist",
+            ),
+            SAssertLCAndRemove(z),
+            SAssign("r", z),
+            SIf(
+                eq(x, lastv),
+                [
+                    # empty circle: just refresh the scaffolding keys
+                    SMut(lastv, "keys", F(z, "keys"), variant="scaffold_keys"),
+                    SAssertLCAndRemove(lastv),
+                ],
+                [
+                    SMut(x, "keys", union(singleton(F(x, "key")), F(z, "keys"))),
+                    SMut(x, "length", add(F(z, "length"), I(1))),
+                    SMut(x, "hslist", union(singleton(x), F(z, "hslist"))),
+                    SAssertLCAndRemove(x),
+                    SAssign("cur", F(x, "prev")),
+                    _backward_keys_loop(protect=(x, z)),
+                    SMut(lastv, "keys", F(lastv, "next", "keys"), variant="scaffold_keys"),
+                    SAssertLCAndRemove(lastv),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_insert_front():
+    """Insert k right after the scaffolding x."""
+    return mkproc(
+        "circ_insert_front",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x), eq(F(x, "last"), x)],
+        ensures=[
+            EMPTY_BR,
+            nonnil(r),
+            LC(r),
+            eq(F(r, "key"), k),
+            eq(F(x, "next"), r),
+            eq(F(x, "keys"), union(old(F(x, "keys")), singleton(k))),
+            member(r, F(x, "hslist")),
+        ],
+        modifies=singleton(x),
+        locals={"z": LOC, "lastv": LOC, "n1": LOC},
+        ghost_locals={"cur": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SAssign("lastv", x),
+            SAssign("n1", F(x, "next")),
+            SInferLCOutsideBr(n1),
+            SNewObj("z"),
+            SMut(z, "key", k),
+            SMut(z, "last", lastv),
+            SMut(z, "next", n1),
+            SMut(z, "prev", x),
+            SMut(z, "rev_length", I(1)),
+            SMut(z, "length", add(F(n1, "length"), I(1))),
+            SMut(z, "keys", ite(eq(n1, x), singleton(k), union(singleton(k), F(n1, "keys")))),
+            SMut(z, "hslist", ite(eq(n1, x), singleton(z), union(singleton(z), F(n1, "hslist")))),
+            SMut(x, "next", z),
+            SMut(n1, "prev", z),
+            SMut(
+                x,
+                "hslist",
+                union(F(x, "hslist"), singleton(z)),
+                variant="add_last_hslist",
+            ),
+            SMut(x, "keys", F(z, "keys"), variant="scaffold_keys"),
+            SAssertLCAndRemove(z),
+            SAssertLCAndRemove(x),
+            SAssign("r", z),
+            SIf(
+                eq(n1, x),
+                [],
+                [
+                    # rev_length of n1, n2, ... shifted by one: forward repair
+                    SAssign("cur", n1),
+                    _forward_rev_loop(),
+                    SAssertLCAndRemove(lastv),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_delete_front():
+    """Remove the node right after the scaffolding x; the removed node is
+    repaired into a valid empty scaffolding of its own."""
+    return mkproc(
+        "circ_delete_front",
+        params=[("x", LOC)],
+        outs=[("r", LOC)],
+        requires=[
+            EMPTY_BR,
+            nonnil(x),
+            LC(x),
+            eq(F(x, "last"), x),
+            ne(F(x, "next"), x),
+        ],
+        ensures=[
+            EMPTY_BR,
+            nonnil(r),
+            eq(r, old(F(x, "next"))),
+            LC(r),
+            eq(F(r, "last"), r),
+            not_(member(r, F(x, "hslist"))),
+        ],
+        modifies=singleton(x),
+        locals={"n1": LOC, "n2": LOC, "lastv": LOC},
+        ghost_locals={"cur": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SAssign("lastv", x),
+            SAssign("n1", F(x, "next")),
+            SInferLCOutsideBr(n1),
+            SAssign("n2", F(n1, "next")),
+            SInferLCOutsideBr(n2),
+            SMut(x, "next", n2),
+            SMut(n2, "prev", x),
+            *_detach_to_singleton(n1),
+            SMut(
+                x,
+                "hslist",
+                diff(F(x, "hslist"), singleton(n1)),
+                variant="remove_last_hslist",
+                aux=n1,
+            ),
+            SMut(
+                x,
+                "keys",
+                ite(eq(F(x, "next"), x), empty_int_set(), F(x, "next", "keys")),
+                variant="scaffold_keys",
+            ),
+            SAssertLCAndRemove(n1),
+            SAssertLCAndRemove(x),
+            SIf(
+                eq(n2, x),
+                [],
+                [
+                    # rev_length of n2, ... shifted down: forward repair
+                    SAssign("cur", n2),
+                    _forward_rev_loop(),
+                    SAssertLCAndRemove(lastv),
+                ],
+            ),
+            SAssign("r", n1),
+        ],
+    )
+
+
+def proc_delete_back():
+    """Remove the node just before the scaffolding x."""
+    return mkproc(
+        "circ_delete_back",
+        params=[("x", LOC)],
+        outs=[("r", LOC)],
+        requires=[
+            EMPTY_BR,
+            nonnil(x),
+            LC(x),
+            eq(F(x, "last"), x),
+            ne(F(x, "next"), x),
+        ],
+        ensures=[
+            EMPTY_BR,
+            nonnil(r),
+            eq(r, old(F(x, "prev"))),
+            LC(r),
+            eq(F(r, "last"), r),
+            not_(member(r, F(x, "hslist"))),
+        ],
+        modifies=singleton(x),
+        locals={"nk": LOC, "nk1": LOC, "lastv": LOC},
+        ghost_locals={"cur": LOC, "z": LOC, "k": INT},
+        body=[
+            SInferLCOutsideBr(x),
+            SAssign("lastv", x),
+            SAssign("nk", F(x, "prev")),
+            SInferLCOutsideBr(V("nk")),
+            SAssign("nk1", F(V("nk"), "prev")),
+            SInferLCOutsideBr(V("nk1")),
+            SAssign("z", V("nk")),
+            SAssign("k", F(V("nk"), "key")),
+            SMut(V("nk1"), "next", x),
+            SMut(x, "prev", V("nk1")),
+            *_detach_to_singleton(V("nk")),
+            SMut(
+                x,
+                "hslist",
+                diff(F(x, "hslist"), singleton(V("nk"))),
+                variant="remove_last_hslist",
+                aux=V("nk"),
+            ),
+            SAssertLCAndRemove(V("nk")),
+            SIf(
+                eq(V("nk1"), x),
+                [
+                    SMut(x, "keys", empty_int_set(), variant="scaffold_keys"),
+                    SAssertLCAndRemove(x),
+                ],
+                [
+                    SMut(V("nk1"), "keys", singleton(F(V("nk1"), "key"))),
+                    SMut(V("nk1"), "length", add(F(x, "length"), I(1))),
+                    SMut(V("nk1"), "hslist", singleton(V("nk1"))),
+                    SAssertLCAndRemove(V("nk1")),
+                    SAssign("cur", F(V("nk1"), "prev")),
+                    _backward_keys_loop(
+                        protect=(V("nk1"),),
+                        removed_key=V("k"),
+                        removed_node=V("z"),
+                    ),
+                    SMut(x, "keys", F(x, "next", "keys"), variant="scaffold_keys"),
+                    SAssertLCAndRemove(x),
+                ],
+            ),
+            SAssign("r", V("nk")),
+        ],
+    )
+
+
+def circular_program() -> Program:
+    procs = [
+        proc_insert_back(),
+        proc_insert_front(),
+        proc_delete_front(),
+        proc_delete_back(),
+    ]
+    return Program(circular_signature(), {p.name: p for p in procs})
+
+
+METHODS = ["circ_insert_front", "circ_insert_back", "circ_delete_front", "circ_delete_back"]
+
+
+def build_circular(keys):
+    """Concrete circular-list builder: scaffolding + nodes for ``keys``.
+    Returns (heap, scaffolding)."""
+    from ..lang.semantics import Heap
+
+    heap = Heap(circular_signature())
+    scaffold = heap.new_object()
+    heap.write(scaffold, "key", 0)
+    nodes = [heap.new_object() for _ in keys]
+    ring = [scaffold] + nodes
+    n = len(ring)
+    for i, node in enumerate(ring):
+        heap.write(node, "next", ring[(i + 1) % n])
+        heap.write(node, "prev", ring[(i - 1) % n])
+        heap.write(node, "last", scaffold)
+    for node, kv in zip(nodes, keys):
+        heap.write(node, "key", kv)
+    heap.write(scaffold, "length", 0)
+    heap.write(scaffold, "rev_length", 0)
+    # real nodes accumulate up to (not including) the scaffolding
+    for idx in range(len(nodes) - 1, -1, -1):
+        node = nodes[idx]
+        if idx == len(nodes) - 1:
+            heap.write(node, "keys", frozenset([keys[idx]]))
+            heap.write(node, "hslist", frozenset([node]))
+        else:
+            nxt = nodes[idx + 1]
+            heap.write(node, "keys", heap.read(nxt, "keys") | {keys[idx]})
+            heap.write(node, "hslist", heap.read(nxt, "hslist") | {node})
+        heap.write(node, "length", len(nodes) - idx)
+        heap.write(node, "rev_length", idx + 1)
+    if nodes:
+        heap.write(scaffold, "keys", frozenset(heap.read(nodes[0], "keys")))
+        heap.write(scaffold, "hslist", frozenset(heap.read(nodes[0], "hslist") | {scaffold}))
+    else:
+        heap.write(scaffold, "keys", frozenset())
+        heap.write(scaffold, "hslist", frozenset([scaffold]))
+    return heap, scaffold

@@ -1,0 +1,105 @@
+"""Shared helpers for the benchmark structure definitions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import exprs as E
+from ..lang.ast import ClassSignature, Procedure, Program
+from ..lang.semantics import Heap, Obj
+from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC, Sort
+from ..core.ids import LC_VAR, IntrinsicDefinition
+
+__all__ = [
+    "X",
+    "mkproc",
+    "loc",
+    "integer",
+    "real",
+    "boolean",
+    "set_loc",
+    "set_int",
+    "nonnil",
+    "isnil",
+    "EMPTY_BR",
+    "fresh_list_heap",
+]
+
+#: the LC template variable (the paper's universally-local "x")
+X = LC_VAR
+
+loc = LOC
+integer = INT
+real = REAL
+boolean = BOOL
+set_loc = SET_LOC
+set_int = SET_INT
+
+
+def nonnil(e: E.Expr) -> E.Expr:
+    return E.ne(e, E.NIL_E)
+
+
+def isnil(e: E.Expr) -> E.Expr:
+    return E.eq(e, E.NIL_E)
+
+
+EMPTY_BR = E.eq(E.BR, E.empty_loc_set())
+
+
+def mkproc(
+    name: str,
+    params: List[Tuple[str, Sort]],
+    outs: List[Tuple[str, Sort]],
+    requires: List[E.Expr],
+    ensures: List[E.Expr],
+    body,
+    modifies: Optional[E.Expr] = None,
+    locals: Optional[Dict[str, Sort]] = None,
+    ghost_locals: Optional[Dict[str, Sort]] = None,
+    is_well_behaved: bool = True,
+) -> Procedure:
+    return Procedure(
+        name=name,
+        params=params,
+        outs=outs,
+        requires=requires,
+        ensures=ensures,
+        body=body,
+        modifies=modifies,
+        locals=locals or {},
+        ghost_locals=ghost_locals or {},
+        is_well_behaved=is_well_behaved,
+    )
+
+
+def fresh_list_heap(sig: ClassSignature, keys: List[int]) -> Tuple[Heap, Optional[Obj]]:
+    """Build a concrete list heap with correct ghost maps (prev, length,
+    keys, hslist) for the list-shaped structures.  Returns (heap, head)."""
+    heap = Heap(sig)
+    nodes = [heap.new_object() for _ in keys]
+    n = len(nodes)
+    for i, (node, k) in enumerate(zip(nodes, keys)):
+        heap.write(node, "key", k)
+        heap.write(node, "next", nodes[i + 1] if i + 1 < n else None)
+        if "prev" in sig.ghosts:
+            heap.write(node, "prev", nodes[i - 1] if i > 0 else None)
+    # ghost measures, computed back-to-front
+    for i in range(n - 1, -1, -1):
+        node = nodes[i]
+        if i + 1 < n:
+            nxt = nodes[i + 1]
+            if "length" in sig.ghosts:
+                heap.write(node, "length", heap.read(nxt, "length") + 1)
+            if "keys" in sig.ghosts:
+                heap.write(node, "keys", heap.read(nxt, "keys") | {keys[i]})
+            if "hslist" in sig.ghosts:
+                heap.write(node, "hslist", heap.read(nxt, "hslist") | {node})
+        else:
+            if "length" in sig.ghosts:
+                heap.write(node, "length", 1)
+            if "keys" in sig.ghosts:
+                heap.write(node, "keys", frozenset([keys[i]]))
+            if "hslist" in sig.ghosts:
+                heap.write(node, "hslist", frozenset([node]))
+    return heap, (nodes[0] if nodes else None)

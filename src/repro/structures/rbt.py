@@ -1,0 +1,596 @@
+"""Red-black trees (Table 2: Insert, Delete, Del-L-Fixup, Del-R-Fixup,
+Find-Min).
+
+Intrinsic definition = BST definition + ``black : C -> Bool`` +
+``bh : C -> Int`` (black-height) with the local conditions:
+
+- both children carry the same black-height contribution,
+- ``bh(x)`` adds one exactly when x is black,
+- a red node has black children.
+
+Insertion follows the functional rebalancing scheme: the recursion may
+return a subtree whose *root* violates the red-red condition (the root is
+the single broken object, carried in Br across the call boundary -- the
+FWYB rendition of Okasaki's "infrared" trees); the black grandparent
+repairs it with one of four rotation/recolor cases, and the top-level
+insert blackens the final root.
+
+Deletion propagates a *black-height deficiency*: ``del_l_fixup`` /
+``del_r_fixup`` are the paper's standalone methods that repair a node
+whose left/right subtree is one black-height short, returning the repaired
+subtree and whether the deficiency escaped upward.
+"""
+
+from __future__ import annotations
+
+from ..core.ids import IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    Program,
+    SAssert,
+    SAssertLCAndRemove,
+    SAssign,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNewObj,
+)
+from ..lang.exprs import (
+    B,
+    EBool,
+    F,
+    I,
+    NIL_E,
+    V,
+    add,
+    and_,
+    diff,
+    empty_int_set,
+    empty_loc_set,
+    eq,
+    ge,
+    gt,
+    iff,
+    implies,
+    ite,
+    le,
+    lt,
+    member,
+    ne,
+    not_,
+    old,
+    or_,
+    singleton,
+    sub,
+    subset,
+    union,
+)
+from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC
+from .bst import BST_IMPACT, bst_lc, bst_signature
+from .common import EMPTY_BR, X, isnil, mkproc, nonnil
+
+__all__ = ["rbt_ids", "rbt_program", "METHODS"]
+
+
+def rbt_signature():
+    sig = bst_signature(extra_ghosts={"black": BOOL, "bh": INT})
+    sig.name = "RBT"
+    return sig
+
+
+def _bh(node) -> E.Expr:
+    return ite(isnil(node), I(0), F(node, "bh"))
+
+
+def _is_black(node) -> E.Expr:
+    return or_(isnil(node), F(node, "black"))
+
+
+def rbt_color_lc() -> E.Expr:
+    bhl = _bh(F(X, "l"))
+    bhr = _bh(F(X, "r"))
+    return and_(
+        eq(bhl, bhr),
+        eq(F(X, "bh"), add(bhl, ite(F(X, "black"), I(1), I(0)))),
+        ge(F(X, "bh"), I(0)),
+        implies(
+            not_(F(X, "black")),
+            and_(_is_black(F(X, "l")), _is_black(F(X, "r"))),
+        ),
+    )
+
+
+def rbt_lc() -> E.Expr:
+    return and_(bst_lc(), rbt_color_lc())
+
+
+def rbt_partial_lc_at(obj) -> E.Expr:
+    """LC minus the red-children condition (the insert recursion's pending
+    state: obj may be red with one red child)."""
+    from ..core.ids import LC_VAR
+    from ..lang.exprs import subst_expr
+
+    bhl = _bh(F(obj, "l"))
+    bhr = _bh(F(obj, "r"))
+    return and_(
+        subst_expr(bst_lc(), {LC_VAR: obj}),
+        eq(bhl, bhr),
+        eq(F(obj, "bh"), add(bhl, ite(F(obj, "black"), I(1), I(0)))),
+        ge(F(obj, "bh"), I(0)),
+    )
+
+
+def rbt_ids() -> IntrinsicDefinition:
+    impact = dict(BST_IMPACT)
+    impact["black"] = [X, F(X, "p")]
+    impact["bh"] = [X, F(X, "p")]
+    return IntrinsicDefinition(
+        name="Red-Black Tree",
+        sig=rbt_signature(),
+        lc_parts={"Br": rbt_lc()},
+        correlation=and_(isnil(F(X, "p")), F(X, "black")),
+        impact=impact,
+    )
+
+
+_ids = rbt_ids()
+LC = lambda obj: _ids.lc_at(obj)  # noqa: E731
+
+x, y, z, w, s, k, r, m, tmp, rest, b, xp, d = (
+    V("x"),
+    V("y"),
+    V("z"),
+    V("w"),
+    V("s"),
+    V("k"),
+    V("r"),
+    V("m"),
+    V("tmp"),
+    V("rest"),
+    V("b"),
+    V("xp"),
+    V("d"),
+)
+
+
+def _refresh_measures(node):
+    l, r_ = F(node, "l"), F(node, "r")
+    return [
+        SMut(node, "min", ite(nonnil(l), F(node, "l", "min"), F(node, "key"))),
+        SMut(node, "max", ite(nonnil(r_), F(node, "r", "max"), F(node, "key"))),
+        SMut(
+            node,
+            "keys",
+            union(
+                singleton(F(node, "key")),
+                ite(nonnil(l), F(node, "l", "keys"), empty_int_set()),
+                ite(nonnil(r_), F(node, "r", "keys"), empty_int_set()),
+            ),
+        ),
+        SMut(
+            node,
+            "hs",
+            union(
+                singleton(node),
+                ite(nonnil(l), F(node, "l", "hs"), empty_loc_set()),
+                ite(nonnil(r_), F(node, "r", "hs"), empty_loc_set()),
+            ),
+        ),
+        SMut(
+            node,
+            "bh",
+            add(_bh(l), ite(F(node, "black"), I(1), I(0))),
+        ),
+    ]
+
+
+def _fix_singleton(node, black=True):
+    return [
+        SMut(node, "p", NIL_E),
+        SMut(node, "min", F(node, "key")),
+        SMut(node, "max", F(node, "key")),
+        SMut(node, "keys", singleton(F(node, "key"))),
+        SMut(node, "hs", singleton(node)),
+        SMut(node, "black", EBool(black)),
+        SMut(node, "bh", I(1 if black else 0)),
+    ]
+
+
+def _rotate_left_at(a, bname, rankexpr):
+    """a.r becomes the local root (bname is a local var holding a.r)."""
+    bv = V(bname)
+    return [
+        SAssign("w", F(bv, "l")),
+        SMut(a, "r", V("w")),
+        SMut(bv, "l", a),
+        SMut(bv, "p", NIL_E),
+        SIf(nonnil(V("w")), [SMut(V("w"), "p", a)], []),
+        SAssertLCAndRemove(V("w")),
+        *_refresh_measures(a),
+        SMut(a, "p", bv),
+        SMut(bv, "rank", rankexpr),
+        *_refresh_measures(bv),
+    ]
+
+
+def _rotate_right_at(a, bname, rankexpr):
+    bv = V(bname)
+    return [
+        SAssign("w", F(bv, "r")),
+        SMut(a, "l", V("w")),
+        SMut(bv, "r", a),
+        SMut(bv, "p", NIL_E),
+        SIf(nonnil(V("w")), [SMut(V("w"), "p", a)], []),
+        SAssertLCAndRemove(V("w")),
+        *_refresh_measures(a),
+        SMut(a, "p", bv),
+        SMut(bv, "rank", rankexpr),
+        *_refresh_measures(bv),
+    ]
+
+
+def _new_rank(xpv, av):
+    return ite(
+        isnil(xpv),
+        add(F(av, "rank"), E.R(1)),
+        E.div(add(F(xpv, "rank"), F(av, "rank")), E.R(2)),
+    )
+
+
+def proc_rbt_find_min():
+    return mkproc(
+        "rbt_find_min",
+        params=[("x", LOC)],
+        outs=[("k", INT)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[EMPTY_BR, eq(k, old(F(x, "min"))), member(k, old(F(x, "keys")))],
+        modifies=empty_loc_set(),
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(F(x, "l")),
+                [SAssign("k", F(x, "key"))],
+                [
+                    SInferLCOutsideBr(F(x, "l")),
+                    SCall(("k",), "rbt_find_min", (F(x, "l"),)),
+                ],
+            ),
+        ],
+    )
+
+
+def _okasaki_balance_left(out_var):
+    """x is black; its left child tmp has a pending red-red violation.
+    Repair via the two Okasaki cases; result (red root, black children)
+    is written to out_var.  Entry Br: {x, tmp}; exit: {out_var holder}."""
+    return [
+        SIf(
+            and_(nonnil(F(tmp, "l")), not_(_is_black(F(tmp, "l")))),
+            [
+                # case L-L: right rotation at x; tmp is the new root
+                SMut(F(tmp, "l"), "black", EBool(True)),
+                SMut(F(tmp, "l"), "bh", add(F(tmp, "l", "bh"), I(1))),
+                SAssertLCAndRemove(F(tmp, "l")),
+                SAssign("y", tmp),
+                *_rotate_right_at(x, "y", _new_rank(xp, x)),
+                SAssertLCAndRemove(x),
+                SAssertLCAndRemove(y),
+                SAssign(out_var, y),
+            ],
+            [
+                # case L-R: left-rotate inside tmp, then right-rotate at x
+                SAssign("z", F(tmp, "r")),
+                SInferLCOutsideBr(z),
+                # the old red child is blackened; the grandchild z becomes
+                # the (red) root of the repaired subtree
+                SMut(tmp, "black", EBool(True)),
+                SAssign("y", tmp),
+                # left-rotate (y, z)
+                SAssign("w", F(z, "l")),
+                SMut(y, "r", V("w")),
+                SMut(z, "l", y),
+                SMut(z, "p", NIL_E),
+                SIf(nonnil(V("w")), [SMut(V("w"), "p", y)], []),
+                SAssertLCAndRemove(V("w")),
+                *_refresh_measures(y),
+                SMut(y, "p", z),
+                SMut(z, "rank", E.div(add(F(x, "rank"), F(y, "rank")), E.R(2))),
+                SAssertLCAndRemove(y),
+                *_refresh_measures(z),
+                SMut(x, "l", z),
+                SMut(z, "p", x),
+                # re-attach re-broke the blackened old child: repair it
+                SAssertLCAndRemove(y),
+                # z stays broken until the outer rotation rebalances it
+                SAssign("y", F(x, "l")),
+                *_rotate_right_at(x, "y", _new_rank(xp, x)),
+                SAssertLCAndRemove(x),
+                SAssertLCAndRemove(y),
+                SAssign(out_var, y),
+            ],
+        ),
+    ]
+
+
+def _okasaki_balance_right(out_var):
+    return [
+        SIf(
+            and_(nonnil(F(tmp, "r")), not_(_is_black(F(tmp, "r")))),
+            [
+                # case R-R: left rotation at x
+                SMut(F(tmp, "r"), "black", EBool(True)),
+                SMut(F(tmp, "r"), "bh", add(F(tmp, "r", "bh"), I(1))),
+                SAssertLCAndRemove(F(tmp, "r")),
+                SAssign("y", tmp),
+                *_rotate_left_at(x, "y", _new_rank(xp, x)),
+                SAssertLCAndRemove(x),
+                SAssertLCAndRemove(y),
+                SAssign(out_var, y),
+            ],
+            [
+                # case R-L
+                SAssign("z", F(tmp, "l")),
+                SInferLCOutsideBr(z),
+                SMut(tmp, "black", EBool(True)),
+                SAssign("y", tmp),
+                # right-rotate (y, z)
+                SAssign("w", F(z, "r")),
+                SMut(y, "l", V("w")),
+                SMut(z, "r", y),
+                SMut(z, "p", NIL_E),
+                SIf(nonnil(V("w")), [SMut(V("w"), "p", y)], []),
+                SAssertLCAndRemove(V("w")),
+                *_refresh_measures(y),
+                SMut(y, "p", z),
+                SMut(z, "rank", E.div(add(F(x, "rank"), F(y, "rank")), E.R(2))),
+                SAssertLCAndRemove(y),
+                *_refresh_measures(z),
+                SMut(x, "r", z),
+                SMut(z, "p", x),
+                SAssertLCAndRemove(y),
+                SAssign("y", F(x, "r")),
+                *_rotate_left_at(x, "y", _new_rank(xp, x)),
+                SAssertLCAndRemove(x),
+                SAssertLCAndRemove(y),
+                SAssign(out_var, y),
+            ],
+        ),
+    ]
+
+
+def proc_rbt_insert_rec():
+    """Inner insertion: may return an 'infrared' subtree (red root with one
+    red child), signalled by the root remaining in the broken set."""
+    fresh = diff(E.ALLOC, old(E.ALLOC))
+    pending = and_(not_(F(r, "black")), not_(old(F(x, "black"))))
+    return mkproc(
+        "rbt_insert_rec",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            subset(
+                E.BR,
+                union(
+                    ite(isnil(old(F(x, "p"))), empty_loc_set(), singleton(old(F(x, "p")))),
+                    singleton(r),
+                ),
+            ),
+            nonnil(r),
+            rbt_partial_lc_at(r),
+            implies(old(F(x, "black")), and_(LC(r), not_(member(r, E.BR)))),
+            implies(not_(member(r, E.BR)), LC(r)),
+            isnil(F(r, "p")),
+            eq(F(r, "keys"), union(old(F(x, "keys")), singleton(k))),
+            subset(old(F(x, "hs")), F(r, "hs")),
+            subset(F(r, "hs"), union(old(F(x, "hs")), fresh)),
+            implies(
+                isnil(old(F(x, "p"))),
+                le(F(r, "rank"), add(old(F(x, "rank")), E.R(1))),
+            ),
+            implies(
+                nonnil(old(F(x, "p"))),
+                lt(F(r, "rank"), old(F(x, "p", "rank"))),
+            ),
+            ge(F(r, "min"), ite(lt(k, old(F(x, "min"))), k, old(F(x, "min")))),
+            le(F(r, "max"), ite(gt(k, old(F(x, "max"))), k, old(F(x, "max")))),
+            eq(F(r, "bh"), old(F(x, "bh"))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"z": LOC, "tmp": LOC, "y": LOC, "xp": LOC, "w": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SInferLCOutsideBr(F(x, "p")),
+            SAssign("xp", F(x, "p")),
+            SIf(
+                eq(k, F(x, "key")),
+                [
+                    SMut(x, "p", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", x),
+                ],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [
+                                    SNewObj("z"),
+                                    SMut(z, "key", k),
+                                    SMut(z, "rank", sub(F(x, "rank"), E.R(1))),
+                                    SMut(z, "min", k),
+                                    SMut(z, "max", k),
+                                    SMut(z, "keys", singleton(k)),
+                                    SMut(z, "hs", singleton(z)),
+                                    SMut(z, "black", EBool(False)),
+                                    SMut(z, "bh", I(0)),
+                                    SAssign("tmp", z),
+                                ],
+                                [
+                                    SAssign("y", F(x, "l")),
+                                    SInferLCOutsideBr(y),
+                                    SCall(("tmp",), "rbt_insert_rec", (y, k)),
+                                    SInferLCOutsideBr(y),
+                                ],
+                            ),
+                            SMut(x, "l", tmp),
+                            # when the recursion returned y itself (possibly
+                            # infrared), its repair happens below
+                            SIf(ne(y, tmp), [SAssertLCAndRemove(y)], []),
+                            SMut(tmp, "p", x),
+                            *_refresh_measures(x),
+                            SMut(x, "p", NIL_E),
+                            SIf(
+                                and_(
+                                    F(x, "black"),
+                                    not_(_is_black(tmp)),
+                                    or_(
+                                        and_(nonnil(F(tmp, "l")), not_(_is_black(F(tmp, "l")))),
+                                        and_(nonnil(F(tmp, "r")), not_(_is_black(F(tmp, "r")))),
+                                    ),
+                                ),
+                                [
+                                    # black parent repairs the infrared child
+                                    *_okasaki_balance_left("r"),
+                                ],
+                                [
+                                    SAssertLCAndRemove(tmp),
+                                    # x red with red tmp: the infrared case --
+                                    # x stays broken for the caller to repair
+                                    SIf(
+                                        or_(F(x, "black"), _is_black(tmp)),
+                                        [SAssertLCAndRemove(x)],
+                                        [],
+                                    ),
+                                    SAssign("r", x),
+                                ],
+                            ),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [
+                                    SNewObj("z"),
+                                    SMut(z, "key", k),
+                                    SMut(z, "rank", sub(F(x, "rank"), E.R(1))),
+                                    SMut(z, "min", k),
+                                    SMut(z, "max", k),
+                                    SMut(z, "keys", singleton(k)),
+                                    SMut(z, "hs", singleton(z)),
+                                    SMut(z, "black", EBool(False)),
+                                    SMut(z, "bh", I(0)),
+                                    SAssign("tmp", z),
+                                ],
+                                [
+                                    SAssign("y", F(x, "r")),
+                                    SInferLCOutsideBr(y),
+                                    SCall(("tmp",), "rbt_insert_rec", (y, k)),
+                                    SInferLCOutsideBr(y),
+                                ],
+                            ),
+                            SMut(x, "r", tmp),
+                            # when the recursion returned y itself (possibly
+                            # infrared), its repair happens below
+                            SIf(ne(y, tmp), [SAssertLCAndRemove(y)], []),
+                            SMut(tmp, "p", x),
+                            *_refresh_measures(x),
+                            SMut(x, "p", NIL_E),
+                            SIf(
+                                and_(
+                                    F(x, "black"),
+                                    not_(_is_black(tmp)),
+                                    or_(
+                                        and_(nonnil(F(tmp, "l")), not_(_is_black(F(tmp, "l")))),
+                                        and_(nonnil(F(tmp, "r")), not_(_is_black(F(tmp, "r")))),
+                                    ),
+                                ),
+                                [
+                                    *_okasaki_balance_right("r"),
+                                ],
+                                [
+                                    SAssertLCAndRemove(tmp),
+                                    # x red with red tmp: the infrared case --
+                                    # x stays broken for the caller to repair
+                                    SIf(
+                                        or_(F(x, "black"), _is_black(tmp)),
+                                        [SAssertLCAndRemove(x)],
+                                        [],
+                                    ),
+                                    SAssign("r", x),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+        is_well_behaved=True,
+    )
+
+
+def proc_rbt_insert():
+    """Public insert: blacken the final root (Okasaki's outer step)."""
+    fresh = diff(E.ALLOC, old(E.ALLOC))
+    return mkproc(
+        "rbt_insert",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x), isnil(F(x, "p")), F(x, "black")],
+        ensures=[
+            EMPTY_BR,
+            nonnil(r),
+            LC(r),
+            isnil(F(r, "p")),
+            F(r, "black"),
+            eq(F(r, "keys"), union(old(F(x, "keys")), singleton(k))),
+            subset(F(r, "hs"), union(old(F(x, "hs")), fresh)),
+        ],
+        modifies=F(x, "hs"),
+        locals={"tmp": LOC},
+        body=[
+            SCall(("tmp",), "rbt_insert_rec", (x, k)),
+            SIf(
+                not_(F(tmp, "black")),
+                [
+                    SMut(tmp, "black", EBool(True)),
+                    SMut(tmp, "bh", add(F(tmp, "bh"), I(1))),
+                ],
+                [],
+            ),
+            SAssertLCAndRemove(tmp),
+            SAssign("r", tmp),
+        ],
+    )
+
+
+def rbt_program() -> Program:
+    procs = [
+        proc_rbt_find_min(),
+        proc_rbt_insert_rec(),
+        proc_rbt_insert(),
+    ]
+    return Program(rbt_signature(), {p.name: p for p in procs})
+
+
+METHODS = ["rbt_insert", "rbt_find_min", "rbt_insert_rec"]
+
+
+def build_rbt(sig, first_key):
+    """Bootstrap builder: a single black root; grow with rbt_insert."""
+    from fractions import Fraction
+
+    from ..lang.semantics import Heap
+
+    heap = Heap(sig)
+    node = heap.new_object()
+    heap.write(node, "key", first_key)
+    heap.write(node, "rank", Fraction(1000))
+    heap.write(node, "black", True)
+    heap.write(node, "bh", 1)
+    heap.write(node, "min", first_key)
+    heap.write(node, "max", first_key)
+    heap.write(node, "keys", frozenset([first_key]))
+    heap.write(node, "hs", frozenset([node]))
+    return heap, node

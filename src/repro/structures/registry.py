@@ -1,0 +1,184 @@
+"""Experiment registry: the Table 2 suite.
+
+Maps every reproduced Table 2 row to its intrinsic definition, program and
+methods, and computes the table's size columns from the ASTs:
+
+- ``LC size``   -- conjunct count of the local condition(s),
+- ``LoC``       -- executable statements of the method,
+- ``Spec``      -- requires + ensures (+ modifies) conjuncts,
+- ``Ann``       -- ghost annotations: monadic-map updates, broken-set
+  macros, LC inferences/assertions, and loop invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..core.ids import IntrinsicDefinition, conjunct_count
+from ..lang.ast import (
+    Procedure,
+    Program,
+    SAssert,
+    SAssertLCAndRemove,
+    SAssign,
+    SBlock,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNewObj,
+    SWhile,
+    stmt_count,
+)
+
+__all__ = ["Experiment", "EXPERIMENTS", "method_sizes", "all_methods"]
+
+
+@dataclass
+class Experiment:
+    structure: str
+    ids_factory: Callable[[], IntrinsicDefinition]
+    program_factory: Callable[[], Program]
+    methods: List[str]
+    notes: str = ""
+
+
+def _lazy(modpath: str, name: str):
+    def get():
+        import importlib
+
+        return getattr(importlib.import_module(modpath), name)()
+
+    return get
+
+
+EXPERIMENTS: List[Experiment] = [
+    Experiment(
+        "Singly-Linked List",
+        _lazy("repro.structures.sll", "sll_ids"),
+        _lazy("repro.structures.sll", "sll_program"),
+        [
+            "sll_append",
+            "sll_copy_all",
+            "sll_delete_all",
+            "sll_find",
+            "sll_insert_back",
+            "sll_insert_front",
+            "sll_insert",
+            "sll_reverse",
+        ],
+    ),
+    Experiment(
+        "Sorted List",
+        _lazy("repro.structures.sorted_list", "sorted_ids"),
+        _lazy("repro.structures.sorted_list", "sorted_program"),
+        ["sorted_delete_all", "sorted_find", "sorted_insert", "sorted_merge"],
+    ),
+    Experiment(
+        "Sorted List (reversal)",
+        _lazy("repro.structures.sorted_list", "sortedrev_ids"),
+        _lazy("repro.structures.sorted_list", "sortedrev_program"),
+        ["sorted_reverse"],
+    ),
+    Experiment(
+        "Sorted List (w. min, max maps)",
+        _lazy("repro.structures.sorted_list_minmax", "sortedmm_ids"),
+        _lazy("repro.structures.sorted_list_minmax", "sortedmm_program"),
+        ["sortedmm_concatenate", "sortedmm_find_last"],
+    ),
+    Experiment(
+        "Circular List",
+        _lazy("repro.structures.circular_list", "circular_ids"),
+        _lazy("repro.structures.circular_list", "circular_program"),
+        [
+            "circ_insert_front",
+            "circ_insert_back",
+            "circ_delete_front",
+            "circ_delete_back",
+        ],
+    ),
+    Experiment(
+        "Binary Search Tree",
+        _lazy("repro.structures.bst", "bst_ids"),
+        _lazy("repro.structures.bst", "bst_program"),
+        ["bst_find", "bst_insert", "bst_delete", "bst_remove_root"],
+    ),
+    Experiment(
+        "Treap",
+        _lazy("repro.structures.treap", "treap_ids"),
+        _lazy("repro.structures.treap", "treap_program"),
+        ["treap_find", "treap_insert", "treap_delete", "treap_remove_root"],
+    ),
+    Experiment(
+        "AVL Tree",
+        _lazy("repro.structures.avl", "avl_ids"),
+        _lazy("repro.structures.avl", "avl_program"),
+        ["avl_insert", "avl_delete", "avl_balance", "avl_find_min"],
+    ),
+    Experiment(
+        "Red-Black Tree",
+        _lazy("repro.structures.rbt", "rbt_ids"),
+        _lazy("repro.structures.rbt", "rbt_program"),
+        ["rbt_insert", "rbt_insert_rec", "rbt_find_min"],
+        notes="delete/fixups not reproduced (see EXPERIMENTS.md)",
+    ),
+    Experiment(
+        "Scheduler Queue (overlaid SLL+BST)",
+        _lazy("repro.structures.scheduler_queue", "sched_ids"),
+        _lazy("repro.structures.scheduler_queue", "sched_program"),
+        [
+            "sched_move_request",
+            "sched_list_remove_first",
+            "sched_bst_delete_leaf",
+            "sched_find",
+        ],
+    ),
+]
+
+
+def _annotation_count(proc: Procedure, ids: IntrinsicDefinition) -> int:
+    """Ghost annotations: map updates, broken-set macros, invariants."""
+    n = 0
+
+    def go(stmts):
+        nonlocal n
+        for s in stmts:
+            if isinstance(s, SMut):
+                if ids.sig.is_ghost_field(s.field):
+                    n += 1
+            elif isinstance(s, (SAssertLCAndRemove, SInferLCOutsideBr, SAssert)):
+                n += 1
+            elif isinstance(s, SAssign) and (
+                s.var in proc.ghost_locals or s.var.startswith("Br")
+            ):
+                n += 1
+            elif isinstance(s, SIf):
+                go(s.then)
+                go(s.els)
+            elif isinstance(s, SWhile):
+                n += len(s.invariants)
+                if s.decreases is not None:
+                    n += 1
+                go(s.body)
+            elif isinstance(s, SBlock):
+                go(s.stmts)
+
+    go(proc.body)
+    return n
+
+
+def method_sizes(exp: Experiment, method: str) -> Tuple[int, int, int, int]:
+    """(lc_size, loc, spec, annotations) for one Table 2 cell."""
+    ids = exp.ids_factory()
+    program = exp.program_factory()
+    proc = program.proc(method)
+    loc = stmt_count(proc.body)
+    spec = sum(conjunct_count(e) for e in proc.requires + proc.ensures)
+    if proc.modifies is not None:
+        spec += 1
+    ann = _annotation_count(proc, ids)
+    return ids.lc_size, loc, spec, ann
+
+
+def all_methods() -> List[Tuple[Experiment, str]]:
+    return [(exp, m) for exp in EXPERIMENTS for m in exp.methods]

@@ -1,0 +1,452 @@
+"""The overlaid scheduler queue (Section 4.4): a FIFO linked list overlaid
+on a binary search tree sharing the same nodes, as in the Linux deadline
+I/O scheduler.
+
+The intrinsic definition is *compositional*, exactly as the paper
+describes: the list conditions and the BST conditions are separate LC
+partitions with their own broken sets (``Br_list`` and ``Br_bst``), plus
+linking conditions tying the two overlays together:
+
+- every node knows its list head (``lhead``) and its BST root (``broot``);
+- neighbours agree on both (so all nodes of one structure share them);
+- the correlation predicate ``Valid(h, r)`` of Section 4.4:
+  ``broot(h) = r`` and ``lhead(r) = h``.
+
+Mutating a list pointer breaks only list conditions (enters ``Br_list``),
+mutating a tree pointer only BST conditions -- the finer-grained broken
+sets the paper advocates at the end of Section 3.5.
+"""
+
+from __future__ import annotations
+
+from ..core.ids import IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    ClassSignature,
+    Program,
+    SAssertLCAndRemove,
+    SAssign,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+)
+from ..lang.exprs import (
+    B,
+    F,
+    I,
+    NIL_E,
+    V,
+    add,
+    and_,
+    diff,
+    empty_loc_set,
+    eq,
+    ge,
+    gt,
+    iff,
+    implies,
+    ite,
+    le,
+    lt,
+    member,
+    ne,
+    not_,
+    old,
+    or_,
+    singleton,
+    sub,
+    subset,
+    union,
+)
+from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC
+from .common import X, isnil, mkproc, nonnil
+
+__all__ = ["sched_ids", "sched_program", "build_sched", "METHODS"]
+
+
+def sched_signature() -> ClassSignature:
+    return ClassSignature(
+        name="SchedulerQueue",
+        fields={"next": LOC, "l": LOC, "r": LOC, "key": INT},
+        ghosts={
+            # list overlay
+            "prev": LOC,
+            "llen": INT,
+            # bst overlay
+            "p": LOC,
+            "rank": REAL,
+            "min": INT,
+            "max": INT,
+            "broot": LOC,
+        },
+    )
+
+
+def sched_list_lc() -> E.Expr:
+    """The FIFO-list partition (checked against Br_list)."""
+    nxt = F(X, "next")
+    return and_(
+        implies(nonnil(F(X, "prev")), eq(F(X, "prev", "next"), X)),
+        implies(
+            nonnil(nxt),
+            and_(
+                eq(F(X, "next", "prev"), X),
+                eq(F(X, "llen"), add(I(1), F(X, "next", "llen"))),
+            ),
+        ),
+        implies(isnil(nxt), eq(F(X, "llen"), I(1))),
+        # linking: list neighbours live in the same BST
+        implies(nonnil(nxt), eq(F(X, "next", "broot"), F(X, "broot"))),
+    )
+
+
+def sched_bst_lc() -> E.Expr:
+    """The BST partition (checked against Br_bst)."""
+    l, r, key = F(X, "l"), F(X, "r"), F(X, "key")
+    return and_(
+        nonnil(F(X, "broot")),
+        le(F(X, "min"), key),
+        le(key, F(X, "max")),
+        implies(isnil(F(X, "p")), eq(F(X, "broot"), X)),
+        implies(
+            nonnil(F(X, "p")),
+            and_(
+                or_(eq(F(X, "p", "l"), X), eq(F(X, "p", "r"), X)),
+                eq(F(X, "broot"), F(X, "p", "broot")),
+            ),
+        ),
+        implies(
+            nonnil(l),
+            and_(
+                eq(F(X, "l", "p"), X),
+                lt(F(X, "l", "rank"), F(X, "rank")),
+                lt(F(X, "l", "max"), key),
+                eq(F(X, "min"), F(X, "l", "min")),
+            ),
+        ),
+        implies(isnil(l), eq(F(X, "min"), key)),
+        implies(
+            nonnil(r),
+            and_(
+                eq(F(X, "r", "p"), X),
+                lt(F(X, "r", "rank"), F(X, "rank")),
+                lt(key, F(X, "r", "min")),
+                eq(F(X, "max"), F(X, "r", "max")),
+            ),
+        ),
+        implies(isnil(r), eq(F(X, "max"), key)),
+        implies(and_(nonnil(l), nonnil(r)), ne(l, r)),
+        # linking: tree children agree on the shared root anchor
+        implies(nonnil(l), eq(F(X, "l", "broot"), F(X, "broot"))),
+        implies(nonnil(r), eq(F(X, "r", "broot"), F(X, "broot"))),
+    )
+
+
+def sched_ids() -> IntrinsicDefinition:
+    list_impact = {
+        "next": [X, E.old(F(X, "next"))],
+        "prev": [X, E.old(F(X, "prev"))],
+        "llen": [X, F(X, "prev")],
+        "key": [],
+        "l": [],
+        "r": [],
+        "p": [],
+        "rank": [],
+        "min": [],
+        "max": [],
+        "broot": [X, F(X, "prev")],
+    }
+    bst_impact = {
+        "l": [X, E.old(F(X, "l"))],
+        "r": [X, E.old(F(X, "r"))],
+        "p": [X, E.old(F(X, "p"))],
+        "key": [X, F(X, "p")],
+        "rank": [X, F(X, "p")],
+        "min": [X, F(X, "p")],
+        "max": [X, F(X, "p")],
+        "broot": [X, F(X, "l"), F(X, "r"), F(X, "p")],
+        "next": [],
+        "prev": [],
+        "llen": [],
+    }
+    return IntrinsicDefinition(
+        name="Scheduler Queue (overlaid SLL+BST)",
+        sig=sched_signature(),
+        lc_parts={"Br_list": sched_list_lc(), "Br_bst": sched_bst_lc()},
+        correlation=isnil(F(X, "prev")),
+        impact={
+            field: {
+                "Br_list": list_impact.get(field, [X]),
+                "Br_bst": bst_impact.get(field, [X]),
+            }
+            for field in sched_signature().all_fields
+        },
+    )
+
+
+_ids = sched_ids()
+LCL = lambda obj: _ids.lc_at(obj, "Br_list")  # noqa: E731
+LCB = lambda obj: _ids.lc_at(obj, "Br_bst")  # noqa: E731
+
+h, x, y, z, k, r, b, n2 = V("h"), V("x"), V("y"), V("z"), V("k"), V("r"), V("b"), V("n2")
+
+EMPTY_BOTH = and_(
+    eq(V("Br_list"), empty_loc_set()),
+    eq(V("Br_bst"), empty_loc_set()),
+)
+
+
+def proc_sched_find():
+    """Search the BST overlay for a key (the scheduler's fast lookup)."""
+    return mkproc(
+        "sched_find",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("b", BOOL)],
+        requires=[EMPTY_BOTH, nonnil(x), LCB(x)],
+        ensures=[EMPTY_BOTH],
+        modifies=empty_loc_set(),
+        body=[
+            SInferLCOutsideBr(x, broken_set="Br_bst"),
+            SIf(
+                eq(F(x, "key"), k),
+                [SAssign("b", B(True))],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [SAssign("b", B(False))],
+                                [
+                                    SInferLCOutsideBr(F(x, "l"), broken_set="Br_bst"),
+                                    SCall(("b",), "sched_find", (F(x, "l"), k)),
+                                ],
+                            ),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [SAssign("b", B(False))],
+                                [
+                                    SInferLCOutsideBr(F(x, "r"), broken_set="Br_bst"),
+                                    SCall(("b",), "sched_find", (F(x, "r"), k)),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_sched_list_remove_first():
+    """Unlink the FIFO head from the *list overlay only*.  The removed node
+    stays in the BST: its list conditions are repaired to a singleton list,
+    but the linking invariant of the full structure is the caller's business
+    (Move-Request below completes the removal) -- this is the paper's
+    auxiliary method with method-local broken-set contracts."""
+    return mkproc(
+        "sched_list_remove_first",
+        params=[("h", LOC)],
+        outs=[("r", LOC)],
+        requires=[
+            EMPTY_BOTH,
+            nonnil(h),
+            LCL(h),
+            isnil(F(h, "prev")),
+            nonnil(F(h, "next")),
+        ],
+        ensures=[
+            EMPTY_BOTH,
+            eq(r, old(F(h, "next"))),
+            nonnil(r),
+            LCL(r),
+            isnil(F(r, "prev")),
+            # the popped head h is now a singleton list (still in the BST)
+            LCL(h),
+            isnil(F(h, "next")),
+        ],
+        modifies=union(singleton(h), singleton(F(h, "next"))),
+        locals={"n2": LOC},
+        ghost_locals={"cur": LOC},
+        body=[
+            SInferLCOutsideBr(h, broken_set="Br_list"),
+            SAssign("n2", F(h, "next")),
+            SInferLCOutsideBr(n2, broken_set="Br_list"),
+            SMut(h, "next", NIL_E),
+            SMut(n2, "prev", NIL_E),
+            SMut(h, "llen", I(1)),
+            SAssertLCAndRemove(h, broken_set="Br_list"),
+            SAssertLCAndRemove(n2, broken_set="Br_list"),
+            SAssertLCAndRemove(h, broken_set="Br_bst"),
+            SAssertLCAndRemove(n2, broken_set="Br_bst"),
+            SAssign("r", n2),
+        ],
+    )
+
+
+def proc_sched_bst_delete_leaf():
+    """Remove a BST *leaf* from the tree overlay only (the scheduler drops
+    the dispatched request from the search index)."""
+    return mkproc(
+        "sched_bst_delete_leaf",
+        params=[("x", LOC)],
+        outs=[],
+        requires=[
+            EMPTY_BOTH,
+            nonnil(x),
+            LCB(x),
+            LCL(x),
+            isnil(F(x, "l")),
+            isnil(F(x, "r")),
+            nonnil(F(x, "p")),
+            LCB(F(x, "p")),
+            # x must already be out of the FIFO overlay (a singleton list),
+            # else removing it from the tree would break the link invariant
+            isnil(F(x, "prev")),
+            isnil(F(x, "next")),
+        ],
+        ensures=[
+            and_(
+                eq(V("Br_list"), empty_loc_set()),
+                subset(V("Br_bst"), singleton(old(F(x, "p")))),
+            ),
+            isnil(F(x, "p")),
+            eq(F(x, "broot"), x),
+        ],
+        modifies=union(singleton(x), singleton(F(x, "p"))),
+        locals={"y": LOC},
+        body=[
+            SInferLCOutsideBr(x, broken_set="Br_bst"),
+            SAssign("y", F(x, "p")),
+            SInferLCOutsideBr(y, broken_set="Br_bst"),
+            SIf(
+                eq(F(y, "l"), x),
+                [SMut(y, "l", NIL_E)],
+                [SMut(y, "r", NIL_E)],
+            ),
+            SMut(x, "p", NIL_E),
+            SMut(x, "broot", x),
+            SMut(x, "min", F(x, "key")),
+            SMut(x, "max", F(x, "key")),
+            SAssertLCAndRemove(x, broken_set="Br_bst"),
+            SAssertLCAndRemove(x, broken_set="Br_list"),
+            SAssertLCAndRemove(y, broken_set="Br_list"),
+        ],
+    )
+
+
+def proc_sched_move_request():
+    """The paper's Move-Request: dispatch the oldest request -- pop it from
+    the FIFO overlay and drop it from the BST overlay (here: when it is a
+    BST leaf; the caller rotates it down otherwise)."""
+    return mkproc(
+        "sched_move_request",
+        params=[("h", LOC)],
+        outs=[("r", LOC)],
+        requires=[
+            EMPTY_BOTH,
+            nonnil(h),
+            LCL(h),
+            LCB(h),
+            isnil(F(h, "prev")),
+            nonnil(F(h, "next")),
+            isnil(F(h, "l")),
+            isnil(F(h, "r")),
+            nonnil(F(h, "p")),
+            LCB(F(h, "p")),
+        ],
+        ensures=[
+            and_(
+                eq(V("Br_list"), empty_loc_set()),
+                subset(V("Br_bst"), singleton(old(F(h, "p")))),
+            ),
+            eq(r, old(F(h, "next"))),
+            # h is now fully detached: a singleton list and a singleton tree
+            LCL(h),
+            isnil(F(h, "next")),
+            isnil(F(h, "p")),
+        ],
+        modifies=union(
+            singleton(h), union(singleton(F(h, "next")), singleton(F(h, "p")))
+        ),
+        locals={"n2": LOC},
+        body=[
+            SCall(("r",), "sched_list_remove_first", (h,)),
+            SCall((), "sched_bst_delete_leaf", (h,)),
+        ],
+    )
+
+
+def sched_program() -> Program:
+    procs = [
+        proc_sched_find(),
+        proc_sched_list_remove_first(),
+        proc_sched_bst_delete_leaf(),
+        proc_sched_move_request(),
+    ]
+    return Program(sched_signature(), {p.name: p for p in procs})
+
+
+METHODS = [
+    "sched_move_request",
+    "sched_list_remove_first",
+    "sched_bst_delete_leaf",
+    "sched_find",
+]
+
+
+def build_sched(keys):
+    """Build an overlaid structure: FIFO list in insertion order + BST by
+    key over the same nodes.  Returns (heap, list_head, bst_root)."""
+    from fractions import Fraction
+
+    from ..lang.semantics import Heap
+
+    heap = Heap(sched_signature())
+    nodes = [heap.new_object() for _ in keys]
+    # list overlay in given order
+    for i, (node, kv) in enumerate(zip(nodes, keys)):
+        heap.write(node, "key", kv)
+        heap.write(node, "next", nodes[i + 1] if i + 1 < len(nodes) else None)
+        heap.write(node, "prev", nodes[i - 1] if i > 0 else None)
+        heap.write(node, "llen", len(nodes) - i)
+    # bst overlay by key
+    root = None
+    for node in nodes:
+        if root is None:
+            root = node
+            continue
+        cur = root
+        while True:
+            if heap.read(node, "key") < heap.read(cur, "key"):
+                nxt = heap.read(cur, "l")
+                if nxt is None:
+                    heap.write(cur, "l", node)
+                    heap.write(node, "p", cur)
+                    break
+            else:
+                nxt = heap.read(cur, "r")
+                if nxt is None:
+                    heap.write(cur, "r", node)
+                    heap.write(node, "p", cur)
+                    break
+            cur = nxt
+
+    def measure(node, depth):
+        if node is None:
+            return
+        heap.write(node, "rank", Fraction(1000 - depth))
+        heap.write(node, "broot", root)
+        l, r_ = heap.read(node, "l"), heap.read(node, "r")
+        measure(l, depth + 1)
+        measure(r_, depth + 1)
+        mn = heap.read(l, "min") if l is not None else heap.read(node, "key")
+        mx = heap.read(r_, "max") if r_ is not None else heap.read(node, "key")
+        heap.write(node, "min", mn)
+        heap.write(node, "max", mx)
+
+    measure(root, 0)
+    return heap, (nodes[0] if nodes else None), root

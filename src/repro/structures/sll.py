@@ -1,0 +1,701 @@
+"""Singly-linked lists: the first Table 2 structure (8 methods).
+
+Intrinsic definition (Section 4.1 shape, without sortedness): ghost monadic
+maps ``prev`` (inverse pointer -- rules out merging), ``length`` (strictly
+decreasing along ``next`` -- rules out cycles), ``keys`` (multiset-as-set of
+stored keys) and ``hslist`` (the heaplet).  The correlation formula
+``phi(y) = (prev(y) = nil)`` characterizes list heads.
+"""
+
+from __future__ import annotations
+
+from ..core.ids import IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    ClassSignature,
+    Program,
+    SAssert,
+    SAssertLCAndRemove,
+    SAssign,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNewObj,
+    SWhile,
+)
+from ..lang.exprs import (
+    B,
+    F,
+    I,
+    NIL_E,
+    V,
+    add,
+    and_,
+    diff,
+    empty_loc_set,
+    eq,
+    ge,
+    implies,
+    ite,
+    le,
+    member,
+    ne,
+    not_,
+    old,
+    or_,
+    singleton,
+    subset,
+    union,
+)
+from ..smt.sorts import BOOL, INT, LOC, SET_INT, SET_LOC
+from .common import EMPTY_BR, X, isnil, mkproc, nonnil
+
+__all__ = ["sll_ids", "sll_program", "METHODS"]
+
+
+def sll_signature() -> ClassSignature:
+    return ClassSignature(
+        name="SLL",
+        fields={"next": LOC, "key": INT},
+        ghosts={"prev": LOC, "length": INT, "keys": SET_INT, "hslist": SET_LOC},
+    )
+
+
+def sll_lc() -> E.Expr:
+    nxt = F(X, "next")
+    return and_(
+        implies(
+            nonnil(nxt),
+            and_(
+                eq(F(X, "next", "prev"), X),
+                eq(F(X, "length"), add(I(1), F(X, "next", "length"))),
+                eq(F(X, "keys"), union(singleton(F(X, "key")), F(X, "next", "keys"))),
+                eq(F(X, "hslist"), union(singleton(X), F(X, "next", "hslist"))),
+                not_(member(X, F(X, "next", "hslist"))),
+            ),
+        ),
+        implies(nonnil(F(X, "prev")), eq(F(X, "prev", "next"), X)),
+        implies(
+            isnil(nxt),
+            and_(
+                eq(F(X, "length"), I(1)),
+                eq(F(X, "keys"), singleton(F(X, "key"))),
+                eq(F(X, "hslist"), singleton(X)),
+            ),
+        ),
+    )
+
+
+def sll_ids() -> IntrinsicDefinition:
+    return IntrinsicDefinition(
+        name="Singly-Linked List",
+        sig=sll_signature(),
+        lc_parts={"Br": sll_lc()},
+        correlation=isnil(F(X, "prev")),
+        impact={
+            "next": [X, E.old(F(X, "next"))],
+            "key": [X, F(X, "prev")],
+            "prev": [X, E.old(F(X, "prev"))],
+            "length": [X, F(X, "prev")],
+            "keys": [X, F(X, "prev")],
+            "hslist": [X, F(X, "prev")],
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Methods
+# ---------------------------------------------------------------------------
+
+_ids = sll_ids()
+LC = lambda obj: _ids.lc_at(obj)  # noqa: E731
+
+x, y, z, z2, k, r, tmp, cur, ret, b = (
+    V("x"),
+    V("y"),
+    V("z"),
+    V("z2"),
+    V("k"),
+    V("r"),
+    V("tmp"),
+    V("cur"),
+    V("ret"),
+    V("b"),
+)
+
+
+def proc_insert_front():
+    """Insert k as the new head of the list x (x may be nil: empty list)."""
+    return mkproc(
+        "sll_insert_front",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[
+            EMPTY_BR,
+            implies(nonnil(x), and_(LC(x), isnil(F(x, "prev")))),
+        ],
+        ensures=[
+            EMPTY_BR,
+            nonnil(r),
+            LC(r),
+            isnil(F(r, "prev")),
+            eq(F(r, "next"), E.old(x)),
+            eq(F(r, "key"), E.old(k)),
+            eq(
+                F(r, "keys"),
+                ite(
+                    isnil(E.old(x)),
+                    singleton(k),
+                    union(singleton(k), old(F(x, "keys"))),
+                ),
+            ),
+            eq(
+                F(r, "length"),
+                ite(isnil(E.old(x)), I(1), add(I(1), old(F(x, "length")))),
+            ),
+        ],
+        modifies=ite(isnil(x), empty_loc_set(), singleton(x)),
+        locals={"z": LOC},
+        body=[
+            SNewObj("z"),
+            SMut(z, "key", k),
+            SMut(z, "next", x),
+            SIf(
+                ne(x, NIL_E),
+                [
+                    SInferLCOutsideBr(x),
+                    SMut(x, "prev", z),
+                    SMut(z, "length", add(I(1), F(x, "length"))),
+                    SMut(z, "keys", union(singleton(k), F(x, "keys"))),
+                    SMut(z, "hslist", union(singleton(z), F(x, "hslist"))),
+                    SAssertLCAndRemove(x),
+                    SAssertLCAndRemove(z),
+                ],
+                [
+                    SMut(z, "length", I(1)),
+                    SMut(z, "keys", singleton(k)),
+                    SMut(z, "hslist", singleton(z)),
+                    SAssertLCAndRemove(z),
+                ],
+            ),
+            SAssign("r", z),
+        ],
+    )
+
+
+def proc_find():
+    """Does the list starting at x contain k?  (Recursive search.)"""
+    return mkproc(
+        "sll_find",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("b", BOOL)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[EMPTY_BR, E.iff(b, member(k, old(F(x, "keys"))))],
+        modifies=empty_loc_set(),
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                eq(F(x, "key"), k),
+                [SAssign("b", B(True))],
+                [
+                    SIf(
+                        isnil(F(x, "next")),
+                        [SAssign("b", B(False))],
+                        [
+                            SInferLCOutsideBr(F(x, "next")),
+                            SCall(("b",), "sll_find", (F(x, "next"), k)),
+                        ],
+                    )
+                ],
+            ),
+        ],
+    )
+
+
+def proc_insert_back():
+    """Insert k at the back of the (non-empty) list x."""
+    return mkproc(
+        "sll_insert_back",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            eq(E.BR, ite(isnil(old(F(x, "prev"))), empty_loc_set(), singleton(old(F(x, "prev"))))),
+            eq(r, E.old(x)),
+            LC(r),
+            isnil(F(r, "prev")),
+            eq(F(r, "keys"), union(old(F(x, "keys")), singleton(k))),
+            eq(F(r, "length"), add(old(F(x, "length")), I(1))),
+            subset(old(F(x, "hslist")), F(r, "hslist")),
+            subset(
+                F(r, "hslist"),
+                union(old(F(x, "hslist")), diff(E.ALLOC, old(E.ALLOC))),
+            ),
+        ],
+        modifies=F(x, "hslist"),
+        locals={"z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(F(x, "next")),
+                [
+                    SNewObj("z"),
+                    SMut(z, "key", k),
+                    SMut(z, "length", I(1)),
+                    SMut(z, "keys", singleton(k)),
+                    SMut(z, "hslist", singleton(z)),
+                    SMut(x, "next", z),
+                    SMut(z, "prev", x),
+                    SAssertLCAndRemove(z),
+                    SMut(x, "prev", NIL_E),
+                    SMut(x, "length", I(2)),
+                    SMut(x, "keys", union(singleton(F(x, "key")), singleton(k))),
+                    SMut(x, "hslist", union(singleton(x), singleton(z))),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", x),
+                ],
+                [
+                    SInferLCOutsideBr(F(x, "next")),
+                    SCall(("tmp",), "sll_insert_back", (F(x, "next"), k)),
+                    SMut(x, "next", tmp),
+                    SMut(tmp, "prev", x),
+                    SAssertLCAndRemove(tmp),
+                    SMut(x, "prev", NIL_E),
+                    SMut(x, "length", add(I(1), F(tmp, "length"))),
+                    SMut(x, "keys", union(singleton(F(x, "key")), F(tmp, "keys"))),
+                    SMut(x, "hslist", union(singleton(x), F(tmp, "hslist"))),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", x),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_insert():
+    """Insert k after the head of the (non-empty) list x (unsorted insert)."""
+    return mkproc(
+        "sll_insert",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x), isnil(F(x, "prev"))],
+        ensures=[
+            EMPTY_BR,
+            eq(r, E.old(x)),
+            LC(r),
+            isnil(F(r, "prev")),
+            eq(F(r, "keys"), union(old(F(x, "keys")), singleton(k))),
+            eq(F(r, "length"), add(old(F(x, "length")), I(1))),
+        ],
+        modifies=F(x, "hslist"),
+        locals={"y": LOC, "z": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SAssign("y", F(x, "next")),
+            SInferLCOutsideBr(y),
+            SNewObj("z"),
+            SMut(z, "key", k),
+            SMut(z, "next", y),
+            SMut(x, "next", z),
+            SMut(z, "prev", x),
+            SIf(
+                ne(y, NIL_E),
+                [
+                    SMut(y, "prev", z),
+                    SMut(z, "length", add(I(1), F(y, "length"))),
+                    SMut(z, "keys", union(singleton(k), F(y, "keys"))),
+                    SMut(z, "hslist", union(singleton(z), F(y, "hslist"))),
+                    SAssertLCAndRemove(y),
+                ],
+                [
+                    SMut(z, "length", I(1)),
+                    SMut(z, "keys", singleton(k)),
+                    SMut(z, "hslist", singleton(z)),
+                ],
+            ),
+            SAssertLCAndRemove(z),
+            SMut(x, "length", add(I(1), F(z, "length"))),
+            SMut(x, "keys", union(singleton(F(x, "key")), F(z, "keys"))),
+            SMut(x, "hslist", union(singleton(x), F(z, "hslist"))),
+            SAssertLCAndRemove(x),
+            SAssign("r", x),
+        ],
+    )
+
+
+def proc_append():
+    """Append list y to the end of list x (disjoint heaplets required)."""
+    return mkproc(
+        "sll_append",
+        params=[("x", LOC), ("y", LOC)],
+        outs=[("r", LOC)],
+        requires=[
+            EMPTY_BR,
+            nonnil(x),
+            LC(x),
+            implies(
+                nonnil(y),
+                and_(
+                    LC(y),
+                    isnil(F(y, "prev")),
+                    eq(E.inter(F(x, "hslist"), F(y, "hslist")), empty_loc_set()),
+                    not_(member(x, F(y, "hslist"))),
+                ),
+            ),
+        ],
+        ensures=[
+            eq(E.BR, ite(isnil(old(F(x, "prev"))), empty_loc_set(), singleton(old(F(x, "prev"))))),
+            eq(r, E.old(x)),
+            LC(r),
+            isnil(F(r, "prev")),
+            eq(
+                F(r, "keys"),
+                ite(
+                    isnil(E.old(y)),
+                    old(F(x, "keys")),
+                    union(old(F(x, "keys")), old(F(y, "keys"))),
+                ),
+            ),
+            subset(
+                F(r, "hslist"),
+                ite(
+                    isnil(E.old(y)),
+                    old(F(x, "hslist")),
+                    union(old(F(x, "hslist")), old(F(y, "hslist"))),
+                ),
+            ),
+        ],
+        modifies=ite(
+            isnil(y), F(x, "hslist"), union(F(x, "hslist"), F(y, "hslist"))
+        ),
+        locals={"tmp": LOC, "z2": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(y),
+                [
+                    SMut(x, "prev", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", x),
+                ],
+                [
+                    SInferLCOutsideBr(y),
+                    SIf(
+                        isnil(F(x, "next")),
+                        [
+                            SMut(x, "next", y),
+                            SMut(y, "prev", x),
+                            SAssertLCAndRemove(y),
+                            SMut(x, "prev", NIL_E),
+                            SMut(x, "length", add(I(1), F(y, "length"))),
+                            SMut(x, "keys", union(singleton(F(x, "key")), F(y, "keys"))),
+                            SMut(x, "hslist", union(singleton(x), F(y, "hslist"))),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", x),
+                        ],
+                        [
+                            SAssign("z2", F(x, "next")),
+                            SInferLCOutsideBr(z2),
+                            SCall(("tmp",), "sll_append", (z2, y)),
+                            SInferLCOutsideBr(z2),
+                            SMut(x, "next", tmp),
+                            SAssertLCAndRemove(z2),
+                            SMut(tmp, "prev", x),
+                            SAssertLCAndRemove(tmp),
+                            SMut(x, "prev", NIL_E),
+                            SMut(x, "length", add(I(1), F(tmp, "length"))),
+                            SMut(x, "keys", union(singleton(F(x, "key")), F(tmp, "keys"))),
+                            SMut(x, "hslist", union(singleton(x), F(tmp, "hslist"))),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", x),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_copy_all():
+    """Structurally copy the list x into fresh nodes."""
+    return mkproc(
+        "sll_copy_all",
+        params=[("x", LOC)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            EMPTY_BR,
+            nonnil(r),
+            LC(r),
+            isnil(F(r, "prev")),
+            eq(F(r, "keys"), old(F(x, "keys"))),
+            eq(F(r, "length"), old(F(x, "length"))),
+            subset(F(r, "hslist"), diff(E.ALLOC, old(E.ALLOC))),
+            eq(E.inter(F(r, "hslist"), old(F(x, "hslist"))), empty_loc_set()),
+        ],
+        modifies=empty_loc_set(),
+        locals={"z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(F(x, "next")),
+                [
+                    SNewObj("z"),
+                    SMut(z, "key", F(x, "key")),
+                    SMut(z, "length", I(1)),
+                    SMut(z, "keys", singleton(F(x, "key"))),
+                    SMut(z, "hslist", singleton(z)),
+                    SAssertLCAndRemove(z),
+                ],
+                [
+                    SInferLCOutsideBr(F(x, "next")),
+                    SCall(("tmp",), "sll_copy_all", (F(x, "next"),)),
+                    SInferLCOutsideBr(tmp),
+                    SNewObj("z"),
+                    SMut(z, "key", F(x, "key")),
+                    SMut(z, "next", tmp),
+                    SMut(tmp, "prev", z),
+                    SAssertLCAndRemove(tmp),
+                    SMut(z, "length", add(I(1), F(tmp, "length"))),
+                    SMut(z, "keys", union(singleton(F(x, "key")), F(tmp, "keys"))),
+                    SMut(z, "hslist", union(singleton(z), F(tmp, "hslist"))),
+                    SAssertLCAndRemove(z),
+                ],
+            ),
+            SAssign("r", z),
+        ],
+    )
+
+
+def proc_delete_all():
+    """Delete every occurrence of k from the list x.
+
+    Deleted nodes are *repaired into valid singleton lists* -- the FWYB
+    discipline demands every node satisfy LC at exit, linked or not.  The
+    head x always ends with ``prev = nil`` (it is either the returned head
+    or a detached singleton), which is what lets the caller re-establish
+    its own LC after the recursive call.
+    """
+    fix_singleton = [
+        SMut(x, "prev", NIL_E),
+        SMut(x, "length", I(1)),
+        SMut(x, "keys", singleton(F(x, "key"))),
+        SMut(x, "hslist", singleton(x)),
+    ]
+    return mkproc(
+        "sll_delete_all",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            eq(
+                E.BR,
+                ite(
+                    isnil(old(F(x, "prev"))),
+                    empty_loc_set(),
+                    singleton(old(F(x, "prev"))),
+                ),
+            ),
+            isnil(F(x, "prev")),
+            implies(
+                nonnil(r),
+                and_(
+                    LC(r),
+                    isnil(F(r, "prev")),
+                    eq(F(r, "keys"), diff(old(F(x, "keys")), singleton(k))),
+                    subset(F(r, "hslist"), old(F(x, "hslist"))),
+                ),
+            ),
+            implies(isnil(r), subset(old(F(x, "keys")), singleton(k))),
+        ],
+        modifies=F(x, "hslist"),
+        locals={"y": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(F(x, "next")),
+                [
+                    *fix_singleton,
+                    SAssertLCAndRemove(x),
+                    SIf(
+                        eq(F(x, "key"), k),
+                        [SAssign("r", NIL_E)],
+                        [SAssign("r", x)],
+                    ),
+                ],
+                [
+                    SAssign("y", F(x, "next")),
+                    SInferLCOutsideBr(y),
+                    SCall(("tmp",), "sll_delete_all", (y, k)),
+                    SInferLCOutsideBr(y),
+                    SIf(
+                        eq(F(x, "key"), k),
+                        [
+                            SMut(x, "next", NIL_E),
+                            SAssertLCAndRemove(y),
+                            *fix_singleton,
+                            SAssertLCAndRemove(x),
+                            SAssign("r", tmp),
+                        ],
+                        [
+                            SIf(
+                                isnil(tmp),
+                                [
+                                    SMut(x, "next", NIL_E),
+                                    SAssertLCAndRemove(y),
+                                    *fix_singleton,
+                                    SAssertLCAndRemove(x),
+                                ],
+                                [
+                                    SInferLCOutsideBr(tmp),
+                                    SMut(x, "next", tmp),
+                                    SAssertLCAndRemove(y),
+                                    SMut(tmp, "prev", x),
+                                    SAssertLCAndRemove(tmp),
+                                    SMut(x, "prev", NIL_E),
+                                    SMut(x, "length", add(I(1), F(tmp, "length"))),
+                                    SMut(x, "keys", union(singleton(F(x, "key")), F(tmp, "keys"))),
+                                    SMut(x, "hslist", union(singleton(x), F(tmp, "hslist"))),
+                                    SAssertLCAndRemove(x),
+                                ],
+                            ),
+                            SAssign("r", x),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_reverse():
+    """In-place reversal with a loop (the Section 4.2 iteration pattern)."""
+    inv_cur = implies(
+        nonnil(cur), and_(LC(cur), isnil(F(cur, "prev")))
+    )
+    inv_ret = implies(
+        nonnil(ret), and_(LC(ret), isnil(F(ret, "prev")))
+    )
+    inv_disjoint = implies(
+        and_(nonnil(cur), nonnil(ret)),
+        eq(E.inter(F(cur, "hslist"), F(ret, "hslist")), empty_loc_set()),
+    )
+    inv_keys = eq(
+        old(F(x, "keys")),
+        E.ite(
+            isnil(cur),
+            E.ite(isnil(ret), E.empty_int_set(), F(ret, "keys")),
+            E.ite(
+                isnil(ret),
+                F(cur, "keys"),
+                union(F(cur, "keys"), F(ret, "keys")),
+            ),
+        ),
+    )
+    inv_hslist = eq(
+        old(F(x, "hslist")),
+        E.ite(
+            isnil(cur),
+            E.ite(isnil(ret), empty_loc_set(), F(ret, "hslist")),
+            E.ite(
+                isnil(ret),
+                F(cur, "hslist"),
+                union(F(cur, "hslist"), F(ret, "hslist")),
+            ),
+        ),
+    )
+    return mkproc(
+        "sll_reverse",
+        params=[("x", LOC)],
+        outs=[("ret", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x), isnil(F(x, "prev"))],
+        ensures=[
+            EMPTY_BR,
+            nonnil(ret),
+            LC(ret),
+            isnil(F(ret, "prev")),
+            eq(F(ret, "keys"), old(F(x, "keys"))),
+        ],
+        modifies=F(x, "hslist"),
+        locals={"cur": LOC, "tmp": LOC},
+        body=[
+            SAssign("cur", x),
+            SAssign("ret", NIL_E),
+            SWhile(
+                ne(cur, NIL_E),
+                invariants=[
+                    EMPTY_BR,
+                    or_(nonnil(cur), nonnil(ret)),
+                    inv_cur,
+                    inv_ret,
+                    inv_disjoint,
+                    inv_keys,
+                    inv_hslist,
+                ],
+                body=[
+                    SInferLCOutsideBr(cur),
+                    SAssign("tmp", F(cur, "next")),
+                    SIf(
+                        ne(tmp, NIL_E),
+                        [
+                            SInferLCOutsideBr(tmp),
+                            SMut(tmp, "prev", NIL_E),
+                        ],
+                        [],
+                    ),
+                    SMut(cur, "next", ret),
+                    SIf(
+                        ne(ret, NIL_E),
+                        [SMut(ret, "prev", cur)],
+                        [],
+                    ),
+                    SIf(
+                        ne(ret, NIL_E),
+                        [
+                            SMut(cur, "length", add(I(1), F(ret, "length"))),
+                            SMut(cur, "keys", union(singleton(F(cur, "key")), F(ret, "keys"))),
+                            SMut(cur, "hslist", union(singleton(cur), F(ret, "hslist"))),
+                        ],
+                        [
+                            SMut(cur, "length", I(1)),
+                            SMut(cur, "keys", singleton(F(cur, "key"))),
+                            SMut(cur, "hslist", singleton(cur)),
+                        ],
+                    ),
+                    SMut(cur, "prev", NIL_E),
+                    SAssertLCAndRemove(ret),
+                    SAssertLCAndRemove(cur),
+                    SAssertLCAndRemove(tmp),
+                    SAssign("ret", cur),
+                    SAssign("cur", tmp),
+                ],
+            ),
+        ],
+    )
+
+
+def sll_program() -> Program:
+    procs = [
+        proc_insert_front(),
+        proc_find(),
+        proc_insert_back(),
+        proc_insert(),
+        proc_append(),
+        proc_copy_all(),
+        proc_delete_all(),
+        proc_reverse(),
+    ]
+    return Program(sll_signature(), {p.name: p for p in procs})
+
+
+METHODS = [
+    "sll_append",
+    "sll_copy_all",
+    "sll_delete_all",
+    "sll_find",
+    "sll_insert_back",
+    "sll_insert_front",
+    "sll_insert",
+    "sll_reverse",
+]

@@ -1,0 +1,673 @@
+"""Sorted lists: the paper's running example (Sections 3-4, Appendix D).
+
+Two variants are defined here:
+
+- :func:`sorted_ids` -- the Section 4.1 definition (Equation 2): monadic
+  maps ``prev``, ``length``, ``keys``, ``hslist`` with sortedness baked
+  into the next-edge condition; used by find / insert / delete-all / merge.
+- :func:`sortedrev_ids` -- the Section 4.2 / Appendix D.3 extension with
+  optional ``sorted`` / ``rev_sorted`` direction flags, used by Reverse
+  (turning an ascending list into a descending one in place).
+
+``sorted_insert`` below is a statement-for-statement transliteration of
+Figure 7 of the paper.
+"""
+
+from __future__ import annotations
+
+from ..core.ids import IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    ClassSignature,
+    Program,
+    SAssertLCAndRemove,
+    SAssign,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNewObj,
+    SWhile,
+)
+from ..lang.exprs import (
+    B,
+    F,
+    I,
+    NIL_E,
+    V,
+    add,
+    all_ge,
+    and_,
+    diff,
+    empty_loc_set,
+    eq,
+    iff,
+    implies,
+    ite,
+    le,
+    member,
+    ne,
+    not_,
+    old,
+    or_,
+    singleton,
+    subset,
+    union,
+)
+from ..smt.sorts import BOOL, INT, LOC, SET_INT, SET_LOC
+from .common import EMPTY_BR, X, isnil, mkproc, nonnil
+
+__all__ = ["sorted_ids", "sorted_program", "sortedrev_ids", "sortedrev_program", "METHODS"]
+
+
+def sorted_signature() -> ClassSignature:
+    return ClassSignature(
+        name="SortedList",
+        fields={"next": LOC, "key": INT},
+        ghosts={"prev": LOC, "length": INT, "keys": SET_INT, "hslist": SET_LOC},
+    )
+
+
+def sorted_lc() -> E.Expr:
+    """Equation (2) of the paper, plus the pointwise suffix bound
+    ``all_ge(keys(x), key(x))`` that makes the complete find contract
+    provable (the generalized-array-theory gadget, Section 5.1)."""
+    nxt = F(X, "next")
+    return and_(
+        all_ge(F(X, "keys"), F(X, "key")),
+        implies(
+            nonnil(nxt),
+            and_(
+                le(F(X, "key"), F(X, "next", "key")),
+                eq(F(X, "next", "prev"), X),
+                eq(F(X, "length"), add(I(1), F(X, "next", "length"))),
+                eq(F(X, "keys"), union(singleton(F(X, "key")), F(X, "next", "keys"))),
+                eq(F(X, "hslist"), union(singleton(X), F(X, "next", "hslist"))),
+                not_(member(X, F(X, "next", "hslist"))),
+            ),
+        ),
+        implies(nonnil(F(X, "prev")), eq(F(X, "prev", "next"), X)),
+        implies(
+            isnil(nxt),
+            and_(
+                eq(F(X, "length"), I(1)),
+                eq(F(X, "keys"), singleton(F(X, "key"))),
+                eq(F(X, "hslist"), singleton(X)),
+            ),
+        ),
+    )
+
+
+_IMPACT = {
+    "next": [X, E.old(F(X, "next"))],
+    "key": [X, F(X, "prev")],
+    "prev": [X, E.old(F(X, "prev"))],
+    "length": [X, F(X, "prev")],
+    "keys": [X, F(X, "prev")],
+    "hslist": [X, F(X, "prev")],
+}
+
+
+def sorted_ids() -> IntrinsicDefinition:
+    return IntrinsicDefinition(
+        name="Sorted List",
+        sig=sorted_signature(),
+        lc_parts={"Br": sorted_lc()},
+        correlation=isnil(F(X, "prev")),
+        impact=dict(_IMPACT),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reversal variant (Section 4.2 / Appendix D.3): direction flags
+# ---------------------------------------------------------------------------
+
+
+def sortedrev_signature() -> ClassSignature:
+    sig = sorted_signature()
+    sig.ghosts = dict(sig.ghosts)
+    sig.ghosts["sorted"] = BOOL
+    sig.ghosts["rev_sorted"] = BOOL
+    return sig
+
+
+def sortedrev_lc() -> E.Expr:
+    """Appendix D.3 (Figure 9): sortedness is optional and directed."""
+    nxt = F(X, "next")
+    return and_(
+        implies(nonnil(F(X, "prev")), eq(F(X, "prev", "next"), X)),
+        implies(
+            nonnil(nxt),
+            and_(
+                eq(F(X, "next", "prev"), X),
+                eq(F(X, "length"), add(I(1), F(X, "next", "length"))),
+                eq(F(X, "keys"), union(singleton(F(X, "key")), F(X, "next", "keys"))),
+                eq(F(X, "hslist"), union(singleton(X), F(X, "next", "hslist"))),
+                not_(member(X, F(X, "next", "hslist"))),
+                implies(
+                    F(X, "sorted"),
+                    le(F(X, "key"), F(X, "next", "key")),
+                ),
+                iff(F(X, "sorted"), F(X, "next", "sorted")),
+                implies(
+                    F(X, "rev_sorted"),
+                    le(F(X, "next", "key"), F(X, "key")),
+                ),
+                iff(F(X, "rev_sorted"), F(X, "next", "rev_sorted")),
+            ),
+        ),
+        implies(
+            isnil(nxt),
+            and_(
+                eq(F(X, "length"), I(1)),
+                eq(F(X, "keys"), singleton(F(X, "key"))),
+                eq(F(X, "hslist"), singleton(X)),
+            ),
+        ),
+    )
+
+
+def sortedrev_ids() -> IntrinsicDefinition:
+    impact = dict(_IMPACT)
+    impact["sorted"] = [X, F(X, "prev")]
+    impact["rev_sorted"] = [X, F(X, "prev")]
+    return IntrinsicDefinition(
+        name="Sorted List (reversal variant)",
+        sig=sortedrev_signature(),
+        lc_parts={"Br": sortedrev_lc()},
+        correlation=isnil(F(X, "prev")),
+        impact=impact,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Methods over the plain sorted-list definition
+# ---------------------------------------------------------------------------
+
+_ids = sorted_ids()
+LC = lambda obj: _ids.lc_at(obj)  # noqa: E731
+_rids = sortedrev_ids()
+RLC = lambda obj: _rids.lc_at(obj)  # noqa: E731
+
+x, y, z, k, r, tmp, cur, ret, b = (
+    V("x"),
+    V("y"),
+    V("z"),
+    V("k"),
+    V("r"),
+    V("tmp"),
+    V("cur"),
+    V("ret"),
+    V("b"),
+)
+
+
+def proc_sorted_insert():
+    """Figure 7 of the paper, statement for statement."""
+    return mkproc(
+        "sorted_insert",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            LC(r),
+            nonnil(r),
+            isnil(F(r, "prev")),
+            eq(
+                E.BR,
+                ite(
+                    isnil(old(F(x, "prev"))),
+                    empty_loc_set(),
+                    singleton(old(F(x, "prev"))),
+                ),
+            ),
+            eq(F(r, "length"), add(old(F(x, "length")), I(1))),
+            eq(F(r, "keys"), union(old(F(x, "keys")), singleton(k))),
+            subset(old(F(x, "hslist")), F(r, "hslist")),
+        ],
+        modifies=F(x, "hslist"),
+        locals={"y": LOC, "z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                E.ge(F(x, "key"), k),
+                [  # k inserted before x
+                    SNewObj("z"),
+                    SMut(z, "key", k),
+                    SMut(z, "next", x),
+                    SMut(z, "hslist", union(singleton(z), F(x, "hslist"))),
+                    SMut(z, "length", add(I(1), F(x, "length"))),
+                    SMut(z, "keys", union(singleton(k), F(x, "keys"))),
+                    SMut(x, "prev", z),
+                    SAssertLCAndRemove(z),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", z),
+                ],
+                [
+                    SIf(
+                        isnil(F(x, "next")),
+                        [  # one-element list
+                            SNewObj("z"),
+                            SMut(z, "key", k),
+                            SMut(z, "next", NIL_E),
+                            SMut(z, "hslist", singleton(z)),
+                            SMut(z, "length", I(1)),
+                            SMut(z, "keys", singleton(k)),
+                            SMut(x, "next", z),
+                            SMut(z, "prev", x),
+                            SAssertLCAndRemove(z),
+                            SMut(x, "prev", NIL_E),
+                            SMut(x, "hslist", union(singleton(x), singleton(z))),
+                            SMut(x, "length", I(2)),
+                            SMut(x, "keys", union(singleton(F(x, "key")), singleton(k))),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", x),
+                        ],
+                        [  # recursive case
+                            SAssign("y", F(x, "next")),
+                            SInferLCOutsideBr(y),
+                            SCall(("tmp",), "sorted_insert", (y, k)),
+                            SInferLCOutsideBr(y),
+                            SIf(
+                                eq(F(y, "prev"), x),
+                                [SMut(y, "prev", NIL_E)],
+                                [],
+                            ),
+                            SMut(x, "next", tmp),
+                            SAssertLCAndRemove(y),
+                            SMut(tmp, "prev", x),
+                            SAssertLCAndRemove(tmp),
+                            SMut(x, "hslist", union(singleton(x), F(tmp, "hslist"))),
+                            SMut(x, "length", add(I(1), F(tmp, "length"))),
+                            SMut(x, "keys", union(singleton(F(x, "key")), F(tmp, "keys"))),
+                            SMut(x, "prev", NIL_E),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", x),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_sorted_find():
+    """Search exploiting sortedness (early exit when key(x) > k)."""
+    return mkproc(
+        "sorted_find",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("b", BOOL)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[EMPTY_BR, iff(b, member(k, old(F(x, "keys"))))],
+        modifies=empty_loc_set(),
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                eq(F(x, "key"), k),
+                [SAssign("b", B(True))],
+                [
+                    SIf(
+                        or_(E.gt(F(x, "key"), k), isnil(F(x, "next"))),
+                        [SAssign("b", B(False))],
+                        [
+                            SInferLCOutsideBr(F(x, "next")),
+                            SCall(("b",), "sorted_find", (F(x, "next"), k)),
+                        ],
+                    )
+                ],
+            ),
+        ],
+    )
+
+
+def proc_sorted_delete_all():
+    """Delete every occurrence of k (sorted variant of the SLL method)."""
+    fix_singleton = [
+        SMut(x, "prev", NIL_E),
+        SMut(x, "length", I(1)),
+        SMut(x, "keys", singleton(F(x, "key"))),
+        SMut(x, "hslist", singleton(x)),
+    ]
+    return mkproc(
+        "sorted_delete_all",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            eq(
+                E.BR,
+                ite(
+                    isnil(old(F(x, "prev"))),
+                    empty_loc_set(),
+                    singleton(old(F(x, "prev"))),
+                ),
+            ),
+            isnil(F(x, "prev")),
+            implies(
+                nonnil(r),
+                and_(
+                    LC(r),
+                    isnil(F(r, "prev")),
+                    eq(F(r, "keys"), diff(old(F(x, "keys")), singleton(k))),
+                    subset(F(r, "hslist"), old(F(x, "hslist"))),
+                    le(old(F(x, "key")), F(r, "key")),
+                ),
+            ),
+            implies(isnil(r), subset(old(F(x, "keys")), singleton(k))),
+        ],
+        modifies=F(x, "hslist"),
+        locals={"y": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(F(x, "next")),
+                [
+                    *fix_singleton,
+                    SAssertLCAndRemove(x),
+                    SIf(eq(F(x, "key"), k), [SAssign("r", NIL_E)], [SAssign("r", x)]),
+                ],
+                [
+                    SAssign("y", F(x, "next")),
+                    SInferLCOutsideBr(y),
+                    SCall(("tmp",), "sorted_delete_all", (y, k)),
+                    SInferLCOutsideBr(y),
+                    SIf(
+                        eq(F(x, "key"), k),
+                        [
+                            SMut(x, "next", NIL_E),
+                            SAssertLCAndRemove(y),
+                            *fix_singleton,
+                            SAssertLCAndRemove(x),
+                            SAssign("r", tmp),
+                        ],
+                        [
+                            SIf(
+                                isnil(tmp),
+                                [
+                                    SMut(x, "next", NIL_E),
+                                    SAssertLCAndRemove(y),
+                                    *fix_singleton,
+                                    SAssertLCAndRemove(x),
+                                ],
+                                [
+                                    SInferLCOutsideBr(tmp),
+                                    SMut(x, "next", tmp),
+                                    SAssertLCAndRemove(y),
+                                    SMut(tmp, "prev", x),
+                                    SAssertLCAndRemove(tmp),
+                                    SMut(x, "prev", NIL_E),
+                                    SMut(x, "length", add(I(1), F(tmp, "length"))),
+                                    SMut(x, "keys", union(singleton(F(x, "key")), F(tmp, "keys"))),
+                                    SMut(x, "hslist", union(singleton(x), F(tmp, "hslist"))),
+                                    SAssertLCAndRemove(x),
+                                ],
+                            ),
+                            SAssign("r", x),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_sorted_merge():
+    """In-place merge of two sorted lists.
+
+    The contract is symmetric in the Fig. 7 style: neither argument needs
+    to be a list *head*; whatever used to point at the argument heads ends
+    up in the broken set for the caller to repair.
+    """
+    opx = old(F(x, "prev"))
+    opy = old(F(y, "prev"))
+    br_post = eq(
+        E.BR,
+        union(
+            ite(isnil(opx), empty_loc_set(), singleton(opx)),
+            ite(
+                or_(isnil(E.old(y)), isnil(opy)),
+                empty_loc_set(),
+                singleton(opy),
+            ),
+        ),
+    )
+    return mkproc(
+        "sorted_merge",
+        params=[("x", LOC), ("y", LOC)],
+        outs=[("r", LOC)],
+        requires=[
+            EMPTY_BR,
+            nonnil(x),
+            LC(x),
+            implies(
+                nonnil(y),
+                and_(
+                    LC(y),
+                    eq(E.inter(F(x, "hslist"), F(y, "hslist")), empty_loc_set()),
+                ),
+            ),
+        ],
+        ensures=[
+            br_post,
+            nonnil(r),
+            LC(r),
+            isnil(F(r, "prev")),
+            eq(
+                F(r, "keys"),
+                ite(
+                    isnil(E.old(y)),
+                    old(F(x, "keys")),
+                    union(old(F(x, "keys")), old(F(y, "keys"))),
+                ),
+            ),
+            subset(
+                F(r, "hslist"),
+                ite(
+                    isnil(E.old(y)),
+                    old(F(x, "hslist")),
+                    union(old(F(x, "hslist")), old(F(y, "hslist"))),
+                ),
+            ),
+        ],
+        modifies=ite(isnil(y), F(x, "hslist"), union(F(x, "hslist"), F(y, "hslist"))),
+        locals={"z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(y),
+                [
+                    SMut(x, "prev", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", x),
+                ],
+                [
+                    SInferLCOutsideBr(y),
+                    SIf(
+                        le(F(x, "key"), F(y, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "next")),
+                                [
+                                    SMut(x, "next", y),
+                                    SMut(y, "prev", x),
+                                    SAssertLCAndRemove(y),
+                                    SMut(x, "prev", NIL_E),
+                                    SMut(x, "length", add(I(1), F(y, "length"))),
+                                    SMut(x, "keys", union(singleton(F(x, "key")), F(y, "keys"))),
+                                    SMut(x, "hslist", union(singleton(x), F(y, "hslist"))),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                                [
+                                    SAssign("z", F(x, "next")),
+                                    SInferLCOutsideBr(z),
+                                    SCall(("tmp",), "sorted_merge", (z, y)),
+                                    SInferLCOutsideBr(z),
+                                    SIf(
+                                        eq(F(z, "prev"), x),
+                                        [SMut(z, "prev", NIL_E)],
+                                        [],
+                                    ),
+                                    SMut(x, "next", tmp),
+                                    SAssertLCAndRemove(z),
+                                    SMut(tmp, "prev", x),
+                                    SAssertLCAndRemove(tmp),
+                                    SMut(x, "prev", NIL_E),
+                                    SMut(x, "length", add(I(1), F(tmp, "length"))),
+                                    SMut(x, "keys", union(singleton(F(x, "key")), F(tmp, "keys"))),
+                                    SMut(x, "hslist", union(singleton(x), F(tmp, "hslist"))),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                            ),
+                        ],
+                        [
+                            # y's head is smaller: recurse with roles swapped
+                            SCall(("tmp",), "sorted_merge", (y, x)),
+                            SAssign("r", tmp),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+
+
+def proc_sorted_reverse():
+    """Section 4.2 / Appendix D.3: in-place reversal turning an ascending
+    list into a descending one, flipping the sorted/rev_sorted flags."""
+    cur, ret, tmp = V("cur"), V("ret"), V("tmp")
+    RL = RLC  # the reversal-variant local condition
+    inv_cur = implies(
+        nonnil(cur), and_(RL(cur), isnil(F(cur, "prev")), F(cur, "sorted"))
+    )
+    inv_ret = implies(
+        nonnil(ret), and_(RL(ret), isnil(F(ret, "prev")), F(ret, "rev_sorted"))
+    )
+    inv_order = implies(
+        and_(nonnil(cur), nonnil(ret)),
+        le(F(ret, "key"), F(cur, "key")),
+    )
+    inv_disjoint = implies(
+        and_(nonnil(cur), nonnil(ret)),
+        eq(E.inter(F(cur, "hslist"), F(ret, "hslist")), empty_loc_set()),
+    )
+    inv_keys = eq(
+        old(F(x, "keys")),
+        E.ite(
+            isnil(cur),
+            E.ite(isnil(ret), E.empty_int_set(), F(ret, "keys")),
+            E.ite(
+                isnil(ret),
+                F(cur, "keys"),
+                union(F(cur, "keys"), F(ret, "keys")),
+            ),
+        ),
+    )
+    inv_hslist = eq(
+        old(F(x, "hslist")),
+        E.ite(
+            isnil(cur),
+            E.ite(isnil(ret), empty_loc_set(), F(ret, "hslist")),
+            E.ite(
+                isnil(ret),
+                F(cur, "hslist"),
+                union(F(cur, "hslist"), F(ret, "hslist")),
+            ),
+        ),
+    )
+    return mkproc(
+        "sorted_reverse",
+        params=[("x", LOC)],
+        outs=[("ret", LOC)],
+        requires=[
+            EMPTY_BR,
+            nonnil(x),
+            RL(x),
+            isnil(F(x, "prev")),
+            F(x, "sorted"),
+        ],
+        ensures=[
+            EMPTY_BR,
+            nonnil(ret),
+            RL(ret),
+            isnil(F(ret, "prev")),
+            F(ret, "rev_sorted"),
+            eq(F(ret, "keys"), old(F(x, "keys"))),
+            eq(F(ret, "hslist"), old(F(x, "hslist"))),
+        ],
+        modifies=F(x, "hslist"),
+        locals={"cur": LOC, "tmp": LOC},
+        body=[
+            SAssign("cur", x),
+            SAssign("ret", NIL_E),
+            SWhile(
+                ne(cur, NIL_E),
+                invariants=[
+                    EMPTY_BR,
+                    or_(nonnil(cur), nonnil(ret)),
+                    inv_cur,
+                    inv_ret,
+                    inv_order,
+                    inv_disjoint,
+                    inv_keys,
+                    inv_hslist,
+                ],
+                body=[
+                    SInferLCOutsideBr(cur, broken_set="Br"),
+                    SAssign("tmp", F(cur, "next")),
+                    SIf(
+                        ne(tmp, NIL_E),
+                        [
+                            SInferLCOutsideBr(tmp),
+                            SMut(tmp, "prev", NIL_E),
+                        ],
+                        [],
+                    ),
+                    SMut(cur, "next", ret),
+                    SIf(ne(ret, NIL_E), [SMut(ret, "prev", cur)], []),
+                    SIf(
+                        ne(ret, NIL_E),
+                        [
+                            SMut(cur, "length", add(I(1), F(ret, "length"))),
+                            SMut(cur, "keys", union(singleton(F(cur, "key")), F(ret, "keys"))),
+                            SMut(cur, "hslist", union(singleton(cur), F(ret, "hslist"))),
+                        ],
+                        [
+                            SMut(cur, "length", I(1)),
+                            SMut(cur, "keys", singleton(F(cur, "key"))),
+                            SMut(cur, "hslist", singleton(cur)),
+                        ],
+                    ),
+                    SMut(cur, "sorted", E.B(False) if False else E.EBool(False)),
+                    SMut(cur, "rev_sorted", E.EBool(True)),
+                    SMut(cur, "prev", NIL_E),
+                    SAssertLCAndRemove(ret),
+                    SAssertLCAndRemove(cur),
+                    SAssertLCAndRemove(tmp),
+                    SAssign("ret", cur),
+                    SAssign("cur", tmp),
+                ],
+            ),
+        ],
+    )
+
+
+def sortedrev_program() -> Program:
+    procs = [proc_sorted_reverse()]
+    return Program(sortedrev_signature(), {p.name: p for p in procs})
+
+
+def sorted_program() -> Program:
+    procs = [
+        proc_sorted_insert(),
+        proc_sorted_find(),
+        proc_sorted_delete_all(),
+        proc_sorted_merge(),
+    ]
+    return Program(sorted_signature(), {p.name: p for p in procs})
+
+
+METHODS = ["sorted_delete_all", "sorted_find", "sorted_insert", "sorted_merge"]

@@ -1,0 +1,259 @@
+"""Sorted lists with min/max maps (Table 2 row "Sorted List (w. min, max
+maps)": Concatenate and Find-Last).
+
+``minv``/``maxv`` hold the smallest/largest key of the suffix starting at a
+node, which makes O(1)-contract concatenation expressible: two sorted lists
+may be concatenated when ``maxv`` of the first does not exceed ``minv`` of
+the second.
+"""
+
+from __future__ import annotations
+
+from ..core.ids import IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    ClassSignature,
+    Program,
+    SAssertLCAndRemove,
+    SAssign,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+)
+from ..lang.exprs import (
+    F,
+    I,
+    NIL_E,
+    V,
+    add,
+    and_,
+    diff,
+    empty_loc_set,
+    eq,
+    ge,
+    implies,
+    ite,
+    le,
+    member,
+    ne,
+    not_,
+    old,
+    or_,
+    singleton,
+    subset,
+    union,
+)
+from ..smt.sorts import INT, LOC, SET_INT, SET_LOC
+from .common import EMPTY_BR, X, isnil, mkproc, nonnil
+
+__all__ = ["sortedmm_ids", "sortedmm_program", "METHODS"]
+
+
+def sortedmm_signature() -> ClassSignature:
+    return ClassSignature(
+        name="SortedListMinMax",
+        fields={"next": LOC, "key": INT},
+        ghosts={
+            "prev": LOC,
+            "length": INT,
+            "keys": SET_INT,
+            "hslist": SET_LOC,
+            "minv": INT,
+            "maxv": INT,
+        },
+    )
+
+
+def sortedmm_lc() -> E.Expr:
+    nxt = F(X, "next")
+    return and_(
+        E.all_ge(F(X, "keys"), F(X, "key")),
+        E.all_le(F(X, "keys"), F(X, "maxv")),
+        eq(F(X, "minv"), F(X, "key")),
+        le(F(X, "minv"), F(X, "maxv")),
+        member(F(X, "maxv"), F(X, "keys")),
+        implies(
+            nonnil(nxt),
+            and_(
+                le(F(X, "key"), F(X, "next", "key")),
+                eq(F(X, "next", "prev"), X),
+                eq(F(X, "length"), add(I(1), F(X, "next", "length"))),
+                eq(F(X, "keys"), union(singleton(F(X, "key")), F(X, "next", "keys"))),
+                eq(F(X, "hslist"), union(singleton(X), F(X, "next", "hslist"))),
+                not_(member(X, F(X, "next", "hslist"))),
+                eq(F(X, "maxv"), F(X, "next", "maxv")),
+            ),
+        ),
+        implies(nonnil(F(X, "prev")), eq(F(X, "prev", "next"), X)),
+        implies(
+            isnil(nxt),
+            and_(
+                eq(F(X, "length"), I(1)),
+                eq(F(X, "keys"), singleton(F(X, "key"))),
+                eq(F(X, "hslist"), singleton(X)),
+                eq(F(X, "maxv"), F(X, "key")),
+            ),
+        ),
+    )
+
+
+def sortedmm_ids() -> IntrinsicDefinition:
+    return IntrinsicDefinition(
+        name="Sorted List (w. min, max maps)",
+        sig=sortedmm_signature(),
+        lc_parts={"Br": sortedmm_lc()},
+        correlation=isnil(F(X, "prev")),
+        impact={
+            "next": [X, E.old(F(X, "next"))],
+            "key": [X, F(X, "prev")],
+            "prev": [X, E.old(F(X, "prev"))],
+            "length": [X, F(X, "prev")],
+            "keys": [X, F(X, "prev")],
+            "hslist": [X, F(X, "prev")],
+            "minv": [X, F(X, "prev")],
+            "maxv": [X, F(X, "prev")],
+        },
+    )
+
+
+_ids = sortedmm_ids()
+LC = lambda obj: _ids.lc_at(obj)  # noqa: E731
+
+x, y, z, k, r, tmp = V("x"), V("y"), V("z"), V("k"), V("r"), V("tmp")
+
+
+def proc_concatenate():
+    """Concatenate sorted lists x ++ y when max(x) <= min(y) (recursive)."""
+    return mkproc(
+        "sortedmm_concatenate",
+        params=[("x", LOC), ("y", LOC)],
+        outs=[("r", LOC)],
+        requires=[
+            EMPTY_BR,
+            nonnil(x),
+            LC(x),
+            implies(
+                nonnil(y),
+                and_(
+                    LC(y),
+                    le(F(x, "maxv"), F(y, "minv")),
+                    eq(E.inter(F(x, "hslist"), F(y, "hslist")), empty_loc_set()),
+                ),
+            ),
+        ],
+        ensures=[
+            eq(
+                E.BR,
+                ite(
+                    isnil(old(F(x, "prev"))),
+                    empty_loc_set(),
+                    singleton(old(F(x, "prev"))),
+                ),
+            ),
+            eq(r, E.old(x)),
+            LC(r),
+            isnil(F(r, "prev")),
+            eq(
+                F(r, "keys"),
+                ite(
+                    isnil(E.old(y)),
+                    old(F(x, "keys")),
+                    union(old(F(x, "keys")), old(F(y, "keys"))),
+                ),
+            ),
+            subset(
+                F(r, "hslist"),
+                ite(
+                    isnil(E.old(y)),
+                    old(F(x, "hslist")),
+                    union(old(F(x, "hslist")), old(F(y, "hslist"))),
+                ),
+            ),
+        ],
+        modifies=ite(isnil(y), F(x, "hslist"), union(F(x, "hslist"), F(y, "hslist"))),
+        locals={"z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(y),
+                [
+                    SMut(x, "prev", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", x),
+                ],
+                [
+                    SInferLCOutsideBr(y),
+                    SIf(
+                        isnil(F(x, "next")),
+                        [
+                            SMut(x, "next", y),
+                            SMut(y, "prev", x),
+                            SAssertLCAndRemove(y),
+                            SMut(x, "prev", NIL_E),
+                            SMut(x, "length", add(I(1), F(y, "length"))),
+                            SMut(x, "keys", union(singleton(F(x, "key")), F(y, "keys"))),
+                            SMut(x, "hslist", union(singleton(x), F(y, "hslist"))),
+                            SMut(x, "maxv", F(y, "maxv")),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", x),
+                        ],
+                        [
+                            SAssign("z", F(x, "next")),
+                            SInferLCOutsideBr(z),
+                            SCall(("tmp",), "sortedmm_concatenate", (z, y)),
+                            SInferLCOutsideBr(z),
+                            SIf(eq(F(z, "prev"), x), [SMut(z, "prev", NIL_E)], []),
+                            SMut(x, "next", tmp),
+                            SAssertLCAndRemove(z),
+                            SMut(tmp, "prev", x),
+                            SAssertLCAndRemove(tmp),
+                            SMut(x, "prev", NIL_E),
+                            SMut(x, "length", add(I(1), F(tmp, "length"))),
+                            SMut(x, "keys", union(singleton(F(x, "key")), F(tmp, "keys"))),
+                            SMut(x, "hslist", union(singleton(x), F(tmp, "hslist"))),
+                            SMut(x, "maxv", F(tmp, "maxv")),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", x),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_find_last():
+    """Return the largest key, using maxv for the O(1) contract; the body
+    still walks the list (recursively), proving maxv is truthful."""
+    return mkproc(
+        "sortedmm_find_last",
+        params=[("x", LOC)],
+        outs=[("k", INT)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            EMPTY_BR,
+            eq(k, old(F(x, "maxv"))),
+            member(k, old(F(x, "keys"))),
+        ],
+        modifies=empty_loc_set(),
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(F(x, "next")),
+                [SAssign("k", F(x, "key"))],
+                [
+                    SInferLCOutsideBr(F(x, "next")),
+                    SCall(("k",), "sortedmm_find_last", (F(x, "next"),)),
+                ],
+            ),
+        ],
+    )
+
+
+def sortedmm_program() -> Program:
+    procs = [proc_concatenate(), proc_find_last()]
+    return Program(sortedmm_signature(), {p.name: p for p in procs})
+
+
+METHODS = ["sortedmm_concatenate", "sortedmm_find_last"]

@@ -1,0 +1,769 @@
+"""Treaps: BST ordering on keys + max-heap ordering on priorities.
+
+The intrinsic definition extends the BST definition with a ``prio`` map and
+the local heap condition (children's priorities do not exceed the
+parent's).  Insertion attaches a new leaf and rotates it up while its
+priority beats its parent's -- the rotations are the Appendix D.2
+right/left-rotates, realized here as FWYB repairs: a rotation breaks
+exactly the two pivot nodes, whose monadic maps (rank, min/max, keys, hs)
+are then repaired locally.
+"""
+
+from __future__ import annotations
+
+from ..core.ids import IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    Program,
+    SAssertLCAndRemove,
+    SAssign,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNewObj,
+)
+from ..lang.exprs import (
+    B,
+    F,
+    I,
+    NIL_E,
+    V,
+    add,
+    and_,
+    diff,
+    empty_int_set,
+    empty_loc_set,
+    eq,
+    ge,
+    gt,
+    iff,
+    implies,
+    ite,
+    le,
+    lt,
+    member,
+    ne,
+    not_,
+    old,
+    or_,
+    singleton,
+    sub,
+    subset,
+    union,
+)
+from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC
+from .bst import BST_IMPACT, bst_lc, bst_signature
+from .common import EMPTY_BR, X, isnil, mkproc, nonnil
+
+__all__ = ["treap_ids", "treap_program", "METHODS"]
+
+
+def treap_signature():
+    sig = bst_signature(extra_ghosts={"prio": INT})
+    sig.name = "Treap"
+    return sig
+
+
+def treap_lc() -> E.Expr:
+    heap_cond = and_(
+        implies(
+            nonnil(F(X, "l")),
+            le(F(X, "l", "prio"), F(X, "prio")),
+        ),
+        implies(
+            nonnil(F(X, "r")),
+            le(F(X, "r", "prio"), F(X, "prio")),
+        ),
+    )
+    return and_(bst_lc(), heap_cond)
+
+
+def treap_ids() -> IntrinsicDefinition:
+    impact = dict(BST_IMPACT)
+    impact["prio"] = [X, F(X, "p")]
+    return IntrinsicDefinition(
+        name="Treap",
+        sig=treap_signature(),
+        lc_parts={"Br": treap_lc()},
+        correlation=isnil(F(X, "p")),
+        impact=impact,
+    )
+
+
+_ids = treap_ids()
+LC = lambda obj: _ids.lc_at(obj)  # noqa: E731
+
+x, y, z, k, pr, r, m, tmp, rest, b = (
+    V("x"),
+    V("y"),
+    V("z"),
+    V("k"),
+    V("pr"),
+    V("r"),
+    V("m"),
+    V("tmp"),
+    V("rest"),
+    V("b"),
+)
+
+
+def _refresh_measures(node):
+    l, r_ = F(node, "l"), F(node, "r")
+    return [
+        SMut(node, "min", ite(nonnil(l), F(node, "l", "min"), F(node, "key"))),
+        SMut(node, "max", ite(nonnil(r_), F(node, "r", "max"), F(node, "key"))),
+        SMut(
+            node,
+            "keys",
+            union(
+                singleton(F(node, "key")),
+                ite(nonnil(l), F(node, "l", "keys"), empty_int_set()),
+                ite(nonnil(r_), F(node, "r", "keys"), empty_int_set()),
+            ),
+        ),
+        SMut(
+            node,
+            "hs",
+            union(
+                singleton(node),
+                ite(nonnil(l), F(node, "l", "hs"), empty_loc_set()),
+                ite(nonnil(r_), F(node, "r", "hs"), empty_loc_set()),
+            ),
+        ),
+    ]
+
+
+def _fix_singleton(node):
+    return [
+        SMut(node, "p", NIL_E),
+        SMut(node, "min", F(node, "key")),
+        SMut(node, "max", F(node, "key")),
+        SMut(node, "keys", singleton(F(node, "key"))),
+        SMut(node, "hs", singleton(node)),
+    ]
+
+
+BR_SUBSET_OLD_PARENT = subset(
+    E.BR,
+    ite(isnil(old(F(x, "p"))), empty_loc_set(), singleton(old(F(x, "p")))),
+)
+
+
+def proc_treap_find():
+    return mkproc(
+        "treap_find",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("b", BOOL)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[EMPTY_BR, iff(b, member(k, old(F(x, "keys"))))],
+        modifies=empty_loc_set(),
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                eq(F(x, "key"), k),
+                [SAssign("b", B(True))],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [SAssign("b", B(False))],
+                                [
+                                    SInferLCOutsideBr(F(x, "l")),
+                                    SCall(("b",), "treap_find", (F(x, "l"), k)),
+                                ],
+                            ),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [SAssign("b", B(False))],
+                                [
+                                    SInferLCOutsideBr(F(x, "r")),
+                                    SCall(("b",), "treap_find", (F(x, "r"), k)),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_treap_insert():
+    """Insert k with priority pr; rotations restore the heap order.
+
+    Unlike plain BST insert, the subtree root can *change* (the new node
+    rotates to the top when its priority dominates), so the method returns
+    the new subtree root, detached from the old parent (which is the
+    caller's single broken object to repair -- the Fig. 7 pattern)."""
+    fresh = diff(E.ALLOC, old(E.ALLOC))
+    return mkproc(
+        "treap_insert",
+        params=[("x", LOC), ("k", INT), ("pr", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            nonnil(r),
+            LC(r),
+            isnil(F(r, "p")),
+            eq(F(r, "keys"), union(old(F(x, "keys")), singleton(k))),
+            subset(old(F(x, "hs")), F(r, "hs")),
+            subset(F(r, "hs"), union(old(F(x, "hs")), fresh)),
+            implies(
+                isnil(old(F(x, "p"))),
+                le(F(r, "rank"), add(old(F(x, "rank")), E.R(1))),
+            ),
+            implies(
+                nonnil(old(F(x, "p"))),
+                lt(F(r, "rank"), old(F(x, "p", "rank"))),
+            ),
+            ge(F(r, "min"), ite(lt(k, old(F(x, "min"))), k, old(F(x, "min")))),
+            le(F(r, "max"), ite(gt(k, old(F(x, "max"))), k, old(F(x, "max")))),
+            le(F(r, "prio"), ite(gt(pr, old(F(x, "prio"))), pr, old(F(x, "prio")))),
+            ge(F(r, "prio"), old(F(x, "prio"))),
+            ge(F(r, "prio"), ite(member(k, old(F(x, "keys"))), old(F(x, "prio")), pr)),
+            implies(nonnil(F(r, "l")), le(F(r, "l", "prio"), old(F(x, "prio")))),
+            implies(nonnil(F(r, "r")), le(F(r, "r", "prio"), old(F(x, "prio")))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"z": LOC, "tmp": LOC, "y": LOC, "xp": LOC, "w": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SInferLCOutsideBr(F(x, "p")),
+            SAssign("xp", F(x, "p")),
+            SIf(
+                eq(k, F(x, "key")),
+                [
+                    SMut(x, "p", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", x),
+                ],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [
+                                    SNewObj("z"),
+                                    SMut(z, "key", k),
+                                    SMut(z, "prio", pr),
+                                    SMut(z, "rank", sub(F(x, "rank"), E.R(1))),
+                                    SMut(z, "min", k),
+                                    SMut(z, "max", k),
+                                    SMut(z, "keys", singleton(k)),
+                                    SMut(z, "hs", singleton(z)),
+                                    SAssign("tmp", z),
+                                ],
+                                [
+                                    SAssign("y", F(x, "l")),
+                                    SInferLCOutsideBr(y),
+                                    SCall(("tmp",), "treap_insert", (y, k, pr)),
+                                    SInferLCOutsideBr(y),
+                                ],
+                            ),
+                            # attach tmp as left child, then maybe rotate right
+                            SIf(
+                                le(F(tmp, "prio"), F(x, "prio")),
+                                [
+                                    SMut(x, "l", tmp),
+                                    SAssertLCAndRemove(y),
+                                    SMut(tmp, "p", x),
+                                    SAssertLCAndRemove(tmp),
+                                    *_refresh_measures(x),
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                                [
+                                    # right rotation: tmp becomes the root,
+                                    # x adopts tmp's right subtree as left
+                                    SAssign("w", F(tmp, "r")),
+                                    SMut(x, "l", V("w")),
+                                    SAssertLCAndRemove(y),
+                                    SMut(tmp, "r", x),
+                                    SMut(tmp, "p", NIL_E),
+                                    SIf(
+                                        nonnil(V("w")),
+                                        [SMut(V("w"), "p", x)],
+                                        [],
+                                    ),
+                                    SAssertLCAndRemove(V("w")),
+                                    *_refresh_measures(x),
+                                    SMut(x, "p", tmp),
+                                    SMut(
+                                        tmp,
+                                        "rank",
+                                        ite(
+                                            isnil(V("xp")),
+                                            add(F(x, "rank"), E.R(1)),
+                                            E.div(
+                                                add(F(V("xp"), "rank"), F(x, "rank")),
+                                                E.R(2),
+                                            ),
+                                        ),
+                                    ),
+                                    SAssertLCAndRemove(x),
+                                    *_refresh_measures(tmp),
+                                    SAssertLCAndRemove(tmp),
+                                    SAssign("r", tmp),
+                                ],
+                            ),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [
+                                    SNewObj("z"),
+                                    SMut(z, "key", k),
+                                    SMut(z, "prio", pr),
+                                    SMut(z, "rank", sub(F(x, "rank"), E.R(1))),
+                                    SMut(z, "min", k),
+                                    SMut(z, "max", k),
+                                    SMut(z, "keys", singleton(k)),
+                                    SMut(z, "hs", singleton(z)),
+                                    SAssign("tmp", z),
+                                ],
+                                [
+                                    SAssign("y", F(x, "r")),
+                                    SInferLCOutsideBr(y),
+                                    SCall(("tmp",), "treap_insert", (y, k, pr)),
+                                    SInferLCOutsideBr(y),
+                                ],
+                            ),
+                            SIf(
+                                le(F(tmp, "prio"), F(x, "prio")),
+                                [
+                                    SMut(x, "r", tmp),
+                                    SAssertLCAndRemove(y),
+                                    SMut(tmp, "p", x),
+                                    SAssertLCAndRemove(tmp),
+                                    *_refresh_measures(x),
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                                [
+                                    # left rotation: tmp becomes the root
+                                    SAssign("w", F(tmp, "l")),
+                                    SMut(x, "r", V("w")),
+                                    SAssertLCAndRemove(y),
+                                    SMut(tmp, "l", x),
+                                    SMut(tmp, "p", NIL_E),
+                                    SIf(
+                                        nonnil(V("w")),
+                                        [SMut(V("w"), "p", x)],
+                                        [],
+                                    ),
+                                    SAssertLCAndRemove(V("w")),
+                                    *_refresh_measures(x),
+                                    SMut(x, "p", tmp),
+                                    SMut(
+                                        tmp,
+                                        "rank",
+                                        ite(
+                                            isnil(V("xp")),
+                                            add(F(x, "rank"), E.R(1)),
+                                            E.div(
+                                                add(F(V("xp"), "rank"), F(x, "rank")),
+                                                E.R(2),
+                                            ),
+                                        ),
+                                    ),
+                                    SAssertLCAndRemove(x),
+                                    *_refresh_measures(tmp),
+                                    SAssertLCAndRemove(tmp),
+                                    SAssign("r", tmp),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_treap_extract_min():
+    """Same splice as the BST extract-min; the heap order is preserved by
+    removal (priorities only leave)."""
+    return mkproc(
+        "treap_extract_min",
+        params=[("x", LOC)],
+        outs=[("m", LOC), ("rest", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            nonnil(m),
+            LC(m),
+            isnil(F(m, "p")),
+            isnil(F(m, "l")),
+            isnil(F(m, "r")),
+            eq(F(m, "key"), old(F(x, "min"))),
+            member(m, old(F(x, "hs"))),
+            implies(
+                nonnil(rest),
+                and_(
+                    LC(rest),
+                    isnil(F(rest, "p")),
+                    eq(F(rest, "keys"), diff(old(F(x, "keys")), singleton(old(F(x, "min"))))),
+                    subset(F(rest, "hs"), old(F(x, "hs"))),
+                    not_(member(m, F(rest, "hs"))),
+                    le(F(rest, "rank"), old(F(x, "rank"))),
+                    le(F(rest, "max"), old(F(x, "max"))),
+                    le(F(rest, "prio"), old(F(x, "prio"))),
+                    E.all_ge(F(rest, "keys"), add(old(F(x, "min")), I(1))),
+                ),
+            ),
+            implies(isnil(rest), eq(old(F(x, "keys")), singleton(old(F(x, "min"))))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                isnil(F(x, "l")),
+                [
+                    SAssign("m", x),
+                    SAssign("rest", F(x, "r")),
+                    SInferLCOutsideBr(rest),
+                    SMut(x, "r", NIL_E),
+                    SIf(
+                        nonnil(rest),
+                        [SMut(rest, "p", NIL_E), SAssertLCAndRemove(rest)],
+                        [],
+                    ),
+                    *_fix_singleton(x),
+                    SAssertLCAndRemove(x),
+                ],
+                [
+                    SAssign("z", F(x, "l")),
+                    SInferLCOutsideBr(z),
+                    SCall(("m", "tmp"), "treap_extract_min", (z,)),
+                    SIf(
+                        nonnil(tmp),
+                        [
+                            SMut(x, "l", tmp),
+                            SAssertLCAndRemove(z),
+                            SMut(tmp, "p", x),
+                            SAssertLCAndRemove(tmp),
+                        ],
+                        [
+                            SMut(x, "l", NIL_E),
+                            SAssertLCAndRemove(z),
+                        ],
+                    ),
+                    *_refresh_measures(x),
+                    SMut(x, "p", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("rest", x),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_treap_remove_root():
+    """Remove node x from its subtree: the higher-priority child is pulled
+    up via the minimum-of-right-subtree splice (as for plain BSTs; removal
+    cannot violate the heap order of the remaining nodes when the new root
+    priority is refreshed to the old root's)."""
+    return mkproc(
+        "treap_remove_root",
+        params=[("x", LOC)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            LC(x),
+            isnil(F(x, "p")),
+            isnil(F(x, "l")),
+            isnil(F(x, "r")),
+            implies(
+                nonnil(r),
+                and_(
+                    LC(r),
+                    ne(r, E.old(x)),
+                    isnil(F(r, "p")),
+                    eq(F(r, "keys"), diff(old(F(x, "keys")), singleton(old(F(x, "key"))))),
+                    subset(F(r, "hs"), old(F(x, "hs"))),
+                    le(F(r, "rank"), old(F(x, "rank"))),
+                    ge(F(r, "min"), old(F(x, "min"))),
+                    le(F(r, "max"), old(F(x, "max"))),
+                    le(F(r, "prio"), old(F(x, "prio"))),
+                ),
+            ),
+            implies(isnil(r), eq(old(F(x, "keys")), singleton(old(F(x, "key"))))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"y": LOC, "z": LOC, "m": LOC, "rest": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                and_(isnil(F(x, "l")), isnil(F(x, "r"))),
+                [
+                    SMut(x, "p", NIL_E),
+                    SAssertLCAndRemove(x),
+                    SAssign("r", NIL_E),
+                ],
+                [
+                    SIf(
+                        isnil(F(x, "l")),
+                        [
+                            SAssign("z", F(x, "r")),
+                            SInferLCOutsideBr(z),
+                            SMut(x, "r", NIL_E),
+                            SMut(z, "p", NIL_E),
+                            SAssertLCAndRemove(z),
+                            *_fix_singleton(x),
+                            SAssertLCAndRemove(x),
+                            SAssign("r", z),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [
+                                    SAssign("z", F(x, "l")),
+                                    SInferLCOutsideBr(z),
+                                    SMut(x, "l", NIL_E),
+                                    SMut(z, "p", NIL_E),
+                                    SAssertLCAndRemove(z),
+                                    *_fix_singleton(x),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", z),
+                                ],
+                                [
+                                    SAssign("y", F(x, "l")),
+                                    SAssign("z", F(x, "r")),
+                                    SInferLCOutsideBr(y),
+                                    SInferLCOutsideBr(z),
+                                    SCall(("m", "rest"), "treap_extract_min", (z,)),
+                                    SInferLCOutsideBr(y),
+                                    SMut(x, "l", NIL_E),
+                                    SMut(x, "r", NIL_E),
+                                    SAssertLCAndRemove(z),
+                                    SMut(m, "rank", F(x, "rank")),
+                                    SMut(m, "prio", F(x, "prio")),
+                                    SMut(m, "l", y),
+                                    SMut(y, "p", m),
+                                    SAssertLCAndRemove(y),
+                                    SIf(
+                                        nonnil(rest),
+                                        [
+                                            SMut(m, "r", rest),
+                                            SMut(rest, "p", m),
+                                            SAssertLCAndRemove(rest),
+                                        ],
+                                        [],
+                                    ),
+                                    *_refresh_measures(m),
+                                    SAssertLCAndRemove(m),
+                                    *_fix_singleton(x),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", m),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def proc_treap_delete():
+    return mkproc(
+        "treap_delete",
+        params=[("x", LOC), ("k", INT)],
+        outs=[("r", LOC)],
+        requires=[EMPTY_BR, nonnil(x), LC(x)],
+        ensures=[
+            BR_SUBSET_OLD_PARENT,
+            implies(
+                nonnil(r),
+                and_(
+                    LC(r),
+                    isnil(F(r, "p")),
+                    eq(F(r, "keys"), diff(old(F(x, "keys")), singleton(k))),
+                    subset(F(r, "hs"), old(F(x, "hs"))),
+                    le(F(r, "rank"), old(F(x, "rank"))),
+                    ge(F(r, "min"), old(F(x, "min"))),
+                    le(F(r, "max"), old(F(x, "max"))),
+                    le(F(r, "prio"), old(F(x, "prio"))),
+                ),
+            ),
+            implies(isnil(r), subset(old(F(x, "keys")), singleton(k))),
+        ],
+        modifies=F(x, "hs"),
+        locals={"z": LOC, "tmp": LOC},
+        body=[
+            SInferLCOutsideBr(x),
+            SIf(
+                eq(k, F(x, "key")),
+                [SCall(("r",), "treap_remove_root", (x,))],
+                [
+                    SIf(
+                        lt(k, F(x, "key")),
+                        [
+                            SIf(
+                                isnil(F(x, "l")),
+                                [
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                                [
+                                    SAssign("z", F(x, "l")),
+                                    SInferLCOutsideBr(z),
+                                    SCall(("tmp",), "treap_delete", (z, k)),
+                                    SInferLCOutsideBr(z),
+                                    SIf(
+                                        nonnil(tmp),
+                                        [
+                                            SMut(x, "l", tmp),
+                                            SAssertLCAndRemove(z),
+                                            SMut(tmp, "p", x),
+                                            SAssertLCAndRemove(tmp),
+                                        ],
+                                        [
+                                            SMut(x, "l", NIL_E),
+                                            SAssertLCAndRemove(z),
+                                        ],
+                                    ),
+                                    *_refresh_measures(x),
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                            ),
+                        ],
+                        [
+                            SIf(
+                                isnil(F(x, "r")),
+                                [
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                                [
+                                    SAssign("z", F(x, "r")),
+                                    SInferLCOutsideBr(z),
+                                    SCall(("tmp",), "treap_delete", (z, k)),
+                                    SInferLCOutsideBr(z),
+                                    SIf(
+                                        nonnil(tmp),
+                                        [
+                                            SMut(x, "r", tmp),
+                                            SAssertLCAndRemove(z),
+                                            SMut(tmp, "p", x),
+                                            SAssertLCAndRemove(tmp),
+                                        ],
+                                        [
+                                            SMut(x, "r", NIL_E),
+                                            SAssertLCAndRemove(z),
+                                        ],
+                                    ),
+                                    *_refresh_measures(x),
+                                    SMut(x, "p", NIL_E),
+                                    SAssertLCAndRemove(x),
+                                    SAssign("r", x),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def treap_program() -> Program:
+    procs = [
+        proc_treap_find(),
+        proc_treap_insert(),
+        proc_treap_extract_min(),
+        proc_treap_remove_root(),
+        proc_treap_delete(),
+    ]
+    return Program(treap_signature(), {p.name: p for p in procs})
+
+
+METHODS = ["treap_find", "treap_insert", "treap_delete", "treap_remove_root"]
+
+
+def build_treap(sig, items):
+    """items: list of (key, prio).  Builds a valid treap heap."""
+    from fractions import Fraction
+
+    from ..lang.semantics import Heap
+
+    heap = Heap(sig)
+
+    def insert_concrete(root, key, prio):
+        node = heap.new_object()
+        heap.write(node, "key", key)
+        heap.write(node, "prio", prio)
+        # plain BST insert then bubble up by rotations, concretely
+        if root is None:
+            return node
+        # (re)build recursively: simple approach: collect and rebuild
+        return root
+
+    # Build by sorting on priority descending, inserting as BST: gives a
+    # valid treap without rotations.
+    items = sorted(set(items), key=lambda kp: (-kp[1], kp[0]))
+    root = None
+    parent_of = {}
+    for key, prio in items:
+        node = heap.new_object()
+        heap.write(node, "key", key)
+        heap.write(node, "prio", prio)
+        if root is None:
+            root = node
+            continue
+        cur = root
+        while True:
+            if key < heap.read(cur, "key"):
+                nxt = heap.read(cur, "l")
+                if nxt is None:
+                    heap.write(cur, "l", node)
+                    heap.write(node, "p", cur)
+                    break
+            else:
+                nxt = heap.read(cur, "r")
+                if nxt is None:
+                    heap.write(cur, "r", node)
+                    heap.write(node, "p", cur)
+                    break
+            cur = nxt
+
+    def measure(node, depth):
+        if node is None:
+            return
+        heap.write(node, "rank", Fraction(1000 - depth))
+        l, r_ = heap.read(node, "l"), heap.read(node, "r")
+        measure(l, depth + 1)
+        measure(r_, depth + 1)
+        ks = {heap.read(node, "key")}
+        hs = {node}
+        mn = mx = heap.read(node, "key")
+        if l is not None:
+            ks |= heap.read(l, "keys")
+            hs |= heap.read(l, "hs")
+            mn = heap.read(l, "min")
+        if r_ is not None:
+            ks |= heap.read(r_, "keys")
+            hs |= heap.read(r_, "hs")
+            mx = heap.read(r_, "max")
+        heap.write(node, "keys", frozenset(ks))
+        heap.write(node, "hs", frozenset(hs))
+        heap.write(node, "min", mn)
+        heap.write(node, "max", mx)
+
+    measure(root, 0)
+    return heap, root

@@ -1,0 +1,65 @@
+"""Concrete tree-heap builders for the runtime tests and examples."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from ..lang.ast import ClassSignature
+from ..lang.semantics import Heap, Obj
+
+__all__ = ["build_bst", "bst_keys_inorder", "validate_bst_heap"]
+
+
+def build_bst(sig: ClassSignature, keys: List[int]) -> Tuple[Heap, Optional[Obj]]:
+    """Build a balanced BST over ``sorted(set(keys))`` with all ghost maps
+    (p, rank, min, max, keys, hs) computed correctly."""
+    heap = Heap(sig)
+    uniq = sorted(set(keys))
+
+    def rec(lo: int, hi: int, depth: int) -> Optional[Obj]:
+        if lo > hi:
+            return None
+        mid = (lo + hi) // 2
+        node = heap.new_object()
+        heap.write(node, "key", uniq[mid])
+        left = rec(lo, mid - 1, depth + 1)
+        right = rec(mid + 1, hi, depth + 1)
+        heap.write(node, "l", left)
+        heap.write(node, "r", right)
+        heap.write(node, "rank", Fraction(100 - depth))
+        ks = {uniq[mid]}
+        hs = {node}
+        mn = mx = uniq[mid]
+        for child in (left, right):
+            if child is not None:
+                heap.write(child, "p", node)
+                ks |= heap.read(child, "keys")
+                hs |= heap.read(child, "hs")
+        if left is not None:
+            mn = heap.read(left, "min")
+        if right is not None:
+            mx = heap.read(right, "max")
+        heap.write(node, "keys", frozenset(ks))
+        heap.write(node, "hs", frozenset(hs))
+        heap.write(node, "min", mn)
+        heap.write(node, "max", mx)
+        return node
+
+    root = rec(0, len(uniq) - 1, 0)
+    return heap, root
+
+
+def bst_keys_inorder(heap: Heap, root: Optional[Obj]) -> List[int]:
+    if root is None:
+        return []
+    return (
+        bst_keys_inorder(heap, heap.read(root, "l"))
+        + [heap.read(root, "key")]
+        + bst_keys_inorder(heap, heap.read(root, "r"))
+    )
+
+
+def validate_bst_heap(heap: Heap, root: Optional[Obj]) -> bool:
+    keys = bst_keys_inorder(heap, root)
+    return keys == sorted(keys)

@@ -1,0 +1,87 @@
+"""AVL tree: dynamic FWYB checks + impact sets."""
+
+import pytest
+
+from repro.core import DynamicChecker, check_impact_sets, verify_method
+from repro.structures.avl import avl_ids, avl_program, build_avl
+from repro.structures.treebuild import bst_keys_inorder
+
+
+@pytest.fixture(scope="module")
+def program():
+    return avl_program()
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return avl_ids()
+
+
+KEYS = [10, 20, 30, 40, 50, 60, 70]
+
+
+def check_avl(heap, node):
+    if node is None:
+        return 0
+    hl = check_avl(heap, heap.read(node, "l"))
+    hr = check_avl(heap, heap.read(node, "r"))
+    assert abs(hl - hr) <= 1, "unbalanced"
+    h = 1 + max(hl, hr)
+    assert heap.read(node, "height") == h
+    return h
+
+
+@pytest.mark.parametrize("k", [5, 15, 35, 45, 65, 75, 41, 42])
+def test_dynamic_insert(program, ids, k):
+    heap, root = build_avl(ids.sig, KEYS)
+    outs = DynamicChecker(program, ids).run(heap, "avl_insert", [root, k])
+    r = outs["r"]
+    assert bst_keys_inorder(heap, r) == sorted(set(KEYS) | {k})
+    check_avl(heap, r)
+
+
+def test_dynamic_insert_ladder(program, ids):
+    """Sequential ascending inserts force repeated rebalancing."""
+    heap, root = build_avl(ids.sig, [1])
+    checker = DynamicChecker(program, ids)
+    for k in range(2, 12):
+        root = checker.run(heap, "avl_insert", [root, k])["r"]
+    assert bst_keys_inorder(heap, root) == list(range(1, 12))
+    check_avl(heap, root)
+
+
+@pytest.mark.parametrize("k", [10, 40, 70, 99])
+def test_dynamic_delete(program, ids, k):
+    heap, root = build_avl(ids.sig, KEYS)
+    outs = DynamicChecker(program, ids).run(heap, "avl_delete", [root, k])
+    r = outs["r"]
+    assert bst_keys_inorder(heap, r) == sorted(set(KEYS) - {k})
+    if r is not None:
+        check_avl(heap, r)
+
+
+def test_dynamic_delete_drain(program, ids):
+    heap, root = build_avl(ids.sig, KEYS)
+    checker = DynamicChecker(program, ids)
+    remaining = sorted(KEYS)
+    for k in list(KEYS):
+        root = checker.run(heap, "avl_delete", [root, k])["r"]
+        remaining.remove(k)
+        assert bst_keys_inorder(heap, root) == remaining
+        if root is not None:
+            check_avl(heap, root)
+
+
+def test_dynamic_find_min(program, ids):
+    heap, root = build_avl(ids.sig, KEYS)
+    assert DynamicChecker(program, ids).run(heap, "avl_find_min", [root])["k"] == 10
+
+
+def test_impact_sets(ids):
+    result = check_impact_sets(ids)
+    assert result.ok, result.failures
+
+
+def test_verify_find_min(program, ids):
+    report = verify_method(program, ids, "avl_find_min")
+    assert report.ok, report.failed

@@ -1,0 +1,82 @@
+"""BST: dynamic FWYB checks, impact sets, static verification of find."""
+
+import pytest
+
+from repro.core import DynamicChecker, check_impact_sets, verify_method
+from repro.structures.bst import bst_ids, bst_program
+from repro.structures.treebuild import bst_keys_inorder, build_bst
+
+
+@pytest.fixture(scope="module")
+def program():
+    return bst_program()
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return bst_ids()
+
+
+def test_dynamic_find(program, ids):
+    heap, root = build_bst(ids.sig, [1, 4, 6, 9, 12])
+    checker = DynamicChecker(program, ids)
+    assert checker.run(heap, "bst_find", [root, 6])["b"] is True
+    assert checker.run(heap, "bst_find", [root, 5])["b"] is False
+    assert checker.run(heap, "bst_find", [root, 12])["b"] is True
+
+
+@pytest.mark.parametrize("k", [0, 3, 7, 13])
+def test_dynamic_insert(program, ids, k):
+    heap, root = build_bst(ids.sig, [1, 4, 6, 9, 12])
+    outs = DynamicChecker(program, ids).run(heap, "bst_insert", [root, k])
+    r = outs["r"]
+    assert heap.read(r, "keys") == frozenset([1, 4, 6, 9, 12, k])
+    assert bst_keys_inorder(heap, r) == sorted([1, 4, 6, 9, 12, k])
+
+
+def test_dynamic_insert_duplicate(program, ids):
+    heap, root = build_bst(ids.sig, [1, 4, 6])
+    outs = DynamicChecker(program, ids).run(heap, "bst_insert", [root, 4])
+    assert heap.read(outs["r"], "keys") == frozenset([1, 4, 6])
+
+
+def test_dynamic_extract_min(program, ids):
+    heap, root = build_bst(ids.sig, [1, 4, 6, 9, 12])
+    outs = DynamicChecker(program, ids).run(heap, "bst_extract_min", [root])
+    m, rest = outs["m"], outs["rest"]
+    assert heap.read(m, "key") == 1
+    assert heap.read(rest, "keys") == frozenset([4, 6, 9, 12])
+    assert bst_keys_inorder(heap, rest) == [4, 6, 9, 12]
+
+
+@pytest.mark.parametrize("keys", [[5], [5, 3], [5, 8], [5, 3, 8, 1, 4, 7, 9]])
+def test_dynamic_remove_root(program, ids, keys):
+    heap, root = build_bst(ids.sig, keys)
+    root_key = heap.read(root, "key")
+    outs = DynamicChecker(program, ids).run(heap, "bst_remove_root", [root])
+    r = outs["r"]
+    expect = sorted(set(keys) - {root_key})
+    if r is None:
+        assert expect == []
+    else:
+        assert bst_keys_inorder(heap, r) == expect
+
+
+@pytest.mark.parametrize("k", [1, 6, 9, 12, 100])
+def test_dynamic_delete(program, ids, k):
+    keys = [1, 4, 6, 9, 12]
+    heap, root = build_bst(ids.sig, keys)
+    outs = DynamicChecker(program, ids).run(heap, "bst_delete", [root, k])
+    r = outs["r"]
+    expect = sorted(set(keys) - {k})
+    assert bst_keys_inorder(heap, r) == expect
+
+
+def test_impact_sets(ids):
+    result = check_impact_sets(ids)
+    assert result.ok, result.failures
+
+
+def test_verify_find(program, ids):
+    report = verify_method(program, ids, "bst_find")
+    assert report.ok, report.failed

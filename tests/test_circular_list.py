@@ -1,0 +1,92 @@
+"""Circular list (scaffolding node, ghost repair loops): dynamic checks."""
+
+import pytest
+
+from repro.core import DynamicChecker, check_impact_sets
+from repro.structures.circular_list import (
+    build_circular,
+    circular_ids,
+    circular_program,
+)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return circular_program()
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return circular_ids()
+
+
+def ring_keys(heap, scaffold):
+    out = []
+    node = heap.read(scaffold, "next")
+    while node != scaffold:
+        out.append(heap.read(node, "key"))
+        node = heap.read(node, "next")
+    return out
+
+
+def test_build_circular_valid(ids):
+    from repro.core import check_lc_everywhere
+
+    heap, scaffold = build_circular([1, 2, 3])
+    assert check_lc_everywhere(ids, heap, {}) == []
+
+
+def test_dynamic_insert_back(program, ids):
+    heap, scaffold = build_circular([1, 2])
+    back = heap.read(scaffold, "prev")
+    DynamicChecker(program, ids).run(heap, "circ_insert_back", [back, 9])
+    assert ring_keys(heap, scaffold) == [1, 2, 9]
+
+
+def test_dynamic_insert_back_empty(program, ids):
+    heap, scaffold = build_circular([])
+    DynamicChecker(program, ids).run(heap, "circ_insert_back", [scaffold, 7])
+    assert ring_keys(heap, scaffold) == [7]
+
+
+def test_dynamic_insert_front(program, ids):
+    heap, scaffold = build_circular([1, 2])
+    DynamicChecker(program, ids).run(heap, "circ_insert_front", [scaffold, 9])
+    assert ring_keys(heap, scaffold) == [9, 1, 2]
+
+
+def test_dynamic_insert_front_empty(program, ids):
+    heap, scaffold = build_circular([])
+    DynamicChecker(program, ids).run(heap, "circ_insert_front", [scaffold, 7])
+    assert ring_keys(heap, scaffold) == [7]
+
+
+def test_dynamic_delete_front(program, ids):
+    heap, scaffold = build_circular([1, 2, 3])
+    outs = DynamicChecker(program, ids).run(heap, "circ_delete_front", [scaffold])
+    assert ring_keys(heap, scaffold) == [2, 3]
+    assert heap.read(outs["r"], "key") == 1
+
+
+def test_dynamic_delete_front_last_element(program, ids):
+    heap, scaffold = build_circular([5])
+    DynamicChecker(program, ids).run(heap, "circ_delete_front", [scaffold])
+    assert ring_keys(heap, scaffold) == []
+
+
+def test_dynamic_delete_back(program, ids):
+    heap, scaffold = build_circular([1, 2, 3])
+    outs = DynamicChecker(program, ids).run(heap, "circ_delete_back", [scaffold])
+    assert ring_keys(heap, scaffold) == [1, 2]
+    assert heap.read(outs["r"], "key") == 3
+
+
+def test_dynamic_delete_back_last_element(program, ids):
+    heap, scaffold = build_circular([5])
+    DynamicChecker(program, ids).run(heap, "circ_delete_back", [scaffold])
+    assert ring_keys(heap, scaffold) == []
+
+
+def test_impact_sets(ids):
+    result = check_impact_sets(ids)
+    assert result.ok, result.failures

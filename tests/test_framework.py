@@ -1,0 +1,149 @@
+"""Framework-level tests: well-behavedness, ghost discipline, projection,
+impact synthesis, and the soundness guard-rails of the methodology."""
+
+import pytest
+
+from repro.core import check_impact_sets, synthesize_impact_set, verify_method
+from repro.core.ids import LC_VAR
+from repro.lang import exprs as E
+from repro.lang.ast import SAssign, SAssume, SNew, SStore
+from repro.lang.ghost import ghost_violations, project
+from repro.lang.wellbehaved import wb_violations
+from repro.structures.sll import sll_ids, sll_program
+from repro.structures.sorted_list import sorted_ids, sorted_program
+
+
+@pytest.fixture(scope="module")
+def sll():
+    return sll_program(), sll_ids()
+
+
+def test_wb_rejects_raw_store(sll):
+    program, ids = sll
+    proc = program.proc("sll_insert_front")
+    proc.body.insert(0, SStore(E.V("x"), "next", E.NIL_E))
+    try:
+        violations = wb_violations(proc)
+        assert any("raw heap mutation" in v for v in violations)
+    finally:
+        proc.body.pop(0)
+
+
+def test_wb_rejects_raw_allocation(sll):
+    program, _ = sll
+    proc = program.proc("sll_find")
+    proc.body.insert(0, SNew("x"))
+    try:
+        assert any("raw allocation" in v for v in wb_violations(proc))
+    finally:
+        proc.body.pop(0)
+
+
+def test_wb_rejects_broken_set_assignment(sll):
+    program, _ = sll
+    proc = program.proc("sll_find")
+    proc.body.insert(0, SAssign("Br", E.empty_loc_set()))
+    try:
+        assert any("broken-set" in v for v in wb_violations(proc))
+    finally:
+        proc.body.pop(0)
+
+
+def test_wb_rejects_raw_assume(sll):
+    program, _ = sll
+    proc = program.proc("sll_find")
+    proc.body.insert(0, SAssume(E.B(True)))
+    try:
+        assert any("raw assume" in v for v in wb_violations(proc))
+    finally:
+        proc.body.pop(0)
+
+
+def test_ghost_discipline_rejects_ghost_flow(sll):
+    program, ids = sll
+    proc = program.proc("sll_find")
+    # user variable reading a ghost map: not allowed
+    proc.body.insert(0, SAssign("x", E.F(E.V("x"), "prev")))
+    try:
+        assert ghost_violations(proc, ids.sig)
+    finally:
+        proc.body.pop(0)
+
+
+def test_clean_methods_pass_both_checkers(sll):
+    program, ids = sll
+    for name, proc in program.procedures.items():
+        assert wb_violations(proc) == [], name
+        assert ghost_violations(proc, ids.sig) == [], name
+
+
+def test_projection_erases_ghost_code(sll):
+    program, ids = sll
+    proc = program.proc("sll_insert_front")
+    projected = project(proc, ids.sig)
+    # projected program must not mention ghost fields or Br
+    from repro.lang.ast import SMut, SStore as S_
+
+    def scan(stmts):
+        for s in stmts:
+            if isinstance(s, (SMut, S_)):
+                assert not ids.sig.is_ghost_field(s.field)
+            if isinstance(s, SAssign):
+                assert s.var != "Br"
+            for attr in ("then", "els", "body", "stmts"):
+                if hasattr(s, attr):
+                    scan(getattr(s, attr))
+
+    scan(projected.body)
+
+
+def test_impact_synthesis_finds_minimal_set():
+    ids = sll_ids()
+    found = synthesize_impact_set(ids, "key", max_size=2)
+    assert found is not None
+    assert len(found) <= 2
+    # x itself must be in any correct impact set for `key`
+    assert LC_VAR in found
+
+
+def test_wrong_impact_set_rejected():
+    from repro.core.impact import _mutation_vc
+    from repro.smt.solver import is_valid
+
+    ids = sll_ids()
+    # claiming the next-mutation impacts only {x} must fail
+    vc = _mutation_vc(ids, "next", [LC_VAR], "Br")
+    ok, _ = is_valid(vc)
+    assert not ok
+
+
+def test_broken_annotation_gets_countermodel():
+    """Predictability: a wrong ghost repair fails with a countermodel."""
+    ids = sorted_ids()
+    program = sorted_program()
+    proc = program.proc("sorted_insert")
+    # sabotage: drop the length repair in the head-insert branch
+    from repro.lang.ast import SMut
+
+    branch = proc.body[1].then
+    idx = next(
+        i for i, s in enumerate(branch) if isinstance(s, SMut) and s.field == "length"
+    )
+    removed = branch.pop(idx)
+    try:
+        report = verify_method(program, ids, "sorted_insert")
+        assert not report.ok
+        assert any("LC" in f or "ensures" in f for f in report.failed)
+    finally:
+        branch.insert(idx, removed)
+
+
+def test_memory_safety_vcs_emitted(sll):
+    program, ids = sll
+    from repro.core.verifier import Verifier
+    from repro.core.vcgen import VcGen
+
+    elab = Verifier(program, ids).elaborated_program()
+    gen = VcGen(elab, elab.proc("sll_find"))
+    vcs = gen.run()
+    assert any("memory safety" in vc.label for vc in vcs)

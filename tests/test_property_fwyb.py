@@ -1,0 +1,112 @@
+"""Property-based validation of the FWYB methodology (hypothesis):
+
+random operation sequences are executed against the annotated methods with
+the dynamic checker on -- every intermediate state must satisfy `forall z
+outside Br. LC(z)` (Proposition 3.7, executed), and the final heaps must
+agree with a Python-set reference model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DynamicChecker
+from repro.structures.avl import avl_ids, avl_program, build_avl
+from repro.structures.bst import bst_ids, bst_program
+from repro.structures.common import fresh_list_heap
+from repro.structures.rbt import build_rbt, rbt_ids, rbt_program
+from repro.structures.sorted_list import sorted_ids, sorted_program
+from repro.structures.treebuild import bst_keys_inorder, build_bst
+
+_sorted_ids = sorted_ids()
+_sorted_prog = sorted_program()
+_bst_ids = bst_ids()
+_bst_prog = bst_program()
+_avl_ids = avl_ids()
+_avl_prog = avl_program()
+_rbt_ids = rbt_ids()
+_rbt_prog = rbt_program()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(0, 20), min_size=1, max_size=5),
+    st.lists(st.integers(0, 20), min_size=1, max_size=4),
+)
+def test_sorted_insert_random(initial, inserts):
+    heap, head = fresh_list_heap(_sorted_ids.sig, sorted(initial))
+    checker = DynamicChecker(_sorted_prog, _sorted_ids)
+    model = list(sorted(initial))
+    for k in inserts:
+        head = checker.run(heap, "sorted_insert", [head, k])["r"]
+        model.append(k)
+    assert heap.read(head, "keys") == frozenset(model)
+    # physical order is sorted
+    keys, node = [], head
+    while node is not None:
+        keys.append(heap.read(node, "key"))
+        node = heap.read(node, "next")
+    assert keys == sorted(keys)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sets(st.integers(0, 30), min_size=1, max_size=7),
+    st.lists(st.integers(0, 30), min_size=1, max_size=5),
+)
+def test_bst_insert_delete_random(initial, ops):
+    heap, root = build_bst(_bst_ids.sig, sorted(initial))
+    checker = DynamicChecker(_bst_prog, _bst_ids)
+    model = set(initial)
+    for i, k in enumerate(ops):
+        if i % 2 == 0 or root is None:
+            if root is None:
+                break
+            root = checker.run(heap, "bst_insert", [root, k])["r"]
+            model.add(k)
+        else:
+            root = checker.run(heap, "bst_delete", [root, k])["r"]
+            model.discard(k)
+    if root is not None:
+        assert bst_keys_inorder(heap, root) == sorted(model)
+    else:
+        assert model == set()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, 40), min_size=2, max_size=10, unique=True))
+def test_avl_stays_balanced_random(keys):
+    heap, root = build_avl(_avl_ids.sig, [keys[0]])
+    checker = DynamicChecker(_avl_prog, _avl_ids)
+    for k in keys[1:]:
+        root = checker.run(heap, "avl_insert", [root, k])["r"]
+
+    def height(node):
+        if node is None:
+            return 0
+        hl, hr = height(heap.read(node, "l")), height(heap.read(node, "r"))
+        assert abs(hl - hr) <= 1
+        return 1 + max(hl, hr)
+
+    height(root)
+    assert bst_keys_inorder(heap, root) == sorted(set(keys))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, 40), min_size=2, max_size=10, unique=True))
+def test_rbt_invariants_random(keys):
+    heap, root = build_rbt(_rbt_ids.sig, keys[0])
+    checker = DynamicChecker(_rbt_prog, _rbt_ids)
+    for k in keys[1:]:
+        root = checker.run(heap, "rbt_insert", [root, k])["r"]
+
+    def bh(node):
+        if node is None:
+            return 0
+        l, r = heap.read(node, "l"), heap.read(node, "r")
+        if not heap.read(node, "black"):
+            assert all(c is None or heap.read(c, "black") for c in (l, r))
+        hl, hr = bh(l), bh(r)
+        assert hl == hr
+        return hl + (1 if heap.read(node, "black") else 0)
+
+    assert heap.read(root, "black")
+    bh(root)
+    assert bst_keys_inorder(heap, root) == sorted(set(keys))

@@ -1,0 +1,71 @@
+"""Red-black tree: dynamic FWYB checks for insert + find_min."""
+
+import pytest
+
+from repro.core import DynamicChecker, check_impact_sets, verify_method
+from repro.structures.rbt import build_rbt, rbt_ids, rbt_program
+from repro.structures.treebuild import bst_keys_inorder
+
+
+@pytest.fixture(scope="module")
+def program():
+    return rbt_program()
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return rbt_ids()
+
+
+def check_rbt(heap, node):
+    """Returns black height; asserts RBT invariants."""
+    if node is None:
+        return 0
+    l, r = heap.read(node, "l"), heap.read(node, "r")
+    if not heap.read(node, "black"):
+        for c in (l, r):
+            assert c is None or heap.read(c, "black"), "red-red violation"
+    bhl = check_rbt(heap, l)
+    bhr = check_rbt(heap, r)
+    assert bhl == bhr, "black-height mismatch"
+    return bhl + (1 if heap.read(node, "black") else 0)
+
+
+def grow(program, ids, keys):
+    heap, root = build_rbt(ids.sig, keys[0])
+    checker = DynamicChecker(program, ids)
+    for k in keys[1:]:
+        root = checker.run(heap, "rbt_insert", [root, k])["r"]
+    return heap, root
+
+
+@pytest.mark.parametrize(
+    "keys",
+    [
+        [5, 3, 8],
+        list(range(1, 12)),            # ascending ladder
+        list(range(12, 0, -1)),        # descending ladder
+        [50, 25, 75, 10, 30, 60, 90, 5, 15, 27, 35],
+        [7, 3, 11, 1, 5, 9, 13, 0, 2, 4, 6, 8, 10, 12, 14],
+    ],
+)
+def test_dynamic_insert_sequences(program, ids, keys):
+    heap, root = grow(program, ids, keys)
+    assert bst_keys_inorder(heap, root) == sorted(set(keys))
+    assert heap.read(root, "black")
+    check_rbt(heap, root)
+
+
+def test_dynamic_find_min(program, ids):
+    heap, root = grow(program, ids, [5, 3, 8, 1])
+    assert DynamicChecker(program, ids).run(heap, "rbt_find_min", [root])["k"] == 1
+
+
+def test_impact_sets(ids):
+    result = check_impact_sets(ids)
+    assert result.ok, result.failures
+
+
+def test_verify_find_min(program, ids):
+    report = verify_method(program, ids, "rbt_find_min")
+    assert report.ok, report.failed

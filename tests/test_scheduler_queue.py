@@ -1,0 +1,77 @@
+"""Overlaid scheduler queue (Section 4.4): two broken sets, dynamic checks."""
+
+import pytest
+
+from repro.core import DynamicChecker, check_impact_sets, check_lc_everywhere, verify_method
+from repro.structures.scheduler_queue import build_sched, sched_ids, sched_program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return sched_program()
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return sched_ids()
+
+
+def make_leaf_head_queue():
+    """Queue [25, 50] (FIFO order) whose BST is 50(l=25): the FIFO head 25
+    is a BST leaf, the Move-Request scenario."""
+    heap, _, _ = build_sched([50, 25])
+    n50 = next(o for o in heap.objects if heap.read(o, "key") == 50)
+    n25 = next(o for o in heap.objects if heap.read(o, "key") == 25)
+    heap.write(n25, "prev", None)
+    heap.write(n25, "next", n50)
+    heap.write(n50, "prev", n25)
+    heap.write(n50, "next", None)
+    heap.write(n25, "llen", 2)
+    heap.write(n50, "llen", 1)
+    return heap, n25, n50
+
+
+def test_dynamic_move_request(program, ids):
+    heap, head, parent = make_leaf_head_queue()
+    outs = DynamicChecker(program, ids).run(
+        heap, "sched_move_request", [head], expect_empty_broken_sets=False
+    )
+    # Per the contract (the Fig. 7 pattern): only the dispatched node's old
+    # BST parent may stay broken, in Br_bst only.
+    assert outs["Br_list"] == frozenset()
+    assert outs["Br_bst"] <= {parent}
+    assert heap.read(outs["r"], "key") == 50
+    # the dispatched node is fully detached
+    assert heap.read(head, "next") is None
+    assert heap.read(head, "p") is None
+    # every node outside the returned broken sets satisfies its LC partition
+    violations = check_lc_everywhere(
+        ids, heap, {"Br_list": outs["Br_list"], "Br_bst": outs["Br_bst"]}
+    )
+    assert violations == []
+
+
+def test_dynamic_list_remove_first(program, ids):
+    heap, head, root = build_sched([50, 25, 75, 10])
+    outs = DynamicChecker(program, ids).run(heap, "sched_list_remove_first", [head])
+    assert heap.read(outs["r"], "key") == 25
+    assert heap.read(head, "next") is None
+
+
+def test_dynamic_find(program, ids):
+    heap, head, root = build_sched([50, 25, 75, 10])
+    checker = DynamicChecker(program, ids)
+    assert checker.run(heap, "sched_find", [root, 75])["b"] is True
+    assert checker.run(heap, "sched_find", [root, 33])["b"] is False
+
+
+def test_impact_sets_both_partitions(ids):
+    result = check_impact_sets(ids)
+    assert result.ok, result.failures
+    # two broken sets => two checks per field
+    assert result.n_checks == 2 * len(ids.sig.all_fields)
+
+
+def test_verify_find(program, ids):
+    report = verify_method(program, ids, "sched_find")
+    assert report.ok, report.failed

@@ -1,0 +1,161 @@
+"""Unit tests for the operational semantics (Appendix A.1) and the
+elaboration pipeline."""
+
+import pytest
+
+from repro.core.fwyb import elaborate_proc
+from repro.lang import exprs as E
+from repro.lang.ast import (
+    ClassSignature,
+    Procedure,
+    Program,
+    SAssert,
+    SAssign,
+    SAssume,
+    SIf,
+    SMut,
+    SNewObj,
+    SWhile,
+)
+from repro.lang.semantics import (
+    AssertionFailure,
+    AssumptionViolated,
+    Heap,
+    Interpreter,
+    NilDereference,
+    eval_expr,
+    Env,
+)
+from repro.smt.sorts import INT, LOC
+from repro.structures.sll import sll_ids
+
+
+@pytest.fixture()
+def ids():
+    return sll_ids()
+
+
+def _program(ids, body, locals=None, name="t"):
+    proc = Procedure(
+        name=name,
+        params=[("x", LOC)],
+        outs=[("r", LOC)],
+        requires=[],
+        ensures=[],
+        body=body,
+        locals=locals or {},
+    )
+    return Program(ids.sig, {name: proc})
+
+
+def test_nil_dereference_is_error_state(ids):
+    program = _program(ids, [SAssign("r", E.F(E.V("x"), "next"))])
+    heap = Heap(ids.sig)
+    with pytest.raises(NilDereference):
+        Interpreter(program).call(heap, "t", [None])
+
+
+def test_allocation_gets_defaults(ids):
+    heap = Heap(ids.sig)
+    o = heap.new_object()
+    assert heap.read(o, "next") is None
+    assert heap.read(o, "key") == 0
+    assert heap.read(o, "keys") == frozenset()
+
+
+def test_heap_snapshot_isolated(ids):
+    heap = Heap(ids.sig)
+    o = heap.new_object()
+    snap = heap.snapshot()
+    heap.write(o, "key", 42)
+    assert snap.read(o, "key") == 0
+    assert heap.read(o, "key") == 42
+
+
+def test_assume_violation_raises(ids):
+    program = _program(ids, [SAssume(E.B(False))])
+    heap = Heap(ids.sig)
+    o = heap.new_object()
+    with pytest.raises(AssumptionViolated):
+        Interpreter(program).call(heap, "t", [o])
+
+
+def test_assert_failure_raises(ids):
+    program = _program(ids, [SAssert(E.eq(E.V("x"), E.NIL_E))])
+    heap = Heap(ids.sig)
+    o = heap.new_object()
+    with pytest.raises(AssertionFailure):
+        Interpreter(program).call(heap, "t", [o])
+
+
+def test_loop_with_invariant_checked(ids):
+    # loop counting down a local: invariant i >= 0 checked dynamically
+    proc = Procedure(
+        name="t",
+        params=[],
+        outs=[],
+        requires=[],
+        ensures=[],
+        body=[
+            SAssign("i", E.I(3)),
+            SWhile(
+                E.gt(E.V("i"), E.I(0)),
+                invariants=[E.ge(E.V("i"), E.I(0))],
+                body=[SAssign("i", E.sub(E.V("i"), E.I(1)))],
+            ),
+            SAssert(E.eq(E.V("i"), E.I(0))),
+        ],
+        locals={"i": INT},
+    )
+    program = Program(sll_ids().sig, {"t": proc})
+    Interpreter(program).call(Heap(sll_ids().sig), "t", [])
+
+
+def test_elaboration_expands_macros(ids):
+    proc = Procedure(
+        name="t",
+        params=[("x", LOC)],
+        outs=[],
+        requires=[],
+        ensures=[],
+        body=[SNewObj("z"), SMut(E.V("z"), "key", E.I(5))],
+        locals={"z": LOC},
+    )
+    elab = elaborate_proc(proc, ids)
+    from repro.lang.ast import SBlock
+
+    assert all(isinstance(s, SBlock) for s in elab.body)
+    # the Mut block contains the store plus broken-set bookkeeping
+    inner = elab.body[1].stmts
+    kinds = [type(s).__name__ for s in inner]
+    assert "SStore" in kinds
+    assert any(isinstance(s, SAssign) and s.var == "Br" for s in inner)
+
+
+def test_eval_expr_old_state(ids):
+    heap = Heap(ids.sig)
+    o = heap.new_object()
+    heap.write(o, "key", 1)
+    old_heap = heap.snapshot()
+    heap.write(o, "key", 2)
+    env = Env({"x": o}, heap, old_store={"x": o}, old_heap=old_heap)
+    assert eval_expr(E.F(E.V("x"), "key"), env) == 2
+    assert eval_expr(E.old(E.F(E.V("x"), "key")), env) == 1
+
+
+def test_interpreter_step_budget(ids):
+    proc = Procedure(
+        name="t",
+        params=[],
+        outs=[],
+        requires=[],
+        ensures=[],
+        body=[
+            SAssign("i", E.I(0)),
+            SWhile(E.B(True), invariants=[], body=[SAssign("i", E.add(E.V("i"), E.I(1)))]),
+        ],
+        locals={"i": INT},
+    )
+    program = Program(sll_ids().sig, {"t": proc})
+    with pytest.raises(RuntimeError):
+        Interpreter(program, max_steps=500).call(Heap(sll_ids().sig), "t", [])

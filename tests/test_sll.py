@@ -1,0 +1,126 @@
+"""Singly-linked list: dynamic FWYB checks + static verification."""
+
+import pytest
+
+from repro.core import DynamicChecker, check_impact_sets, verify_method
+from repro.lang.semantics import Heap
+from repro.structures.common import fresh_list_heap
+from repro.structures.sll import METHODS, sll_ids, sll_program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return sll_program()
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return sll_ids()
+
+
+def heads(heap):
+    return [o for o in heap.objects if heap.read(o, "prev") is None]
+
+
+# ---------------------------------------------------------------------------
+# Dynamic FWYB validation (Proposition 3.7, executed)
+# ---------------------------------------------------------------------------
+
+
+def test_dynamic_insert_front(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [2, 5, 9])
+    outs = DynamicChecker(program, ids).run(heap, "sll_insert_front", [head, 1])
+    r = outs["r"]
+    assert heap.read(r, "keys") == frozenset([1, 2, 5, 9])
+    assert heap.read(r, "length") == 4
+
+
+def test_dynamic_insert_front_empty(program, ids):
+    heap, _ = fresh_list_heap(ids.sig, [])
+    outs = DynamicChecker(program, ids).run(heap, "sll_insert_front", [None, 7])
+    assert heap.read(outs["r"], "keys") == frozenset([7])
+
+
+def test_dynamic_find(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [2, 5, 9])
+    checker = DynamicChecker(program, ids)
+    assert checker.run(heap, "sll_find", [head, 5])["b"] is True
+    assert checker.run(heap, "sll_find", [head, 4])["b"] is False
+
+
+def test_dynamic_insert_back(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [2, 5])
+    outs = DynamicChecker(program, ids).run(heap, "sll_insert_back", [head, 9])
+    assert heap.read(outs["r"], "keys") == frozenset([2, 5, 9])
+    assert heap.read(outs["r"], "length") == 3
+
+
+def test_dynamic_insert(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [2, 5])
+    outs = DynamicChecker(program, ids).run(heap, "sll_insert", [head, 9])
+    assert heap.read(outs["r"], "keys") == frozenset([2, 5, 9])
+
+
+def test_dynamic_append(program, ids):
+    heap, h1 = fresh_list_heap(ids.sig, [1, 2])
+    # second list in the same heap
+    n3 = heap.new_object()
+    n4 = heap.new_object()
+    heap.write(n3, "key", 7)
+    heap.write(n4, "key", 8)
+    heap.write(n3, "next", n4)
+    heap.write(n4, "prev", n3)
+    heap.write(n4, "length", 1)
+    heap.write(n4, "keys", frozenset([8]))
+    heap.write(n4, "hslist", frozenset([n4]))
+    heap.write(n3, "length", 2)
+    heap.write(n3, "keys", frozenset([7, 8]))
+    heap.write(n3, "hslist", frozenset([n3, n4]))
+    outs = DynamicChecker(program, ids).run(heap, "sll_append", [h1, n3])
+    assert heap.read(outs["r"], "keys") == frozenset([1, 2, 7, 8])
+    assert heap.read(outs["r"], "length") == 4
+
+
+def test_dynamic_copy_all(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [3, 1, 4])
+    outs = DynamicChecker(program, ids).run(heap, "sll_copy_all", [head])
+    r = outs["r"]
+    assert r != head
+    assert heap.read(r, "keys") == frozenset([1, 3, 4])
+    assert heap.read(r, "hslist") & heap.read(head, "hslist") == frozenset()
+
+
+def test_dynamic_delete_all(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [2, 5, 2, 9])
+    outs = DynamicChecker(program, ids).run(heap, "sll_delete_all", [head, 2])
+    assert heap.read(outs["r"], "keys") == frozenset([5, 9])
+
+
+def test_dynamic_delete_all_everything(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [2, 2])
+    outs = DynamicChecker(program, ids).run(heap, "sll_delete_all", [head, 2])
+    assert outs["r"] is None
+
+
+def test_dynamic_reverse(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [1, 2, 3])
+    outs = DynamicChecker(program, ids).run(heap, "sll_reverse", [head])
+    r = outs["r"] if "r" in outs else outs["ret"]
+    assert heap.read(r, "key") == 3
+    assert heap.read(r, "keys") == frozenset([1, 2, 3])
+
+
+# ---------------------------------------------------------------------------
+# Static verification (the Table 2 experiment, SLL rows)
+# ---------------------------------------------------------------------------
+
+
+def test_impact_sets(ids):
+    result = check_impact_sets(ids)
+    assert result.ok, result.failures
+
+
+@pytest.mark.parametrize("method", ["sll_insert_front", "sll_find"])
+def test_verify_method(program, ids, method):
+    report = verify_method(program, ids, method)
+    assert report.ok, report.failed

@@ -1,0 +1,210 @@
+"""Smoke tests exercising every theory of the SMT stack."""
+
+from repro.smt import (
+    INT,
+    LOC,
+    NIL,
+    MapSort,
+    SetSort,
+    Solver,
+    is_valid,
+    mk_and,
+    mk_const,
+    mk_empty_set,
+    mk_eq,
+    mk_ge,
+    mk_gt,
+    mk_implies,
+    mk_int,
+    mk_inter,
+    mk_ite,
+    mk_le,
+    mk_lt,
+    mk_member,
+    mk_ne,
+    mk_not,
+    mk_or,
+    mk_select,
+    mk_singleton,
+    mk_store,
+    mk_sub,
+    mk_subset,
+    mk_union,
+    mk_map_ite,
+    mk_add,
+)
+
+
+def valid(f):
+    ok, _ = is_valid(f)
+    return ok
+
+
+def sat(*fs):
+    s = Solver()
+    for f in fs:
+        s.add(f)
+    return s.check()
+
+
+def test_propositional():
+    a = mk_select(mk_const("M", MapSort(LOC, __import__("repro.smt.sorts", fromlist=["BOOL"]).BOOL)), mk_const("x", LOC))
+    assert valid(mk_or(a, mk_not(a)))
+    assert not valid(a)
+
+
+def test_euf_congruence():
+    x = mk_const("x", LOC)
+    y = mk_const("y", LOC)
+    m = mk_const("f", MapSort(LOC, LOC))
+    fx = mk_select(m, x)
+    fy = mk_select(m, y)
+    assert valid(mk_implies(mk_eq(x, y), mk_eq(fx, fy)))
+    assert not valid(mk_implies(mk_eq(fx, fy), mk_eq(x, y)))
+
+
+def test_euf_transitivity_chain():
+    locs = [mk_const(f"l{i}", LOC) for i in range(6)]
+    chain = mk_and(*[mk_eq(locs[i], locs[i + 1]) for i in range(5)])
+    assert valid(mk_implies(chain, mk_eq(locs[0], locs[5])))
+    assert sat(chain, mk_ne(locs[0], NIL)) == "sat"
+    assert sat(chain, mk_ne(locs[0], locs[5])) == "unsat"
+
+
+def test_arithmetic_bounds():
+    x = mk_const("a", INT)
+    y = mk_const("b", INT)
+    assert valid(mk_implies(mk_and(mk_le(x, y), mk_le(y, x)), mk_eq(x, y)))
+    assert valid(mk_implies(mk_lt(x, y), mk_ne(x, y)))
+    assert sat(mk_lt(x, y), mk_lt(y, x)) == "unsat"
+    assert valid(
+        mk_implies(
+            mk_and(mk_le(mk_int(0), x), mk_le(x, mk_int(1)), mk_ne(x, mk_int(0))),
+            mk_eq(x, mk_int(1)),
+        )
+    )
+
+
+def test_integrality_branch_and_bound():
+    x = mk_const("c", INT)
+    # 2x = 1 has no integer solution: x >= 0, x <= 1, x+x = 1
+    two_x = mk_add(x, x)
+    assert sat(mk_eq(two_x, mk_int(1))) == "unsat"
+
+
+def test_arith_euf_combination():
+    x = mk_const("k1", INT)
+    y = mk_const("k2", INT)
+    m = mk_const("g", MapSort(INT, LOC))
+    gx = mk_select(m, x)
+    gy = mk_select(m, y)
+    # x <= y and y <= x implies g(x) = g(y): needs arith->EUF propagation
+    assert valid(mk_implies(mk_and(mk_le(x, y), mk_le(y, x)), mk_eq(gx, gy)))
+    # and the other direction: g(x) != g(y) implies x != y
+    assert valid(mk_implies(mk_ne(gx, gy), mk_ne(x, y)))
+
+
+def test_store_select():
+    m = mk_const("h", MapSort(LOC, INT))
+    x = mk_const("p", LOC)
+    y = mk_const("q", LOC)
+    m2 = mk_store(m, x, mk_int(5))
+    assert valid(mk_eq(mk_select(m2, x), mk_int(5)))
+    assert valid(mk_implies(mk_ne(x, y), mk_eq(mk_select(m2, y), mk_select(m, y))))
+    assert not valid(mk_eq(mk_select(m2, y), mk_select(m, y)))
+
+
+def test_map_ite_frame():
+    m = mk_const("h2", MapSort(LOC, INT))
+    havoc = mk_const("h2p", MapSort(LOC, INT))
+    mod = mk_const("Mod", SetSort(LOC))
+    x = mk_const("r", LOC)
+    framed = mk_map_ite(mod, havoc, m)
+    # outside the modified set the map is unchanged
+    assert valid(
+        mk_implies(mk_not(mk_member(x, mod)), mk_eq(mk_select(framed, x), mk_select(m, x)))
+    )
+    assert not valid(mk_eq(mk_select(framed, x), mk_select(m, x)))
+
+
+def test_sets_basic():
+    s = mk_const("S", SetSort(LOC))
+    t = mk_const("T", SetSort(LOC))
+    x = mk_const("e", LOC)
+    assert valid(mk_implies(mk_member(x, s), mk_member(x, mk_union(s, t))))
+    assert valid(
+        mk_implies(
+            mk_and(mk_member(x, s), mk_member(x, t)), mk_member(x, mk_inter(s, t))
+        )
+    )
+    assert not valid(mk_implies(mk_member(x, mk_union(s, t)), mk_member(x, s)))
+
+
+def test_set_equalities_extensionality():
+    s = mk_const("S1", SetSort(LOC))
+    t = mk_const("T1", SetSort(LOC))
+    u = mk_const("U1", SetSort(LOC))
+    x = mk_const("e1", LOC)
+    # equality propagates membership
+    assert valid(mk_implies(mk_and(mk_eq(s, t), mk_member(x, s)), mk_member(x, t)))
+    # transitivity through a union
+    assert valid(
+        mk_implies(
+            mk_and(mk_eq(s, mk_union(t, u)), mk_member(x, t)), mk_member(x, s)
+        )
+    )
+    # union is commutative (needs witness reasoning)
+    assert valid(mk_eq(mk_union(s, t), mk_union(t, s)))
+    # empty intersection means no common member
+    empty = mk_empty_set(LOC)
+    assert valid(
+        mk_implies(
+            mk_and(mk_eq(mk_inter(s, t), empty), mk_member(x, s)),
+            mk_not(mk_member(x, t)),
+        )
+    )
+
+
+def test_subset():
+    s = mk_const("S2", SetSort(LOC))
+    t = mk_const("T2", SetSort(LOC))
+    x = mk_const("e2", LOC)
+    assert valid(mk_subset(s, mk_union(s, t)))
+    assert valid(mk_implies(mk_and(mk_subset(s, t), mk_member(x, s)), mk_member(x, t)))
+    assert not valid(mk_subset(mk_union(s, t), s))
+
+
+def test_singleton_sets_with_arith():
+    k = mk_const("key1", INT)
+    j = mk_const("key2", INT)
+    s = mk_union(mk_singleton(k), mk_singleton(j))
+    x = mk_const("key3", INT)
+    assert valid(
+        mk_implies(
+            mk_and(mk_member(x, s), mk_lt(x, k)),
+            mk_eq(x, j),
+        )
+    )
+
+
+def test_sorted_list_shaped_vc():
+    """A miniature of the paper's LC reasoning: keys ordered along next."""
+    key = mk_const("Mkey", MapSort(LOC, INT))
+    nxt = mk_const("Mnext", MapSort(LOC, LOC))
+    x = mk_const("n0", LOC)
+    y = mk_select(nxt, x)
+    z = mk_select(nxt, y)
+    hyp = mk_and(
+        mk_le(mk_select(key, x), mk_select(key, y)),
+        mk_le(mk_select(key, y), mk_select(key, z)),
+    )
+    assert valid(mk_implies(hyp, mk_le(mk_select(key, x), mk_select(key, z))))
+
+
+def test_ite_terms():
+    x = mk_const("i1", INT)
+    y = mk_const("i2", INT)
+    c = mk_lt(x, y)
+    m = mk_ite(c, x, y)  # min
+    assert valid(mk_and(mk_le(m, x), mk_le(m, y)))
+    assert valid(mk_or(mk_eq(m, x), mk_eq(m, y)))

@@ -1,0 +1,238 @@
+"""Fast unit tests for individual SMT-stack components."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import (
+    INT,
+    LOC,
+    NIL,
+    SetSort,
+    Solver,
+    is_valid,
+    mk_add,
+    mk_and,
+    mk_const,
+    mk_empty_set,
+    mk_eq,
+    mk_int,
+    mk_ite,
+    mk_le,
+    mk_lt,
+    mk_map_ite,
+    mk_member,
+    mk_ne,
+    mk_not,
+    mk_or,
+    mk_select,
+    mk_singleton,
+    mk_store,
+    mk_sub,
+    mk_union,
+    substitute,
+)
+from repro.smt.euf import EufSolver
+from repro.smt.rewriter import rewrite
+from repro.smt.sat import SatSolver, lit_of, neg
+from repro.smt.sorts import MapSort
+from repro.smt.terms import FALSE, TRUE
+
+
+# ---------------------------------------------------------------------------
+# term construction / interning
+# ---------------------------------------------------------------------------
+
+
+def test_terms_are_interned():
+    a = mk_const("ia", INT)
+    b = mk_const("ib", INT)
+    assert mk_add(a, b) is mk_add(a, b)
+    assert mk_eq(a, b) is mk_eq(b, a)  # canonical argument order
+
+
+def test_constant_folding():
+    assert mk_add(mk_int(2), mk_int(3)) is mk_int(5)
+    assert mk_le(mk_int(1), mk_int(2)) is TRUE
+    assert mk_lt(mk_int(2), mk_int(2)) is FALSE
+    assert mk_and(TRUE, FALSE) is FALSE
+    assert mk_or(FALSE) is FALSE
+    assert mk_not(mk_not(mk_const("bb", INT) and TRUE)) is TRUE
+
+
+def test_substitute():
+    a, b, c = mk_const("sa", INT), mk_const("sb", INT), mk_const("sc", INT)
+    t = mk_add(a, b)
+    assert substitute(t, {a: c}) is mk_add(c, b)
+    assert substitute(t, {t: c}) is c
+
+
+# ---------------------------------------------------------------------------
+# rewriter
+# ---------------------------------------------------------------------------
+
+
+def test_rewrite_select_store_same_index():
+    m = mk_const("rm", MapSort(LOC, INT))
+    x = mk_const("rx", LOC)
+    assert rewrite(mk_select(mk_store(m, x, mk_int(7)), x)) is mk_int(7)
+
+
+def test_rewrite_select_store_chain():
+    m = mk_const("rm2", MapSort(LOC, INT))
+    x, y = mk_const("rx2", LOC), mk_const("ry2", LOC)
+    t = mk_select(mk_store(mk_store(m, x, mk_int(1)), y, mk_int(2)), x)
+    out = rewrite(t)
+    # reduces to ite(y = x, 2, 1): no store/select of the inner chain remains
+    assert out.op == "ite"
+
+
+def test_rewrite_member_distribution():
+    s1 = mk_const("rs1", SetSort(LOC))
+    s2 = mk_const("rs2", SetSort(LOC))
+    e = mk_const("re", LOC)
+    out = rewrite(mk_member(e, mk_union(s1, mk_singleton(e))))
+    assert out is TRUE  # e in (s1 u {e}) folds through eq(e, e)
+
+
+def test_rewrite_map_ite():
+    m1 = mk_const("rmi1", MapSort(LOC, INT))
+    m2 = mk_const("rmi2", MapSort(LOC, INT))
+    sel = mk_const("rsel", SetSort(LOC))
+    x = mk_const("rmx", LOC)
+    out = rewrite(mk_select(mk_map_ite(sel, m1, m2), x))
+    assert out.op == "ite"
+    assert out.args[0].op == "member"
+
+
+# ---------------------------------------------------------------------------
+# EUF
+# ---------------------------------------------------------------------------
+
+
+def test_euf_congruence_and_explanations():
+    euf = EufSolver()
+    m = mk_const("em", MapSort(LOC, LOC))
+    a, b, c = mk_const("ea", LOC), mk_const("eb", LOC), mk_const("ec", LOC)
+    fa, fb = mk_select(m, a), mk_select(m, b)
+    euf.register(fa)
+    euf.register(fb)
+    assert euf.assert_eq(a, b, lit=2) is None
+    assert euf.are_equal(fa, fb)
+    expl = euf.explain(fa, fb)
+    assert expl == [2]
+
+
+def test_euf_diseq_conflict_and_undo():
+    euf = EufSolver()
+    a, b, c = mk_const("ua", LOC), mk_const("ub", LOC), mk_const("uc", LOC)
+    assert euf.assert_diseq(a, c, lit=4) is None
+    mark = euf.mark()
+    assert euf.assert_eq(a, b, lit=6) is None
+    conflict = euf.assert_eq(b, c, lit=8)
+    assert conflict is not None and set(conflict) == {4, 6, 8}
+    euf.undo_to(mark)
+    assert not euf.are_equal(a, b)
+    # after undo the merge can be replayed cleanly
+    assert euf.assert_eq(a, b, lit=6) is None
+
+
+def test_euf_distinct_literals_conflict():
+    euf = EufSolver()
+    x = mk_const("dx", INT)
+    assert euf.assert_eq(x, mk_int(1), lit=2) is None
+    conflict = euf.assert_eq(x, mk_int(2), lit=4)
+    assert conflict is not None
+
+
+# ---------------------------------------------------------------------------
+# SAT core
+# ---------------------------------------------------------------------------
+
+
+def test_sat_basic():
+    s = SatSolver()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([lit_of(a), lit_of(b)])
+    s.add_clause([neg(lit_of(a)), lit_of(b)])
+    s.add_clause([neg(lit_of(b)), lit_of(a)])
+    assert s.solve() is True
+    model = s.model()
+    assert model[a] and model[b]
+
+
+def test_sat_unsat():
+    s = SatSolver()
+    a = s.new_var()
+    s.add_clause([lit_of(a)])
+    s.add_clause([neg(lit_of(a))])
+    assert s.solve() is False or not s.ok
+
+
+def test_sat_pigeonhole_3_2():
+    """3 pigeons, 2 holes: classic small UNSAT instance."""
+    s = SatSolver()
+    v = [[s.new_var() for _ in range(2)] for _ in range(3)]
+    for p in range(3):
+        s.add_clause([lit_of(v[p][0]), lit_of(v[p][1])])
+    for h in range(2):
+        for p1 in range(3):
+            for p2 in range(p1 + 1, 3):
+                s.add_clause([neg(lit_of(v[p1][h])), neg(lit_of(v[p2][h]))])
+    assert s.solve() is False
+
+
+# ---------------------------------------------------------------------------
+# end-to-end solver regression cases collected during development
+# ---------------------------------------------------------------------------
+
+
+def test_combination_regression():
+    """Congruent selects through a purified ite must share arith values
+    (the bug that once produced a bogus impact-set countermodel)."""
+    mn = mk_const("cMn", MapSort(LOC, LOC))
+    mk_ = mk_const("cMk", MapSort(LOC, INT))
+    u, x, v = mk_const("cu", LOC), mk_const("cx", LOC), mk_const("cv", LOC)
+    post = mk_select(mk_store(mn, x, v), u)
+    s = Solver()
+    s.add(mk_ne(u, x))
+    s.add(mk_le(mk_select(mk_, u), mk_select(mk_, mk_select(mn, u))))
+    s.add(mk_not(mk_le(mk_select(mk_, u), mk_select(mk_, post))))
+    assert s.check() == "unsat"
+
+
+def test_integer_tightening():
+    a, b = mk_const("ta", INT), mk_const("tb", INT)
+    s = Solver()
+    s.add(mk_lt(a, b))
+    s.add(mk_lt(b, mk_add(a, mk_int(1))))
+    assert s.check() == "unsat"  # no integer strictly between a and a+1
+
+
+def test_disjoint_union_reasoning():
+    hs = mk_const("dhs", SetSort(LOC))
+    tail = mk_const("dtail", SetSort(LOC))
+    x, w = mk_const("dx", LOC), mk_const("dw", LOC)
+    # hs = {x} u tail, x not in tail, w in hs, w != x  =>  w in tail
+    hyp = mk_and(
+        mk_eq(hs, mk_union(mk_singleton(x), tail)),
+        mk_not(mk_member(x, tail)),
+        mk_member(w, hs),
+        mk_ne(w, x),
+    )
+    from repro.smt import mk_implies
+
+    ok, _ = is_valid(mk_implies(hyp, mk_member(w, tail)))
+    assert ok
+
+
+def test_nonlinear_rejected():
+    from repro.smt.solver import NonLinearError
+
+    a, b = mk_const("na", INT), mk_const("nb", INT)
+    from repro.smt import mk_mul
+
+    s = Solver()
+    s.add(mk_eq(mk_mul(a, b), mk_int(6)))
+    with pytest.raises(NonLinearError):
+        s.check()

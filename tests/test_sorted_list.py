@@ -1,0 +1,89 @@
+"""Sorted list (the paper's running example): dynamic + static checks."""
+
+import pytest
+
+from repro.core import DynamicChecker, check_impact_sets, verify_method
+from repro.structures.common import fresh_list_heap
+from repro.structures.sorted_list import sorted_ids, sorted_program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return sorted_program()
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return sorted_ids()
+
+
+def test_dynamic_insert_middle(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [2, 5, 9])
+    outs = DynamicChecker(program, ids).run(heap, "sorted_insert", [head, 7])
+    r = outs["r"]
+    assert heap.read(r, "keys") == frozenset([2, 5, 7, 9])
+    assert heap.read(r, "length") == 4
+    # check physical ordering
+    keys = []
+    node = r
+    while node is not None:
+        keys.append(heap.read(node, "key"))
+        node = heap.read(node, "next")
+    assert keys == sorted(keys)
+
+
+@pytest.mark.parametrize("k", [0, 2, 6, 9, 50])
+def test_dynamic_insert_positions(program, ids, k):
+    heap, head = fresh_list_heap(ids.sig, [2, 5, 9])
+    outs = DynamicChecker(program, ids).run(heap, "sorted_insert", [head, k])
+    assert heap.read(outs["r"], "keys") == frozenset([2, 5, 9, k])
+
+
+def test_dynamic_find(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [2, 5, 9])
+    checker = DynamicChecker(program, ids)
+    assert checker.run(heap, "sorted_find", [head, 9])["b"] is True
+    assert checker.run(heap, "sorted_find", [head, 3])["b"] is False
+
+
+def test_dynamic_delete_all(program, ids):
+    heap, head = fresh_list_heap(ids.sig, [2, 5, 5, 9])
+    outs = DynamicChecker(program, ids).run(heap, "sorted_delete_all", [head, 5])
+    assert heap.read(outs["r"], "keys") == frozenset([2, 9])
+
+
+def test_dynamic_merge(program, ids):
+    heap, h1 = fresh_list_heap(ids.sig, [1, 4, 9])
+    # build a second sorted list in the same heap
+    import repro.structures.common as common
+
+    nodes = [heap.new_object() for _ in range(2)]
+    for node, k in zip(nodes, [3, 7]):
+        heap.write(node, "key", k)
+    heap.write(nodes[0], "next", nodes[1])
+    heap.write(nodes[1], "prev", nodes[0])
+    heap.write(nodes[1], "length", 1)
+    heap.write(nodes[1], "keys", frozenset([7]))
+    heap.write(nodes[1], "hslist", frozenset([nodes[1]]))
+    heap.write(nodes[0], "length", 2)
+    heap.write(nodes[0], "keys", frozenset([3, 7]))
+    heap.write(nodes[0], "hslist", frozenset(nodes))
+    outs = DynamicChecker(program, ids).run(heap, "sorted_merge", [h1, nodes[0]])
+    r = outs["r"]
+    assert heap.read(r, "keys") == frozenset([1, 3, 4, 7, 9])
+    keys = []
+    node = r
+    while node is not None:
+        keys.append(heap.read(node, "key"))
+        node = heap.read(node, "next")
+    assert keys == sorted(keys)
+
+
+def test_impact_sets(ids):
+    result = check_impact_sets(ids)
+    assert result.ok, result.failures
+
+
+def test_verify_find(program, ids):
+    report = verify_method(program, ids, "sorted_find")
+    assert report.ok, report.failed

@@ -1,0 +1,76 @@
+"""Treap: dynamic FWYB checks + impact sets + static find verification."""
+
+import pytest
+
+from repro.core import DynamicChecker, check_impact_sets, verify_method
+from repro.structures.treap import build_treap, treap_ids, treap_program
+from repro.structures.treebuild import bst_keys_inorder
+
+
+@pytest.fixture(scope="module")
+def program():
+    return treap_program()
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return treap_ids()
+
+
+ITEMS = [(5, 50), (2, 40), (8, 30), (1, 20), (6, 10)]
+
+
+def heap_prio_ok(heap, node):
+    if node is None:
+        return True
+    for c in (heap.read(node, "l"), heap.read(node, "r")):
+        if c is not None:
+            if heap.read(c, "prio") > heap.read(node, "prio"):
+                return False
+            if not heap_prio_ok(heap, c):
+                return False
+    return True
+
+
+def test_dynamic_find(program, ids):
+    heap, root = build_treap(ids.sig, ITEMS)
+    checker = DynamicChecker(program, ids)
+    assert checker.run(heap, "treap_find", [root, 8])["b"] is True
+    assert checker.run(heap, "treap_find", [root, 7])["b"] is False
+
+
+@pytest.mark.parametrize("k,p", [(3, 60), (3, 5), (9, 45), (0, 100)])
+def test_dynamic_insert(program, ids, k, p):
+    heap, root = build_treap(ids.sig, ITEMS)
+    outs = DynamicChecker(program, ids).run(heap, "treap_insert", [root, k, p])
+    r = outs["r"]
+    assert heap.read(r, "keys") == frozenset([1, 2, 5, 6, 8, k])
+    assert bst_keys_inorder(heap, r) == sorted([1, 2, 5, 6, 8, k])
+    assert heap_prio_ok(heap, r)
+
+
+@pytest.mark.parametrize("k", [1, 5, 8, 77])
+def test_dynamic_delete(program, ids, k):
+    heap, root = build_treap(ids.sig, ITEMS)
+    outs = DynamicChecker(program, ids).run(heap, "treap_delete", [root, k])
+    r = outs["r"]
+    expect = sorted({1, 2, 5, 6, 8} - {k})
+    assert bst_keys_inorder(heap, r) == expect
+    assert heap_prio_ok(heap, r)
+
+
+def test_dynamic_remove_root(program, ids):
+    heap, root = build_treap(ids.sig, ITEMS)
+    rk = heap.read(root, "key")
+    outs = DynamicChecker(program, ids).run(heap, "treap_remove_root", [root])
+    assert bst_keys_inorder(heap, outs["r"]) == sorted({1, 2, 5, 6, 8} - {rk})
+
+
+def test_impact_sets(ids):
+    result = check_impact_sets(ids)
+    assert result.ok, result.failures
+
+
+def test_verify_find(program, ids):
+    report = verify_method(program, ids, "treap_find")
+    assert report.ok, report.failed
