@@ -7,58 +7,63 @@ a from-scratch Python SMT solver); the reproduced *shape* is: every method
 admits quantifier-free decidable VCs, impact-set checks are fast, and
 verification succeeds without lemmas/triggers/tactics.
 
-Set REPRO_BENCH_BUDGET_S to change the per-method wall clock (default 120s;
-methods exceeding it are reported as "budget" rather than hanging the run).
+Budgeting goes through the engine's portable per-VC timeout
+(:mod:`repro.engine.scheduler`) instead of the historical
+``signal.SIGALRM`` alarm, so the table runs identically inside CI
+workers, subthreads, and on non-Unix hosts.  Knobs:
+
+- ``REPRO_BENCH_BUDGET_S``  -- per-VC wall clock (default 120; a method
+  with a timed-out VC is reported as "budget" rather than hanging the run)
+- ``REPRO_BENCH_JOBS``      -- solver worker processes (default 1)
+- ``REPRO_BENCH_CACHE_DIR`` -- optional persistent VC verdict cache
 """
 
 import os
-import signal
 
-import pytest
-
-from repro.core.verifier import Verifier
+from repro.engine import VerificationEngine
 from repro.structures.registry import EXPERIMENTS, method_sizes
 
-BUDGET_S = int(os.environ.get("REPRO_BENCH_BUDGET_S", "120"))
+BUDGET_S = float(os.environ.get("REPRO_BENCH_BUDGET_S", "120"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
-class _Timeout(Exception):
-    pass
-
-
-def _alarm(_sig, _frm):
-    raise _Timeout()
-
-
-def _verify_with_budget(program, ids, method, budget_s):
-    signal.signal(signal.SIGALRM, _alarm)
-    signal.alarm(budget_s)
+def _verify_with_budget(engine, program, ids, method):
     try:
-        report = Verifier(program, ids, conflict_budget=100000).verify(method)
-        return report, None
-    except _Timeout:
-        return None, "budget"
+        report = engine.verify(program, ids, method)
     except Exception as e:  # noqa: BLE001 - report, don't crash the table
         return None, f"error: {type(e).__name__}"
-    finally:
-        signal.alarm(0)
+    if report.timeouts:
+        return report, "budget"
+    return report, None
 
 
 def run_table2():
+    engine = VerificationEngine(
+        jobs=JOBS,
+        timeout_s=BUDGET_S,
+        method_budget_s=BUDGET_S,
+        cache_dir=CACHE_DIR,
+        conflict_budget=100000,
+    )
     rows = []
     for exp in EXPERIMENTS:
         ids = exp.ids_factory()
         program = exp.program_factory()
         for method in exp.methods:
             lc, loc, spec, ann = method_sizes(exp, method)
-            report, failure = _verify_with_budget(program, ids, method, BUDGET_S)
-            if report is not None:
+            report, failure = _verify_with_budget(engine, program, ids, method)
+            if failure is None:
                 status = "verified" if report.ok else "FAILED"
                 t = f"{report.time_s:6.1f}"
                 vcs = report.n_vcs
+            elif failure == "budget":
+                status = failure
+                t = f">{BUDGET_S:g}"
+                vcs = report.n_vcs
             else:
                 status = failure
-                t = f">{BUDGET_S}"
+                t = f">{BUDGET_S:g}"
                 vcs = "-"
             rows.append((exp.structure, lc, method, loc, spec, ann, vcs, t, status))
     return rows
@@ -80,7 +85,7 @@ def print_table(rows):
     last = None
     for (structure, lc, method, loc, spec, ann, vcs, t, status) in rows:
         s = structure if structure != last else ""
-        l = str(lc) if structure != last else ""
+        l = str(lc) if structure != last else ""  # noqa: E741
         last = structure
         print(
             f"{s:34s} {l:>3s}  {method:26s} {loc:>4d} {spec:>4d} {ann:>4d} "

@@ -9,9 +9,8 @@ with one broken set per component (Br_list / Br_bst).
 Run:  python examples/io_scheduler.py
 """
 
-import random
 
-from repro.core import DynamicChecker, check_impact_sets, check_lc_everywhere
+from repro.core import DynamicChecker, check_impact_sets
 from repro.structures.scheduler_queue import build_sched, sched_ids, sched_program
 
 

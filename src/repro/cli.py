@@ -1,0 +1,319 @@
+"""Command-line entry point: ``python -m repro`` (or the ``repro`` script).
+
+Subcommands:
+
+- ``repro list``    -- show the structure/method registry
+- ``repro verify``  -- verify methods through the parallel engine
+- ``repro bench``   -- regenerate the paper's tables with a machine-readable
+  ``bench_results.json`` report
+
+Examples::
+
+    repro verify --all --jobs 4 --cache-dir .vc-cache
+    repro verify --structure "Binary Search Tree" --method bst_insert
+    repro bench --suite table2 --budget 10 --limit 3 --output bench_results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from .core.verifier import MethodReport
+from .engine import VerificationEngine
+from .engine.backends import BackendError, available_backends
+from .structures.registry import EXPERIMENTS, Experiment, method_sizes
+
+__all__ = ["main"]
+
+def _select(
+    structure: Optional[str], methods: List[str], all_: bool
+) -> List[Tuple[Experiment, str]]:
+    chosen: List[Tuple[Experiment, str]] = []
+    for exp in EXPERIMENTS:
+        if structure and exp.structure != structure:
+            continue
+        for m in exp.methods:
+            if methods and m not in methods:
+                continue
+            chosen.append((exp, m))
+    if not all_ and not structure and not methods:
+        return []
+    return chosen
+
+
+def _engine_from_args(
+    args,
+    timeout_s: Optional[float] = None,
+    method_budget_s: Optional[float] = None,
+) -> VerificationEngine:
+    return VerificationEngine(
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        timeout_s=timeout_s if timeout_s is not None else args.timeout,
+        method_budget_s=method_budget_s,
+        encoding=getattr(args, "encoding", "decidable"),
+        conflict_budget=args.conflict_budget,
+    )
+
+
+def _status(report) -> str:
+    if report.ok:
+        return "verified"
+    if report.timeouts:
+        return "budget"
+    return "FAILED"
+
+
+def _safe_verify(engine: VerificationEngine, exp: Experiment, method: str):
+    """Verify one method; a crash (e.g. in VC generation) becomes an
+    ``error:`` row instead of killing the whole run, like the historical
+    table2 harness."""
+    start = time.perf_counter()
+    try:
+        report = engine.verify(exp.program_factory(), exp.ids_factory(), method)
+        return report, _status(report)
+    except Exception as e:  # noqa: BLE001 - report, don't crash the table
+        report = MethodReport(
+            structure=exp.structure,
+            method=method,
+            ok=False,
+            n_vcs=0,
+            failed=[f"{method}: {type(e).__name__}: {e}"],
+            time_s=time.perf_counter() - start,
+            encoding=engine.encoding,
+            jobs=engine.jobs,
+        )
+        return report, f"error: {type(e).__name__}"
+
+
+# -- repro list --------------------------------------------------------------
+
+
+def cmd_list(args) -> int:
+    for exp in EXPERIMENTS:
+        print(exp.structure)
+        for m in exp.methods:
+            print(f"  {m}")
+    print(f"\n{sum(len(e.methods) for e in EXPERIMENTS)} methods, "
+          f"backends: {', '.join(available_backends())}")
+    return 0
+
+
+# -- repro verify ------------------------------------------------------------
+
+
+def cmd_verify(args) -> int:
+    chosen = _select(args.structure, args.method, args.all)
+    if not chosen:
+        print("nothing selected: pass --all, --structure or --method", file=sys.stderr)
+        return 2
+    try:
+        engine = _engine_from_args(args)
+    except BackendError as e:
+        print(f"backend error: {e}", file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    rows = []
+    for exp, m in chosen:
+        report, status = _safe_verify(engine, exp, m)
+        rows.append((exp.structure, m, report, status))
+        if not args.quiet:
+            print(
+                f"{exp.structure:36s} {m:26s} {report.n_vcs:4d} VCs "
+                f"{report.time_s:7.2f}s  hits={report.cache_hits:<4d} {status}"
+            )
+    wall = time.perf_counter() - start
+    ok = sum(1 for *_x, s in rows if s == "verified")
+    print(
+        f"\n{ok}/{len(rows)} methods verified "
+        f"(jobs={engine.jobs}, backend={engine.backend_spec}, wall={wall:.1f}s)"
+    )
+    if args.json:
+        _dump_json(args.json, "verify", args, rows, wall)
+        print(f"wrote {args.json}")
+    return 0 if ok == len(rows) else 1
+
+
+# -- repro bench -------------------------------------------------------------
+
+
+def cmd_bench(args) -> int:
+    budget = args.budget
+    if budget is None:
+        budget = float(os.environ.get("REPRO_BENCH_BUDGET_S", "120"))
+    try:
+        # The budget bounds each VC *and* each method's total wall clock,
+        # matching the historical per-method SIGALRM semantics portably.
+        engine = _engine_from_args(args, timeout_s=budget, method_budget_s=budget)
+    except BackendError as e:
+        print(f"backend error: {e}", file=sys.stderr)
+        return 2
+
+    chosen = _select(args.structure, args.method, True)
+    if args.limit:
+        chosen = chosen[: args.limit]
+
+    rows = []
+    wall_start = time.perf_counter()
+    if args.suite == "table2":
+        for exp, m in chosen:
+            lc, loc, spec, ann = method_sizes(exp, m)
+            report, status = _safe_verify(engine, exp, m)
+            rows.append((exp.structure, m, report, status, (lc, loc, spec, ann)))
+            print(
+                f"{exp.structure:36s} {m:26s} {report.n_vcs:4d} VCs "
+                f"{report.time_s:7.2f}s  hits={report.cache_hits:<4d} {status}"
+            )
+    else:  # rq3
+        quant_engine = VerificationEngine(
+            jobs=args.jobs,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+            timeout_s=budget,
+            method_budget_s=budget,
+            encoding="quantified",
+            conflict_budget=args.conflict_budget,
+        )
+        for exp, m in chosen:
+            dec, _s = _safe_verify(engine, exp, m)
+            quant, _s2 = _safe_verify(quant_engine, exp, m)
+            rows.append((exp.structure, m, dec, _status(dec), None, quant))
+            print(
+                f"{m:26s} decidable {dec.time_s:7.2f}s {_status(dec):8s} "
+                f"quantified {quant.time_s:7.2f}s {_status(quant)}"
+            )
+    wall = time.perf_counter() - wall_start
+    verified = sum(1 for row in rows if row[3] == "verified")
+    print(f"\n{verified}/{len(rows)} methods verified (budget={budget:g}s/VC, "
+          f"jobs={engine.jobs}, wall={wall:.1f}s)")
+
+    out = args.output or "bench_results.json"
+    _dump_json(out, args.suite, args, rows, wall, budget=budget)
+    print(f"wrote {out}")
+    if args.check and verified != len(rows):
+        print(f"--check: only {verified}/{len(rows)} methods verified", file=sys.stderr)
+        return 1
+    if any(row[3].startswith("error:") for row in rows):
+        return 1  # crashes are never an acceptable bench outcome
+    return 0
+
+
+def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
+    results = []
+    for row in rows:
+        structure, m, report, status = row[0], row[1], row[2], row[3]
+        entry = {
+            "structure": structure,
+            "method": m,
+            "status": status,
+            "ok": report.ok,
+            "n_vcs": report.n_vcs,
+            "time_s": round(report.time_s, 4),
+            "cache_hits": report.cache_hits,
+            "timeouts": report.timeouts,
+            "encoding": report.encoding,
+            "failed": report.failed,
+        }
+        if len(row) > 4 and row[4] is not None:
+            lc, loc, spec, ann = row[4]
+            entry.update({"lc_size": lc, "loc": loc, "spec": spec, "ann": ann})
+        if len(row) > 5:
+            quant = row[5]
+            entry["quantified"] = {
+                "ok": quant.ok,
+                "time_s": round(quant.time_s, 4),
+                "status": _status(quant),
+            }
+        results.append(entry)
+    doc = {
+        "schema_version": 1,
+        "suite": suite,
+        "jobs": args.jobs,
+        "backend": args.backend,
+        "budget_s": budget,
+        "cache_dir": args.cache_dir,
+        "python": platform.python_version(),
+        "wall_s": round(wall, 3),
+        "n_methods": len(results),
+        "n_verified": sum(1 for r in results if r["status"] == "verified"),
+        "results": results,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2)
+
+
+# -- argument parsing --------------------------------------------------------
+
+
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes for VC solving (default 1)")
+    p.add_argument("--backend", default="intree",
+                   help="solver backend spec: intree | smtlib2[:CMD] | "
+                        "crosscheck:A,B (default intree)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent VC verdict cache directory")
+    p.add_argument("--conflict-budget", type=int, default=200000,
+                   help="in-tree solver conflict budget per VC")
+    p.add_argument("--structure", default=None, help="restrict to one structure")
+    p.add_argument("--method", action="append", default=[],
+                   help="restrict to named method(s); repeatable")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predictable verification using intrinsic definitions "
+                    "(PLDI 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list the structure/method registry")
+    p_list.set_defaults(func=cmd_list)
+
+    p_verify = sub.add_parser("verify", help="verify methods via the engine")
+    _add_engine_args(p_verify)
+    p_verify.add_argument("--all", action="store_true", help="verify every registry method")
+    p_verify.add_argument("--encoding", choices=["decidable", "quantified"],
+                          default="decidable")
+    p_verify.add_argument("--timeout", type=float, default=None,
+                          help="per-VC wall-clock timeout in seconds")
+    p_verify.add_argument("--json", default=None, help="write a JSON report here")
+    p_verify.add_argument("--quiet", "-q", action="store_true")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_bench = sub.add_parser("bench", help="run a benchmark suite")
+    _add_engine_args(p_bench)
+    p_bench.add_argument("--suite", choices=["table2", "rq3"], default="table2")
+    p_bench.add_argument("--budget", type=float, default=None,
+                         help="per-VC timeout in seconds "
+                              "(default: REPRO_BENCH_BUDGET_S or 120)")
+    p_bench.add_argument("--limit", type=int, default=None,
+                         help="only the first N registry methods")
+    p_bench.add_argument("--output", "-o", default=None,
+                         help="bench report path (default bench_results.json)")
+    p_bench.add_argument("--check", action="store_true",
+                         help="exit nonzero unless every selected method verifies "
+                              "(for CI smoke jobs)")
+    p_bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,7 @@ random workloads (used extensively by the property-based tests).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..lang import exprs as E
 from ..lang.ast import Program

@@ -25,12 +25,11 @@ solver must then ground heuristically (``repro.smt.quant``).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..lang import exprs as E
 from ..lang.ast import (
-    ClassSignature,
     Procedure,
     Program,
     SAssert,

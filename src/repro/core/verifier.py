@@ -1,13 +1,30 @@
 """The verification driver: the reproduction's analogue of running Boogie.
 
-``verify_method`` performs, in order:
+Verification is split into two phases so the engine layer
+(:mod:`repro.engine`) can shard and cache the expensive half:
+
+**Phase 1 -- generate** (:meth:`Verifier.plan`):
 
 1. the well-behavedness check (Fig. 2 discipline, Section 3.5),
 2. the ghost-code discipline check (Appendix A.2),
 3. FWYB macro elaboration (Section 4.1),
 4. decidable VC generation (Section 3.7/Appendix A.3),
-5. the quantifier-freeness cross-check on every VC (Section 5.1), and
-6. SMT solving of every VC with the from-scratch decision procedure.
+5. the quantifier-freeness cross-check on every VC (Section 5.1).
+
+The result is a :class:`MethodPlan`: per-VC slots that are either a
+*static failure* (discipline violation, quantifier leak, instantiation
+budget) or a ground formula awaiting a solver.  Because every formula is
+quantifier-free and self-contained, the solve phase is embarrassingly
+parallel and its results are cacheable by formula hash.
+
+**Phase 2 -- solve** (:meth:`Verifier.verify`, or the engine's scheduler):
+
+6. SMT solving of every planned VC with the from-scratch decision
+   procedure (or any registered :mod:`repro.engine.backends` backend).
+
+``Verifier.verify`` runs both phases sequentially in-process and is the
+verdict reference: the parallel engine must (and is tested to) produce
+identical verdicts.
 
 ``encoding="quantified"`` runs the RQ3 baseline instead: quantified VCs
 grounded by bounded instantiation (the Dafny architecture), which is both
@@ -21,18 +38,24 @@ import time
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Optional
 
-from ..lang.ast import Procedure, Program, stmt_count
+from ..lang.ast import Procedure, Program
 from ..lang.ghost import ghost_violations
 from ..lang.wellbehaved import wb_violations
-from ..smt.printer import assert_quantifier_free, QuantifierFound
+from ..smt.printer import QuantifierFound, assert_quantifier_free
 from ..smt.quant import InstantiationBudgetExceeded, instantiate
 from ..smt.solver import Solver, SolverError
-from ..smt.terms import mk_not
+from ..smt.terms import Term, mk_not
 from .fwyb import elaborate_proc
 from .ids import IntrinsicDefinition
-from .vcgen import VC, VcGen
+from .vcgen import VcGen
 
-__all__ = ["MethodReport", "verify_method", "Verifier"]
+__all__ = [
+    "MethodReport",
+    "MethodPlan",
+    "PlannedVC",
+    "verify_method",
+    "Verifier",
+]
 
 
 @dataclass
@@ -47,6 +70,9 @@ class MethodReport:
     wb_ok: bool = True
     ghost_ok: bool = True
     notes: List[str] = dc_field(default_factory=list)
+    cache_hits: int = 0
+    jobs: int = 1
+    timeouts: int = 0  # VCs stopped by the engine's wall-clock budget
 
     def __repr__(self):
         status = "verified" if self.ok else "FAILED"
@@ -54,6 +80,50 @@ class MethodReport:
             f"<{self.structure}.{self.method}: {status}, {self.n_vcs} VCs, "
             f"{self.time_s:.2f}s ({self.encoding})>"
         )
+
+
+@dataclass
+class PlannedVC:
+    """One VC slot of a :class:`MethodPlan`.
+
+    Either ``formula`` is a ground term to hand to a solver, or
+    ``failure`` records why the VC already failed statically (and
+    ``formula`` is ``None``).
+    """
+
+    index: int
+    label: str
+    formula: Optional[Term]
+    failure: Optional[str] = None
+    note: Optional[str] = None
+
+
+@dataclass
+class MethodPlan:
+    """Output of the generate phase: everything the solve phase needs."""
+
+    structure: str
+    method: str
+    encoding: str
+    conflict_budget: Optional[int]
+    wb_failures: List[str]
+    ghost_failures: List[str]
+    vcs: List[PlannedVC]
+
+    @property
+    def n_vcs(self) -> int:
+        return len(self.vcs)
+
+    @property
+    def wb_ok(self) -> bool:
+        return not self.wb_failures
+
+    @property
+    def ghost_ok(self) -> bool:
+        return not self.ghost_failures
+
+    def solvable(self) -> List[PlannedVC]:
+        return [vc for vc in self.vcs if vc.formula is not None]
 
 
 class Verifier:
@@ -86,18 +156,14 @@ class Verifier:
         procs = {n: self.elaborated(n) for n in self.program.procedures}
         return Program(self.program.class_sig, procs)
 
-    # -- main entry ---------------------------------------------------------
+    # -- phase 1: generate --------------------------------------------------
 
-    def verify(self, proc_name: str) -> MethodReport:
-        start = time.perf_counter()
+    def plan(self, proc_name: str) -> MethodPlan:
+        """Run checks, elaboration and VC generation; solve nothing."""
         proc = self.program.proc(proc_name)
-        failed: List[str] = []
-        notes: List[str] = []
 
         wb = wb_violations(proc) if proc.is_well_behaved else []
         ghost = ghost_violations(proc, self.program.class_sig)
-        failed.extend(wb)
-        failed.extend(ghost)
 
         elab_program = self.elaborated_program()
         gen = VcGen(
@@ -109,42 +175,86 @@ class Verifier:
         )
         vcs = gen.run()
 
-        for vc in vcs:
+        planned: List[PlannedVC] = []
+        for i, vc in enumerate(vcs):
             formula = vc.formula()
             if self.encoding == "quantified":
                 try:
                     formula = instantiate(formula, rounds=self.instantiation_rounds)
                 except InstantiationBudgetExceeded as e:
-                    failed.append(f"{vc.label}: instantiation budget ({e})")
+                    planned.append(
+                        PlannedVC(
+                            i, vc.label, None,
+                            failure=f"{vc.label}: instantiation budget ({e})",
+                        )
+                    )
                     continue
             try:
                 assert_quantifier_free(formula)
             except QuantifierFound as e:
                 if self.encoding == "decidable":
-                    failed.append(f"{vc.label}: NOT QUANTIFIER FREE ({e})")
+                    planned.append(
+                        PlannedVC(
+                            i, vc.label, None,
+                            failure=f"{vc.label}: NOT QUANTIFIER FREE ({e})",
+                        )
+                    )
                     continue
-                notes.append(f"{vc.label}: residual quantifier after instantiation")
-                failed.append(f"{vc.label}: residual quantifier (incomplete grounding)")
+                planned.append(
+                    PlannedVC(
+                        i, vc.label, None,
+                        failure=f"{vc.label}: residual quantifier (incomplete grounding)",
+                        note=f"{vc.label}: residual quantifier after instantiation",
+                    )
+                )
+                continue
+            planned.append(PlannedVC(i, vc.label, formula))
+
+        return MethodPlan(
+            structure=self.ids.name,
+            method=proc_name,
+            encoding=self.encoding,
+            conflict_budget=self.conflict_budget,
+            wb_failures=wb,
+            ghost_failures=ghost,
+            vcs=planned,
+        )
+
+    # -- phase 2: solve (sequential reference implementation) ---------------
+
+    def verify(self, proc_name: str) -> MethodReport:
+        start = time.perf_counter()
+        plan = self.plan(proc_name)
+        failed: List[str] = []
+        notes: List[str] = []
+        failed.extend(plan.wb_failures)
+        failed.extend(plan.ghost_failures)
+
+        for pvc in plan.vcs:
+            if pvc.note is not None:
+                notes.append(pvc.note)
+            if pvc.failure is not None:
+                failed.append(pvc.failure)
                 continue
             solver = Solver(conflict_budget=self.conflict_budget)
-            solver.add(mk_not(formula))
+            solver.add(mk_not(pvc.formula))
             try:
                 result = solver.check()
             except SolverError as e:
-                failed.append(f"{vc.label}: solver error ({e})")
+                failed.append(f"{pvc.label}: solver error ({e})")
                 continue
             if result != "unsat":
-                failed.append(f"{vc.label}: countermodel found")
+                failed.append(f"{pvc.label}: countermodel found")
         return MethodReport(
             structure=self.ids.name,
             method=proc_name,
             ok=not failed,
-            n_vcs=len(vcs),
+            n_vcs=plan.n_vcs,
             failed=failed,
             time_s=time.perf_counter() - start,
             encoding=self.encoding,
-            wb_ok=not wb,
-            ghost_ok=not ghost,
+            wb_ok=plan.wb_ok,
+            ghost_ok=plan.ghost_ok,
             notes=notes,
         )
 

@@ -1,0 +1,48 @@
+"""The verification engine: parallel scheduling, VC caching, backends.
+
+The paper's "predictable verification" guarantee -- every VC is
+quantifier-free, decidable and independent -- makes verification
+embarrassingly parallel and replayable.  This package turns that into
+infrastructure:
+
+- :mod:`repro.engine.tasks`     -- VCs as self-contained picklable work units
+- :mod:`repro.engine.codec`     -- intern-safe wire format for term DAGs
+- :mod:`repro.engine.scheduler` -- multiprocessing shard with per-task timeouts
+- :mod:`repro.engine.cache`     -- persistent verdict cache keyed by formula hash
+- :mod:`repro.engine.backends`  -- pluggable solver backends (in-tree, SMT-LIB2
+  subprocess, cross-check)
+- :mod:`repro.engine.api`       -- :class:`VerificationEngine`, the front door
+"""
+
+from .api import VerificationEngine
+from .backends import (
+    BackendUnavailable,
+    CrossCheckMismatch,
+    SolverBackend,
+    UnknownBackendError,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from .cache import VcCache, formula_key
+from .scheduler import solve_one, solve_tasks
+from .tasks import SolveTask, TaskResult, assemble_report, tasks_from_plan
+
+__all__ = [
+    "VerificationEngine",
+    "SolverBackend",
+    "UnknownBackendError",
+    "BackendUnavailable",
+    "CrossCheckMismatch",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+    "VcCache",
+    "formula_key",
+    "solve_one",
+    "solve_tasks",
+    "SolveTask",
+    "TaskResult",
+    "tasks_from_plan",
+    "assemble_report",
+]

@@ -1,0 +1,128 @@
+"""High-level verification engine: plan → (cache | shard | solve) → report.
+
+The one-stop API the CLI, benchmarks and tests drive:
+
+    engine = VerificationEngine(jobs=4, cache_dir=".vc-cache")
+    report = engine.verify(program, ids, "bst_insert")
+
+Verdicts are independent of ``jobs`` (tested against the sequential
+``Verifier``); ``cache_dir`` makes re-verification of unchanged methods
+near-instant; ``timeout_s`` bounds each VC's wall clock portably.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.ids import IntrinsicDefinition
+from ..core.verifier import MethodReport, Verifier
+from ..lang.ast import Program
+from .backends import make_backend
+from .cache import VcCache
+from .scheduler import solve_tasks
+from .tasks import assemble_report, tasks_from_plan
+
+__all__ = ["VerificationEngine"]
+
+
+class VerificationEngine:
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: str = "intree",
+        cache_dir: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        method_budget_s: Optional[float] = None,
+        encoding: str = "decidable",
+        memory_safety: bool = True,
+        conflict_budget: Optional[int] = 200000,
+        mp_context: Optional[str] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.backend_spec = backend
+        make_backend(backend)  # fail fast on unknown/unavailable backends
+        self.cache = VcCache(cache_dir) if cache_dir else None
+        self.timeout_s = timeout_s
+        self.method_budget_s = method_budget_s
+        self.encoding = encoding
+        self.memory_safety = memory_safety
+        self.conflict_budget = conflict_budget
+        self.mp_context = mp_context
+
+    def _verifier(self, program: Program, ids: IntrinsicDefinition) -> Verifier:
+        return Verifier(
+            program,
+            ids,
+            encoding=self.encoding,
+            memory_safety=self.memory_safety,
+            conflict_budget=self.conflict_budget,
+        )
+
+    def verify(
+        self, program: Program, ids: IntrinsicDefinition, method: str
+    ) -> MethodReport:
+        """Two-phase verification of one method."""
+        started = time.perf_counter()
+        plan = self._verifier(program, ids).plan(method)
+        tasks = tasks_from_plan(
+            plan, backend_spec=self.backend_spec, timeout_s=self.timeout_s
+        )
+        results = solve_tasks(
+            tasks,
+            jobs=self.jobs,
+            cache=self.cache,
+            mp_context=self.mp_context,
+            deadline_s=self.method_budget_s,
+        )
+        return assemble_report(plan, results, started, jobs=self.jobs)
+
+    def verify_many(
+        self,
+        work: Iterable[Tuple[Program, IntrinsicDefinition, str]],
+    ) -> List[MethodReport]:
+        """Verify a batch of (program, ids, method) triples.
+
+        Plans are generated eagerly and their tasks solved through one
+        shared scheduler pass, so VCs of *different* methods fill the
+        worker pool together -- the whole suite is one big task bag.
+        ``method_budget_s`` here bounds the whole batch (it is one bag).
+        """
+        work = list(work)
+        plans = []
+        started = time.perf_counter()
+        all_tasks = []
+        for program, ids, method in work:
+            plan = self._verifier(program, ids).plan(method)
+            tasks = tasks_from_plan(
+                plan, backend_spec=self.backend_spec, timeout_s=self.timeout_s
+            )
+            plans.append((plan, tasks, time.perf_counter()))
+            all_tasks.extend(tasks)
+
+        # Tag tasks with a global position so results can be routed back.
+        results = solve_tasks(
+            _reindexed(all_tasks),
+            jobs=self.jobs,
+            cache=self.cache,
+            mp_context=self.mp_context,
+            deadline_s=self.method_budget_s,
+        )
+        reports: List[MethodReport] = []
+        cursor = 0
+        for plan, tasks, _t0 in plans:
+            chunk = results[cursor : cursor + len(tasks)]
+            cursor += len(tasks)
+            for res, task in zip(chunk, tasks):
+                res.index = task.index  # restore per-method VC index
+            report = assemble_report(plan, chunk, started, jobs=self.jobs)
+            # Batch wall clock is shared; report the method's own solve time.
+            report.time_s = sum(r.time_s for r in chunk)
+            reports.append(report)
+        return reports
+
+
+def _reindexed(tasks):
+    """Globally unique indices for a multi-method task bag."""
+    return [replace(t, index=i) for i, t in enumerate(tasks)]

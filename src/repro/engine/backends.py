@@ -1,0 +1,216 @@
+"""Pluggable solver backends.
+
+A backend answers one question -- is this ground formula valid? -- and
+the registry lets the scheduler, CLI and benchmarks pick an
+implementation by name:
+
+- ``intree``: the from-scratch CDCL(T) solver in :mod:`repro.smt.solver`
+  (always available, the verdict reference).
+- ``smtlib2``: serialize the query with :mod:`repro.smt.printer` and pipe
+  it to any external SMT-LIB2 solver binary (``z3``, ``cvc5``, ...).
+  Gated on the binary being installed; nothing is ever pip-installed.
+- ``crosscheck``: run two backends on every query and assert their
+  verdicts agree (the paper's predictability claim, mechanised).
+
+Backend *specs* are strings: ``"intree"``, ``"smtlib2"``,
+``"smtlib2:cvc5"``, ``"crosscheck:intree,smtlib2"``.  Specs (not live
+objects) cross process boundaries, so workers can rebuild their backend
+from the spec alone.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..smt.printer import script
+from ..smt.solver import Solver, SolverError
+from ..smt.terms import Term, mk_not
+
+__all__ = [
+    "BackendError",
+    "UnknownBackendError",
+    "BackendUnavailable",
+    "CrossCheckMismatch",
+    "SolverBackend",
+    "InTreeBackend",
+    "Smtlib2Backend",
+    "CrossCheckBackend",
+    "register_backend",
+    "available_backends",
+    "make_backend",
+]
+
+VALID = "valid"
+INVALID = "invalid"
+UNKNOWN = "unknown"
+
+
+class BackendError(Exception):
+    pass
+
+
+class UnknownBackendError(BackendError, ValueError):
+    """The registry has no backend under the requested name."""
+
+
+class BackendUnavailable(BackendError):
+    """The backend exists but cannot run here (e.g. missing binary)."""
+
+
+class CrossCheckMismatch(BackendError):
+    """Two backends disagreed on a verdict -- a soundness alarm."""
+
+
+@dataclass
+class BackendVerdict:
+    status: str  # VALID | INVALID | UNKNOWN
+    detail: str = ""
+
+
+class SolverBackend(ABC):
+    """Decide validity of one quantifier-free formula."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def check_validity(
+        self, formula: Term, conflict_budget: Optional[int] = None
+    ) -> BackendVerdict:
+        """Return VALID iff ``formula`` holds in every model.
+
+        Implementations refute the negation; budget exhaustion or an
+        external-solver ``unknown`` surface as :exc:`SolverError` /
+        ``UNKNOWN`` rather than a bogus verdict.
+        """
+
+
+class InTreeBackend(SolverBackend):
+    name = "intree"
+
+    def check_validity(
+        self, formula: Term, conflict_budget: Optional[int] = None
+    ) -> BackendVerdict:
+        solver = Solver(conflict_budget=conflict_budget)
+        solver.add(mk_not(formula))
+        result = solver.check()
+        if result == "unsat":
+            return BackendVerdict(VALID)
+        return BackendVerdict(INVALID, "countermodel found")
+
+
+class Smtlib2Backend(SolverBackend):
+    """Subprocess bridge to an external SMT-LIB2 solver.
+
+    The query is printed by :func:`repro.smt.printer.script` (the same
+    serialization the VC cache hashes) and fed to ``<command> <file>``.
+    The default command comes from ``REPRO_SMT2_SOLVER`` (else ``z3``).
+    """
+
+    name = "smtlib2"
+
+    def __init__(self, command: Optional[str] = None, timeout_s: float = 600.0):
+        self.command = command or os.environ.get("REPRO_SMT2_SOLVER", "z3")
+        self.timeout_s = timeout_s
+        if shutil.which(self.command) is None:
+            raise BackendUnavailable(
+                f"external solver '{self.command}' not found on PATH "
+                "(set REPRO_SMT2_SOLVER or install one; nothing is auto-installed)"
+            )
+
+    def check_validity(
+        self, formula: Term, conflict_budget: Optional[int] = None
+    ) -> BackendVerdict:
+        text = script([mk_not(formula)])
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".smt2", prefix="repro_vc_", delete=False
+        ) as handle:
+            handle.write(text)
+            path = handle.name
+        try:
+            proc = subprocess.run(
+                [self.command, path],
+                capture_output=True,
+                text=True,
+                timeout=self.timeout_s,
+            )
+            out = (proc.stdout or "").strip().splitlines()
+            answer = out[-1].strip() if out else ""
+            if answer == "unsat":
+                return BackendVerdict(VALID)
+            if answer == "sat":
+                return BackendVerdict(INVALID, "countermodel found (external)")
+            raise SolverError(
+                f"external solver answered {answer or proc.stderr.strip()[:120] or 'nothing'}"
+            )
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+class CrossCheckBackend(SolverBackend):
+    """Run two backends and assert verdict agreement."""
+
+    name = "crosscheck"
+
+    def __init__(self, primary: SolverBackend, secondary: SolverBackend):
+        self.primary = primary
+        self.secondary = secondary
+
+    def check_validity(
+        self, formula: Term, conflict_budget: Optional[int] = None
+    ) -> BackendVerdict:
+        a = self.primary.check_validity(formula, conflict_budget)
+        b = self.secondary.check_validity(formula, conflict_budget)
+        if a.status != b.status:
+            raise CrossCheckMismatch(
+                f"{self.primary.name} says {a.status} but "
+                f"{self.secondary.name} says {b.status}"
+            )
+        return a
+
+
+_REGISTRY: Dict[str, Callable[..., SolverBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., SolverBackend]) -> None:
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list:
+    return sorted(_REGISTRY)
+
+
+def _make_crosscheck(arg: Optional[str]) -> SolverBackend:
+    pair = (arg or "intree,smtlib2").split(",")
+    if len(pair) != 2:
+        raise UnknownBackendError(
+            f"crosscheck spec needs two comma-separated backends, got {arg!r}"
+        )
+    return CrossCheckBackend(make_backend(pair[0]), make_backend(pair[1]))
+
+
+register_backend("intree", lambda arg=None: InTreeBackend())
+register_backend("smtlib2", lambda arg=None: Smtlib2Backend(command=arg))
+register_backend("crosscheck", _make_crosscheck)
+
+
+def make_backend(spec: str) -> SolverBackend:
+    """Build a backend from a spec string like ``smtlib2:cvc5``.
+
+    Raises :exc:`UnknownBackendError` for names missing from the registry.
+    """
+    name, _, arg = spec.partition(":")
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise UnknownBackendError(
+            f"unknown backend '{name}' (available: {', '.join(available_backends())})"
+        )
+    return factory(arg or None)

@@ -1,0 +1,126 @@
+"""Persistent VC-verdict cache.
+
+The decidable pipeline makes verification *replayable*: a VC's verdict is
+a pure function of its (quantifier-free) formula and the solver budget.
+The cache exploits that by keying each verdict on a SHA-256 of the
+formula's canonical SMT-LIB2 serialization (:mod:`repro.smt.printer`)
+after theory rewriting, so a re-verification of an unchanged method is a
+directory of file reads instead of minutes of CDCL(T).
+
+Hardening: every entry embeds its own key and a checksum of its payload.
+A poisoned, truncated, or hand-edited entry fails validation, is deleted,
+and the VC is recomputed -- a wrong verdict is never served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..smt.printer import to_smtlib
+from ..smt.rewriter import rewrite
+from ..smt.terms import Term
+
+__all__ = ["VcCache", "formula_key"]
+
+_CACHEABLE = ("valid", "invalid")
+
+
+def formula_key(
+    formula: Term,
+    encoding: str,
+    conflict_budget: Optional[int],
+    backend: str = "intree",
+) -> str:
+    """Stable content hash for one VC.
+
+    The formula is rewritten first (store/map_ite elimination) so the key
+    survives superficial re-phrasings that the solver would erase anyway,
+    then serialized to SMT-LIB2 text.  Encoding, budget and the backend
+    spec are folded in because each can change the verdict -- in
+    particular, verdicts produced by one backend must never be replayed
+    as another's (a warm cache would otherwise silently bypass
+    ``crosscheck`` mode).
+    """
+    limit = sys.getrecursionlimit()
+    if limit < 20000:
+        sys.setrecursionlimit(20000)
+    try:
+        text = to_smtlib(rewrite(formula))
+    finally:
+        sys.setrecursionlimit(limit)
+    payload = f"{backend}|{encoding}|{conflict_budget}|{text}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _checksum(record: dict) -> str:
+    body = {k: v for k, v in record.items() if k != "checksum"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class VcCache:
+    """File-per-entry verdict store under ``root`` (safe to share/rsync)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Validated record for ``key``, or None (poison is purged)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            record = None
+        if (
+            not isinstance(record, dict)
+            or record.get("key") != key
+            or record.get("verdict") not in _CACHEABLE
+            or record.get("checksum") != _checksum(record)
+        ):
+            if path.exists():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, verdict: str, detail: str = "", **meta) -> None:
+        """Store a definitive verdict (transient errors/timeouts are not
+        cacheable -- they depend on the machine, not the formula)."""
+        if verdict not in _CACHEABLE:
+            return
+        record = dict(meta)
+        record.update({"key": key, "verdict": verdict, "detail": detail})
+        record["checksum"] = _checksum(record)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish so a concurrent reader never sees a torn entry.
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

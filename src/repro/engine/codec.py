@@ -1,0 +1,96 @@
+"""Picklable wire format for terms and sorts.
+
+:class:`~repro.smt.terms.Term` objects are hash-consed: equality is
+identity and construction goes through an interning table, so they must
+not cross process boundaries as live objects (un-pickling would bypass
+the intern table and silently break ``a is b`` equality).  The engine
+therefore ships every formula as a flat, topologically-sorted node list
+of plain tuples; :func:`decode_term` rebuilds the term *through the
+constructor* in the receiving process, re-interning every node.
+
+Encoding is iterative (explicit stack) so VC-sized DAGs never hit the
+recursion limit, and shared subterms are emitted exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..smt.sorts import MapSort, SetSort, Sort, UninterpretedSort
+from ..smt.terms import Term
+
+__all__ = ["encode_sort", "decode_sort", "encode_term", "decode_term"]
+
+_PRIMS = ("Bool", "Int", "Real")
+
+
+def encode_sort(sort: Sort) -> tuple:
+    if isinstance(sort, SetSort):
+        return ("set", encode_sort(sort.elem))
+    if isinstance(sort, MapSort):
+        return ("map", encode_sort(sort.dom), encode_sort(sort.rng))
+    if isinstance(sort, UninterpretedSort):
+        return ("u", sort.name)
+    return ("p", sort.name)
+
+
+def decode_sort(enc: tuple) -> Sort:
+    tag = enc[0]
+    if tag == "set":
+        return SetSort(decode_sort(enc[1]))
+    if tag == "map":
+        return MapSort(decode_sort(enc[1]), decode_sort(enc[2]))
+    if tag == "u":
+        return UninterpretedSort(enc[1])
+    return Sort(enc[1])
+
+
+def encode_term(root: Term) -> Tuple[tuple, ...]:
+    """Flatten a term DAG into a post-order tuple of nodes.
+
+    Each node is ``(op, arg_indices, sort_enc, name, value, binder_indices)``
+    where indices refer to earlier positions in the tuple; the root is the
+    last node.  All components are plain picklable values.
+    """
+    nodes: List[tuple] = []
+    index = {}
+    stack = [(root, False)]
+    while stack:
+        t, expanded = stack.pop()
+        if t in index:
+            continue
+        if expanded:
+            nodes.append(
+                (
+                    t.op,
+                    tuple(index[a] for a in t.args),
+                    encode_sort(t.sort),
+                    t.name,
+                    t.value,
+                    tuple(index[b] for b in t.binders),
+                )
+            )
+            index[t] = len(nodes) - 1
+        else:
+            stack.append((t, True))
+            for child in t.args + t.binders:
+                if child not in index:
+                    stack.append((child, False))
+    return tuple(nodes)
+
+
+def decode_term(nodes: Tuple[tuple, ...]) -> Term:
+    """Rebuild (and re-intern) a term from :func:`encode_term` output."""
+    built: List[Term] = []
+    for op, arg_ix, sort_enc, name, value, binder_ix in nodes:
+        built.append(
+            Term(
+                op,
+                args=tuple(built[i] for i in arg_ix),
+                sort=decode_sort(sort_enc),
+                name=name,
+                value=value,
+                binders=tuple(built[i] for i in binder_ix),
+            )
+        )
+    return built[-1]

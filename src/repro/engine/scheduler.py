@@ -1,0 +1,263 @@
+"""Parallel solve scheduler with per-task wall-clock timeouts.
+
+Shards :class:`~repro.engine.tasks.SolveTask`s across worker *processes*
+(one process per task, at most ``jobs`` in flight).  Because every VC is
+independent, no coordination is needed beyond a result pipe per worker;
+a task that exceeds its timeout is terminated and reported as
+``timeout`` -- no ``signal.SIGALRM``, so the same code path works inside
+CI containers, on macOS/Windows ``spawn`` start methods, and in threads.
+
+``jobs=1`` with no timeout takes a pure in-process path that is
+byte-for-byte the sequential ``Verifier.verify`` verdict computation
+(the "same-verdict sequential fallback").
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from multiprocessing.connection import wait as conn_wait
+from typing import Dict, List, Optional, Tuple
+
+from ..smt.solver import SolverError
+from .backends import BackendError, SolverBackend, make_backend
+from .cache import VcCache, formula_key
+from .tasks import SolveTask, TaskResult
+
+__all__ = ["solve_tasks", "solve_one"]
+
+_POLL_S = 0.05
+
+
+def solve_one(task: SolveTask, backend: Optional[SolverBackend] = None) -> TaskResult:
+    """Solve a single task in this process (no timeout enforcement)."""
+    if backend is None:
+        backend = make_backend(task.backend_spec)
+    start = time.perf_counter()
+    try:
+        verdict = backend.check_validity(task.formula(), task.conflict_budget)
+        return TaskResult(
+            index=task.index,
+            label=task.label,
+            verdict=verdict.status,
+            detail=verdict.detail,
+            time_s=time.perf_counter() - start,
+        )
+    except (SolverError, BackendError) as e:
+        return TaskResult(
+            index=task.index,
+            label=task.label,
+            verdict="error",
+            detail=str(e),
+            time_s=time.perf_counter() - start,
+        )
+
+
+def _pool_solve(task: SolveTask) -> TaskResult:
+    """Pool worker body: never let an exception escape (it would poison
+    the whole imap)."""
+    try:
+        return solve_one(task)
+    except BaseException as e:  # noqa: BLE001
+        return TaskResult(task.index, task.label, "error", f"worker crash: {e!r}")
+
+
+def _worker(conn, task: SolveTask) -> None:
+    """Worker entry point: solve one task, ship the result, exit."""
+    try:
+        result = solve_one(task)
+    except BaseException as e:  # noqa: BLE001 - must never die silently
+        result = TaskResult(task.index, task.label, "error", f"worker crash: {e!r}")
+    try:
+        conn.send(result)
+        conn.close()
+    except (BrokenPipeError, OSError):
+        pass
+
+
+class _Running:
+    __slots__ = ("proc", "conn", "task", "deadline", "started")
+
+    def __init__(self, proc, conn, task: SolveTask):
+        self.proc = proc
+        self.conn = conn
+        self.task = task
+        self.started = time.perf_counter()
+        self.deadline = (
+            self.started + task.timeout_s if task.timeout_s is not None else None
+        )
+
+
+def solve_tasks(
+    tasks: List[SolveTask],
+    jobs: int = 1,
+    cache: Optional[VcCache] = None,
+    mp_context: Optional[str] = None,
+    deadline_s: Optional[float] = None,
+) -> List[TaskResult]:
+    """Solve every task; returns results in task order.
+
+    Cache hits short-circuit before any process is spawned; definitive
+    verdicts of misses are written back.  ``jobs`` bounds worker
+    concurrency; each worker enforces its task's ``timeout_s`` by
+    termination from the parent.  ``deadline_s`` additionally bounds the
+    *whole bag's* wall clock (the per-method budget of the benchmark
+    harnesses): when it expires, every unfinished task is reported as
+    ``timeout`` instead of being started.
+    """
+    results: Dict[int, TaskResult] = {}
+    pending: List[Tuple[SolveTask, Optional[str]]] = []
+
+    for task in tasks:
+        key = None
+        if cache is not None:
+            key = formula_key(
+                task.formula(), task.encoding, task.conflict_budget, task.backend_spec
+            )
+            record = cache.get(key)
+            if record is not None:
+                results[task.index] = TaskResult(
+                    index=task.index,
+                    label=task.label,
+                    verdict=record["verdict"],
+                    detail=record.get("detail", ""),
+                    time_s=0.0,
+                    cached=True,
+                )
+                continue
+        pending.append((task, key))
+
+    def record_result(task: SolveTask, key: Optional[str], res: TaskResult) -> None:
+        results[task.index] = res
+        if cache is not None and key is not None and not res.cached:
+            cache.put(
+                key,
+                res.verdict,
+                res.detail,
+                label=task.label,
+                structure=task.structure,
+                method=task.method,
+                time_s=res.time_s,
+            )
+
+    needs_isolation = deadline_s is not None or any(
+        t.timeout_s is not None for t, _ in pending
+    )
+    if not needs_isolation:
+        if jobs <= 1:
+            # Sequential fallback: identical to Verifier.verify's solve loop.
+            for task, key in pending:
+                record_result(task, key, solve_one(task))
+        elif pending:
+            # No timeouts to enforce: a persistent worker pool amortizes
+            # process startup across tasks (one spawn per worker, not per VC).
+            ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                for (task, key), res in zip(
+                    pending, pool.imap(_pool_solve, [t for t, _ in pending])
+                ):
+                    record_result(task, key, res)
+        return [results[t.index] for t in tasks]
+
+    ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+    queue: List[Tuple[SolveTask, Optional[str]]] = list(pending)
+    running: List[_Running] = []
+    key_of: Dict[int, Optional[str]] = {t.index: k for t, k in pending}
+    bag_deadline = (
+        time.perf_counter() + deadline_s if deadline_s is not None else None
+    )
+
+    def launch(task: SolveTask) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_worker, args=(child_conn, task), daemon=True)
+        proc.start()
+        child_conn.close()
+        running.append(_Running(proc, parent_conn, task))
+
+    try:
+        while queue or running:
+            if bag_deadline is not None and time.perf_counter() > bag_deadline:
+                for task, _key in queue:
+                    record_result(
+                        task,
+                        key_of[task.index],
+                        TaskResult(
+                            task.index, task.label, "timeout",
+                            f"method budget {deadline_s:g}s",
+                        ),
+                    )
+                queue.clear()
+                for run in running:
+                    run.proc.terminate()
+                    run.proc.join()
+                    run.conn.close()
+                    record_result(
+                        run.task,
+                        key_of[run.task.index],
+                        TaskResult(
+                            run.task.index, run.task.label, "timeout",
+                            f"method budget {deadline_s:g}s",
+                            time_s=time.perf_counter() - run.started,
+                        ),
+                    )
+                running = []
+                break
+            while queue and len(running) < max(1, jobs):
+                launch(queue.pop(0)[0])
+            ready = conn_wait([r.conn for r in running], timeout=_POLL_S)
+            now = time.perf_counter()
+            still: List[_Running] = []
+            for run in running:
+                task = run.task
+                if run.conn in ready:
+                    try:
+                        res = run.conn.recv()
+                    except (EOFError, OSError):
+                        res = TaskResult(
+                            task.index,
+                            task.label,
+                            "error",
+                            f"worker died (exitcode {run.proc.exitcode})",
+                            time_s=now - run.started,
+                        )
+                    record_result(task, key_of[task.index], res)
+                    run.conn.close()
+                    run.proc.join()
+                elif run.deadline is not None and now > run.deadline:
+                    run.proc.terminate()
+                    run.proc.join()
+                    run.conn.close()
+                    record_result(
+                        task,
+                        key_of[task.index],
+                        TaskResult(
+                            task.index,
+                            task.label,
+                            "timeout",
+                            f"budget {task.timeout_s:g}s",
+                            time_s=now - run.started,
+                        ),
+                    )
+                elif not run.proc.is_alive() and not run.conn.poll():
+                    run.conn.close()
+                    record_result(
+                        task,
+                        key_of[task.index],
+                        TaskResult(
+                            task.index,
+                            task.label,
+                            "error",
+                            f"worker died (exitcode {run.proc.exitcode})",
+                            time_s=now - run.started,
+                        ),
+                    )
+                else:
+                    still.append(run)
+            running = still
+    finally:
+        for run in running:
+            run.proc.terminate()
+            run.proc.join()
+            run.conn.close()
+
+    return [results[t.index] for t in tasks]

@@ -1,0 +1,134 @@
+"""The engine's work-unit model.
+
+A :class:`SolveTask` is one VC made self-contained: label, wire-encoded
+formula (:mod:`repro.engine.codec`), encoding, budgets and backend spec.
+Tasks are plain picklable data, so they can be queued, shipped to worker
+processes, hashed for the cache, or written to disk -- the "every VC is
+independent and decidable" property of the paper turned into an API.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.verifier import MethodPlan, MethodReport
+from ..smt.terms import Term
+from .codec import decode_term, encode_term
+
+__all__ = ["SolveTask", "TaskResult", "tasks_from_plan", "assemble_report"]
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One VC, ready to solve anywhere."""
+
+    structure: str
+    method: str
+    index: int
+    label: str
+    nodes: tuple  # encoded formula DAG
+    encoding: str
+    conflict_budget: Optional[int]
+    backend_spec: str = "intree"
+    timeout_s: Optional[float] = None
+
+    def formula(self) -> Term:
+        return decode_term(self.nodes)
+
+
+@dataclass
+class TaskResult:
+    index: int
+    label: str
+    verdict: str  # "valid" | "invalid" | "error" | "timeout"
+    detail: str = ""
+    time_s: float = 0.0
+    cached: bool = False
+
+    def failure(self) -> Optional[str]:
+        """The ``MethodReport.failed`` entry this result contributes.
+
+        Messages for the in-process verdicts match ``Verifier.verify``
+        byte-for-byte so parallel and sequential reports are comparable.
+        """
+        if self.verdict == "valid":
+            return None
+        if self.verdict == "invalid":
+            return f"{self.label}: countermodel found"
+        if self.verdict == "timeout":
+            return f"{self.label}: timeout ({self.detail})"
+        return f"{self.label}: solver error ({self.detail})"
+
+
+def tasks_from_plan(
+    plan: MethodPlan,
+    backend_spec: str = "intree",
+    timeout_s: Optional[float] = None,
+) -> List[SolveTask]:
+    """The solvable slots of a plan, as wire-ready tasks."""
+    return [
+        SolveTask(
+            structure=plan.structure,
+            method=plan.method,
+            index=pvc.index,
+            label=pvc.label,
+            nodes=encode_term(pvc.formula),
+            encoding=plan.encoding,
+            conflict_budget=plan.conflict_budget,
+            backend_spec=backend_spec,
+            timeout_s=timeout_s,
+        )
+        for pvc in plan.solvable()
+    ]
+
+
+@dataclass
+class _Row:
+    order: int
+    failure: Optional[str]
+    note: Optional[str] = None
+
+
+def assemble_report(
+    plan: MethodPlan,
+    results: List[TaskResult],
+    started_at: float,
+    jobs: int = 1,
+) -> MethodReport:
+    """Merge static failures and solve results back into a MethodReport.
+
+    Failures are emitted in VC order regardless of solve completion
+    order, so the report is deterministic under any parallel schedule.
+    """
+    rows: List[_Row] = []
+    for pvc in plan.vcs:
+        if pvc.failure is not None or pvc.note is not None:
+            rows.append(_Row(pvc.index, pvc.failure, pvc.note))
+    for res in results:
+        rows.append(_Row(res.index, res.failure()))
+    rows.sort(key=lambda r: r.order)
+
+    failed: List[str] = list(plan.wb_failures) + list(plan.ghost_failures)
+    notes: List[str] = []
+    for row in rows:
+        if row.note is not None:
+            notes.append(row.note)
+        if row.failure is not None:
+            failed.append(row.failure)
+    return MethodReport(
+        structure=plan.structure,
+        method=plan.method,
+        ok=not failed,
+        n_vcs=plan.n_vcs,
+        failed=failed,
+        time_s=time.perf_counter() - started_at,
+        encoding=plan.encoding,
+        wb_ok=plan.wb_ok,
+        ghost_ok=plan.ghost_ok,
+        notes=notes,
+        cache_hits=sum(1 for r in results if r.cached),
+        jobs=jobs,
+        timeouts=sum(1 for r in results if r.verdict == "timeout"),
+    )

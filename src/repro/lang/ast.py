@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Optional, Tuple
 
-from ..smt.sorts import BOOL, INT, LOC, REAL, SET_LOC, SetSort, Sort
+from ..smt.sorts import SET_LOC, Sort
 from .exprs import Expr
 
 __all__ = [

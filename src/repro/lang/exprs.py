@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
-from ..smt.sorts import BOOL, INT, LOC, REAL, SetSort, Sort
 
 __all__ = [
     "Expr",

@@ -24,13 +24,11 @@ from .ast import (
     SAssertLCAndRemove,
     SAssign,
     SAssume,
-    SCall,
     SIf,
     SInferLCOutsideBr,
     SMut,
     SNew,
     SNewObj,
-    SSkip,
     SStore,
     SWhile,
     Stmt,

@@ -12,14 +12,13 @@ program point -- a direct executable check of the paper's Propositions
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional
 
 from ..smt.sorts import BOOL, INT, LOC, REAL, SetSort, Sort
 from .ast import (
     ClassSignature,
-    Procedure,
     Program,
     SAssert,
     SAssign,

@@ -16,23 +16,7 @@ from __future__ import annotations
 
 from typing import List
 
-from .ast import (
-    Procedure,
-    SAssert,
-    SAssertLCAndRemove,
-    SAssign,
-    SAssume,
-    SCall,
-    SIf,
-    SInferLCOutsideBr,
-    SMut,
-    SNew,
-    SNewObj,
-    SSkip,
-    SStore,
-    SWhile,
-    Stmt,
-)
+from .ast import Procedure, SAssign, SAssume, SIf, SNew, SStore, SWhile, Stmt
 from .exprs import expr_vars
 
 __all__ = ["wb_violations"]

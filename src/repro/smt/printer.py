@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Set
 
-from .sorts import BOOL, MapSort, SetSort, Sort
+from .sorts import MapSort, SetSort, Sort
 from .terms import Term, iter_subterms
 
 __all__ = ["to_smtlib", "script", "assert_quantifier_free", "QuantifierFound"]

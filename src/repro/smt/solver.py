@@ -32,8 +32,8 @@ from .euf import EufSolver
 from .rewriter import rewrite
 from .sat import SatSolver
 from .setreduce import reduce_sets
-from .simplex import ArithSolver, Delta, ZERO_DELTA
-from .sorts import BOOL, INT, MapSort, SetSort
+from .simplex import ArithSolver, Delta
+from .sorts import BOOL, INT
 from .terms import (
     FALSE,
     TRUE,
@@ -47,8 +47,6 @@ from .terms import (
     mk_le,
     mk_lt,
     mk_not,
-    mk_or,
-    mk_real,
 )
 
 __all__ = ["Solver", "SolverError", "NonLinearError", "QuantifiedFormulaError", "is_valid"]
@@ -372,7 +370,7 @@ class Solver:
     def _purify_ites(self, formula: Term) -> Term:
         """Replace non-boolean ite terms by fresh constants with guarded
         definitions (boolean ites were already eliminated at construction)."""
-        from .terms import substitute, _rebuild
+        from .terms import _rebuild
 
         defs: List[Term] = []
         cache: Dict[Term, Term] = {}

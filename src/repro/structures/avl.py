@@ -17,7 +17,6 @@ from ..core.ids import IntrinsicDefinition
 from ..lang import exprs as E
 from ..lang.ast import (
     Program,
-    SAssert,
     SAssertLCAndRemove,
     SAssign,
     SCall,
@@ -27,7 +26,6 @@ from ..lang.ast import (
     SNewObj,
 )
 from ..lang.exprs import (
-    B,
     F,
     I,
     NIL_E,
@@ -40,22 +38,19 @@ from ..lang.exprs import (
     eq,
     ge,
     gt,
-    iff,
     implies,
     ite,
     le,
     lt,
     member,
-    ne,
     not_,
     old,
-    or_,
     singleton,
     sub,
     subset,
     union,
 )
-from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC
+from ..smt.sorts import INT, LOC, SET_LOC
 from .bst import BST_IMPACT, bst_lc, bst_signature
 from .common import EMPTY_BR, X, isnil, mkproc, nonnil
 

@@ -41,13 +41,11 @@ from ..lang.ast import (
 from ..lang.exprs import (
     F,
     I,
-    NIL_E,
     V,
     add,
     and_,
     diff,
     empty_int_set,
-    empty_loc_set,
     eq,
     ge,
     implies,
@@ -62,7 +60,7 @@ from ..lang.exprs import (
     union,
 )
 from ..smt.sorts import INT, LOC, SET_INT, SET_LOC
-from .common import EMPTY_BR, X, isnil, mkproc, nonnil
+from .common import EMPTY_BR, X, mkproc, nonnil
 
 __all__ = ["circular_ids", "circular_program", "build_circular", "METHODS"]
 

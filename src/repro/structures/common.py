@@ -5,10 +5,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..lang import exprs as E
-from ..lang.ast import ClassSignature, Procedure, Program
+from ..lang.ast import ClassSignature, Procedure
 from ..lang.semantics import Heap, Obj
 from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC, Sort
-from ..core.ids import LC_VAR, IntrinsicDefinition
+from ..core.ids import LC_VAR
 
 __all__ = [
     "X",

@@ -27,7 +27,6 @@ from ..core.ids import IntrinsicDefinition
 from ..lang import exprs as E
 from ..lang.ast import (
     Program,
-    SAssert,
     SAssertLCAndRemove,
     SAssign,
     SCall,
@@ -37,7 +36,6 @@ from ..lang.ast import (
     SNewObj,
 )
 from ..lang.exprs import (
-    B,
     EBool,
     F,
     I,
@@ -51,7 +49,6 @@ from ..lang.exprs import (
     eq,
     ge,
     gt,
-    iff,
     implies,
     ite,
     le,
@@ -66,7 +63,7 @@ from ..lang.exprs import (
     subset,
     union,
 )
-from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC
+from ..smt.sorts import BOOL, INT, LOC
 from .bst import BST_IMPACT, bst_lc, bst_signature
 from .common import EMPTY_BR, X, isnil, mkproc, nonnil
 

@@ -13,7 +13,7 @@ methods, and computes the table's size columns from the ASTs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, List, Tuple
 
 from ..core.ids import IntrinsicDefinition, conjunct_count
 from ..lang.ast import (
@@ -26,7 +26,6 @@ from ..lang.ast import (
     SIf,
     SInferLCOutsideBr,
     SMut,
-    SNewObj,
     SWhile,
     stmt_count,
 )

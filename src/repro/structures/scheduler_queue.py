@@ -39,27 +39,19 @@ from ..lang.exprs import (
     V,
     add,
     and_,
-    diff,
     empty_loc_set,
     eq,
-    ge,
-    gt,
-    iff,
     implies,
-    ite,
     le,
     lt,
-    member,
     ne,
-    not_,
     old,
     or_,
     singleton,
-    sub,
     subset,
     union,
 )
-from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC
+from ..smt.sorts import BOOL, INT, LOC, REAL
 from .common import X, isnil, mkproc, nonnil
 
 __all__ = ["sched_ids", "sched_program", "build_sched", "METHODS"]

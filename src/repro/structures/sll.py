@@ -14,7 +14,6 @@ from ..lang import exprs as E
 from ..lang.ast import (
     ClassSignature,
     Program,
-    SAssert,
     SAssertLCAndRemove,
     SAssign,
     SCall,
@@ -35,10 +34,8 @@ from ..lang.exprs import (
     diff,
     empty_loc_set,
     eq,
-    ge,
     implies,
     ite,
-    le,
     member,
     ne,
     not_,

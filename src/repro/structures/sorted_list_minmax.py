@@ -28,18 +28,14 @@ from ..lang.exprs import (
     V,
     add,
     and_,
-    diff,
     empty_loc_set,
     eq,
-    ge,
     implies,
     ite,
     le,
     member,
-    ne,
     not_,
     old,
-    or_,
     singleton,
     subset,
     union,

@@ -46,13 +46,12 @@ from ..lang.exprs import (
     ne,
     not_,
     old,
-    or_,
     singleton,
     sub,
     subset,
     union,
 )
-from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC
+from ..smt.sorts import BOOL, INT, LOC
 from .bst import BST_IMPACT, bst_lc, bst_signature
 from .common import EMPTY_BR, X, isnil, mkproc, nonnil
 

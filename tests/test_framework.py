@@ -3,7 +3,7 @@ impact synthesis, and the soundness guard-rails of the methodology."""
 
 import pytest
 
-from repro.core import check_impact_sets, synthesize_impact_set, verify_method
+from repro.core import synthesize_impact_set, verify_method
 from repro.core.ids import LC_VAR
 from repro.lang import exprs as E
 from repro.lang.ast import SAssign, SAssume, SNew, SStore

@@ -13,7 +13,6 @@ from hypothesis import given, settings, strategies as st
 from repro.smt import (
     INT,
     LOC,
-    NIL,
     SetSort,
     Solver,
     mk_and,
@@ -23,7 +22,6 @@ from repro.smt import (
     mk_le,
     mk_lt,
     mk_member,
-    mk_ne,
     mk_not,
     mk_or,
     mk_singleton,
@@ -31,7 +29,6 @@ from repro.smt import (
     mk_union,
     mk_inter,
     mk_setdiff,
-    mk_add,
 )
 
 LOCS = [mk_const(f"pl{i}", LOC) for i in range(3)]

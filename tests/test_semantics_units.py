@@ -5,18 +5,7 @@ import pytest
 
 from repro.core.fwyb import elaborate_proc
 from repro.lang import exprs as E
-from repro.lang.ast import (
-    ClassSignature,
-    Procedure,
-    Program,
-    SAssert,
-    SAssign,
-    SAssume,
-    SIf,
-    SMut,
-    SNewObj,
-    SWhile,
-)
+from repro.lang.ast import Procedure, Program, SAssert, SAssign, SAssume, SMut, SNewObj, SWhile
 from repro.lang.semantics import (
     AssertionFailure,
     AssumptionViolated,

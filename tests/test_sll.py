@@ -3,9 +3,8 @@
 import pytest
 
 from repro.core import DynamicChecker, check_impact_sets, verify_method
-from repro.lang.semantics import Heap
 from repro.structures.common import fresh_list_heap
-from repro.structures.sll import METHODS, sll_ids, sll_program
+from repro.structures.sll import sll_ids, sll_program
 
 
 @pytest.fixture(scope="module")

@@ -12,8 +12,6 @@ from repro.smt import (
     mk_const,
     mk_empty_set,
     mk_eq,
-    mk_ge,
-    mk_gt,
     mk_implies,
     mk_int,
     mk_inter,
@@ -27,7 +25,6 @@ from repro.smt import (
     mk_select,
     mk_singleton,
     mk_store,
-    mk_sub,
     mk_subset,
     mk_union,
     mk_map_ite,

@@ -1,23 +1,19 @@
 """Fast unit tests for individual SMT-stack components."""
 
-from fractions import Fraction
 
 import pytest
 
 from repro.smt import (
     INT,
     LOC,
-    NIL,
     SetSort,
     Solver,
     is_valid,
     mk_add,
     mk_and,
     mk_const,
-    mk_empty_set,
     mk_eq,
     mk_int,
-    mk_ite,
     mk_le,
     mk_lt,
     mk_map_ite,
@@ -28,7 +24,6 @@ from repro.smt import (
     mk_select,
     mk_singleton,
     mk_store,
-    mk_sub,
     mk_union,
     substitute,
 )

@@ -55,7 +55,6 @@ def test_dynamic_delete_all(program, ids):
 def test_dynamic_merge(program, ids):
     heap, h1 = fresh_list_heap(ids.sig, [1, 4, 9])
     # build a second sorted list in the same heap
-    import repro.structures.common as common
 
     nodes = [heap.new_object() for _ in range(2)]
     for node, k in zip(nodes, [3, 7]):
