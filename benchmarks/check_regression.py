@@ -1,0 +1,86 @@
+"""CI bench-regression gate: compare a bench_results.json against a baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json \
+        [--max-regression 0.25] [--min-seconds 0.5]
+
+Compares the methods common to both reports and fails (exit 1) when
+
+- a method's verdict status changed (``verified`` -> anything else), or
+- a method's wall clock regressed by more than ``--max-regression``
+  (default 25%) *and* by more than ``--min-seconds`` absolute (default
+  0.5s -- sub-second timings on shared CI runners are noise, not signal).
+
+Methods present in only one report are listed but never fail the gate,
+so the baseline can cover a superset of the smoke-bench selection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return {r["method"]: r for r in doc.get("results", [])}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional wall-clock growth per method")
+    parser.add_argument("--min-seconds", type=float, default=0.5,
+                        help="absolute slowdown below which regressions are "
+                             "treated as timer noise")
+    args = parser.parse_args(argv)
+
+    base = _load(args.baseline)
+    cur = _load(args.current)
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print("check_regression: no common methods between reports", file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'method':28s} {'base s':>8s} {'cur s':>8s} {'delta':>8s}  status")
+    for m in common:
+        b, c = base[m], cur[m]
+        bt, ct = float(b["time_s"]), float(c["time_s"])
+        delta = (ct - bt) / bt if bt > 0 else 0.0
+        verdict_changed = b["status"] != c["status"]
+        regressed = (
+            delta > args.max_regression and (ct - bt) > args.min_seconds
+        )
+        mark = "OK"
+        if verdict_changed:
+            mark = f"VERDICT {b['status']} -> {c['status']}"
+            failures.append(f"{m}: verdict changed {b['status']} -> {c['status']}")
+        elif regressed:
+            mark = f"REGRESSION +{delta:.0%}"
+            failures.append(
+                f"{m}: wall clock {bt:.2f}s -> {ct:.2f}s "
+                f"(+{delta:.0%} > {args.max_regression:.0%})"
+            )
+        print(f"{m:28s} {bt:8.2f} {ct:8.2f} {delta:+8.0%}  {mark}")
+
+    only = sorted(set(base) ^ set(cur))
+    if only:
+        print(f"(not compared: {', '.join(only)})")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench regression gate passed ({len(common)} methods compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ def _engine_from_args(
         method_budget_s=method_budget_s,
         encoding=getattr(args, "encoding", "decidable"),
         conflict_budget=args.conflict_budget,
+        simplify=args.simplify,
     )
 
 
@@ -168,9 +169,10 @@ def cmd_bench(args) -> int:
             lc, loc, spec, ann = method_sizes(exp, m)
             report, status = _safe_verify(engine, exp, m)
             rows.append((exp.structure, m, report, status, (lc, loc, spec, ann)))
+            shrink = f"  shrink={report.shrink_pct:4.1f}%" if report.simplify else ""
             print(
                 f"{exp.structure:36s} {m:26s} {report.n_vcs:4d} VCs "
-                f"{report.time_s:7.2f}s  hits={report.cache_hits:<4d} {status}"
+                f"{report.time_s:7.2f}s  hits={report.cache_hits:<4d} {status}{shrink}"
             )
     else:  # rq3
         quant_engine = VerificationEngine(
@@ -181,14 +183,18 @@ def cmd_bench(args) -> int:
             method_budget_s=budget,
             encoding="quantified",
             conflict_budget=args.conflict_budget,
+            simplify=args.simplify,
         )
         for exp, m in chosen:
-            dec, _s = _safe_verify(engine, exp, m)
-            quant, _s2 = _safe_verify(quant_engine, exp, m)
-            rows.append((exp.structure, m, dec, _status(dec), None, quant))
+            dec, dec_status = _safe_verify(engine, exp, m)
+            quant, quant_status = _safe_verify(quant_engine, exp, m)
+            # Keep _safe_verify's status verbatim: recomputing it via
+            # _status() would relabel a crash ("error: X") as a plain
+            # FAILED and defeat the crash gate below.
+            rows.append((exp.structure, m, dec, dec_status, None, quant, quant_status))
             print(
-                f"{m:26s} decidable {dec.time_s:7.2f}s {_status(dec):8s} "
-                f"quantified {quant.time_s:7.2f}s {_status(quant)}"
+                f"{m:26s} decidable {dec.time_s:7.2f}s {dec_status:8s} "
+                f"quantified {quant.time_s:7.2f}s {quant_status}"
             )
     wall = time.perf_counter() - wall_start
     verified = sum(1 for row in rows if row[3] == "verified")
@@ -201,7 +207,11 @@ def cmd_bench(args) -> int:
     if args.check and verified != len(rows):
         print(f"--check: only {verified}/{len(rows)} methods verified", file=sys.stderr)
         return 1
-    if any(row[3].startswith("error:") for row in rows):
+    if any(
+        row[3].startswith("error:")
+        or (len(row) > 6 and row[6].startswith("error:"))
+        for row in rows
+    ):
         return 1  # crashes are never an acceptable bench outcome
     return 0
 
@@ -222,6 +232,12 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
             "encoding": report.encoding,
             "failed": report.failed,
         }
+        if report.simplify:
+            entry["simplify"] = {
+                "nodes_before": report.nodes_before,
+                "nodes_after": report.nodes_after,
+                "shrink_pct": round(report.shrink_pct, 2),
+            }
         if len(row) > 4 and row[4] is not None:
             lc, loc, spec, ann = row[4]
             entry.update({"lc_size": lc, "loc": loc, "spec": spec, "ann": ann})
@@ -230,14 +246,15 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
             entry["quantified"] = {
                 "ok": quant.ok,
                 "time_s": round(quant.time_s, 4),
-                "status": _status(quant),
+                "status": row[6] if len(row) > 6 else _status(quant),
             }
         results.append(entry)
     doc = {
-        "schema_version": 1,
+        "schema_version": 2,
         "suite": suite,
         "jobs": args.jobs,
         "backend": args.backend,
+        "simplify": args.simplify,
         "budget_s": budget,
         "cache_dir": args.cache_dir,
         "python": platform.python_version(),
@@ -263,6 +280,9 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                    help="persistent VC verdict cache directory")
     p.add_argument("--conflict-budget", type=int, default=200000,
                    help="in-tree solver conflict budget per VC")
+    p.add_argument("--simplify", action=argparse.BooleanOptionalAction, default=True,
+                   help="run the verdict-preserving VC simplification pipeline "
+                        "before solving (default on; --no-simplify disables)")
     p.add_argument("--structure", default=None, help="restrict to one structure")
     p.add_argument("--method", action="append", default=[],
                    help="restrict to named method(s); repeatable")

@@ -43,8 +43,10 @@ from ..lang.ghost import ghost_violations
 from ..lang.wellbehaved import wb_violations
 from ..smt.printer import QuantifierFound, assert_quantifier_free
 from ..smt.quant import InstantiationBudgetExceeded, instantiate
+from ..smt.rewriter import rewrite
+from ..smt.simplify import simplify as simplify_term, term_size
 from ..smt.solver import Solver, SolverError
-from ..smt.terms import Term, mk_not
+from ..smt.terms import Term, deep_recursion, mk_not
 from .fwyb import elaborate_proc
 from .ids import IntrinsicDefinition
 from .vcgen import VcGen
@@ -73,6 +75,15 @@ class MethodReport:
     cache_hits: int = 0
     jobs: int = 1
     timeouts: int = 0  # VCs stopped by the engine's wall-clock budget
+    simplify: bool = False
+    nodes_before: int = 0  # summed VC DAG sizes entering the simplifier
+    nodes_after: int = 0  # summed VC DAG sizes leaving the simplifier
+
+    @property
+    def shrink_pct(self) -> float:
+        if self.nodes_before <= 0:
+            return 0.0
+        return 100.0 * (self.nodes_before - self.nodes_after) / self.nodes_before
 
     def __repr__(self):
         status = "verified" if self.ok else "FAILED"
@@ -96,6 +107,8 @@ class PlannedVC:
     formula: Optional[Term]
     failure: Optional[str] = None
     note: Optional[str] = None
+    nodes_before: int = 0  # DAG size of the rewritten formula pre-simplify
+    nodes_after: int = 0  # DAG size after simplification (0 when disabled)
 
 
 @dataclass
@@ -109,6 +122,15 @@ class MethodPlan:
     wb_failures: List[str]
     ghost_failures: List[str]
     vcs: List[PlannedVC]
+    simplify: bool = False
+
+    @property
+    def nodes_before(self) -> int:
+        return sum(vc.nodes_before for vc in self.vcs)
+
+    @property
+    def nodes_after(self) -> int:
+        return sum(vc.nodes_after for vc in self.vcs)
 
     @property
     def n_vcs(self) -> int:
@@ -135,6 +157,7 @@ class Verifier:
         memory_safety: bool = True,
         conflict_budget: Optional[int] = 200000,
         instantiation_rounds: int = 2,
+        simplify: bool = True,
     ):
         self.program = program
         self.ids = ids
@@ -142,6 +165,7 @@ class Verifier:
         self.memory_safety = memory_safety
         self.conflict_budget = conflict_budget
         self.instantiation_rounds = instantiation_rounds
+        self.simplify = simplify
         self._elab_cache: Dict[str, Procedure] = {}
 
     # -- elaboration (shared between verification and VC generation of
@@ -208,7 +232,23 @@ class Verifier:
                     )
                 )
                 continue
-            planned.append(PlannedVC(i, vc.label, formula))
+            nodes_before = nodes_after = 0
+            if self.simplify:
+                # Rewrite (array/set elimination) then simplify here, in the
+                # plan phase, so every downstream consumer -- the sequential
+                # solve loop, the engine's SolveTasks, external backends and
+                # the verdict cache -- sees the same canonical formula.
+                with deep_recursion():
+                    formula = rewrite(formula)
+                    nodes_before = term_size(formula)
+                    formula = simplify_term(formula)
+                    nodes_after = term_size(formula)
+            planned.append(
+                PlannedVC(
+                    i, vc.label, formula,
+                    nodes_before=nodes_before, nodes_after=nodes_after,
+                )
+            )
 
         return MethodPlan(
             structure=self.ids.name,
@@ -218,6 +258,7 @@ class Verifier:
             wb_failures=wb,
             ghost_failures=ghost,
             vcs=planned,
+            simplify=self.simplify,
         )
 
     # -- phase 2: solve (sequential reference implementation) ---------------
@@ -236,7 +277,10 @@ class Verifier:
             if pvc.failure is not None:
                 failed.append(pvc.failure)
                 continue
-            solver = Solver(conflict_budget=self.conflict_budget)
+            solver = Solver(
+                conflict_budget=self.conflict_budget,
+                assume_rewritten=plan.simplify,
+            )
             solver.add(mk_not(pvc.formula))
             try:
                 result = solver.check()
@@ -256,6 +300,9 @@ class Verifier:
             wb_ok=plan.wb_ok,
             ghost_ok=plan.ghost_ok,
             notes=notes,
+            simplify=plan.simplify,
+            nodes_before=plan.nodes_before,
+            nodes_after=plan.nodes_after,
         )
 
 
@@ -266,6 +313,7 @@ def verify_method(
     encoding: str = "decidable",
     memory_safety: bool = True,
     conflict_budget: Optional[int] = 200000,
+    simplify: bool = True,
 ) -> MethodReport:
     return Verifier(
         program,
@@ -273,4 +321,5 @@ def verify_method(
         encoding=encoding,
         memory_safety=memory_safety,
         conflict_budget=conflict_budget,
+        simplify=simplify,
     ).verify(proc_name)

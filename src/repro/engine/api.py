@@ -39,6 +39,7 @@ class VerificationEngine:
         memory_safety: bool = True,
         conflict_budget: Optional[int] = 200000,
         mp_context: Optional[str] = None,
+        simplify: bool = True,
     ):
         self.jobs = max(1, int(jobs))
         self.backend_spec = backend
@@ -50,6 +51,7 @@ class VerificationEngine:
         self.memory_safety = memory_safety
         self.conflict_budget = conflict_budget
         self.mp_context = mp_context
+        self.simplify = simplify
 
     def _verifier(self, program: Program, ids: IntrinsicDefinition) -> Verifier:
         return Verifier(
@@ -58,6 +60,7 @@ class VerificationEngine:
             encoding=self.encoding,
             memory_safety=self.memory_safety,
             conflict_budget=self.conflict_budget,
+            simplify=self.simplify,
         )
 
     def verify(
@@ -98,7 +101,7 @@ class VerificationEngine:
             tasks = tasks_from_plan(
                 plan, backend_spec=self.backend_spec, timeout_s=self.timeout_s
             )
-            plans.append((plan, tasks, time.perf_counter()))
+            plans.append((plan, tasks))
             all_tasks.extend(tasks)
 
         # Tag tasks with a global position so results can be routed back.
@@ -111,7 +114,7 @@ class VerificationEngine:
         )
         reports: List[MethodReport] = []
         cursor = 0
-        for plan, tasks, _t0 in plans:
+        for plan, tasks in plans:
             chunk = results[cursor : cursor + len(tasks)]
             cursor += len(tasks)
             for res, task in zip(chunk, tasks):

@@ -80,13 +80,19 @@ class SolverBackend(ABC):
 
     @abstractmethod
     def check_validity(
-        self, formula: Term, conflict_budget: Optional[int] = None
+        self,
+        formula: Term,
+        conflict_budget: Optional[int] = None,
+        pre_simplified: bool = False,
     ) -> BackendVerdict:
         """Return VALID iff ``formula`` holds in every model.
 
         Implementations refute the negation; budget exhaustion or an
         external-solver ``unknown`` surface as :exc:`SolverError` /
-        ``UNKNOWN`` rather than a bogus verdict.
+        ``UNKNOWN`` rather than a bogus verdict.  ``pre_simplified``
+        promises the formula is already in rewrite-normal (simplified)
+        form, letting backends skip redundant preprocessing; ignoring
+        the flag is always sound.
         """
 
 
@@ -94,9 +100,12 @@ class InTreeBackend(SolverBackend):
     name = "intree"
 
     def check_validity(
-        self, formula: Term, conflict_budget: Optional[int] = None
+        self,
+        formula: Term,
+        conflict_budget: Optional[int] = None,
+        pre_simplified: bool = False,
     ) -> BackendVerdict:
-        solver = Solver(conflict_budget=conflict_budget)
+        solver = Solver(conflict_budget=conflict_budget, assume_rewritten=pre_simplified)
         solver.add(mk_not(formula))
         result = solver.check()
         if result == "unsat":
@@ -124,8 +133,13 @@ class Smtlib2Backend(SolverBackend):
             )
 
     def check_validity(
-        self, formula: Term, conflict_budget: Optional[int] = None
+        self,
+        formula: Term,
+        conflict_budget: Optional[int] = None,
+        pre_simplified: bool = False,
     ) -> BackendVerdict:
+        # Pre-simplified formulas serialize to proportionally smaller
+        # SMT-LIB2 scripts; no extra handling is needed here.
         text = script([mk_not(formula)])
         with tempfile.NamedTemporaryFile(
             "w", suffix=".smt2", prefix="repro_vc_", delete=False
@@ -133,12 +147,21 @@ class Smtlib2Backend(SolverBackend):
             handle.write(text)
             path = handle.name
         try:
-            proc = subprocess.run(
-                [self.command, path],
-                capture_output=True,
-                text=True,
-                timeout=self.timeout_s,
-            )
+            try:
+                proc = subprocess.run(
+                    [self.command, path],
+                    capture_output=True,
+                    text=True,
+                    timeout=self.timeout_s,
+                )
+            except subprocess.TimeoutExpired:
+                # Keep the backend error contract: every failure surfaces
+                # as SolverError/BackendError so the scheduler records a
+                # per-VC 'error' instead of aborting the whole method.
+                raise SolverError(
+                    f"external solver '{self.command}' timed out after "
+                    f"{self.timeout_s:g}s"
+                )
             out = (proc.stdout or "").strip().splitlines()
             answer = out[-1].strip() if out else ""
             if answer == "unsat":
@@ -165,10 +188,13 @@ class CrossCheckBackend(SolverBackend):
         self.secondary = secondary
 
     def check_validity(
-        self, formula: Term, conflict_budget: Optional[int] = None
+        self,
+        formula: Term,
+        conflict_budget: Optional[int] = None,
+        pre_simplified: bool = False,
     ) -> BackendVerdict:
-        a = self.primary.check_validity(formula, conflict_budget)
-        b = self.secondary.check_validity(formula, conflict_budget)
+        a = self.primary.check_validity(formula, conflict_budget, pre_simplified)
+        b = self.secondary.check_validity(formula, conflict_budget, pre_simplified)
         if a.status != b.status:
             raise CrossCheckMismatch(
                 f"{self.primary.name} says {a.status} but "

@@ -17,14 +17,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import sys
 import tempfile
 from pathlib import Path
 from typing import Optional
 
 from ..smt.printer import to_smtlib
 from ..smt.rewriter import rewrite
-from ..smt.terms import Term
+from ..smt.simplify import simplify
+from ..smt.terms import Term, deep_recursion
 
 __all__ = ["VcCache", "formula_key"]
 
@@ -36,24 +36,30 @@ def formula_key(
     encoding: str,
     conflict_budget: Optional[int],
     backend: str = "intree",
+    canonical: bool = False,
 ) -> str:
     """Stable content hash for one VC.
 
-    The formula is rewritten first (store/map_ite elimination) so the key
-    survives superficial re-phrasings that the solver would erase anyway,
-    then serialized to SMT-LIB2 text.  Encoding, budget and the backend
-    spec are folded in because each can change the verdict -- in
-    particular, verdicts produced by one backend must never be replayed
-    as another's (a warm cache would otherwise silently bypass
-    ``crosscheck`` mode).
+    The formula is rewritten (store/map_ite elimination) and *simplified*
+    to the pipeline's canonical form first, then serialized to SMT-LIB2
+    text.  Keying on the post-simplification text makes the key survive
+    superficial re-phrasings the simplifier erases anyway, and lets
+    ``--simplify`` and ``--no-simplify`` runs share verdicts (sound
+    because simplification is verdict-preserving -- the differential
+    suite in ``tests/test_simplify_property`` enforces it).  Encoding,
+    budget and the backend spec are folded in because each can change
+    the verdict -- in particular, verdicts produced by one backend must
+    never be replayed as another's (a warm cache would otherwise
+    silently bypass ``crosscheck`` mode).  Both ``rewrite`` and
+    ``simplify`` are idempotent, so hashing a pre-simplified formula
+    reproduces the same key -- callers that already hold the canonical
+    form (``SolveTask.pre_simplified``) pass ``canonical=True`` to skip
+    the redundant re-canonicalization.
     """
-    limit = sys.getrecursionlimit()
-    if limit < 20000:
-        sys.setrecursionlimit(20000)
-    try:
-        text = to_smtlib(rewrite(formula))
-    finally:
-        sys.setrecursionlimit(limit)
+    with deep_recursion():
+        if not canonical:
+            formula = simplify(rewrite(formula))
+        text = to_smtlib(formula)
     payload = f"{backend}|{encoding}|{conflict_budget}|{text}"
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -70,8 +76,6 @@ class VcCache:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -95,9 +99,7 @@ class VcCache:
                     path.unlink()
                 except OSError:
                     pass
-            self.misses += 1
             return None
-        self.hits += 1
         return record
 
     def put(self, key: str, verdict: str, detail: str = "", **meta) -> None:

@@ -35,7 +35,9 @@ def solve_one(task: SolveTask, backend: Optional[SolverBackend] = None) -> TaskR
         backend = make_backend(task.backend_spec)
     start = time.perf_counter()
     try:
-        verdict = backend.check_validity(task.formula(), task.conflict_budget)
+        verdict = backend.check_validity(
+            task.formula(), task.conflict_budget, pre_simplified=task.pre_simplified
+        )
         return TaskResult(
             index=task.index,
             label=task.label,
@@ -112,7 +114,11 @@ def solve_tasks(
         key = None
         if cache is not None:
             key = formula_key(
-                task.formula(), task.encoding, task.conflict_budget, task.backend_spec
+                task.formula(),
+                task.encoding,
+                task.conflict_budget,
+                task.backend_spec,
+                canonical=task.pre_simplified,
             )
             record = cache.get(key)
             if record is not None:

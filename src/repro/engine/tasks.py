@@ -33,6 +33,9 @@ class SolveTask:
     conflict_budget: Optional[int]
     backend_spec: str = "intree"
     timeout_s: Optional[float] = None
+    # The plan phase already ran rewrite+simplify on this formula, so
+    # backends may skip their own array-elimination pass.
+    pre_simplified: bool = False
 
     def formula(self) -> Term:
         return decode_term(self.nodes)
@@ -79,6 +82,7 @@ def tasks_from_plan(
             conflict_budget=plan.conflict_budget,
             backend_spec=backend_spec,
             timeout_s=timeout_s,
+            pre_simplified=plan.simplify,
         )
         for pvc in plan.solvable()
     ]
@@ -131,4 +135,7 @@ def assemble_report(
         cache_hits=sum(1 for r in results if r.cached),
         jobs=jobs,
         timeouts=sum(1 for r in results if r.verdict == "timeout"),
+        simplify=plan.simplify,
+        nodes_before=plan.nodes_before,
+        nodes_after=plan.nodes_after,
     )

@@ -58,6 +58,7 @@ from .terms import (
     substitute,
     iter_subterms,
 )
+from .simplify import SimplifyStats, simplify, simplify_with_stats, term_size
 from .solver import NonLinearError, QuantifiedFormulaError, Solver, SolverError, is_valid
 from .printer import assert_quantifier_free, script, to_smtlib, QuantifierFound
 from .quant import instantiate, InstantiationBudgetExceeded

@@ -1,0 +1,507 @@
+"""Verdict-preserving simplification of ground VC terms.
+
+The decidable pipeline's formulas (after :mod:`repro.smt.rewriter` has
+eliminated the array theory) are ground first-order terms over EUF +
+linear arithmetic + finite sets.  Every rule applied here preserves
+*logical equivalence* -- not merely equisatisfiability -- so a simplified
+VC has exactly the same verdict under every backend, and the cache may
+key verdicts on the simplified serialization.
+
+Passes (iterated to a fixpoint):
+
+- **constructor renormalization** -- constant folding, and/or flattening
+  and duplicate-literal elimination, trivial-ite collapse (all inherited
+  from the ``mk_*`` smart constructors on rebuild);
+- **boolean context propagation** -- while descending the boolean
+  skeleton, facts known true (conjunct siblings, implication hypotheses,
+  ite guards) or false (disjunct siblings, negated guards) short-circuit
+  later occurrences: absorption ``a and (a or b) = a``, unit resolution
+  ``a and (not a or b) = a and b``, ``implies(h, g)`` with ``g``
+  simplified under ``h``, nested-ite collapse under a repeated guard;
+- **ground equality propagation** -- an equality fact ``s = t`` rewrites
+  occurrences of the larger side to the smaller one in every position
+  the fact dominates (the defining equality itself is kept, preserving
+  equivalence);
+- **subsumed-conjunct elimination** -- a clause whose literal set
+  contains another conjunct's literal set is dropped (dually for cubes
+  under a disjunction);
+- **linear-arithmetic normalization** -- ``le``/``lt``/numeric-``eq``
+  atoms are rewritten to a canonical ``P <= N + c`` form with sorted,
+  gcd-reduced integer coefficients (integer ``lt`` becomes ``le`` with a
+  tightened bound), so syntactically different but arithmetically equal
+  atoms intern to one SAT variable.  A normalization that would *grow*
+  the atom is discarded.
+
+The pipeline is deterministic and idempotent: ``simplify(simplify(t))``
+is ``simplify(t)`` (property-tested in ``tests/test_simplify_property``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil, floor, gcd
+from typing import Dict, List, Optional, Tuple
+
+from .sorts import INT
+from .terms import (
+    FALSE,
+    TRUE,
+    Term,
+    deep_recursion,
+    iter_subterms,
+    mk_add,
+    mk_and,
+    mk_bool,
+    mk_eq,
+    mk_implies,
+    mk_int,
+    mk_ite,
+    mk_le,
+    mk_lt,
+    mk_mul,
+    mk_not,
+    mk_or,
+    mk_real,
+    _rebuild,
+)
+
+__all__ = ["simplify", "simplify_with_stats", "SimplifyStats", "term_size"]
+
+_MAX_ROUNDS = 10
+_SUBSUMPTION_CAP = 300
+_SIZE_CAP = 10**9
+
+
+@dataclass
+class SimplifyStats:
+    """Shrink accounting for one formula (DAG node counts)."""
+
+    nodes_before: int
+    nodes_after: int
+    rounds: int
+
+    @property
+    def shrink_pct(self) -> float:
+        if self.nodes_before <= 0:
+            return 0.0
+        return 100.0 * (self.nodes_before - self.nodes_after) / self.nodes_before
+
+
+def term_size(term: Term) -> int:
+    """Number of distinct DAG nodes (the honest size of a hash-consed term)."""
+    return sum(1 for _ in iter_subterms(term))
+
+
+# A capped *tree* size, cacheable per interned node (DAG size is not
+# compositional).  Used only for deterministic ordering decisions:
+# conjunct sorting, equality orientation, the no-growth guard.
+_TSIZE: Dict[Term, int] = {}
+
+
+def _tsize(term: Term) -> int:
+    got = _TSIZE.get(term)
+    if got is not None:
+        return got
+    for t in iter_subterms(term):
+        if t not in _TSIZE:
+            _TSIZE[t] = min(_SIZE_CAP, 1 + sum(_TSIZE[a] for a in t.args))
+    return _TSIZE[term]
+
+
+# ---------------------------------------------------------------------------
+# Fact environments
+# ---------------------------------------------------------------------------
+
+
+class _Env:
+    """Facts known to hold at the current position of the boolean skeleton.
+
+    ``map`` sends a term to its replacement under the facts: ``TRUE`` /
+    ``FALSE`` for decided boolean subterms, the smaller side for ground
+    equalities.  Replacements are strictly decreasing in
+    ``(non-literal, tree-size, id)``, so chasing chains terminates.
+    """
+
+    __slots__ = ("map", "token")
+    _next_token = [0]
+
+    def __init__(self, base: Optional["_Env"] = None):
+        self.map: Dict[Term, Term] = dict(base.map) if base is not None else {}
+        self.token = self._bump()
+
+    @classmethod
+    def _bump(cls) -> int:
+        cls._next_token[0] += 1
+        return cls._next_token[0]
+
+    def get(self, t: Term) -> Optional[Term]:
+        rep = self.map.get(t)
+        if rep is None:
+            return None
+        while True:
+            nxt = self.map.get(rep)
+            if nxt is None or nxt is rep:
+                return rep
+            rep = nxt
+
+    def add(self, fact: Term, positive: bool) -> None:
+        _add_facts(fact, self.map, positive)
+        self.token = self._bump()
+
+
+def _orient(a: Term, b: Term) -> Tuple[Term, Term]:
+    """(target, replacement) for an equality fact: replace the bigger,
+    newer, non-literal side by the other."""
+    if a.is_literal_const:
+        return b, a
+    if b.is_literal_const:
+        return a, b
+    if (_tsize(a), a._fp, a._id) > (_tsize(b), b._fp, b._id):
+        return a, b
+    return b, a
+
+
+def _add_facts(fact: Term, m: Dict[Term, Term], positive: bool) -> None:
+    if positive:
+        if fact is TRUE or fact is FALSE:
+            return
+        m[fact] = TRUE
+        op = fact.op
+        if op == "not":
+            m[fact.args[0]] = FALSE
+        elif op == "and":
+            for a in fact.args:
+                _add_facts(a, m, True)
+        elif op == "eq":
+            a, b = fact.args
+            target, repl = _orient(a, b)
+            m[target] = repl
+            if a.sort.is_numeric:
+                m[mk_le(a, b)] = TRUE
+                m[mk_le(b, a)] = TRUE
+                m[mk_lt(a, b)] = FALSE
+                m[mk_lt(b, a)] = FALSE
+        elif op == "le":
+            a, b = fact.args
+            m[mk_lt(b, a)] = FALSE
+        elif op == "lt":
+            a, b = fact.args
+            m[mk_le(a, b)] = TRUE
+            m[mk_le(b, a)] = FALSE
+            m[mk_lt(b, a)] = FALSE
+            m[mk_eq(a, b)] = FALSE
+    else:
+        if fact is TRUE or fact is FALSE:
+            return
+        m[fact] = FALSE
+        op = fact.op
+        if op == "not":
+            _add_facts(fact.args[0], m, True)
+        elif op == "or":
+            for a in fact.args:
+                _add_facts(a, m, False)
+        elif op == "implies":
+            # not (h -> g)  ==>  h and not g
+            _add_facts(fact.args[0], m, True)
+            _add_facts(fact.args[1], m, False)
+        elif op == "le":
+            a, b = fact.args
+            _add_facts(mk_lt(b, a), m, True)
+        elif op == "lt":
+            a, b = fact.args
+            _add_facts(mk_le(b, a), m, True)
+
+
+# ---------------------------------------------------------------------------
+# Linear-arithmetic normalization
+# ---------------------------------------------------------------------------
+
+
+class _NonLinear(Exception):
+    pass
+
+
+def _linpoly(t: Term) -> Tuple[Dict[Term, Fraction], Fraction]:
+    """Linear view of a numeric term: (base-term -> coefficient, constant)."""
+    poly: Dict[Term, Fraction] = {}
+    const = Fraction(0)
+    stack: List[Tuple[Term, Fraction]] = [(t, Fraction(1))]
+    while stack:
+        u, c = stack.pop()
+        op = u.op
+        if op in ("intconst", "realconst"):
+            const += c * u.value
+        elif op == "add":
+            for a in u.args:
+                stack.append((a, c))
+        elif op == "sub":
+            stack.append((u.args[0], c))
+            stack.append((u.args[1], -c))
+        elif op == "neg":
+            stack.append((u.args[0], -c))
+        elif op == "mul":
+            a, b = u.args
+            if a.is_literal_const:
+                stack.append((b, c * a.value))
+            elif b.is_literal_const:
+                stack.append((a, c * b.value))
+            else:
+                raise _NonLinear(u.pretty()[:80])
+        elif op == "div":
+            stack.append((u.args[0], c / u.args[1].value))
+        else:
+            acc = poly.get(u, Fraction(0)) + c
+            if acc == 0:
+                poly.pop(u, None)
+            else:
+                poly[u] = acc
+    return poly, const
+
+
+def _num_lit(value: Fraction, sort) -> Term:
+    return mk_int(value) if sort == INT else mk_real(value)
+
+
+def _build_side(parts: List[Tuple[Term, Fraction]], const: Fraction, sort) -> Term:
+    terms = [t if c == 1 else mk_mul(_num_lit(c, sort), t) for t, c in parts]
+    if const != 0 or not terms:
+        terms.append(_num_lit(const, sort))
+    if len(terms) == 1:
+        return terms[0]
+    return mk_add(*terms)
+
+
+def _canon_cmp(t: Term) -> Term:
+    """Canonical form of a le/lt/numeric-eq atom (kept only if no bigger)."""
+    a, b = t.args
+    sort = a.sort
+    if not sort.is_numeric:
+        return t
+    try:
+        pa, ka = _linpoly(a)
+        pb, kb = _linpoly(b)
+    except _NonLinear:
+        return t
+    poly = dict(pa)
+    for v, c in pb.items():
+        acc = poly.get(v, Fraction(0)) - c
+        if acc == 0:
+            poly.pop(v, None)
+        else:
+            poly[v] = acc
+    k = ka - kb  # atom is: poly + k  (<= | < | =)  0
+    op = t.op
+    if not poly:
+        if op == "le":
+            return mk_bool(k <= 0)
+        if op == "lt":
+            return mk_bool(k < 0)
+        return mk_bool(k == 0)
+
+    items = sorted(poly.items(), key=lambda kv: (kv[0]._fp, kv[0]._id))
+    # Integerize: scale by the lcm of coefficient denominators, then divide
+    # by the gcd of the (now integer) coefficients.
+    den = 1
+    for _, c in items:
+        den = den * c.denominator // gcd(den, c.denominator)
+    coeffs = [int(c * den) for _, c in items]
+    k = k * den
+    g = 0
+    for c in coeffs:
+        g = gcd(g, abs(c))
+    coeffs = [c // g for c in coeffs]
+    k = k / g
+    is_int = sort == INT
+
+    if op == "eq":
+        if is_int and k.denominator != 1:
+            return FALSE
+        if coeffs[0] < 0:
+            coeffs = [-c for c in coeffs]
+            k = -k
+        pos = [(u, Fraction(c)) for (u, _), c in zip(items, coeffs) if c > 0]
+        neg = [(u, Fraction(-c)) for (u, _), c in zip(items, coeffs) if c < 0]
+        canon = mk_eq(_build_side(pos, Fraction(0), sort), _build_side(neg, -k, sort))
+    else:
+        # Relation: poly <= c0 (ints tighten lt into le).
+        if is_int:
+            c0 = Fraction(floor(-k)) if op == "le" else Fraction(ceil(-k) - 1)
+            op2 = mk_le
+        else:
+            c0 = -k
+            op2 = mk_le if op == "le" else mk_lt
+        flipped = coeffs[0] < 0
+        if flipped:
+            coeffs = [-c for c in coeffs]
+            c0 = -c0
+        pos = [(u, Fraction(c)) for (u, _), c in zip(items, coeffs) if c > 0]
+        neg = [(u, Fraction(-c)) for (u, _), c in zip(items, coeffs) if c < 0]
+        if flipped:
+            # c0 <= poly  ==  neg + c0 <= pos
+            canon = op2(_build_side(neg, c0, sort), _build_side(pos, Fraction(0), sort))
+        else:
+            # poly <= c0  ==  pos <= neg + c0
+            canon = op2(_build_side(pos, Fraction(0), sort), _build_side(neg, c0, sort))
+    if canon.is_literal_const or canon is TRUE or canon is FALSE:
+        return canon
+    return canon if _tsize(canon) <= _tsize(t) else t
+
+
+def _atom_norm(t: Term) -> Term:
+    if t.op in ("le", "lt"):
+        return _canon_cmp(t)
+    if t.op == "eq" and t.args[0].sort.is_numeric:
+        return _canon_cmp(t)
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Subsumption
+# ---------------------------------------------------------------------------
+
+
+def _clause_lits(t: Term) -> frozenset:
+    if t.op == "or":
+        return frozenset(t.args)
+    if t.op == "implies":
+        return frozenset((mk_not(t.args[0]), t.args[1]))
+    return frozenset((t,))
+
+
+def _cube_lits(t: Term) -> frozenset:
+    if t.op == "and":
+        return frozenset(t.args)
+    return frozenset((t,))
+
+
+def _drop_subsumed(parts: List[Term], litset_of) -> List[Term]:
+    """Drop every part whose literal set contains another kept part's set
+    (ties by id keep the older term).  Sound for conjuncts-as-clauses and
+    for disjuncts-as-cubes alike: the superset is the implied one."""
+    if len(parts) < 2 or len(parts) > _SUBSUMPTION_CAP:
+        return parts
+    sets = [litset_of(p) for p in parts]
+    order = sorted(
+        range(len(parts)), key=lambda i: (len(sets[i]), parts[i]._fp, parts[i]._id)
+    )
+    kept: List[int] = []
+    dropped = set()
+    for i in order:
+        if any(sets[k] <= sets[i] for k in kept):
+            dropped.add(i)
+        else:
+            kept.append(i)
+    if not dropped:
+        return parts
+    return [p for j, p in enumerate(parts) if j not in dropped]
+
+
+# ---------------------------------------------------------------------------
+# The contextual pass
+# ---------------------------------------------------------------------------
+
+
+def _once(root: Term) -> Term:
+    memo: Dict[Tuple[int, Term], Term] = {}
+
+    def walk(t: Term, env: _Env) -> Term:
+        rep = env.get(t)
+        if rep is not None:
+            return rep
+        if not t.args:
+            return t
+        key = (env.token, t)
+        got = memo.get(key)
+        if got is not None:
+            return got
+        op = t.op
+        if op == "and":
+            out = _fold_junction(t, env, positive=True)
+        elif op == "or":
+            out = _fold_junction(t, env, positive=False)
+        elif op == "implies":
+            h = walk(t.args[0], env)
+            if h is FALSE:
+                out = TRUE
+            else:
+                inner = _Env(env)
+                inner.add(h, True)
+                out = mk_implies(h, walk(t.args[1], inner))
+        elif op == "not":
+            a = walk(t.args[0], env)
+            if a.op == "lt":
+                out = _atom_norm(mk_le(a.args[1], a.args[0]))
+            elif a.op == "le":
+                out = _atom_norm(mk_lt(a.args[1], a.args[0]))
+            else:
+                out = mk_not(a)
+            out = _lookup(out, env)
+        elif op == "ite":
+            c = walk(t.args[0], env)
+            then_env = _Env(env)
+            then_env.add(c, True)
+            else_env = _Env(env)
+            else_env.add(c, False)
+            out = mk_ite(c, walk(t.args[1], then_env), walk(t.args[2], else_env))
+            out = _lookup(out, env)
+        elif op == "forall":
+            out = t  # never substitute under binders (RQ3 mode only)
+        else:
+            new_args = tuple(walk(a, env) for a in t.args)
+            t2 = _rebuild(t, new_args) if new_args != t.args else t
+            out = _lookup(_atom_norm(t2), env)
+        memo[key] = out
+        return out
+
+    def _lookup(t: Term, env: _Env) -> Term:
+        rep = env.get(t)
+        return rep if rep is not None else t
+
+    def _fold_junction(t: Term, env: _Env, positive: bool) -> Term:
+        """Sequential fold of and/or: each member is simplified under the
+        facts established by the already-processed members (facts first:
+        members are sorted smallest-first so equalities and literals seed
+        the context before the big clauses that consume them)."""
+        absorbing = FALSE if positive else TRUE
+        junction_op = "and" if positive else "or"
+        args = sorted(t.args, key=lambda a: (_tsize(a), a._fp, a._id))
+        cur = _Env(env)
+        out: List[Term] = []
+        for a in args:
+            a2 = walk(a, cur)
+            if a2 is absorbing:
+                return absorbing
+            parts = a2.args if a2.op == junction_op else (a2,)
+            for p in parts:
+                if p is absorbing:
+                    return absorbing
+                if p is TRUE or p is FALSE:
+                    continue  # the neutral element
+                out.append(p)
+                cur.add(p, positive)
+        if positive:
+            out = _drop_subsumed(out, _clause_lits)
+            return mk_and(*out)
+        out = _drop_subsumed(out, _cube_lits)
+        return mk_or(*out)
+
+    return walk(root, _Env())
+
+
+def simplify(term: Term) -> Term:
+    """Simplify a ground boolean term, preserving logical equivalence."""
+    return simplify_with_stats(term)[0]
+
+
+def simplify_with_stats(term: Term) -> Tuple[Term, SimplifyStats]:
+    before = term_size(term)
+    with deep_recursion():
+        rounds = 0
+        for _ in range(_MAX_ROUNDS):
+            out = _once(term)
+            rounds += 1
+            if out is term:
+                break
+            term = out
+    return term, SimplifyStats(before, term_size(term), rounds)

@@ -351,9 +351,17 @@ class _TheoryManager:
 class Solver:
     """Public quantifier-free SMT solver interface."""
 
-    def __init__(self, conflict_budget: Optional[int] = None):
+    def __init__(
+        self, conflict_budget: Optional[int] = None, assume_rewritten: bool = False
+    ):
+        """``assume_rewritten`` declares the assertions already in
+        rewrite-normal form (the output of :func:`repro.smt.rewriter.rewrite`
+        or :func:`repro.smt.simplify.simplify` thereof), skipping the
+        array-elimination pass.  The simplification pipeline preserves
+        rewrite-normality, so pre-simplified VCs take this fast path."""
         self.assertions: List[Term] = []
         self.conflict_budget = conflict_budget
+        self.assume_rewritten = assume_rewritten
         self.stats: Dict[str, float] = {}
         self.sat = None
         self.manager = None
@@ -475,7 +483,8 @@ class Solver:
     def check(self) -> str:
         """Returns 'sat' or 'unsat' (raises on budget exhaustion)."""
         formula = mk_and(*self.assertions) if self.assertions else TRUE
-        formula = rewrite(formula)
+        if not self.assume_rewritten:
+            formula = rewrite(formula)
         self._check_ground(formula)
         formula = self._purify_ites(formula)
         formula = reduce_sets(formula)

@@ -22,7 +22,10 @@ verification conditions need (Section 3.7):
 
 from __future__ import annotations
 
+import sys
+from contextlib import contextmanager
 from fractions import Fraction
+from hashlib import blake2b
 from typing import Iterable, Iterator, Optional, Sequence
 
 from .sorts import BOOL, INT, LOC, REAL, MapSort, SetSort, Sort
@@ -75,7 +78,24 @@ __all__ = [
     "substitute",
     "iter_subterms",
     "collect",
+    "deep_recursion",
 ]
+
+
+@contextmanager
+def deep_recursion(limit: int = 20000):
+    """Raise the interpreter recursion limit for VC-depth term walks.
+
+    Verification conditions are deep implication towers; every recursive
+    traversal over them (rewrite, simplify, printing) runs under this
+    guard.  Nesting is harmless and the previous limit is restored."""
+    previous = sys.getrecursionlimit()
+    if previous < limit:
+        sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
 
 
 class SortError(TypeError):
@@ -94,7 +114,7 @@ class Term:
         binders: bound variables for ``forall``.
     """
 
-    __slots__ = ("op", "args", "sort", "name", "value", "binders", "_hash", "_id")
+    __slots__ = ("op", "args", "sort", "name", "value", "binders", "_hash", "_id", "_fp")
 
     _intern: dict = {}
     _next_id = 0
@@ -122,6 +142,23 @@ class Term:
         self._hash = hash(key)
         self._id = Term._next_id
         Term._next_id += 1
+        # Structural fingerprint: a content hash independent of interning
+        # order, unlike `_id` (which counts global construction order and
+        # therefore differs between processes that built other terms
+        # first).  Every *canonical-ordering* decision -- `mk_eq` argument
+        # order, the simplifier's conjunct sorting and equality
+        # orientation -- keys on `_fp`, so the canonical serialization of
+        # a formula (and hence the engine's cache key) is reproducible
+        # across runs and method selections.  blake2b, not `hash()`:
+        # string hashing is randomized per process.
+        digest = blake2b(digest_size=8)
+        digest.update(f"{op}\x1f{name}\x1f{value!r}\x1f{sort.name}\x1f".encode())
+        for child in args:
+            digest.update(child._fp.to_bytes(8, "big"))
+        digest.update(b"\x1e")
+        for child in binders:
+            digest.update(child._fp.to_bytes(8, "big"))
+        self._fp = int.from_bytes(digest.digest(), "big")
         cls._intern[key] = self
         return self
 
@@ -293,8 +330,10 @@ def mk_eq(a: Term, b: Term) -> Term:
         return TRUE
     if a.is_literal_const and b.is_literal_const:
         return mk_bool(a.value == b.value)
-    # Canonical argument order so `eq(a, b)` and `eq(b, a)` intern identically.
-    if b._id < a._id:
+    # Canonical argument order so `eq(a, b)` and `eq(b, a)` intern
+    # identically -- by structural fingerprint (process-independent), with
+    # the interning id as a collision tie-break.
+    if (b._fp, b._id) < (a._fp, a._id):
         a, b = b, a
     return Term("eq", (a, b), BOOL)
 

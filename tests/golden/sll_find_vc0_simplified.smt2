@@ -1,0 +1,3 @@
+(set-logic ALL)
+(assert true)
+(check-sat)

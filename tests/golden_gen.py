@@ -1,0 +1,53 @@
+"""Emit golden SMT-LIB2 texts for representative VCs as JSON on stdout.
+
+Run in a *fresh* interpreter (the golden test spawns it as a subprocess).
+Canonical orderings (``mk_eq`` argument order, the simplifier's conjunct
+sorting) key on the structural fingerprint ``Term._fp``, so the printed
+text is designed to be independent of term-interning order -- the fresh
+process is defense-in-depth: it makes any future ordering that leaks
+interning state (a raw ``_id`` comparison, an unsorted set walk) show up
+as a golden diff instead of hiding behind whatever the test runner
+interned first.
+
+For each case the script emits the full printed script (declarations +
+assertion + check-sat) of
+
+- ``<method>_vc<i>_raw``        -- the planned VC exactly as generated
+  (still containing ``store``/``map_ite`` array terms), and
+- ``<method>_vc<i>_simplified`` -- after ``rewrite`` + ``simplify``; this
+  is byte-identical to the text the engine's verdict cache hashes, so a
+  golden mismatch means cache keys (and every cached verdict) changed.
+"""
+
+import json
+import sys
+
+from repro.core.verifier import Verifier
+from repro.smt.printer import script
+from repro.smt.rewriter import rewrite
+from repro.smt.simplify import simplify
+from repro.structures.registry import EXPERIMENTS
+
+CASES = [
+    ("Singly-Linked List", "sll_find"),
+    ("Sorted List", "sorted_find"),
+]
+
+
+def main() -> None:
+    sys.setrecursionlimit(40000)
+    out = {}
+    for structure, method in CASES:
+        exp = next(e for e in EXPERIMENTS if e.structure == structure)
+        verifier = Verifier(exp.program_factory(), exp.ids_factory(), simplify=False)
+        solvable = verifier.plan(method).solvable()
+        for pvc in (solvable[0], solvable[-1]):
+            out[f"{method}_vc{pvc.index}_raw"] = script([pvc.formula])
+            out[f"{method}_vc{pvc.index}_simplified"] = script(
+                [simplify(rewrite(pvc.formula))]
+            )
+    json.dump(out, sys.stdout, indent=0, sort_keys=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Golden snapshot tests for the SMT-LIB2 printer and the cache-key text.
+
+``tests/golden/*.smt2`` holds the committed canonical serialization of a
+handful of representative VCs, pre- and post-simplification (see
+``tests/golden_gen.py``).  Any silent drift in the printer, the codec,
+the rewriter, the simplifier or VC generation shows up here as a diff --
+exactly the class of change that would silently invalidate (or worse,
+mis-share) every cached verdict.
+
+Intentional changes are re-blessed with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_smtlib.py
+"""
+
+import difflib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+TESTS_DIR = Path(__file__).resolve().parent
+GOLDEN_DIR = TESTS_DIR / "golden"
+SRC_DIR = TESTS_DIR.parent / "src"
+
+
+def _generate() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(TESTS_DIR / "golden_gen.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"golden_gen.py failed:\n{proc.stderr[-2000:]}"
+    return json.loads(proc.stdout)
+
+
+def test_golden_smtlib_snapshots():
+    data = _generate()
+    assert len(data) >= 8  # 2 methods x 2 VCs x (raw, simplified)
+
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        for stale in GOLDEN_DIR.glob("*.smt2"):
+            stale.unlink()
+        for name, text in sorted(data.items()):
+            (GOLDEN_DIR / f"{name}.smt2").write_text(text + "\n", encoding="utf-8")
+        pytest.skip(f"regenerated {len(data)} golden files")
+
+    committed = {p.stem for p in GOLDEN_DIR.glob("*.smt2")}
+    assert committed == set(data), (
+        f"golden file set drifted: missing={sorted(set(data) - committed)} "
+        f"extra={sorted(committed - set(data))} (REPRO_REGEN_GOLDEN=1 to re-bless)"
+    )
+    for name, text in sorted(data.items()):
+        want = (GOLDEN_DIR / f"{name}.smt2").read_text(encoding="utf-8").rstrip("\n")
+        got = text.rstrip("\n")
+        if got != want:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    want.splitlines(), got.splitlines(),
+                    fromfile=f"golden/{name}.smt2", tofile="generated", lineterm="",
+                )
+            )
+            raise AssertionError(
+                f"SMT-LIB2 snapshot drift in {name} "
+                f"(REPRO_REGEN_GOLDEN=1 to re-bless an intentional change):\n"
+                + diff[:4000]
+            )
+
+
+_KEY_PROBE = """
+import json, sys
+from repro.core.verifier import Verifier
+from repro.engine.cache import formula_key
+from repro.engine.tasks import tasks_from_plan
+from repro.structures.registry import EXPERIMENTS
+
+def exp(name):
+    return next(e for e in EXPERIMENTS if e.structure == name)
+
+if sys.argv[1] == "warm":
+    # Intern a pile of other methods' terms first, shifting every _id.
+    for s, m in [("Sorted List", "sorted_find"), ("Binary Search Tree", "bst_find")]:
+        e = exp(s)
+        Verifier(e.program_factory(), e.ids_factory()).plan(m)
+e = exp("Singly-Linked List")
+plan = Verifier(e.program_factory(), e.ids_factory()).plan("sll_find")
+keys = [
+    formula_key(t.formula(), t.encoding, t.conflict_budget, t.backend_spec,
+                canonical=t.pre_simplified)
+    for t in tasks_from_plan(plan)
+]
+print(json.dumps(keys))
+"""
+
+
+def _probe_keys(mode: str) -> list:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _KEY_PROBE, mode],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return json.loads(proc.stdout)
+
+
+def test_cache_keys_are_interning_order_independent():
+    """The VC cache key must be a pure content hash: planning *other*
+    methods first (which shifts every term's interning id) must not
+    change a method's keys, or cross-run cache sharing silently degrades.
+    Guarded by the structural-fingerprint ordering in ``Term`` and the
+    simplifier."""
+    fresh = _probe_keys("fresh")
+    warm = _probe_keys("warm")
+    assert fresh == warm
+
+
+def test_simplified_goldens_are_smaller():
+    """The committed snapshots must themselves witness the shrink."""
+    raw = {p.stem[: -len("_raw")]: p for p in GOLDEN_DIR.glob("*_raw.smt2")}
+    simp = {
+        p.stem[: -len("_simplified")]: p for p in GOLDEN_DIR.glob("*_simplified.smt2")
+    }
+    assert raw and set(raw) == set(simp)
+    for key in raw:
+        assert simp[key].stat().st_size < raw[key].stat().st_size, key

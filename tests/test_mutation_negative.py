@@ -1,0 +1,170 @@
+"""Mutation "negative" tests: hand-broken methods must still be REJECTED.
+
+The paper's fix-what-you-broke soundness claim is only worth reproducing
+if the verifier actually catches broken code.  Each test takes a method
+that verifies in the registry, applies one targeted hand-mutation --
+
+- ``sll_insert_front`` *dropping a ghost update* (the ``keys`` monadic
+  map is never updated on the new head),
+- ``sll_insert`` *skipping the fix* of a node it broke (the
+  ``AssertLCAndRemove`` for the successor is deleted, so the broken set
+  is not emptied),
+- ``sorted_find`` with an *off-by-one early-exit bound* (stops one key
+  too early, missing a present key),
+
+-- and asserts the verifier still rejects the method **with the
+simplification pipeline on** (the default).  A simplification pass that
+erased a countermodel would surface here as a silently "verified"
+broken method.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.verifier import Verifier
+from repro.lang import exprs as E
+from repro.lang.ast import (
+    Program,
+    SAssertLCAndRemove,
+    SBlock,
+    SCall,
+    SIf,
+    SMut,
+    SWhile,
+)
+from repro.structures.sll import sll_ids, sll_program
+from repro.structures.sorted_list import sorted_ids, sorted_program
+
+_DROP = object()  # sentinel: the transformer deletes this statement
+
+
+def _map_stmts(stmts, fn, hits):
+    out = []
+    for s in stmts:
+        s2 = fn(s)
+        if s2 is _DROP:
+            hits.append(s)
+            continue
+        if s2 is not s:
+            hits.append(s)
+            s = s2
+        if isinstance(s, SIf):
+            s = SIf(s.cond, _map_stmts(s.then, fn, hits), _map_stmts(s.els, fn, hits))
+        elif isinstance(s, SWhile):
+            s = SWhile(
+                s.cond, s.invariants, _map_stmts(s.body, fn, hits),
+                s.decreases, s.is_ghost,
+            )
+        elif isinstance(s, SBlock):
+            s = SBlock(_map_stmts(s.stmts, fn, hits))
+        out.append(s)
+    return out
+
+
+def _mutate(program: Program, method: str, fn) -> Program:
+    """Rebuild ``program`` with ``fn`` applied over ``method``'s body.
+
+    ``fn`` returns the statement unchanged, a replacement, or ``_DROP``.
+    Exactly one statement must be affected -- these are *targeted*
+    mutations, not fuzzing.
+    """
+    proc = program.proc(method)
+    hits = []
+    body = _map_stmts(proc.body, fn, hits)
+    assert len(hits) == 1, f"mutation matched {len(hits)} statements, wanted 1"
+    mutated = dataclasses.replace(proc, body=body)
+    procs = dict(program.procedures)
+    procs[method] = mutated
+    return Program(program.class_sig, procs)
+
+
+def _first_only(pred, action):
+    """Apply ``action`` to the first statement matching ``pred``."""
+    state = {"done": False}
+
+    def fn(s):
+        if not state["done"] and pred(s):
+            state["done"] = True
+            return action(s)
+        return s
+
+    return fn
+
+
+def _assert_rejected(program, ids, method):
+    report = Verifier(program, ids, simplify=True).verify(method)
+    assert not report.ok, f"broken {method} was verified -- soundness hole"
+    # The rejection must come from the solver finding a countermodel (or a
+    # failed VC), not from an unrelated crash.
+    assert report.failed
+    assert any("countermodel" in f for f in report.failed), report.failed
+    return report
+
+
+def test_sll_insert_front_dropping_ghost_update_is_rejected():
+    """Delete the `z.keys := {k} u x.keys` ghost update: the local
+    condition on the new head no longer holds and LC VCs must fail."""
+    program = _mutate(
+        sll_program(),
+        "sll_insert_front",
+        _first_only(
+            lambda s: isinstance(s, SMut) and s.field == "keys",
+            lambda s: _DROP,
+        ),
+    )
+    _assert_rejected(program, sll_ids(), "sll_insert_front")
+
+
+def test_sll_insert_skipping_fix_is_rejected():
+    """Delete the AssertLCAndRemove for the broken successor node: the
+    broken set is never emptied, so the EMPTY_BR postcondition fails --
+    you must fix what you broke."""
+    program = _mutate(
+        sll_program(),
+        "sll_insert",
+        _first_only(
+            lambda s: isinstance(s, SAssertLCAndRemove),
+            lambda s: _DROP,
+        ),
+    )
+    _assert_rejected(program, sll_ids(), "sll_insert")
+
+
+def test_sorted_find_off_by_one_bound_is_rejected():
+    """Weaken the sortedness early-exit from `key(x) > k` to
+    `key(x) > k - 2`: the search now gives up one node early and misses
+    a present key, breaking the ensures."""
+
+    def is_early_exit(s):
+        return isinstance(s, SIf) and any(isinstance(t, SCall) for t in s.els)
+
+    def weaken(s):
+        k = E.V("k")
+        new_cond = E.or_(
+            E.gt(E.F(E.V("x"), "key"), E.sub(k, E.I(2))),
+            E.eq(E.F(E.V("x"), "next"), E.NIL_E),
+        )
+        return SIf(new_cond, s.then, s.els)
+
+    program = _mutate(sorted_program(), "sorted_find", _first_only(is_early_exit, weaken))
+    _assert_rejected(program, sorted_ids(), "sorted_find")
+
+
+def test_unmutated_sorted_find_still_verifies():
+    """Control: the same harness on the unmutated method verifies, so the
+    rejections above are caused by the mutations alone."""
+    report = Verifier(sorted_program(), sorted_ids(), simplify=True).verify("sorted_find")
+    assert report.ok, report.failed
+
+
+@pytest.mark.parametrize("bad_matches", [0, 2])
+def test_mutator_refuses_wrong_match_counts(bad_matches):
+    """The surgery helper is itself guarded: a predicate matching zero or
+    several statements is a broken test, not a broken method."""
+    if bad_matches == 0:
+        pred = lambda s: False  # noqa: E731
+    else:
+        pred = lambda s: isinstance(s, SMut)  # noqa: E731 - matches many
+    with pytest.raises(AssertionError, match="mutation matched"):
+        _mutate(sll_program(), "sll_insert_front", lambda s: _DROP if pred(s) else s)
