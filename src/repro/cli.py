@@ -31,17 +31,40 @@ from .structures.registry import EXPERIMENTS, Experiment, method_sizes
 
 __all__ = ["main"]
 
+class SelectionError(ValueError):
+    """A ``--structure``/``--method`` name matched nothing in the registry."""
+
+
 def _select(
     structure: Optional[str], methods: List[str], all_: bool
 ) -> List[Tuple[Experiment, str]]:
+    """Resolve the CLI selection; unmatched names are an error, not a
+    silently smaller run (``--method bst_insert --method tyop`` must not
+    quietly verify only ``bst_insert``)."""
     chosen: List[Tuple[Experiment, str]] = []
+    matched_methods = set()
+    structure_seen = False
     for exp in EXPERIMENTS:
         if structure and exp.structure != structure:
             continue
+        structure_seen = True
         for m in exp.methods:
             if methods and m not in methods:
                 continue
+            matched_methods.add(m)
             chosen.append((exp, m))
+    problems = []
+    if structure and not structure_seen:
+        known = ", ".join(sorted(e.structure for e in EXPERIMENTS))
+        problems.append(f"unknown structure {structure!r} (known: {known})")
+    unmatched = [m for m in methods if m not in matched_methods]
+    if unmatched:
+        problems.append(
+            "unknown method(s): " + ", ".join(repr(m) for m in unmatched)
+            + " (see `repro list`)"
+        )
+    if problems:
+        raise SelectionError("; ".join(problems))
     if not all_ and not structure and not methods:
         return []
     return chosen
@@ -61,6 +84,8 @@ def _engine_from_args(
         encoding=getattr(args, "encoding", "decidable"),
         conflict_budget=args.conflict_budget,
         simplify=args.simplify,
+        batch=args.batch,
+        batch_size=args.batch_size,
     )
 
 
@@ -111,7 +136,11 @@ def cmd_list(args) -> int:
 
 
 def cmd_verify(args) -> int:
-    chosen = _select(args.structure, args.method, args.all)
+    try:
+        chosen = _select(args.structure, args.method, args.all)
+    except SelectionError as e:
+        print(f"selection error: {e}", file=sys.stderr)
+        return 2
     if not chosen:
         print("nothing selected: pass --all, --structure or --method", file=sys.stderr)
         return 2
@@ -158,7 +187,11 @@ def cmd_bench(args) -> int:
         print(f"backend error: {e}", file=sys.stderr)
         return 2
 
-    chosen = _select(args.structure, args.method, True)
+    try:
+        chosen = _select(args.structure, args.method, True)
+    except SelectionError as e:
+        print(f"selection error: {e}", file=sys.stderr)
+        return 2
     if args.limit:
         chosen = chosen[: args.limit]
 
@@ -184,6 +217,8 @@ def cmd_bench(args) -> int:
             encoding="quantified",
             conflict_budget=args.conflict_budget,
             simplify=args.simplify,
+            batch=args.batch,
+            batch_size=args.batch_size,
         )
         for exp, m in chosen:
             dec, dec_status = _safe_verify(engine, exp, m)
@@ -228,6 +263,7 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
             "n_vcs": report.n_vcs,
             "time_s": round(report.time_s, 4),
             "cache_hits": report.cache_hits,
+            "dedup_hits": report.dedup_hits,
             "timeouts": report.timeouts,
             "encoding": report.encoding,
             "failed": report.failed,
@@ -249,18 +285,27 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
                 "status": row[6] if len(row) > 6 else _status(quant),
             }
         results.append(entry)
+    n_vcs_total = sum(r["n_vcs"] for r in results)
+    dedup_total = sum(r["dedup_hits"] for r in results)
     doc = {
-        "schema_version": 2,
+        "schema_version": 3,
         "suite": suite,
         "jobs": args.jobs,
         "backend": args.backend,
         "simplify": args.simplify,
+        "batch": getattr(args, "batch", True),
+        "batch_size": getattr(args, "batch_size", None),
         "budget_s": budget,
         "cache_dir": args.cache_dir,
         "python": platform.python_version(),
         "wall_s": round(wall, 3),
         "n_methods": len(results),
         "n_verified": sum(1 for r in results if r["status"] == "verified"),
+        # Cross-method/in-flight dedup: VCs whose canonical formula was
+        # already decided elsewhere in this run and replayed, not re-solved.
+        "n_vcs_total": n_vcs_total,
+        "dedup_hits_total": dedup_total,
+        "dedup_rate": round(dedup_total / n_vcs_total, 4) if n_vcs_total else 0.0,
         "results": results,
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -283,6 +328,13 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--simplify", action=argparse.BooleanOptionalAction, default=True,
                    help="run the verdict-preserving VC simplification pipeline "
                         "before solving (default on; --no-simplify disables)")
+    p.add_argument("--batch", action=argparse.BooleanOptionalAction, default=True,
+                   help="factor each method's VCs into a shared hypothesis "
+                        "prefix + per-VC goals and solve them through one "
+                        "incremental solver context per batch (default on; "
+                        "--no-batch solves every VC from scratch)")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="max VCs per incremental batch (default 16)")
     p.add_argument("--structure", default=None, help="restrict to one structure")
     p.add_argument("--method", action="append", default=[],
                    help="restrict to named method(s); repeatable")

@@ -78,6 +78,11 @@ class MethodReport:
     simplify: bool = False
     nodes_before: int = 0  # summed VC DAG sizes entering the simplifier
     nodes_after: int = 0  # summed VC DAG sizes leaving the simplifier
+    # VCs whose verdict was copied from an identical canonical formula
+    # solved elsewhere (in-flight sibling, or a cache entry written
+    # earlier in the same run -- the cross-method dedup the simplifier's
+    # canonicalization produces).
+    dedup_hits: int = 0
 
     @property
     def shrink_pct(self) -> float:

@@ -25,10 +25,22 @@ from .backends import (
     register_backend,
 )
 from .cache import VcCache, formula_key
-from .scheduler import solve_one, solve_tasks
-from .tasks import SolveTask, TaskResult, assemble_report, tasks_from_plan
+from .scheduler import solve_batch, solve_one, solve_tasks
+from .tasks import (
+    BatchEntry,
+    BatchTask,
+    SolveTask,
+    TaskResult,
+    assemble_report,
+    batches_from_plan,
+    tasks_from_plan,
+)
 
 __all__ = [
+    "BatchEntry",
+    "BatchTask",
+    "batches_from_plan",
+    "solve_batch",
     "VerificationEngine",
     "SolverBackend",
     "UnknownBackendError",

@@ -1,20 +1,24 @@
-"""High-level verification engine: plan → (cache | shard | solve) → report.
+"""High-level verification engine: plan → (cache | dedup | batch | solve) → report.
 
 The one-stop API the CLI, benchmarks and tests drive:
 
     engine = VerificationEngine(jobs=4, cache_dir=".vc-cache")
     report = engine.verify(program, ids, "bst_insert")
 
-Verdicts are independent of ``jobs`` (tested against the sequential
-``Verifier``); ``cache_dir`` makes re-verification of unchanged methods
-near-instant; ``timeout_s`` bounds each VC's wall clock portably.
+Verdicts are independent of ``jobs`` *and* of batching (tested against
+the sequential ``Verifier``); ``cache_dir`` makes re-verification of
+unchanged methods near-instant; ``timeout_s`` bounds each VC's wall
+clock portably.  With ``batch=True`` (the default) each method's VCs are
+factored into a shared hypothesis prefix plus per-VC goals and solved
+through a persistent incremental solver context per batch -- one CNF
+encoding and one theory state for the prefix instead of one per VC.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.ids import IntrinsicDefinition
 from ..core.verifier import MethodReport, Verifier
@@ -22,7 +26,14 @@ from ..lang.ast import Program
 from .backends import make_backend
 from .cache import VcCache
 from .scheduler import solve_tasks
-from .tasks import assemble_report, tasks_from_plan
+from .tasks import (
+    BatchTask,
+    TaskUnit,
+    assemble_report,
+    batches_from_plan,
+    flatten_units,
+    tasks_from_plan,
+)
 
 __all__ = ["VerificationEngine"]
 
@@ -40,6 +51,9 @@ class VerificationEngine:
         conflict_budget: Optional[int] = 200000,
         mp_context: Optional[str] = None,
         simplify: bool = True,
+        batch: bool = True,
+        batch_size: int = 16,
+        batch_node_limit: int = 200,
     ):
         self.jobs = max(1, int(jobs))
         self.backend_spec = backend
@@ -52,6 +66,9 @@ class VerificationEngine:
         self.conflict_budget = conflict_budget
         self.mp_context = mp_context
         self.simplify = simplify
+        self.batch = batch
+        self.batch_size = max(1, int(batch_size))
+        self.batch_node_limit = batch_node_limit
 
     def _verifier(self, program: Program, ids: IntrinsicDefinition) -> Verifier:
         return Verifier(
@@ -63,17 +80,30 @@ class VerificationEngine:
             simplify=self.simplify,
         )
 
+    def _units(self, plan) -> List[TaskUnit]:
+        if self.batch:
+            return batches_from_plan(
+                plan,
+                backend_spec=self.backend_spec,
+                timeout_s=self.timeout_s,
+                batch_size=self.batch_size,
+                batch_node_limit=self.batch_node_limit,
+            )
+        return list(
+            tasks_from_plan(
+                plan, backend_spec=self.backend_spec, timeout_s=self.timeout_s
+            )
+        )
+
     def verify(
         self, program: Program, ids: IntrinsicDefinition, method: str
     ) -> MethodReport:
         """Two-phase verification of one method."""
         started = time.perf_counter()
         plan = self._verifier(program, ids).plan(method)
-        tasks = tasks_from_plan(
-            plan, backend_spec=self.backend_spec, timeout_s=self.timeout_s
-        )
+        units = self._units(plan)
         results = solve_tasks(
-            tasks,
+            units,
             jobs=self.jobs,
             cache=self.cache,
             mp_context=self.mp_context,
@@ -87,26 +117,28 @@ class VerificationEngine:
     ) -> List[MethodReport]:
         """Verify a batch of (program, ids, method) triples.
 
-        Plans are generated eagerly and their tasks solved through one
+        Plans are generated eagerly and their units solved through one
         shared scheduler pass, so VCs of *different* methods fill the
         worker pool together -- the whole suite is one big task bag.
         ``method_budget_s`` here bounds the whole batch (it is one bag).
         """
         work = list(work)
-        plans = []
         started = time.perf_counter()
-        all_tasks = []
+        plans = []
+        all_units: List[TaskUnit] = []
+        counts: List[Tuple[int, List[int]]] = []  # (n slots, original indices)
         for program, ids, method in work:
             plan = self._verifier(program, ids).plan(method)
-            tasks = tasks_from_plan(
-                plan, backend_spec=self.backend_spec, timeout_s=self.timeout_s
-            )
-            plans.append((plan, tasks))
-            all_tasks.extend(tasks)
+            units = self._units(plan)
+            orig = [ix for ix, _label in flatten_units(units)]
+            plans.append(plan)
+            counts.append((len(orig), orig))
+            all_units.extend(units)
 
-        # Tag tasks with a global position so results can be routed back.
+        # Tag every VC slot with a globally unique position so the one
+        # shared bag can route results back to its method.
         results = solve_tasks(
-            _reindexed(all_tasks),
+            _reindexed(all_units),
             jobs=self.jobs,
             cache=self.cache,
             mp_context=self.mp_context,
@@ -114,11 +146,11 @@ class VerificationEngine:
         )
         reports: List[MethodReport] = []
         cursor = 0
-        for plan, tasks in plans:
-            chunk = results[cursor : cursor + len(tasks)]
-            cursor += len(tasks)
-            for res, task in zip(chunk, tasks):
-                res.index = task.index  # restore per-method VC index
+        for plan, (n, orig) in zip(plans, counts):
+            chunk = results[cursor : cursor + n]
+            cursor += n
+            for res, orig_ix in zip(chunk, orig):
+                res.index = orig_ix  # restore per-method VC index
             report = assemble_report(plan, chunk, started, jobs=self.jobs)
             # Batch wall clock is shared; report the method's own solve time.
             report.time_s = sum(r.time_s for r in chunk)
@@ -126,6 +158,18 @@ class VerificationEngine:
         return reports
 
 
-def _reindexed(tasks):
-    """Globally unique indices for a multi-method task bag."""
-    return [replace(t, index=i) for i, t in enumerate(tasks)]
+def _reindexed(units: Sequence[TaskUnit]) -> List[TaskUnit]:
+    """Globally unique VC indices for a multi-method unit bag."""
+    out: List[TaskUnit] = []
+    counter = 0
+    for unit in units:
+        if isinstance(unit, BatchTask):
+            entries = []
+            for entry in unit.entries:
+                entries.append(replace(entry, index=counter))
+                counter += 1
+            out.append(replace(unit, entries=tuple(entries)))
+        else:
+            out.append(replace(unit, index=counter))
+            counter += 1
+    return out

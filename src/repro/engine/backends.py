@@ -26,11 +26,11 @@ import subprocess
 import tempfile
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional, Sequence
 
-from ..smt.printer import script
-from ..smt.solver import Solver, SolverError
-from ..smt.terms import Term, mk_not
+from ..smt.printer import incremental_script, script
+from ..smt.solver import IncrementalSolver, Solver, SolverError
+from ..smt.terms import Term, mk_and, mk_implies, mk_not
 
 __all__ = [
     "BackendError",
@@ -49,6 +49,9 @@ __all__ = [
 VALID = "valid"
 INVALID = "invalid"
 UNKNOWN = "unknown"
+# Batch checking reports per-goal failures as a verdict (so one bad goal
+# cannot take its batch siblings down); single-goal checking raises.
+ERROR = "error"
 
 
 class BackendError(Exception):
@@ -95,6 +98,34 @@ class SolverBackend(ABC):
         the flag is always sound.
         """
 
+    def batch_check_validity(
+        self,
+        prefix: Sequence[Term],
+        remainders: Sequence[Term],
+        conflict_budget: Optional[int] = None,
+        pre_simplified: bool = False,
+    ) -> Iterator[BackendVerdict]:
+        """Decide validity of ``and(*prefix) -> remainder`` for each
+        remainder, yielding one verdict per remainder *in order*.
+
+        The base implementation just re-solves each implication from
+        scratch, so every backend batches correctly by default;
+        :class:`InTreeBackend` overrides it with a persistent incremental
+        context and :class:`Smtlib2Backend` with one ``(push)``/``(pop)``
+        script.  Per-goal failures yield an ``ERROR`` verdict instead of
+        raising, so siblings in the batch still get answered; only
+        context-level failures (bad prefix, dead subprocess) raise.
+        Yielding lazily lets the scheduler stream per-VC results (and
+        per-VC timings) out of a worker as they land.
+        """
+        hyp = mk_and(*prefix) if prefix else None
+        for remainder in remainders:
+            formula = mk_implies(hyp, remainder) if hyp is not None else remainder
+            try:
+                yield self.check_validity(formula, conflict_budget, pre_simplified)
+            except (SolverError, BackendError) as e:
+                yield BackendVerdict(ERROR, str(e))
+
 
 class InTreeBackend(SolverBackend):
     name = "intree"
@@ -111,6 +142,32 @@ class InTreeBackend(SolverBackend):
         if result == "unsat":
             return BackendVerdict(VALID)
         return BackendVerdict(INVALID, "countermodel found")
+
+    def batch_check_validity(
+        self,
+        prefix: Sequence[Term],
+        remainders: Sequence[Term],
+        conflict_budget: Optional[int] = None,
+        pre_simplified: bool = False,
+    ) -> Iterator[BackendVerdict]:
+        """Shared-prefix incremental solving: the prefix's CNF, congruence
+        closure and simplex state are built once; each VC only pays for
+        its own remainder (``valid`` iff ``prefix /\\ ~remainder`` unsat)."""
+        inc = IncrementalSolver(
+            conflict_budget=conflict_budget, assume_rewritten=pre_simplified
+        )
+        for hyp in prefix:
+            inc.add_shared(hyp)
+        for remainder in remainders:
+            try:
+                result = inc.check_goal(mk_not(remainder))
+            except SolverError as e:
+                yield BackendVerdict(ERROR, str(e))
+                continue
+            if result == "unsat":
+                yield BackendVerdict(VALID)
+            else:
+                yield BackendVerdict(INVALID, "countermodel found")
 
 
 class Smtlib2Backend(SolverBackend):
@@ -177,6 +234,64 @@ class Smtlib2Backend(SolverBackend):
             except OSError:
                 pass
 
+    def batch_check_validity(
+        self,
+        prefix: Sequence[Term],
+        remainders: Sequence[Term],
+        conflict_budget: Optional[int] = None,
+        pre_simplified: bool = False,
+    ) -> Iterator[BackendVerdict]:
+        """One ``(push 1)``/``(pop 1)`` script, one subprocess, N answers.
+
+        The prefix is asserted once at the outer scope so the external
+        solver keeps its clauses and theory state across every
+        ``(check-sat)`` -- the SMT-LIB2 face of incremental solving."""
+        remainders = list(remainders)
+        if not remainders:
+            return
+        text = incremental_script(prefix, [mk_not(r) for r in remainders])
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".smt2", prefix="repro_batch_", delete=False
+        ) as handle:
+            handle.write(text)
+            path = handle.name
+        try:
+            try:
+                proc = subprocess.run(
+                    [self.command, path],
+                    capture_output=True,
+                    text=True,
+                    timeout=self.timeout_s * max(1, len(remainders)),
+                )
+            except subprocess.TimeoutExpired:
+                raise SolverError(
+                    f"external solver '{self.command}' timed out on a "
+                    f"{len(remainders)}-goal batch"
+                )
+            answers = [
+                line.strip()
+                for line in (proc.stdout or "").splitlines()
+                if line.strip() in ("sat", "unsat", "unknown")
+            ]
+            if len(answers) != len(remainders):
+                raise SolverError(
+                    f"external solver returned {len(answers)} answers for "
+                    f"{len(remainders)} goals "
+                    f"({proc.stderr.strip()[:120] or 'no stderr'})"
+                )
+            for answer in answers:
+                if answer == "unsat":
+                    yield BackendVerdict(VALID)
+                elif answer == "sat":
+                    yield BackendVerdict(INVALID, "countermodel found (external)")
+                else:
+                    yield BackendVerdict(ERROR, "external solver answered unknown")
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
 
 class CrossCheckBackend(SolverBackend):
     """Run two backends and assert verdict agreement."""
@@ -201,6 +316,36 @@ class CrossCheckBackend(SolverBackend):
                 f"{self.secondary.name} says {b.status}"
             )
         return a
+
+    def batch_check_validity(
+        self,
+        prefix: Sequence[Term],
+        remainders: Sequence[Term],
+        conflict_budget: Optional[int] = None,
+        pre_simplified: bool = False,
+    ) -> Iterator[BackendVerdict]:
+        """Both backends batch independently; every per-goal pair of
+        *definitive* verdicts must agree (errors pass through)."""
+        remainders = list(remainders)
+        pairs = zip(
+            self.primary.batch_check_validity(
+                prefix, remainders, conflict_budget, pre_simplified
+            ),
+            self.secondary.batch_check_validity(
+                prefix, remainders, conflict_budget, pre_simplified
+            ),
+        )
+        for a, b in pairs:
+            if ERROR in (a.status, b.status):
+                err = a if a.status == ERROR else b
+                yield err
+                continue
+            if a.status != b.status:
+                raise CrossCheckMismatch(
+                    f"{self.primary.name} says {a.status} but "
+                    f"{self.secondary.name} says {b.status}"
+                )
+            yield a
 
 
 _REGISTRY: Dict[str, Callable[..., SolverBackend]] = {}

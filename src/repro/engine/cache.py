@@ -76,6 +76,10 @@ class VcCache:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Keys written by *this* process, so callers can tell a hit on a
+        # verdict produced earlier in the same run (cross-method dedup)
+        # from a hit on a pre-existing cache.
+        self.session_keys: set = set()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -113,16 +117,23 @@ class VcCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish so a concurrent reader never sees a torn entry.
+        # try/finally (not ``except OSError``) so the temp file is also
+        # reclaimed when json.dump raises a non-OS error such as a
+        # TypeError on unserializable metadata.
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(record, handle)
             os.replace(tmp, path)
+            self.session_keys.add(key)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            pass
+        finally:
+            if os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

@@ -14,12 +14,19 @@ recursion limit, and shared subterms are emitted exactly once.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from ..smt.sorts import MapSort, SetSort, Sort, UninterpretedSort
 from ..smt.terms import Term
 
-__all__ = ["encode_sort", "decode_sort", "encode_term", "decode_term"]
+__all__ = [
+    "encode_sort",
+    "decode_sort",
+    "encode_term",
+    "decode_term",
+    "encode_terms",
+    "decode_nodes",
+]
 
 _PRIMS = ("Bool", "Int", "Real")
 
@@ -45,6 +52,44 @@ def decode_sort(enc: tuple) -> Sort:
     return Sort(enc[1])
 
 
+def encode_terms(roots: Iterable[Term]) -> Tuple[Tuple[tuple, ...], Tuple[int, ...]]:
+    """Flatten several term DAGs into ONE shared post-order node table.
+
+    Returns ``(nodes, root_indices)``.  Subterms shared *between* roots
+    (a batch's common hypothesis prefix) are emitted exactly once, which
+    is what makes a :class:`~repro.engine.tasks.BatchTask`'s wire size
+    close to one VC rather than N of them.
+    """
+    nodes: List[tuple] = []
+    index = {}
+    root_ixs: List[int] = []
+    for root in roots:
+        stack = [(root, False)]
+        while stack:
+            t, expanded = stack.pop()
+            if t in index:
+                continue
+            if expanded:
+                nodes.append(
+                    (
+                        t.op,
+                        tuple(index[a] for a in t.args),
+                        encode_sort(t.sort),
+                        t.name,
+                        t.value,
+                        tuple(index[b] for b in t.binders),
+                    )
+                )
+                index[t] = len(nodes) - 1
+            else:
+                stack.append((t, True))
+                for child in t.args + t.binders:
+                    if child not in index:
+                        stack.append((child, False))
+        root_ixs.append(index[root])
+    return tuple(nodes), tuple(root_ixs)
+
+
 def encode_term(root: Term) -> Tuple[tuple, ...]:
     """Flatten a term DAG into a post-order tuple of nodes.
 
@@ -52,35 +97,12 @@ def encode_term(root: Term) -> Tuple[tuple, ...]:
     where indices refer to earlier positions in the tuple; the root is the
     last node.  All components are plain picklable values.
     """
-    nodes: List[tuple] = []
-    index = {}
-    stack = [(root, False)]
-    while stack:
-        t, expanded = stack.pop()
-        if t in index:
-            continue
-        if expanded:
-            nodes.append(
-                (
-                    t.op,
-                    tuple(index[a] for a in t.args),
-                    encode_sort(t.sort),
-                    t.name,
-                    t.value,
-                    tuple(index[b] for b in t.binders),
-                )
-            )
-            index[t] = len(nodes) - 1
-        else:
-            stack.append((t, True))
-            for child in t.args + t.binders:
-                if child not in index:
-                    stack.append((child, False))
-    return tuple(nodes)
+    nodes, _ = encode_terms((root,))
+    return nodes
 
 
-def decode_term(nodes: Tuple[tuple, ...]) -> Term:
-    """Rebuild (and re-intern) a term from :func:`encode_term` output."""
+def decode_nodes(nodes: Sequence[tuple]) -> List[Term]:
+    """Rebuild (and re-intern) every node of a shared table, in order."""
     built: List[Term] = []
     for op, arg_ix, sort_enc, name, value, binder_ix in nodes:
         built.append(
@@ -93,4 +115,9 @@ def decode_term(nodes: Tuple[tuple, ...]) -> Term:
                 binders=tuple(built[i] for i in binder_ix),
             )
         )
-    return built[-1]
+    return built
+
+
+def decode_term(nodes: Tuple[tuple, ...]) -> Term:
+    """Rebuild (and re-intern) a term from :func:`encode_term` output."""
+    return decode_nodes(nodes)[-1]

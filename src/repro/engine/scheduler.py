@@ -1,11 +1,21 @@
 """Parallel solve scheduler with per-task wall-clock timeouts.
 
-Shards :class:`~repro.engine.tasks.SolveTask`s across worker *processes*
-(one process per task, at most ``jobs`` in flight).  Because every VC is
-independent, no coordination is needed beyond a result pipe per worker;
-a task that exceeds its timeout is terminated and reported as
-``timeout`` -- no ``signal.SIGALRM``, so the same code path works inside
-CI containers, on macOS/Windows ``spawn`` start methods, and in threads.
+Shards work units across worker *processes* (one process per unit, at
+most ``jobs`` in flight).  A unit is either a single
+:class:`~repro.engine.tasks.SolveTask` or a
+:class:`~repro.engine.tasks.BatchTask` of N VCs sharing a hypothesis
+prefix; batch workers stream one result per VC back through their pipe
+as each goal is decided, so per-VC verdicts, timings and timeout
+attribution survive batching.  No ``signal.SIGALRM``, so the same code
+path works inside CI containers, on macOS/Windows ``spawn`` start
+methods, and in threads.
+
+Before anything launches, every VC is keyed by its canonical formula
+hash: persistent-cache hits short-circuit, and *in-flight duplicates*
+(two VCs in the same bag with identical canonical formulas -- common
+once the simplifier has normalized them) are solved exactly once, with
+the verdict fanned out to the duplicate siblings and the cache written
+once.
 
 ``jobs=1`` with no timeout takes a pure in-process path that is
 byte-for-byte the sequential ``Verifier.verify`` verdict computation
@@ -16,15 +26,24 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+from dataclasses import replace
 from multiprocessing.connection import wait as conn_wait
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..smt.solver import SolverError
 from .backends import BackendError, SolverBackend, make_backend
 from .cache import VcCache, formula_key
-from .tasks import SolveTask, TaskResult
+from .codec import encode_term
+from .tasks import (
+    BatchTask,
+    SolveTask,
+    TaskResult,
+    TaskUnit,
+    flatten_units,
+    unit_slots as _unit_slots,
+)
 
-__all__ = ["solve_tasks", "solve_one"]
+__all__ = ["solve_tasks", "solve_one", "solve_batch"]
 
 _POLL_S = 0.05
 
@@ -55,208 +74,394 @@ def solve_one(task: SolveTask, backend: Optional[SolverBackend] = None) -> TaskR
         )
 
 
-def _pool_solve(task: SolveTask) -> TaskResult:
+def solve_batch(batch: BatchTask, backend: Optional[SolverBackend] = None):
+    """Solve a batch in this process, yielding one TaskResult per entry
+    (in entry order) as each goal is decided.
+
+    Per-goal solver failures become per-entry ``error`` results; a
+    context-level failure (prefix ingestion, dead external solver)
+    errors every not-yet-answered entry.
+    """
+    if backend is None:
+        backend = make_backend(batch.backend_spec)
+    prefix, remainders, _formulas = batch.decode()
+    gen = backend.batch_check_validity(
+        prefix, remainders, batch.conflict_budget, pre_simplified=batch.pre_simplified
+    )
+    done = 0
+    last = time.perf_counter()
+    try:
+        for entry, verdict in zip(batch.entries, gen):
+            now = time.perf_counter()
+            yield TaskResult(
+                index=entry.index,
+                label=entry.label,
+                verdict=verdict.status,
+                detail=verdict.detail,
+                time_s=now - last,
+            )
+            last = now
+            done += 1
+    except (SolverError, BackendError) as e:
+        now = time.perf_counter()
+        for entry in batch.entries[done:]:
+            yield TaskResult(
+                index=entry.index,
+                label=entry.label,
+                verdict="error",
+                detail=str(e),
+                time_s=now - last,
+            )
+            now = last = time.perf_counter()
+
+
+def _requeue_singles(batch: BatchTask, remaining: Dict[int, str]) -> List[SolveTask]:
+    """Standalone tasks for batch entries that were never attempted."""
+    _prefix, _remainders, formulas = batch.decode()
+    by_index = {e.index: f for e, f in zip(batch.entries, formulas)}
+    return [
+        SolveTask(
+            structure=batch.structure,
+            method=batch.method,
+            index=ix,
+            label=label,
+            nodes=encode_term(by_index[ix]),
+            encoding=batch.encoding,
+            conflict_budget=batch.conflict_budget,
+            backend_spec=batch.backend_spec,
+            timeout_s=batch.timeout_s,
+            pre_simplified=batch.pre_simplified,
+        )
+        for ix, label in remaining.items()
+    ]
+
+
+def _pool_solve(unit: TaskUnit) -> List[TaskResult]:
     """Pool worker body: never let an exception escape (it would poison
     the whole imap)."""
     try:
-        return solve_one(task)
+        if isinstance(unit, BatchTask):
+            return list(solve_batch(unit))
+        return [solve_one(unit)]
     except BaseException as e:  # noqa: BLE001
-        return TaskResult(task.index, task.label, "error", f"worker crash: {e!r}")
+        return [
+            TaskResult(ix, label, "error", f"worker crash: {e!r}")
+            for ix, label in _unit_slots(unit)
+        ]
 
 
-def _worker(conn, task: SolveTask) -> None:
-    """Worker entry point: solve one task, ship the result, exit."""
+def _worker(conn, unit: TaskUnit) -> None:
+    """Worker entry point: solve one unit, stream results, exit.
+
+    Protocol: one ``TaskResult`` message per VC (batches stream them as
+    goals are decided), then a ``None`` sentinel.
+    """
+
+    def ship(obj) -> bool:
+        try:
+            conn.send(obj)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    if isinstance(unit, BatchTask):
+        reported = 0
+        try:
+            for res in solve_batch(unit):
+                if not ship(res):
+                    break
+                reported += 1
+        except BaseException as e:  # noqa: BLE001 - must never die silently
+            for entry in unit.entries[reported:]:
+                ship(
+                    TaskResult(
+                        entry.index, entry.label, "error", f"worker crash: {e!r}"
+                    )
+                )
+    else:
+        try:
+            res = solve_one(unit)
+        except BaseException as e:  # noqa: BLE001
+            res = TaskResult(unit.index, unit.label, "error", f"worker crash: {e!r}")
+        ship(res)
+    ship(None)
     try:
-        result = solve_one(task)
-    except BaseException as e:  # noqa: BLE001 - must never die silently
-        result = TaskResult(task.index, task.label, "error", f"worker crash: {e!r}")
-    try:
-        conn.send(result)
         conn.close()
-    except (BrokenPipeError, OSError):
+    except OSError:
         pass
 
 
 class _Running:
-    __slots__ = ("proc", "conn", "task", "deadline", "started")
+    __slots__ = ("proc", "conn", "unit", "remaining", "started", "deadline")
 
-    def __init__(self, proc, conn, task: SolveTask):
+    def __init__(self, proc, conn, unit: TaskUnit):
         self.proc = proc
         self.conn = conn
-        self.task = task
+        self.unit = unit
+        self.remaining: Dict[int, str] = dict(_unit_slots(unit))
         self.started = time.perf_counter()
-        self.deadline = (
-            self.started + task.timeout_s if task.timeout_s is not None else None
-        )
+        # A batch is granted the summed budget of its entries up front:
+        # a non-streaming backend (one smtlib2 subprocess answers all N
+        # goals at once) must not be killed after a single slice.  When
+        # the bank runs out, only the in-flight entry timed out; the
+        # never-attempted rest are re-queued as standalone tasks.
+        if unit.timeout_s is None:
+            self.deadline = None
+        else:
+            self.deadline = self.started + unit.timeout_s * len(self.remaining)
 
 
 def solve_tasks(
-    tasks: List[SolveTask],
+    units: Sequence[TaskUnit],
     jobs: int = 1,
     cache: Optional[VcCache] = None,
     mp_context: Optional[str] = None,
     deadline_s: Optional[float] = None,
 ) -> List[TaskResult]:
-    """Solve every task; returns results in task order.
+    """Solve every unit; returns per-VC results in unit/entry order.
 
-    Cache hits short-circuit before any process is spawned; definitive
-    verdicts of misses are written back.  ``jobs`` bounds worker
-    concurrency; each worker enforces its task's ``timeout_s`` by
-    termination from the parent.  ``deadline_s`` additionally bounds the
-    *whole bag's* wall clock (the per-method budget of the benchmark
-    harnesses): when it expires, every unfinished task is reported as
-    ``timeout`` instead of being started.
+    Cache hits short-circuit before any process is spawned; in-flight
+    duplicates (same canonical ``formula_key``) are solved once and
+    fanned out; definitive verdicts of misses are written back exactly
+    once per key.  ``jobs`` bounds worker concurrency; ``timeout_s`` is
+    enforced by termination from the parent -- a batch is granted the
+    summed budget of its entries up front (non-streaming backends answer
+    every goal in one call), and on expiry the in-flight entry is the
+    timeout while never-attempted entries are re-queued standalone.
+    ``deadline_s`` additionally bounds the *whole bag's* wall
+    clock (the per-method budget of the benchmark harnesses): when it
+    expires, every unfinished VC is reported as ``timeout`` instead of
+    being started.
     """
+    flat = flatten_units(units)
     results: Dict[int, TaskResult] = {}
-    pending: List[Tuple[SolveTask, Optional[str]]] = []
+    key_of: Dict[int, Optional[str]] = {}
+    attrib: Dict[int, Tuple[str, str, str]] = {}
+    waiters: Dict[int, List[Tuple[int, str]]] = {}
+    owner_of_key: Dict[str, int] = {}
+    pending: List[TaskUnit] = []
 
-    for task in tasks:
-        key = None
-        if cache is not None:
-            key = formula_key(
-                task.formula(),
-                task.encoding,
-                task.conflict_budget,
-                task.backend_spec,
-                canonical=task.pre_simplified,
-            )
-            record = cache.get(key)
-            if record is not None:
-                results[task.index] = TaskResult(
-                    index=task.index,
-                    label=task.label,
-                    verdict=record["verdict"],
-                    detail=record.get("detail", ""),
-                    time_s=0.0,
-                    cached=True,
-                )
+    for unit in units:
+        is_batch = isinstance(unit, BatchTask)
+        # Keying a non-pre-simplified formula costs a full
+        # rewrite+simplify pass here in the parent; only pay it (and the
+        # decode it needs) when a cache can actually replay the verdict.
+        keyed = cache is not None or unit.pre_simplified
+        if is_batch:
+            formulas = unit.decode()[2] if keyed else [None] * len(unit.entries)
+            slots = list(zip(unit.entries, formulas))
+        else:
+            slots = [(unit, unit.formula() if keyed else None)]
+        kept = []
+        for slot, formula in slots:
+            index, label = slot.index, slot.label
+            attrib[index] = (unit.structure, unit.method, label)
+            if not keyed:
+                key_of[index] = None
+                kept.append(slot)
                 continue
-        pending.append((task, key))
+            key = formula_key(
+                formula,
+                unit.encoding,
+                unit.conflict_budget,
+                unit.backend_spec,
+                canonical=unit.pre_simplified,
+            )
+            key_of[index] = key
+            if cache is not None:
+                record = cache.get(key)
+                if record is not None:
+                    results[index] = TaskResult(
+                        index=index,
+                        label=label,
+                        verdict=record["verdict"],
+                        detail=record.get("detail", ""),
+                        time_s=0.0,
+                        cached=True,
+                        deduped=key in cache.session_keys,
+                    )
+                    continue
+            owner = owner_of_key.get(key)
+            if owner is not None:
+                # In-flight duplicate: solve the canonical formula once,
+                # fan the verdict out when the owner's result lands.
+                waiters.setdefault(owner, []).append((index, label))
+                continue
+            owner_of_key[key] = index
+            kept.append(slot)
+        if not kept:
+            continue
+        if is_batch and len(kept) < len(unit.entries):
+            unit = replace(unit, entries=tuple(kept))
+        pending.append(unit)
 
-    def record_result(task: SolveTask, key: Optional[str], res: TaskResult) -> None:
-        results[task.index] = res
+    def record_result(res: TaskResult) -> None:
+        results[res.index] = res
+        key = key_of.get(res.index)
         if cache is not None and key is not None and not res.cached:
+            structure, method, label = attrib[res.index]
             cache.put(
                 key,
                 res.verdict,
                 res.detail,
-                label=task.label,
-                structure=task.structure,
-                method=task.method,
+                label=label,
+                structure=structure,
+                method=method,
                 time_s=res.time_s,
+            )
+        for w_ix, w_label in waiters.pop(res.index, ()):
+            results[w_ix] = TaskResult(
+                index=w_ix,
+                label=w_label,
+                verdict=res.verdict,
+                detail=res.detail,
+                time_s=0.0,
+                deduped=True,
             )
 
     needs_isolation = deadline_s is not None or any(
-        t.timeout_s is not None for t, _ in pending
+        u.timeout_s is not None for u in pending
     )
     if not needs_isolation:
         if jobs <= 1:
             # Sequential fallback: identical to Verifier.verify's solve loop.
-            for task, key in pending:
-                record_result(task, key, solve_one(task))
+            for unit in pending:
+                if isinstance(unit, BatchTask):
+                    for res in solve_batch(unit):
+                        record_result(res)
+                else:
+                    record_result(solve_one(unit))
         elif pending:
             # No timeouts to enforce: a persistent worker pool amortizes
-            # process startup across tasks (one spawn per worker, not per VC).
+            # process startup across units (one spawn per worker, not per VC).
             ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
             with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-                for (task, key), res in zip(
-                    pending, pool.imap(_pool_solve, [t for t, _ in pending])
-                ):
-                    record_result(task, key, res)
-        return [results[t.index] for t in tasks]
+                for payload in pool.imap(_pool_solve, pending):
+                    for res in payload:
+                        record_result(res)
+        return [results[ix] for ix, _label in flat]
 
     ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
-    queue: List[Tuple[SolveTask, Optional[str]]] = list(pending)
+    queue: List[TaskUnit] = list(pending)
     running: List[_Running] = []
-    key_of: Dict[int, Optional[str]] = {t.index: k for t, k in pending}
     bag_deadline = (
         time.perf_counter() + deadline_s if deadline_s is not None else None
     )
 
-    def launch(task: SolveTask) -> None:
+    def launch(unit: TaskUnit) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(target=_worker, args=(child_conn, task), daemon=True)
+        proc = ctx.Process(target=_worker, args=(child_conn, unit), daemon=True)
         proc.start()
         child_conn.close()
-        running.append(_Running(proc, parent_conn, task))
+        running.append(_Running(proc, parent_conn, unit))
+
+    def fail_remaining(run: _Running, verdict: str, detail: str, now: float) -> None:
+        for ix, label in run.remaining.items():
+            record_result(
+                TaskResult(ix, label, verdict, detail, time_s=now - run.started)
+            )
+        run.remaining.clear()
 
     try:
         while queue or running:
             if bag_deadline is not None and time.perf_counter() > bag_deadline:
-                for task, _key in queue:
-                    record_result(
-                        task,
-                        key_of[task.index],
-                        TaskResult(
-                            task.index, task.label, "timeout",
-                            f"method budget {deadline_s:g}s",
-                        ),
-                    )
+                detail = f"method budget {deadline_s:g}s"
+                for unit in queue:
+                    for ix, label in _unit_slots(unit):
+                        record_result(TaskResult(ix, label, "timeout", detail))
                 queue.clear()
+                now = time.perf_counter()
                 for run in running:
                     run.proc.terminate()
                     run.proc.join()
                     run.conn.close()
-                    record_result(
-                        run.task,
-                        key_of[run.task.index],
-                        TaskResult(
-                            run.task.index, run.task.label, "timeout",
-                            f"method budget {deadline_s:g}s",
-                            time_s=time.perf_counter() - run.started,
-                        ),
-                    )
+                    fail_remaining(run, "timeout", detail, now)
                 running = []
                 break
             while queue and len(running) < max(1, jobs):
-                launch(queue.pop(0)[0])
+                launch(queue.pop(0))
             ready = conn_wait([r.conn for r in running], timeout=_POLL_S)
             now = time.perf_counter()
             still: List[_Running] = []
             for run in running:
-                task = run.task
+                finished = died = False
                 if run.conn in ready:
                     try:
-                        res = run.conn.recv()
+                        while True:
+                            msg = run.conn.recv()
+                            if msg is None:
+                                finished = True
+                                break
+                            record_result(msg)
+                            run.remaining.pop(msg.index, None)
+                            if not run.conn.poll():
+                                break
                     except (EOFError, OSError):
-                        res = TaskResult(
-                            task.index,
-                            task.label,
-                            "error",
-                            f"worker died (exitcode {run.proc.exitcode})",
-                            time_s=now - run.started,
-                        )
-                    record_result(task, key_of[task.index], res)
+                        died = True
+                if died:
                     run.conn.close()
                     run.proc.join()
+                    fail_remaining(
+                        run,
+                        "error",
+                        f"worker died (exitcode {run.proc.exitcode})",
+                        now,
+                    )
+                elif finished:
+                    run.conn.close()
+                    run.proc.join()
+                    # Defensive: a sentinel without all results errors the gap.
+                    fail_remaining(run, "error", "worker ended without result", now)
                 elif run.deadline is not None and now > run.deadline:
                     run.proc.terminate()
                     run.proc.join()
                     run.conn.close()
-                    record_result(
-                        task,
-                        key_of[task.index],
-                        TaskResult(
-                            task.index,
-                            task.label,
-                            "timeout",
-                            f"budget {task.timeout_s:g}s",
-                            time_s=now - run.started,
-                        ),
-                    )
-                elif not run.proc.is_alive() and not run.conn.poll():
+                    # Only the entry being solved when the bank ran out
+                    # actually timed out; re-queue the never-attempted
+                    # rest as standalone tasks with fresh budgets (the
+                    # bag deadline still bounds the whole method).
+                    if isinstance(run.unit, BatchTask) and len(run.remaining) > 1:
+                        in_flight = next(iter(run.remaining))
+                        label = run.remaining.pop(in_flight)
+                        record_result(
+                            TaskResult(
+                                in_flight,
+                                label,
+                                "timeout",
+                                f"budget {run.unit.timeout_s:g}s",
+                                time_s=now - run.started,
+                            )
+                        )
+                        queue.extend(_requeue_singles(run.unit, run.remaining))
+                        run.remaining.clear()
+                    else:
+                        fail_remaining(
+                            run, "timeout", f"budget {run.unit.timeout_s:g}s", now
+                        )
+                elif not run.proc.is_alive():
+                    # The worker exited but conn_wait did not surface the
+                    # pipe (or it held nothing): drain any results that
+                    # made it out, then report the death for the rest.
+                    # (An exited worker's pipe polls ready on EOF too, so
+                    # ``poll()`` alone cannot prove results are pending.)
+                    try:
+                        while run.conn.poll():
+                            msg = run.conn.recv()
+                            if msg is None:
+                                break
+                            record_result(msg)
+                            run.remaining.pop(msg.index, None)
+                    except (EOFError, OSError):
+                        pass
                     run.conn.close()
-                    record_result(
-                        task,
-                        key_of[task.index],
-                        TaskResult(
-                            task.index,
-                            task.label,
+                    run.proc.join()
+                    if run.remaining:
+                        fail_remaining(
+                            run,
                             "error",
                             f"worker died (exitcode {run.proc.exitcode})",
-                            time_s=now - run.started,
-                        ),
-                    )
+                            now,
+                        )
                 else:
                     still.append(run)
             running = still
@@ -266,4 +471,4 @@ def solve_tasks(
             run.proc.join()
             run.conn.close()
 
-    return [results[t.index] for t in tasks]
+    return [results[ix] for ix, _label in flat]

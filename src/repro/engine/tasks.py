@@ -5,19 +5,38 @@ formula (:mod:`repro.engine.codec`), encoding, budgets and backend spec.
 Tasks are plain picklable data, so they can be queued, shipped to worker
 processes, hashed for the cache, or written to disk -- the "every VC is
 independent and decidable" property of the paper turned into an API.
+
+A :class:`BatchTask` is N VCs of one method made self-contained
+*together*: the VCs share an enormous hypothesis prefix (the
+intrinsic-definition local conditions and FWYB frame axioms), so the
+batch carries one shared node table, the common prefix conjuncts, and a
+per-VC remainder.  A worker asserts the prefix once into an incremental
+solver context and checks each remainder under assumptions, instead of
+rebuilding CNF + theory state from scratch per VC.  Verdicts, cache keys
+and timing stay *per VC* -- batching is an execution strategy, not a
+semantic merge.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.verifier import MethodPlan, MethodReport
-from ..smt.terms import Term
-from .codec import decode_term, encode_term
+from ..smt.terms import Term, mk_and, mk_implies
+from .codec import decode_nodes, decode_term, encode_term, encode_terms
 
-__all__ = ["SolveTask", "TaskResult", "tasks_from_plan", "assemble_report"]
+__all__ = [
+    "SolveTask",
+    "BatchTask",
+    "BatchEntry",
+    "TaskResult",
+    "tasks_from_plan",
+    "batches_from_plan",
+    "split_vc_formula",
+    "assemble_report",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +60,53 @@ class SolveTask:
         return decode_term(self.nodes)
 
 
+@dataclass(frozen=True)
+class BatchEntry:
+    """One VC slot inside a :class:`BatchTask` (indices into its table)."""
+
+    index: int
+    label: str
+    formula_ix: int  # the full VC formula (cache keys, fallback backends)
+    remainder_ix: int  # the VC minus the batch's shared prefix
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """N VCs sharing one hypothesis prefix, ready to solve incrementally.
+
+    ``nodes`` is one shared wire table for every term the batch mentions;
+    ``prefix`` indexes the common hypothesis conjuncts; each entry's
+    ``remainder`` is the rest of its VC, so the VC's verdict is the
+    validity of ``and(prefix) -> remainder``.  ``timeout_s`` is still the
+    *per-VC* budget: the scheduler grants the batch the summed budget of
+    its entries up front (a non-streaming backend answers all goals in
+    one call) and, when it expires, re-queues never-attempted entries as
+    standalone tasks.
+    """
+
+    structure: str
+    method: str
+    nodes: tuple
+    prefix: Tuple[int, ...]
+    entries: Tuple[BatchEntry, ...]
+    encoding: str
+    conflict_budget: Optional[int]
+    backend_spec: str = "intree"
+    timeout_s: Optional[float] = None
+    pre_simplified: bool = False
+
+    def decode(self) -> Tuple[List[Term], List[Term], List[Term]]:
+        """Rebuild ``(prefix_terms, remainders, full_formulas)``."""
+        built = decode_nodes(self.nodes)
+        prefix = [built[i] for i in self.prefix]
+        remainders = [built[e.remainder_ix] for e in self.entries]
+        formulas = [built[e.formula_ix] for e in self.entries]
+        return prefix, remainders, formulas
+
+
+TaskUnit = Union[SolveTask, BatchTask]
+
+
 @dataclass
 class TaskResult:
     index: int
@@ -49,6 +115,10 @@ class TaskResult:
     detail: str = ""
     time_s: float = 0.0
     cached: bool = False
+    # The verdict was copied from another VC with the same canonical
+    # formula (in-flight dedup, or a cache entry written earlier in this
+    # same run) rather than recomputed.
+    deduped: bool = False
 
     def failure(self) -> Optional[str]:
         """The ``MethodReport.failed`` entry this result contributes.
@@ -86,6 +156,155 @@ def tasks_from_plan(
         )
         for pvc in plan.solvable()
     ]
+
+
+def split_vc_formula(formula: Term) -> Tuple[Tuple[Term, ...], Term]:
+    """Factor a VC into ``(hypothesis_conjuncts, goal)``.
+
+    VCs are implication towers ``and(h1..hn) -> goal``; anything else
+    (e.g. a VC the simplifier collapsed to ``true``) factors trivially as
+    ``((), formula)``.  The factoring is exactly invertible:
+    ``mk_implies(mk_and(*hyps), goal)`` re-interns to the original term,
+    because the conjuncts came out of an already-normalized ``and`` node.
+    """
+    if formula.op == "implies":
+        hyp, goal = formula.args
+        hyps = hyp.args if hyp.op == "and" else (hyp,)
+        return hyps, goal
+    return (), formula
+
+
+def _shared_prefix_len(hyp_lists: Sequence[Tuple[Term, ...]]) -> int:
+    """Length of the longest common prefix (terms are interned: ``is``)."""
+    if not hyp_lists:
+        return 0
+    k = min(len(hs) for hs in hyp_lists)
+    first = hyp_lists[0]
+    for i in range(k):
+        h = first[i]
+        for hs in hyp_lists[1:]:
+            if hs[i] is not h:
+                return i
+    return k
+
+
+def _remainder(hyps: Tuple[Term, ...], k: int, goal: Term, formula: Term) -> Term:
+    """The VC minus its first ``k`` hypothesis conjuncts."""
+    if k == 0:
+        return formula
+    rest = hyps[k:]
+    if not rest:
+        return goal
+    return mk_implies(mk_and(*rest), goal)
+
+
+def batches_from_plan(
+    plan: MethodPlan,
+    backend_spec: str = "intree",
+    timeout_s: Optional[float] = None,
+    batch_size: int = 16,
+    batch_node_limit: int = 200,
+) -> List[TaskUnit]:
+    """Pack a plan's solvable VCs into :class:`BatchTask`s.
+
+    Consecutive VCs (plan order keeps hypothesis prefixes adjacent) are
+    packed up to ``batch_size`` per batch AND at most
+    ``batch_node_limit`` summed formula nodes per batch -- a persistent
+    context accumulates every goal's atoms, so packing several large VCs
+    together makes each later check re-assert the earlier goals' theory
+    atoms; tiny post-simplify VCs (most shrink to a handful of nodes or
+    literal ``true``) are exactly what batching is for.  A VC bigger
+    than the node limit on its own stays a standalone
+    :class:`SolveTask` so it can be scheduled -- and timed out -- in
+    isolation.  Batches of one collapse back to plain tasks.
+    """
+    units: List[TaskUnit] = []
+    group: List = []  # current run of batchable (PlannedVC, size) pairs
+
+    def single(pvc) -> SolveTask:
+        return SolveTask(
+            structure=plan.structure,
+            method=plan.method,
+            index=pvc.index,
+            label=pvc.label,
+            nodes=encode_term(pvc.formula),
+            encoding=plan.encoding,
+            conflict_budget=plan.conflict_budget,
+            backend_spec=backend_spec,
+            timeout_s=timeout_s,
+            pre_simplified=plan.simplify,
+        )
+
+    def flush() -> None:
+        while group:
+            chunk = []
+            nodes_packed = 0
+            while group and len(chunk) < batch_size:
+                pvc, size = group[0]
+                if chunk and nodes_packed + size > batch_node_limit:
+                    break
+                chunk.append(pvc)
+                nodes_packed += size
+                group.pop(0)
+            if len(chunk) == 1:
+                units.append(single(chunk[0]))
+                continue
+            splits = [split_vc_formula(pvc.formula) for pvc in chunk]
+            k = _shared_prefix_len([hyps for hyps, _goal in splits])
+            prefix_terms = splits[0][0][:k] if k else ()
+            roots: List[Term] = list(prefix_terms)
+            entry_roots: List[Tuple[int, int]] = []
+            for pvc, (hyps, goal) in zip(chunk, splits):
+                rem = _remainder(hyps, k, goal, pvc.formula)
+                entry_roots.append((len(roots), len(roots) + 1))
+                roots.append(pvc.formula)
+                roots.append(rem)
+            nodes, root_ixs = encode_terms(roots)
+            entries = tuple(
+                BatchEntry(
+                    index=pvc.index,
+                    label=pvc.label,
+                    formula_ix=root_ixs[f_i],
+                    remainder_ix=root_ixs[r_i],
+                )
+                for pvc, (f_i, r_i) in zip(chunk, entry_roots)
+            )
+            units.append(
+                BatchTask(
+                    structure=plan.structure,
+                    method=plan.method,
+                    nodes=nodes,
+                    prefix=tuple(root_ixs[i] for i in range(k)),
+                    entries=entries,
+                    encoding=plan.encoding,
+                    conflict_budget=plan.conflict_budget,
+                    backend_spec=backend_spec,
+                    timeout_s=timeout_s,
+                    pre_simplified=plan.simplify,
+                )
+            )
+
+    for pvc in plan.solvable():
+        size = pvc.nodes_after if plan.simplify else pvc.nodes_before
+        if size > batch_node_limit:
+            flush()
+            units.append(single(pvc))
+        else:
+            group.append((pvc, size))
+    flush()
+    return units
+
+
+def unit_slots(unit: TaskUnit) -> List[Tuple[int, str]]:
+    """The (index, label) slots one unit contributes, in solving order."""
+    if isinstance(unit, BatchTask):
+        return [(e.index, e.label) for e in unit.entries]
+    return [(unit.index, unit.label)]
+
+
+def flatten_units(units: Sequence[TaskUnit]) -> List[Tuple[int, str]]:
+    """Every (index, label) slot of a unit list, in scheduling order."""
+    return [slot for unit in units for slot in unit_slots(unit)]
 
 
 @dataclass
@@ -138,4 +357,5 @@ def assemble_report(
         simplify=plan.simplify,
         nodes_before=plan.nodes_before,
         nodes_after=plan.nodes_after,
+        dedup_hits=sum(1 for r in results if r.deduped),
     )

@@ -15,7 +15,13 @@ from typing import Iterable, List, Set
 from .sorts import MapSort, SetSort, Sort
 from .terms import Term, iter_subterms
 
-__all__ = ["to_smtlib", "script", "assert_quantifier_free", "QuantifierFound"]
+__all__ = [
+    "to_smtlib",
+    "script",
+    "incremental_script",
+    "assert_quantifier_free",
+    "QuantifierFound",
+]
 
 
 class QuantifierFound(Exception):
@@ -80,24 +86,59 @@ def script(assertions: Iterable[Term]) -> str:
     sorts: Set[str] = set()
     seen: Set[tuple] = set()
     for formula in assertions:
-        for t in iter_subterms(formula):
-            _declare_sort(t.sort, sorts, decls)
-            if t.op == "const":
-                key = ("const", t.name)
-                if key not in seen:
-                    seen.add(key)
-                    decls.append(f"(declare-const {_mangle(t.name)} {t.sort.name})")
-            elif t.op == "apply":
-                key = ("fun", t.name, tuple(a.sort.name for a in t.args))
-                if key not in seen:
-                    seen.add(key)
-                    dom = " ".join(a.sort.name for a in t.args)
-                    decls.append(f"(declare-fun {_mangle(t.name)} ({dom}) {t.sort.name})")
+        _collect_decls(formula, sorts, seen, decls)
     lines = ["(set-logic ALL)"] + decls
     for formula in assertions:
         lines.append(f"(assert {to_smtlib(formula)})")
     lines.append("(check-sat)")
     return "\n".join(lines)
+
+
+def incremental_script(prefix: Iterable[Term], payloads: Iterable[Term]) -> str:
+    """An SMT-LIB2 script that asserts ``prefix`` once and checks each
+    payload inside its own ``(push 1)`` / ``(pop 1)`` scope.
+
+    This is the external-solver face of the engine's shared-prefix
+    batching: the solver keeps the prefix's clauses and theory state
+    across all N ``(check-sat)``s instead of re-parsing N full scripts.
+    Declarations are hoisted for every term up front (external solvers
+    require declare-before-use, and re-declaring inside a scope would be
+    an error after ``(pop)``).
+    """
+    prefix = list(prefix)
+    payloads = list(payloads)
+    decls: List[str] = []
+    sorts: Set[str] = set()
+    seen: Set[tuple] = set()
+    for formula in prefix + payloads:
+        _collect_decls(formula, sorts, seen, decls)
+    lines = ["(set-logic ALL)"] + decls
+    for formula in prefix:
+        lines.append(f"(assert {to_smtlib(formula)})")
+    for payload in payloads:
+        lines.append("(push 1)")
+        lines.append(f"(assert {to_smtlib(payload)})")
+        lines.append("(check-sat)")
+        lines.append("(pop 1)")
+    return "\n".join(lines)
+
+
+def _collect_decls(
+    formula: Term, sorts: Set[str], seen: Set[tuple], decls: List[str]
+) -> None:
+    for t in iter_subterms(formula):
+        _declare_sort(t.sort, sorts, decls)
+        if t.op == "const":
+            key = ("const", t.name)
+            if key not in seen:
+                seen.add(key)
+                decls.append(f"(declare-const {_mangle(t.name)} {t.sort.name})")
+        elif t.op == "apply":
+            key = ("fun", t.name, tuple(a.sort.name for a in t.args))
+            if key not in seen:
+                seen.add(key)
+                dom = " ".join(a.sort.name for a in t.args)
+                decls.append(f"(declare-fun {_mangle(t.name)} ({dom}) {t.sort.name})")
 
 
 def _declare_sort(sort: Sort, sorts: Set[str], decls: List[str]) -> None:

@@ -7,7 +7,14 @@ A standard conflict-driven clause-learning solver:
 - VSIDS-style variable activities with phase saving,
 - Luby restarts,
 - mid-search clause/variable addition (used for theory lemmas such as
-  branch-and-bound splits for integer arithmetic).
+  branch-and-bound splits for integer arithmetic),
+- assumption-based incremental solving: ``solve(assumptions=[...])``
+  answers satisfiability *under* the assumption literals without
+  forgetting learned clauses between calls (MiniSat's incremental
+  interface).  Learned clauses are always implied by the clause database
+  alone -- conflict analysis only resolves on propagated literals, so
+  assumption literals survive into the learnt clause instead of being
+  baked into it -- which makes reuse across calls sound.
 
 Theory integration follows the lazy SMT architecture: a *theory manager*
 (see ``repro.smt.solver``) is notified of every literal assignment and of
@@ -327,8 +334,38 @@ class SatSolver:
     # Main loop
     # ------------------------------------------------------------------
 
-    def solve(self, conflict_budget: Optional[int] = None) -> Optional[bool]:
-        """Returns True (SAT), False (UNSAT), or None if budget exhausted."""
+    def _place_assumptions(self, assumptions: Sequence[int]) -> Optional[str]:
+        """Re-assert pending assumption literals as decisions.
+
+        One decision level per assumption (already-true assumptions get an
+        empty level so indices stay aligned across restarts).  Returns
+        ``"conflict"`` when an assumption is already false (UNSAT under
+        assumptions), ``"enqueued"`` when one was newly decided and needs
+        propagation, and ``None`` when every assumption is placed.
+        """
+        while self.decision_level < len(assumptions):
+            lit = assumptions[self.decision_level]
+            val = self.value_lit(lit)
+            if val is False:
+                return "conflict"
+            self.trail_lim.append(len(self.trail))
+            if val is None:
+                self._enqueue(lit, None)
+                return "enqueued"
+        return None
+
+    def solve(
+        self,
+        conflict_budget: Optional[int] = None,
+        assumptions: Sequence[int] = (),
+    ) -> Optional[bool]:
+        """Returns True (SAT), False (UNSAT), or None if budget exhausted.
+
+        With ``assumptions``, False means UNSAT *under the assumptions*
+        (the database itself may still be satisfiable).  The solver state
+        stays reusable afterwards; callers must cancel to level 0 before
+        adding clauses.
+        """
         if not self.ok:
             return False
         restart_idx = 1
@@ -362,6 +399,12 @@ class SatSolver:
                 conflicts_until_restart = 100 * _luby(restart_idx)
                 self._cancel_until(0)
                 continue
+            if assumptions:
+                placed = self._place_assumptions(assumptions)
+                if placed == "conflict":
+                    return False
+                if placed == "enqueued":
+                    continue
             if not self._decide():
                 # Full assignment: ask the theories.
                 result = self.theory.final_check()

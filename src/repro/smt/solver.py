@@ -21,6 +21,17 @@ The solver refuses quantified input -- quantifiers simply cannot reach it
 from ``repro.core.vcgen``, reproducing the paper's "decidable verification"
 guarantee.  The RQ3 Dafny-style mode grounds quantifiers *before* calling
 this solver (see ``repro.smt.quant``).
+
+:class:`IncrementalSolver` is the persistent-context variant used by the
+engine's VC batching: the VCs of one method share an enormous hypothesis
+prefix (intrinsic-definition local conditions, FWYB frame axioms), so the
+session asserts that prefix *once* -- one CNF encoding, one congruence
+closure, one simplex tableau -- and then decides each per-VC goal under a
+fresh activation-literal assumption (MiniSat-style incremental solving
+lifted to CDCL(T)).  Learned clauses, theory lemmas and Tseitin encodings
+carry over between goals; everything asserted permanently is either from
+the shared prefix, definitional (ite guards), or theory-valid (set
+reduction instances), so per-goal verdicts match a from-scratch solve.
 """
 
 from __future__ import annotations
@@ -31,13 +42,14 @@ from typing import Dict, List, Optional, Tuple
 from .euf import EufSolver
 from .rewriter import rewrite
 from .sat import SatSolver
-from .setreduce import reduce_sets
+from .setreduce import IncrementalSetReducer, reduce_sets
 from .simplex import ArithSolver, Delta
 from .sorts import BOOL, INT
 from .terms import (
     FALSE,
     TRUE,
     Term,
+    deep_recursion,
     fresh_const,
     iter_subterms,
     mk_and,
@@ -49,7 +61,14 @@ from .terms import (
     mk_not,
 )
 
-__all__ = ["Solver", "SolverError", "NonLinearError", "QuantifiedFormulaError", "is_valid"]
+__all__ = [
+    "Solver",
+    "IncrementalSolver",
+    "SolverError",
+    "NonLinearError",
+    "QuantifiedFormulaError",
+    "is_valid",
+]
 
 
 class SolverError(Exception):
@@ -71,6 +90,34 @@ class BudgetExceeded(SolverError):
 _ARITH_LEAF_OPS = ("add", "sub", "neg", "mul", "div", "intconst", "realconst")
 
 _BOOL_CONNECTIVES = ("and", "or", "not", "implies")
+
+
+def _purify_term(formula: Term, cache: Dict[Term, Term], defs: List[Term]) -> Term:
+    """One purification walk: replace non-boolean ``ite`` terms by fresh
+    constants, appending the guarded definitions to ``defs``.  ``cache``
+    may persist across calls (the incremental session reuses it so shared
+    subterms keep their purification constants between goals)."""
+    from .terms import _rebuild
+
+    def walk(t: Term) -> Term:
+        got = cache.get(t)
+        if got is not None:
+            return got
+        if t.args:
+            new_args = tuple(walk(a) for a in t.args)
+            t2 = _rebuild(t, new_args) if new_args != t.args else t
+        else:
+            t2 = t
+        if t2.op == "ite" and t2.sort != BOOL:
+            c, a, b = t2.args
+            v = fresh_const("ite", t2.sort)
+            defs.append(mk_implies(c, mk_eq(v, a)))
+            defs.append(mk_implies(mk_not(c), mk_eq(v, b)))
+            t2 = v
+        cache[t] = t2
+        return t2
+
+    return walk(formula)
 
 
 class _TheoryManager:
@@ -308,9 +355,12 @@ class _TheoryManager:
         if lemmas:
             return lemmas
         # 2b. arith-model-equal shared terms must be mergeable in EUF.
-        by_value: Dict[Fraction, List[Term]] = {}
+        # Grouped per sort: equality atoms are only well-sorted between
+        # same-sort terms (an Int and a Real can share a model value,
+        # especially in a long-lived incremental context).
+        by_value: Dict[tuple, List[Term]] = {}
         for t in shared:
-            by_value.setdefault(model[self.arith_var_of[t]], []).append(t)
+            by_value.setdefault((t.sort, model[self.arith_var_of[t]]), []).append(t)
         mark = self.euf.mark()
         for group in by_value.values():
             if len(group) < 2:
@@ -373,39 +423,28 @@ class Solver:
             raise SolverError("assertions must be boolean")
         self.assertions.append(term)
 
+    def _fresh_context(self) -> None:
+        """(Re)initialize the SAT core + theory manager + true literal."""
+        self.sat = SatSolver()
+        self.manager = _TheoryManager(self)
+        self.sat.theory = self.manager
+        tv = self.sat.new_var()
+        self.true_lit = 2 * tv
+        self.sat.add_clause([self.true_lit])
+        self._formula_vars = {}
+
     # -- preprocessing ------------------------------------------------------
 
     def _purify_ites(self, formula: Term) -> Term:
         """Replace non-boolean ite terms by fresh constants with guarded
         definitions (boolean ites were already eliminated at construction)."""
-        from .terms import _rebuild
-
         defs: List[Term] = []
         cache: Dict[Term, Term] = {}
-
-        def walk(t: Term) -> Term:
-            got = cache.get(t)
-            if got is not None:
-                return got
-            if t.args:
-                new_args = tuple(walk(a) for a in t.args)
-                t2 = _rebuild(t, new_args) if new_args != t.args else t
-            else:
-                t2 = t
-            if t2.op == "ite" and t2.sort != BOOL:
-                c, a, b = t2.args
-                v = fresh_const("ite", t2.sort)
-                defs.append(mk_implies(c, mk_eq(v, a)))
-                defs.append(mk_implies(mk_not(c), mk_eq(v, b)))
-                t2 = v
-            cache[t] = t2
-            return t2
-
-        out = walk(formula)
+        out = _purify_term(formula, cache, defs)
         while defs:
             pending = defs[:]
             defs.clear()
-            out = mk_and(out, *[walk(d) for d in pending])
+            out = mk_and(out, *[_purify_term(d, cache, defs) for d in pending])
         return out
 
     def _check_ground(self, formula: Term) -> None:
@@ -490,13 +529,7 @@ class Solver:
         formula = reduce_sets(formula)
         if formula is FALSE:
             return "unsat"
-        self.sat = SatSolver()
-        self.manager = _TheoryManager(self)
-        self.sat.theory = self.manager
-        tv = self.sat.new_var()
-        self.true_lit = 2 * tv
-        self.sat.add_clause([self.true_lit])
-        self._formula_vars = {}
+        self._fresh_context()
         root = self._formula_lit(formula)
         self.sat.add_clause([root])
         result = self.sat.solve(conflict_budget=self.conflict_budget)
@@ -517,6 +550,103 @@ class Solver:
             if val is not None:
                 out[atom] = val
         return out
+
+
+class IncrementalSolver(Solver):
+    """Persistent-context CDCL(T) session (assert once, check many).
+
+    Usage::
+
+        inc = IncrementalSolver(conflict_budget=..., assume_rewritten=True)
+        for hyp in shared_prefix:
+            inc.add_shared(hyp)           # asserted once, permanently
+        for goal in goals:
+            status = inc.check_goal(goal)  # 'sat' | 'unsat'
+
+    ``check_goal(g)`` decides satisfiability of ``shared /\\ g`` -- to
+    check validity of ``prefix -> R``, pass ``mk_not(R)``.  Each goal is
+    encoded under a fresh activation literal, checked via
+    ``solve(assumptions=[act])``, then retired with a permanent unit
+    ``~act``, so goals never constrain each other.  Side conditions
+    produced by preprocessing (ite purification guards, finite set
+    reduction instances) are asserted *permanently*: they are
+    definitional or theory-valid, hence harmless to every other goal,
+    and asserting them unguarded is what keeps the accumulated element
+    universe complete when later goals mention the same element terms.
+    """
+
+    def __init__(
+        self, conflict_budget: Optional[int] = None, assume_rewritten: bool = False
+    ):
+        super().__init__(
+            conflict_budget=conflict_budget, assume_rewritten=assume_rewritten
+        )
+        self._fresh_context()
+        self._purify_cache: Dict[Term, Term] = {}
+        self._reducer = IncrementalSetReducer()
+        self.n_checks = 0
+
+    def _assert_permanent(self, term: Term) -> None:
+        self.sat._cancel_until(0)
+        self.sat.add_clause([self._formula_lit(term)])
+
+    def _reduce_and_assert_deltas(self, term: Term) -> None:
+        """Feed ``term`` to the incremental set reducer and permanently
+        assert whatever pointwise instances the universe now needs."""
+        for constraint in self._reducer.add(term):
+            self._assert_permanent(constraint)
+
+    def _ingest(self, term: Term) -> int:
+        """Preprocess one boolean term into the shared context and return
+        its CNF literal.  Emitted side constraints are asserted permanently."""
+        if term.sort != BOOL:
+            raise SolverError("assertions must be boolean")
+        with deep_recursion():
+            if not self.assume_rewritten:
+                term = rewrite(term)
+            self._check_ground(term)
+            defs: List[Term] = []
+            term = _purify_term(term, self._purify_cache, defs)
+            while defs:
+                pending = defs[:]
+                defs.clear()
+                for d in pending:
+                    d = _purify_term(d, self._purify_cache, defs)
+                    # Guard definitions can mention set-sorted terms (a
+                    # purified set ite yields a set equality), so they go
+                    # through the reducer exactly like user assertions --
+                    # the one-shot pipeline reduces *after* purification
+                    # over the whole conjunction.
+                    self._reduce_and_assert_deltas(d)
+                    self._assert_permanent(d)
+            self._reduce_and_assert_deltas(term)
+            return self._formula_lit(term)
+
+    def add_shared(self, term: Term) -> None:
+        """Assert ``term`` into the persistent context (the VC prefix)."""
+        self.sat._cancel_until(0)
+        lit = self._ingest(term)
+        self.sat.add_clause([lit])
+
+    def check_goal(self, goal: Term) -> str:
+        """Decide satisfiability of ``shared /\\ goal``; context survives."""
+        self.sat._cancel_until(0)
+        lit = self._ingest(goal)
+        act = self.sat.new_var()
+        self.sat.add_clause([2 * act + 1, lit])
+        self.manager.bb_rounds = 0
+        self.n_checks += 1
+        result = self.sat.solve(
+            conflict_budget=self.conflict_budget, assumptions=[2 * act]
+        )
+        self.sat._cancel_until(0)
+        self.sat.add_clause([2 * act + 1])  # retire the goal
+        if result is None:
+            raise BudgetExceeded("conflict budget exceeded")
+        self.stats["conflicts"] = self.sat.n_conflicts
+        self.stats["vars"] = len(self.sat.assigns)
+        self.stats["clauses"] = len(self.sat.clauses)
+        return "sat" if result else "unsat"
 
 
 def is_valid(formula: Term, conflict_budget: Optional[int] = None):
