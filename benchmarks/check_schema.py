@@ -1,0 +1,272 @@
+"""CI schema gate: validate bench_results.json (v4) and events JSONL files.
+
+Usage::
+
+    python benchmarks/check_schema.py bench_results.json [--events events.jsonl]
+
+Checks, without any third-party schema library (stdlib only, like the
+rest of the repo):
+
+- ``bench_results.json`` / ``verify --format json`` documents: schema
+  version, required keys and types, per-method result shape, and the
+  event-count invariants of the session API -- every VC is ``planned``
+  exactly once and settled by exactly one terminal event
+  (``cache_hit`` | ``dedup`` | ``solved`` | ``timeout`` | ``error``),
+  so ``planned == n_vcs`` and the terminal kinds partition it;
+- ``--events`` JSONL streams: every line is a well-formed event, ``seq``
+  is dense and strictly increasing, and each (method, vc) slot pairs one
+  ``planned`` with one later terminal event.
+
+Exit codes: 0 valid, 1 schema violation, 2 usage error -- matching the
+CLI's documented contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+EVENT_KINDS = ("planned", "cache_hit", "dedup", "solved", "timeout", "error")
+TERMINAL_KINDS = ("cache_hit", "dedup", "solved", "timeout", "error")
+VERDICTS = ("valid", "invalid", "timeout", "error")
+
+_REQUIRED_RESULT_KEYS = {
+    "structure": str,
+    "method": str,
+    "status": str,
+    "ok": bool,
+    "n_vcs": int,
+    "time_s": (int, float),
+    "cache_hits": int,
+    "dedup_hits": int,
+    "timeouts": int,
+    "errors": int,
+    "encoding": str,
+    "failed": list,
+    "events": dict,
+}
+
+_REQUIRED_BENCH_KEYS = {
+    "schema_version": int,
+    "suite": str,
+    "jobs": int,
+    "backend": str,
+    "simplify": bool,
+    "batch": bool,
+    "wall_s": (int, float),
+    "n_methods": int,
+    "n_verified": int,
+    "n_vcs_total": int,
+    "dedup_hits_total": int,
+    "dedup_rate": (int, float),
+    "event_totals": dict,
+    "results": list,
+}
+
+
+class SchemaErrors:
+    def __init__(self) -> None:
+        self.problems: List[str] = []
+
+    def check(self, cond: bool, message: str) -> bool:
+        if not cond:
+            self.problems.append(message)
+        return cond
+
+
+def _check_typed_keys(doc: dict, spec: dict, where: str, errs: SchemaErrors) -> None:
+    for key, types in spec.items():
+        if not errs.check(key in doc, f"{where}: missing key {key!r}"):
+            continue
+        errs.check(
+            isinstance(doc[key], types),
+            f"{where}: {key!r} has type {type(doc[key]).__name__}",
+        )
+
+
+def _check_events_counts(events: dict, n_vcs: int, where: str, errs: SchemaErrors) -> None:
+    for kind in events:
+        errs.check(kind in EVENT_KINDS, f"{where}: unknown event kind {kind!r}")
+    if not events:
+        return  # a crashed method has no event stream
+    planned = events.get("planned", 0)
+    terminal = sum(events.get(kind, 0) for kind in TERMINAL_KINDS)
+    errs.check(
+        planned == n_vcs,
+        f"{where}: planned={planned} != n_vcs={n_vcs}",
+    )
+    errs.check(
+        terminal == planned,
+        f"{where}: terminal events {terminal} != planned {planned} "
+        "(every VC needs exactly one terminal event)",
+    )
+
+
+def check_report(doc: dict, errs: SchemaErrors) -> None:
+    """Validate a bench_results.json or `verify --format json` document."""
+    errs.check(
+        doc.get("schema_version") == 4,
+        f"schema_version is {doc.get('schema_version')!r}, expected 4",
+    )
+    is_verify = doc.get("command") == "verify" and "suite" not in doc
+    spec = dict(_REQUIRED_BENCH_KEYS)
+    if is_verify:
+        spec.pop("suite")
+        spec.pop("n_vcs_total")
+        spec.pop("dedup_hits_total")
+        spec.pop("dedup_rate")
+        spec.pop("event_totals")
+    _check_typed_keys(doc, spec, "report", errs)
+    results = doc.get("results", [])
+    if not isinstance(results, list):
+        return
+    errs.check(
+        doc.get("n_methods") == len(results),
+        f"n_methods={doc.get('n_methods')} != len(results)={len(results)}",
+    )
+    errs.check(
+        doc.get("n_verified")
+        == sum(1 for r in results if isinstance(r, dict) and r.get("status") == "verified"),
+        "n_verified does not match the verified result rows",
+    )
+    totals: dict = {}
+    for i, entry in enumerate(results):
+        where = f"results[{i}]"
+        if not errs.check(isinstance(entry, dict), f"{where}: not an object"):
+            continue
+        _check_typed_keys(entry, _REQUIRED_RESULT_KEYS, where, errs)
+        if isinstance(entry.get("events"), dict) and isinstance(entry.get("n_vcs"), int):
+            _check_events_counts(entry["events"], entry["n_vcs"], where, errs)
+            for kind, count in entry["events"].items():
+                totals[kind] = totals.get(kind, 0) + count
+        status = entry.get("status")
+        ok = entry.get("ok")
+        if isinstance(status, str) and isinstance(ok, bool):
+            errs.check(
+                (status == "verified") == ok,
+                f"{where}: status {status!r} inconsistent with ok={ok}",
+            )
+        if isinstance(entry.get("failed"), list) and isinstance(ok, bool):
+            errs.check(
+                ok == (not entry["failed"]),
+                f"{where}: ok={ok} inconsistent with failed list",
+            )
+    if not is_verify and isinstance(doc.get("event_totals"), dict):
+        errs.check(
+            doc["event_totals"] == totals,
+            f"event_totals {doc['event_totals']} != per-method sum {totals}",
+        )
+
+
+def check_events_jsonl(lines, errs: SchemaErrors) -> None:
+    """Validate an ``--events`` JSON Lines stream."""
+    planned = {}
+    settled = {}
+    # seq restarts per request; a CLI run is one request per method, so
+    # monotonicity is checked within each (structure, method) group.
+    prev_seq = {}
+    n = 0
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        n += 1
+        where = f"events line {lineno}"
+        try:
+            event = json.loads(raw)
+        except ValueError as e:
+            errs.check(False, f"{where}: not JSON ({e})")
+            continue
+        if not errs.check(isinstance(event, dict), f"{where}: not an object"):
+            continue
+        kind = event.get("kind")
+        if not errs.check(kind in EVENT_KINDS, f"{where}: unknown kind {kind!r}"):
+            continue
+        for key, types in (
+            ("seq", int),
+            ("structure", str),
+            ("method", str),
+            ("vc", int),
+            ("label", str),
+            ("stage", str),
+        ):
+            if errs.check(key in event, f"{where}: missing {key!r}"):
+                errs.check(
+                    isinstance(event[key], types),
+                    f"{where}: {key!r} has type {type(event[key]).__name__}",
+                )
+        seq = event.get("seq")
+        group = (event.get("structure"), event.get("method"))
+        if isinstance(seq, int):
+            last = prev_seq.get(group, -1)
+            errs.check(seq > last, f"{where}: seq {seq} not increasing for {group}")
+            prev_seq[group] = max(last, seq)
+        slot = (event.get("method"), event.get("vc"))
+        if kind == "planned":
+            errs.check(slot not in planned, f"{where}: duplicate planned for {slot}")
+            planned[slot] = seq
+        else:
+            errs.check(
+                slot not in settled, f"{where}: second terminal event for {slot}"
+            )
+            settled[slot] = seq
+            errs.check(
+                slot in planned, f"{where}: terminal event before planned for {slot}"
+            )
+            if slot in planned and isinstance(seq, int) and isinstance(planned[slot], int):
+                errs.check(
+                    planned[slot] < seq,
+                    f"{where}: planned seq {planned[slot]} not before terminal {seq}",
+                )
+            errs.check(
+                event.get("verdict") in VERDICTS,
+                f"{where}: terminal event verdict {event.get('verdict')!r}",
+            )
+            errs.check(
+                isinstance(event.get("time_s"), (int, float)),
+                f"{where}: terminal event missing time_s",
+            )
+    for slot in planned:
+        errs.check(slot in settled, f"events: {slot} planned but never settled")
+    errs.check(n > 0, "events: stream is empty")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="bench_results.json (schema v4) to validate")
+    parser.add_argument("--events", default=None, metavar="JSONL",
+                        help="also validate an --events JSON Lines stream")
+    args = parser.parse_args(argv)  # argparse exits 2 on usage errors
+    errs = SchemaErrors()
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as e:
+        print(f"cannot read {args.report}: {e}", file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict):
+        print(f"{args.report}: top level is not an object", file=sys.stderr)
+        return 1
+    check_report(doc, errs)
+    if args.events:
+        try:
+            with open(args.events, "r", encoding="utf-8") as handle:
+                check_events_jsonl(handle, errs)
+        except OSError as e:
+            print(f"cannot read {args.events}: {e}", file=sys.stderr)
+            return 2
+    if errs.problems:
+        for problem in errs.problems:
+            print(f"SCHEMA: {problem}", file=sys.stderr)
+        print(f"\n{len(errs.problems)} schema problem(s)", file=sys.stderr)
+        return 1
+    n = len(doc.get("results", []))
+    print(f"schema ok: {args.report} ({n} methods"
+          + (", events stream valid)" if args.events else ")"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

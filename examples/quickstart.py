@@ -49,6 +49,7 @@ def main() -> None:
     print()
 
     print("== 4. Predictability: a buggy annotation fails with a countermodel ==")
+    from repro.engine import VerificationSession
     from repro.lang.ast import SAssign
     from repro.lang import exprs as E
 
@@ -56,10 +57,15 @@ def main() -> None:
     proc = buggy.proc("sorted_find")
     # sabotage: claim found without looking
     proc.body[1].then[0] = SAssign("b", E.B(False))
-    report = verify_method(buggy, ids, "sorted_find")
-    print(f"sabotaged sorted_find: {'VERIFIED' if report.ok else 'REJECTED'}")
-    for f in report.failed[:2]:
-        print("  countermodel at:", f[:90])
+    # The session API streams typed per-VC events and returns structured
+    # results whose countermodels are rendered in the ORIGINAL VC
+    # vocabulary (the simplifier's substitutions are inverted).
+    with VerificationSession() as session:
+        result = session.verify(buggy, ids, "sorted_find")
+    print(f"sabotaged sorted_find: {'VERIFIED' if result.ok else 'REJECTED'}")
+    for diag in result.diagnostics[:1]:
+        for line in diag.render().splitlines()[:5]:
+            print("  " + line)
     print()
     print("No triggers, no lemmas, no prover heuristics -- the verdict is")
     print("decidable, so a failure always means the program or annotation is wrong.")

@@ -3,15 +3,36 @@
 Subcommands:
 
 - ``repro list``    -- show the structure/method registry
-- ``repro verify``  -- verify methods through the parallel engine
+- ``repro verify``  -- verify methods through the session engine
+  (``--format json`` for the structured result schema, ``--events PATH``
+  to stream typed per-VC events as JSON Lines)
 - ``repro bench``   -- regenerate the paper's tables with a machine-readable
-  ``bench_results.json`` report
+  ``bench_results.json`` report (schema v4)
 
 Examples::
 
     repro verify --all --jobs 4 --cache-dir .vc-cache
     repro verify --structure "Binary Search Tree" --method bst_insert
+    repro verify --method sll_find --format json --events events.jsonl
     repro bench --suite table2 --budget 10 --limit 3 --output bench_results.json
+
+Exit-code contract (tested in ``tests/test_session.py``):
+
+- **0** -- every selected method verified;
+- **1** -- at least one method was refuted or ran out of budget
+  (verification *failed*, meaningfully);
+- **2** -- usage error: unknown selection, unknown backend, bad flags;
+- **3** -- internal error: a solver error verdict, a crashed worker, or
+  a crash in VC generation (the run itself is untrustworthy).
+
+Carve-outs: ``bench`` without ``--check`` returns 0 when the only
+failures are budget timeouts (a partial table is still a successful
+bench run); ``--check`` promotes any shortfall to exit 1.  The rq3
+suite's *quantified* column is experimental data, not a gate: the
+quantified baseline refusing to verify is the result the suite exists
+to demonstrate, so only crashes there (exit 3) affect the code, never
+its refutations.  Decidable-column refutations and internal errors are
+nonzero regardless.
 """
 
 from __future__ import annotations
@@ -22,14 +43,20 @@ import os
 import platform
 import sys
 import time
+from contextlib import nullcontext
 from typing import List, Optional, Tuple
 
-from .core.verifier import MethodReport
-from .engine import VerificationEngine
+from .engine import VerificationResult, VerificationSession
 from .engine.backends import BackendError, available_backends
+from .engine.session import VerificationRequest
 from .structures.registry import EXPERIMENTS, Experiment, method_sizes
 
 __all__ = ["main"]
+
+EXIT_VERIFIED = 0
+EXIT_REFUTED = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
 
 class SelectionError(ValueError):
     """A ``--structure``/``--method`` name matched nothing in the registry."""
@@ -70,53 +97,114 @@ def _select(
     return chosen
 
 
-def _engine_from_args(
+def _session_from_args(
     args,
     timeout_s: Optional[float] = None,
     method_budget_s: Optional[float] = None,
-) -> VerificationEngine:
-    return VerificationEngine(
+    encoding: Optional[str] = None,
+    diagnostics: bool = True,
+) -> VerificationSession:
+    return VerificationSession(
         jobs=args.jobs,
         backend=args.backend,
         cache_dir=args.cache_dir,
         timeout_s=timeout_s if timeout_s is not None else args.timeout,
         method_budget_s=method_budget_s,
-        encoding=getattr(args, "encoding", "decidable"),
+        encoding=encoding or getattr(args, "encoding", "decidable"),
         conflict_budget=args.conflict_budget,
         simplify=args.simplify,
         batch=args.batch,
         batch_size=args.batch_size,
+        diagnostics=diagnostics,
     )
 
 
-def _status(report) -> str:
-    if report.ok:
+def _status(result) -> str:
+    if result.ok:
         return "verified"
-    if report.timeouts:
+    if result.timeouts:
         return "budget"
     return "FAILED"
 
 
-def _safe_verify(engine: VerificationEngine, exp: Experiment, method: str):
+def _crash_result(exp: Experiment, method: str, exc: Exception, session, start: float):
+    return VerificationResult(
+        structure=exp.structure,
+        method=method,
+        encoding=session.encoding,
+        ok=False,
+        n_vcs=0,
+        verdicts=[],
+        failed=[f"{method}: {type(exc).__name__}: {exc}"],
+        notes=[],
+        wb_ok=True,
+        ghost_ok=True,
+        time_s=time.perf_counter() - start,
+        jobs=session.jobs,
+        errors=1,
+    )
+
+
+def _safe_verify(
+    session: VerificationSession, exp: Experiment, method: str, events_sink=None
+):
     """Verify one method; a crash (e.g. in VC generation) becomes an
     ``error:`` row instead of killing the whole run, like the historical
-    table2 harness."""
+    table2 harness.  ``events_sink`` receives each VcEvent as it lands
+    (the ``--events`` JSONL stream)."""
     start = time.perf_counter()
     try:
-        report = engine.verify(exp.program_factory(), exp.ids_factory(), method)
-        return report, _status(report)
-    except Exception as e:  # noqa: BLE001 - report, don't crash the table
-        report = MethodReport(
-            structure=exp.structure,
-            method=method,
-            ok=False,
-            n_vcs=0,
-            failed=[f"{method}: {type(e).__name__}: {e}"],
-            time_s=time.perf_counter() - start,
-            encoding=engine.encoding,
-            jobs=engine.jobs,
+        run = session.submit(
+            VerificationRequest(exp.program_factory(), exp.ids_factory(), method)
         )
-        return report, f"error: {type(e).__name__}"
+        for event in run:
+            if events_sink is not None:
+                events_sink(event)
+        result = run.results()[0]
+        return result, _status(result)
+    except Exception as e:  # noqa: BLE001 - report, don't crash the table
+        result = _crash_result(exp, method, e, session, start)
+        return result, f"error: {type(e).__name__}"
+
+
+def _exit_code(rows) -> int:
+    """The documented exit-code contract over a run's rows.
+
+    ``rows`` yield (result, status) pairs; internal errors dominate
+    refutations, refutations dominate success.
+    """
+    code = EXIT_VERIFIED
+    for result, status in rows:
+        if status.startswith("error:") or result.errors:
+            return EXIT_INTERNAL
+        if status != "verified":
+            code = EXIT_REFUTED
+    return code
+
+
+class _EventWriter:
+    """JSON Lines event sink for ``--events PATH`` (``-`` = stdout)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._cm = (
+            nullcontext(sys.stdout)
+            if path == "-"
+            else open(path, "w", encoding="utf-8")
+        )
+        self.handle = None
+
+    def __enter__(self):
+        self.handle = self._cm.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        return self._cm.__exit__(*exc)
+
+    def __call__(self, event) -> None:
+        json.dump(event.to_json(), self.handle, separators=(",", ":"))
+        self.handle.write("\n")
+        self.handle.flush()
 
 
 # -- repro list --------------------------------------------------------------
@@ -140,36 +228,82 @@ def cmd_verify(args) -> int:
         chosen = _select(args.structure, args.method, args.all)
     except SelectionError as e:
         print(f"selection error: {e}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if not chosen:
         print("nothing selected: pass --all, --structure or --method", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
-        engine = _engine_from_args(args)
+        session = _session_from_args(args)
     except BackendError as e:
         print(f"backend error: {e}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
+    events_on_stdout = args.events == "-"
+    if events_on_stdout and args.format == "json":
+        print(
+            "--events - and --format json both claim stdout; "
+            "write one of them to a file",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    text_mode = args.format == "text"
+    # Keep stdout pure: it carries exactly one machine surface -- the
+    # event stream (--events -), the json document (--format json), or
+    # the human rows (text) -- everything else goes to stderr.
+    out = sys.stdout if text_mode and not events_on_stdout else sys.stderr
     start = time.perf_counter()
     rows = []
-    for exp, m in chosen:
-        report, status = _safe_verify(engine, exp, m)
-        rows.append((exp.structure, m, report, status))
-        if not args.quiet:
-            print(
-                f"{exp.structure:36s} {m:26s} {report.n_vcs:4d} VCs "
-                f"{report.time_s:7.2f}s  hits={report.cache_hits:<4d} {status}"
-            )
+    try:
+        sink_cm = _EventWriter(args.events) if args.events else nullcontext(None)
+    except OSError as e:
+        print(f"cannot open --events {args.events}: {e}", file=sys.stderr)
+        return EXIT_USAGE
+    with sink_cm as sink, session:
+        for exp, m in chosen:
+            result, status = _safe_verify(session, exp, m, events_sink=sink)
+            rows.append((exp.structure, m, result, status))
+            if not args.quiet:
+                print(
+                    f"{exp.structure:36s} {m:26s} {result.n_vcs:4d} VCs "
+                    f"{result.time_s:7.2f}s  hits={result.cache_hits:<4d} {status}",
+                    file=out,
+                )
+                if text_mode and not result.ok:
+                    for diag in result.diagnostics:
+                        print("  " + diag.render().replace("\n", "\n  "), file=out)
     wall = time.perf_counter() - start
     ok = sum(1 for *_x, s in rows if s == "verified")
     print(
         f"\n{ok}/{len(rows)} methods verified "
-        f"(jobs={engine.jobs}, backend={engine.backend_spec}, wall={wall:.1f}s)"
+        f"(jobs={session.jobs}, backend={session.backend_spec}, wall={wall:.1f}s)",
+        file=out,
     )
+    if args.format == "json":
+        json.dump(_verify_doc(args, rows, wall), sys.stdout, indent=2)
+        sys.stdout.write("\n")
     if args.json:
         _dump_json(args.json, "verify", args, rows, wall)
-        print(f"wrote {args.json}")
-    return 0 if ok == len(rows) else 1
+        print(f"wrote {args.json}", file=out)
+    return _exit_code((result, status) for _s, _m, result, status in rows)
+
+
+def _verify_doc(args, rows, wall) -> dict:
+    """The ``verify --format json`` document: structured session results."""
+    return {
+        "schema_version": 4,
+        "command": "verify",
+        "jobs": args.jobs,
+        "backend": args.backend,
+        "simplify": args.simplify,
+        "batch": args.batch,
+        "wall_s": round(wall, 3),
+        "n_methods": len(rows),
+        "n_verified": sum(1 for *_x, s in rows if s == "verified"),
+        "results": [
+            dict(result.to_json(), status=status)
+            for _structure, _m, result, status in rows
+        ],
+    }
 
 
 # -- repro bench -------------------------------------------------------------
@@ -182,16 +316,21 @@ def cmd_bench(args) -> int:
     try:
         # The budget bounds each VC *and* each method's total wall clock,
         # matching the historical per-method SIGALRM semantics portably.
-        engine = _engine_from_args(args, timeout_s=budget, method_budget_s=budget)
+        # Diagnostics stay off: bench rows are timings, and re-deriving
+        # countermodels for the suite's known-failing methods would bill
+        # their methods twice.
+        session = _session_from_args(
+            args, timeout_s=budget, method_budget_s=budget, diagnostics=False
+        )
     except BackendError as e:
         print(f"backend error: {e}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     try:
         chosen = _select(args.structure, args.method, True)
     except SelectionError as e:
         print(f"selection error: {e}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.limit:
         chosen = chosen[: args.limit]
 
@@ -200,29 +339,24 @@ def cmd_bench(args) -> int:
     if args.suite == "table2":
         for exp, m in chosen:
             lc, loc, spec, ann = method_sizes(exp, m)
-            report, status = _safe_verify(engine, exp, m)
-            rows.append((exp.structure, m, report, status, (lc, loc, spec, ann)))
-            shrink = f"  shrink={report.shrink_pct:4.1f}%" if report.simplify else ""
+            result, status = _safe_verify(session, exp, m)
+            rows.append((exp.structure, m, result, status, (lc, loc, spec, ann)))
+            shrink = f"  shrink={result.shrink_pct:4.1f}%" if result.simplify else ""
             print(
-                f"{exp.structure:36s} {m:26s} {report.n_vcs:4d} VCs "
-                f"{report.time_s:7.2f}s  hits={report.cache_hits:<4d} {status}{shrink}"
+                f"{exp.structure:36s} {m:26s} {result.n_vcs:4d} VCs "
+                f"{result.time_s:7.2f}s  hits={result.cache_hits:<4d} {status}{shrink}"
             )
     else:  # rq3
-        quant_engine = VerificationEngine(
-            jobs=args.jobs,
-            backend=args.backend,
-            cache_dir=args.cache_dir,
+        quant_session = _session_from_args(
+            args,
             timeout_s=budget,
             method_budget_s=budget,
             encoding="quantified",
-            conflict_budget=args.conflict_budget,
-            simplify=args.simplify,
-            batch=args.batch,
-            batch_size=args.batch_size,
+            diagnostics=False,
         )
         for exp, m in chosen:
-            dec, dec_status = _safe_verify(engine, exp, m)
-            quant, quant_status = _safe_verify(quant_engine, exp, m)
+            dec, dec_status = _safe_verify(session, exp, m)
+            quant, quant_status = _safe_verify(quant_session, exp, m)
             # Keep _safe_verify's status verbatim: recomputing it via
             # _status() would relabel a crash ("error: X") as a plain
             # FAILED and defeat the crash gate below.
@@ -234,21 +368,27 @@ def cmd_bench(args) -> int:
     wall = time.perf_counter() - wall_start
     verified = sum(1 for row in rows if row[3] == "verified")
     print(f"\n{verified}/{len(rows)} methods verified (budget={budget:g}s/VC, "
-          f"jobs={engine.jobs}, wall={wall:.1f}s)")
+          f"jobs={session.jobs}, wall={wall:.1f}s)")
 
     out = args.output or "bench_results.json"
     _dump_json(out, args.suite, args, rows, wall, budget=budget)
     print(f"wrote {out}")
-    if args.check and verified != len(rows):
-        print(f"--check: only {verified}/{len(rows)} methods verified", file=sys.stderr)
-        return 1
     if any(
-        row[3].startswith("error:")
-        or (len(row) > 6 and row[6].startswith("error:"))
+        row[3].startswith("error:") or row[2].errors
+        or (len(row) > 6 and (row[6].startswith("error:") or row[5].errors))
         for row in rows
     ):
-        return 1  # crashes are never an acceptable bench outcome
-    return 0
+        return EXIT_INTERNAL  # crashes are never an acceptable bench outcome
+    if args.check and verified != len(rows):
+        print(f"--check: only {verified}/{len(rows)} methods verified", file=sys.stderr)
+        return EXIT_REFUTED
+    # Without --check a partial table is still a *successful bench*
+    # unless a method actually refuted (status FAILED, not budget).
+    # Only the decidable column gates: a refuted *quantified* baseline
+    # is the rq3 suite's expected experimental outcome, not a failure.
+    if any(row[3] == "FAILED" for row in rows):
+        return EXIT_REFUTED
+    return EXIT_VERIFIED
 
 
 def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
@@ -265,8 +405,13 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
             "cache_hits": report.cache_hits,
             "dedup_hits": report.dedup_hits,
             "timeouts": report.timeouts,
+            "errors": report.errors,
             "encoding": report.encoding,
             "failed": report.failed,
+            # Per-VC event-kind counts of this method's session stream
+            # (schema v4): planned == n_vcs, and the terminal kinds
+            # (cache_hit/dedup/solved/timeout/error) partition the VCs.
+            "events": dict(report.event_counts),
         }
         if report.simplify:
             entry["simplify"] = {
@@ -287,8 +432,12 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
         results.append(entry)
     n_vcs_total = sum(r["n_vcs"] for r in results)
     dedup_total = sum(r["dedup_hits"] for r in results)
+    event_totals: dict = {}
+    for r in results:
+        for kind, count in r["events"].items():
+            event_totals[kind] = event_totals.get(kind, 0) + count
     doc = {
-        "schema_version": 3,
+        "schema_version": 4,
         "suite": suite,
         "jobs": args.jobs,
         "backend": args.backend,
@@ -306,6 +455,7 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
         "n_vcs_total": n_vcs_total,
         "dedup_hits_total": dedup_total,
         "dedup_rate": round(dedup_total / n_vcs_total, 4) if n_vcs_total else 0.0,
+        "event_totals": event_totals,
         "results": results,
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -358,7 +508,16 @@ def build_parser() -> argparse.ArgumentParser:
                           default="decidable")
     p_verify.add_argument("--timeout", type=float, default=None,
                           help="per-VC wall-clock timeout in seconds")
-    p_verify.add_argument("--json", default=None, help="write a JSON report here")
+    p_verify.add_argument("--format", choices=["text", "json"], default="text",
+                          help="stdout format: human rows (text) or the "
+                               "structured session-result document (json); "
+                               "with json, progress rows go to stderr")
+    p_verify.add_argument("--events", default=None, metavar="PATH",
+                          help="stream typed per-VC events as JSON Lines to "
+                               "PATH ('-' = stdout) while verifying")
+    p_verify.add_argument("--json", default=None,
+                          help="write a bench-style JSON report here "
+                               "(legacy; prefer --format json)")
     p_verify.add_argument("--quiet", "-q", action="store_true")
     p_verify.set_defaults(func=cmd_verify)
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..lang.ast import Procedure, Program
 from ..lang.ghost import ghost_violations
@@ -114,6 +114,12 @@ class PlannedVC:
     note: Optional[str] = None
     nodes_before: int = 0  # DAG size of the rewritten formula pre-simplify
     nodes_after: int = 0  # DAG size after simplification (0 when disabled)
+    # Oriented equality substitutions the simplifier applied to this VC
+    # (``target -> replacement`` pairs, big side to small side).  The
+    # inverse mapping renders countermodel atoms -- which live in the
+    # post-simplification vocabulary -- back in the original VC's terms
+    # (see repro.engine.diagnostics).
+    subst: Tuple[Tuple[Term, Term], ...] = ()
 
 
 @dataclass
@@ -238,6 +244,7 @@ class Verifier:
                 )
                 continue
             nodes_before = nodes_after = 0
+            subst_log: List = []
             if self.simplify:
                 # Rewrite (array/set elimination) then simplify here, in the
                 # plan phase, so every downstream consumer -- the sequential
@@ -246,12 +253,13 @@ class Verifier:
                 with deep_recursion():
                     formula = rewrite(formula)
                     nodes_before = term_size(formula)
-                    formula = simplify_term(formula)
+                    formula = simplify_term(formula, subst_log=subst_log)
                     nodes_after = term_size(formula)
             planned.append(
                 PlannedVC(
                     i, vc.label, formula,
                     nodes_before=nodes_before, nodes_after=nodes_after,
+                    subst=tuple(subst_log),
                 )
             )
 

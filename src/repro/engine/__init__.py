@@ -7,11 +7,18 @@ infrastructure:
 
 - :mod:`repro.engine.tasks`     -- VCs as self-contained picklable work units
 - :mod:`repro.engine.codec`     -- intern-safe wire format for term DAGs
-- :mod:`repro.engine.scheduler` -- multiprocessing shard with per-task timeouts
+- :mod:`repro.engine.scheduler` -- multiprocessing shard with per-task timeouts,
+  streaming one result per VC as verdicts land
 - :mod:`repro.engine.cache`     -- persistent verdict cache keyed by formula hash
 - :mod:`repro.engine.backends`  -- pluggable solver backends (in-tree, SMT-LIB2
   subprocess, cross-check)
-- :mod:`repro.engine.api`       -- :class:`VerificationEngine`, the front door
+- :mod:`repro.engine.events`    -- typed per-VC events and the structured
+  result/diagnostic model
+- :mod:`repro.engine.diagnostics` -- countermodels mapped back to the original
+  VC vocabulary through the simplifier's substitution log
+- :mod:`repro.engine.session`   -- :class:`VerificationSession`, the front door
+- :mod:`repro.engine.api`       -- :class:`VerificationEngine`, the deprecated
+  blocking shim over the session
 """
 
 from .api import VerificationEngine
@@ -25,7 +32,16 @@ from .backends import (
     register_backend,
 )
 from .cache import VcCache, formula_key
-from .scheduler import solve_batch, solve_one, solve_tasks
+from .diagnostics import diagnose
+from .events import (
+    Diagnostic,
+    VcEvent,
+    VcVerdict,
+    VerificationResult,
+    build_result,
+)
+from .scheduler import solve_batch, solve_one, solve_tasks, stream_tasks
+from .session import VerificationRequest, VerificationRun, VerificationSession
 from .tasks import (
     BatchEntry,
     BatchTask,
@@ -41,6 +57,16 @@ __all__ = [
     "BatchTask",
     "batches_from_plan",
     "solve_batch",
+    "VerificationSession",
+    "VerificationRequest",
+    "VerificationRun",
+    "VcEvent",
+    "VcVerdict",
+    "VerificationResult",
+    "Diagnostic",
+    "diagnose",
+    "build_result",
+    "stream_tasks",
     "VerificationEngine",
     "SolverBackend",
     "UnknownBackendError",

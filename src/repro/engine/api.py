@@ -1,44 +1,50 @@
-"""High-level verification engine: plan → (cache | dedup | batch | solve) → report.
+"""Legacy blocking engine API -- a thin shim over the session API.
 
-The one-stop API the CLI, benchmarks and tests drive:
+.. deprecated::
+    ``VerificationEngine`` is superseded by
+    :class:`repro.engine.session.VerificationSession`, which exposes the
+    same verification as a stream of typed per-VC events plus a
+    structured :class:`~repro.engine.events.VerificationResult` (with
+    countermodel diagnostics in original-VC vocabulary).  This class
+    remains so existing callers keep working unchanged: ``verify``
+    delegates to a private session and degrades its result to the
+    historical :class:`~repro.core.verifier.MethodReport`.
 
-    engine = VerificationEngine(jobs=4, cache_dir=".vc-cache")
-    report = engine.verify(program, ids, "bst_insert")
+    Migration is mechanical::
 
-Verdicts are independent of ``jobs`` *and* of batching (tested against
-the sequential ``Verifier``); ``cache_dir`` makes re-verification of
-unchanged methods near-instant; ``timeout_s`` bounds each VC's wall
-clock portably.  With ``batch=True`` (the default) each method's VCs are
-factored into a shared hypothesis prefix plus per-VC goals and solved
-through a persistent incremental solver context per batch -- one CNF
-encoding and one theory state for the prefix instead of one per VC.
+        engine = VerificationEngine(jobs=4, cache_dir=".vc-cache")
+        report = engine.verify(program, ids, "bst_insert")
+        # becomes
+        session = VerificationSession(jobs=4, cache_dir=".vc-cache")
+        result = session.verify(program, ids, "bst_insert")
+        report = result.to_report()   # if the legacy shape is still needed
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.ids import IntrinsicDefinition
-from ..core.verifier import MethodReport, Verifier
+from ..core.verifier import MethodReport
 from ..lang.ast import Program
-from .backends import make_backend
-from .cache import VcCache
 from .scheduler import solve_tasks
+from .session import VerificationSession
 from .tasks import (
     BatchTask,
     TaskUnit,
     assemble_report,
-    batches_from_plan,
     flatten_units,
-    tasks_from_plan,
 )
 
 __all__ = ["VerificationEngine"]
 
 
 class VerificationEngine:
+    """Deprecated blocking facade; use ``VerificationSession`` instead."""
+
     def __init__(
         self,
         jobs: int = 1,
@@ -55,61 +61,49 @@ class VerificationEngine:
         batch_size: int = 16,
         batch_node_limit: int = 200,
     ):
-        self.jobs = max(1, int(jobs))
-        self.backend_spec = backend
-        make_backend(backend)  # fail fast on unknown/unavailable backends
-        self.cache = VcCache(cache_dir) if cache_dir else None
-        self.timeout_s = timeout_s
-        self.method_budget_s = method_budget_s
-        self.encoding = encoding
-        self.memory_safety = memory_safety
-        self.conflict_budget = conflict_budget
-        self.mp_context = mp_context
-        self.simplify = simplify
-        self.batch = batch
-        self.batch_size = max(1, int(batch_size))
-        self.batch_node_limit = batch_node_limit
-
-    def _verifier(self, program: Program, ids: IntrinsicDefinition) -> Verifier:
-        return Verifier(
-            program,
-            ids,
-            encoding=self.encoding,
-            memory_safety=self.memory_safety,
-            conflict_budget=self.conflict_budget,
-            simplify=self.simplify,
+        # Diagnostics are recomputed per failed VC; the legacy report has
+        # nowhere to put them, so the shim's session skips the work.  No
+        # persistent pool either: the historical engine spawned throwaway
+        # pools, and silently keeping worker processes alive would change
+        # resource behavior under callers that never close().
+        self._session = VerificationSession(
+            jobs=jobs,
+            backend=backend,
+            cache_dir=cache_dir,
+            timeout_s=timeout_s,
+            method_budget_s=method_budget_s,
+            encoding=encoding,
+            memory_safety=memory_safety,
+            conflict_budget=conflict_budget,
+            mp_context=mp_context,
+            simplify=simplify,
+            batch=batch,
+            batch_size=batch_size,
+            batch_node_limit=batch_node_limit,
+            diagnostics=False,
+            persistent_pool=False,
         )
 
-    def _units(self, plan) -> List[TaskUnit]:
-        if self.batch:
-            return batches_from_plan(
-                plan,
-                backend_spec=self.backend_spec,
-                timeout_s=self.timeout_s,
-                batch_size=self.batch_size,
-                batch_node_limit=self.batch_node_limit,
-            )
-        return list(
-            tasks_from_plan(
-                plan, backend_spec=self.backend_spec, timeout_s=self.timeout_s
-            )
-        )
+    def __getattr__(self, name: str):
+        # The historical public attributes (jobs, cache, backend_spec,
+        # timeout_s, ...) delegate to the session so existing callers
+        # keep working -- and new session attributes are visible here
+        # automatically instead of silently diverging.
+        if name == "_session":  # guard: __init__ not yet run
+            raise AttributeError(name)
+        return getattr(self._session, name)
 
     def verify(
         self, program: Program, ids: IntrinsicDefinition, method: str
     ) -> MethodReport:
-        """Two-phase verification of one method."""
-        started = time.perf_counter()
-        plan = self._verifier(program, ids).plan(method)
-        units = self._units(plan)
-        results = solve_tasks(
-            units,
-            jobs=self.jobs,
-            cache=self.cache,
-            mp_context=self.mp_context,
-            deadline_s=self.method_budget_s,
+        """Two-phase verification of one method (deprecated shim)."""
+        warnings.warn(
+            "VerificationEngine is deprecated; use VerificationSession "
+            "(streaming events + structured results)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return assemble_report(plan, results, started, jobs=self.jobs)
+        return self._session.verify(program, ids, method).to_report()
 
     def verify_many(
         self,
@@ -122,14 +116,15 @@ class VerificationEngine:
         worker pool together -- the whole suite is one big task bag.
         ``method_budget_s`` here bounds the whole batch (it is one bag).
         """
+        session = self._session
         work = list(work)
         started = time.perf_counter()
         plans = []
         all_units: List[TaskUnit] = []
         counts: List[Tuple[int, List[int]]] = []  # (n slots, original indices)
         for program, ids, method in work:
-            plan = self._verifier(program, ids).plan(method)
-            units = self._units(plan)
+            plan = session._verifier(program, ids).plan(method)
+            units = session._units(plan, session.timeout_s)
             orig = [ix for ix, _label in flatten_units(units)]
             plans.append(plan)
             counts.append((len(orig), orig))
@@ -139,10 +134,10 @@ class VerificationEngine:
         # shared bag can route results back to its method.
         results = solve_tasks(
             _reindexed(all_units),
-            jobs=self.jobs,
-            cache=self.cache,
-            mp_context=self.mp_context,
-            deadline_s=self.method_budget_s,
+            jobs=session.jobs,
+            cache=session.cache,
+            mp_context=session.mp_context,
+            deadline_s=session.method_budget_s,
         )
         reports: List[MethodReport] = []
         cursor = 0
@@ -151,7 +146,7 @@ class VerificationEngine:
             cursor += n
             for res, orig_ix in zip(chunk, orig):
                 res.index = orig_ix  # restore per-method VC index
-            report = assemble_report(plan, chunk, started, jobs=self.jobs)
+            report = assemble_report(plan, chunk, started, jobs=session.jobs)
             # Batch wall clock is shared; report the method's own solve time.
             report.time_s = sum(r.time_s for r in chunk)
             reports.append(report)

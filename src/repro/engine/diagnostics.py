@@ -1,0 +1,171 @@
+"""Countermodel extraction and vocabulary mapping for failed VCs.
+
+The paper's predictability pitch is that a failed VC *means something*:
+the verdict is decidable, so a refutation always comes with a concrete
+countermodel.  But the simplification pipeline rewrites VCs before
+solving -- in particular, ground equality propagation replaces the
+larger side of an equality fact with the smaller one everywhere -- so a
+raw countermodel speaks the *post-simplification* vocabulary, which can
+be unrecognizable next to the annotated program.
+
+This module closes the gap: the simplifier's oriented substitution log
+(recorded per VC on :class:`~repro.core.verifier.PlannedVC`) is inverted
+with :func:`repro.smt.simplify.apply_inverse_subst`, mapping each
+countermodel atom back into the original VC's terms before rendering.
+Solver-internal purification constants (``ite!N``-style names) are
+filtered out -- they exist in no vocabulary the user ever wrote.
+
+Diagnosis re-derives the countermodel in-process with the in-tree
+solver.  That is deliberate: refutations are rare, the refuting solve
+already succeeded once, and external backends do not ship models -- so
+one extra in-process solve per *failed* VC buys backend-independent,
+reproducible diagnostics without widening the worker wire protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.verifier import PlannedVC
+from ..smt.simplify import apply_inverse_subst
+from ..smt.solver import Solver, SolverError
+from ..smt.terms import FALSE, TRUE, Term, iter_subterms, mk_eq, mk_not
+from .events import Diagnostic
+from .tasks import TaskResult
+
+__all__ = ["diagnose", "countermodel_atoms", "MAX_RENDERED_ATOMS"]
+
+MAX_RENDERED_ATOMS = 24
+# The diagnosis re-solve is bounded tighter than the verification solve:
+# the refutation already succeeded once, so a countermodel this budget
+# cannot reproduce degrades to a message-only diagnostic instead of
+# stalling the run past the user's --timeout (diagnosis runs in the
+# parent and has no wall-clock isolation).
+DIAG_CONFLICT_CAP = 50_000
+
+
+def countermodel_atoms(
+    formula: Term,
+    conflict_budget: Optional[int] = None,
+    pre_simplified: bool = True,
+) -> Dict[Term, bool]:
+    """Theory-atom truth assignment refuting ``formula`` (empty if none).
+
+    Solves ``not formula`` with the in-tree solver and returns the
+    decided theory atoms of the satisfying assignment.  The conflict
+    budget is capped at :data:`DIAG_CONFLICT_CAP` regardless of the
+    verification budget; exhaustion or an unexpectedly-valid formula
+    yield ``{}`` -- callers render a message-only diagnostic instead of
+    failing (or stalling) the report.
+    """
+    budget = (
+        DIAG_CONFLICT_CAP
+        if conflict_budget is None
+        else min(conflict_budget, DIAG_CONFLICT_CAP)
+    )
+    solver = Solver(conflict_budget=budget, assume_rewritten=pre_simplified)
+    solver.add(mk_not(formula))
+    try:
+        if solver.check() != "sat":
+            return {}
+    except SolverError:
+        return {}
+    return solver.model_atoms()
+
+
+def _is_internal(term: Term) -> bool:
+    """Does the term mention a solver-generated fresh constant?"""
+    for t in iter_subterms(term):
+        if t.op == "const" and "!" in str(t.name):
+            return True
+    return False
+
+
+def _render(atom: Term, value: bool) -> str:
+    text = atom.pretty()
+    return text if value else f"(not {text})"
+
+
+def diagnose(
+    pvc: PlannedVC,
+    res: Optional[TaskResult],
+    conflict_budget: Optional[int] = None,
+    pre_simplified: bool = True,
+) -> Optional[Diagnostic]:
+    """Structured diagnostic for one VC slot, or None when it passed.
+
+    ``res is None`` means the slot failed statically at plan time.
+    Refuted slots get a countermodel whose atoms are rendered both as
+    solved (post-simplification) and mapped back through the inverse of
+    ``pvc.subst`` into the original VC vocabulary.
+    """
+    if res is None:
+        if pvc.failure is None:
+            return None
+        return Diagnostic(
+            index=pvc.index,
+            label=pvc.label,
+            kind="static_failure",
+            message=pvc.failure,
+        )
+    if res.verdict == "valid":
+        return None
+    if res.verdict == "timeout":
+        return Diagnostic(
+            index=pvc.index,
+            label=pvc.label,
+            kind="timeout",
+            message=f"timeout ({res.detail})",
+        )
+    if res.verdict == "error":
+        return Diagnostic(
+            index=pvc.index,
+            label=pvc.label,
+            kind="solver_error",
+            message=f"solver error ({res.detail})",
+        )
+
+    # Refuted: recover the countermodel and translate its vocabulary.
+    diag = Diagnostic(
+        index=pvc.index,
+        label=pvc.label,
+        kind="countermodel",
+        message="countermodel found",
+    )
+    if pvc.formula is None:
+        return diag
+    atoms = countermodel_atoms(
+        pvc.formula, conflict_budget=conflict_budget, pre_simplified=pre_simplified
+    )
+    # Only substitutions this countermodel actually satisfies may be
+    # inverted: the simplifier logs every oriented equality it meets,
+    # including ones scoped to an ite arm or disjunct the model never
+    # enters.  Each logged pair's *defining equality is kept in the
+    # simplified formula* (equivalence preservation), so the model
+    # decides it -- a pair is certified iff its equality atom is true.
+    certified = [
+        (target, repl)
+        for target, repl in pvc.subst
+        if atoms.get(mk_eq(target, repl)) is True
+    ]
+    diag.substitutions = [
+        (target.pretty(), repl.pretty()) for target, repl in certified
+    ]
+    rendered: List[tuple] = []
+    for atom, value in atoms.items():
+        if _is_internal(atom):
+            continue
+        original = apply_inverse_subst(atom, certified)
+        if original is TRUE or original is FALSE:
+            # The atom was a defining equality (or its arithmetic shadow):
+            # mapped back it folds to a tautology and explains nothing.
+            continue
+        rendered.append((_render(original, value), _render(atom, value)))
+    rendered.sort()
+    if len(rendered) > MAX_RENDERED_ATOMS:
+        dropped = len(rendered) - MAX_RENDERED_ATOMS
+        rendered = rendered[:MAX_RENDERED_ATOMS]
+        rendered.append((f"... {dropped} more atoms", f"... {dropped} more atoms"))
+    diag.original_atoms = [orig for orig, _solved in rendered]
+    diag.atoms = [solved for _orig, solved in rendered]
+    return diag

@@ -43,7 +43,7 @@ from .tasks import (
     unit_slots as _unit_slots,
 )
 
-__all__ = ["solve_tasks", "solve_one", "solve_batch"]
+__all__ = ["stream_tasks", "solve_tasks", "solve_one", "solve_batch"]
 
 _POLL_S = 0.05
 
@@ -220,6 +220,36 @@ def solve_tasks(
 ) -> List[TaskResult]:
     """Solve every unit; returns per-VC results in unit/entry order.
 
+    The collecting face of :func:`stream_tasks`: results are gathered
+    and re-sorted into scheduling order, so the list is deterministic
+    under any parallel completion order.
+    """
+    flat = flatten_units(units)
+    results = {
+        res.index: res
+        for res in stream_tasks(
+            units, jobs=jobs, cache=cache, mp_context=mp_context, deadline_s=deadline_s
+        )
+    }
+    return [results[ix] for ix, _label in flat]
+
+
+def stream_tasks(
+    units: Sequence[TaskUnit],
+    jobs: int = 1,
+    cache: Optional[VcCache] = None,
+    mp_context: Optional[str] = None,
+    deadline_s: Optional[float] = None,
+    pool_factory=None,
+):
+    """Solve every unit, *yielding* one :class:`TaskResult` per VC slot
+    as each verdict lands (completion order, not submission order).
+
+    This generator is the engine's event source: cache hits and in-flight
+    dedup fan-outs are yielded up front, then worker results are pushed
+    out as the streaming worker protocol delivers them -- consumers see
+    progress per VC instead of waiting for the whole bag.
+
     Cache hits short-circuit before any process is spawned; in-flight
     duplicates (same canonical ``formula_key``) are solved once and
     fanned out; definitive verdicts of misses are written back exactly
@@ -231,10 +261,13 @@ def solve_tasks(
     ``deadline_s`` additionally bounds the *whole bag's* wall
     clock (the per-method budget of the benchmark harnesses): when it
     expires, every unfinished VC is reported as ``timeout`` instead of
-    being started.
+    being started.  ``pool_factory`` lends a persistent
+    ``multiprocessing.Pool`` for the no-timeout parallel path (a session
+    amortizes worker spawns across calls); it is a zero-arg callable
+    invoked only once at least one cache-missing unit actually needs a
+    worker -- a fully warm-cache run spawns no processes at all.
+    Without one, a throwaway pool is used.
     """
-    flat = flatten_units(units)
-    results: Dict[int, TaskResult] = {}
     key_of: Dict[int, Optional[str]] = {}
     attrib: Dict[int, Tuple[str, str, str]] = {}
     waiters: Dict[int, List[Tuple[int, str]]] = {}
@@ -271,7 +304,7 @@ def solve_tasks(
             if cache is not None:
                 record = cache.get(key)
                 if record is not None:
-                    results[index] = TaskResult(
+                    yield TaskResult(
                         index=index,
                         label=label,
                         verdict=record["verdict"],
@@ -295,8 +328,9 @@ def solve_tasks(
             unit = replace(unit, entries=tuple(kept))
         pending.append(unit)
 
-    def record_result(res: TaskResult) -> None:
-        results[res.index] = res
+    def settle(res: TaskResult) -> List[TaskResult]:
+        """A landed result plus its dedup fan-out (cache written once)."""
+        out = [res]
         key = key_of.get(res.index)
         if cache is not None and key is not None and not res.cached:
             structure, method, label = attrib[res.index]
@@ -310,14 +344,17 @@ def solve_tasks(
                 time_s=res.time_s,
             )
         for w_ix, w_label in waiters.pop(res.index, ()):
-            results[w_ix] = TaskResult(
-                index=w_ix,
-                label=w_label,
-                verdict=res.verdict,
-                detail=res.detail,
-                time_s=0.0,
-                deduped=True,
+            out.append(
+                TaskResult(
+                    index=w_ix,
+                    label=w_label,
+                    verdict=res.verdict,
+                    detail=res.detail,
+                    time_s=0.0,
+                    deduped=True,
+                )
             )
+        return out
 
     needs_isolation = deadline_s is not None or any(
         u.timeout_s is not None for u in pending
@@ -328,18 +365,24 @@ def solve_tasks(
             for unit in pending:
                 if isinstance(unit, BatchTask):
                     for res in solve_batch(unit):
-                        record_result(res)
+                        yield from settle(res)
                 else:
-                    record_result(solve_one(unit))
+                    yield from settle(solve_one(unit))
         elif pending:
             # No timeouts to enforce: a persistent worker pool amortizes
-            # process startup across units (one spawn per worker, not per VC).
-            ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
-            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-                for payload in pool.imap(_pool_solve, pending):
+            # process startup across units (one spawn per worker, not per
+            # VC); a session-lent pool amortizes it across calls too.
+            if pool_factory is not None:
+                for payload in pool_factory().imap_unordered(_pool_solve, pending):
                     for res in payload:
-                        record_result(res)
-        return [results[ix] for ix, _label in flat]
+                        yield from settle(res)
+            else:
+                ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+                with ctx.Pool(processes=min(jobs, len(pending))) as own_pool:
+                    for payload in own_pool.imap_unordered(_pool_solve, pending):
+                        for res in payload:
+                            yield from settle(res)
+        return
 
     ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
     queue: List[TaskUnit] = list(pending)
@@ -355,12 +398,16 @@ def solve_tasks(
         child_conn.close()
         running.append(_Running(proc, parent_conn, unit))
 
-    def fail_remaining(run: _Running, verdict: str, detail: str, now: float) -> None:
+    def fail_remaining(
+        run: _Running, verdict: str, detail: str, now: float
+    ) -> List[TaskResult]:
+        out: List[TaskResult] = []
         for ix, label in run.remaining.items():
-            record_result(
-                TaskResult(ix, label, verdict, detail, time_s=now - run.started)
+            out.extend(
+                settle(TaskResult(ix, label, verdict, detail, time_s=now - run.started))
             )
         run.remaining.clear()
+        return out
 
     try:
         while queue or running:
@@ -368,14 +415,14 @@ def solve_tasks(
                 detail = f"method budget {deadline_s:g}s"
                 for unit in queue:
                     for ix, label in _unit_slots(unit):
-                        record_result(TaskResult(ix, label, "timeout", detail))
+                        yield from settle(TaskResult(ix, label, "timeout", detail))
                 queue.clear()
                 now = time.perf_counter()
                 for run in running:
                     run.proc.terminate()
                     run.proc.join()
                     run.conn.close()
-                    fail_remaining(run, "timeout", detail, now)
+                    yield from fail_remaining(run, "timeout", detail, now)
                 running = []
                 break
             while queue and len(running) < max(1, jobs):
@@ -392,8 +439,8 @@ def solve_tasks(
                             if msg is None:
                                 finished = True
                                 break
-                            record_result(msg)
                             run.remaining.pop(msg.index, None)
+                            yield from settle(msg)
                             if not run.conn.poll():
                                 break
                     except (EOFError, OSError):
@@ -401,7 +448,7 @@ def solve_tasks(
                 if died:
                     run.conn.close()
                     run.proc.join()
-                    fail_remaining(
+                    yield from fail_remaining(
                         run,
                         "error",
                         f"worker died (exitcode {run.proc.exitcode})",
@@ -411,7 +458,9 @@ def solve_tasks(
                     run.conn.close()
                     run.proc.join()
                     # Defensive: a sentinel without all results errors the gap.
-                    fail_remaining(run, "error", "worker ended without result", now)
+                    yield from fail_remaining(
+                        run, "error", "worker ended without result", now
+                    )
                 elif run.deadline is not None and now > run.deadline:
                     run.proc.terminate()
                     run.proc.join()
@@ -423,7 +472,7 @@ def solve_tasks(
                     if isinstance(run.unit, BatchTask) and len(run.remaining) > 1:
                         in_flight = next(iter(run.remaining))
                         label = run.remaining.pop(in_flight)
-                        record_result(
+                        yield from settle(
                             TaskResult(
                                 in_flight,
                                 label,
@@ -435,7 +484,7 @@ def solve_tasks(
                         queue.extend(_requeue_singles(run.unit, run.remaining))
                         run.remaining.clear()
                     else:
-                        fail_remaining(
+                        yield from fail_remaining(
                             run, "timeout", f"budget {run.unit.timeout_s:g}s", now
                         )
                 elif not run.proc.is_alive():
@@ -444,19 +493,22 @@ def solve_tasks(
                     # made it out, then report the death for the rest.
                     # (An exited worker's pipe polls ready on EOF too, so
                     # ``poll()`` alone cannot prove results are pending.)
+                    drained: List[TaskResult] = []
                     try:
                         while run.conn.poll():
                             msg = run.conn.recv()
                             if msg is None:
                                 break
-                            record_result(msg)
                             run.remaining.pop(msg.index, None)
+                            drained.extend(settle(msg))
                     except (EOFError, OSError):
                         pass
                     run.conn.close()
                     run.proc.join()
+                    for res in drained:
+                        yield res
                     if run.remaining:
-                        fail_remaining(
+                        yield from fail_remaining(
                             run,
                             "error",
                             f"worker died (exitcode {run.proc.exitcode})",
@@ -470,5 +522,3 @@ def solve_tasks(
             run.proc.terminate()
             run.proc.join()
             run.conn.close()
-
-    return [results[ix] for ix, _label in flat]

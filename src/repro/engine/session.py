@@ -1,0 +1,339 @@
+"""The session-oriented verification API: requests in, event streams out.
+
+This is the stable front door of the engine.  A
+:class:`VerificationSession` is long-lived: it owns the backend spec
+(validated once), the persistent verdict cache, an optional persistent
+worker pool, and -- because terms are hash-consed process-globally --
+the interned-term state every plan in the session shares.  Each
+:meth:`~VerificationSession.submit` takes a :class:`VerificationRequest`
+(program + intrinsic definition + method selection + budgets) and
+returns a :class:`VerificationRun`: an iterator of typed
+:class:`~repro.engine.events.VcEvent`s pushed out *as verdicts land*
+(the scheduler's streaming worker protocol surfaced to the API), plus
+the per-method :class:`~repro.engine.events.VerificationResult`s once
+the stream is drained.
+
+    with VerificationSession(jobs=4, cache_dir=".vc-cache") as session:
+        run = session.submit(VerificationRequest(program, ids, ["bst_insert"]))
+        for event in run:                  # planned / cache_hit / dedup /
+            print(event.kind, event.label) # solved / timeout / error
+        result = run.result()              # verdicts, timing, diagnostics
+
+Event-stream contract (validated in ``tests/test_session.py`` and by
+``benchmarks/check_schema.py``):
+
+- every VC slot emits exactly one ``planned`` event, then exactly one
+  terminal event (``cache_hit`` | ``dedup`` | ``solved`` | ``timeout`` |
+  ``error``) -- a static plan-phase failure terminates immediately with
+  an ``error`` event carrying ``stage="plan"``;
+- a VC's ``planned`` event always precedes its terminal event; under
+  ``jobs=1`` the whole stream is deterministic, under parallelism only
+  this per-VC partial order (and per-method grouping) is guaranteed;
+- ``seq`` increments by one per event within a request's stream.
+
+Verdicts are identical to the legacy blocking engine at any ``jobs``,
+with and without batching, warm or cold cache (parity-tested).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field as dc_field, replace as dc_replace
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..core.ids import IntrinsicDefinition
+from ..core.verifier import MethodPlan, Verifier
+from ..lang.ast import Program
+from .backends import make_backend
+from .cache import VcCache
+from .diagnostics import diagnose
+from .events import Diagnostic, VcEvent, VerificationResult, build_result, event_for_result
+from .scheduler import stream_tasks
+from .tasks import TaskResult, TaskUnit, batches_from_plan, tasks_from_plan
+
+__all__ = ["VerificationRequest", "VerificationRun", "VerificationSession"]
+
+
+@dataclass(frozen=True)
+class VerificationRequest:
+    """One unit of work for a session: what to verify, under what budgets.
+
+    ``methods`` may be a single method name or a sequence; budgets are
+    per-request overrides of the session defaults (``timeout_s`` bounds
+    each VC's wall clock, ``method_budget_s`` each method's total).
+    """
+
+    program: Program
+    ids: IntrinsicDefinition
+    methods: Union[str, Sequence[str]]
+    timeout_s: Optional[float] = None
+    method_budget_s: Optional[float] = None
+
+    @property
+    def method_list(self) -> List[str]:
+        if isinstance(self.methods, str):
+            return [self.methods]
+        return list(self.methods)
+
+
+@dataclass
+class _MethodState:
+    plan: MethodPlan
+    started: float
+    task_results: List[TaskResult] = dc_field(default_factory=list)
+    event_counts: dict = dc_field(default_factory=dict)
+
+
+class VerificationRun:
+    """A submitted request: iterate the events, then read the results."""
+
+    def __init__(self, events: Iterator[VcEvent], results: List[VerificationResult]):
+        self._events = events
+        self._results = results  # filled by the generator as methods finish
+
+    def __iter__(self) -> Iterator[VcEvent]:
+        return self._events
+
+    def drain(self) -> "VerificationRun":
+        """Consume any remaining events (discarding them)."""
+        for _ in self._events:
+            pass
+        return self
+
+    def results(self) -> List[VerificationResult]:
+        """Per-method results, draining the stream first if needed."""
+        self.drain()
+        return list(self._results)
+
+    def result(self) -> VerificationResult:
+        """The single result of a one-method request."""
+        results = self.results()
+        if len(results) != 1:
+            raise ValueError(
+                f"request produced {len(results)} results; use .results()"
+            )
+        return results[0]
+
+
+class VerificationSession:
+    """Long-lived verification service: backend + cache + worker pool.
+
+    Construction fails fast on an unknown/unavailable backend.  The
+    session is reusable across many :meth:`submit`/:meth:`run` calls --
+    the verdict cache accumulates, in-flight dedup state is per-request,
+    and with ``jobs > 1`` a persistent worker pool amortizes process
+    spawns across calls on the no-timeout path.  Use as a context
+    manager (or call :meth:`close`) to reclaim the pool.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: str = "intree",
+        cache_dir: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        method_budget_s: Optional[float] = None,
+        encoding: str = "decidable",
+        memory_safety: bool = True,
+        conflict_budget: Optional[int] = 200000,
+        mp_context: Optional[str] = None,
+        simplify: bool = True,
+        batch: bool = True,
+        batch_size: int = 16,
+        batch_node_limit: int = 200,
+        diagnostics: bool = True,
+        persistent_pool: bool = True,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.backend_spec = backend
+        make_backend(backend)  # fail fast on unknown/unavailable backends
+        self.cache = VcCache(cache_dir) if cache_dir else None
+        self.timeout_s = timeout_s
+        self.method_budget_s = method_budget_s
+        self.encoding = encoding
+        self.memory_safety = memory_safety
+        self.conflict_budget = conflict_budget
+        self.mp_context = mp_context
+        self.simplify = simplify
+        self.batch = batch
+        self.batch_size = max(1, int(batch_size))
+        self.batch_node_limit = batch_node_limit
+        self.diagnostics = diagnostics
+        self.persistent_pool = persistent_pool
+        self._pool = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "VerificationSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = mp.get_context(self.mp_context) if self.mp_context else mp.get_context()
+            self._pool = ctx.Pool(processes=self.jobs)
+        return self._pool
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _verifier(self, program: Program, ids: IntrinsicDefinition) -> Verifier:
+        return Verifier(
+            program,
+            ids,
+            encoding=self.encoding,
+            memory_safety=self.memory_safety,
+            conflict_budget=self.conflict_budget,
+            simplify=self.simplify,
+        )
+
+    def _units(self, plan: MethodPlan, timeout_s: Optional[float]) -> List[TaskUnit]:
+        if self.batch:
+            return batches_from_plan(
+                plan,
+                backend_spec=self.backend_spec,
+                timeout_s=timeout_s,
+                batch_size=self.batch_size,
+                batch_node_limit=self.batch_node_limit,
+            )
+        return list(
+            tasks_from_plan(
+                plan, backend_spec=self.backend_spec, timeout_s=timeout_s
+            )
+        )
+
+    # -- the API ------------------------------------------------------------
+
+    def submit(self, request: VerificationRequest) -> VerificationRun:
+        """Start a request; returns its event stream + eventual results."""
+        results: List[VerificationResult] = []
+        return VerificationRun(self._event_stream(request, results), results)
+
+    def run(self, request: VerificationRequest) -> List[VerificationResult]:
+        """Blocking convenience: drain the stream, return the results."""
+        return self.submit(request).results()
+
+    def verify(
+        self, program: Program, ids: IntrinsicDefinition, method: str
+    ) -> VerificationResult:
+        """Blocking convenience for one method."""
+        return self.submit(
+            VerificationRequest(program, ids, method)
+        ).result()
+
+    # -- event generation ---------------------------------------------------
+
+    def _event_stream(
+        self, request: VerificationRequest, results: List[VerificationResult]
+    ) -> Iterator[VcEvent]:
+        timeout_s = (
+            request.timeout_s if request.timeout_s is not None else self.timeout_s
+        )
+        budget_s = (
+            request.method_budget_s
+            if request.method_budget_s is not None
+            else self.method_budget_s
+        )
+        seq = [0]
+
+        def stamped(event: VcEvent, state: _MethodState) -> VcEvent:
+            event = dc_replace(event, seq=seq[0])
+            seq[0] += 1
+            state.event_counts[event.kind] = state.event_counts.get(event.kind, 0) + 1
+            return event
+
+        for method in request.method_list:
+            started = time.perf_counter()
+            plan = self._verifier(request.program, request.ids).plan(method)
+            state = _MethodState(plan=plan, started=started)
+
+            # Phase 1 events: every slot is announced, static failures
+            # terminate immediately (stage="plan").
+            for pvc in plan.vcs:
+                yield stamped(
+                    VcEvent(
+                        kind="planned",
+                        structure=plan.structure,
+                        method=plan.method,
+                        index=pvc.index,
+                        label=pvc.label,
+                        detail=pvc.failure or "",
+                        stage="plan",
+                        nodes_before=pvc.nodes_before,
+                        nodes_after=pvc.nodes_after,
+                    ),
+                    state,
+                )
+            for pvc in plan.vcs:
+                if pvc.failure is not None:
+                    yield stamped(
+                        VcEvent(
+                            kind="error",
+                            structure=plan.structure,
+                            method=plan.method,
+                            index=pvc.index,
+                            label=pvc.label,
+                            verdict="error",
+                            detail=pvc.failure,
+                            stage="plan",
+                        ),
+                        state,
+                    )
+
+            # Phase 2 events: one terminal event per solvable slot, pushed
+            # as the scheduler's streaming protocol delivers verdicts.
+            units = self._units(plan, timeout_s)
+            use_pool = (
+                self.persistent_pool
+                and self.jobs > 1
+                and timeout_s is None
+                and budget_s is None
+            )
+            for res in stream_tasks(
+                units,
+                jobs=self.jobs,
+                cache=self.cache,
+                mp_context=self.mp_context,
+                deadline_s=budget_s,
+                # Lazy: the pool is only materialized when a cache-missing
+                # unit actually reaches a worker, so warm-cache submits
+                # spawn no processes.
+                pool_factory=self._ensure_pool if use_pool else None,
+            ):
+                state.task_results.append(res)
+                yield stamped(
+                    event_for_result(plan.structure, plan.method, res), state
+                )
+
+            results.append(self._finish(state))
+
+    def _finish(self, state: _MethodState) -> VerificationResult:
+        diagnostics: List[Diagnostic] = []
+        if self.diagnostics:
+            by_index = {res.index: res for res in state.task_results}
+            for pvc in state.plan.vcs:
+                diag = diagnose(
+                    pvc,
+                    by_index.get(pvc.index),
+                    conflict_budget=self.conflict_budget,
+                    pre_simplified=state.plan.simplify,
+                )
+                if diag is not None:
+                    diagnostics.append(diag)
+        return build_result(
+            state.plan,
+            state.task_results,
+            state.started,
+            jobs=self.jobs,
+            event_counts=state.event_counts,
+            diagnostics=diagnostics,
+        )

@@ -43,7 +43,7 @@ from fractions import Fraction
 from math import ceil, floor, gcd
 from typing import Dict, List, Optional, Tuple
 
-from .sorts import INT
+from .sorts import BOOL, INT
 from .terms import (
     FALSE,
     TRUE,
@@ -66,7 +66,13 @@ from .terms import (
     _rebuild,
 )
 
-__all__ = ["simplify", "simplify_with_stats", "SimplifyStats", "term_size"]
+__all__ = [
+    "simplify",
+    "simplify_with_stats",
+    "apply_inverse_subst",
+    "SimplifyStats",
+    "term_size",
+]
 
 _MAX_ROUNDS = 10
 _SUBSUMPTION_CAP = 300
@@ -123,11 +129,16 @@ class _Env:
     ``(non-literal, tree-size, id)``, so chasing chains terminates.
     """
 
-    __slots__ = ("map", "token")
+    __slots__ = ("map", "token", "log")
     _next_token = [0]
 
-    def __init__(self, base: Optional["_Env"] = None):
+    def __init__(
+        self, base: Optional["_Env"] = None, log: Optional[List[Tuple[Term, Term]]] = None
+    ):
         self.map: Dict[Term, Term] = dict(base.map) if base is not None else {}
+        # The oriented-equality substitution log is shared down the whole
+        # environment chain: nested scopes append to the same list.
+        self.log = log if log is not None else (base.log if base is not None else None)
         self.token = self._bump()
 
     @classmethod
@@ -146,7 +157,7 @@ class _Env:
             rep = nxt
 
     def add(self, fact: Term, positive: bool) -> None:
-        _add_facts(fact, self.map, positive)
+        _add_facts(fact, self.map, positive, self.log)
         self.token = self._bump()
 
 
@@ -162,7 +173,12 @@ def _orient(a: Term, b: Term) -> Tuple[Term, Term]:
     return b, a
 
 
-def _add_facts(fact: Term, m: Dict[Term, Term], positive: bool) -> None:
+def _add_facts(
+    fact: Term,
+    m: Dict[Term, Term],
+    positive: bool,
+    log: Optional[List[Tuple[Term, Term]]] = None,
+) -> None:
     if positive:
         if fact is TRUE or fact is FALSE:
             return
@@ -172,10 +188,12 @@ def _add_facts(fact: Term, m: Dict[Term, Term], positive: bool) -> None:
             m[fact.args[0]] = FALSE
         elif op == "and":
             for a in fact.args:
-                _add_facts(a, m, True)
+                _add_facts(a, m, True, log)
         elif op == "eq":
             a, b = fact.args
             target, repl = _orient(a, b)
+            if log is not None and target is not repl and target.sort != BOOL:
+                log.append((target, repl))
             m[target] = repl
             if a.sort.is_numeric:
                 m[mk_le(a, b)] = TRUE
@@ -197,20 +215,20 @@ def _add_facts(fact: Term, m: Dict[Term, Term], positive: bool) -> None:
         m[fact] = FALSE
         op = fact.op
         if op == "not":
-            _add_facts(fact.args[0], m, True)
+            _add_facts(fact.args[0], m, True, log)
         elif op == "or":
             for a in fact.args:
-                _add_facts(a, m, False)
+                _add_facts(a, m, False, log)
         elif op == "implies":
             # not (h -> g)  ==>  h and not g
-            _add_facts(fact.args[0], m, True)
-            _add_facts(fact.args[1], m, False)
+            _add_facts(fact.args[0], m, True, log)
+            _add_facts(fact.args[1], m, False, log)
         elif op == "le":
             a, b = fact.args
-            _add_facts(mk_lt(b, a), m, True)
+            _add_facts(mk_lt(b, a), m, True, log)
         elif op == "lt":
             a, b = fact.args
-            _add_facts(mk_le(b, a), m, True)
+            _add_facts(mk_le(b, a), m, True, log)
 
 
 # ---------------------------------------------------------------------------
@@ -402,7 +420,7 @@ def _drop_subsumed(parts: List[Term], litset_of) -> List[Term]:
 # ---------------------------------------------------------------------------
 
 
-def _once(root: Term) -> Term:
+def _once(root: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None) -> Term:
     memo: Dict[Tuple[int, Term], Term] = {}
 
     def walk(t: Term, env: _Env) -> Term:
@@ -486,22 +504,94 @@ def _once(root: Term) -> Term:
         out = _drop_subsumed(out, _cube_lits)
         return mk_or(*out)
 
-    return walk(root, _Env())
+    return walk(root, _Env(log=subst_log))
 
 
-def simplify(term: Term) -> Term:
-    """Simplify a ground boolean term, preserving logical equivalence."""
-    return simplify_with_stats(term)[0]
+def simplify(term: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None) -> Term:
+    """Simplify a ground boolean term, preserving logical equivalence.
+
+    When ``subst_log`` is a list, every oriented ground-equality
+    substitution the simplifier installs (``target -> replacement``,
+    bigger side to smaller side) is appended to it, deduplicated in
+    first-seen order.  The log is the vocabulary bridge for diagnostics:
+    a countermodel over the simplified formula can be rendered in the
+    original VC's vocabulary by :func:`apply_inverse_subst`.
+    """
+    return simplify_with_stats(term, subst_log=subst_log)[0]
 
 
-def simplify_with_stats(term: Term) -> Tuple[Term, SimplifyStats]:
+def simplify_with_stats(
+    term: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None
+) -> Tuple[Term, SimplifyStats]:
     before = term_size(term)
     with deep_recursion():
         rounds = 0
         for _ in range(_MAX_ROUNDS):
-            out = _once(term)
+            out = _once(term, subst_log)
             rounds += 1
             if out is term:
                 break
             term = out
+    if subst_log:
+        seen = set()
+        kept = []
+        for pair in subst_log:
+            key = (pair[0]._id, pair[1]._id)
+            if key not in seen:
+                seen.add(key)
+                kept.append(pair)
+        subst_log[:] = kept
     return term, SimplifyStats(before, term_size(term), rounds)
+
+
+def apply_inverse_subst(term: Term, pairs) -> Term:
+    """Best-effort inverse of the simplifier's equality substitutions.
+
+    ``pairs`` is a ``subst_log``: oriented ``(target, replacement)``
+    equalities whose *replacement* (small) side may appear in ``term``
+    where the original formula had the *target* (big) side.  Pairs whose
+    target contains its own replacement (``f(x) -> x``, e.g. the
+    prev/next inverse laws of doubly-linked heaps) are skipped: inverting
+    them only wraps terms in ever-deeper towers without restoring any
+    vocabulary.  The remaining pairs are genuine renamings (a long ghost
+    select chain collapsed to a program variable); each pass rewrites
+    replacement occurrences back to their first-logged target without
+    descending into the substituted-in term, iterated to a bounded
+    fixpoint so chains resolve, with a growth cap as the divergence
+    guard.  Ambiguity (two targets sharing one replacement) resolves to
+    the earliest-logged target -- diagnostics rendering, not a
+    semantics-bearing transformation.
+    """
+    inv: Dict[Term, Term] = {}
+    for target, repl in pairs:
+        if any(t is repl for t in iter_subterms(target)):
+            continue  # self-referential: inverse application diverges
+        inv.setdefault(repl, target)
+    if not inv:
+        return term
+    budget = 10 * _tsize(term)
+
+    def one_pass(t: Term, memo: Dict[Term, Term]) -> Term:
+        got = memo.get(t)
+        if got is not None:
+            return got
+        hit = inv.get(t)
+        if hit is not None:
+            out = hit
+        elif not t.args:
+            out = t
+        else:
+            new_args = tuple(one_pass(a, memo) for a in t.args)
+            out = _rebuild(t, new_args) if new_args != t.args else t
+        memo[t] = out
+        return out
+
+    with deep_recursion():
+        for rounds in range(min(len(inv), 8)):
+            out = one_pass(term, {})
+            if out is term:
+                break
+            if rounds > 0 and _tsize(out) > budget:
+                break  # self-referential chain (target contains its repl)
+            term = out
+    return term
