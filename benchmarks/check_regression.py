@@ -3,17 +3,28 @@
 Usage::
 
     python benchmarks/check_regression.py BASELINE.json CURRENT.json \
-        [--max-regression 0.25] [--min-seconds 0.5]
+        [--max-regression 0.25] [--min-seconds 0.5] \
+        [--max-plan-regression 0.25] [--min-plan-seconds 0.5] \
+        [--plan-ceiling METHOD=SECONDS ...]
 
 Compares the methods common to both reports and fails (exit 1) when
 
 - a method's verdict status changed (``verified`` -> anything else), or
 - a method's wall clock regressed by more than ``--max-regression``
   (default 25%) *and* by more than ``--min-seconds`` absolute (default
-  0.5s -- sub-second timings on shared CI runners are noise, not signal).
+  0.5s -- sub-second timings on shared CI runners are noise, not signal), or
+- a method's *plan phase* (``plan_s``, schema v5: generation + simplify)
+  regressed beyond the analogous ``--max-plan-regression`` /
+  ``--min-plan-seconds`` thresholds -- this gate is what keeps the
+  near-linear simplifier near-linear, independent of solve noise, or
+- a ``--plan-ceiling METHOD=SECONDS`` absolute bound is exceeded by the
+  current report's ``plan_s`` (used by CI to pin avl_insert's cold and
+  warm plan wall under committed ceilings).
 
 Methods present in only one report are listed but never fail the gate,
 so the baseline can cover a superset of the smoke-bench selection.
+Reports predating schema v5 simply have no ``plan_s`` and skip the plan
+comparisons.
 """
 
 from __future__ import annotations
@@ -29,6 +40,17 @@ def _load(path: str) -> dict:
     return {r["method"]: r for r in doc.get("results", [])}
 
 
+def _parse_ceilings(pairs) -> dict:
+    out = {}
+    for pair in pairs or ():
+        method, _, seconds = pair.partition("=")
+        try:
+            out[method] = float(seconds)
+        except ValueError:
+            raise SystemExit(f"--plan-ceiling expects METHOD=SECONDS, got {pair!r}")
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -38,17 +60,27 @@ def main(argv=None) -> int:
     parser.add_argument("--min-seconds", type=float, default=0.5,
                         help="absolute slowdown below which regressions are "
                              "treated as timer noise")
+    parser.add_argument("--max-plan-regression", type=float, default=0.25,
+                        help="allowed fractional plan-phase growth per method")
+    parser.add_argument("--min-plan-seconds", type=float, default=0.5,
+                        help="absolute plan-phase slowdown below which "
+                             "regressions are treated as timer noise")
+    parser.add_argument("--plan-ceiling", action="append", metavar="METHOD=SECONDS",
+                        help="absolute plan_s bound on the current report; "
+                             "repeatable")
     args = parser.parse_args(argv)
 
     base = _load(args.baseline)
     cur = _load(args.current)
+    ceilings = _parse_ceilings(args.plan_ceiling)
     common = sorted(set(base) & set(cur))
-    if not common:
+    if not common and not ceilings:
         print("check_regression: no common methods between reports", file=sys.stderr)
         return 1
 
     failures = []
-    print(f"{'method':28s} {'base s':>8s} {'cur s':>8s} {'delta':>8s}  status")
+    print(f"{'method':28s} {'base s':>8s} {'cur s':>8s} {'delta':>8s} "
+          f"{'plan b':>8s} {'plan c':>8s}  status")
     for m in common:
         b, c = base[m], cur[m]
         bt, ct = float(b["time_s"]), float(c["time_s"])
@@ -57,6 +89,16 @@ def main(argv=None) -> int:
         regressed = (
             delta > args.max_regression and (ct - bt) > args.min_seconds
         )
+        bp = b.get("plan_s")
+        cp = c.get("plan_s")
+        plan_regressed = False
+        if bp is not None and cp is not None:
+            bp, cp = float(bp), float(cp)
+            plan_delta = (cp - bp) / bp if bp > 0 else 0.0
+            plan_regressed = (
+                plan_delta > args.max_plan_regression
+                and (cp - bp) > args.min_plan_seconds
+            )
         mark = "OK"
         if verdict_changed:
             mark = f"VERDICT {b['status']} -> {c['status']}"
@@ -67,7 +109,33 @@ def main(argv=None) -> int:
                 f"{m}: wall clock {bt:.2f}s -> {ct:.2f}s "
                 f"(+{delta:.0%} > {args.max_regression:.0%})"
             )
-        print(f"{m:28s} {bt:8.2f} {ct:8.2f} {delta:+8.0%}  {mark}")
+        elif plan_regressed:
+            mark = f"PLAN REGRESSION +{plan_delta:.0%}"
+            failures.append(
+                f"{m}: plan phase {bp:.2f}s -> {cp:.2f}s "
+                f"(+{plan_delta:.0%} > {args.max_plan_regression:.0%})"
+            )
+        bp_s = f"{bp:8.2f}" if bp is not None else "       -"
+        cp_s = f"{cp:8.2f}" if cp is not None else "       -"
+        print(f"{m:28s} {bt:8.2f} {ct:8.2f} {delta:+8.0%} {bp_s} {cp_s}  {mark}")
+
+    for method, ceiling in ceilings.items():
+        entry = cur.get(method)
+        if entry is None:
+            failures.append(f"{method}: --plan-ceiling set but method absent "
+                            "from current report")
+            continue
+        plan_s = entry.get("plan_s")
+        if plan_s is None:
+            failures.append(f"{method}: --plan-ceiling set but report has no "
+                            "plan_s (schema < 5?)")
+        elif float(plan_s) > ceiling:
+            failures.append(
+                f"{method}: plan phase {float(plan_s):.2f}s exceeds the "
+                f"committed ceiling {ceiling:g}s"
+            )
+        else:
+            print(f"plan ceiling ok: {method} {float(plan_s):.2f}s <= {ceiling:g}s")
 
     only = sorted(set(base) ^ set(cur))
     if only:

@@ -1,4 +1,4 @@
-"""CI schema gate: validate bench_results.json (v4) and events JSONL files.
+"""CI schema gate: validate bench_results.json (v5) and events JSONL files.
 
 Usage::
 
@@ -8,7 +8,9 @@ Checks, without any third-party schema library (stdlib only, like the
 rest of the repo):
 
 - ``bench_results.json`` / ``verify --format json`` documents: schema
-  version, required keys and types, per-method result shape, and the
+  version, required keys and types, per-method result shape (including
+  the v5 ``plan_s``/``simplify_s``/``solve_s`` phase split and
+  ``plan_cached`` flag), the plan-cache stats block, and the
   event-count invariants of the session API -- every VC is ``planned``
   exactly once and settled by exactly one terminal event
   (``cache_hit`` | ``dedup`` | ``solved`` | ``timeout`` | ``error``),
@@ -39,6 +41,10 @@ _REQUIRED_RESULT_KEYS = {
     "ok": bool,
     "n_vcs": int,
     "time_s": (int, float),
+    "plan_s": (int, float),
+    "simplify_s": (int, float),
+    "solve_s": (int, float),
+    "plan_cached": bool,
     "cache_hits": int,
     "dedup_hits": int,
     "timeouts": int,
@@ -62,6 +68,7 @@ _REQUIRED_BENCH_KEYS = {
     "dedup_hits_total": int,
     "dedup_rate": (int, float),
     "event_totals": dict,
+    "plan_cache": dict,
     "results": list,
 }
 
@@ -107,8 +114,8 @@ def _check_events_counts(events: dict, n_vcs: int, where: str, errs: SchemaError
 def check_report(doc: dict, errs: SchemaErrors) -> None:
     """Validate a bench_results.json or `verify --format json` document."""
     errs.check(
-        doc.get("schema_version") == 4,
-        f"schema_version is {doc.get('schema_version')!r}, expected 4",
+        doc.get("schema_version") == 5,
+        f"schema_version is {doc.get('schema_version')!r}, expected 5",
     )
     is_verify = doc.get("command") == "verify" and "suite" not in doc
     spec = dict(_REQUIRED_BENCH_KEYS)
@@ -118,6 +125,7 @@ def check_report(doc: dict, errs: SchemaErrors) -> None:
         spec.pop("dedup_hits_total")
         spec.pop("dedup_rate")
         spec.pop("event_totals")
+        spec.pop("plan_cache")
     _check_typed_keys(doc, spec, "report", errs)
     results = doc.get("results", [])
     if not isinstance(results, list):
@@ -152,6 +160,17 @@ def check_report(doc: dict, errs: SchemaErrors) -> None:
             errs.check(
                 ok == (not entry["failed"]),
                 f"{where}: ok={ok} inconsistent with failed list",
+            )
+    cache_block = doc.get("plan_cache")
+    if not is_verify and isinstance(cache_block, dict):
+        errs.check(
+            isinstance(cache_block.get("enabled"), bool),
+            "plan_cache.enabled missing or not a bool",
+        )
+        for field in ("hits", "misses"):
+            errs.check(
+                isinstance(cache_block.get(field), int),
+                f"plan_cache.{field} missing or not an int",
             )
     if not is_verify and isinstance(doc.get("event_totals"), dict):
         errs.check(

@@ -115,7 +115,9 @@ def _session_from_args(
         simplify=args.simplify,
         batch=args.batch,
         batch_size=args.batch_size,
+        batch_node_limit=args.batch_node_limit,
         diagnostics=diagnostics,
+        plan_cache=args.plan_cache,
     )
 
 
@@ -290,7 +292,7 @@ def cmd_verify(args) -> int:
 def _verify_doc(args, rows, wall) -> dict:
     """The ``verify --format json`` document: structured session results."""
     return {
-        "schema_version": 4,
+        "schema_version": 5,
         "command": "verify",
         "jobs": args.jobs,
         "backend": args.backend,
@@ -342,9 +344,11 @@ def cmd_bench(args) -> int:
             result, status = _safe_verify(session, exp, m)
             rows.append((exp.structure, m, result, status, (lc, loc, spec, ann)))
             shrink = f"  shrink={result.shrink_pct:4.1f}%" if result.simplify else ""
+            plan_note = f" plan={result.plan_s:.2f}s" + ("*" if result.plan_cached else "")
             print(
                 f"{exp.structure:36s} {m:26s} {result.n_vcs:4d} VCs "
-                f"{result.time_s:7.2f}s  hits={result.cache_hits:<4d} {status}{shrink}"
+                f"{result.time_s:7.2f}s{plan_note}  hits={result.cache_hits:<4d} "
+                f"{status}{shrink}"
             )
     else:  # rq3
         quant_session = _session_from_args(
@@ -370,8 +374,20 @@ def cmd_bench(args) -> int:
     print(f"\n{verified}/{len(rows)} methods verified (budget={budget:g}s/VC, "
           f"jobs={session.jobs}, wall={wall:.1f}s)")
 
+    # Aggregate over every session the suite used (rq3 plans each method
+    # through both the decidable and the quantified session).
+    sessions = [session]
+    if args.suite == "rq3":
+        sessions.append(quant_session)
+    caches = [s.plan_cache for s in sessions if s.plan_cache is not None]
+    plan_cache_stats = {
+        "enabled": bool(caches),
+        "hits": sum(c.hits for c in caches),
+        "misses": sum(c.misses for c in caches),
+    }
     out = args.output or "bench_results.json"
-    _dump_json(out, args.suite, args, rows, wall, budget=budget)
+    _dump_json(out, args.suite, args, rows, wall, budget=budget,
+               plan_cache_stats=plan_cache_stats)
     print(f"wrote {out}")
     if any(
         row[3].startswith("error:") or row[2].errors
@@ -391,7 +407,7 @@ def cmd_bench(args) -> int:
     return EXIT_VERIFIED
 
 
-def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
+def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None) -> None:
     results = []
     for row in rows:
         structure, m, report, status = row[0], row[1], row[2], row[3]
@@ -402,6 +418,10 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
             "ok": report.ok,
             "n_vcs": report.n_vcs,
             "time_s": round(report.time_s, 4),
+            "plan_s": round(report.plan_s, 4),
+            "simplify_s": round(report.simplify_s, 4),
+            "solve_s": round(report.solve_s, 4),
+            "plan_cached": report.plan_cached,
             "cache_hits": report.cache_hits,
             "dedup_hits": report.dedup_hits,
             "timeouts": report.timeouts,
@@ -437,7 +457,7 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
         for kind, count in r["events"].items():
             event_totals[kind] = event_totals.get(kind, 0) + count
     doc = {
-        "schema_version": 4,
+        "schema_version": 5,
         "suite": suite,
         "jobs": args.jobs,
         "backend": args.backend,
@@ -456,6 +476,10 @@ def _dump_json(path, suite, args, rows, wall, budget=None) -> None:
         "dedup_hits_total": dedup_total,
         "dedup_rate": round(dedup_total / n_vcs_total, 4) if n_vcs_total else 0.0,
         "event_totals": event_totals,
+        # Persistent plan-cache effectiveness for this run (hits are
+        # methods whose plan+simplify phase was replayed from disk).
+        "plan_cache": plan_cache_stats
+        or {"enabled": False, "hits": 0, "misses": 0},
         "results": results,
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -472,7 +496,15 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                    help="solver backend spec: intree | smtlib2[:CMD] | "
                         "crosscheck:A,B (default intree)")
     p.add_argument("--cache-dir", default=None,
-                   help="persistent VC verdict cache directory")
+                   help="persistent VC verdict cache directory (also hosts "
+                        "the plan cache under <dir>/plan)")
+    p.add_argument("--plan-cache", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="persistently cache finished method plans (simplified "
+                        "VC formulas + substitution logs) keyed on program "
+                        "text, config and code version, so warm runs skip "
+                        "plan+simplify entirely; needs --cache-dir "
+                        "(default on; --no-plan-cache disables)")
     p.add_argument("--conflict-budget", type=int, default=200000,
                    help="in-tree solver conflict budget per VC")
     p.add_argument("--simplify", action=argparse.BooleanOptionalAction, default=True,
@@ -485,6 +517,10 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                         "--no-batch solves every VC from scratch)")
     p.add_argument("--batch-size", type=int, default=16,
                    help="max VCs per incremental batch (default 16)")
+    p.add_argument("--batch-node-limit", type=int, default=2400,
+                   help="max summed post-simplify formula nodes per batch "
+                        "(default 2400; retired-goal GC in the incremental "
+                        "solver keeps big batches cheap)")
     p.add_argument("--structure", default=None, help="restrict to one structure")
     p.add_argument("--method", action="append", default=[],
                    help="restrict to named method(s); repeatable")

@@ -44,7 +44,7 @@ from ..lang.wellbehaved import wb_violations
 from ..smt.printer import QuantifierFound, assert_quantifier_free
 from ..smt.quant import InstantiationBudgetExceeded, instantiate
 from ..smt.rewriter import rewrite
-from ..smt.simplify import simplify as simplify_term, term_size
+from ..smt.simplify import SimplifyCache, simplify as simplify_term, term_size
 from ..smt.solver import Solver, SolverError
 from ..smt.terms import Term, deep_recursion, mk_not
 from .fwyb import elaborate_proc
@@ -134,6 +134,14 @@ class MethodPlan:
     ghost_failures: List[str]
     vcs: List[PlannedVC]
     simplify: bool = False
+    # Generate-phase timing split: ``plan_s`` is the whole phase's wall
+    # clock (checks, elaboration, VC generation, rewrite+simplify);
+    # ``simplify_s`` is the rewrite+simplify portion of it.  A plan
+    # loaded from the persistent plan cache reports its (tiny) load time
+    # as ``plan_s`` with ``from_cache=True``.
+    plan_s: float = 0.0
+    simplify_s: float = 0.0
+    from_cache: bool = False
 
     @property
     def nodes_before(self) -> int:
@@ -195,6 +203,8 @@ class Verifier:
 
     def plan(self, proc_name: str) -> MethodPlan:
         """Run checks, elaboration and VC generation; solve nothing."""
+        plan_started = time.perf_counter()
+        simplify_s = 0.0
         proc = self.program.proc(proc_name)
 
         wb = wb_violations(proc) if proc.is_well_behaved else []
@@ -210,6 +220,10 @@ class Verifier:
         )
         vcs = gen.run()
 
+        # One shared memo pool for the whole method: its VCs share an
+        # enormous hypothesis prefix, so sibling VCs (and later fixpoint
+        # rounds) reuse each other's sub-DAG simplifications.
+        simp_cache = SimplifyCache() if self.simplify else None
         planned: List[PlannedVC] = []
         for i, vc in enumerate(vcs):
             formula = vc.formula()
@@ -250,11 +264,15 @@ class Verifier:
                 # plan phase, so every downstream consumer -- the sequential
                 # solve loop, the engine's SolveTasks, external backends and
                 # the verdict cache -- sees the same canonical formula.
+                simp_started = time.perf_counter()
                 with deep_recursion():
                     formula = rewrite(formula)
                     nodes_before = term_size(formula)
-                    formula = simplify_term(formula, subst_log=subst_log)
+                    formula = simplify_term(
+                        formula, subst_log=subst_log, cache=simp_cache
+                    )
                     nodes_after = term_size(formula)
+                simplify_s += time.perf_counter() - simp_started
             planned.append(
                 PlannedVC(
                     i, vc.label, formula,
@@ -272,6 +290,8 @@ class Verifier:
             ghost_failures=ghost,
             vcs=planned,
             simplify=self.simplify,
+            plan_s=time.perf_counter() - plan_started,
+            simplify_s=simplify_s,
         )
 
     # -- phase 2: solve (sequential reference implementation) ---------------

@@ -10,6 +10,8 @@ infrastructure:
 - :mod:`repro.engine.scheduler` -- multiprocessing shard with per-task timeouts,
   streaming one result per VC as verdicts land
 - :mod:`repro.engine.cache`     -- persistent verdict cache keyed by formula hash
+- :mod:`repro.engine.plancache` -- persistent plan cache (simplified VCs + subst
+  logs keyed on program text, config, and planner code version)
 - :mod:`repro.engine.backends`  -- pluggable solver backends (in-tree, SMT-LIB2
   subprocess, cross-check)
 - :mod:`repro.engine.events`    -- typed per-VC events and the structured
@@ -32,6 +34,7 @@ from .backends import (
     register_backend,
 )
 from .cache import VcCache, formula_key
+from .plancache import PlanCache, code_fingerprint, plan_key
 from .diagnostics import diagnose
 from .events import (
     Diagnostic,
@@ -77,6 +80,9 @@ __all__ = [
     "register_backend",
     "VcCache",
     "formula_key",
+    "PlanCache",
+    "plan_key",
+    "code_fingerprint",
     "solve_one",
     "solve_tasks",
     "SolveTask",

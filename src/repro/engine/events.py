@@ -176,6 +176,16 @@ class VerificationResult:
     simplify: bool = False
     nodes_before: int = 0
     nodes_after: int = 0
+    # Phase timing split (schema v5): ``plan_s`` covers generation
+    # (checks, elaboration, VC generation) including the
+    # ``simplify_s`` rewrite+simplify portion; ``solve_s`` covers the
+    # scheduler's solve streaming.  ``plan_cached`` marks a plan
+    # replayed from the persistent plan cache (its ``plan_s`` is the
+    # load time and ``simplify_s`` is zero).
+    plan_s: float = 0.0
+    simplify_s: float = 0.0
+    solve_s: float = 0.0
+    plan_cached: bool = False
     event_counts: Dict[str, int] = dc_field(default_factory=dict)
     diagnostics: List[Diagnostic] = dc_field(default_factory=list)
 
@@ -215,6 +225,10 @@ class VerificationResult:
             "ok": self.ok,
             "n_vcs": self.n_vcs,
             "time_s": round(self.time_s, 4),
+            "plan_s": round(self.plan_s, 4),
+            "simplify_s": round(self.simplify_s, 4),
+            "solve_s": round(self.solve_s, 4),
+            "plan_cached": self.plan_cached,
             "jobs": self.jobs,
             "cache_hits": self.cache_hits,
             "dedup_hits": self.dedup_hits,
@@ -268,6 +282,7 @@ def build_result(
     jobs: int = 1,
     event_counts: Optional[Dict[str, int]] = None,
     diagnostics: Optional[List[Diagnostic]] = None,
+    solve_s: float = 0.0,
 ) -> VerificationResult:
     """Assemble the session result model for one method.
 
@@ -322,6 +337,10 @@ def build_result(
         simplify=report.simplify,
         nodes_before=report.nodes_before,
         nodes_after=report.nodes_after,
+        plan_s=plan.plan_s,
+        simplify_s=plan.simplify_s,
+        solve_s=solve_s,
+        plan_cached=plan.from_cache,
         event_counts=dict(event_counts or {}),
         diagnostics=list(diagnostics or []),
     )

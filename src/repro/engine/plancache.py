@@ -1,0 +1,337 @@
+"""Persistent plan cache: skip the generate+simplify phase on warm runs.
+
+The plan phase (well-behavedness checks, FWYB elaboration, VC
+generation, rewrite + verdict-preserving simplification) is a pure
+function of the method's program text, the intrinsic definition, the
+encoding configuration, and the planner's own code.  This cache keys a
+method's finished :class:`~repro.core.verifier.MethodPlan` on a SHA-256
+of exactly those inputs, and stores the simplified per-VC formulas (as
+codec node tables -- the engine's interning-safe wire format), the
+oriented-equality substitution logs, static failures, and node-count
+stats.  A warm run rebuilds the plan from a single file read: the 55s
+avl_insert plan+simplify becomes a disk load.
+
+Invalidation is by key construction, not by timestamps:
+
+- the *program text* is the deterministic ``repr`` of the (dataclass)
+  AST and intrinsic definition, so editing a method, a contract, a
+  local condition, or an impact set changes the key;
+- the *configuration* folds in encoding, memory-safety, simplify, and
+  instantiation rounds -- each changes the planned formulas;
+- the *code fingerprint* hashes the source of every module the plan
+  output depends on (lang/core front end, rewriter, simplifier, term
+  and sort representation, printer) plus a format version, so upgrading
+  the pipeline abandons stale plans wholesale.
+
+Hardening mirrors :class:`~repro.engine.cache.VcCache`: every entry
+embeds its own key and a checksum of its payload; a poisoned, truncated
+or hand-edited entry fails validation, is deleted, and the plan is
+regenerated -- a wrong plan is never served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from fractions import Fraction
+from pathlib import Path
+from typing import List, Optional
+
+from ..core.ids import IntrinsicDefinition
+from ..core.verifier import MethodPlan, PlannedVC
+from ..lang.ast import Program
+from .cache import _checksum
+from .codec import decode_nodes, encode_terms
+
+__all__ = ["PlanCache", "plan_key", "code_fingerprint"]
+
+#: Bump when the stored record layout changes (independent of code hash).
+_FORMAT_VERSION = 1
+
+#: Modules whose source determines the plan output.  The program text
+#: itself is covered by the AST repr in the key, so structure modules
+#: (whose only contribution is building that AST) are not hashed.
+_FINGERPRINT_MODULES = (
+    "repro.lang.ast",
+    "repro.lang.exprs",
+    "repro.lang.ghost",
+    "repro.lang.semantics",
+    "repro.lang.wellbehaved",
+    "repro.core.fwyb",
+    "repro.core.ids",
+    "repro.core.impact",
+    "repro.core.vcgen",
+    "repro.core.verifier",
+    "repro.smt.quant",
+    "repro.smt.printer",
+    "repro.smt.rewriter",
+    "repro.smt.simplify",
+    "repro.smt.sorts",
+    "repro.smt.terms",
+    "repro.engine.codec",
+    # This module itself: its (de)serialization semantics are part of
+    # what a stored entry means, so editing them abandons old entries
+    # without anyone remembering to bump _FORMAT_VERSION.
+    "repro.engine.plancache",
+)
+
+_fingerprint_cache: List[Optional[str]] = [None]
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the sources of every plan-determining module."""
+    cached = _fingerprint_cache[0]
+    if cached is not None:
+        return cached
+    import importlib
+
+    digest = hashlib.sha256()
+    digest.update(f"format:{_FORMAT_VERSION}\n".encode())
+    for name in _FINGERPRINT_MODULES:
+        module = importlib.import_module(name)
+        path = getattr(module, "__file__", None)
+        digest.update(f"{name}\n".encode())
+        if path and os.path.exists(path):
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+        else:  # bytecode-only/frozen install: mark it rather than hash air
+            digest.update(b"<no-source>")
+    out = digest.hexdigest()
+    _fingerprint_cache[0] = out
+    return out
+
+
+def plan_key(
+    program: Program,
+    ids: IntrinsicDefinition,
+    method: str,
+    encoding: str,
+    memory_safety: bool,
+    simplify: bool,
+    instantiation_rounds: int,
+) -> str:
+    """Stable content hash for one method's plan.
+
+    The whole program is folded in (not just the one method) because
+    planning elaborates callees' contracts; the dataclass ``repr`` of
+    the AST is deterministic and content-based, so any semantic edit
+    shifts the key.  The conflict budget is deliberately absent: it
+    bounds the *solve* phase and never changes planned formulas.
+    """
+    payload = "\x1e".join(
+        (
+            code_fingerprint(),
+            method,
+            encoding,
+            f"ms={memory_safety}",
+            f"simp={simplify}",
+            f"inst={instantiation_rounds}",
+            repr(program),
+            repr(ids),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- JSON-safe codec node tables --------------------------------------------
+#
+# codec nodes are (op, arg_ixs, sort_enc, name, value, binder_ixs) tuples
+# whose only non-JSON value is a Fraction literal.  Tuples round-trip as
+# lists (decode_nodes indexes positionally), Fractions as tagged pairs.
+
+
+def _value_to_json(value):
+    if isinstance(value, Fraction):
+        return ["frac", str(value.numerator), str(value.denominator)]
+    if isinstance(value, bool) or value is None:
+        return value
+    raise TypeError(f"unexpected literal value {value!r}")  # pragma: no cover
+
+
+def _value_from_json(value):
+    if isinstance(value, list):
+        return Fraction(int(value[1]), int(value[2]))
+    return value
+
+
+def _nodes_to_json(nodes) -> list:
+    return [
+        [op, list(args), _sort_to_json(sort), name, _value_to_json(value), list(binders)]
+        for op, args, sort, name, value, binders in nodes
+    ]
+
+
+def _sort_to_json(enc) -> list:
+    return [enc[0]] + [_sort_to_json(e) if isinstance(e, tuple) else e for e in enc[1:]]
+
+
+def _sort_from_json(enc) -> tuple:
+    return tuple(
+        _sort_from_json(e) if isinstance(e, list) else e for e in enc
+    )
+
+
+def _nodes_from_json(nodes) -> list:
+    return [
+        (
+            op,
+            tuple(args),
+            _sort_from_json(sort),
+            name,
+            _value_from_json(value),
+            tuple(binders),
+        )
+        for op, args, sort, name, value, binders in nodes
+    ]
+
+
+def _vc_to_json(pvc: PlannedVC) -> dict:
+    entry = {
+        "index": pvc.index,
+        "label": pvc.label,
+        "failure": pvc.failure,
+        "note": pvc.note,
+        "nodes_before": pvc.nodes_before,
+        "nodes_after": pvc.nodes_after,
+    }
+    if pvc.formula is not None:
+        roots = [pvc.formula]
+        for target, repl in pvc.subst:
+            roots.append(target)
+            roots.append(repl)
+        nodes, root_ixs = encode_terms(roots)
+        entry["nodes"] = _nodes_to_json(nodes)
+        entry["roots"] = list(root_ixs)
+    return entry
+
+
+def _vc_from_json(entry: dict) -> PlannedVC:
+    formula = None
+    subst = ()
+    if "nodes" in entry:
+        built = decode_nodes(_nodes_from_json(entry["nodes"]))
+        roots = [built[i] for i in entry["roots"]]
+        formula = roots[0]
+        pairs = roots[1:]
+        subst = tuple(
+            (pairs[i], pairs[i + 1]) for i in range(0, len(pairs), 2)
+        )
+    return PlannedVC(
+        index=entry["index"],
+        label=entry["label"],
+        formula=formula,
+        failure=entry["failure"],
+        note=entry["note"],
+        nodes_before=entry["nodes_before"],
+        nodes_after=entry["nodes_after"],
+        subst=subst,
+    )
+
+
+class PlanCache:
+    """File-per-entry MethodPlan store under ``root`` (safe to share)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, conflict_budget: Optional[int]) -> Optional[MethodPlan]:
+        """Validated plan for ``key``, or None (poison is purged).
+
+        ``conflict_budget`` is stamped onto the returned plan: it is a
+        solve-phase knob the plan merely transports, deliberately
+        outside the cache key.
+        """
+        path = self._path(key)
+        started = time.perf_counter()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            record = None
+        if (
+            not isinstance(record, dict)
+            or record.get("key") != key
+            or not isinstance(record.get("plan"), dict)
+            or record.get("checksum") != _checksum(record)
+        ):
+            if path.exists():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self.misses += 1
+            return None
+        doc = record["plan"]
+        try:
+            plan = MethodPlan(
+                structure=doc["structure"],
+                method=doc["method"],
+                encoding=doc["encoding"],
+                conflict_budget=conflict_budget,
+                wb_failures=list(doc["wb_failures"]),
+                ghost_failures=list(doc["ghost_failures"]),
+                vcs=[_vc_from_json(entry) for entry in doc["vcs"]],
+                simplify=doc["simplify"],
+            )
+        except (KeyError, IndexError, TypeError, ValueError):
+            # Structurally valid JSON that no longer decodes (e.g. a
+            # foreign format): purge and regenerate.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        plan.plan_s = time.perf_counter() - started
+        plan.simplify_s = 0.0
+        plan.from_cache = True
+        self.hits += 1
+        return plan
+
+    def put(self, key: str, plan: MethodPlan) -> None:
+        record = {
+            "key": key,
+            "format": _FORMAT_VERSION,
+            "plan": {
+                "structure": plan.structure,
+                "method": plan.method,
+                "encoding": plan.encoding,
+                "wb_failures": list(plan.wb_failures),
+                "ghost_failures": list(plan.ghost_failures),
+                "simplify": plan.simplify,
+                "vcs": [_vc_to_json(pvc) for pvc in plan.vcs],
+            },
+        }
+        record["checksum"] = _checksum(record)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish so a concurrent reader never sees a torn entry.
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+        finally:
+            if os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

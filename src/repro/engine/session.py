@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+from pathlib import Path
 from dataclasses import dataclass, field as dc_field, replace as dc_replace
 from typing import Iterator, List, Optional, Sequence, Union
 
@@ -47,6 +48,7 @@ from ..core.verifier import MethodPlan, Verifier
 from ..lang.ast import Program
 from .backends import make_backend
 from .cache import VcCache
+from .plancache import PlanCache, plan_key
 from .diagnostics import diagnose
 from .events import Diagnostic, VcEvent, VerificationResult, build_result, event_for_result
 from .scheduler import stream_tasks
@@ -83,6 +85,7 @@ class _MethodState:
     started: float
     task_results: List[TaskResult] = dc_field(default_factory=list)
     event_counts: dict = dc_field(default_factory=dict)
+    solve_s: float = 0.0
 
 
 class VerificationRun:
@@ -141,14 +144,23 @@ class VerificationSession:
         simplify: bool = True,
         batch: bool = True,
         batch_size: int = 16,
-        batch_node_limit: int = 200,
+        batch_node_limit: int = 2400,
         diagnostics: bool = True,
         persistent_pool: bool = True,
+        plan_cache: bool = True,
     ):
         self.jobs = max(1, int(jobs))
         self.backend_spec = backend
         make_backend(backend)  # fail fast on unknown/unavailable backends
         self.cache = VcCache(cache_dir) if cache_dir else None
+        # The plan cache shares the verdict cache's root (its entries
+        # live under ``<cache_dir>/plan``); ``plan_cache=False`` opts a
+        # session out while keeping verdict caching.
+        self.plan_cache = (
+            PlanCache(Path(cache_dir) / "plan")
+            if cache_dir and plan_cache
+            else None
+        )
         self.timeout_s = timeout_s
         self.method_budget_s = method_budget_s
         self.encoding = encoding
@@ -185,6 +197,36 @@ class VerificationSession:
         return self._pool
 
     # -- plumbing -----------------------------------------------------------
+
+    def _plan(
+        self, program: Program, ids: IntrinsicDefinition, method: str
+    ) -> MethodPlan:
+        """Generate (or replay) one method's plan.
+
+        With a plan cache, the finished plan -- simplified formulas,
+        substitution logs, static failures -- is keyed on the program
+        text, the intrinsic definition, the planning configuration and
+        the planner's code fingerprint, so a warm run skips VC
+        generation and simplification entirely.
+        """
+        verifier = self._verifier(program, ids)
+        if self.plan_cache is None:
+            return verifier.plan(method)
+        key = plan_key(
+            program,
+            ids,
+            method,
+            encoding=self.encoding,
+            memory_safety=self.memory_safety,
+            simplify=self.simplify,
+            instantiation_rounds=verifier.instantiation_rounds,
+        )
+        plan = self.plan_cache.get(key, conflict_budget=self.conflict_budget)
+        if plan is not None:
+            return plan
+        plan = verifier.plan(method)
+        self.plan_cache.put(key, plan)
+        return plan
 
     def _verifier(self, program: Program, ids: IntrinsicDefinition) -> Verifier:
         return Verifier(
@@ -253,7 +295,7 @@ class VerificationSession:
 
         for method in request.method_list:
             started = time.perf_counter()
-            plan = self._verifier(request.program, request.ids).plan(method)
+            plan = self._plan(request.program, request.ids, method)
             state = _MethodState(plan=plan, started=started)
 
             # Phase 1 events: every slot is announced, static failures
@@ -298,6 +340,7 @@ class VerificationSession:
                 and timeout_s is None
                 and budget_s is None
             )
+            solve_started = time.perf_counter()
             for res in stream_tasks(
                 units,
                 jobs=self.jobs,
@@ -313,6 +356,7 @@ class VerificationSession:
                 yield stamped(
                     event_for_result(plan.structure, plan.method, res), state
                 )
+            state.solve_s = time.perf_counter() - solve_started
 
             results.append(self._finish(state))
 
@@ -336,4 +380,5 @@ class VerificationSession:
             jobs=self.jobs,
             event_counts=state.event_counts,
             diagnostics=diagnostics,
+            solve_s=state.solve_s,
         )

@@ -203,17 +203,17 @@ def batches_from_plan(
     backend_spec: str = "intree",
     timeout_s: Optional[float] = None,
     batch_size: int = 16,
-    batch_node_limit: int = 200,
+    batch_node_limit: int = 2400,
 ) -> List[TaskUnit]:
     """Pack a plan's solvable VCs into :class:`BatchTask`s.
 
     Consecutive VCs (plan order keeps hypothesis prefixes adjacent) are
     packed up to ``batch_size`` per batch AND at most
-    ``batch_node_limit`` summed formula nodes per batch -- a persistent
-    context accumulates every goal's atoms, so packing several large VCs
-    together makes each later check re-assert the earlier goals' theory
-    atoms; tiny post-simplify VCs (most shrink to a handful of nodes or
-    literal ``true``) are exactly what batching is for.  A VC bigger
+    ``batch_node_limit`` summed formula nodes per batch.  The node limit
+    used to default to 200 because a persistent context accumulated every
+    retired goal's atoms forever; with retired-goal garbage collection in
+    :class:`repro.smt.solver.IncrementalSolver` the context stays near
+    prefix-sized and the default is an order of magnitude higher.  A VC bigger
     than the node limit on its own stays a standalone
     :class:`SolveTask` so it can be scheduled -- and timed out -- in
     isolation.  Batches of one collapse back to plain tasks.

@@ -70,6 +70,7 @@ __all__ = [
     "simplify",
     "simplify_with_stats",
     "apply_inverse_subst",
+    "SimplifyCache",
     "SimplifyStats",
     "term_size",
 ]
@@ -101,18 +102,66 @@ def term_size(term: Term) -> int:
 
 # A capped *tree* size, cacheable per interned node (DAG size is not
 # compositional).  Used only for deterministic ordering decisions:
-# conjunct sorting, equality orientation, the no-growth guard.
-_TSIZE: Dict[Term, int] = {}
+# conjunct sorting, equality orientation, the no-growth guard.  The cache
+# lives in a lazily-filled slot on the interned term itself, so its
+# lifetime is exactly the intern table's -- no separate module-global
+# dict growing without bound across a long session.
 
 
 def _tsize(term: Term) -> int:
-    got = _TSIZE.get(term)
-    if got is not None:
-        return got
+    try:
+        return term._tsize
+    except AttributeError:
+        pass
     for t in iter_subterms(term):
-        if t not in _TSIZE:
-            _TSIZE[t] = min(_SIZE_CAP, 1 + sum(_TSIZE[a] for a in t.args))
-    return _TSIZE[term]
+        if not hasattr(t, "_tsize"):
+            t._tsize = min(_SIZE_CAP, 1 + sum(a._tsize for a in t.args))
+    return term._tsize
+
+
+# Free-constant leaf set of a term (``const``/``var`` leaves; literal
+# numerals and nullary builtins like ``emptyset`` excluded -- they are
+# shared by unrelated formulas and carry no relevance signal).  ``None``
+# means "more than ``_FV_CAP`` leaves": such terms opt out of the
+# fact-signature memo below, and -- load-bearing for its exactness -- any
+# fact *keyed* on such a term can never equal a query made while
+# simplifying a memoized (small-leaf-set) term, so it is also invisible
+# to signatures.  Slot-cached on the interned node, like ``_tsize``.
+_FV_CAP = 24
+
+
+def _fv(term: Term):
+    try:
+        return term._fv
+    except AttributeError:
+        pass
+    stack = [term]
+    while stack:
+        t = stack[-1]
+        if hasattr(t, "_fv"):
+            stack.pop()
+            continue
+        missing = [a for a in t.args + t.binders if not hasattr(a, "_fv")]
+        if missing:
+            stack.extend(missing)
+            continue
+        stack.pop()
+        if t.op in ("const", "var"):
+            t._fv = frozenset((t,))
+            continue
+        leaves = set()
+        over = False
+        for a in t.args + t.binders:
+            part = a._fv
+            if part is None:
+                over = True
+                break
+            leaves |= part
+            if len(leaves) > _FV_CAP:
+                over = True
+                break
+        t._fv = None if over else frozenset(leaves)
+    return term._fv
 
 
 # ---------------------------------------------------------------------------
@@ -120,45 +169,315 @@ def _tsize(term: Term) -> int:
 # ---------------------------------------------------------------------------
 
 
-class _Env:
-    """Facts known to hold at the current position of the boolean skeleton.
+_ABSENT = object()
+_KEPT = object()  # trail tag: overwrite of an already-indexed key
+_CONST_FREE = object()  # trail tag: insert of a key with no const leaves
+# Poisons a dependency-leaf set: the walk it accounts for touched a term
+# with an over-cap (untrackable) leaf set, so its result must not be
+# reused across contexts.
+_POISON = object()
+
+
+class _Ctx:
+    """Layered fact environment: one shared map plus an undo trail.
 
     ``map`` sends a term to its replacement under the facts: ``TRUE`` /
     ``FALSE`` for decided boolean subterms, the smaller side for ground
     equalities.  Replacements are strictly decreasing in
     ``(non-literal, tree-size, id)``, so chasing chains terminates.
+
+    Boolean scopes (implication hypotheses, ite branches, the growing
+    conjunct/disjunct context of a junction fold) form a strict LIFO
+    discipline in the contextual pass -- facts are only ever added to the
+    innermost live scope, and scopes are abandoned innermost-first.  So
+    instead of copying the whole fact map per scope (the quadratic the
+    pre-layered simplifier paid), every scope is a *delta layer* on one
+    shared dict: ``push`` marks the trail, ``add`` records displaced
+    entries, ``pop`` replays the trail tail.  Lookup stays a single dict
+    probe; entering/leaving a scope costs only the scope's own facts.
+
+    ``version`` names the current fact-map *content*: ``add`` moves to a
+    fresh value, ``pop`` restores the value recorded at ``push`` time, so
+    equal versions imply byte-identical fact maps (the token the
+    version-scoped memo tier keys on).
+
+    Two structures support the fact-signature memo of ``_once``:
+
+    - ``leaf_index`` lists every under-cap fact key beneath exactly one
+      of its free-constant leaves -- the one with the currently shortest
+      list, so "hot" leaves (heap-map constants appearing in nearly every
+      atom) do not collect every fact keyed on them.  A signature scan
+      discovers a key through any of its leaves only if *all* its leaves
+      are live, so single-slot indexing under an arbitrary member leaf
+      stays complete.  Keys whose leaf set is over ``_FV_CAP`` (``_fv``
+      is ``None``) are deliberately unindexed: they can never equal a
+      query made while walking a memoized term, whose queries all carry
+      under-cap leaf sets.
+    - ``leaf_stamp`` stamps each leaf of a key on every mutation (add,
+      overwrite, scope-exit undo) with a fresh monotone counter value,
+      so "has any fact relevant to this leaf set changed since stamp S"
+      is a handful of dict probes -- the validity test of the memo's
+      fast path.
+
+    A per-version chase cache gives ``get`` path compression: the first
+    lookup of a deep oriented-equality chain records the terminal
+    replacement for every link, so repeated queries stop re-walking the
+    chain.  The compressed entries live outside the fact map itself and
+    die with the version, which keeps them trivially consistent with
+    scope exits and in-scope overwrites.
     """
 
-    __slots__ = ("map", "token", "log")
-    _next_token = [0]
+    __slots__ = (
+        "map", "trail", "scopes", "log", "version", "_next_version",
+        "stamp", "leaf_stamp", "const_free_stamp", "leaf_index",
+        "const_free", "mod_log", "_chase", "_chase_version",
+    )
 
-    def __init__(
-        self, base: Optional["_Env"] = None, log: Optional[List[Tuple[Term, Term]]] = None
-    ):
-        self.map: Dict[Term, Term] = dict(base.map) if base is not None else {}
-        # The oriented-equality substitution log is shared down the whole
-        # environment chain: nested scopes append to the same list.
-        self.log = log if log is not None else (base.log if base is not None else None)
-        self.token = self._bump()
+    def __init__(self, log: Optional[List[Tuple[Term, Term]]] = None):
+        self.map: Dict[Term, Term] = {}
+        self.trail: List[Tuple[Term, object, object]] = []
+        self.scopes: List[Tuple[int, int]] = []
+        self.log = log
+        self.version = 0
+        self._next_version = 0
+        self.stamp = 0
+        self.leaf_stamp: Dict[Term, int] = {}
+        self.const_free_stamp = 0
+        self.leaf_index: Dict[Term, List[Term]] = {}
+        self.const_free: List[Term] = []
+        # Append-only ledger of every key whose mapping changed (adds,
+        # overwrites, AND scope-exit undos -- an undo changes answers
+        # just as much as an add).  Memo entries remember their position
+        # in this log; re-validating an entry is a bounded scan of the
+        # keys modified since, subset-testing each against the entry's
+        # leaf closure -- exact where the per-leaf stamps are coarse.
+        self.mod_log: List[Term] = []
+        self._chase: Dict[Term, Tuple[Term, object]] = {}
+        self._chase_version = -1
 
-    @classmethod
-    def _bump(cls) -> int:
-        cls._next_token[0] += 1
-        return cls._next_token[0]
+    # -- scopes -------------------------------------------------------------
 
-    def get(self, t: Term) -> Optional[Term]:
-        rep = self.map.get(t)
-        if rep is None:
-            return None
-        while True:
-            nxt = self.map.get(rep)
-            if nxt is None or nxt is rep:
-                return rep
-            rep = nxt
+    def push(self) -> None:
+        self.scopes.append((len(self.trail), self.version))
+
+    def pop(self) -> None:
+        mark, version = self.scopes.pop()
+        trail = self.trail
+        if len(trail) == mark:
+            return
+        m = self.map
+        self.stamp += 1
+        mod_log = self.mod_log
+        while len(trail) > mark:
+            key, old, slot = trail.pop()
+            self._stamp_key(key)
+            mod_log.append(key)
+            if old is _ABSENT:
+                del m[key]
+                if slot is _CONST_FREE:
+                    self.const_free.pop()
+                elif slot is not None:
+                    self.leaf_index[slot].pop()
+            else:
+                m[key] = old
+        self.version = version
+
+    # -- mutation -----------------------------------------------------------
+
+    def _stamp_key(self, key: Term) -> None:
+        leaves = _fv(key)
+        if leaves is None:
+            return  # over-cap keys are invisible to memoized walks
+        if not leaves:
+            self.const_free_stamp = self.stamp
+            return
+        stamp = self.stamp
+        leaf_stamp = self.leaf_stamp
+        for c in leaves:
+            leaf_stamp[c] = stamp
+
+    def _set(self, key: Term, value: Term) -> None:
+        old = self.map.get(key, _ABSENT)
+        if old is value:
+            return  # re-asserting an identical fact changes nothing
+        slot: object = _KEPT
+        if old is _ABSENT:
+            leaves = _fv(key)
+            if leaves is None:
+                slot = None
+            elif not leaves:
+                self.const_free.append(key)
+                slot = _CONST_FREE
+            else:
+                index = self.leaf_index
+                best = None
+                best_len = -1
+                for c in leaves:
+                    lst = index.get(c)
+                    n = 0 if lst is None else len(lst)
+                    if best is None or n < best_len:
+                        best, best_len = c, n
+                        if n == 0:
+                            break
+                index.setdefault(best, []).append(key)
+                slot = best
+        self.trail.append((key, old, slot))
+        self.map[key] = value
+        self._stamp_key(key)
+        self.mod_log.append(key)
 
     def add(self, fact: Term, positive: bool) -> None:
-        _add_facts(fact, self.map, positive, self.log)
-        self.token = self._bump()
+        before = len(self.trail)
+        self.stamp += 1
+        _add_facts(fact, self, positive)
+        if len(self.trail) != before:
+            self._next_version += 1
+            self.version = self._next_version
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, t: Term, deps: Optional[set] = None) -> Optional[Term]:
+        """Chase ``t`` through the fact map (with path compression).
+
+        When ``deps`` is given, the free-constant leaves of every chain
+        link after ``t`` (including the final replacement) are added to
+        it -- the caller's memo entry must be invalidated if any of
+        those links is later remapped.  ``t``'s own leaves are the
+        caller's responsibility (part of its term identity).
+        """
+        m = self.map
+        rep = m.get(t)
+        if rep is None:
+            return None
+        if self._chase_version != self.version:
+            self._chase = {}
+            self._chase_version = self.version
+        chase = self._chase
+        hit = chase.get(t)
+        if hit is None:
+            chain = [t]
+            tail = None
+            while True:
+                nxt = m.get(rep)
+                if nxt is None or nxt is rep:
+                    break
+                chain.append(rep)
+                rep = nxt
+                tail = chase.get(rep)
+                if tail is not None:
+                    rep = tail[0]
+                    break
+            # Union of leaf sets along the chain suffix (each link's own
+            # leaves included), poisoned to None by any over-cap link;
+            # built back-to-front so every link gets its own entry.
+            leaves = tail[1] if tail is not None else _fv(rep)
+            for link in reversed(chain):
+                lv = _fv(link)
+                leaves = (
+                    None if (leaves is None or lv is None) else leaves | lv
+                )
+                chase[link] = (rep, leaves)
+            hit = chase[t]
+        if deps is not None:
+            leaves = hit[1]
+            if leaves is None:
+                deps.add(_POISON)
+            else:
+                deps |= leaves
+        return hit[0]
+
+    # -- fact signatures ----------------------------------------------------
+
+    def signature(self, t: Term, leaves: frozenset):
+        """The facts that can influence simplifying ``t``.
+
+        Returns ``(sig, live)``: ``sig`` is a frozenset of ``(key,
+        value)`` fact entries -- every entry whose key's free-constant
+        leaves all fall inside the closure of ``t``'s leaves under
+        replacement values -- and ``live`` is that closure.  Every fact
+        query the contextual pass can make while walking ``t`` is on a
+        term built from ``t``'s leaves and the leaves of replacement
+        values it picked up, so two contexts with equal signatures
+        answer every such query identically: keying the memo on
+        ``(t, sig)`` is *exact*, not heuristic.  ``(None, None)`` (a
+        closure escaping ``_FV_CAP``) means "do not memoize across
+        contexts".
+        """
+        index = self.leaf_index
+        m = self.map
+        pending: Optional[List[Term]] = None
+        seen = None
+        for c in leaves:
+            lst = index.get(c)
+            if lst:
+                if pending is None:
+                    pending = []
+                    seen = set()
+                for k in lst:
+                    if k not in seen:
+                        seen.add(k)
+                        pending.append(k)
+        if pending is None:
+            if not self.const_free:
+                return _EMPTY_SIG, leaves
+            pending = []
+            seen = set()
+        live = set(leaves)
+        entries: List[Tuple[Term, Term]] = []
+
+        def admit(key: Term) -> bool:
+            """Record a relevant entry; grow the closure by its value."""
+            value = m.get(key)
+            if value is None:
+                return True  # defensive: index/map drifted
+            entries.append((key, value))
+            vleaves = _fv(value)
+            if vleaves is None:
+                return False
+            new = vleaves - live
+            if new:
+                if len(live) + len(new) > _FV_CAP:
+                    return False
+                live.update(new)
+                for c in new:
+                    lst = index.get(c)
+                    if lst:
+                        for k in lst:
+                            if k not in seen:
+                                seen.add(k)
+                                pending.append(k)
+            return True
+
+        for key in self.const_free:
+            if not admit(key):
+                return None, None
+        changed = True
+        while changed:
+            changed = False
+            still: List[Term] = []
+            for key in pending:
+                if key._fv <= live:
+                    if not admit(key):
+                        return None, None
+                    changed = True
+                else:
+                    still.append(key)
+            pending = still
+        if not entries:
+            return _EMPTY_SIG, leaves
+        return frozenset(entries), frozenset(live)
+
+
+_EMPTY_SIG: frozenset = frozenset()
+# Longest mod-log suffix a fast-tier revalidation will scan before giving
+# up and recomputing the signature from scratch.
+_SCAN_CAP = 384
+# Upper bound on a fast-tier entry's recorded leaf set; bigger unions are
+# not worth validating and fall back to recomputation.
+_DEPS_CAP = 120
+# Tree size below which the cross-context signature memo is skipped:
+# re-walking a tiny term is cheaper than computing its fact signature.
+_SIG_MIN_TSIZE = 32
 
 
 def _orient(a: Term, b: Term) -> Tuple[Term, Term]:
@@ -173,62 +492,58 @@ def _orient(a: Term, b: Term) -> Tuple[Term, Term]:
     return b, a
 
 
-def _add_facts(
-    fact: Term,
-    m: Dict[Term, Term],
-    positive: bool,
-    log: Optional[List[Tuple[Term, Term]]] = None,
-) -> None:
+def _add_facts(fact: Term, ctx: "_Ctx", positive: bool) -> None:
+    log = ctx.log
     if positive:
         if fact is TRUE or fact is FALSE:
             return
-        m[fact] = TRUE
+        ctx._set(fact, TRUE)
         op = fact.op
         if op == "not":
-            m[fact.args[0]] = FALSE
+            ctx._set(fact.args[0], FALSE)
         elif op == "and":
             for a in fact.args:
-                _add_facts(a, m, True, log)
+                _add_facts(a, ctx, True)
         elif op == "eq":
             a, b = fact.args
             target, repl = _orient(a, b)
             if log is not None and target is not repl and target.sort != BOOL:
                 log.append((target, repl))
-            m[target] = repl
+            ctx._set(target, repl)
             if a.sort.is_numeric:
-                m[mk_le(a, b)] = TRUE
-                m[mk_le(b, a)] = TRUE
-                m[mk_lt(a, b)] = FALSE
-                m[mk_lt(b, a)] = FALSE
+                ctx._set(mk_le(a, b), TRUE)
+                ctx._set(mk_le(b, a), TRUE)
+                ctx._set(mk_lt(a, b), FALSE)
+                ctx._set(mk_lt(b, a), FALSE)
         elif op == "le":
             a, b = fact.args
-            m[mk_lt(b, a)] = FALSE
+            ctx._set(mk_lt(b, a), FALSE)
         elif op == "lt":
             a, b = fact.args
-            m[mk_le(a, b)] = TRUE
-            m[mk_le(b, a)] = FALSE
-            m[mk_lt(b, a)] = FALSE
-            m[mk_eq(a, b)] = FALSE
+            ctx._set(mk_le(a, b), TRUE)
+            ctx._set(mk_le(b, a), FALSE)
+            ctx._set(mk_lt(b, a), FALSE)
+            ctx._set(mk_eq(a, b), FALSE)
     else:
         if fact is TRUE or fact is FALSE:
             return
-        m[fact] = FALSE
+        ctx._set(fact, FALSE)
         op = fact.op
         if op == "not":
-            _add_facts(fact.args[0], m, True, log)
+            _add_facts(fact.args[0], ctx, True)
         elif op == "or":
             for a in fact.args:
-                _add_facts(a, m, False, log)
+                _add_facts(a, ctx, False)
         elif op == "implies":
             # not (h -> g)  ==>  h and not g
-            _add_facts(fact.args[0], m, True, log)
-            _add_facts(fact.args[1], m, False, log)
+            _add_facts(fact.args[0], ctx, True)
+            _add_facts(fact.args[1], ctx, False)
         elif op == "le":
             a, b = fact.args
-            _add_facts(mk_lt(b, a), m, True, log)
+            _add_facts(mk_lt(b, a), ctx, True)
         elif op == "lt":
             a, b = fact.args
-            _add_facts(mk_le(b, a), m, True, log)
+            _add_facts(mk_le(b, a), ctx, True)
 
 
 # ---------------------------------------------------------------------------
@@ -420,63 +735,231 @@ def _drop_subsumed(parts: List[Term], litset_of) -> List[Term]:
 # ---------------------------------------------------------------------------
 
 
-def _once(root: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None) -> Term:
-    memo: Dict[Tuple[int, Term], Term] = {}
+class SimplifyCache:
+    """Persistent simplification state, shareable across calls.
 
-    def walk(t: Term, env: _Env) -> Term:
-        rep = env.get(t)
+    Memo entries assert "under these relevant facts, this term simplifies
+    to this result" -- a claim about fact-map *content*, not about which
+    formula or fixpoint round produced it.  So the whole machinery (the
+    fact context with its stamp ledger, and all three memo tiers of
+    ``_once``) can outlive a single ``simplify`` call: later rounds of
+    the fixpoint re-walk a mostly-unchanged term against warm memos, and
+    the VCs of one method -- which share their enormous hypothesis
+    prefix -- reuse each other's sub-DAG simplifications.  The verifier
+    allocates one cache per method plan (see ``repro.core.verifier``).
+
+    Per-call substitution logs stay exact: every memo entry records the
+    oriented-equality substitutions its computation appended, and a hit
+    replays them into the current call's log at the position the skipped
+    walk would have appended them.
+    """
+
+    __slots__ = ("ctx", "fast", "memo", "vmemo")
+
+    def __init__(self):
+        self.ctx = _Ctx()
+        self.fast: Dict[Term, list] = {}
+        self.memo: Dict[Tuple[Term, frozenset], tuple] = {}
+        self.vmemo: Dict[Tuple[Term, int], tuple] = {}
+
+
+def _once(
+    root: Term,
+    subst_log: Optional[List[Tuple[Term, Term]]] = None,
+    cache: Optional[SimplifyCache] = None,
+) -> Term:
+    if cache is None:
+        cache = SimplifyCache()
+    ctx = cache.ctx
+    if ctx.scopes or ctx.map:  # a prior call died mid-walk: start clean
+        cache.ctx = ctx = _Ctx()
+        cache.fast = {}
+        cache.memo = {}
+        cache.vmemo = {}
+    ctx.log = subst_log
+    # Three memo tiers, cheapest first.
+    #
+    # ``fast`` holds one entry per term: the result of its most recent
+    # simplification, the exact union of free-constant leaves of every
+    # fact-map query that computation made (``deps``, threaded through
+    # the walk), its mutation-ledger stamp and mod-log position.  It is
+    # valid exactly while no fact keyed on a term whose leaves all lie
+    # inside ``deps`` has been added, overwritten, or undone -- checked
+    # by per-leaf stamps first and an incremental mod-log scan when hot
+    # leaves were touched by unrelated facts (see ``fast_valid``).
+    # Stamps and the log only grow, so surviving entries fast-forward
+    # and failing ones are pruned on the spot.
+    #
+    # ``memo`` keys on ``(term, fact signature)`` and only earns its
+    # signature cost on terms of tree size >= ``_SIG_MIN_TSIZE``: when
+    # the fast tier misses, the exact signature still matches any
+    # earlier context whose *relevant* facts were identical, so a big
+    # shared sub-DAG is simplified once per distinct relevant fact set,
+    # not once per sibling context -- this is what turns the old
+    # per-sibling re-walk quadratic into near-linear.
+    #
+    # ``vmemo`` covers walks whose leaf set escapes ``_FV_CAP``: it keys
+    # on the fact map's content version, i.e. exactly the seed
+    # simplifier's token-scoped memo (only sound within one content
+    # state, but free).
+    fast = cache.fast  # t -> [deps, stamp, mod_pos, out, logged]
+    memo = cache.memo  # (t, sig) -> (deps|None, out, logged)
+    vmemo = cache.vmemo  # (t, version) -> (out, logged)
+    leaf_stamp = ctx.leaf_stamp
+    mod_log = ctx.mod_log
+
+    def fast_valid(entry: list) -> bool:
+        """Is this fast-tier entry's relevant fact set unchanged?
+
+        Cheap test first: if none of the recorded leaves was stamped
+        after the entry, nothing relevant moved.  When that fails (hot
+        leaves get stamped by unrelated facts constantly), scan the keys
+        modified since the entry's mod-log position and subset-test each
+        against the recorded leaves -- a key whose leaves do not all lie
+        inside them can never be queried by this walk, so only a genuine
+        subset hit invalidates.  Either way a surviving entry is
+        fast-forwarded to the present, keeping every scan incremental.
+        """
+        deps, stamp, pos = entry[0], entry[1], entry[2]
+        end = len(mod_log)
+        if ctx.const_free_stamp <= stamp and all(
+            leaf_stamp.get(c, 0) <= stamp for c in deps
+        ):
+            entry[1] = ctx.stamp
+            entry[2] = end
+            return True
+        if end - pos > _SCAN_CAP:
+            return False
+        n_deps = len(deps)
+        for i in range(pos, end):
+            lv = _fv(mod_log[i])
+            if lv is None:
+                continue  # over-cap key: unreachable from this walk
+            if not lv:
+                return False  # const-free fact: conservatively relevant
+            if len(lv) <= n_deps and lv <= deps:
+                return False
+        entry[1] = ctx.stamp
+        entry[2] = end
+        return True
+
+    def walk(t: Term, acc: set) -> Term:
+        rep = ctx.get(t, acc)
+        leaves = _fv(t)
+        if leaves is None:
+            acc.add(_POISON)
+        else:
+            acc |= leaves
         if rep is not None:
             return rep
         if not t.args:
             return t
-        key = (env.token, t)
-        got = memo.get(key)
-        if got is not None:
-            return got
+        log = ctx.log
+        sig = None
+        if leaves is not None:
+            entry = fast.get(t)
+            if entry is not None:
+                if fast_valid(entry):
+                    acc |= entry[0]
+                    if log is not None and entry[4]:
+                        log.extend(entry[4])
+                    return entry[3]
+                del fast[t]
+            if _tsize(t) >= _SIG_MIN_TSIZE:
+                sig, _live = ctx.signature(t, leaves)
+                if sig is not None:
+                    key = (t, sig)
+                    hit = memo.get(key)
+                    if hit is not None:
+                        deps, out, logged = hit
+                        if deps is None:
+                            acc.add(_POISON)
+                        else:
+                            fast[t] = [deps, ctx.stamp, len(mod_log), out, logged]
+                            acc |= deps
+                        if log is not None and logged:
+                            log.extend(logged)
+                        return out
+        if sig is None:
+            vkey = (t, ctx.version)
+            got = vmemo.get(vkey)
+            if got is not None:
+                out, logged = got
+                acc.add(_POISON)
+                if log is not None and logged:
+                    log.extend(logged)
+                return out
+        log_start = len(log) if log is not None else 0
+        deps: set = set(leaves) if leaves is not None else {_POISON}
         op = t.op
         if op == "and":
-            out = _fold_junction(t, env, positive=True)
+            out = _fold_junction(t, deps, positive=True)
         elif op == "or":
-            out = _fold_junction(t, env, positive=False)
+            out = _fold_junction(t, deps, positive=False)
         elif op == "implies":
-            h = walk(t.args[0], env)
+            h = walk(t.args[0], deps)
             if h is FALSE:
                 out = TRUE
             else:
-                inner = _Env(env)
-                inner.add(h, True)
-                out = mk_implies(h, walk(t.args[1], inner))
+                ctx.push()
+                try:
+                    ctx.add(h, True)
+                    body = walk(t.args[1], deps)
+                finally:
+                    ctx.pop()
+                out = mk_implies(h, body)
         elif op == "not":
-            a = walk(t.args[0], env)
+            a = walk(t.args[0], deps)
             if a.op == "lt":
                 out = _atom_norm(mk_le(a.args[1], a.args[0]))
             elif a.op == "le":
                 out = _atom_norm(mk_lt(a.args[1], a.args[0]))
             else:
                 out = mk_not(a)
-            out = _lookup(out, env)
+            out = _lookup(out, deps)
         elif op == "ite":
-            c = walk(t.args[0], env)
-            then_env = _Env(env)
-            then_env.add(c, True)
-            else_env = _Env(env)
-            else_env.add(c, False)
-            out = mk_ite(c, walk(t.args[1], then_env), walk(t.args[2], else_env))
-            out = _lookup(out, env)
+            c = walk(t.args[0], deps)
+            ctx.push()
+            try:
+                ctx.add(c, True)
+                then = walk(t.args[1], deps)
+            finally:
+                ctx.pop()
+            ctx.push()
+            try:
+                ctx.add(c, False)
+                els = walk(t.args[2], deps)
+            finally:
+                ctx.pop()
+            out = _lookup(mk_ite(c, then, els), deps)
         elif op == "forall":
             out = t  # never substitute under binders (RQ3 mode only)
         else:
-            new_args = tuple(walk(a, env) for a in t.args)
+            new_args = tuple(walk(a, deps) for a in t.args)
             t2 = _rebuild(t, new_args) if new_args != t.args else t
-            out = _lookup(_atom_norm(t2), env)
-        memo[key] = out
+            out = _lookup(_atom_norm(t2), deps)
+        # Scopes opened during the walk are balanced by its end, so the
+        # fact-map content (and hence version, signature and dependency
+        # validity) here equals the one captured at entry.
+        logged = tuple(log[log_start:]) if log is not None else ()
+        tracked = _POISON not in deps and len(deps) <= _DEPS_CAP
+        if tracked:
+            fdeps = frozenset(deps)
+            fast[t] = [fdeps, ctx.stamp, len(mod_log), out, logged]
+            acc |= fdeps
+        else:
+            acc.add(_POISON)
+        if sig is not None:
+            memo[key] = (fdeps if tracked else None, out, logged)
+        elif not tracked:
+            vmemo[vkey] = (out, logged)
         return out
 
-    def _lookup(t: Term, env: _Env) -> Term:
-        rep = env.get(t)
+    def _lookup(t: Term, deps: set) -> Term:
+        rep = ctx.get(t, deps)
         return rep if rep is not None else t
 
-    def _fold_junction(t: Term, env: _Env, positive: bool) -> Term:
+    def _fold_junction(t: Term, deps: set, positive: bool) -> Term:
         """Sequential fold of and/or: each member is simplified under the
         facts established by the already-processed members (facts first:
         members are sorted smallest-first so equalities and literals seed
@@ -484,30 +967,37 @@ def _once(root: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None) -> Te
         absorbing = FALSE if positive else TRUE
         junction_op = "and" if positive else "or"
         args = sorted(t.args, key=lambda a: (_tsize(a), a._fp, a._id))
-        cur = _Env(env)
         out: List[Term] = []
-        for a in args:
-            a2 = walk(a, cur)
-            if a2 is absorbing:
-                return absorbing
-            parts = a2.args if a2.op == junction_op else (a2,)
-            for p in parts:
-                if p is absorbing:
+        ctx.push()
+        try:
+            for a in args:
+                a2 = walk(a, deps)
+                if a2 is absorbing:
                     return absorbing
-                if p is TRUE or p is FALSE:
-                    continue  # the neutral element
-                out.append(p)
-                cur.add(p, positive)
+                parts = a2.args if a2.op == junction_op else (a2,)
+                for p in parts:
+                    if p is absorbing:
+                        return absorbing
+                    if p is TRUE or p is FALSE:
+                        continue  # the neutral element
+                    out.append(p)
+                    ctx.add(p, positive)
+        finally:
+            ctx.pop()
         if positive:
             out = _drop_subsumed(out, _clause_lits)
             return mk_and(*out)
         out = _drop_subsumed(out, _cube_lits)
         return mk_or(*out)
 
-    return walk(root, _Env(log=subst_log))
+    return walk(root, set())
 
 
-def simplify(term: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None) -> Term:
+def simplify(
+    term: Term,
+    subst_log: Optional[List[Tuple[Term, Term]]] = None,
+    cache: Optional[SimplifyCache] = None,
+) -> Term:
     """Simplify a ground boolean term, preserving logical equivalence.
 
     When ``subst_log`` is a list, every oriented ground-equality
@@ -516,18 +1006,27 @@ def simplify(term: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None) ->
     first-seen order.  The log is the vocabulary bridge for diagnostics:
     a countermodel over the simplified formula can be rendered in the
     original VC's vocabulary by :func:`apply_inverse_subst`.
+
+    ``cache`` shares memoized sub-DAG simplifications across calls (the
+    plan phase passes one per method, so sibling VCs reuse each other's
+    work); every call must use a consistent ``subst_log`` style (always
+    a list, or always ``None``) for replayed logs to stay exact.
     """
-    return simplify_with_stats(term, subst_log=subst_log)[0]
+    return simplify_with_stats(term, subst_log=subst_log, cache=cache)[0]
 
 
 def simplify_with_stats(
-    term: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None
+    term: Term,
+    subst_log: Optional[List[Tuple[Term, Term]]] = None,
+    cache: Optional[SimplifyCache] = None,
 ) -> Tuple[Term, SimplifyStats]:
     before = term_size(term)
+    if cache is None:
+        cache = SimplifyCache()
     with deep_recursion():
         rounds = 0
         for _ in range(_MAX_ROUNDS):
-            out = _once(term, subst_log)
+            out = _once(term, subst_log, cache)
             rounds += 1
             if out is term:
                 break

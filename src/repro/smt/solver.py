@@ -575,8 +575,24 @@ class IncrementalSolver(Solver):
     universe complete when later goals mention the same element terms.
     """
 
+    #: Retired-goal garbage collection: a retired goal's Tseitin clauses
+    #: and theory-atom registrations stay in the persistent context, and
+    #: every later ``solve`` re-propagates them (and re-asserts their
+    #: atoms into EUF/simplex on each decision), so an unbounded batch
+    #: slows down linearly in *retired* work.  When the variables
+    #: attributable to retired goals exceed ``gc_ratio`` times the shared
+    #: prefix's own variables (and the ``gc_min_vars`` floor), the
+    #: context is rebuilt from the recorded shared prefix alone --
+    #: exactly the state a fresh solver would build, so verdicts are
+    #: unaffected.  This is what lets the engine's ``batch_node_limit``
+    #: default far above the old 200-node ceiling.
+    GC_MIN_VARS = 2000
+
     def __init__(
-        self, conflict_budget: Optional[int] = None, assume_rewritten: bool = False
+        self,
+        conflict_budget: Optional[int] = None,
+        assume_rewritten: bool = False,
+        gc_ratio: float = 1.0,
     ):
         super().__init__(
             conflict_budget=conflict_budget, assume_rewritten=assume_rewritten
@@ -585,6 +601,11 @@ class IncrementalSolver(Solver):
         self._purify_cache: Dict[Term, Term] = {}
         self._reducer = IncrementalSetReducer()
         self.n_checks = 0
+        self.gc_ratio = gc_ratio
+        self.n_gc = 0  # context rebuilds performed
+        self._shared: List[Term] = []
+        self._base_vars: Optional[int] = None  # var count after the prefix
+        self._retired_vars = 0  # vars attributable to retired goals
 
     def _assert_permanent(self, term: Term) -> None:
         self.sat._cancel_until(0)
@@ -624,12 +645,35 @@ class IncrementalSolver(Solver):
 
     def add_shared(self, term: Term) -> None:
         """Assert ``term`` into the persistent context (the VC prefix)."""
+        self._shared.append(term)
+        self._base_vars = None  # prefix still growing: re-baseline later
         self.sat._cancel_until(0)
         lit = self._ingest(term)
         self.sat.add_clause([lit])
 
+    def _collect_retired(self) -> None:
+        """Rebuild the context from the shared prefix alone, dropping the
+        retired goals' clauses, atoms and theory state."""
+        self._fresh_context()
+        self._purify_cache = {}
+        self._reducer = IncrementalSetReducer()
+        self._retired_vars = 0
+        self._base_vars = None
+        self.n_gc += 1
+        for term in self._shared:
+            self.sat._cancel_until(0)
+            lit = self._ingest(term)
+            self.sat.add_clause([lit])
+
     def check_goal(self, goal: Term) -> str:
         """Decide satisfiability of ``shared /\\ goal``; context survives."""
+        if self._base_vars is not None and self._retired_vars > max(
+            self.GC_MIN_VARS, self.gc_ratio * self._base_vars
+        ):
+            self._collect_retired()
+        if self._base_vars is None:
+            self._base_vars = len(self.sat.assigns)
+        vars_before = len(self.sat.assigns)
         self.sat._cancel_until(0)
         lit = self._ingest(goal)
         act = self.sat.new_var()
@@ -641,6 +685,7 @@ class IncrementalSolver(Solver):
         )
         self.sat._cancel_until(0)
         self.sat.add_clause([2 * act + 1])  # retire the goal
+        self._retired_vars += len(self.sat.assigns) - vars_before
         if result is None:
             raise BudgetExceeded("conflict budget exceeded")
         self.stats["conflicts"] = self.sat.n_conflicts

@@ -114,7 +114,14 @@ class Term:
         binders: bound variables for ``forall``.
     """
 
-    __slots__ = ("op", "args", "sort", "name", "value", "binders", "_hash", "_id", "_fp")
+    # ``_tsize`` / ``_fv`` are *lazily* filled caches (capped tree size and
+    # free-constant leaf set) owned by :mod:`repro.smt.simplify`.  Storing
+    # them on the interned node bounds their lifetime by the intern table
+    # itself instead of a second, separately-growing module-global dict.
+    __slots__ = (
+        "op", "args", "sort", "name", "value", "binders",
+        "_hash", "_id", "_fp", "_tsize", "_fv",
+    )
 
     _intern: dict = {}
     _next_id = 0

@@ -1,0 +1,253 @@
+"""The PRE-layered-environment simplifier, frozen as a test reference.
+
+This is a verbatim transliteration of the contextual pass as it stood
+before the layered fact environments / fact-signature memo landed in
+``repro.smt.simplify``: ``_Env`` copies the whole fact map at every
+boolean-scope node and the memo is token-scoped, so shared sub-DAGs
+re-walk once per sibling context.  Slow, simple, and obviously faithful
+to the original semantics -- which is exactly what the differential
+suite in ``tests/test_simplify_layered.py`` needs: the production
+simplifier must be *extensionally identical* to this one (same output
+terms, same deduplicated substitution logs) on the seeded formula
+corpus and on real registry VCs.
+
+Pure functions that neither implementation changed (atom normalization,
+subsumption, equality orientation) are imported from the production
+module so the comparison isolates the environment/memo machinery.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.smt.simplify import (
+    _MAX_ROUNDS,
+    _atom_norm,
+    _clause_lits,
+    _cube_lits,
+    _drop_subsumed,
+    _orient,
+    _tsize,
+    term_size,
+)
+from repro.smt.simplify import SimplifyStats
+from repro.smt.terms import (
+    FALSE,
+    TRUE,
+    Term,
+    deep_recursion,
+    mk_eq,
+    mk_implies,
+    mk_ite,
+    mk_le,
+    mk_lt,
+    mk_not,
+    mk_and,
+    mk_or,
+    _rebuild,
+)
+
+__all__ = ["simplify_seed", "simplify_seed_with_stats"]
+
+
+class _Env:
+    """Facts known at the current position (full-copy seed semantics)."""
+
+    __slots__ = ("map", "token", "log")
+    _next_token = [0]
+
+    def __init__(
+        self, base: Optional["_Env"] = None, log: Optional[List[Tuple[Term, Term]]] = None
+    ):
+        self.map: Dict[Term, Term] = dict(base.map) if base is not None else {}
+        self.log = log if log is not None else (base.log if base is not None else None)
+        self.token = self._bump()
+
+    @classmethod
+    def _bump(cls) -> int:
+        cls._next_token[0] += 1
+        return cls._next_token[0]
+
+    def get(self, t: Term) -> Optional[Term]:
+        rep = self.map.get(t)
+        if rep is None:
+            return None
+        while True:
+            nxt = self.map.get(rep)
+            if nxt is None or nxt is rep:
+                return rep
+            rep = nxt
+
+    def add(self, fact: Term, positive: bool) -> None:
+        _add_facts(fact, self.map, positive, self.log)
+        self.token = self._bump()
+
+
+def _add_facts(
+    fact: Term,
+    m: Dict[Term, Term],
+    positive: bool,
+    log: Optional[List[Tuple[Term, Term]]] = None,
+) -> None:
+    from repro.smt.sorts import BOOL
+
+    if positive:
+        if fact is TRUE or fact is FALSE:
+            return
+        m[fact] = TRUE
+        op = fact.op
+        if op == "not":
+            m[fact.args[0]] = FALSE
+        elif op == "and":
+            for a in fact.args:
+                _add_facts(a, m, True, log)
+        elif op == "eq":
+            a, b = fact.args
+            target, repl = _orient(a, b)
+            if log is not None and target is not repl and target.sort != BOOL:
+                log.append((target, repl))
+            m[target] = repl
+            if a.sort.is_numeric:
+                m[mk_le(a, b)] = TRUE
+                m[mk_le(b, a)] = TRUE
+                m[mk_lt(a, b)] = FALSE
+                m[mk_lt(b, a)] = FALSE
+        elif op == "le":
+            a, b = fact.args
+            m[mk_lt(b, a)] = FALSE
+        elif op == "lt":
+            a, b = fact.args
+            m[mk_le(a, b)] = TRUE
+            m[mk_le(b, a)] = FALSE
+            m[mk_lt(b, a)] = FALSE
+            m[mk_eq(a, b)] = FALSE
+    else:
+        if fact is TRUE or fact is FALSE:
+            return
+        m[fact] = FALSE
+        op = fact.op
+        if op == "not":
+            _add_facts(fact.args[0], m, True, log)
+        elif op == "or":
+            for a in fact.args:
+                _add_facts(a, m, False, log)
+        elif op == "implies":
+            _add_facts(fact.args[0], m, True, log)
+            _add_facts(fact.args[1], m, False, log)
+        elif op == "le":
+            a, b = fact.args
+            _add_facts(mk_lt(b, a), m, True, log)
+        elif op == "lt":
+            a, b = fact.args
+            _add_facts(mk_le(b, a), m, True, log)
+
+
+def _once(root: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None) -> Term:
+    memo: Dict[Tuple[int, Term], Term] = {}
+
+    def walk(t: Term, env: _Env) -> Term:
+        rep = env.get(t)
+        if rep is not None:
+            return rep
+        if not t.args:
+            return t
+        key = (env.token, t)
+        got = memo.get(key)
+        if got is not None:
+            return got
+        op = t.op
+        if op == "and":
+            out = _fold_junction(t, env, positive=True)
+        elif op == "or":
+            out = _fold_junction(t, env, positive=False)
+        elif op == "implies":
+            h = walk(t.args[0], env)
+            if h is FALSE:
+                out = TRUE
+            else:
+                inner = _Env(env)
+                inner.add(h, True)
+                out = mk_implies(h, walk(t.args[1], inner))
+        elif op == "not":
+            a = walk(t.args[0], env)
+            if a.op == "lt":
+                out = _atom_norm(mk_le(a.args[1], a.args[0]))
+            elif a.op == "le":
+                out = _atom_norm(mk_lt(a.args[1], a.args[0]))
+            else:
+                out = mk_not(a)
+            out = _lookup(out, env)
+        elif op == "ite":
+            c = walk(t.args[0], env)
+            then_env = _Env(env)
+            then_env.add(c, True)
+            else_env = _Env(env)
+            else_env.add(c, False)
+            out = mk_ite(c, walk(t.args[1], then_env), walk(t.args[2], else_env))
+            out = _lookup(out, env)
+        elif op == "forall":
+            out = t
+        else:
+            new_args = tuple(walk(a, env) for a in t.args)
+            t2 = _rebuild(t, new_args) if new_args != t.args else t
+            out = _lookup(_atom_norm(t2), env)
+        memo[key] = out
+        return out
+
+    def _lookup(t: Term, env: _Env) -> Term:
+        rep = env.get(t)
+        return rep if rep is not None else t
+
+    def _fold_junction(t: Term, env: _Env, positive: bool) -> Term:
+        absorbing = FALSE if positive else TRUE
+        junction_op = "and" if positive else "or"
+        args = sorted(t.args, key=lambda a: (_tsize(a), a._fp, a._id))
+        cur = _Env(env)
+        out: List[Term] = []
+        for a in args:
+            a2 = walk(a, cur)
+            if a2 is absorbing:
+                return absorbing
+            parts = a2.args if a2.op == junction_op else (a2,)
+            for p in parts:
+                if p is absorbing:
+                    return absorbing
+                if p is TRUE or p is FALSE:
+                    continue
+                out.append(p)
+                cur.add(p, positive)
+        if positive:
+            out = _drop_subsumed(out, _clause_lits)
+            return mk_and(*out)
+        out = _drop_subsumed(out, _cube_lits)
+        return mk_or(*out)
+
+    return walk(root, _Env(log=subst_log))
+
+
+def simplify_seed(
+    term: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None
+) -> Term:
+    return simplify_seed_with_stats(term, subst_log=subst_log)[0]
+
+
+def simplify_seed_with_stats(
+    term: Term, subst_log: Optional[List[Tuple[Term, Term]]] = None
+) -> Tuple[Term, SimplifyStats]:
+    before = term_size(term)
+    with deep_recursion():
+        rounds = 0
+        for _ in range(_MAX_ROUNDS):
+            out = _once(term, subst_log)
+            rounds += 1
+            if out is term:
+                break
+            term = out
+    if subst_log:
+        seen = set()
+        kept = []
+        for pair in subst_log:
+            key = (pair[0]._id, pair[1]._id)
+            if key not in seen:
+                seen.add(key)
+                kept.append(pair)
+        subst_log[:] = kept
+    return term, SimplifyStats(before, term_size(term), rounds)

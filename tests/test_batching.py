@@ -205,6 +205,58 @@ def test_incremental_unsat_prefix_makes_every_goal_unsat():
     assert inc.check_goal(T.mk_le(T.mk_int(99), d)) == "unsat"
 
 
+def test_retired_goal_gc_preserves_verdicts(monkeypatch):
+    """Retired-goal garbage collection rebuilds the context mid-batch
+    without changing any verdict, and actually sheds the retired goals'
+    variables (what lets ``batch_node_limit`` default far above 200)."""
+    monkeypatch.setattr(IncrementalSolver, "GC_MIN_VARS", 1)
+    a = T.mk_const("gc_a", INT)
+    b = T.mk_const("gc_b", INT)
+    prefix = [T.mk_le(a, b), T.mk_le(b, T.mk_int(10))]
+    # Distinct-constant goals so every goal retires fresh variables.
+    goals = []
+    for i in range(12):
+        g = T.mk_const(f"gc_g{i}", INT)
+        goals.append(T.mk_and(T.mk_le(a, g), T.mk_lt(g, T.mk_int(i))))
+    goals.append(T.mk_lt(b, a))  # unsat under the prefix
+    inc = IncrementalSolver(gc_ratio=0.5)
+    for h in prefix:
+        inc.add_shared(h)
+    for goal in goals:
+        ref = Solver()
+        for h in prefix:
+            ref.add(h)
+        ref.add(goal)
+        assert inc.check_goal(goal) == ref.check()
+    assert inc.n_gc >= 1  # the threshold really fired mid-run
+    # The rebuilt context is prefix-sized again, not a graveyard: after a
+    # fresh collection it holds no more vars than a fresh prefix context.
+    inc._collect_retired()
+    fresh = IncrementalSolver()
+    for h in prefix:
+        fresh.add_shared(h)
+    assert len(inc.sat.assigns) == len(fresh.sat.assigns)
+
+
+def test_gc_then_cross_goal_set_elements_still_covered(monkeypatch):
+    """A context rebuild must re-seed the set-reduction universe from the
+    prefix: elements introduced by *retired* goals are forgotten, but a
+    later goal re-mentioning them gets fresh pointwise instances."""
+    monkeypatch.setattr(IncrementalSolver, "GC_MIN_VARS", 1)
+    s1 = T.mk_const("gcs_S1", SET_LOC)
+    s2 = T.mk_const("gcs_S2", SET_LOC)
+    x = T.mk_const("gcs_x", LOC)
+    inc = IncrementalSolver(gc_ratio=0.01)
+    inc.add_shared(T.mk_eq(s1, s2))
+    assert inc.check_goal(T.mk_member(x, s1)) == "sat"
+    for i in range(6):  # churn enough retired vars to force a collection
+        g = T.mk_const(f"gcs_g{i}", INT)
+        assert inc.check_goal(T.mk_le(g, T.mk_int(i))) == "sat"
+    assert inc.n_gc >= 1
+    contradiction = T.mk_and(T.mk_member(x, s1), T.mk_not(T.mk_member(x, s2)))
+    assert inc.check_goal(contradiction) == "unsat"
+
+
 # -- smtlib2 push/pop --------------------------------------------------------
 
 

@@ -1,0 +1,201 @@
+"""Persistent plan cache: parity, warm-skip, invalidation and poison.
+
+Mirrors the VC-verdict cache's contract at the plan layer:
+
+- a warm run replays the *identical* plan -- same interned formulas,
+  same substitution logs, same static failures -- so verdicts are
+  byte-identical to a ``--no-plan-cache`` run across jobs 1/4 and batch
+  on/off, and the simplify phase is skipped entirely;
+- the key covers program text, configuration and planner code, so
+  editing any of them misses instead of serving a stale plan;
+- a poisoned, truncated or hand-edited entry fails validation, is
+  purged, and the plan is regenerated -- a wrong plan is never served.
+"""
+
+import json
+
+import pytest
+
+from repro.core.verifier import Verifier
+from repro.engine.plancache import PlanCache, code_fingerprint, plan_key
+from repro.engine.session import VerificationSession
+from repro.structures.registry import EXPERIMENTS
+
+METHOD_PICKS = [
+    ("Singly-Linked List", "sll_find"),
+    ("Scheduler Queue (overlaid SLL+BST)", "sched_list_remove_first"),
+]
+
+
+def _experiment(structure):
+    return next(e for e in EXPERIMENTS if e.structure == structure)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    out = {}
+    for structure, _m in METHOD_PICKS:
+        if structure not in out:
+            exp = _experiment(structure)
+            out[structure] = (exp.program_factory(), exp.ids_factory())
+    return out
+
+
+def _key_for(program, ids, method):
+    return plan_key(
+        program, ids, method,
+        encoding="decidable", memory_safety=True, simplify=True,
+        instantiation_rounds=2,
+    )
+
+
+def _plans_equal(a, b):
+    assert a.structure == b.structure and a.method == b.method
+    assert a.wb_failures == b.wb_failures
+    assert a.ghost_failures == b.ghost_failures
+    assert len(a.vcs) == len(b.vcs)
+    for va, vb in zip(a.vcs, b.vcs):
+        assert (va.index, va.label, va.failure, va.note) == (
+            vb.index, vb.label, vb.failure, vb.note
+        )
+        assert va.formula is vb.formula  # interned identity, not just shape
+        assert va.subst == vb.subst  # substitution logs replay exactly
+        assert (va.nodes_before, va.nodes_after) == (vb.nodes_before, vb.nodes_after)
+
+
+# -- round trip --------------------------------------------------------------
+
+
+def test_roundtrip_is_interned_identical(loaded, tmp_path):
+    program, ids = loaded["Scheduler Queue (overlaid SLL+BST)"]
+    plan = Verifier(program, ids).plan("sched_list_remove_first")
+    cache = PlanCache(tmp_path)
+    key = _key_for(program, ids, "sched_list_remove_first")
+    cache.put(key, plan)
+    warm = cache.get(key, conflict_budget=plan.conflict_budget)
+    assert warm is not None and warm.from_cache
+    assert warm.simplify_s == 0.0  # nothing was simplified on the warm path
+    _plans_equal(plan, warm)
+    assert cache.stats == {"hits": 1, "misses": 0}
+
+
+def test_key_changes_with_program_config_and_code(loaded):
+    program, ids = loaded["Singly-Linked List"]
+    base = _key_for(program, ids, "sll_find")
+    assert base == _key_for(program, ids, "sll_find")  # deterministic
+    assert base != _key_for(program, ids, "sll_insert")
+    other = plan_key(
+        program, ids, "sll_find",
+        encoding="quantified", memory_safety=True, simplify=True,
+        instantiation_rounds=2,
+    )
+    assert base != other
+    no_simp = plan_key(
+        program, ids, "sll_find",
+        encoding="decidable", memory_safety=True, simplify=False,
+        instantiation_rounds=2,
+    )
+    assert base != no_simp
+    # The code fingerprint is folded in: a planner change abandons plans.
+    import repro.engine.plancache as pc
+
+    old = pc._fingerprint_cache[0]
+    try:
+        pc._fingerprint_cache[0] = "0" * 64
+        assert base != _key_for(program, ids, "sll_find")
+    finally:
+        pc._fingerprint_cache[0] = old
+    assert len(code_fingerprint()) == 64
+
+
+# -- poison ------------------------------------------------------------------
+
+
+def _entries(tmp_path):
+    return sorted((tmp_path / "plan").glob("*/*.json"))
+
+
+def _session(tmp_path, **kw):
+    return VerificationSession(cache_dir=str(tmp_path), **kw)
+
+
+def test_poisoned_plan_entry_is_detected_and_regenerated(loaded, tmp_path):
+    program, ids = loaded["Singly-Linked List"]
+    with _session(tmp_path) as session:
+        cold = session.verify(program, ids, "sll_find")
+    assert not cold.plan_cached and cold.ok
+    entries = _entries(tmp_path)
+    assert len(entries) == 1
+    record = json.loads(entries[0].read_text())
+
+    # 1. Flipped payload (checksum mismatch) is purged and regenerated.
+    record["plan"]["vcs"][0]["label"] = "tampered"
+    entries[0].write_text(json.dumps(record))
+    with _session(tmp_path) as session:
+        redo = session.verify(program, ids, "sll_find")
+        assert session.plan_cache.stats == {"hits": 0, "misses": 1}
+    assert not redo.plan_cached and redo.ok
+    assert json.loads(entries[0].read_text())["plan"]["vcs"][0]["label"] != "tampered"
+
+    # 2. Truncated file.
+    entries[0].write_text("{not json")
+    with _session(tmp_path) as session:
+        redo = session.verify(program, ids, "sll_find")
+    assert not redo.plan_cached and redo.ok
+
+    # 3. Valid-looking entry stored under the wrong key.
+    record = json.loads(entries[0].read_text())
+    record["key"] = "f" * 64
+    import repro.engine.plancache as pc
+
+    record["checksum"] = pc._checksum(record)
+    entries[0].write_text(json.dumps(record))
+    with _session(tmp_path) as session:
+        redo = session.verify(program, ids, "sll_find")
+    assert not redo.plan_cached and redo.ok
+
+    # After regeneration the warm path works again.
+    with _session(tmp_path) as session:
+        warm = session.verify(program, ids, "sll_find")
+    assert warm.plan_cached and warm.ok
+
+
+# -- parity across configurations -------------------------------------------
+
+
+def _fingerprint(result):
+    # Countermodel atom *strings* are deliberately absent: a refuted VC's
+    # model depends on the CDCL search path, which shifts with the global
+    # fresh-constant counter between in-process solves (pre-existing).
+    # The contract here is verdict/failure byte-identity.
+    return (
+        result.ok,
+        result.n_vcs,
+        result.failed,
+        result.notes,
+        [(v.index, v.label, v.status) for v in result.verdicts],
+        sorted((d.index, d.label, d.kind) for d in result.diagnostics),
+    )
+
+
+@pytest.mark.parametrize("structure,method", METHOD_PICKS)
+@pytest.mark.parametrize("jobs,batch", [(1, True), (1, False), (4, True), (4, False)])
+def test_warm_plan_parity_with_no_plan_cache(loaded, tmp_path, structure, method,
+                                             jobs, batch):
+    """Verdicts, failures and diagnostics are byte-identical between a
+    --no-plan-cache run and a warm plan-cache run, at jobs 1/4 x batch
+    on/off (solve-side caching disabled so every VC really solves)."""
+    program, ids = loaded[structure]
+    with VerificationSession(jobs=jobs, batch=batch) as session:
+        reference = _fingerprint(session.verify(program, ids, method))
+
+    plan_dir = tmp_path / f"{jobs}-{batch}"
+    with _session(plan_dir, jobs=jobs, batch=batch) as session:
+        cold = session.verify(program, ids, method)
+    with _session(plan_dir, jobs=jobs, batch=batch) as session:
+        warm = session.verify(program, ids, method)
+        assert session.plan_cache.stats["hits"] == 1
+    assert not cold.plan_cached and warm.plan_cached
+    assert warm.simplify_s == 0.0  # warm runs skip simplify entirely
+    assert _fingerprint(cold) == reference
+    assert _fingerprint(warm) == reference

@@ -478,16 +478,21 @@ def _load_check_schema():
     return module
 
 
-def test_bench_json_is_schema_v4_with_event_counts(tmp_path, capsys):
+def test_bench_json_is_schema_v5_with_event_counts(tmp_path, capsys):
     out = tmp_path / "bench.json"
     assert cli.main(
         ["bench", "--method", "sll_find", "--method", "sorted_find",
          "--budget", "60", "--output", str(out)]
     ) == 0
     doc = json.loads(out.read_text())
-    assert doc["schema_version"] == 4
+    assert doc["schema_version"] == 5
     for entry in doc["results"]:
         assert entry["events"]["planned"] == entry["n_vcs"]
+        # v5 phase split: generation (incl. simplify) + solve stay within
+        # the method wall clock, and simplify is part of generation.
+        assert 0.0 <= entry["simplify_s"] <= entry["plan_s"]
+        assert entry["plan_s"] + entry["solve_s"] <= entry["time_s"] + 0.05
+        assert entry["plan_cached"] is False  # no --cache-dir in this run
     checker = _load_check_schema()
     errs = checker.SchemaErrors()
     checker.check_report(doc, errs)
@@ -502,7 +507,7 @@ def test_verify_format_json_and_events_jsonl_validate(tmp_path, capsys):
     )
     assert code == 1  # the failing method refutes
     doc = json.loads(capsys.readouterr().out)
-    assert doc["schema_version"] == 4 and doc["command"] == "verify"
+    assert doc["schema_version"] == 5 and doc["command"] == "verify"
     checker = _load_check_schema()
     errs = checker.SchemaErrors()
     checker.check_report(doc, errs)

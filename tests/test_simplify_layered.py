@@ -1,0 +1,119 @@
+"""Differential suite: the layered-environment simplifier is extensionally
+identical to the seed (full-copy ``_Env``) simplifier.
+
+``repro.smt.simplify`` replaced the per-scope fact-map copies and the
+token-scoped memo with a single trailed map plus a three-tier
+(dependency-stamped / fact-signature / content-version) memo that is
+shared across fixpoint rounds and sibling VCs.  Every reuse path in that
+machinery is justified by a "same relevant facts => same walk" argument;
+this suite checks the conclusion *extensionally* against a frozen
+transliteration of the seed implementation (``tests/simplify_seed.py``):
+same output terms (interned identity) and same deduplicated substitution
+logs, on the seeded 260-formula corpus and on genuine registry VCs --
+including sharing one :class:`~repro.smt.simplify.SimplifyCache` across
+a whole method's VCs, exactly as the plan phase does.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from simplify_seed import simplify_seed  # noqa: E402
+
+from repro.core.verifier import Verifier  # noqa: E402
+from repro.smt.rewriter import rewrite  # noqa: E402
+from repro.smt.simplify import (  # noqa: E402
+    SimplifyCache,
+    _fv,
+    _tsize,
+    simplify,
+)
+from repro.smt import terms as T  # noqa: E402
+from repro.smt.sorts import INT  # noqa: E402
+from repro.smt.terms import deep_recursion  # noqa: E402
+from repro.structures.registry import EXPERIMENTS  # noqa: E402
+from test_simplify_property import _formulas  # noqa: E402
+
+# Methods whose full VC sets are cheap enough for tier-1 (the seed
+# simplifier re-walks quadratically -- that is the point -- so the heavy
+# methods would take minutes per run).  sched_list_remove_first is the
+# registry's refuted method: its diagnostics depend on the subst log.
+FAST_PICKS = [
+    ("Singly-Linked List", "sll_find"),
+    ("Sorted List", "sorted_find"),
+    ("Sorted List (w. min, max maps)", "sortedmm_find_last"),
+    ("Binary Search Tree", "bst_find"),
+    ("AVL Tree", "avl_find_min"),
+    ("Scheduler Queue (overlaid SLL+BST)", "sched_find"),
+    ("Scheduler Queue (overlaid SLL+BST)", "sched_list_remove_first"),
+]
+
+
+def test_corpus_extensionally_identical_to_seed():
+    """260 seeded formulas: identical outputs and subst logs, even with
+    one cache shared across the whole corpus (harsher than per-VC)."""
+    cache = SimplifyCache()
+    for i, f in enumerate(_formulas()):
+        r = rewrite(f)
+        log_new, log_seed = [], []
+        out_new = simplify(r, subst_log=log_new, cache=cache)
+        out_seed = simplify_seed(r, subst_log=log_seed)
+        assert out_new is out_seed, (
+            f"formula {i}: layered output differs\n"
+            f"new:  {out_new.pretty()[:300]}\nseed: {out_seed.pretty()[:300]}"
+        )
+        assert log_new == log_seed, (
+            f"formula {i}: subst logs differ ({len(log_new)} vs {len(log_seed)})"
+        )
+
+
+@pytest.mark.parametrize("structure,method", FAST_PICKS)
+def test_registry_vcs_extensionally_identical_to_seed(structure, method):
+    """Genuine VCs, one shared cache per method (the plan-phase shape)."""
+    exp = next(e for e in EXPERIMENTS if e.structure == structure)
+    verifier = Verifier(exp.program_factory(), exp.ids_factory(), simplify=False)
+    plan = verifier.plan(method)
+    cache = SimplifyCache()
+    assert plan.solvable(), f"{method}: no solvable VCs to compare"
+    for pvc in plan.solvable():
+        with deep_recursion():
+            r = rewrite(pvc.formula)
+        log_new, log_seed = [], []
+        out_new = simplify(r, subst_log=log_new, cache=cache)
+        out_seed = simplify_seed(r, subst_log=log_seed)
+        assert out_new is out_seed, f"{method}/{pvc.label}: output differs"
+        assert log_new == log_seed, f"{method}/{pvc.label}: subst log differs"
+
+
+def test_cache_reuse_is_idempotent_across_rounds():
+    """Feeding a simplified output back through a warm cache is a no-op."""
+    cache = SimplifyCache()
+    for f in _formulas()[:40]:
+        out = simplify(rewrite(f), cache=cache)
+        assert simplify(out, cache=cache) is out
+
+
+def test_tsize_and_fv_are_slot_cached_on_terms():
+    """The per-term caches live on interned nodes, not in module globals
+    (the unbounded ``_TSIZE`` dict of the seed is gone)."""
+    import repro.smt.simplify as S
+
+    assert not hasattr(S, "_TSIZE")
+    assert not hasattr(S, "_Env")  # and so is the token-scoped _Env
+    x = T.mk_const("slotcache_x", INT)
+    t = T.mk_add(x, T.mk_int(1))
+    assert _tsize(t) == 3
+    assert t._tsize == 3  # stored on the interned node itself
+    assert _fv(t) == frozenset((x,))
+    assert t._fv == frozenset((x,))
+
+
+def test_fv_caps_and_excludes_literals():
+    consts = [T.mk_const(f"fvcap_{i}", INT) for i in range(40)]
+    small = T.mk_add(consts[0], consts[1], T.mk_int(7))
+    assert _fv(small) == frozenset(consts[:2])  # numerals carry no signal
+    big = T.mk_add(*consts)
+    assert _fv(big) is None  # over the cap: opts out of the signature memo
