@@ -1,30 +1,38 @@
-"""CI bench-regression gate: compare a bench_results.json against a baseline.
+"""CI bench-regression gate: judge a bench_results.json against history.
 
 Usage::
 
     python benchmarks/check_regression.py BASELINE.json CURRENT.json \
+        [--history DB [--history-label L] [--window 20] [--min-history 3] \
+         [--mad-mult 5.0]] \
         [--max-regression 0.25] [--min-seconds 0.5] \
         [--max-plan-regression 0.25] [--min-plan-seconds 0.5] \
         [--plan-ceiling METHOD=SECONDS ...]
 
-Compares the methods common to both reports and fails (exit 1) when
+Two gating modes, per method:
 
-- a method's verdict status changed (``verified`` -> anything else), or
-- a method's wall clock regressed by more than ``--max-regression``
-  (default 25%) *and* by more than ``--min-seconds`` absolute (default
-  0.5s -- sub-second timings on shared CI runners are noise, not signal), or
-- a method's *plan phase* (``plan_s``, schema v5: generation + simplify)
-  regressed beyond the analogous ``--max-plan-regression`` /
-  ``--min-plan-seconds`` thresholds -- this gate is what keeps the
-  near-linear simplifier near-linear, independent of solve noise, or
-- a ``--plan-ceiling METHOD=SECONDS`` absolute bound is exceeded by the
-  current report's ``plan_s`` (used by CI to pin avl_insert's cold and
-  warm plan wall under committed ceilings).
+- **history** (``--history DB``): the method's ``time_s`` and ``plan_s``
+  are judged against a rolling window of its own recent runs on the
+  *same configuration* -- (label, backend, jobs, batch, batch size,
+  suite) -- ingested by ``benchmarks/db.py``.  A value fails when it
+  exceeds ``median + max(mad_mult * MAD, max_regression * median,
+  min_seconds)``; the status fails when it differs from the window's
+  modal status.  CI gates *before* ingesting the current run, so a
+  regression never pollutes its own window.
+- **baseline fallback**: with no ``--history``, or for any method whose
+  history is shorter than ``--min-history`` runs (a fresh DB, a new
+  method, an evicted CI cache slot), the committed single-snapshot
+  comparison applies unchanged: fail on a verdict change, on wall-clock
+  growth beyond ``--max-regression`` *and* ``--min-seconds`` absolute
+  (sub-second timings on shared runners are noise, not signal), or on
+  the analogous plan-phase thresholds.
 
-Methods present in only one report are listed but never fail the gate,
-so the baseline can cover a superset of the smoke-bench selection.
-Reports predating schema v5 simply have no ``plan_s`` and skip the plan
-comparisons.
+``--plan-ceiling METHOD=SECONDS`` absolute bounds on the current
+report's ``plan_s`` apply in both modes (CI pins avl_insert's cold and
+warm plan wall under committed ceilings).  Methods present in only one
+report are listed but never fail the gate, so the baseline can cover a
+superset of the smoke-bench selection.  Reports predating schema v5
+simply have no ``plan_s`` and skip the plan comparisons.
 """
 
 from __future__ import annotations
@@ -32,11 +40,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from collections import Counter
+from pathlib import Path
 
 
-def _load(path: str) -> dict:
+def _load_doc(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
-        doc = json.load(handle)
+        return json.load(handle)
+
+
+def _by_method(doc: dict) -> dict:
     return {r["method"]: r for r in doc.get("results", [])}
 
 
@@ -49,6 +62,29 @@ def _parse_ceilings(pairs) -> dict:
         except ValueError:
             raise SystemExit(f"--plan-ceiling expects METHOD=SECONDS, got {pair!r}")
     return out
+
+
+def _open_history(path: str):
+    """The trajectory DB + gate, found with or without ``src`` on the path."""
+    try:
+        from repro.engine.benchdb import BenchDB, rolling_gate
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+        from repro.engine.benchdb import BenchDB, rolling_gate
+    return BenchDB(path), rolling_gate
+
+
+def _history_rows(db, doc: dict, method: str, label: str, window: int):
+    return db.history(
+        method,
+        backend=doc.get("backend"),
+        jobs=doc.get("jobs"),
+        batch=doc.get("batch"),
+        batch_size=doc.get("batch_size"),
+        suite=doc.get("suite"),
+        label=label,
+        limit=window,
+    )
 
 
 def main(argv=None) -> int:
@@ -68,20 +104,78 @@ def main(argv=None) -> int:
     parser.add_argument("--plan-ceiling", action="append", metavar="METHOD=SECONDS",
                         help="absolute plan_s bound on the current report; "
                              "repeatable")
+    parser.add_argument("--history", default=None, metavar="DB",
+                        help="bench trajectory DB (benchmarks/db.py); methods "
+                             "with enough history are gated against a rolling "
+                             "median + MAD window instead of the baseline")
+    parser.add_argument("--history-label", default="", metavar="L",
+                        help="trajectory label the window is drawn from")
+    parser.add_argument("--window", type=int, default=20,
+                        help="rolling window size (most recent runs)")
+    parser.add_argument("--min-history", type=int, default=3,
+                        help="runs required before the history gate applies; "
+                             "shorter histories fall back to the baseline")
+    parser.add_argument("--mad-mult", type=float, default=5.0,
+                        help="MAD multiplier in the rolling threshold")
     args = parser.parse_args(argv)
 
-    base = _load(args.baseline)
-    cur = _load(args.current)
+    base_doc = _load_doc(args.baseline)
+    cur_doc = _load_doc(args.current)
+    base = _by_method(base_doc)
+    cur = _by_method(cur_doc)
     ceilings = _parse_ceilings(args.plan_ceiling)
-    common = sorted(set(base) & set(cur))
-    if not common and not ceilings:
-        print("check_regression: no common methods between reports", file=sys.stderr)
-        return 1
+
+    db = gate = None
+    if args.history:
+        db, gate = _open_history(args.history)
 
     failures = []
+    compared = 0
     print(f"{'method':28s} {'base s':>8s} {'cur s':>8s} {'delta':>8s} "
           f"{'plan b':>8s} {'plan c':>8s}  status")
-    for m in common:
+
+    def judge_history(m: str, entry: dict, rows) -> None:
+        """Rolling-window verdicts for one method; appends to failures."""
+        statuses = Counter(r["status"] for r in rows)
+        modal_status = statuses.most_common(1)[0][0]
+        marks = []
+        if entry["status"] != modal_status:
+            marks.append(f"VERDICT {modal_status} -> {entry['status']}")
+            failures.append(
+                f"{m}: status {entry['status']!r} differs from the window's "
+                f"modal {modal_status!r} ({dict(statuses)})"
+            )
+        times = [float(r["time_s"]) for r in rows if r["time_s"] is not None]
+        verdict = None
+        if times:
+            verdict = gate(times, float(entry["time_s"]),
+                           max_regression=args.max_regression,
+                           min_seconds=args.min_seconds,
+                           mad_mult=args.mad_mult)
+            if not verdict.ok:
+                marks.append("REGRESSION vs history")
+                failures.append(f"{m}: wall clock {verdict.describe()}")
+        plans = [float(r["plan_s"]) for r in rows if r["plan_s"] is not None]
+        cp = entry.get("plan_s")
+        plan_verdict = None
+        if plans and cp is not None:
+            plan_verdict = gate(plans, float(cp),
+                                max_regression=args.max_plan_regression,
+                                min_seconds=args.min_plan_seconds,
+                                mad_mult=args.mad_mult)
+            if not plan_verdict.ok:
+                marks.append("PLAN REGRESSION vs history")
+                failures.append(f"{m}: plan phase {plan_verdict.describe()}")
+        mark = "; ".join(marks) if marks else f"OK (history n={len(rows)})"
+        bt = verdict.median if verdict else 0.0
+        ct = float(entry["time_s"])
+        delta = (ct - bt) / bt if bt > 0 else 0.0
+        bp_s = f"{plan_verdict.median:8.2f}" if plan_verdict else "       -"
+        cp_s = f"{float(cp):8.2f}" if cp is not None else "       -"
+        print(f"{m:28s} {bt:8.2f} {ct:8.2f} {delta:+8.0%} {bp_s} {cp_s}  {mark}")
+
+    def judge_baseline(m: str) -> None:
+        """The committed-snapshot comparison (the pre-history gate)."""
         b, c = base[m], cur[m]
         bt, ct = float(b["time_s"]), float(c["time_s"])
         delta = (ct - bt) / bt if bt > 0 else 0.0
@@ -92,6 +186,7 @@ def main(argv=None) -> int:
         bp = b.get("plan_s")
         cp = c.get("plan_s")
         plan_regressed = False
+        plan_delta = 0.0
         if bp is not None and cp is not None:
             bp, cp = float(bp), float(cp)
             plan_delta = (cp - bp) / bp if bp > 0 else 0.0
@@ -119,6 +214,27 @@ def main(argv=None) -> int:
         cp_s = f"{cp:8.2f}" if cp is not None else "       -"
         print(f"{m:28s} {bt:8.2f} {ct:8.2f} {delta:+8.0%} {bp_s} {cp_s}  {mark}")
 
+    uncompared = []
+    for m in sorted(cur):
+        rows = None
+        if db is not None:
+            rows = _history_rows(db, cur_doc, m, args.history_label, args.window)
+        if rows and len(rows) >= args.min_history:
+            judge_history(m, cur[m], rows)
+            compared += 1
+        elif m in base:
+            judge_baseline(m)
+            compared += 1
+        else:
+            uncompared.append(m)
+    if db is not None:
+        db.close()
+
+    if compared == 0 and not ceilings:
+        print("check_regression: no method could be compared "
+              "(no common methods, no usable history)", file=sys.stderr)
+        return 1
+
     for method, ceiling in ceilings.items():
         entry = cur.get(method)
         if entry is None:
@@ -137,16 +253,16 @@ def main(argv=None) -> int:
         else:
             print(f"plan ceiling ok: {method} {float(plan_s):.2f}s <= {ceiling:g}s")
 
-    only = sorted(set(base) ^ set(cur))
-    if only:
-        print(f"(not compared: {', '.join(only)})")
+    skipped = sorted(set(uncompared) | (set(base) - set(cur)))
+    if skipped:
+        print(f"(not compared: {', '.join(skipped)})")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"\nbench regression gate passed ({len(common)} methods compared)")
+    print(f"\nbench regression gate passed ({compared} methods compared)")
     return 0
 
 

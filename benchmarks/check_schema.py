@@ -1,4 +1,4 @@
-"""CI schema gate: validate bench_results.json (v5) and events JSONL files.
+"""CI schema gate: validate bench_results.json (v6) and events JSONL files.
 
 Usage::
 
@@ -10,7 +10,8 @@ rest of the repo):
 - ``bench_results.json`` / ``verify --format json`` documents: schema
   version, required keys and types, per-method result shape (including
   the v5 ``plan_s``/``simplify_s``/``solve_s`` phase split and
-  ``plan_cached`` flag), the plan-cache stats block, and the
+  ``plan_cached`` flag), the plan-cache stats block, the v6 ``cache``
+  lifecycle block (per-tier entry counts/bytes/hit rates), and the
   event-count invariants of the session API -- every VC is ``planned``
   exactly once and settled by exactly one terminal event
   (``cache_hit`` | ``dedup`` | ``solved`` | ``timeout`` | ``error``),
@@ -69,6 +70,7 @@ _REQUIRED_BENCH_KEYS = {
     "dedup_rate": (int, float),
     "event_totals": dict,
     "plan_cache": dict,
+    "cache": dict,
     "results": list,
 }
 
@@ -114,8 +116,8 @@ def _check_events_counts(events: dict, n_vcs: int, where: str, errs: SchemaError
 def check_report(doc: dict, errs: SchemaErrors) -> None:
     """Validate a bench_results.json or `verify --format json` document."""
     errs.check(
-        doc.get("schema_version") == 5,
-        f"schema_version is {doc.get('schema_version')!r}, expected 5",
+        doc.get("schema_version") == 6,
+        f"schema_version is {doc.get('schema_version')!r}, expected 6",
     )
     is_verify = doc.get("command") == "verify" and "suite" not in doc
     spec = dict(_REQUIRED_BENCH_KEYS)
@@ -126,6 +128,7 @@ def check_report(doc: dict, errs: SchemaErrors) -> None:
         spec.pop("dedup_rate")
         spec.pop("event_totals")
         spec.pop("plan_cache")
+        spec.pop("cache")
     _check_typed_keys(doc, spec, "report", errs)
     results = doc.get("results", [])
     if not isinstance(results, list):
@@ -172,6 +175,27 @@ def check_report(doc: dict, errs: SchemaErrors) -> None:
                 isinstance(cache_block.get(field), int),
                 f"plan_cache.{field} missing or not an int",
             )
+    lifecycle = doc.get("cache")
+    if not is_verify and isinstance(lifecycle, dict):
+        enabled = lifecycle.get("enabled")
+        errs.check(isinstance(enabled, bool), "cache.enabled missing or not a bool")
+        if enabled is True and errs.check(
+            isinstance(lifecycle.get("tiers"), dict),
+            "cache.tiers missing or not an object",
+        ):
+            for tier, stats in lifecycle["tiers"].items():
+                where = f"cache.tiers[{tier!r}]"
+                if not errs.check(isinstance(stats, dict), f"{where}: not an object"):
+                    continue
+                for field in ("entries", "bytes", "hits", "misses"):
+                    errs.check(
+                        isinstance(stats.get(field), int),
+                        f"{where}: {field} missing or not an int",
+                    )
+                errs.check(
+                    isinstance(stats.get("hit_rate"), (int, float)),
+                    f"{where}: hit_rate missing or not a number",
+                )
     if not is_verify and isinstance(doc.get("event_totals"), dict):
         errs.check(
             doc["event_totals"] == totals,
@@ -254,7 +278,7 @@ def check_events_jsonl(lines, errs: SchemaErrors) -> None:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("report", help="bench_results.json (schema v4) to validate")
+    parser.add_argument("report", help="bench_results.json (schema v6) to validate")
     parser.add_argument("--events", default=None, metavar="JSONL",
                         help="also validate an --events JSON Lines stream")
     args = parser.parse_args(argv)  # argparse exits 2 on usage errors

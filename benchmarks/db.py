@@ -1,0 +1,126 @@
+"""Bench trajectory DB tool: ingest, list, history, prune.
+
+The corpus/runner/db split, operationally: ``repro bench`` is the
+runner, ``bench_results.json`` is one run's report, and this tool
+maintains the trajectory -- a sqlite3 file of every run, which
+``check_regression.py --history`` gates against (rolling median + MAD
+window) instead of a single frozen baseline.
+
+Usage::
+
+    python benchmarks/db.py ingest DB REPORT [--commit SHA] [--label L]
+    python benchmarks/db.py list DB [--limit N]
+    python benchmarks/db.py history DB METHOD [--label L] [--limit N]
+    python benchmarks/db.py prune DB --keep N
+
+The heavy lifting lives in :mod:`repro.engine.benchdb` (stdlib-only
+sqlite3); this wrapper just finds it whether or not ``src`` is on the
+path, mirroring how CI invokes the other benchmarks scripts bare.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from repro.engine.benchdb import BenchDB
+except ImportError:  # invoked as a bare script: put ../src on the path
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.engine.benchdb import BenchDB
+
+
+def cmd_ingest(args) -> int:
+    with BenchDB(args.db) as db:
+        run_id = db.ingest_file(args.report, commit=args.commit, label=args.label)
+        n = db.conn.execute(
+            "SELECT COUNT(*) FROM results WHERE run_id = ?", (run_id,)
+        ).fetchone()[0]
+    print(f"ingested {args.report} as run {run_id} ({n} methods, "
+          f"commit {args.commit}, label {args.label!r})")
+    return 0
+
+
+def cmd_list(args) -> int:
+    with BenchDB(args.db) as db:
+        rows = db.runs(limit=args.limit)
+    if not rows:
+        print("(no runs)")
+        return 0
+    print(f"{'id':>4s} {'commit':10s} {'label':12s} {'suite':8s} "
+          f"{'jobs':>4s} {'backend':10s} {'wall s':>8s}")
+    for row in rows:
+        print(f"{row['id']:4d} {str(row['commit_sha'])[:10]:10s} "
+              f"{str(row['label'])[:12]:12s} {str(row['suite']):8s} "
+              f"{row['jobs'] or 0:4d} {str(row['backend'])[:10]:10s} "
+              f"{row['wall_s'] or 0.0:8.2f}")
+    return 0
+
+
+def cmd_history(args) -> int:
+    with BenchDB(args.db) as db:
+        rows = db.history(args.method, label=args.label, limit=args.limit)
+    if args.format == "json":
+        json.dump(rows, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    if not rows:
+        print(f"(no history for {args.method!r} label {args.label!r})")
+        return 0
+    print(f"{'run':>4s} {'commit':10s} {'status':10s} {'time s':>8s} "
+          f"{'plan s':>8s} {'solve s':>8s}")
+    for row in rows:
+        print(f"{row['run_id']:4d} {str(row['commit_sha'])[:10]:10s} "
+              f"{str(row['status']):10s} {row['time_s'] or 0.0:8.2f} "
+              f"{row['plan_s'] or 0.0:8.2f} {row['solve_s'] or 0.0:8.2f}")
+    return 0
+
+
+def cmd_prune(args) -> int:
+    with BenchDB(args.db) as db:
+        dropped = db.prune(args.keep)
+    print(f"pruned {dropped} run(s), kept the newest {args.keep}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ingest", help="append a bench_results.json to the DB")
+    p.add_argument("db")
+    p.add_argument("report")
+    p.add_argument("--commit", default="unknown", help="commit SHA to stamp the run with")
+    p.add_argument("--label", default="", help="trajectory label (e.g. smoke, avl-cold)")
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser("list", help="list ingested runs, newest first")
+    p.add_argument("db")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("history", help="one method's recent rows on a label")
+    p.add_argument("db")
+    p.add_argument("method")
+    p.add_argument("--label", default="")
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=cmd_history)
+
+    p = sub.add_parser("prune", help="drop all but the newest N runs")
+    p.add_argument("db")
+    p.add_argument("--keep", type=int, required=True)
+    p.set_defaults(func=cmd_prune)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as e:
+        print(f"db error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

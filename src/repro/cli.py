@@ -7,7 +7,12 @@ Subcommands:
   (``--format json`` for the structured result schema, ``--events PATH``
   to stream typed per-VC events as JSON Lines)
 - ``repro bench``   -- regenerate the paper's tables with a machine-readable
-  ``bench_results.json`` report (schema v4)
+  ``bench_results.json`` report (schema v6); ``--db PATH`` appends the
+  run to a bench trajectory database (``benchmarks/db.py``)
+- ``repro cache``   -- cache lifecycle: ``stats`` (per-tier entry
+  counts/bytes/hit rates), ``gc`` (age/LRU sweep under ``--cache-max-mb``
+  / ``--cache-max-age-days`` budgets), ``verify`` (validate every entry,
+  purge poison)
 
 Examples::
 
@@ -15,6 +20,9 @@ Examples::
     repro verify --structure "Binary Search Tree" --method bst_insert
     repro verify --method sll_find --format json --events events.jsonl
     repro bench --suite table2 --budget 10 --limit 3 --output bench_results.json
+    repro bench --method sll_find --db bench_trajectory.db
+    repro cache stats --cache-dir .vc-cache --format json
+    repro cache gc --cache-dir .vc-cache --cache-max-mb 256
 
 Exit-code contract (tested in ``tests/test_session.py``):
 
@@ -41,9 +49,11 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
+from pathlib import Path
 from typing import List, Optional, Tuple
 
 from .engine import VerificationResult, VerificationSession
@@ -118,6 +128,8 @@ def _session_from_args(
         batch_node_limit=args.batch_node_limit,
         diagnostics=diagnostics,
         plan_cache=args.plan_cache,
+        cache_max_mb=args.cache_max_mb,
+        cache_max_age_days=args.cache_max_age_days,
     )
 
 
@@ -292,7 +304,7 @@ def cmd_verify(args) -> int:
 def _verify_doc(args, rows, wall) -> dict:
     """The ``verify --format json`` document: structured session results."""
     return {
-        "schema_version": 5,
+        "schema_version": 6,
         "command": "verify",
         "jobs": args.jobs,
         "backend": args.backend,
@@ -338,38 +350,43 @@ def cmd_bench(args) -> int:
 
     rows = []
     wall_start = time.perf_counter()
-    if args.suite == "table2":
-        for exp, m in chosen:
-            lc, loc, spec, ann = method_sizes(exp, m)
-            result, status = _safe_verify(session, exp, m)
-            rows.append((exp.structure, m, result, status, (lc, loc, spec, ann)))
-            shrink = f"  shrink={result.shrink_pct:4.1f}%" if result.simplify else ""
-            plan_note = f" plan={result.plan_s:.2f}s" + ("*" if result.plan_cached else "")
-            print(
-                f"{exp.structure:36s} {m:26s} {result.n_vcs:4d} VCs "
-                f"{result.time_s:7.2f}s{plan_note}  hits={result.cache_hits:<4d} "
-                f"{status}{shrink}"
+    # Sessions are closed (ExitStack) so the lifecycle sweep hook runs
+    # when --cache-max-mb / --cache-max-age-days budgets are set.
+    with ExitStack() as stack:
+        stack.enter_context(session)
+        if args.suite == "table2":
+            for exp, m in chosen:
+                lc, loc, spec, ann = method_sizes(exp, m)
+                result, status = _safe_verify(session, exp, m)
+                rows.append((exp.structure, m, result, status, (lc, loc, spec, ann)))
+                shrink = f"  shrink={result.shrink_pct:4.1f}%" if result.simplify else ""
+                plan_note = f" plan={result.plan_s:.2f}s" + ("*" if result.plan_cached else "")
+                print(
+                    f"{exp.structure:36s} {m:26s} {result.n_vcs:4d} VCs "
+                    f"{result.time_s:7.2f}s{plan_note}  hits={result.cache_hits:<4d} "
+                    f"{status}{shrink}"
+                )
+        else:  # rq3
+            quant_session = _session_from_args(
+                args,
+                timeout_s=budget,
+                method_budget_s=budget,
+                encoding="quantified",
+                diagnostics=False,
             )
-    else:  # rq3
-        quant_session = _session_from_args(
-            args,
-            timeout_s=budget,
-            method_budget_s=budget,
-            encoding="quantified",
-            diagnostics=False,
-        )
-        for exp, m in chosen:
-            dec, dec_status = _safe_verify(session, exp, m)
-            quant, quant_status = _safe_verify(quant_session, exp, m)
-            # Keep _safe_verify's status verbatim: recomputing it via
-            # _status() would relabel a crash ("error: X") as a plain
-            # FAILED and defeat the crash gate below.
-            rows.append((exp.structure, m, dec, dec_status, None, quant, quant_status))
-            print(
-                f"{m:26s} decidable {dec.time_s:7.2f}s {dec_status:8s} "
-                f"quantified {quant.time_s:7.2f}s {quant_status}"
-            )
-    wall = time.perf_counter() - wall_start
+            stack.enter_context(quant_session)
+            for exp, m in chosen:
+                dec, dec_status = _safe_verify(session, exp, m)
+                quant, quant_status = _safe_verify(quant_session, exp, m)
+                # Keep _safe_verify's status verbatim: recomputing it via
+                # _status() would relabel a crash ("error: X") as a plain
+                # FAILED and defeat the crash gate below.
+                rows.append((exp.structure, m, dec, dec_status, None, quant, quant_status))
+                print(
+                    f"{m:26s} decidable {dec.time_s:7.2f}s {dec_status:8s} "
+                    f"quantified {quant.time_s:7.2f}s {quant_status}"
+                )
+        wall = time.perf_counter() - wall_start
     verified = sum(1 for row in rows if row[3] == "verified")
     print(f"\n{verified}/{len(rows)} methods verified (budget={budget:g}s/VC, "
           f"jobs={session.jobs}, wall={wall:.1f}s)")
@@ -386,9 +403,17 @@ def cmd_bench(args) -> int:
         "misses": sum(c.misses for c in caches),
     }
     out = args.output or "bench_results.json"
-    _dump_json(out, args.suite, args, rows, wall, budget=budget,
-               plan_cache_stats=plan_cache_stats)
+    doc = _dump_json(out, args.suite, args, rows, wall, budget=budget,
+                     plan_cache_stats=plan_cache_stats)
     print(f"wrote {out}")
+    if args.db:
+        from .engine.benchdb import BenchDB
+
+        with BenchDB(args.db) as db:
+            run_id = db.ingest(
+                doc, commit=args.db_commit or _detect_commit(), label=args.db_label
+            )
+        print(f"recorded run {run_id} in {args.db}")
     if any(
         row[3].startswith("error:") or row[2].errors
         or (len(row) > 6 and (row[6].startswith("error:") or row[5].errors))
@@ -407,7 +432,31 @@ def cmd_bench(args) -> int:
     return EXIT_VERIFIED
 
 
-def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None) -> None:
+def _detect_commit() -> str:
+    """Best-effort commit stamp for ``bench --db``: CI env, then git."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _cache_block(cache_dir) -> dict:
+    """The schema-v6 ``cache`` lifecycle block: per-tier entry counts,
+    byte totals and cumulative hit rates from the access index."""
+    if not cache_dir:
+        return {"enabled": False}
+    from .engine.cachectl import cache_stats
+
+    return {"enabled": True, "tiers": cache_stats(cache_dir)}
+
+
+def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None) -> dict:
     results = []
     for row in rows:
         structure, m, report, status = row[0], row[1], row[2], row[3]
@@ -457,7 +506,7 @@ def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None
         for kind, count in r["events"].items():
             event_totals[kind] = event_totals.get(kind, 0) + count
     doc = {
-        "schema_version": 5,
+        "schema_version": 6,
         "suite": suite,
         "jobs": args.jobs,
         "backend": args.backend,
@@ -480,10 +529,93 @@ def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None
         # methods whose plan+simplify phase was replayed from disk).
         "plan_cache": plan_cache_stats
         or {"enabled": False, "hits": 0, "misses": 0},
+        # Cache lifecycle stats (schema v6): per-tier entry counts,
+        # bytes and cumulative hit rates of the cache dir's tiers.
+        "cache": _cache_block(args.cache_dir),
         "results": results,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2)
+    return doc
+
+
+# -- repro cache -------------------------------------------------------------
+
+
+def _cache_root(args) -> Optional[Path]:
+    root = Path(args.cache_dir)
+    if not root.is_dir():
+        print(f"cache: no such cache dir: {args.cache_dir}", file=sys.stderr)
+        return None
+    return root
+
+
+def cmd_cache_stats(args) -> int:
+    from .engine.cachectl import cache_stats
+
+    root = _cache_root(args)
+    if root is None:
+        return EXIT_USAGE
+    tiers = cache_stats(root)
+    if args.format == "json":
+        json.dump({"cache_dir": str(root), "tiers": tiers}, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return EXIT_VERIFIED
+    print(f"{'tier':6s} {'entries':>8s} {'bytes':>12s} {'hits':>8s} "
+          f"{'misses':>8s} {'hit rate':>9s}")
+    for name, stats in tiers.items():
+        print(f"{name:6s} {stats['entries']:8d} {stats['bytes']:12d} "
+              f"{stats['hits']:8d} {stats['misses']:8d} {stats['hit_rate']:9.1%}")
+    total = sum(s["bytes"] for s in tiers.values())
+    print(f"\ntotal {total / (1024 * 1024):.2f} MiB in {root}")
+    return EXIT_VERIFIED
+
+
+def cmd_cache_gc(args) -> int:
+    from .engine.cachectl import sweep
+
+    root = _cache_root(args)
+    if root is None:
+        return EXIT_USAGE
+    if args.cache_max_mb is None and args.cache_max_age_days is None:
+        print("cache gc: pass --cache-max-mb and/or --cache-max-age-days",
+              file=sys.stderr)
+        return EXIT_USAGE
+    report = sweep(
+        root,
+        max_mb=args.cache_max_mb,
+        max_age_days=args.cache_max_age_days,
+        protect_s=args.protect_minutes * 60.0,
+        dry_run=args.dry_run,
+    )
+    if args.format == "json":
+        json.dump(report.to_json(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return EXIT_VERIFIED
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"cache gc: {verb} {report.evicted}/{report.examined} entries "
+          f"({report.evicted_bytes / (1024 * 1024):.2f} MiB), "
+          f"{report.bytes_before / (1024 * 1024):.2f} -> "
+          f"{report.bytes_after / (1024 * 1024):.2f} MiB"
+          + (f", {report.protected} protected kept" if report.protected else ""))
+    return EXIT_VERIFIED
+
+
+def cmd_cache_verify(args) -> int:
+    from .engine.cachectl import verify_caches
+
+    root = _cache_root(args)
+    if root is None:
+        return EXIT_USAGE
+    report = verify_caches(root)
+    if args.format == "json":
+        json.dump(report.to_json(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return EXIT_VERIFIED
+    print(f"cache verify: {report.entries} valid entries, "
+          f"{report.poison} poison purged, {report.stale_index} stale index "
+          f"rows dropped, {report.unindexed} entries (re)indexed")
+    return EXIT_VERIFIED
 
 
 # -- argument parsing --------------------------------------------------------
@@ -521,6 +653,13 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                    help="max summed post-simplify formula nodes per batch "
                         "(default 2400; retired-goal GC in the incremental "
                         "solver keeps big batches cheap)")
+    p.add_argument("--cache-max-mb", type=float, default=None,
+                   help="cache lifecycle budget: sweep the cache dir down to "
+                        "this many MiB (LRU, both tiers) when the session "
+                        "closes; entries written by the run are never evicted")
+    p.add_argument("--cache-max-age-days", type=float, default=None,
+                   help="cache lifecycle budget: evict entries not accessed "
+                        "for this many days when the session closes")
     p.add_argument("--structure", default=None, help="restrict to one structure")
     p.add_argument("--method", action="append", default=[],
                    help="restrict to named method(s); repeatable")
@@ -570,7 +709,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--check", action="store_true",
                          help="exit nonzero unless every selected method verifies "
                               "(for CI smoke jobs)")
+    p_bench.add_argument("--db", default=None, metavar="PATH",
+                         help="append this run to a bench trajectory database "
+                              "(sqlite3; see benchmarks/db.py and the "
+                              "check_regression.py --history gate)")
+    p_bench.add_argument("--db-commit", default=None, metavar="SHA",
+                         help="commit stamp for --db (default: GITHUB_SHA or "
+                              "git rev-parse HEAD)")
+    p_bench.add_argument("--db-label", default="", metavar="L",
+                         help="trajectory label for --db: runs are only "
+                              "compared within one label (e.g. smoke, avl-cold)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache", help="cache lifecycle: stats, gc (age/LRU sweep), verify")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for name, func, doc in (
+        ("stats", cmd_cache_stats,
+         "per-tier entry counts, byte totals and hit rates"),
+        ("gc", cmd_cache_gc,
+         "age/LRU sweep under size/age budgets (never evicts fresh entries)"),
+        ("verify", cmd_cache_verify,
+         "validate every entry, purge poison, heal the access index"),
+    ):
+        p = cache_sub.add_parser(name, help=doc)
+        p.add_argument("--cache-dir", required=True,
+                       help="the cache directory (VC tier at the root, plan "
+                            "tier under <dir>/plan)")
+        p.add_argument("--format", choices=["text", "json"], default="text")
+        if name == "gc":
+            p.add_argument("--cache-max-mb", type=float, default=None,
+                           help="size budget for the whole dir (both tiers)")
+            p.add_argument("--cache-max-age-days", type=float, default=None,
+                           help="evict entries not accessed for this many days")
+            p.add_argument("--protect-minutes", type=float, default=10.0,
+                           help="never evict entries accessed within the last "
+                                "M minutes (default 10; shields the current "
+                                "run's working set)")
+            p.add_argument("--dry-run", action="store_true",
+                           help="report what would be evicted, delete nothing")
+        p.set_defaults(func=func)
     return parser
 
 

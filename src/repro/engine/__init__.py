@@ -12,6 +12,10 @@ infrastructure:
 - :mod:`repro.engine.cache`     -- persistent verdict cache keyed by formula hash
 - :mod:`repro.engine.plancache` -- persistent plan cache (simplified VCs + subst
   logs keyed on program text, config, and planner code version)
+- :mod:`repro.engine.cachectl`  -- cache lifecycle: access-time index, per-tier
+  stats, age/LRU sweeps under size budgets, poison verification
+- :mod:`repro.engine.benchdb`   -- sqlite3 bench trajectory DB + the rolling
+  median/MAD regression gate over run history
 - :mod:`repro.engine.backends`  -- pluggable solver backends (in-tree, SMT-LIB2
   subprocess, cross-check)
 - :mod:`repro.engine.events`    -- typed per-VC events and the structured
@@ -33,7 +37,9 @@ from .backends import (
     make_backend,
     register_backend,
 )
+from .benchdb import BenchDB, rolling_gate
 from .cache import VcCache, formula_key
+from .cachectl import AccessIndex, cache_stats, sweep, verify_caches
 from .plancache import PlanCache, code_fingerprint, plan_key
 from .diagnostics import diagnose
 from .events import (
@@ -80,6 +86,12 @@ __all__ = [
     "register_backend",
     "VcCache",
     "formula_key",
+    "AccessIndex",
+    "cache_stats",
+    "sweep",
+    "verify_caches",
+    "BenchDB",
+    "rolling_gate",
     "PlanCache",
     "plan_key",
     "code_fingerprint",

@@ -1,0 +1,283 @@
+"""Bench trajectory database: verification timings judged against history.
+
+The perf story used to rest on one committed ``BENCH_simplify.json``
+snapshot -- a single frozen machine's numbers, compared run-by-run.
+This module persists every bench run into a small sqlite3 database
+(stdlib-only, one file, safe to stash in an ``actions/cache`` slot) so
+a regression gate can judge the *trajectory*: the current run against a
+rolling window of its own recent history on the same configuration.
+
+Schema (``PRAGMA user_version = 1``):
+
+- ``runs``    -- one row per ingested ``bench_results.json``: timestamp,
+  commit, label (a free-form trajectory name so e.g. cold and warm
+  plan-cache runs of the same method never share a window), and the
+  configuration that makes timings comparable (suite, jobs, backend,
+  simplify/batch/batch_size, budget, python version);
+- ``results`` -- one row per method per run: status and the schema-v5+
+  phase split (``time_s``/``plan_s``/``simplify_s``/``solve_s``).
+
+:func:`BenchDB.history` returns a method's recent rows filtered on the
+full configuration key -- (label, method, backend, jobs, batch, batch
+size, suite) -- newest first, because a timing is only comparable to
+timings produced the same way.  :func:`rolling_gate` turns such a
+window into a verdict: the current value passes while it stays under
+
+    ``median + max(mad_mult * MAD, max_regression * median, min_seconds)``
+
+-- the MAD term adapts to the trajectory's own noise (shared CI runners
+are noisy; a quiet history tightens the gate), the fractional term
+keeps a meaning-preserving floor when MAD is ~0, and the absolute floor
+keeps sub-second jitter from ever failing anything.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from statistics import median
+from typing import List, Optional
+
+__all__ = ["BenchDB", "GateVerdict", "rolling_gate"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    ts          REAL NOT NULL,
+    commit_sha  TEXT NOT NULL DEFAULT 'unknown',
+    label       TEXT NOT NULL DEFAULT '',
+    suite       TEXT,
+    jobs        INTEGER,
+    backend     TEXT,
+    simplify    INTEGER,
+    batch       INTEGER,
+    batch_size  INTEGER,
+    budget_s    REAL,
+    python      TEXT,
+    wall_s      REAL,
+    report_schema INTEGER
+);
+CREATE TABLE IF NOT EXISTS results (
+    run_id      INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    method      TEXT NOT NULL,
+    structure   TEXT,
+    status      TEXT,
+    ok          INTEGER,
+    n_vcs       INTEGER,
+    time_s      REAL,
+    plan_s      REAL,
+    simplify_s  REAL,
+    solve_s     REAL,
+    plan_cached INTEGER,
+    cache_hits  INTEGER,
+    dedup_hits  INTEGER,
+    timeouts    INTEGER,
+    errors      INTEGER,
+    encoding    TEXT
+);
+CREATE INDEX IF NOT EXISTS ix_results_method ON results(method, run_id);
+CREATE INDEX IF NOT EXISTS ix_runs_label ON runs(label, id);
+"""
+
+
+class BenchDB:
+    """One sqlite3 file of bench runs; usable as a context manager."""
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self.conn = sqlite3.connect(self.path)
+        self.conn.row_factory = sqlite3.Row
+        self.conn.execute("PRAGMA foreign_keys = ON")
+        self.conn.executescript(_SCHEMA)
+        if self.conn.execute("PRAGMA user_version").fetchone()[0] == 0:
+            self.conn.execute("PRAGMA user_version = 1")
+        self.conn.commit()
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "BenchDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- writing --------------------------------------------------------
+
+    def ingest(
+        self,
+        doc: dict,
+        commit: str = "unknown",
+        label: str = "",
+        ts: Optional[float] = None,
+    ) -> int:
+        """Append one ``bench_results.json`` document; returns the run id.
+
+        Tolerant of schema growth: only the comparability key and the
+        timing columns are required; anything else the report grows
+        later is simply not stored.
+        """
+        if not isinstance(doc, dict) or not isinstance(doc.get("results"), list):
+            raise ValueError("not a bench report: missing results list")
+        cur = self.conn.execute(
+            "INSERT INTO runs (ts, commit_sha, label, suite, jobs, backend, simplify,"
+            " batch, batch_size, budget_s, python, wall_s, report_schema)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                time.time() if ts is None else float(ts),
+                commit,
+                label,
+                doc.get("suite"),
+                doc.get("jobs"),
+                doc.get("backend"),
+                _as_int(doc.get("simplify")),
+                _as_int(doc.get("batch")),
+                doc.get("batch_size"),
+                doc.get("budget_s"),
+                doc.get("python"),
+                doc.get("wall_s"),
+                doc.get("schema_version"),
+            ),
+        )
+        run_id = cur.lastrowid
+        for entry in doc["results"]:
+            if not isinstance(entry, dict) or "method" not in entry:
+                continue
+            self.conn.execute(
+                "INSERT INTO results (run_id, method, structure, status, ok, n_vcs,"
+                " time_s, plan_s, simplify_s, solve_s, plan_cached, cache_hits,"
+                " dedup_hits, timeouts, errors, encoding)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    entry.get("method"),
+                    entry.get("structure"),
+                    entry.get("status"),
+                    _as_int(entry.get("ok")),
+                    entry.get("n_vcs"),
+                    entry.get("time_s"),
+                    entry.get("plan_s"),
+                    entry.get("simplify_s"),
+                    entry.get("solve_s"),
+                    _as_int(entry.get("plan_cached")),
+                    entry.get("cache_hits"),
+                    entry.get("dedup_hits"),
+                    entry.get("timeouts"),
+                    entry.get("errors"),
+                    entry.get("encoding"),
+                ),
+            )
+        self.conn.commit()
+        return run_id
+
+    def ingest_file(self, report_path, **kw) -> int:
+        with open(report_path, "r", encoding="utf-8") as handle:
+            return self.ingest(json.load(handle), **kw)
+
+    def prune(self, keep_last: int) -> int:
+        """Drop all but the newest ``keep_last`` runs (any label)."""
+        cur = self.conn.execute(
+            "DELETE FROM runs WHERE id NOT IN"
+            " (SELECT id FROM runs ORDER BY id DESC LIMIT ?)",
+            (max(0, int(keep_last)),),
+        )
+        self.conn.commit()
+        return cur.rowcount
+
+    # -- reading --------------------------------------------------------
+
+    def runs(self, limit: Optional[int] = None) -> List[dict]:
+        sql = "SELECT * FROM runs ORDER BY id DESC"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return [dict(row) for row in self.conn.execute(sql)]
+
+    def history(
+        self,
+        method: str,
+        backend: Optional[str] = None,
+        jobs: Optional[int] = None,
+        batch: Optional[bool] = None,
+        batch_size: Optional[int] = None,
+        suite: Optional[str] = None,
+        label: str = "",
+        limit: int = 20,
+    ) -> List[dict]:
+        """A method's recent result rows on one configuration, newest
+        first.  ``None`` filters are wildcards (match any)."""
+        clauses = ["results.method = ?", "runs.label = ?"]
+        params: list = [method, label]
+        for column, value in (
+            ("runs.backend", backend),
+            ("runs.jobs", jobs),
+            ("runs.batch", _as_int(batch)),
+            ("runs.batch_size", batch_size),
+            ("runs.suite", suite),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        params.append(int(limit))
+        sql = (
+            "SELECT runs.id AS run_id, runs.ts, runs.commit_sha, runs.label,"
+            " results.* FROM results JOIN runs ON runs.id = results.run_id"
+            " WHERE " + " AND ".join(clauses) + " ORDER BY runs.id DESC LIMIT ?"
+        )
+        return [dict(row) for row in self.conn.execute(sql, params)]
+
+
+def _as_int(value) -> Optional[int]:
+    if value is None:
+        return None
+    return int(bool(value)) if isinstance(value, bool) else int(value)
+
+
+# -- the rolling gate --------------------------------------------------------
+
+
+@dataclass
+class GateVerdict:
+    """One timing judged against its history window."""
+
+    ok: bool
+    current: float
+    median: float
+    mad: float
+    threshold: float
+    window: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.current:.2f}s vs median {self.median:.2f}s "
+            f"(MAD {self.mad:.2f}s, threshold {self.threshold:.2f}s, "
+            f"n={self.window})"
+        )
+
+
+def rolling_gate(
+    history: List[float],
+    current: float,
+    max_regression: float = 0.25,
+    min_seconds: float = 0.5,
+    mad_mult: float = 5.0,
+) -> GateVerdict:
+    """Judge ``current`` against its rolling window (see module doc).
+
+    The threshold is ``median + max(mad_mult * MAD, max_regression *
+    median, min_seconds)``: adaptive to the window's own noise, with a
+    fractional floor for quiet histories and an absolute floor for
+    sub-second timings.
+    """
+    mid = median(history)
+    mad = median(abs(value - mid) for value in history)
+    threshold = mid + max(mad_mult * mad, max_regression * mid, min_seconds)
+    return GateVerdict(
+        ok=current <= threshold,
+        current=current,
+        median=mid,
+        mad=mad,
+        threshold=threshold,
+        window=len(history),
+    )

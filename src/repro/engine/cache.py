@@ -25,6 +25,7 @@ from ..smt.printer import to_smtlib
 from ..smt.rewriter import rewrite
 from ..smt.simplify import simplify
 from ..smt.terms import Term, deep_recursion
+from .cachectl import AccessIndex
 
 __all__ = ["VcCache", "formula_key"]
 
@@ -78,8 +79,14 @@ class VcCache:
         self.root.mkdir(parents=True, exist_ok=True)
         # Keys written by *this* process, so callers can tell a hit on a
         # verdict produced earlier in the same run (cross-method dedup)
-        # from a hit on a pre-existing cache.
+        # from a hit on a pre-existing cache.  The lifecycle sweep also
+        # treats them as protected: a gc can never evict what the
+        # current run just produced.
         self.session_keys: set = set()
+        # Sidecar access-time index (lifecycle layer): advisory LRU/hit
+        # bookkeeping; a lost or poisoned index degrades eviction order,
+        # never verdicts.
+        self.index = AccessIndex(self.root)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -103,7 +110,13 @@ class VcCache:
                     path.unlink()
                 except OSError:
                     pass
+            self.index.record_miss(key)
             return None
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = None
+        self.index.record_hit(key, size)  # touch-on-hit keeps LRU honest
         return record
 
     def put(self, key: str, verdict: str, detail: str = "", **meta) -> None:
@@ -126,6 +139,13 @@ class VcCache:
                 json.dump(record, handle)
             os.replace(tmp, path)
             self.session_keys.add(key)
+            # Index the entry only after the publish landed, and with the
+            # index's own atomic mkstemp/replace: a write that crashed
+            # above never strands an index row pointing at a missing file.
+            try:
+                self.index.touch(key, size=os.path.getsize(path))
+            except OSError:
+                pass
         except OSError:
             pass
         finally:
@@ -136,4 +156,8 @@ class VcCache:
                     pass
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        # Skip dotted sidecars: pathlib's ``*`` matches them, and the
+        # nested plan tier's index lives at ``plan/.access-index.json``.
+        return sum(
+            1 for p in self.root.glob("*/*.json") if not p.name.startswith(".")
+        )

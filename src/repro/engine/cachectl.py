@@ -1,0 +1,485 @@
+"""Cache lifecycle management over the VC-verdict and plan caches.
+
+PRs 1-5 made the caches *correct* (self-validating entries, poison
+purged, atomic publishes) but unbounded: ``<cache-dir>`` and
+``<cache-dir>/plan`` grow one file per key forever.  This module is the
+lifecycle layer over both tiers:
+
+- :class:`AccessIndex` -- a per-tier sidecar (``.access-index.json``)
+  tracking each entry's last access time, size, and cumulative
+  hit/miss counters.  Like the cache entries themselves it is
+  self-validating (embedded checksum) and *advisory*: the entry files
+  are the source of truth, so a poisoned, stale or torn index is
+  rebuilt from a directory scan (file mtimes approximate access times)
+  and an entry missing from the index is swept by its file mtime, never
+  silently kept or lost.  The dotted filename is load-bearing: the
+  caches' ``*/*.json`` entry globs must never see the sidecar.
+- :func:`cache_stats` -- per-tier entry counts, byte totals and
+  hit rates (the ``repro cache stats`` surface, and the ``cache`` block
+  of bench schema v6).
+- :func:`sweep` -- the age/LRU garbage collector behind
+  ``repro cache gc`` and the session's close hook: evict entries older
+  than ``max_age_days``, then oldest-first until the whole cache dir
+  fits ``max_mb``, never touching protected keys (entries written by
+  the current run) or entries accessed within ``protect_s`` seconds.
+- :func:`verify_caches` -- validate every entry exactly as the caches
+  would on read (key match, checksum, tier-specific shape), purge
+  poison, and heal the index (the ``repro cache verify`` surface).
+
+Concurrency: entry reads/writes stay safe under concurrent runs (atomic
+publishes; the index is last-writer-wins).  A lost index update only
+skews LRU order until the next rebuild -- it can never corrupt a
+verdict or a plan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "AccessIndex",
+    "CacheTier",
+    "SweepReport",
+    "VerifyReport",
+    "cache_stats",
+    "cache_tiers",
+    "sweep",
+    "verify_caches",
+]
+
+INDEX_FILENAME = ".access-index.json"
+
+_INDEX_VERSION = 1
+
+
+def _checksum(body: dict) -> str:
+    # Local import dance avoided: cache.py imports *us*, so reimplement
+    # the (tiny) canonical-JSON checksum rather than create a cycle.
+    import hashlib
+
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _entry_files(root: Path) -> Iterable[Path]:
+    """The tier's entry files: ``<root>/XX/<key>.json``, one level deep.
+
+    The plan tier nests under the VC tier's root, but its entries live
+    two levels down (``plan/XX/<key>.json``) so each tier's scan sees
+    only its own files.  Dotted names are excluded explicitly: pathlib's
+    ``*`` matches dotfiles (unlike the glob module), and the VC tier's
+    scan would otherwise read the *plan* tier's sidecar
+    (``plan/.access-index.json``) as a poisoned entry and purge it.
+    """
+    return (p for p in root.glob("*/*.json") if not p.name.startswith("."))
+
+
+class AccessIndex:
+    """Sidecar access-time index for one cache tier.
+
+    Mutations (:meth:`touch`, :meth:`forget`, hit/miss counters) are
+    flushed immediately with the same mkstemp + ``os.replace`` +
+    try/finally discipline as the cache entries, so a crashed flush
+    reclaims its temp file and leaves the previous index intact.  The
+    index is loaded lazily: tiers that never consult it pay nothing.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self._entries: Optional[Dict[str, List[float]]] = None
+        self.hits = 0
+        self.misses = 0
+        self.rebuilt = False
+
+    @property
+    def path(self) -> Path:
+        return self.root / INDEX_FILENAME
+
+    # -- loading --------------------------------------------------------
+
+    def _ensure(self) -> Dict[str, List[float]]:
+        if self._entries is not None:
+            return self._entries
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            record = None
+        if (
+            isinstance(record, dict)
+            and record.get("version") == _INDEX_VERSION
+            and isinstance(record.get("entries"), dict)
+            and record.get("checksum")
+            == _checksum({k: v for k, v in record.items() if k != "checksum"})
+        ):
+            self._entries = {
+                str(key): [float(val[0]), float(val[1])]
+                for key, val in record["entries"].items()
+                if isinstance(val, (list, tuple)) and len(val) == 2
+            }
+            self.hits = int(record.get("hits", 0))
+            self.misses = int(record.get("misses", 0))
+        else:
+            self._entries = self._rebuild()
+            self.rebuilt = True
+        return self._entries
+
+    def _rebuild(self) -> Dict[str, List[float]]:
+        """Reconstruct from the entry files: mtime approximates atime."""
+        entries: Dict[str, List[float]] = {}
+        for path in _entry_files(self.root):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries[path.stem] = [stat.st_mtime, float(stat.st_size)]
+        return entries
+
+    # -- mutation -------------------------------------------------------
+
+    def touch(self, key: str, size: Optional[float] = None, now: Optional[float] = None) -> None:
+        """Record an access (LRU touch).  ``now`` is injectable so tests
+        and the CI gc smoke can backdate entries deterministically."""
+        entries = self._ensure()
+        old = entries.get(key)
+        entries[key] = [
+            time.time() if now is None else float(now),
+            float(size) if size is not None else (old[1] if old else 0.0),
+        ]
+        self.flush()
+
+    def forget(self, key: str) -> None:
+        entries = self._ensure()
+        if entries.pop(key, None) is not None:
+            self.flush()
+
+    def record_hit(self, key: str, size: Optional[float] = None) -> None:
+        self._ensure()
+        self.hits += 1
+        self.touch(key, size=size)
+
+    def record_miss(self, key: str) -> None:
+        entries = self._ensure()
+        self.misses += 1
+        # A miss may follow a poison purge: drop any stale entry so the
+        # index never outlives the file it described.
+        entries.pop(key, None)
+        self.flush()
+
+    # -- reading --------------------------------------------------------
+
+    def entries(self) -> Dict[str, List[float]]:
+        """``{key: [atime, size]}`` (a live view; treat as read-only)."""
+        return self._ensure()
+
+    def atime(self, key: str) -> Optional[float]:
+        entry = self._ensure().get(key)
+        return entry[0] if entry else None
+
+    # -- persistence ----------------------------------------------------
+
+    def flush(self) -> None:
+        if self._entries is None:
+            return
+        record = {
+            "version": _INDEX_VERSION,
+            "entries": self._entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        record["checksum"] = _checksum(record)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        except OSError:
+            return  # advisory: a read-only cache dir degrades LRU, not verdicts
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass
+        finally:
+            if os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+
+# -- tiers -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheTier:
+    """One file-per-entry store: the VC tier at the cache root, the plan
+    tier under ``<root>/plan``."""
+
+    name: str
+    root: Path
+
+    def index(self) -> AccessIndex:
+        return AccessIndex(self.root)
+
+    def files(self) -> List[Path]:
+        return sorted(_entry_files(self.root))
+
+
+def cache_tiers(cache_dir) -> List[CacheTier]:
+    root = Path(cache_dir)
+    return [CacheTier("vc", root), CacheTier("plan", root / "plan")]
+
+
+def _validate_entry(tier_name: str, path: Path) -> bool:
+    """Exactly the caches' own read-side validation, minus the purge."""
+    from .cache import _checksum as record_checksum
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return False
+    if (
+        not isinstance(record, dict)
+        or record.get("key") != path.stem
+        or record.get("checksum") != record_checksum(record)
+    ):
+        return False
+    if tier_name == "vc":
+        return record.get("verdict") in ("valid", "invalid")
+    return isinstance(record.get("plan"), dict)
+
+
+# -- stats -------------------------------------------------------------------
+
+
+def tier_stats(tier: CacheTier) -> dict:
+    """Entry count, byte total and cumulative hit rate for one tier."""
+    entries = 0
+    total = 0
+    for path in tier.files():
+        try:
+            total += path.stat().st_size
+        except OSError:
+            continue
+        entries += 1
+    index = tier.index()
+    index.entries()  # force a load so counters are real, not defaults
+    probes = index.hits + index.misses
+    return {
+        "entries": entries,
+        "bytes": total,
+        "hits": index.hits,
+        "misses": index.misses,
+        "hit_rate": round(index.hits / probes, 4) if probes else 0.0,
+    }
+
+
+def cache_stats(cache_dir) -> Dict[str, dict]:
+    """Per-tier stats for a cache dir: ``{"vc": {...}, "plan": {...}}``."""
+    return {tier.name: tier_stats(tier) for tier in cache_tiers(cache_dir)}
+
+
+# -- sweep -------------------------------------------------------------------
+
+
+@dataclass
+class SweepReport:
+    """What a sweep (or dry run) did, per tier and overall."""
+
+    bytes_before: int = 0
+    bytes_after: int = 0
+    examined: int = 0
+    evicted: int = 0
+    evicted_bytes: int = 0
+    protected: int = 0
+    dry_run: bool = False
+    tiers: Dict[str, dict] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+            "examined": self.examined,
+            "evicted": self.evicted,
+            "evicted_bytes": self.evicted_bytes,
+            "protected": self.protected,
+            "dry_run": self.dry_run,
+            "tiers": self.tiers,
+        }
+
+
+def sweep(
+    cache_dir,
+    max_mb: Optional[float] = None,
+    max_age_days: Optional[float] = None,
+    protect: Optional[Set[str]] = None,
+    protect_s: float = 600.0,
+    now: Optional[float] = None,
+    dry_run: bool = False,
+) -> SweepReport:
+    """Age/LRU sweep over *both* tiers of a cache dir.
+
+    Two passes over one global LRU order (the tiers share the dir, so
+    they share the budget):
+
+    1. **age**: entries whose last access is older than ``max_age_days``
+       are evicted;
+    2. **size**: while the directory exceeds ``max_mb`` (the budget
+       covers both tiers together), evict the least recently used entry.
+
+    Neither pass ever evicts a *protected* entry: keys in ``protect``
+    (the session close hook passes the keys it wrote this run) or any
+    entry accessed within the last ``protect_s`` seconds -- so a
+    concurrent or just-finished run cannot have its working set swept
+    out from under it, even when that leaves the dir over budget.
+    Access times come from each tier's index, falling back to file
+    mtime for entries the index never saw (e.g. after a crashed index
+    write); eviction removes the file first, then the index entry, so a
+    crash mid-sweep leaves only harmless stale index rows.
+    """
+    now = time.time() if now is None else now
+    protect = protect or set()
+    report = SweepReport(dry_run=dry_run)
+    # (atime, size, path, tier, index, key) for every entry, both tiers.
+    rows: List[Tuple[float, int, Path, CacheTier, AccessIndex, str]] = []
+    indexes: List[AccessIndex] = []
+    for tier in cache_tiers(cache_dir):
+        index = tier.index()
+        indexes.append(index)
+        tier_bytes = 0
+        tier_entries = 0
+        for path in tier.files():
+            key = path.stem
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            atime = index.atime(key)
+            if atime is None:
+                atime = stat.st_mtime
+            rows.append((atime, stat.st_size, path, tier, index, key))
+            tier_bytes += stat.st_size
+            tier_entries += 1
+        report.tiers[tier.name] = {
+            "entries": tier_entries,
+            "bytes": tier_bytes,
+            "evicted": 0,
+            "evicted_bytes": 0,
+        }
+    report.examined = len(rows)
+    report.bytes_before = sum(size for _a, size, *_rest in rows)
+
+    def protected(atime: float, key: str) -> bool:
+        return key in protect or (now - atime) < protect_s
+
+    def evict(row) -> None:
+        atime, size, path, tier, index, key = row
+        if not dry_run:
+            try:
+                path.unlink()
+            except OSError:
+                return
+            index.forget(key)
+        report.evicted += 1
+        report.evicted_bytes += size
+        report.tiers[tier.name]["evicted"] += 1
+        report.tiers[tier.name]["evicted_bytes"] += size
+
+    rows.sort(key=lambda row: (row[0], str(row[2])))  # oldest access first
+    survivors = []
+    if max_age_days is not None:
+        horizon = now - max_age_days * 86400.0
+        for row in rows:
+            atime, _size, _path, _tier, _index, key = row
+            if atime < horizon and not protected(atime, key):
+                evict(row)
+            else:
+                survivors.append(row)
+        rows = survivors
+    if max_mb is not None:
+        budget = max_mb * 1024.0 * 1024.0
+        total = sum(size for _a, size, *_rest in rows)
+        for row in rows:
+            if total <= budget:
+                break
+            atime, size, _path, _tier, _index, key = row
+            if protected(atime, key):
+                report.protected += 1
+                continue
+            evict(row)
+            total -= size
+    report.bytes_after = report.bytes_before - report.evicted_bytes
+    return report
+
+
+# -- verify ------------------------------------------------------------------
+
+
+@dataclass
+class VerifyReport:
+    """Result of an integrity pass: poison purged, index healed."""
+
+    entries: int = 0
+    poison: int = 0
+    stale_index: int = 0
+    unindexed: int = 0
+    tiers: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.poison == 0
+
+    def to_json(self) -> dict:
+        return {
+            "entries": self.entries,
+            "poison": self.poison,
+            "stale_index": self.stale_index,
+            "unindexed": self.unindexed,
+            "ok": self.ok,
+            "tiers": self.tiers,
+        }
+
+
+def verify_caches(cache_dir, now: Optional[float] = None) -> VerifyReport:
+    """Validate every entry the way the caches would on read; purge what
+    fails; reconcile each tier's index with the files that survive."""
+    report = VerifyReport()
+    for tier in cache_tiers(cache_dir):
+        index = tier.index()
+        entries = index.entries()
+        seen: Set[str] = set()
+        tier_report = {"entries": 0, "poison": 0, "stale_index": 0, "unindexed": 0}
+        for path in tier.files():
+            key = path.stem
+            if _validate_entry(tier.name, path):
+                tier_report["entries"] += 1
+                seen.add(key)
+                if key not in entries:
+                    tier_report["unindexed"] += 1
+                    try:
+                        index.touch(key, size=path.stat().st_size, now=now)
+                    except OSError:
+                        pass
+            else:
+                tier_report["poison"] += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                index.forget(key)
+        for key in [k for k in entries if k not in seen]:
+            tier_report["stale_index"] += 1
+            index.forget(key)
+        report.entries += tier_report["entries"]
+        report.poison += tier_report["poison"]
+        report.stale_index += tier_report["stale_index"]
+        report.unindexed += tier_report["unindexed"]
+        report.tiers[tier.name] = tier_report
+    return report

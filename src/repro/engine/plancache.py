@@ -44,6 +44,7 @@ from ..core.ids import IntrinsicDefinition
 from ..core.verifier import MethodPlan, PlannedVC
 from ..lang.ast import Program
 from .cache import _checksum
+from .cachectl import AccessIndex
 from .codec import decode_nodes, encode_terms
 
 __all__ = ["PlanCache", "plan_key", "code_fingerprint"]
@@ -239,6 +240,10 @@ class PlanCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        # Lifecycle bookkeeping, mirroring VcCache: keys written by this
+        # process (sweep-protected) and the advisory access-time index.
+        self.session_keys: set = set()
+        self.index = AccessIndex(self.root)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -269,6 +274,7 @@ class PlanCache:
                 except OSError:
                     pass
             self.misses += 1
+            self.index.record_miss(key)
             return None
         doc = record["plan"]
         try:
@@ -290,11 +296,17 @@ class PlanCache:
             except OSError:
                 pass
             self.misses += 1
+            self.index.record_miss(key)
             return None
         plan.plan_s = time.perf_counter() - started
         plan.simplify_s = 0.0
         plan.from_cache = True
         self.hits += 1
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = None
+        self.index.record_hit(key, size)  # touch-on-hit keeps LRU honest
         return plan
 
     def put(self, key: str, plan: MethodPlan) -> None:
@@ -320,6 +332,13 @@ class PlanCache:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(record, handle)
             os.replace(tmp, path)
+            self.session_keys.add(key)
+            # Index only after the publish landed (atomic in its own
+            # right): a crashed plan write never strands an index row.
+            try:
+                self.index.touch(key, size=os.path.getsize(path))
+            except OSError:
+                pass
         except OSError:
             pass
         finally:
@@ -334,4 +353,6 @@ class PlanCache:
         return {"hits": self.hits, "misses": self.misses}
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1 for p in self.root.glob("*/*.json") if not p.name.startswith(".")
+        )

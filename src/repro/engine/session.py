@@ -148,10 +148,13 @@ class VerificationSession:
         diagnostics: bool = True,
         persistent_pool: bool = True,
         plan_cache: bool = True,
+        cache_max_mb: Optional[float] = None,
+        cache_max_age_days: Optional[float] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.backend_spec = backend
         make_backend(backend)  # fail fast on unknown/unavailable backends
+        self.cache_dir = cache_dir
         self.cache = VcCache(cache_dir) if cache_dir else None
         # The plan cache shares the verdict cache's root (its entries
         # live under ``<cache_dir>/plan``); ``plan_cache=False`` opts a
@@ -173,16 +176,46 @@ class VerificationSession:
         self.batch_node_limit = batch_node_limit
         self.diagnostics = diagnostics
         self.persistent_pool = persistent_pool
+        # Cache lifecycle budgets: when either is set, closing the
+        # session runs an age/LRU sweep over the cache dir, protecting
+        # every key this session wrote.
+        self.cache_max_mb = cache_max_mb
+        self.cache_max_age_days = cache_max_age_days
         self._pool = None
+        self._swept = False
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Release the persistent worker pool (idempotent)."""
+        """Release the persistent worker pool and, when lifecycle budgets
+        are configured, sweep the cache dir (idempotent)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self._sweep_caches()
+
+    def _sweep_caches(self) -> None:
+        if (
+            self._swept
+            or self.cache_dir is None
+            or (self.cache_max_mb is None and self.cache_max_age_days is None)
+        ):
+            return
+        self._swept = True
+        from .cachectl import sweep
+
+        protect = set()
+        if self.cache is not None:
+            protect |= self.cache.session_keys
+        if self.plan_cache is not None:
+            protect |= self.plan_cache.session_keys
+        sweep(
+            self.cache_dir,
+            max_mb=self.cache_max_mb,
+            max_age_days=self.cache_max_age_days,
+            protect=protect,
+        )
 
     def __enter__(self) -> "VerificationSession":
         return self

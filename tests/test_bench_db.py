@@ -1,0 +1,224 @@
+"""Bench trajectory DB and the history-aware regression gate.
+
+The DB turns the committed single-machine baseline into a rolling
+window of the runner's own recent history.  Under test:
+
+- ingest/history round-trip on the full comparability key (label,
+  method, backend, jobs, batch, batch size, suite), newest first;
+- :func:`rolling_gate` semantics: a genuine regression fails, a noisy
+  value inside the window's own spread passes, the absolute floor keeps
+  sub-second jitter from failing anything;
+- ``check_regression.py --history``: gates against history when the
+  window is deep enough, falls back to the committed baseline when it
+  is not, and keeps the absolute plan ceilings in both modes;
+- ``repro bench --db`` appends the run it just produced.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.engine.benchdb import BenchDB, rolling_gate
+
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load(script):
+    spec = importlib.util.spec_from_file_location(script, BENCHMARKS / f"{script}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _doc(time_s=1.0, plan_s=0.4, status="verified", method="sll_find", **over):
+    doc = {
+        "schema_version": 6, "suite": "table2", "jobs": 2, "backend": "intree",
+        "simplify": True, "batch": True, "batch_size": 16, "budget_s": 10,
+        "python": "3.12", "wall_s": time_s,
+        "results": [{
+            "method": method, "structure": "SLL", "status": status,
+            "ok": status == "verified", "n_vcs": 5, "time_s": time_s,
+            "plan_s": plan_s, "simplify_s": 0.1, "solve_s": time_s - plan_s,
+            "plan_cached": False, "cache_hits": 0, "dedup_hits": 0,
+            "timeouts": 0, "errors": 0, "encoding": "decidable",
+        }],
+    }
+    doc.update(over)
+    return doc
+
+
+@pytest.fixture()
+def db(tmp_path):
+    with BenchDB(tmp_path / "traj.db") as handle:
+        yield handle
+
+
+# -- ingest / history --------------------------------------------------------
+
+
+def test_ingest_history_roundtrip_newest_first(db):
+    for i in range(5):
+        db.ingest(_doc(time_s=1.0 + i), commit=f"c{i}", label="smoke", ts=100.0 + i)
+    rows = db.history("sll_find", backend="intree", jobs=2, batch=True,
+                      batch_size=16, suite="table2", label="smoke")
+    assert [row["time_s"] for row in rows] == [5.0, 4.0, 3.0, 2.0, 1.0]
+    assert rows[0]["commit_sha"] == "c4" and rows[0]["status"] == "verified"
+    assert db.history("sll_find", label="smoke", limit=2)[0]["time_s"] == 5.0
+
+
+def test_history_is_partitioned_by_label_and_config(db):
+    db.ingest(_doc(time_s=1.0), label="cold", ts=1.0)
+    db.ingest(_doc(time_s=0.1), label="warm", ts=2.0)
+    db.ingest(_doc(time_s=9.0, jobs=8), label="cold", ts=3.0)
+    cold = db.history("sll_find", jobs=2, label="cold")
+    assert [row["time_s"] for row in cold] == [1.0]  # not warm, not jobs=8
+    assert db.history("sll_find", label="") == []  # default label is its own
+
+
+def test_ingest_rejects_non_reports_and_prune_keeps_newest(db):
+    with pytest.raises(ValueError):
+        db.ingest({"no": "results"})
+    for i in range(6):
+        db.ingest(_doc(), commit=f"c{i}", label="smoke", ts=float(i))
+    assert db.prune(keep_last=2) == 4
+    kept = db.runs()
+    assert [run["commit_sha"] for run in kept] == ["c5", "c4"]
+    # Cascade: pruned runs take their result rows with them.
+    assert len(db.history("sll_find", label="smoke", limit=50)) == 2
+
+
+def test_bench_db_cli_roundtrip(tmp_path, capsys):
+    dbmod = _load("db")
+    report = tmp_path / "r.json"
+    report.write_text(json.dumps(_doc(time_s=2.5)))
+    dbfile = str(tmp_path / "traj.db")
+    assert dbmod.main(
+        ["ingest", dbfile, str(report), "--commit", "abc", "--label", "smoke"]
+    ) == 0
+    assert dbmod.main(["list", dbfile]) == 0
+    assert "abc" in capsys.readouterr().out
+    assert dbmod.main(
+        ["history", dbfile, "sll_find", "--label", "smoke", "--format", "json"]
+    ) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows and rows[0]["time_s"] == 2.5
+    assert dbmod.main(["prune", dbfile, "--keep", "0"]) == 0
+
+
+# -- rolling gate ------------------------------------------------------------
+
+
+def test_rolling_gate_fails_genuine_regression_passes_noise():
+    window = [10.0, 10.5, 9.8, 10.2, 9.9]
+    assert rolling_gate(window, 21.0).ok is False  # 2x: unambiguous
+    assert rolling_gate(window, 10.4).ok is True  # within the spread
+    # A noisy window widens its own threshold via the MAD term.
+    noisy = [8.0, 12.0, 9.0, 11.0, 10.0]
+    assert rolling_gate(noisy, 14.9).ok is True
+    assert rolling_gate(noisy, 30.0).ok is False
+
+
+def test_rolling_gate_absolute_floor_for_subsecond_timings():
+    verdict = rolling_gate([0.1, 0.1, 0.1], 0.4, min_seconds=0.5)
+    assert verdict.ok  # 4x but sub-second: never gate jitter
+    assert "n=3" in verdict.describe()
+    assert rolling_gate([0.1, 0.1, 0.1], 0.7, min_seconds=0.5).ok is False
+
+
+# -- check_regression --history ----------------------------------------------
+
+
+def _gate(tmp_path, base_doc, cur_doc, *extra):
+    checker = _load("check_regression")
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(base_doc))
+    cur.write_text(json.dumps(cur_doc))
+    return checker.main([str(base), str(cur), *extra])
+
+
+def _seeded_db(tmp_path, times, label="smoke", **doc_kw):
+    path = tmp_path / "traj.db"
+    with BenchDB(path) as db:
+        for i, time_s in enumerate(times):
+            db.ingest(_doc(time_s=time_s, **doc_kw), commit=f"c{i}",
+                      label=label, ts=100.0 + i)
+    return str(path)
+
+
+def test_history_gate_fails_2x_regression(tmp_path, capsys):
+    dbfile = _seeded_db(tmp_path, [10.0, 10.5, 9.8, 10.2, 9.9])
+    code = _gate(tmp_path, _doc(time_s=10.0), _doc(time_s=21.0),
+                 "--history", dbfile, "--history-label", "smoke")
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION vs history" in captured.out
+    assert "vs median" in captured.err
+
+
+def test_history_gate_passes_noise_the_baseline_would_fail(tmp_path, capsys):
+    # Window median 10, MAD 1: the rolling threshold (median + 5*MAD = 15)
+    # knows this runner's own spread; the frozen baseline comparison
+    # (base 10, +25% cap, no absolute floor) would fail the same 14s run.
+    dbfile = _seeded_db(tmp_path, [8.0, 12.0, 9.0, 11.0, 10.0])
+    args = ("--history", dbfile, "--history-label", "smoke",
+            "--min-seconds", "0.0")
+    code = _gate(tmp_path, _doc(time_s=10.0), _doc(time_s=14.0), *args)
+    assert code == 0
+    assert "OK (history n=5)" in capsys.readouterr().out
+    # Same run judged without history: the baseline gate rejects it.
+    assert _gate(tmp_path, _doc(time_s=10.0), _doc(time_s=14.0),
+                 "--min-seconds", "0.0") == 1
+
+
+def test_short_history_falls_back_to_committed_baseline(tmp_path, capsys):
+    dbfile = _seeded_db(tmp_path, [10.0, 10.0])  # below --min-history
+    code = _gate(tmp_path, _doc(time_s=10.0), _doc(time_s=30.0),
+                 "--history", dbfile, "--history-label", "smoke",
+                 "--min-seconds", "2.0")
+    assert code == 1  # the baseline comparison still catches it
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "vs history" not in out
+
+
+def test_history_gate_flags_status_flips(tmp_path, capsys):
+    dbfile = _seeded_db(tmp_path, [1.0] * 5, status="verified")
+    code = _gate(tmp_path, _doc(), _doc(status="refuted"),
+                 "--history", dbfile, "--history-label", "smoke")
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "VERDICT verified -> refuted" in captured.out
+    assert "modal" in captured.err
+
+
+def test_plan_ceiling_applies_in_history_mode(tmp_path, capsys):
+    dbfile = _seeded_db(tmp_path, [1.0] * 5, plan_s=0.4)
+    code = _gate(tmp_path, _doc(), _doc(plan_s=0.45),
+                 "--history", dbfile, "--history-label", "smoke",
+                 "--plan-ceiling", "sll_find=0.2")
+    assert code == 1
+    assert "exceeds the committed ceiling" in capsys.readouterr().err
+
+
+# -- repro bench --db --------------------------------------------------------
+
+
+def test_bench_db_flag_appends_run(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    dbfile = tmp_path / "traj.db"
+    code = cli.main(
+        ["bench", "--method", "sll_find", "--budget", "60",
+         "--output", str(out), "--db", str(dbfile),
+         "--db-commit", "deadbeef", "--db-label", "unit"]
+    )
+    assert code == 0
+    with BenchDB(dbfile) as db:
+        runs = db.runs()
+        assert len(runs) == 1 and runs[0]["commit_sha"] == "deadbeef"
+        rows = db.history("sll_find", label="unit")
+        assert rows and rows[0]["status"] == "verified"
+        doc = json.loads(out.read_text())
+        assert rows[0]["time_s"] == doc["results"][0]["time_s"]

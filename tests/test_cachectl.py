@@ -1,0 +1,317 @@
+"""Cache lifecycle: access index, stats, age/LRU sweep, verify, CLI.
+
+The lifecycle layer must never change *what* the caches serve -- only
+how long entries live.  The contract under test:
+
+- the sidecar access index is advisory and self-healing: poison or loss
+  degrades eviction order, never verdicts, and a crashed ``put`` cannot
+  strand an index row pointing at a missing entry file;
+- ``sweep`` enforces age and size budgets oldest-access-first, and
+  never evicts protected keys (the current run's working set) or
+  recently-touched entries;
+- after a sweep, surviving entries still replay byte-identically (warm
+  parity against a no-plan-cache reference);
+- ``verify_caches`` purges exactly what the caches' own read-side
+  validation would reject, and reconciles the index both ways.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.engine.cache import VcCache
+from repro.engine.cachectl import (
+    AccessIndex,
+    INDEX_FILENAME,
+    cache_stats,
+    cache_tiers,
+    sweep,
+    verify_caches,
+)
+from repro.engine.session import VerificationSession
+from repro.structures.registry import EXPERIMENTS
+
+
+def _experiment(structure):
+    return next(e for e in EXPERIMENTS if e.structure == structure)
+
+
+@pytest.fixture(scope="module")
+def sll():
+    exp = _experiment("Singly-Linked List")
+    return exp.program_factory(), exp.ids_factory()
+
+
+def _key(i: int) -> str:
+    return f"{i:02x}" + "0" * 62
+
+
+def _seed(root, n=8, size=1000, t0=100.0):
+    """``n`` valid VC entries with strictly increasing access times."""
+    cache = VcCache(root)
+    for i in range(n):
+        cache.put(_key(i), "valid", "x" * size)
+        cache.index.touch(_key(i), now=t0 + i)
+    return cache
+
+
+def _total_bytes(root):
+    return sum(p.stat().st_size for t in cache_tiers(root) for p in t.files())
+
+
+# -- access index ------------------------------------------------------------
+
+
+def test_index_touch_forget_and_atime(tmp_path):
+    index = AccessIndex(tmp_path)
+    index.touch("k1", size=10, now=5.0)
+    index.touch("k2", size=20, now=6.0)
+    assert index.atime("k1") == 5.0 and index.atime("k2") == 6.0
+    # A re-touch without a size keeps the recorded size.
+    index.touch("k1", now=7.0)
+    assert index.entries()["k1"] == [7.0, 10.0]
+    index.forget("k1")
+    assert index.atime("k1") is None
+    # The sidecar round-trips through a fresh instance.
+    again = AccessIndex(tmp_path)
+    assert again.atime("k2") == 6.0 and again.atime("k1") is None
+
+
+def test_poisoned_index_is_rebuilt_from_file_mtimes(tmp_path):
+    cache = _seed(tmp_path, n=3)
+    (tmp_path / INDEX_FILENAME).write_text("{corrupt")
+    index = AccessIndex(tmp_path)
+    entries = index.entries()
+    assert index.rebuilt
+    assert set(entries) == {_key(i) for i in range(3)}
+    # Rebuilt atimes come from mtimes: close to "now", not the backdates.
+    assert all(val[0] > 1e6 for val in entries.values())
+    assert cache.get(_key(0)) is not None  # verdicts unaffected throughout
+
+
+def test_crashed_put_strands_no_index_row_and_no_temp(tmp_path, monkeypatch):
+    cache = VcCache(tmp_path)
+    with pytest.raises(TypeError):
+        cache.put(_key(0), "valid", "d", bad=object())  # unserializable meta
+    # A publish that dies at the rename (full disk, EXDEV...) is swallowed
+    # but must leave no torn entry, no temp litter, and no index row.
+    import repro.engine.cache as cache_mod
+
+    def boom(src, dst):
+        raise OSError("no rename for you")
+
+    monkeypatch.setattr(cache_mod.os, "replace", boom)
+    cache.put(_key(1), "valid", "d")
+    monkeypatch.undo()
+    for key in (_key(0), _key(1)):
+        assert AccessIndex(tmp_path).atime(key) is None
+        assert key not in cache.session_keys
+    assert not list(cache_tiers(tmp_path)[0].files())
+    assert not list(tmp_path.glob("**/*.tmp"))  # temps reclaimed by finally
+
+
+def test_miss_after_poison_purge_drops_index_row(tmp_path):
+    cache = _seed(tmp_path, n=1)
+    path = cache._path(_key(0))
+    path.write_text(path.read_text().replace("valid", "vilad"))
+    assert cache.get(_key(0)) is None  # purged on read
+    assert cache.index.atime(_key(0)) is None
+
+
+# -- stats -------------------------------------------------------------------
+
+
+def test_cache_stats_counts_both_tiers_and_hit_rate(tmp_path, sll):
+    program, ids = sll
+    with VerificationSession(cache_dir=str(tmp_path)) as session:
+        session.verify(program, ids, "sll_find")
+    with VerificationSession(cache_dir=str(tmp_path)) as session:
+        warm = session.verify(program, ids, "sll_find")
+    assert warm.plan_cached and warm.cache_hits > 0
+    stats = cache_stats(tmp_path)
+    assert set(stats) == {"vc", "plan"}
+    for tier in stats.values():
+        assert tier["entries"] > 0 and tier["bytes"] > 0
+        assert tier["hits"] >= 0 and tier["misses"] >= 0
+        assert 0.0 <= tier["hit_rate"] <= 1.0
+    assert stats["plan"]["hits"] >= 1  # the warm run's plan load
+    # The sidecar indexes are never counted as entries.
+    assert stats["vc"]["entries"] == len(VcCache(tmp_path))
+
+
+# -- sweep -------------------------------------------------------------------
+
+
+def test_sweep_evicts_oldest_access_first_under_size_budget(tmp_path):
+    _seed(tmp_path, n=8, size=1000)
+    per_entry = _total_bytes(tmp_path) // 8
+    budget_mb = (4 * per_entry + per_entry // 2) / (1024.0 * 1024.0)
+    report = sweep(tmp_path, max_mb=budget_mb, protect_s=0.0, now=1000.0)
+    assert report.evicted == 4 and report.bytes_after <= budget_mb * 1024 * 1024
+    cache = VcCache(tmp_path)
+    for i in range(4):
+        assert cache.get(_key(i)) is None  # oldest accesses went first
+    for i in range(4, 8):
+        assert cache.get(_key(i)) is not None
+
+
+def test_touch_on_hit_promotes_out_of_eviction_order(tmp_path):
+    cache = _seed(tmp_path, n=4, size=1000)
+    # A hit on the oldest entry re-touches it to "now"...
+    assert cache.get(_key(0)) is not None
+    per_entry = _total_bytes(tmp_path) // 4
+    budget_mb = (2 * per_entry + per_entry // 2) / (1024.0 * 1024.0)
+    sweep(tmp_path, max_mb=budget_mb, protect_s=0.0)
+    fresh = VcCache(tmp_path)
+    # ...so the sweep takes keys 1 and 2 instead.
+    assert fresh.get(_key(0)) is not None
+    assert fresh.get(_key(1)) is None and fresh.get(_key(2)) is None
+
+
+def test_sweep_never_evicts_protected_or_recent_entries(tmp_path):
+    _seed(tmp_path, n=4, size=1000)
+    report = sweep(
+        tmp_path, max_mb=0.0001, protect={_key(1)}, protect_s=0.0, now=1000.0
+    )
+    survivors = {p.stem for t in cache_tiers(tmp_path) for p in t.files()}
+    assert survivors == {_key(1)}  # over budget, but protection wins
+    assert report.protected == 1
+    # Recency floor: everything accessed within protect_s survives too.
+    _seed(tmp_path, n=4, size=1000, t0=990.0)
+    report = sweep(tmp_path, max_mb=0.0001, protect_s=3600.0, now=1000.0)
+    assert report.evicted == 0 and report.protected >= 4
+
+
+def test_sweep_age_pass_and_dry_run(tmp_path):
+    _seed(tmp_path, n=4, size=1000, t0=0.0)
+    now = 10 * 86400.0
+    dry = sweep(tmp_path, max_age_days=5.0, protect_s=0.0, now=now, dry_run=True)
+    assert dry.evicted == 4 and dry.dry_run
+    assert len(list(cache_tiers(tmp_path)[0].files())) == 4  # nothing deleted
+    real = sweep(tmp_path, max_age_days=5.0, protect_s=0.0, now=now)
+    assert real.evicted == 4
+    assert not list(cache_tiers(tmp_path)[0].files())
+
+
+def test_session_close_sweeps_but_protects_own_run(tmp_path, sll):
+    program, ids = sll
+    _seed(tmp_path, n=16, size=4096, t0=100.0)  # stale junk, ancient atimes
+    with VerificationSession(
+        cache_dir=str(tmp_path), cache_max_mb=0.001
+    ) as session:
+        result = session.verify(program, ids, "sll_find")
+        assert result.ok
+    # Close swept the junk; the run's own entries survived and replay.
+    survivors = {p.stem for t in cache_tiers(tmp_path) for p in t.files()}
+    assert not survivors & {_key(i) for i in range(16)}
+    with VerificationSession(cache_dir=str(tmp_path)) as session:
+        warm = session.verify(program, ids, "sll_find")
+    assert warm.plan_cached and warm.cache_hits > 0
+
+
+def _fingerprint(result):
+    return (
+        result.ok,
+        result.n_vcs,
+        result.failed,
+        result.notes,
+        [(v.index, v.label, v.status) for v in result.verdicts],
+    )
+
+
+def test_post_sweep_warm_run_parity_with_no_plan_cache(tmp_path, sll):
+    """Surviving entries replay byte-identically after a sweep that
+    evicted around them."""
+    program, ids = sll
+    with VerificationSession() as session:  # no caches at all
+        reference = _fingerprint(session.verify(program, ids, "sll_find"))
+    with VerificationSession(cache_dir=str(tmp_path)) as session:
+        cold = session.verify(program, ids, "sll_find")
+    assert _fingerprint(cold) == reference
+    _seed(tmp_path, n=8, size=2048, t0=100.0)  # backdated junk around the run
+    # Over-budget sweep: the junk goes (ancient atimes), the run's own
+    # entries stay behind the protect_s recency floor.
+    report = sweep(tmp_path, max_mb=0.001, protect_s=3600.0)
+    assert report.evicted == 8
+    with VerificationSession(cache_dir=str(tmp_path)) as session:
+        warm = session.verify(program, ids, "sll_find")
+    assert warm.plan_cached and warm.cache_hits > 0
+    assert _fingerprint(warm) == reference
+
+
+# -- verify ------------------------------------------------------------------
+
+
+def test_verify_counts_and_purges_poison_and_heals_index(tmp_path):
+    cache = _seed(tmp_path, n=4)
+    # One poisoned entry, one index row whose file is gone, one file the
+    # index never saw.
+    poisoned = cache._path(_key(0))
+    poisoned.write_text(poisoned.read_text().replace("valid", "vilad"))
+    os.unlink(cache._path(_key(1)))
+    cache.index.forget(_key(2))
+    report = verify_caches(tmp_path)
+    assert report.poison == 1 and not report.ok
+    assert report.tiers["vc"]["stale_index"] == 1  # key(1): row outlived file
+    assert report.tiers["vc"]["unindexed"] == 1
+    assert not poisoned.exists()
+    index = AccessIndex(tmp_path)
+    assert index.atime(_key(1)) is None and index.atime(_key(2)) is not None
+    # A second pass over the healed dir is clean.
+    again = verify_caches(tmp_path)
+    assert again.ok and again.entries == 2 and again.stale_index == 0
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_cache_stats_json(tmp_path, capsys):
+    _seed(tmp_path, n=2)
+    code = cli.main(
+        ["cache", "stats", "--cache-dir", str(tmp_path), "--format", "json"]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["tiers"]["vc"]["entries"] == 2
+    assert doc["tiers"]["plan"]["entries"] == 0
+
+
+def test_cli_cache_gc_requires_a_budget(tmp_path, capsys):
+    _seed(tmp_path, n=1)
+    assert cli.main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+
+
+def test_cli_cache_gc_enforces_budget(tmp_path, capsys):
+    _seed(tmp_path, n=8, size=4096)
+    code = cli.main(
+        ["cache", "gc", "--cache-dir", str(tmp_path),
+         "--cache-max-mb", "0.01", "--protect-minutes", "0", "--format", "json"]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["evicted"] > 0
+    assert _total_bytes(tmp_path) <= 0.01 * 1024 * 1024
+
+
+def test_cli_cache_verify_reports_poison(tmp_path, capsys):
+    cache = _seed(tmp_path, n=2)
+    path = cache._path(_key(0))
+    path.write_text("not json")
+    code = cli.main(
+        ["cache", "verify", "--cache-dir", str(tmp_path), "--format", "json"]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["poison"] == 1 and doc["ok"] is False
+    assert not path.exists()
+
+
+def test_cli_cache_missing_dir_is_usage_error(tmp_path, capsys):
+    missing = str(tmp_path / "nope")
+    assert cli.main(["cache", "stats", "--cache-dir", missing]) == 2
+    assert cli.main(
+        ["cache", "gc", "--cache-dir", missing, "--cache-max-mb", "1"]
+    ) == 2
+    assert cli.main(["cache", "verify", "--cache-dir", missing]) == 2
