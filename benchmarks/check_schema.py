@@ -1,4 +1,4 @@
-"""CI schema gate: validate bench_results.json (v6) and events JSONL files.
+"""CI schema gate: validate bench_results.json (v7) and events JSONL files.
 
 Usage::
 
@@ -11,14 +11,18 @@ rest of the repo):
   version, required keys and types, per-method result shape (including
   the v5 ``plan_s``/``simplify_s``/``solve_s`` phase split and
   ``plan_cached`` flag), the plan-cache stats block, the v6 ``cache``
-  lifecycle block (per-tier entry counts/bytes/hit rates), and the
+  lifecycle block (per-tier entry counts/bytes/hit rates), the v7
+  per-method ``portfolio`` block (member win counts of a
+  ``portfolio:`` race, bounded by the method's solved events), and the
   event-count invariants of the session API -- every VC is ``planned``
   exactly once and settled by exactly one terminal event
   (``cache_hit`` | ``dedup`` | ``solved`` | ``timeout`` | ``error``),
   so ``planned == n_vcs`` and the terminal kinds partition it;
 - ``--events`` JSONL streams: every line is a well-formed event, ``seq``
-  is dense and strictly increasing, and each (method, vc) slot pairs one
-  ``planned`` with one later terminal event.
+  is dense and strictly increasing, each (method, vc) slot pairs one
+  ``planned`` with one later terminal event, and a ``winner`` field
+  (portfolio race attribution) only appears on terminal events, as a
+  string.
 
 Exit codes: 0 valid, 1 schema violation, 2 usage error -- matching the
 CLI's documented contract.
@@ -116,8 +120,8 @@ def _check_events_counts(events: dict, n_vcs: int, where: str, errs: SchemaError
 def check_report(doc: dict, errs: SchemaErrors) -> None:
     """Validate a bench_results.json or `verify --format json` document."""
     errs.check(
-        doc.get("schema_version") == 6,
-        f"schema_version is {doc.get('schema_version')!r}, expected 6",
+        doc.get("schema_version") == 7,
+        f"schema_version is {doc.get('schema_version')!r}, expected 7",
     )
     is_verify = doc.get("command") == "verify" and "suite" not in doc
     spec = dict(_REQUIRED_BENCH_KEYS)
@@ -164,6 +168,32 @@ def check_report(doc: dict, errs: SchemaErrors) -> None:
                 ok == (not entry["failed"]),
                 f"{where}: ok={ok} inconsistent with failed list",
             )
+        portfolio = entry.get("portfolio")
+        if portfolio is not None and errs.check(
+            isinstance(portfolio, dict), f"{where}: portfolio is not an object"
+        ):
+            wins = portfolio.get("wins")
+            if errs.check(
+                isinstance(wins, dict) and wins,
+                f"{where}: portfolio.wins missing or empty",
+            ):
+                for member, count in wins.items():
+                    errs.check(
+                        isinstance(member, str)
+                        and isinstance(count, int)
+                        and count > 0,
+                        f"{where}: portfolio.wins[{member!r}] = {count!r}",
+                    )
+                if isinstance(entry.get("events"), dict):
+                    solved = entry["events"].get("solved", 0)
+                    total = sum(
+                        c for c in wins.values() if isinstance(c, int)
+                    )
+                    errs.check(
+                        total <= solved,
+                        f"{where}: portfolio win total {total} exceeds "
+                        f"solved events {solved}",
+                    )
     cache_block = doc.get("plan_cache")
     if not is_verify and isinstance(cache_block, dict):
         errs.check(
@@ -271,6 +301,16 @@ def check_events_jsonl(lines, errs: SchemaErrors) -> None:
                 isinstance(event.get("time_s"), (int, float)),
                 f"{where}: terminal event missing time_s",
             )
+        winner = event.get("winner")
+        if winner is not None:
+            errs.check(
+                kind in TERMINAL_KINDS,
+                f"{where}: winner on a non-terminal {kind!r} event",
+            )
+            errs.check(
+                isinstance(winner, str) and bool(winner),
+                f"{where}: winner {winner!r} is not a backend spec",
+            )
     for slot in planned:
         errs.check(slot in settled, f"events: {slot} planned but never settled")
     errs.check(n > 0, "events: stream is empty")
@@ -278,7 +318,7 @@ def check_events_jsonl(lines, errs: SchemaErrors) -> None:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("report", help="bench_results.json (schema v6) to validate")
+    parser.add_argument("report", help="bench_results.json (schema v7) to validate")
     parser.add_argument("--events", default=None, metavar="JSONL",
                         help="also validate an --events JSON Lines stream")
     args = parser.parse_args(argv)  # argparse exits 2 on usage errors

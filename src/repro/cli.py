@@ -7,7 +7,7 @@ Subcommands:
   (``--format json`` for the structured result schema, ``--events PATH``
   to stream typed per-VC events as JSON Lines)
 - ``repro bench``   -- regenerate the paper's tables with a machine-readable
-  ``bench_results.json`` report (schema v6); ``--db PATH`` appends the
+  ``bench_results.json`` report (schema v7); ``--db PATH`` appends the
   run to a bench trajectory database (``benchmarks/db.py``)
 - ``repro cache``   -- cache lifecycle: ``stats`` (per-tier entry
   counts/bytes/hit rates), ``gc`` (age/LRU sweep under ``--cache-max-mb``
@@ -304,7 +304,7 @@ def cmd_verify(args) -> int:
 def _verify_doc(args, rows, wall) -> dict:
     """The ``verify --format json`` document: structured session results."""
     return {
-        "schema_version": 6,
+        "schema_version": 7,
         "command": "verify",
         "jobs": args.jobs,
         "backend": args.backend,
@@ -488,6 +488,10 @@ def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None
                 "nodes_after": report.nodes_after,
                 "shrink_pct": round(report.shrink_pct, 2),
             }
+        # Portfolio race attribution (schema v7): per-member win counts
+        # for methods solved under a ``portfolio:`` backend spec.
+        if report.portfolio_wins:
+            entry["portfolio"] = {"wins": dict(report.portfolio_wins)}
         if len(row) > 4 and row[4] is not None:
             lc, loc, spec, ann = row[4]
             entry.update({"lc_size": lc, "loc": loc, "spec": spec, "ann": ann})
@@ -506,7 +510,7 @@ def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None
         for kind, count in r["events"].items():
             event_totals[kind] = event_totals.get(kind, 0) + count
     doc = {
-        "schema_version": 6,
+        "schema_version": 7,
         "suite": suite,
         "jobs": args.jobs,
         "backend": args.backend,
@@ -626,7 +630,9 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                    help="worker processes for VC solving (default 1)")
     p.add_argument("--backend", default="intree",
                    help="solver backend spec: intree | smtlib2[:CMD] | "
-                        "crosscheck:A,B (default intree)")
+                        "crosscheck:A,B | portfolio:A,B[,...] (portfolio "
+                        "races the members per VC, first definitive verdict "
+                        "wins; default intree)")
     p.add_argument("--cache-dir", default=None,
                    help="persistent VC verdict cache directory (also hosts "
                         "the plan cache under <dir>/plan)")

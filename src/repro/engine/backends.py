@@ -11,11 +11,20 @@ implementation by name:
   Gated on the binary being installed; nothing is ever pip-installed.
 - ``crosscheck``: run two backends on every query and assert their
   verdicts agree (the paper's predictability claim, mechanised).
+- ``portfolio``: race two or more member backends on every unit and take
+  the first *definitive* verdict (sound because verdicts are
+  backend-agnostic -- the property ``crosscheck`` mechanises).  The
+  actual racing lives in :mod:`repro.engine.scheduler` (members may be
+  subprocess-bound, so ``check_validity`` being synchronous forces the
+  race up a layer); the :class:`PortfolioBackend` object here is the
+  in-process *fallthrough* fallback -- members tried in order, first
+  definitive verdict returned -- used anywhere a live backend object is
+  required outside the scheduler.
 
 Backend *specs* are strings: ``"intree"``, ``"smtlib2"``,
-``"smtlib2:cvc5"``, ``"crosscheck:intree,smtlib2"``.  Specs (not live
-objects) cross process boundaries, so workers can rebuild their backend
-from the spec alone.
+``"smtlib2:cvc5"``, ``"crosscheck:intree,smtlib2"``,
+``"portfolio:intree,smtlib2"``.  Specs (not live objects) cross process
+boundaries, so workers can rebuild their backend from the spec alone.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ import subprocess
 import tempfile
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..smt.printer import incremental_script, script
 from ..smt.solver import IncrementalSolver, Solver, SolverError
@@ -41,9 +50,11 @@ __all__ = [
     "InTreeBackend",
     "Smtlib2Backend",
     "CrossCheckBackend",
+    "PortfolioBackend",
     "register_backend",
     "available_backends",
     "make_backend",
+    "portfolio_members",
 ]
 
 VALID = "valid"
@@ -348,6 +359,89 @@ class CrossCheckBackend(SolverBackend):
             yield a
 
 
+class PortfolioBackend(SolverBackend):
+    """In-process fallthrough over the members of a ``portfolio:`` spec.
+
+    The *race* itself happens in the scheduler (one worker per member,
+    first definitive verdict wins, losers terminated); this object is
+    the degenerate sequential form for contexts that hold a live backend
+    -- members are tried in order and the first ``valid``/``invalid``
+    verdict is returned, so an ``unknown``/error from one member falls
+    through to the next instead of failing the query.
+    """
+
+    name = "portfolio"
+
+    def __init__(self, members: Sequence[SolverBackend], specs: Sequence[str]):
+        self.members = list(members)
+        self.specs = list(specs)
+
+    def check_validity(
+        self,
+        formula: Term,
+        conflict_budget: Optional[int] = None,
+        pre_simplified: bool = False,
+    ) -> BackendVerdict:
+        fallback: Optional[BackendVerdict] = None
+        last_error: Optional[Exception] = None
+        for backend in self.members:
+            try:
+                verdict = backend.check_validity(
+                    formula, conflict_budget, pre_simplified
+                )
+            except (SolverError, BackendError) as e:
+                last_error = e
+                continue
+            if verdict.status in (VALID, INVALID):
+                return verdict
+            fallback = fallback or verdict
+        if fallback is not None:
+            return fallback
+        raise SolverError(
+            "no portfolio member produced a verdict "
+            f"(last error: {last_error})"
+        )
+
+
+def portfolio_members(spec: str) -> Optional[List[str]]:
+    """The probed, available member specs of a ``portfolio:`` spec.
+
+    Returns ``None`` when ``spec`` is not a portfolio at all.  A member
+    whose backend cannot run here (:exc:`BackendUnavailable`, e.g. a
+    missing external solver binary) is dropped -- the portfolio degrades
+    gracefully to the available subset, down to a single member.  A
+    member that is outright *unknown* (a typo) raises, and so does a
+    portfolio with no runnable member left.
+    """
+    name, _, arg = spec.partition(":")
+    if name != "portfolio":
+        return None
+    members = [m.strip() for m in (arg or "").split(",") if m.strip()]
+    if len(members) < 2:
+        raise UnknownBackendError(
+            "portfolio spec needs at least two comma-separated member "
+            f"backends (e.g. portfolio:intree,smtlib2), got {arg!r}"
+        )
+    available: List[str] = []
+    unavailable: List[str] = []
+    for member in members:
+        if member.partition(":")[0] == "portfolio":
+            raise UnknownBackendError(
+                f"portfolio members cannot be portfolios themselves: {member!r}"
+            )
+        try:
+            make_backend(member)  # UnknownBackendError (a typo) propagates
+        except BackendUnavailable as e:
+            unavailable.append(f"{member} ({e})")
+            continue
+        available.append(member)
+    if not available:
+        raise BackendUnavailable(
+            "no portfolio member is available here: " + "; ".join(unavailable)
+        )
+    return available
+
+
 _REGISTRY: Dict[str, Callable[..., SolverBackend]] = {}
 
 
@@ -368,9 +462,16 @@ def _make_crosscheck(arg: Optional[str]) -> SolverBackend:
     return CrossCheckBackend(make_backend(pair[0]), make_backend(pair[1]))
 
 
+def _make_portfolio(arg: Optional[str]) -> SolverBackend:
+    specs = portfolio_members(f"portfolio:{arg or ''}")
+    assert specs is not None
+    return PortfolioBackend([make_backend(s) for s in specs], specs)
+
+
 register_backend("intree", lambda arg=None: InTreeBackend())
 register_backend("smtlib2", lambda arg=None: Smtlib2Backend(command=arg))
 register_backend("crosscheck", _make_crosscheck)
+register_backend("portfolio", _make_portfolio)
 
 
 def make_backend(spec: str) -> SolverBackend:

@@ -27,9 +27,31 @@ from ..smt.simplify import simplify
 from ..smt.terms import Term, deep_recursion
 from .cachectl import AccessIndex
 
-__all__ = ["VcCache", "formula_key"]
+__all__ = ["VcCache", "formula_key", "formula_text", "key_for_text"]
 
 _CACHEABLE = ("valid", "invalid")
+
+
+def formula_text(formula: Term, canonical: bool = False) -> str:
+    """The canonical SMT-LIB2 serialization a VC's cache keys hash.
+
+    Split out of :func:`formula_key` so a caller that needs the same
+    formula keyed under several backend specs (the portfolio scheduler
+    writes a raced verdict under the winning *member's* key too) pays
+    for rewrite+simplify+print once and re-hashes the text per spec.
+    """
+    with deep_recursion():
+        if not canonical:
+            formula = simplify(rewrite(formula))
+        return to_smtlib(formula)
+
+
+def key_for_text(
+    text: str, encoding: str, conflict_budget: Optional[int], backend: str
+) -> str:
+    """The cache key for an already-serialized canonical formula."""
+    payload = f"{backend}|{encoding}|{conflict_budget}|{text}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def formula_key(
@@ -57,12 +79,9 @@ def formula_key(
     form (``SolveTask.pre_simplified``) pass ``canonical=True`` to skip
     the redundant re-canonicalization.
     """
-    with deep_recursion():
-        if not canonical:
-            formula = simplify(rewrite(formula))
-        text = to_smtlib(formula)
-    payload = f"{backend}|{encoding}|{conflict_budget}|{text}"
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return key_for_text(
+        formula_text(formula, canonical=canonical), encoding, conflict_budget, backend
+    )
 
 
 def _checksum(record: dict) -> str:

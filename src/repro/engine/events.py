@@ -58,6 +58,9 @@ class VcEvent:
     stage: str = "solve"  # "plan" for planned/static-failure events
     nodes_before: int = 0  # planned events: simplifier shrink accounting
     nodes_after: int = 0
+    # Terminal events of a ``portfolio:`` race: the member backend spec
+    # whose definitive verdict won the slot.
+    winner: Optional[str] = None
 
     @property
     def is_terminal(self) -> bool:
@@ -82,6 +85,8 @@ class VcEvent:
         if self.kind == "planned" and self.nodes_before:
             out["nodes_before"] = self.nodes_before
             out["nodes_after"] = self.nodes_after
+        if self.winner is not None:
+            out["winner"] = self.winner
         return out
 
 
@@ -96,6 +101,7 @@ class VcVerdict:
     time_s: float = 0.0
     cached: bool = False
     deduped: bool = False
+    winner: Optional[str] = None  # portfolio races: winning member spec
 
     def to_json(self) -> dict:
         out = {"vc": self.index, "label": self.label, "status": self.status}
@@ -106,6 +112,8 @@ class VcVerdict:
             out["cached"] = True
         if self.deduped:
             out["deduped"] = True
+        if self.winner is not None:
+            out["winner"] = self.winner
         return out
 
 
@@ -188,6 +196,9 @@ class VerificationResult:
     plan_cached: bool = False
     event_counts: Dict[str, int] = dc_field(default_factory=dict)
     diagnostics: List[Diagnostic] = dc_field(default_factory=list)
+    # ``portfolio:`` runs (schema v7): member backend spec -> number of
+    # VC slots whose race that member won.  Empty for plain backends.
+    portfolio_wins: Dict[str, int] = dc_field(default_factory=dict)
 
     @property
     def shrink_pct(self) -> float:
@@ -248,6 +259,8 @@ class VerificationResult:
                 "nodes_after": self.nodes_after,
                 "shrink_pct": round(self.shrink_pct, 2),
             }
+        if self.portfolio_wins:
+            out["portfolio"] = {"wins": dict(self.portfolio_wins)}
         return out
 
 
@@ -272,6 +285,7 @@ def event_for_result(structure: str, method: str, res: TaskResult) -> VcEvent:
         verdict=res.verdict,
         detail=res.detail,
         time_s=res.time_s,
+        winner=res.winner,
     )
 
 
@@ -293,6 +307,12 @@ def build_result(
     """
     report = assemble_report(plan, results, started_at, jobs=jobs)
     by_index = {res.index: res for res in results}
+    # Race-win tally: only verdicts a member actually produced (dedup
+    # fan-outs carry the winner for attribution but were not re-raced).
+    wins: Dict[str, int] = {}
+    for res in results:
+        if res.winner is not None and not res.deduped:
+            wins[res.winner] = wins.get(res.winner, 0) + 1
     verdicts: List[VcVerdict] = []
     for pvc in plan.vcs:
         if pvc.failure is not None:
@@ -315,6 +335,7 @@ def build_result(
                 time_s=res.time_s,
                 cached=res.cached,
                 deduped=res.deduped,
+                winner=res.winner,
             )
         )
     return VerificationResult(
@@ -343,4 +364,5 @@ def build_result(
         plan_cached=plan.from_cache,
         event_counts=dict(event_counts or {}),
         diagnostics=list(diagnostics or []),
+        portfolio_wins=wins,
     )

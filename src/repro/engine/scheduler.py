@@ -15,11 +15,26 @@ hash: persistent-cache hits short-circuit, and *in-flight duplicates*
 (two VCs in the same bag with identical canonical formulas -- common
 once the simplifier has normalized them) are solved exactly once, with
 the verdict fanned out to the duplicate siblings and the cache written
-once.
+once.  Only *definitive* verdicts (valid/invalid) fan out: a timeout or
+error is a fact about this machine and schedule, not about the formula,
+so duplicates of a failed owner are re-queued as standalone tasks
+(mirroring :class:`~repro.engine.cache.VcCache`'s cacheability rule).
+
+Units whose backend spec is a ``portfolio:`` race (see
+:mod:`repro.engine.backends`) are scheduled specially: one worker per
+member backend is launched on the *same* unit, the first definitive
+verdict settles each VC slot (attributed via ``TaskResult.winner``),
+losers are terminated and reaped as soon as the unit's last slot
+settles, and a non-definitive answer from one member leaves the slot
+open for the others.  The race lives here rather than inside a
+``SolverBackend`` because ``check_validity`` is synchronous and members
+may be subprocess-bound -- only the scheduler can run them truly
+concurrently and cancel the losers.
 
 ``jobs=1`` with no timeout takes a pure in-process path that is
 byte-for-byte the sequential ``Verifier.verify`` verdict computation
-(the "same-verdict sequential fallback").
+(the "same-verdict sequential fallback"); portfolio units always take
+the process path, since a race needs real concurrent workers.
 """
 
 from __future__ import annotations
@@ -31,8 +46,9 @@ from multiprocessing.connection import wait as conn_wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..smt.solver import SolverError
-from .backends import BackendError, SolverBackend, make_backend
-from .cache import VcCache, formula_key
+from ..smt.terms import Term
+from .backends import BackendError, SolverBackend, make_backend, portfolio_members
+from .cache import VcCache, formula_text, key_for_text
 from .codec import encode_term
 from .tasks import (
     BatchTask,
@@ -46,6 +62,7 @@ from .tasks import (
 __all__ = ["stream_tasks", "solve_tasks", "solve_one", "solve_batch"]
 
 _POLL_S = 0.05
+_DEFINITIVE = ("valid", "invalid")
 
 
 def solve_one(task: SolveTask, backend: Optional[SolverBackend] = None) -> TaskResult:
@@ -103,16 +120,21 @@ def solve_batch(batch: BatchTask, backend: Optional[SolverBackend] = None):
             last = now
             done += 1
     except (SolverError, BackendError) as e:
-        now = time.perf_counter()
+        # A context-level failure kills every remaining entry at once:
+        # the wall clock since the last yield was spent *once*, so it is
+        # charged to the first errored entry and the rest are explicitly
+        # zero -- not re-measured per entry, which would attribute the
+        # elapsed time to the first and ~0 to the rest by accident.
+        elapsed = time.perf_counter() - last
         for entry in batch.entries[done:]:
             yield TaskResult(
                 index=entry.index,
                 label=entry.label,
                 verdict="error",
                 detail=str(e),
-                time_s=now - last,
+                time_s=elapsed,
             )
-            now = last = time.perf_counter()
+            elapsed = 0.0
 
 
 def _requeue_singles(batch: BatchTask, remaining: Dict[int, str]) -> List[SolveTask]:
@@ -134,6 +156,23 @@ def _requeue_singles(batch: BatchTask, remaining: Dict[int, str]) -> List[SolveT
         )
         for ix, label in remaining.items()
     ]
+
+
+def _waiter_task(unit: TaskUnit, index: int, label: str, formula: Term) -> SolveTask:
+    """A standalone task for a dedup waiter whose owner failed to produce
+    a definitive verdict."""
+    return SolveTask(
+        structure=unit.structure,
+        method=unit.method,
+        index=index,
+        label=label,
+        nodes=encode_term(formula),
+        encoding=unit.encoding,
+        conflict_budget=unit.conflict_budget,
+        backend_spec=unit.backend_spec,
+        timeout_s=unit.timeout_s,
+        pre_simplified=unit.pre_simplified,
+    )
 
 
 def _pool_solve(unit: TaskUnit) -> List[TaskResult]:
@@ -191,21 +230,64 @@ def _worker(conn, unit: TaskUnit) -> None:
         pass
 
 
-class _Running:
-    __slots__ = ("proc", "conn", "unit", "remaining", "started", "deadline")
+class _Race:
+    """One portfolio unit's worker group, racing member backends on the
+    same slots.
 
-    def __init__(self, proc, conn, unit: TaskUnit):
+    The first definitive (valid/invalid) verdict settles a slot and is
+    attributed to the member that produced it; once every slot is
+    settled the surviving siblings are terminated and reaped.  A
+    non-definitive answer (error/unknown) from one member leaves the
+    slot open for the others; only when no live member can still answer
+    a slot is it settled with the first fallback result seen.
+    """
+
+    __slots__ = ("unit", "runs", "remaining", "fallback", "started", "deadline")
+
+    def __init__(self, unit: TaskUnit):
+        self.unit = unit
+        self.runs: List[_Running] = []
+        self.remaining: Dict[int, str] = dict(_unit_slots(unit))
+        self.fallback: Dict[int, TaskResult] = {}
+        self.started = time.perf_counter()
+        # The race shares one summed timeout bank (see _Running): racing
+        # changes who answers first, not how long the unit may take.
+        if unit.timeout_s is None:
+            self.deadline = None
+        else:
+            self.deadline = self.started + unit.timeout_s * len(self.remaining)
+
+
+class _Running:
+    __slots__ = (
+        "proc",
+        "conn",
+        "unit",
+        "remaining",
+        "started",
+        "deadline",
+        "race",
+        "member",
+        "active",
+    )
+
+    def __init__(self, proc, conn, unit: TaskUnit, race=None, member=None):
         self.proc = proc
         self.conn = conn
         self.unit = unit
         self.remaining: Dict[int, str] = dict(_unit_slots(unit))
         self.started = time.perf_counter()
+        self.race: Optional[_Race] = race
+        self.member: Optional[str] = member  # member backend spec in the race
+        self.active = True
         # A batch is granted the summed budget of its entries up front:
         # a non-streaming backend (one smtlib2 subprocess answers all N
         # goals at once) must not be killed after a single slice.  When
         # the bank runs out, only the in-flight entry timed out; the
-        # never-attempted rest are re-queued as standalone tasks.
-        if unit.timeout_s is None:
+        # never-attempted rest are re-queued as standalone tasks.  Race
+        # members share their group's bank (race.deadline) instead of
+        # each carrying their own.
+        if unit.timeout_s is None or race is not None:
             self.deadline = None
         else:
             self.deadline = self.started + unit.timeout_s * len(self.remaining)
@@ -251,28 +333,49 @@ def stream_tasks(
     progress per VC instead of waiting for the whole bag.
 
     Cache hits short-circuit before any process is spawned; in-flight
-    duplicates (same canonical ``formula_key``) are solved once and
-    fanned out; definitive verdicts of misses are written back exactly
-    once per key.  ``jobs`` bounds worker concurrency; ``timeout_s`` is
-    enforced by termination from the parent -- a batch is granted the
-    summed budget of its entries up front (non-streaming backends answer
-    every goal in one call), and on expiry the in-flight entry is the
-    timeout while never-attempted entries are re-queued standalone.
-    ``deadline_s`` additionally bounds the *whole bag's* wall
-    clock (the per-method budget of the benchmark harnesses): when it
-    expires, every unfinished VC is reported as ``timeout`` instead of
-    being started.  ``pool_factory`` lends a persistent
-    ``multiprocessing.Pool`` for the no-timeout parallel path (a session
-    amortizes worker spawns across calls); it is a zero-arg callable
-    invoked only once at least one cache-missing unit actually needs a
-    worker -- a fully warm-cache run spawns no processes at all.
+    duplicates (same canonical ``formula_key``) are solved once, with
+    definitive verdicts fanned out and failed owners' duplicates
+    re-queued standalone; definitive verdicts of misses are written back
+    exactly once per key.  ``jobs`` bounds worker concurrency;
+    ``timeout_s`` is enforced by termination from the parent -- a batch
+    is granted the summed budget of its entries up front (non-streaming
+    backends answer every goal in one call), and on expiry the worker's
+    pipe is drained first (already-streamed verdicts are real), then the
+    in-flight entry is the timeout while never-attempted entries are
+    re-queued standalone.  ``deadline_s`` additionally bounds the *whole
+    bag's* wall clock (the per-method budget of the benchmark
+    harnesses): when it expires, pipes are drained, then every
+    unfinished VC is reported as ``timeout`` instead of being started.
+    ``portfolio:`` units launch one worker per member backend and settle
+    each slot on the first definitive verdict (``TaskResult.winner``
+    names the member), terminating losers once the unit settles; raced
+    verdicts are additionally cached under the winning member's key so a
+    warm single-backend run replays them.  ``pool_factory`` lends a
+    persistent ``multiprocessing.Pool`` for the no-timeout parallel path
+    (a session amortizes worker spawns across calls); it is a zero-arg
+    callable invoked only once at least one cache-missing unit actually
+    needs a worker -- a fully warm-cache run spawns no processes at all.
     Without one, a throwaway pool is used.
     """
     key_of: Dict[int, Optional[str]] = {}
     attrib: Dict[int, Tuple[str, str, str]] = {}
-    waiters: Dict[int, List[Tuple[int, str]]] = {}
+    waiters: Dict[int, List[Tuple[int, str, Term, TaskUnit]]] = {}
     owner_of_key: Dict[str, int] = {}
     pending: List[TaskUnit] = []
+    # index -> (canonical smtlib text, encoding, budget) for portfolio
+    # slots, so a raced verdict can be re-keyed under its winning member.
+    portfolio_text: Dict[int, Tuple[str, str, Optional[int]]] = {}
+    # Dedup waiters orphaned by a non-definitive owner verdict, waiting
+    # to be re-queued as standalone tasks.
+    retry_tasks: List[SolveTask] = []
+
+    members_of: Dict[str, Optional[List[str]]] = {}
+
+    def portfolio_of(spec: str) -> Optional[List[str]]:
+        """Probed member specs of a portfolio spec (memoized), else None."""
+        if spec not in members_of:
+            members_of[spec] = portfolio_members(spec)
+        return members_of[spec]
 
     for unit in units:
         is_batch = isinstance(unit, BatchTask)
@@ -293,14 +396,13 @@ def stream_tasks(
                 key_of[index] = None
                 kept.append(slot)
                 continue
-            key = formula_key(
-                formula,
-                unit.encoding,
-                unit.conflict_budget,
-                unit.backend_spec,
-                canonical=unit.pre_simplified,
+            text = formula_text(formula, canonical=unit.pre_simplified)
+            key = key_for_text(
+                text, unit.encoding, unit.conflict_budget, unit.backend_spec
             )
             key_of[index] = key
+            if cache is not None and portfolio_of(unit.backend_spec):
+                portfolio_text[index] = (text, unit.encoding, unit.conflict_budget)
             if cache is not None:
                 record = cache.get(key)
                 if record is not None:
@@ -318,7 +420,7 @@ def stream_tasks(
             if owner is not None:
                 # In-flight duplicate: solve the canonical formula once,
                 # fan the verdict out when the owner's result lands.
-                waiters.setdefault(owner, []).append((index, label))
+                waiters.setdefault(owner, []).append((index, label, formula, unit))
                 continue
             owner_of_key[key] = index
             kept.append(slot)
@@ -328,10 +430,18 @@ def stream_tasks(
             unit = replace(unit, entries=tuple(kept))
         pending.append(unit)
 
-    def settle(res: TaskResult) -> List[TaskResult]:
-        """A landed result plus its dedup fan-out (cache written once)."""
+    def settle(res: TaskResult, fanout_all: bool = False) -> List[TaskResult]:
+        """A landed result plus its dedup fan-out (cache written once).
+
+        Only definitive verdicts fan out to waiters: a timeout/error
+        owner's duplicates are re-queued as standalone tasks instead of
+        inheriting the machine-dependent failure.  ``fanout_all`` forces
+        the fan-out regardless (the bag-deadline path, where a re-queued
+        waiter could never run anyway).
+        """
         out = [res]
         key = key_of.get(res.index)
+        definitive = res.verdict in _DEFINITIVE
         if cache is not None and key is not None and not res.cached:
             structure, method, label = attrib[res.index]
             cache.put(
@@ -343,21 +453,45 @@ def stream_tasks(
                 method=method,
                 time_s=res.time_s,
             )
-        for w_ix, w_label in waiters.pop(res.index, ()):
-            out.append(
-                TaskResult(
-                    index=w_ix,
-                    label=w_label,
-                    verdict=res.verdict,
-                    detail=res.detail,
-                    time_s=0.0,
-                    deduped=True,
+            if definitive and res.winner is not None:
+                # A raced verdict is also published under the winning
+                # member's own key, so a warm single-backend run of that
+                # member replays it without re-racing.
+                meta = portfolio_text.get(res.index)
+                if meta is not None:
+                    text, encoding, budget = meta
+                    cache.put(
+                        key_for_text(text, encoding, budget, res.winner),
+                        res.verdict,
+                        res.detail,
+                        label=label,
+                        structure=structure,
+                        method=method,
+                        time_s=res.time_s,
+                    )
+        for w_ix, w_label, w_formula, w_unit in waiters.pop(res.index, ()):
+            if definitive or fanout_all:
+                out.append(
+                    TaskResult(
+                        index=w_ix,
+                        label=w_label,
+                        verdict=res.verdict,
+                        detail=res.detail,
+                        time_s=0.0,
+                        deduped=True,
+                        winner=res.winner,
+                    )
                 )
-            )
+            else:
+                retry_tasks.append(_waiter_task(w_unit, w_ix, w_label, w_formula))
         return out
 
-    needs_isolation = deadline_s is not None or any(
-        u.timeout_s is not None for u in pending
+    needs_isolation = (
+        deadline_s is not None
+        or any(u.timeout_s is not None for u in pending)
+        # A race needs real concurrent workers to win and losers to
+        # cancel, so portfolio units always take the process path.
+        or any(portfolio_of(u.backend_spec) for u in pending)
     )
     if not needs_isolation:
         if jobs <= 1:
@@ -368,20 +502,32 @@ def stream_tasks(
                         yield from settle(res)
                 else:
                     yield from settle(solve_one(unit))
+            while retry_tasks:
+                yield from settle(solve_one(retry_tasks.pop(0)))
         elif pending:
             # No timeouts to enforce: a persistent worker pool amortizes
             # process startup across units (one spawn per worker, not per
             # VC); a session-lent pool amortizes it across calls too.
             if pool_factory is not None:
-                for payload in pool_factory().imap_unordered(_pool_solve, pending):
-                    for res in payload:
-                        yield from settle(res)
+                own_pool = None
+                pool = pool_factory()
             else:
                 ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
-                with ctx.Pool(processes=min(jobs, len(pending))) as own_pool:
-                    for payload in own_pool.imap_unordered(_pool_solve, pending):
+                pool = own_pool = ctx.Pool(processes=min(jobs, len(pending)))
+            try:
+                work: List[TaskUnit] = pending
+                while work:
+                    for payload in pool.imap_unordered(_pool_solve, work):
                         for res in payload:
                             yield from settle(res)
+                    # Orphaned dedup waiters re-run standalone through the
+                    # same pool (a retry has no waiters, so this drains).
+                    work = list(retry_tasks)
+                    del retry_tasks[:]
+            finally:
+                if own_pool is not None:
+                    own_pool.terminate()
+                    own_pool.join()
         return
 
     ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
@@ -391,46 +537,188 @@ def stream_tasks(
         time.perf_counter() + deadline_s if deadline_s is not None else None
     )
 
-    def launch(unit: TaskUnit) -> None:
+    def spawn(unit: TaskUnit, race=None, member=None) -> _Running:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=_worker, args=(child_conn, unit), daemon=True)
         proc.start()
         child_conn.close()
-        running.append(_Running(proc, parent_conn, unit))
+        run = _Running(proc, parent_conn, unit, race=race, member=member)
+        running.append(run)
+        return run
+
+    def launch(unit: TaskUnit) -> None:
+        members = portfolio_of(unit.backend_spec)
+        if not members:
+            spawn(unit)
+            return
+        # Portfolio: race one worker per member backend on the same unit
+        # (each member occupies a worker slot while the race lasts).
+        race = _Race(unit)
+        for member in members:
+            race.runs.append(
+                spawn(replace(unit, backend_spec=member), race=race, member=member)
+            )
+
+    def retire(run: _Running) -> None:
+        """Terminate/join one worker and close its pipe (idempotent)."""
+        if not run.active:
+            return
+        run.active = False
+        if run.proc.is_alive():
+            run.proc.terminate()
+        run.proc.join()
+        try:
+            run.conn.close()
+        except OSError:
+            pass
+
+    def deliver(run: _Running, msg: TaskResult) -> List[TaskResult]:
+        """Route one worker message: plain units settle directly; race
+        members settle a slot only on its first definitive verdict."""
+        run.remaining.pop(msg.index, None)
+        race = run.race
+        if race is None:
+            return settle(msg)
+        if msg.index not in race.remaining:
+            return []  # a sibling already won this slot
+        if msg.verdict in _DEFINITIVE:
+            del race.remaining[msg.index]
+            msg.winner = run.member
+            out = settle(msg)
+            if not race.remaining:
+                # Last slot settled: cancel the losers promptly.
+                for sib in race.runs:
+                    retire(sib)
+            return out
+        # Error/unknown from one member falls through to the others.
+        race.fallback.setdefault(msg.index, msg)
+        return race_sweep(race, time.perf_counter())
+
+    def drain(run: _Running) -> List[TaskResult]:
+        """Deliver whatever results already sit in a run's pipe.  The
+        worker may be dead or about to be killed -- verdicts it streamed
+        are real (and cacheable) and must not be discarded."""
+        out: List[TaskResult] = []
+        try:
+            while run.conn.poll():
+                msg = run.conn.recv()
+                if msg is None:
+                    break
+                out.extend(deliver(run, msg))
+                if not run.active:
+                    break
+        except (EOFError, OSError):
+            pass
+        return out
+
+    def race_sweep(race: _Race, now: float) -> List[TaskResult]:
+        """Settle race slots that no live member can still answer."""
+        out: List[TaskResult] = []
+        alive = [r for r in race.runs if r.active]
+        for ix in list(race.remaining):
+            if any(ix in r.remaining for r in alive):
+                continue
+            label = race.remaining.pop(ix)
+            res = race.fallback.get(ix)
+            if res is None:
+                res = TaskResult(
+                    ix,
+                    label,
+                    "error",
+                    "every portfolio member ended without a verdict",
+                    time_s=now - race.started,
+                )
+            out.extend(settle(res))
+        if not race.remaining:
+            for sib in race.runs:
+                retire(sib)
+        return out
 
     def fail_remaining(
-        run: _Running, verdict: str, detail: str, now: float
+        run: _Running, verdict: str, detail: str, now: float, fanout_all: bool = False
     ) -> List[TaskResult]:
         out: List[TaskResult] = []
         for ix, label in run.remaining.items():
             out.extend(
-                settle(TaskResult(ix, label, verdict, detail, time_s=now - run.started))
+                settle(
+                    TaskResult(ix, label, verdict, detail, time_s=now - run.started),
+                    fanout_all=fanout_all,
+                )
             )
         run.remaining.clear()
         return out
 
+    def fail_race(
+        race: _Race, verdict: str, detail: str, now: float, fanout_all: bool = False
+    ) -> List[TaskResult]:
+        out: List[TaskResult] = []
+        for ix, label in race.remaining.items():
+            out.extend(
+                settle(
+                    TaskResult(ix, label, verdict, detail, time_s=now - race.started),
+                    fanout_all=fanout_all,
+                )
+            )
+        race.remaining.clear()
+        return out
+
     try:
-        while queue or running:
+        while queue or running or retry_tasks:
+            if retry_tasks:
+                # Orphaned dedup waiters go back into the bag standalone.
+                queue.extend(retry_tasks)
+                del retry_tasks[:]
             if bag_deadline is not None and time.perf_counter() > bag_deadline:
                 detail = f"method budget {deadline_s:g}s"
                 for unit in queue:
                     for ix, label in _unit_slots(unit):
-                        yield from settle(TaskResult(ix, label, "timeout", detail))
+                        yield from settle(
+                            TaskResult(ix, label, "timeout", detail), fanout_all=True
+                        )
                 queue.clear()
-                now = time.perf_counter()
+                # Workers may have streamed verdicts the parent has not
+                # received yet.  Those are real -- drain every pipe (as
+                # the dead-worker path does) before terminating, so they
+                # are reported and cached instead of misreported as
+                # timeouts.
                 for run in running:
-                    run.proc.terminate()
-                    run.proc.join()
-                    run.conn.close()
-                    yield from fail_remaining(run, "timeout", detail, now)
+                    if run.active:
+                        yield from drain(run)
+                # Draining may have orphaned dedup waiters (their owner
+                # streamed a non-definitive verdict); there is no budget
+                # left to re-run them, so they time out here.
+                for t in retry_tasks:
+                    yield from settle(
+                        TaskResult(t.index, t.label, "timeout", detail),
+                        fanout_all=True,
+                    )
+                del retry_tasks[:]
+                now = time.perf_counter()
+                seen_races = set()
+                for run in running:
+                    if run.race is not None:
+                        if id(run.race) not in seen_races:
+                            seen_races.add(id(run.race))
+                            yield from fail_race(
+                                run.race, "timeout", detail, now, fanout_all=True
+                            )
+                    elif run.remaining:
+                        yield from fail_remaining(
+                            run, "timeout", detail, now, fanout_all=True
+                        )
+                for run in running:
+                    retire(run)
                 running = []
                 break
             while queue and len(running) < max(1, jobs):
                 launch(queue.pop(0))
-            ready = conn_wait([r.conn for r in running], timeout=_POLL_S)
+            ready = conn_wait(
+                [r.conn for r in running if r.active], timeout=_POLL_S
+            )
             now = time.perf_counter()
-            still: List[_Running] = []
             for run in running:
+                if not run.active:
+                    continue  # retired mid-pass (e.g. a race sibling won)
                 finished = died = False
                 if run.conn in ready:
                     try:
@@ -439,37 +727,47 @@ def stream_tasks(
                             if msg is None:
                                 finished = True
                                 break
-                            run.remaining.pop(msg.index, None)
-                            yield from settle(msg)
-                            if not run.conn.poll():
+                            yield from deliver(run, msg)
+                            if not run.active or not run.conn.poll():
                                 break
                     except (EOFError, OSError):
                         died = True
+                if not run.active:
+                    continue
                 if died:
-                    run.conn.close()
-                    run.proc.join()
-                    yield from fail_remaining(
-                        run,
-                        "error",
-                        f"worker died (exitcode {run.proc.exitcode})",
-                        now,
-                    )
+                    retire(run)
+                    if run.race is not None:
+                        yield from race_sweep(run.race, now)
+                    else:
+                        yield from fail_remaining(
+                            run,
+                            "error",
+                            f"worker died (exitcode {run.proc.exitcode})",
+                            now,
+                        )
                 elif finished:
-                    run.conn.close()
-                    run.proc.join()
-                    # Defensive: a sentinel without all results errors the gap.
-                    yield from fail_remaining(
-                        run, "error", "worker ended without result", now
-                    )
+                    retire(run)
+                    if run.race is not None:
+                        # A member ending early just leaves the race.
+                        yield from race_sweep(run.race, now)
+                    else:
+                        # Defensive: a sentinel without all results errors the gap.
+                        yield from fail_remaining(
+                            run, "error", "worker ended without result", now
+                        )
                 elif run.deadline is not None and now > run.deadline:
-                    run.proc.terminate()
-                    run.proc.join()
-                    run.conn.close()
+                    # Per-unit budget expiry (non-race: members keep
+                    # deadline=None and share race.deadline).  Drain the
+                    # pipe first -- streamed verdicts survive the kill.
+                    yield from drain(run)
+                    retire(run)
                     # Only the entry being solved when the bank ran out
                     # actually timed out; re-queue the never-attempted
                     # rest as standalone tasks with fresh budgets (the
                     # bag deadline still bounds the whole method).
-                    if isinstance(run.unit, BatchTask) and len(run.remaining) > 1:
+                    if not run.remaining:
+                        pass
+                    elif isinstance(run.unit, BatchTask) and len(run.remaining) > 1:
                         in_flight = next(iter(run.remaining))
                         label = run.remaining.pop(in_flight)
                         yield from settle(
@@ -487,38 +785,62 @@ def stream_tasks(
                         yield from fail_remaining(
                             run, "timeout", f"budget {run.unit.timeout_s:g}s", now
                         )
+                elif (
+                    run.race is not None
+                    and run.race.deadline is not None
+                    and now > run.race.deadline
+                    and run.race.remaining
+                ):
+                    # The race's shared bank ran out: drain every member
+                    # (any of them may hold streamed verdicts), kill the
+                    # group, then apply the same in-flight/re-queue split
+                    # a single worker gets.
+                    race = run.race
+                    for sib in race.runs:
+                        if sib.active:
+                            yield from drain(sib)
+                    for sib in race.runs:
+                        retire(sib)
+                    if not race.remaining:
+                        pass
+                    elif isinstance(race.unit, BatchTask) and len(race.remaining) > 1:
+                        in_flight = next(iter(race.remaining))
+                        label = race.remaining.pop(in_flight)
+                        yield from settle(
+                            TaskResult(
+                                in_flight,
+                                label,
+                                "timeout",
+                                f"budget {race.unit.timeout_s:g}s",
+                                time_s=now - race.started,
+                            )
+                        )
+                        queue.extend(_requeue_singles(race.unit, race.remaining))
+                        race.remaining.clear()
+                    else:
+                        yield from fail_race(
+                            race, "timeout", f"budget {race.unit.timeout_s:g}s", now
+                        )
                 elif not run.proc.is_alive():
                     # The worker exited but conn_wait did not surface the
                     # pipe (or it held nothing): drain any results that
                     # made it out, then report the death for the rest.
                     # (An exited worker's pipe polls ready on EOF too, so
                     # ``poll()`` alone cannot prove results are pending.)
-                    drained: List[TaskResult] = []
-                    try:
-                        while run.conn.poll():
-                            msg = run.conn.recv()
-                            if msg is None:
-                                break
-                            run.remaining.pop(msg.index, None)
-                            drained.extend(settle(msg))
-                    except (EOFError, OSError):
-                        pass
-                    run.conn.close()
-                    run.proc.join()
-                    for res in drained:
-                        yield res
-                    if run.remaining:
+                    yield from drain(run)
+                    if not run.active:
+                        continue
+                    retire(run)
+                    if run.race is not None:
+                        yield from race_sweep(run.race, now)
+                    elif run.remaining:
                         yield from fail_remaining(
                             run,
                             "error",
                             f"worker died (exitcode {run.proc.exitcode})",
                             now,
                         )
-                else:
-                    still.append(run)
-            running = still
+            running = [r for r in running if r.active]
     finally:
         for run in running:
-            run.proc.terminate()
-            run.proc.join()
-            run.conn.close()
+            retire(run)

@@ -128,6 +128,12 @@ class VerificationSession:
     and with ``jobs > 1`` a persistent worker pool amortizes process
     spawns across calls on the no-timeout path.  Use as a context
     manager (or call :meth:`close`) to reclaim the pool.
+
+    ``backend="portfolio:A,B[,...]"`` races the member backends per VC
+    at the scheduler layer (first definitive verdict wins, losers are
+    cancelled); such sessions always use per-unit worker processes, so
+    the persistent pool is never materialized for them.  Construction
+    validates the member specs and degrades to the available subset.
     """
 
     def __init__(

@@ -119,6 +119,10 @@ class TaskResult:
     # formula (in-flight dedup, or a cache entry written earlier in this
     # same run) rather than recomputed.
     deduped: bool = False
+    # For results decided by a ``portfolio:`` race: the member backend
+    # spec that produced the winning definitive verdict (also carried by
+    # dedup fan-outs of that verdict).  None everywhere else.
+    winner: Optional[str] = None
 
     def failure(self) -> Optional[str]:
         """The ``MethodReport.failed`` entry this result contributes.
