@@ -45,7 +45,7 @@ from pathlib import Path
 
 
 def _load_doc(path: str) -> dict:
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         return json.load(handle)
 
 
@@ -60,7 +60,9 @@ def _parse_ceilings(pairs) -> dict:
         try:
             out[method] = float(seconds)
         except ValueError:
-            raise SystemExit(f"--plan-ceiling expects METHOD=SECONDS, got {pair!r}")
+            raise SystemExit(
+                f"--plan-ceiling expects METHOD=SECONDS, got {pair!r}"
+            ) from None
     return out
 
 

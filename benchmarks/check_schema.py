@@ -17,12 +17,17 @@ rest of the repo):
   event-count invariants of the session API -- every VC is ``planned``
   exactly once and settled by exactly one terminal event
   (``cache_hit`` | ``dedup`` | ``solved`` | ``timeout`` | ``error``),
-  so ``planned == n_vcs`` and the terminal kinds partition it;
+  so ``planned == n_vcs`` and the terminal kinds partition it; the
+  per-result ``lint`` block (advisory static-analysis findings) is
+  checked for the stable-code finding shape;
+- ``repro lint --format json`` documents (``command: "lint"``):
+  finding shapes, ``n_findings`` and the per-severity tally;
 - ``--events`` JSONL streams: every line is a well-formed event, ``seq``
   is dense and strictly increasing, each (method, vc) slot pairs one
   ``planned`` with one later terminal event, and a ``winner`` field
   (portfolio race attribution) only appears on terminal events, as a
-  string.
+  string; ``lint`` events sit outside the slot contract (``vc: -1``,
+  ``stage: "plan"``, label = diagnostic code) and settle nothing.
 
 Exit codes: 0 valid, 1 schema violation, 2 usage error -- matching the
 CLI's documented contract.
@@ -35,9 +40,10 @@ import json
 import sys
 from typing import List
 
-EVENT_KINDS = ("planned", "cache_hit", "dedup", "solved", "timeout", "error")
+EVENT_KINDS = ("planned", "lint", "cache_hit", "dedup", "solved", "timeout", "error")
 TERMINAL_KINDS = ("cache_hit", "dedup", "solved", "timeout", "error")
 VERDICTS = ("valid", "invalid", "timeout", "error")
+SEVERITIES = ("error", "warning", "info")
 
 _REQUIRED_RESULT_KEYS = {
     "structure": str,
@@ -57,6 +63,25 @@ _REQUIRED_RESULT_KEYS = {
     "encoding": str,
     "failed": list,
     "events": dict,
+}
+
+_REQUIRED_FINDING_KEYS = {
+    "code": str,
+    "severity": str,
+    "structure": str,
+    "procedure": str,
+    "path": str,
+    "message": str,
+}
+
+_REQUIRED_LINT_KEYS = {
+    "schema_version": int,
+    "fail_on": str,
+    "wall_s": (int, float),
+    "n_methods": int,
+    "n_findings": int,
+    "severity_counts": dict,
+    "findings": list,
 }
 
 _REQUIRED_BENCH_KEYS = {
@@ -117,6 +142,52 @@ def _check_events_counts(events: dict, n_vcs: int, where: str, errs: SchemaError
     )
 
 
+def _check_finding(entry: dict, where: str, errs: SchemaErrors) -> None:
+    """One lint diagnostic: stable code, known severity, location fields."""
+    _check_typed_keys(entry, _REQUIRED_FINDING_KEYS, where, errs)
+    severity = entry.get("severity")
+    errs.check(
+        severity in SEVERITIES, f"{where}: unknown severity {severity!r}"
+    )
+    code = entry.get("code")
+    if isinstance(code, str):
+        errs.check(
+            len(code) >= 5 and code[-3:].isdigit() and code[:-3].isalpha()
+            and code == code.upper(),
+            f"{where}: code {code!r} is not of the FAMILYnnn shape",
+        )
+
+
+def check_lint_report(doc: dict, errs: SchemaErrors) -> None:
+    """Validate a ``repro lint --format json`` document."""
+    errs.check(
+        doc.get("schema_version") == 7,
+        f"schema_version is {doc.get('schema_version')!r}, expected 7",
+    )
+    _check_typed_keys(doc, _REQUIRED_LINT_KEYS, "lint report", errs)
+    findings = doc.get("findings", [])
+    if not isinstance(findings, list):
+        return
+    errs.check(
+        doc.get("n_findings") == len(findings),
+        f"n_findings={doc.get('n_findings')} != len(findings)={len(findings)}",
+    )
+    counts = {sev: 0 for sev in SEVERITIES}
+    for i, entry in enumerate(findings):
+        where = f"findings[{i}]"
+        if not errs.check(isinstance(entry, dict), f"{where}: not an object"):
+            continue
+        _check_finding(entry, where, errs)
+        if entry.get("severity") in counts:
+            counts[entry["severity"]] += 1
+    declared = doc.get("severity_counts")
+    if isinstance(declared, dict):
+        errs.check(
+            declared == counts,
+            f"severity_counts {declared} != per-finding tally {counts}",
+        )
+
+
 def check_report(doc: dict, errs: SchemaErrors) -> None:
     """Validate a bench_results.json or `verify --format json` document."""
     errs.check(
@@ -168,6 +239,14 @@ def check_report(doc: dict, errs: SchemaErrors) -> None:
                 ok == (not entry["failed"]),
                 f"{where}: ok={ok} inconsistent with failed list",
             )
+        lint = entry.get("lint")
+        if lint is not None and errs.check(
+            isinstance(lint, list), f"{where}: lint is not a list"
+        ):
+            for j, finding in enumerate(lint):
+                fwhere = f"{where}.lint[{j}]"
+                if errs.check(isinstance(finding, dict), f"{fwhere}: not an object"):
+                    _check_finding(finding, fwhere, errs)
         portfolio = entry.get("portfolio")
         if portfolio is not None and errs.check(
             isinstance(portfolio, dict), f"{where}: portfolio is not an object"
@@ -276,6 +355,23 @@ def check_events_jsonl(lines, errs: SchemaErrors) -> None:
             last = prev_seq.get(group, -1)
             errs.check(seq > last, f"{where}: seq {seq} not increasing for {group}")
             prev_seq[group] = max(last, seq)
+        if kind == "lint":
+            # Advisory static-analysis events live outside the per-VC slot
+            # contract: plan stage, vc index -1, label is the lint code.
+            errs.check(
+                event.get("vc") == -1,
+                f"{where}: lint event vc {event.get('vc')!r} != -1",
+            )
+            errs.check(
+                event.get("stage") == "plan",
+                f"{where}: lint event stage {event.get('stage')!r} != 'plan'",
+            )
+            label = event.get("label")
+            errs.check(
+                isinstance(label, str) and bool(label),
+                f"{where}: lint event label {label!r} is not a code",
+            )
+            continue
         slot = (event.get("method"), event.get("vc"))
         if kind == "planned":
             errs.check(slot not in planned, f"{where}: duplicate planned for {slot}")
@@ -324,7 +420,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)  # argparse exits 2 on usage errors
     errs = SchemaErrors()
     try:
-        with open(args.report, "r", encoding="utf-8") as handle:
+        with open(args.report, encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, ValueError) as e:
         print(f"cannot read {args.report}: {e}", file=sys.stderr)
@@ -332,10 +428,13 @@ def main(argv=None) -> int:
     if not isinstance(doc, dict):
         print(f"{args.report}: top level is not an object", file=sys.stderr)
         return 1
-    check_report(doc, errs)
+    if doc.get("command") == "lint":
+        check_lint_report(doc, errs)
+    else:
+        check_report(doc, errs)
     if args.events:
         try:
-            with open(args.events, "r", encoding="utf-8") as handle:
+            with open(args.events, encoding="utf-8") as handle:
                 check_events_jsonl(handle, errs)
         except OSError as e:
             print(f"cannot read {args.events}: {e}", file=sys.stderr)
@@ -345,8 +444,11 @@ def main(argv=None) -> int:
             print(f"SCHEMA: {problem}", file=sys.stderr)
         print(f"\n{len(errs.problems)} schema problem(s)", file=sys.stderr)
         return 1
-    n = len(doc.get("results", []))
-    print(f"schema ok: {args.report} ({n} methods"
+    if doc.get("command") == "lint":
+        summary = f"{len(doc.get('findings', []))} findings"
+    else:
+        summary = f"{len(doc.get('results', []))} methods"
+    print(f"schema ok: {args.report} ({summary}"
           + (", events stream valid)" if args.events else ")"))
     return 0
 

@@ -1,0 +1,40 @@
+"""Static analysis over the while-language AST (``repro lint``).
+
+A multi-pass, solver-free analyzer for intrinsic-definition programs.
+The paper's whole pitch is *predictable* verification: the FWYB
+discipline (Fig. 2) and the impact-set tables make verification
+deterministic, so violations of the discipline should surface in
+milliseconds as structured diagnostics, not minutes later as an opaque
+FAILED verdict.  The passes:
+
+- :mod:`~repro.analysis.sortcheck` -- a sort/type checker over
+  expressions, field stores and call signatures (``SORT0xx``);
+- :mod:`~repro.analysis.wellbehaved` -- the Fig. 2 well-behavedness
+  checker rebuilt as a pass with codes and statement paths (``WB0xx``;
+  :func:`repro.lang.wellbehaved.wb_violations` is now a thin shim
+  over it);
+- :mod:`~repro.analysis.ghostflow` -- ghost-discipline checks
+  (``GHOST0xx``) including the dropped-ghost-update check against the
+  intrinsic definition's LC templates, and impact-table checks
+  (``IMP0xx``);
+- :mod:`~repro.analysis.dataflow` -- dataflow passes (``FLOW0xx``):
+  definite assignment, unreachable statements, unused locals/ghost
+  fields, and the must-empty analysis proving ``Br = {}`` on every
+  path to procedure exit.
+
+Every pass is a pure function of the AST and the intrinsic definition:
+no solver calls, no interned-term construction, deterministic output
+(diagnostics are sorted by procedure, statement path and code).
+"""
+
+from .diagnostics import CODES, SEVERITIES, LintDiagnostic
+from .driver import lint_experiment, lint_method, lint_program
+
+__all__ = [
+    "CODES",
+    "SEVERITIES",
+    "LintDiagnostic",
+    "lint_experiment",
+    "lint_method",
+    "lint_program",
+]

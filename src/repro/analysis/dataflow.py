@@ -1,0 +1,447 @@
+"""Pass 4: dataflow over the while-language.
+
+- ``FLOW001`` definite assignment: a local/ghost-local/out read on some
+  path before any assignment.  Joins intersect (must-assigned); loop
+  bodies are checked against the first-iteration state.
+- ``FLOW002`` unreachable code under a constant branch/loop condition.
+- ``FLOW003`` locals (user or ghost) never read anywhere in the body.
+- ``FLOW005`` must-empty: for procedures whose contract promises
+  ``Br = {}`` on exit, an under-approximating marker analysis tracks
+  objects *definitely* added to a broken set (fresh allocations; ``Mut``
+  targets known non-nil whose impact set contains the mutated object
+  itself) and not yet discharged by ``AssertLCAndRemove``.  A marker
+  surviving to exit on any path is a skipped fix -- the exact shape of
+  the "forgot the AssertLCAndRemove" mutant -- reported before a solver
+  ever sees the VC.  Being under-approximate (adds only when definite,
+  drops markers at calls and opaque loops) keeps it false-positive-free
+  on the registry while still catching the seeded mutants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.ids import LC_VAR, IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    Procedure,
+    SAssert,
+    SAssertLCAndRemove,
+    SAssign,
+    SAssume,
+    SBlock,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNew,
+    SNewObj,
+    SStore,
+    SWhile,
+    Stmt,
+)
+from .diagnostics import LintDiagnostic, mkdiag
+
+__all__ = ["check_dataflow", "check_must_empty"]
+
+
+def _flatten_and(e: E.Expr) -> List[E.Expr]:
+    if isinstance(e, E.EAnd):
+        out: List[E.Expr] = []
+        for a in e.args:
+            out.extend(_flatten_and(a))
+        return out
+    return [e]
+
+
+# ---------------------------------------------------------------------------
+# FLOW001 / FLOW002 / FLOW003
+# ---------------------------------------------------------------------------
+
+
+def check_dataflow(structure: str, proc: Procedure) -> List[LintDiagnostic]:
+    out: List[LintDiagnostic] = []
+    tracked = set(proc.locals) | set(proc.ghost_locals) | set(proc.out_names)
+    reported: Set[str] = set()
+    read_anywhere: Set[str] = set()
+
+    def check_reads(e: Optional[E.Expr], assigned: Set[str], path: str) -> None:
+        if e is None:
+            return
+        vs = E.expr_vars(e)
+        read_anywhere.update(vs)
+        for v in sorted(vs):
+            if v in tracked and v not in assigned and v not in reported:
+                reported.add(v)
+                out.append(
+                    mkdiag(
+                        "FLOW001",
+                        structure,
+                        proc.name,
+                        path,
+                        f"variable {v} may be read before assignment",
+                        "assign it on every path before this use",
+                        var=v,
+                    )
+                )
+
+    def walk(stmts: List[Stmt], prefix: str, assigned: Set[str]) -> Set[str]:
+        for i, s in enumerate(stmts):
+            path = f"{prefix}[{i}]"
+            if isinstance(s, SAssign):
+                check_reads(s.expr, assigned, path)
+                assigned.add(s.var)
+            elif isinstance(s, (SStore, SMut)):
+                check_reads(s.obj, assigned, path)
+                check_reads(s.expr, assigned, path)
+                if isinstance(s, SMut):
+                    check_reads(s.aux, assigned, path)
+            elif isinstance(s, (SNew, SNewObj)):
+                assigned.add(s.var)
+            elif isinstance(s, SCall):
+                for a in s.args:
+                    check_reads(a, assigned, path)
+                assigned.update(s.outs)
+            elif isinstance(s, SIf):
+                check_reads(s.cond, assigned, path)
+                if isinstance(s.cond, E.EBool):
+                    dead = "els" if s.cond.value else "then"
+                    if getattr(s, dead):
+                        out.append(
+                            mkdiag(
+                                "FLOW002",
+                                structure,
+                                proc.name,
+                                f"{path}.{dead}[0]",
+                                f"unreachable branch: condition is constantly "
+                                f"{s.cond.value}",
+                            )
+                        )
+                then_assigned = walk(s.then, f"{path}.then", set(assigned))
+                els_assigned = walk(s.els, f"{path}.els", set(assigned))
+                assigned = then_assigned & els_assigned
+            elif isinstance(s, SWhile):
+                check_reads(s.cond, assigned, path)
+                if isinstance(s.cond, E.EBool) and not s.cond.value and s.body:
+                    out.append(
+                        mkdiag(
+                            "FLOW002",
+                            structure,
+                            proc.name,
+                            f"{path}.body[0]",
+                            "unreachable loop body: condition is constantly False",
+                        )
+                    )
+                for inv in s.invariants:
+                    read_anywhere.update(E.expr_vars(inv))
+                if s.decreases is not None:
+                    read_anywhere.update(E.expr_vars(s.decreases))
+                walk(s.body, f"{path}.body", set(assigned))
+                # the body may not run: post-loop state is the pre-loop one
+            elif isinstance(s, (SAssert, SAssume)):
+                check_reads(s.expr, assigned, path)
+            elif isinstance(s, (SAssertLCAndRemove, SInferLCOutsideBr)):
+                check_reads(s.obj, assigned, path)
+            elif isinstance(s, SBlock):
+                assigned = walk(s.stmts, path, assigned)
+        return assigned
+
+    walk(proc.body, "body", set(name for name, _ in proc.params))
+
+    for var in sorted(set(proc.locals) | set(proc.ghost_locals)):
+        if var not in read_anywhere:
+            kind = "ghost local" if var in proc.ghost_locals else "local"
+            out.append(
+                mkdiag(
+                    "FLOW003",
+                    structure,
+                    proc.name,
+                    "",
+                    f"{kind} variable {var} is never read",
+                    "drop the declaration",
+                    var=var,
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# FLOW005: must-empty broken sets
+# ---------------------------------------------------------------------------
+
+
+def _empty_promise(set_name: str) -> E.Expr:
+    return E.eq(E.EVar(set_name), E.EEmptySet("Loc"))
+
+
+def _gated_sets(proc: Procedure, ids: IntrinsicDefinition) -> List[str]:
+    """Broken sets whose emptiness the contract promises syntactically."""
+    conjuncts: List[E.Expr] = []
+    for e in proc.ensures:
+        conjuncts.extend(_flatten_and(e))
+    return [s for s in ids.broken_set_names if _empty_promise(s) in conjuncts]
+
+
+def _nonnil_exprs(cond: E.Expr) -> List[E.Expr]:
+    """Object expressions a (conjunction of) condition(s) proves non-nil."""
+    out: List[E.Expr] = []
+    for c in _flatten_and(cond):
+        if isinstance(c, E.ENot) and isinstance(c.arg, E.EEq):
+            a, b = c.arg.lhs, c.arg.rhs
+            if isinstance(b, E.ENil):
+                out.append(a)
+            elif isinstance(a, E.ENil):
+                out.append(b)
+    return out
+
+
+def _eq_pairs(cond: E.Expr) -> List[Tuple[E.Expr, E.Expr]]:
+    """Location-aliasing equalities a condition establishes (nil-free)."""
+    out: List[Tuple[E.Expr, E.Expr]] = []
+    for c in _flatten_and(cond):
+        if isinstance(c, E.EEq) and not (
+            isinstance(c.lhs, E.ENil) or isinstance(c.rhs, E.ENil)
+        ):
+            out.append((c.lhs, c.rhs))
+    return out
+
+
+def _discharged_keys(stmts: List[Stmt]) -> Set[Tuple[str, str]]:
+    out: Set[Tuple[str, str]] = set()
+    for s in stmts:
+        if isinstance(s, SAssertLCAndRemove):
+            out.add((s.broken_set, repr(s.obj)))
+        elif isinstance(s, SIf):
+            out |= _discharged_keys(s.then) | _discharged_keys(s.els)
+        elif isinstance(s, SWhile):
+            out |= _discharged_keys(s.body)
+        elif isinstance(s, SBlock):
+            out |= _discharged_keys(s.stmts)
+    return out
+
+
+def _has_call(stmts: List[Stmt]) -> bool:
+    for s in stmts:
+        if isinstance(s, SCall):
+            return True
+        if isinstance(s, SIf) and (_has_call(s.then) or _has_call(s.els)):
+            return True
+        if isinstance(s, SWhile) and _has_call(s.body):
+            return True
+        if isinstance(s, SBlock) and _has_call(s.stmts):
+            return True
+    return False
+
+
+def _assigned_vars(stmts: List[Stmt]) -> Set[str]:
+    out: Set[str] = set()
+    for s in stmts:
+        if isinstance(s, SAssign):
+            out.add(s.var)
+        elif isinstance(s, (SNew, SNewObj)):
+            out.add(s.var)
+        elif isinstance(s, SCall):
+            out.update(s.outs)
+        elif isinstance(s, SIf):
+            out |= _assigned_vars(s.then) | _assigned_vars(s.els)
+        elif isinstance(s, SWhile):
+            out |= _assigned_vars(s.body)
+        elif isinstance(s, SBlock):
+            out |= _assigned_vars(s.stmts)
+    return out
+
+
+#: markers: (set_name, object key) -> (rendered object, path where added)
+_Markers = Dict[Tuple[str, str], Tuple[str, str]]
+#: aliases: unordered pairs of object keys known equal on this path
+_Aliases = Set[FrozenSet[str]]
+
+
+def _alias_closure(aliases: _Aliases, key: str) -> Set[str]:
+    """All keys transitively aliased to ``key`` (including itself)."""
+    seen = {key}
+    frontier = [key]
+    while frontier:
+        k = frontier.pop()
+        for pair in aliases:
+            if k in pair:
+                for other in pair:
+                    if other not in seen:
+                        seen.add(other)
+                        frontier.append(other)
+    return seen
+
+
+def check_must_empty(
+    structure: str, proc: Procedure, ids: IntrinsicDefinition
+) -> List[LintDiagnostic]:
+    gated = _gated_sets(proc, ids)
+    if not gated:
+        return []
+    out: List[LintDiagnostic] = []
+
+    def impact_hits_self(field: str, variant: Optional[str], set_name: str) -> bool:
+        if variant is not None:
+            cm = ids.custom_muts.get(variant)
+            return cm is not None and LC_VAR in cm.impact
+        try:
+            return LC_VAR in ids.impact_terms(field, set_name)
+        except KeyError:
+            return False  # IMP001's problem, not ours
+
+    def kill_var(
+        markers: _Markers, facts: Set[str], aliases: _Aliases, var: str
+    ) -> None:
+        for set_name, key in [
+            k for k in markers if var in E.expr_vars(_key_exprs[k[1]])
+        ]:
+            markers.pop((set_name, key), None)
+        for key in [f for f in facts if var in E.expr_vars(_key_exprs[f])]:
+            facts.discard(key)
+        for pair in [
+            p for p in aliases
+            if any(var in E.expr_vars(_key_exprs[k]) for k in p)
+        ]:
+            aliases.discard(pair)
+
+    _key_exprs: Dict[str, E.Expr] = {}
+
+    def intern(obj: E.Expr) -> str:
+        key = repr(obj)
+        _key_exprs.setdefault(key, obj)
+        return key
+
+    def discharge(markers: _Markers, aliases: _Aliases, set_name: str, key: str) -> None:
+        # Discharging v discharges everything the path knows equals v.
+        for k in _alias_closure(aliases, key):
+            markers.pop((set_name, k), None)
+
+    def walk(
+        stmts: List[Stmt],
+        prefix: str,
+        markers: _Markers,
+        facts: Set[str],
+        aliases: _Aliases,
+    ) -> Tuple[_Markers, Set[str], _Aliases]:
+        for i, s in enumerate(stmts):
+            path = f"{prefix}[{i}]"
+            if isinstance(s, SNewObj):
+                kill_var(markers, facts, aliases, s.var)
+                key = intern(E.EVar(s.var))
+                facts.add(key)
+                for set_name in gated:
+                    markers[(set_name, key)] = (s.var, path)
+            elif isinstance(s, SMut):
+                key = intern(s.obj)
+                if key in facts:
+                    for set_name in gated:
+                        if impact_hits_self(s.field, s.variant, set_name):
+                            markers.setdefault(
+                                (set_name, key), (repr(s.obj), path)
+                            )
+            elif isinstance(s, SAssertLCAndRemove):
+                discharge(markers, aliases, s.broken_set, intern(s.obj))
+            elif isinstance(s, SAssign):
+                kill_var(markers, facts, aliases, s.var)
+            elif isinstance(s, SNew):
+                kill_var(markers, facts, aliases, s.var)
+                facts.add(intern(E.EVar(s.var)))
+            elif isinstance(s, SCall):
+                markers.clear()  # the callee may discharge anything
+            elif isinstance(s, SIf):
+                tf, ef = set(facts), set(facts)
+                ta, ea = set(aliases), set(aliases)
+                tf.update(intern(e) for e in _nonnil_exprs(s.cond))
+                ta.update(
+                    frozenset({intern(a), intern(b)})
+                    for a, b in _eq_pairs(s.cond)
+                    if a != b
+                )
+                if isinstance(s.cond, E.EEq) and (
+                    isinstance(s.cond.lhs, E.ENil) or isinstance(s.cond.rhs, E.ENil)
+                ):
+                    ef.update(
+                        intern(e)
+                        for e in _nonnil_exprs(E.ne(s.cond.lhs, s.cond.rhs))
+                    )
+                if isinstance(s.cond, E.ENot):
+                    ea.update(
+                        frozenset({intern(a), intern(b)})
+                        for a, b in _eq_pairs(s.cond.arg)
+                        if a != b
+                    )
+                tm, tf, ta = walk(s.then, f"{path}.then", dict(markers), tf, ta)
+                em, ef, ea = walk(s.els, f"{path}.els", dict(markers), ef, ea)
+                merged = dict(em)
+                merged.update(tm)  # union: a leftover on either path counts
+                markers = merged
+                facts = tf & ef
+                aliases = ta & ea
+            elif isinstance(s, SWhile):
+                body_facts = set(facts)
+                body_facts.update(intern(e) for e in _nonnil_exprs(s.cond))
+                body_aliases = set(aliases)
+                body_aliases.update(
+                    frozenset({intern(a), intern(b)})
+                    for a, b in _eq_pairs(s.cond)
+                    if a != b
+                )
+                promised = [
+                    set_name
+                    for set_name in gated
+                    if _empty_promise(set_name) in s.invariants
+                ]
+                if promised:
+                    # the invariant re-promises emptiness at every head:
+                    # whatever one iteration adds it must also discharge.
+                    body_markers, _, _ = walk(
+                        s.body, f"{path}.body", {}, body_facts, body_aliases
+                    )
+                    for (set_name, _key), (obj, where) in sorted(
+                        body_markers.items()
+                    ):
+                        if set_name in promised:
+                            out.append(_leftover(set_name, obj, where, loop=True))
+                    markers = {
+                        k: v for k, v in markers.items() if k[0] not in promised
+                    }
+                # opaque loop: ignore its additions (it may run 0 times) but
+                # respect anything it might discharge or overwrite.
+                if _has_call(s.body):
+                    markers.clear()
+                else:
+                    for set_name, key in _discharged_keys(s.body):
+                        discharge(markers, aliases, set_name, key)
+                    for var in _assigned_vars(s.body):
+                        kill_var(markers, facts, aliases, var)
+            elif isinstance(s, SBlock):
+                markers, facts, aliases = walk(s.stmts, path, markers, facts, aliases)
+        return markers, facts, aliases
+
+    def _leftover(
+        set_name: str, obj: str, where: str, loop: bool = False
+    ) -> LintDiagnostic:
+        exit_point = "loop head" if loop else "procedure exit"
+        return mkdiag(
+            "FLOW005",
+            structure,
+            proc.name,
+            where,
+            f"object {obj} is added to {set_name} here but {set_name} = {{}} "
+            f"is promised at {exit_point} and no path discharges it",
+            "add an AssertLCAndRemove for it (fix what you broke)",
+            set=set_name,
+            obj=obj,
+        )
+
+    facts: Set[str] = set()
+    aliases: _Aliases = set()
+    for r in proc.requires:
+        facts.update(intern(e) for e in _nonnil_exprs(r))
+        aliases.update(
+            frozenset({intern(a), intern(b)}) for a, b in _eq_pairs(r) if a != b
+        )
+    markers, _, _ = walk(proc.body, "body", {}, facts, aliases)
+    for (set_name, _key), (obj, where) in sorted(markers.items()):
+        out.append(_leftover(set_name, obj, where))
+    return out

@@ -1,0 +1,138 @@
+"""The structured diagnostic model shared by every lint pass.
+
+A :class:`LintDiagnostic` carries a stable code (``WB001``,
+``SORT003``, ``GHOST002``, ...), a severity, the structure/procedure it
+was found in, a statement path (``body[2].then[0]`` -- stable across
+runs because it indexes the AST, not source lines), a message and a fix
+hint.  Codes are stable API: tests, CI gates and downstream tooling key
+on them, so a code is never reused for a different defect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Optional
+
+__all__ = ["SEVERITIES", "CODES", "LintDiagnostic"]
+
+#: Ordered from most to least severe (the CLI's --fail-on thresholds).
+SEVERITIES = ("error", "warning", "info")
+
+#: code -> (severity, one-line description).  The single source of the
+#: README's diagnostic-code table and the CLI's --explain output.
+CODES: Dict[str, tuple] = {
+    # -- sort/type checker --------------------------------------------------
+    "SORT001": ("error", "unknown variable"),
+    "SORT002": ("error", "unknown field of the class signature"),
+    "SORT003": ("error", "expression sort mismatch"),
+    "SORT004": ("error", "statement-level sort mismatch (assignment, store, condition)"),
+    "SORT005": ("error", "call signature violation (unknown procedure, arity, argument/out sorts)"),
+    # -- Fig. 2 well-behavedness -------------------------------------------
+    "WB001": ("error", "raw heap mutation (use Mut)"),
+    "WB002": ("error", "raw allocation (use NewObj)"),
+    "WB003": ("error", "raw assume (use InferLCOutsideBr)"),
+    "WB004": ("error", "direct broken-set assignment (use Mut/NewObj/AssertLCAndRemove)"),
+    "WB005": ("error", "direct Alloc assignment"),
+    "WB006": ("error", "branch or loop condition mentions the broken set"),
+    # -- ghost discipline (Fig. 6 / Appendix A.2) and impact tables ---------
+    "GHOST001": ("error", "ghost data flows into user state"),
+    "GHOST002": ("error", "dropped ghost update: LC ghost field never updated before AssertLCAndRemove"),
+    "GHOST003": ("error", "user mutation in ghost context"),
+    "GHOST004": ("error", "allocation in ghost context"),
+    "GHOST005": ("error", "ghost loop without a decreases measure"),
+    "IMP001": ("error", "Mut on a field with no declared impact set"),
+    "IMP002": ("error", "custom mutation variant unknown or bound to a different field"),
+    # -- dataflow -----------------------------------------------------------
+    "FLOW001": ("error", "local variable may be read before assignment"),
+    "FLOW002": ("warning", "unreachable statement (constant condition)"),
+    "FLOW003": ("warning", "unused local variable"),
+    "FLOW004": ("warning", "unused ghost field (never constrained by LC or updated)"),
+    "FLOW005": ("error", "broken set possibly non-empty at procedure exit"),
+}
+
+
+@dataclass(frozen=True)
+class LintDiagnostic:
+    """One finding of one pass, ready for text or JSON rendering."""
+
+    code: str
+    structure: str
+    procedure: str  # "" for structure-level findings (templates, signature)
+    path: str  # statement path like "body[2].then[0]"; "" for spec/templates
+    message: str
+    hint: str = ""
+    #: machine-readable extras (field names, variable names) -- used by the
+    #: wb_violations legacy shim and by tests; serialized under "data".
+    data: tuple = ()  # sorted (key, value) string pairs
+
+    @property
+    def severity(self) -> str:
+        return CODES.get(self.code, ("error", ""))[0]
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.structure, self.procedure, self.path, self.code, self.message)
+
+    def datum(self, key: str) -> Optional[str]:
+        for k, v in self.data:
+            if k == key:
+                return v
+        return None
+
+    def to_json(self) -> dict:
+        out = {
+            "code": self.code,
+            "severity": self.severity,
+            "structure": self.structure,
+            "procedure": self.procedure,
+            "path": self.path,
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        if self.data:
+            out["data"] = {k: v for k, v in self.data}
+        return out
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "LintDiagnostic":
+        """Inverse of :meth:`to_json` (severity is derived, not stored)."""
+        return cls(
+            code=doc["code"],
+            structure=doc["structure"],
+            procedure=doc["procedure"],
+            path=doc["path"],
+            message=doc["message"],
+            hint=doc.get("hint", ""),
+            data=tuple(sorted(doc.get("data", {}).items())),
+        )
+
+    def render(self) -> str:
+        where = self.procedure or "<structure>"
+        if self.path:
+            where += f" {self.path}"
+        line = f"{self.code} [{self.severity}] {where}: {self.message}"
+        if self.hint:
+            line += f"\n  hint: {self.hint}"
+        return line
+
+
+def mkdiag(
+    code: str,
+    structure: str,
+    procedure: str,
+    path: str,
+    message: str,
+    hint: str = "",
+    **data: str,
+) -> LintDiagnostic:
+    """Constructor shorthand used by the passes (data kwargs -> pairs)."""
+    return LintDiagnostic(
+        code=code,
+        structure=structure,
+        procedure=procedure,
+        path=path,
+        message=message,
+        hint=hint,
+        data=tuple(sorted(data.items())),
+    )

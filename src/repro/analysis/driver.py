@@ -1,0 +1,199 @@
+"""Lint driver: runs every pass and merges the findings.
+
+Three entry points, layered:
+
+- :func:`lint_method` -- the per-procedure passes over one method
+  (sorts, Fig. 2, ghost discipline, impact usage, dropped ghost
+  updates, dataflow, must-empty).  This is what ``Verifier.plan`` runs
+  as pre-plan validation.
+- :func:`lint_program` -- :func:`lint_method` over a method subset plus
+  the structure-level checks (template sorts, unused ghost fields).
+- :func:`lint_experiment` -- :func:`lint_program` over a registry
+  :class:`~repro.structures.registry.Experiment`.
+
+Output is deterministically sorted by ``(structure, procedure, path,
+code, message)`` and the passes are pure: they never intern terms or
+mutate the program, so linting cannot perturb plan caching or
+verification (a property the test suite pins down).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.ids import AUX_VAR, LC_VAR, VAL_VAR, IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import Procedure, Program, SBlock, SIf, SMut, SStore, SWhile, Stmt
+from ..smt.sorts import BOOL, LOC, Sort
+from .dataflow import check_dataflow, check_must_empty
+from .diagnostics import LintDiagnostic, mkdiag
+from .ghostflow import (
+    check_dropped_ghost_updates,
+    check_ghost_discipline,
+    check_impact_usage,
+)
+from .sortcheck import check_procedure_sorts, check_template
+from .wellbehaved import check_wellbehaved
+
+__all__ = ["lint_experiment", "lint_method", "lint_program", "lint_structure"]
+
+
+def _mutated_fields(stmts: Sequence[Stmt], out: set) -> None:
+    for s in stmts:
+        if isinstance(s, (SMut, SStore)):
+            out.add(s.field)
+        elif isinstance(s, SIf):
+            _mutated_fields(s.then, out)
+            _mutated_fields(s.els, out)
+        elif isinstance(s, SWhile):
+            _mutated_fields(s.body, out)
+        elif isinstance(s, SBlock):
+            _mutated_fields(s.stmts, out)
+
+
+def lint_structure(
+    program: Program, ids: IntrinsicDefinition, structure: Optional[str] = None
+) -> List[LintDiagnostic]:
+    """Structure-level checks: template sorts and unused ghost fields."""
+    structure = structure or ids.name
+    sig = ids.sig
+    out: List[LintDiagnostic] = []
+    x_env: Dict[str, Sort] = {LC_VAR.name: LOC}
+
+    for set_name, template in ids.lc_parts.items():
+        out.extend(
+            check_template(structure, sig, template, f"LC[{set_name}]", x_env, BOOL)
+        )
+    out.extend(
+        check_template(structure, sig, ids.correlation, "correlation", x_env, BOOL)
+    )
+    for fname, entry in ids.impact.items():
+        per_set = entry if isinstance(entry, dict) else {"*": entry}
+        for set_name, terms in per_set.items():
+            for j, term in enumerate(terms):
+                out.extend(
+                    check_template(
+                        structure,
+                        sig,
+                        term,
+                        f"impact[{fname}][{set_name}][{j}]",
+                        x_env,
+                        LOC,
+                    )
+                )
+    for fname, template in ids.mut_pre.items():
+        out.extend(
+            check_template(structure, sig, template, f"mut_pre[{fname}]", x_env, BOOL)
+        )
+    for vname, cm in ids.custom_muts.items():
+        try:
+            val_sort = sig.sort_of_field(cm.field)
+        except KeyError:
+            out.append(
+                mkdiag(
+                    "SORT002",
+                    structure,
+                    "",
+                    "",
+                    f"custom mutation {vname!r} over unknown field {cm.field!r}",
+                    field=cm.field,
+                )
+            )
+            continue
+        cm_env: Dict[str, Sort] = {
+            LC_VAR.name: LOC,
+            VAL_VAR.name: val_sort,
+            AUX_VAR.name: LOC,
+        }
+        for j, term in enumerate(cm.impact):
+            out.extend(
+                check_template(
+                    structure, sig, term, f"custom_mut[{vname}].impact[{j}]", cm_env, LOC
+                )
+            )
+        if cm.pre is not None:
+            out.extend(
+                check_template(
+                    structure, sig, cm.pre, f"custom_mut[{vname}].pre", cm_env, BOOL
+                )
+            )
+        if cm.val_constraint is not None:
+            out.extend(
+                check_template(
+                    structure,
+                    sig,
+                    cm.val_constraint,
+                    f"custom_mut[{vname}].val_constraint",
+                    cm_env,
+                    BOOL,
+                )
+            )
+
+    # FLOW004: ghost fields the intrinsic definition never constrains and
+    # no procedure ever updates are dead weight.
+    constrained: set = set()
+    for template in list(ids.lc_parts.values()) + [ids.correlation]:
+        constrained |= E.expr_fields(template)
+    mutated: set = set()
+    for proc in program.procedures.values():
+        _mutated_fields(proc.body, mutated)
+    for g in sorted(sig.ghosts):
+        if g not in constrained and g not in mutated:
+            out.append(
+                mkdiag(
+                    "FLOW004",
+                    structure,
+                    "",
+                    "",
+                    f"ghost field {g} is neither constrained by LC/correlation "
+                    f"nor ever updated",
+                    "drop it from the class signature's ghosts",
+                    field=g,
+                )
+            )
+    return out
+
+
+def lint_method(
+    program: Program,
+    ids: IntrinsicDefinition,
+    method: str,
+    structure: Optional[str] = None,
+) -> List[LintDiagnostic]:
+    """All per-procedure passes over one method, deterministically sorted."""
+    structure = structure or ids.name
+    proc: Procedure = program.proc(method)
+    out: List[LintDiagnostic] = []
+    out.extend(check_procedure_sorts(structure, program, proc))
+    if proc.is_well_behaved:
+        out.extend(check_wellbehaved(structure, proc))
+        out.extend(check_dropped_ghost_updates(structure, proc, ids))
+        out.extend(check_must_empty(structure, proc, ids))
+    out.extend(check_ghost_discipline(structure, proc, ids))
+    out.extend(check_impact_usage(structure, proc, ids))
+    out.extend(check_dataflow(structure, proc))
+    return sorted(out, key=lambda d: d.sort_key)
+
+
+def lint_program(
+    program: Program,
+    ids: IntrinsicDefinition,
+    methods: Optional[Sequence[str]] = None,
+    structure: Optional[str] = None,
+) -> List[LintDiagnostic]:
+    """Structure-level checks plus every (selected) procedure."""
+    structure = structure or ids.name
+    out = lint_structure(program, ids, structure)
+    for method in methods if methods is not None else sorted(program.procedures):
+        out.extend(lint_method(program, ids, method, structure))
+    return sorted(out, key=lambda d: d.sort_key)
+
+
+def lint_experiment(exp, methods: Optional[Sequence[str]] = None) -> List[LintDiagnostic]:
+    """Lint one registry experiment (its declared methods by default)."""
+    return lint_program(
+        exp.program_factory(),
+        exp.ids_factory(),
+        methods=methods if methods is not None else exp.methods,
+        structure=exp.structure,
+    )

@@ -1,0 +1,462 @@
+"""Pass 3: ghost discipline (Fig. 6 / Appendix A.2) and impact tables.
+
+Three families of checks:
+
+- ``GHOST001``/``GHOST003``/``GHOST004``/``GHOST005`` mirror the
+  Appendix A.2 discipline (ghost state never steers or leaks into the
+  user program; ghost loops terminate), with ``SBlock`` recursion and
+  statement paths.  Unlike the legacy ``ghost_violations`` checker,
+  ghost *fields* declared in the intrinsic definition's
+  ``steering_ghosts`` set are readable by user code: navigation
+  pointers (``last``, ``p``) and stored auxiliary data (treap
+  priorities, AVL heights, RBT colors) are the Section 4.3 /
+  Appendix D.4 scaffolding relaxation -- a real implementation would
+  store them in the node, and the registry programs branch on them.
+  Ghost *variables* (ghost locals, ``Br``/``Alloc``) stay invisible.
+- ``IMP001``/``IMP002`` check every ``Mut`` site against the intrinsic
+  definition's impact-set tables: a mutation of a field with no
+  declared impact set would make elaboration fail at plan time, and a
+  custom-mutation variant must exist and be bound to the mutated field.
+- ``GHOST002`` is the dropped-ghost-update check: walking each path,
+  it tracks which user and ghost fields of every (syntactic) object
+  have been mutated; at an ``AssertLCAndRemove(v)`` it consults the
+  *defining equalities* of the target broken set's LC template -- the
+  conjuncts of shape ``... ==> g($x) = rhs`` for a non-steering ghost
+  map ``g`` -- and demands that whenever a user field the conjunct
+  reads at depth 1 has been mutated on ``v``, ``g`` has also been
+  updated on ``v``.  Deleting the ``z.keys := {k} u ...`` update of an
+  insert -- the classic mutation the negative-test corpus seeds -- is
+  flagged here statically, before any solver runs.
+
+Two refinements keep GHOST002 precise on the registry:
+
+- only *defining equalities* oblige: an inequality like the treap's
+  ``prio(l($x)) <= prio($x)`` constrains but does not determine the
+  ghost map, and repairing it may legitimately happen at a different
+  object than the mutation site (rotations);
+- *guard vacuity*: a guarded conjunct ``a != b ==> ...`` is skipped at
+  an assert on ``v`` when the procedure's ``requires`` contains the
+  syntactic fact ``a = b`` instantiated at ``v`` (the circular-list
+  scaffolding contracts pin ``last(x) = x`` at entry points, making
+  the interior-node conjuncts vacuous there).
+
+The depth-1 restriction is what keeps the check targeted: the SLL
+conjunct ``next(x) != nil ==> prev(next(x)) = x`` constrains ``prev``
+of the *successor*, not of ``$x``, so a method that never touches its
+target's ``prev`` is not required to update it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..core.ids import LC_VAR, IntrinsicDefinition
+from ..lang import exprs as E
+from ..lang.ast import (
+    Procedure,
+    SAssertLCAndRemove,
+    SAssign,
+    SBlock,
+    SCall,
+    SIf,
+    SMut,
+    SNew,
+    SNewObj,
+    SStore,
+    SWhile,
+    Stmt,
+)
+from ..lang.ghost import _ghost_vars_of
+from .diagnostics import LintDiagnostic, mkdiag
+
+__all__ = ["check_ghost_discipline", "check_impact_usage", "check_dropped_ghost_updates"]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 discipline with paths, SBlock recursion, and steering ghosts
+# ---------------------------------------------------------------------------
+
+
+def check_ghost_discipline(
+    structure: str, proc: Procedure, ids: IntrinsicDefinition
+) -> List[LintDiagnostic]:
+    sig = ids.sig
+    ghost_vars = _ghost_vars_of(proc)
+    hidden_fields = set(sig.ghosts) - set(ids.steering_ghosts)
+    out: List[LintDiagnostic] = []
+
+    def reads_hidden_ghost(e: E.Expr) -> bool:
+        if E.expr_vars(e) & ghost_vars:
+            return True
+        return bool(E.expr_fields(e) & hidden_fields)
+
+    def emit(code: str, path: str, message: str, hint: str = "") -> None:
+        out.append(mkdiag(code, structure, proc.name, path, message, hint))
+
+    def walk(stmts: List[Stmt], prefix: str, ghost_context: bool) -> None:
+        for i, s in enumerate(stmts):
+            path = f"{prefix}[{i}]"
+            if isinstance(s, SAssign):
+                if s.var not in ghost_vars:
+                    if reads_hidden_ghost(s.expr):
+                        emit(
+                            "GHOST001",
+                            path,
+                            f"ghost data flows into user variable {s.var}",
+                            "user state may not read non-steering ghost maps "
+                            "or Br/Alloc",
+                        )
+                    if ghost_context:
+                        emit(
+                            "GHOST003",
+                            path,
+                            f"user assignment to {s.var} inside ghost context",
+                            "ghost-guarded code must be all-ghost",
+                        )
+            elif isinstance(s, (SStore, SMut)):
+                if not sig.is_ghost_field(s.field):
+                    if ghost_context:
+                        emit(
+                            "GHOST003",
+                            path,
+                            f"user field .{s.field} mutated in ghost context",
+                            "ghost-guarded code must be all-ghost",
+                        )
+                    if reads_hidden_ghost(s.expr):
+                        emit(
+                            "GHOST001",
+                            path,
+                            f"ghost data flows into user field .{s.field}",
+                            "user state may not read non-steering ghost maps "
+                            "or Br/Alloc",
+                        )
+            elif isinstance(s, (SNew, SNewObj)):
+                if ghost_context:
+                    emit(
+                        "GHOST004",
+                        path,
+                        "allocation in ghost context",
+                        "projection (Def. 3.3) cannot erase an allocation",
+                    )
+            elif isinstance(s, SIf):
+                inner = ghost_context or reads_hidden_ghost(s.cond)
+                walk(s.then, f"{path}.then", inner)
+                walk(s.els, f"{path}.els", inner)
+            elif isinstance(s, SWhile):
+                inner = ghost_context or s.is_ghost or reads_hidden_ghost(s.cond)
+                if inner and s.decreases is None:
+                    emit(
+                        "GHOST005",
+                        path,
+                        "ghost loop without a decreases measure",
+                        "ghost termination is required for the reduction "
+                        "(Section 3.2)",
+                    )
+                walk(s.body, f"{path}.body", inner)
+            elif isinstance(s, SBlock):
+                walk(s.stmts, path, ghost_context)
+
+    walk(proc.body, "body", False)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Impact-table usage at Mut sites
+# ---------------------------------------------------------------------------
+
+
+def check_impact_usage(
+    structure: str, proc: Procedure, ids: IntrinsicDefinition
+) -> List[LintDiagnostic]:
+    out: List[LintDiagnostic] = []
+
+    def walk(stmts: List[Stmt], prefix: str) -> None:
+        for i, s in enumerate(stmts):
+            path = f"{prefix}[{i}]"
+            if isinstance(s, SMut):
+                if s.variant is not None:
+                    cm = ids.custom_muts.get(s.variant)
+                    if cm is None:
+                        out.append(
+                            mkdiag(
+                                "IMP002",
+                                structure,
+                                proc.name,
+                                path,
+                                f"unknown custom mutation variant {s.variant!r}",
+                                "declare it in the intrinsic definition's "
+                                "custom_muts table",
+                                variant=s.variant,
+                            )
+                        )
+                    elif cm.field != s.field:
+                        out.append(
+                            mkdiag(
+                                "IMP002",
+                                structure,
+                                proc.name,
+                                path,
+                                f"custom mutation {s.variant!r} is declared for "
+                                f"field {cm.field!r}, used on .{s.field}",
+                                "elaboration would reject this Mut",
+                                variant=s.variant,
+                                field=s.field,
+                            )
+                        )
+                elif s.field not in ids.impact:
+                    out.append(
+                        mkdiag(
+                            "IMP001",
+                            structure,
+                            proc.name,
+                            path,
+                            f"Mut on field .{s.field} with no declared impact set",
+                            "add the field to the intrinsic definition's "
+                            "impact table (Table 1)",
+                            field=s.field,
+                        )
+                    )
+            elif isinstance(s, SIf):
+                walk(s.then, f"{path}.then")
+                walk(s.els, f"{path}.els")
+            elif isinstance(s, SWhile):
+                walk(s.body, f"{path}.body")
+            elif isinstance(s, SBlock):
+                walk(s.stmts, path)
+
+    walk(proc.body, "body")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# GHOST002: dropped ghost updates
+# ---------------------------------------------------------------------------
+
+
+def _flatten_and(e: E.Expr) -> List[E.Expr]:
+    if isinstance(e, E.EAnd):
+        out: List[E.Expr] = []
+        for a in e.args:
+            out.extend(_flatten_and(a))
+        return out
+    return [e]
+
+
+def _conjuncts(e: E.Expr) -> List[E.Expr]:
+    """Flatten an LC template into conjuncts, keeping implication guards
+    attached (``p ==> (a and b)`` yields ``p ==> a`` and ``p ==> b`` --
+    guard fields still count toward the conjunct's depth-1 fields)."""
+    if isinstance(e, E.EAnd):
+        out: List[E.Expr] = []
+        for a in e.args:
+            out.extend(_conjuncts(a))
+        return out
+    if isinstance(e, E.EImplies) and isinstance(e.rhs, E.EAnd):
+        return [E.EImplies(e.lhs, c) for c in _conjuncts(e.rhs)]
+    return [e]
+
+
+def _strip_guards(e: E.Expr) -> Tuple[List[E.Expr], E.Expr]:
+    """Split a conjunct into (guard atoms, guarded core)."""
+    guards: List[E.Expr] = []
+    while isinstance(e, E.EImplies):
+        guards.extend(_flatten_and(e.lhs))
+        e = e.rhs
+    return guards, e
+
+
+def _depth1_fields(e: E.Expr) -> Set[str]:
+    """Fields read directly off the template variable ``$x``."""
+    out: Set[str] = set()
+
+    def go(x: E.Expr) -> None:
+        if isinstance(x, E.EField) and x.obj == LC_VAR:
+            out.add(x.field)
+        for k in E.children(x):
+            go(k)
+
+    go(e)
+    return out
+
+
+#: One obligation row: (depth-1 user fields of the conjunct, ghost maps the
+#: conjunct's core *defines* at ``$x``, guard atoms for vacuity checks).
+_Row = Tuple[FrozenSet[str], FrozenSet[str], Tuple[E.Expr, ...]]
+
+
+def _lc_requirements(ids: IntrinsicDefinition) -> Dict[str, List[_Row]]:
+    """Per broken set: the defining-equality obligations of each LC conjunct.
+
+    A conjunct obliges only when its core is an equality with one side
+    exactly ``g($x)`` for a non-steering ghost map ``g`` -- a *defining*
+    equality.  Inequalities (treap heap order, AVL balance bounds) and
+    equalities over deeper terms constrain ghost maps without determining
+    them at ``$x``, and their repair legitimately happens elsewhere."""
+    sig = ids.sig
+    steering = set(ids.steering_ghosts)
+    table: Dict[str, List[_Row]] = {}
+    for set_name, template in ids.lc_parts.items():
+        rows: List[_Row] = []
+        for conj in _conjuncts(template):
+            guards, core = _strip_guards(conj)
+            if not isinstance(core, E.EEq):
+                continue
+            defined: Set[str] = set()
+            for side in (core.lhs, core.rhs):
+                if (
+                    isinstance(side, E.EField)
+                    and side.obj == LC_VAR
+                    and side.field in sig.ghosts
+                    and side.field not in steering
+                ):
+                    defined.add(side.field)
+            users = frozenset(f for f in _depth1_fields(conj) if f in sig.fields)
+            if users and defined:
+                rows.append((users, frozenset(defined), tuple(guards)))
+        table[set_name] = rows
+    return table
+
+
+def _requires_eqs(proc: Procedure) -> Set[E.EEq]:
+    """Syntactic equality facts the contract guarantees at entry."""
+    facts: Set[E.EEq] = set()
+    for r in proc.requires:
+        for atom in _flatten_and(r):
+            if isinstance(atom, E.EEq):
+                facts.add(atom)
+                facts.add(E.EEq(atom.rhs, atom.lhs))
+    return facts
+
+
+def _guard_vacuous(
+    guards: Tuple[E.Expr, ...], obj: E.Expr, facts: Set[E.EEq]
+) -> bool:
+    """Is some guard atom, instantiated at ``obj``, contradicted by a
+    ``requires`` equality?  (``a != b`` vs. the fact ``a = b``.)"""
+    if not facts:
+        return False
+    for g in guards:
+        inst = E.subst_expr(g, {LC_VAR: obj})
+        if isinstance(inst, E.ENot) and isinstance(inst.arg, E.EEq):
+            if inst.arg in facts:
+                return True
+    return False
+
+
+#: A path summary for one object key: (user fields mutated, ghost fields
+#: mutated).  States map key -> set of summaries, one per merged path.
+_Summary = Tuple[FrozenSet[str], FrozenSet[str]]
+_MAX_SUMMARIES = 16
+
+
+def _kill_var(state: Dict[str, Set[_Summary]], keys_vars: Dict[str, Set[str]], var: str) -> None:
+    for key in [k for k, vs in keys_vars.items() if var in vs]:
+        state.pop(key, None)
+
+
+def check_dropped_ghost_updates(
+    structure: str, proc: Procedure, ids: IntrinsicDefinition
+) -> List[LintDiagnostic]:
+    sig = ids.sig
+    requirements = _lc_requirements(ids)
+    entry_facts = _requires_eqs(proc)
+    out: List[LintDiagnostic] = []
+    #: object key -> variables it mentions (for assignment kills)
+    keys_vars: Dict[str, Set[str]] = {}
+
+    def key_of(obj: E.Expr) -> str:
+        key = repr(obj)
+        keys_vars.setdefault(key, set(E.expr_vars(obj)))
+        return key
+
+    def record_mut(state: Dict[str, Set[_Summary]], obj: E.Expr, field: str) -> None:
+        key = key_of(obj)
+        summaries = state.get(key) or {(frozenset(), frozenset())}
+        is_ghost = sig.is_ghost_field(field)
+        updated = set()
+        for users, ghosts in summaries:
+            if is_ghost:
+                updated.add((users, ghosts | {field}))
+            else:
+                updated.add((users | {field}, ghosts))
+        if len(updated) > _MAX_SUMMARIES:
+            # Collapse unions-only: may under-report, never over-report.
+            all_users = frozenset().union(*(u for u, _ in updated))
+            all_ghosts = frozenset().union(*(g for _, g in updated))
+            updated = {(all_users, all_ghosts)}
+        state[key] = updated
+
+    def check_assert(
+        state: Dict[str, Set[_Summary]], s: SAssertLCAndRemove, path: str
+    ) -> None:
+        key = key_of(s.obj)
+        summaries = state.pop(key, None)  # discharged: later asserts start fresh
+        if not summaries:
+            return
+        rows = requirements.get(s.broken_set, [])
+        for users, ghosts in summaries:
+            missing: Set[str] = set()
+            for lc_users, lc_ghosts, guards in rows:
+                if not (users & lc_users):
+                    continue
+                if not (lc_ghosts - ghosts):
+                    continue
+                if _guard_vacuous(guards, s.obj, entry_facts):
+                    continue
+                missing |= lc_ghosts - ghosts
+            if missing:
+                out.append(
+                    mkdiag(
+                        "GHOST002",
+                        structure,
+                        proc.name,
+                        path,
+                        f"AssertLCAndRemove({s.obj!r}) after mutating user "
+                        f"field(s) {sorted(users)} without updating LC ghost "
+                        f"field(s) {sorted(missing)}",
+                        "every defining LC conjunct over a mutated user field "
+                        "fixes its ghost maps before the assert "
+                        "(fix what you broke)",
+                        missing=",".join(sorted(missing)),
+                    )
+                )
+                break  # one diagnostic per assert site
+
+    def merge(
+        a: Dict[str, Set[_Summary]], b: Dict[str, Set[_Summary]]
+    ) -> Dict[str, Set[_Summary]]:
+        merged = {k: set(v) for k, v in a.items()}
+        for k, v in b.items():
+            merged.setdefault(k, set()).update(v)
+        return merged
+
+    def walk(
+        stmts: List[Stmt], prefix: str, state: Dict[str, Set[_Summary]]
+    ) -> Dict[str, Set[_Summary]]:
+        for i, s in enumerate(stmts):
+            path = f"{prefix}[{i}]"
+            if isinstance(s, (SMut, SStore)):
+                record_mut(state, s.obj, s.field)
+            elif isinstance(s, SAssertLCAndRemove):
+                check_assert(state, s, path)
+            elif isinstance(s, SAssign):
+                _kill_var(state, keys_vars, s.var)
+            elif isinstance(s, (SNew, SNewObj)):
+                state.pop(key_of(E.EVar(s.var)), None)
+            elif isinstance(s, SCall):
+                state = {}  # the callee may fix or break anything
+            elif isinstance(s, SIf):
+                then_state = walk(s.then, f"{path}.then", {k: set(v) for k, v in state.items()})
+                els_state = walk(s.els, f"{path}.els", {k: set(v) for k, v in state.items()})
+                state = merge(then_state, els_state)
+            elif isinstance(s, SWhile):
+                # The loop body re-establishes its own invariants; analyze
+                # it from a blank slate and forget its effects after.
+                walk(s.body, f"{path}.body", {})
+                state = {}
+            elif isinstance(s, SBlock):
+                state = walk(s.stmts, path, state)
+        return state
+
+    walk(proc.body, "body", {})
+    return out

@@ -1,0 +1,449 @@
+"""Pass 1: a sort/type checker over expressions, stores and calls.
+
+Infers the sort of every expression bottom-up against the procedure's
+variable declarations and the :class:`~repro.lang.ast.ClassSignature`,
+and checks statement-level consistency: assignment targets, store
+values against field sorts, boolean conditions and contracts, and call
+sites against the callee's signature.  The same inference runs over the
+intrinsic definition's templates (LC partitions, correlation, impact
+terms, mutation preconditions, custom mutations) under the template
+variables ``$x``/``$v``/``$aux``.
+
+Error recovery is by poisoning: a subexpression that fails to sort
+returns ``None`` and the surrounding context stays silent, so one
+unknown variable yields one diagnostic, not a cascade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..lang import exprs as E
+from ..lang.ast import (
+    ClassSignature,
+    Procedure,
+    Program,
+    SAssert,
+    SAssertLCAndRemove,
+    SAssign,
+    SAssume,
+    SCall,
+    SIf,
+    SInferLCOutsideBr,
+    SMut,
+    SNew,
+    SNewObj,
+    SStore,
+    SWhile,
+)
+from ..smt.sorts import BOOL, INT, LOC, REAL, SET_INT, SET_LOC, SetSort, Sort
+from .diagnostics import LintDiagnostic, mkdiag
+
+__all__ = ["SortChecker", "check_procedure_sorts", "check_template"]
+
+_NUMERIC = (INT, REAL)
+
+
+class SortChecker:
+    """Expression sort inference with diagnostic collection."""
+
+    def __init__(
+        self,
+        structure: str,
+        sig: ClassSignature,
+        lookup: Callable[[str], Sort],
+        procedure: str = "",
+    ):
+        self.structure = structure
+        self.sig = sig
+        self.lookup = lookup  # name -> Sort, raises KeyError when unknown
+        self.procedure = procedure
+        self.out: List[LintDiagnostic] = []
+        self._path = ""
+
+    # -- reporting ----------------------------------------------------------
+
+    def _emit(self, code: str, message: str, hint: str = "", **data: str) -> None:
+        self.out.append(
+            mkdiag(
+                code,
+                self.structure,
+                self.procedure,
+                self._path,
+                message,
+                hint,
+                **data,
+            )
+        )
+
+    # -- inference ----------------------------------------------------------
+
+    def infer(self, e: E.Expr, where: str) -> Optional[Sort]:
+        """Sort of ``e``, or ``None`` after reporting (poison propagates)."""
+        if isinstance(e, E.EVar):
+            try:
+                return self.lookup(e.name)
+            except KeyError:
+                self._emit(
+                    "SORT001",
+                    f"unknown variable {e.name!r} in {where}",
+                    hint="declare it in params/outs/locals/ghost_locals",
+                    var=e.name,
+                )
+                return None
+        if isinstance(e, E.ENil):
+            return LOC
+        if isinstance(e, E.EInt):
+            return INT
+        if isinstance(e, E.EReal):
+            return REAL
+        if isinstance(e, E.EBool):
+            return BOOL
+        if isinstance(e, E.EField):
+            obj = self.infer(e.obj, where)
+            if obj is not None and obj != LOC:
+                self._emit(
+                    "SORT003",
+                    f"field read .{e.field} on a non-location ({obj}) in {where}",
+                )
+                return None
+            try:
+                return self.sig.sort_of_field(e.field)
+            except KeyError:
+                self._emit(
+                    "SORT002",
+                    f"unknown field {e.field!r} of class {self.sig.name} in {where}",
+                    hint="add it to the class signature's fields or ghosts",
+                    field=e.field,
+                )
+                return None
+        if isinstance(e, E.ENot):
+            self._want(e.arg, BOOL, where, "not")
+            return BOOL
+        if isinstance(e, (E.EAnd, E.EOr)):
+            op = "and" if isinstance(e, E.EAnd) else "or"
+            for a in e.args:
+                self._want(a, BOOL, where, op)
+            return BOOL
+        if isinstance(e, (E.EImplies, E.EIff)):
+            op = "==>" if isinstance(e, E.EImplies) else "<==>"
+            self._want(e.lhs, BOOL, where, op)
+            self._want(e.rhs, BOOL, where, op)
+            return BOOL
+        if isinstance(e, E.EIte):
+            self._want(e.cond, BOOL, where, "ite condition")
+            then = self.infer(e.then, where)
+            els = self.infer(e.els, where)
+            return self._join(then, els, where, "ite branches")
+        if isinstance(e, E.EEq):
+            lhs = self.infer(e.lhs, where)
+            rhs = self.infer(e.rhs, where)
+            self._join(lhs, rhs, where, "equality")
+            return BOOL
+        if isinstance(e, (E.ELe, E.ELt)):
+            op = "<=" if isinstance(e, E.ELe) else "<"
+            self._want_numeric(e.lhs, where, op)
+            self._want_numeric(e.rhs, where, op)
+            return BOOL
+        if isinstance(e, E.EAdd):
+            sorts = [self._want_numeric(a, where, "+") for a in e.args]
+            return REAL if REAL in sorts else INT
+        if isinstance(e, (E.ESub, E.EMul)):
+            op = "-" if isinstance(e, E.ESub) else "*"
+            lhs = self._want_numeric(e.lhs, where, op)
+            rhs = self._want_numeric(e.rhs, where, op)
+            return REAL if REAL in (lhs, rhs) else INT
+        if isinstance(e, E.EDiv):
+            self._want_numeric(e.lhs, where, "/")
+            self._want_numeric(e.rhs, where, "/")
+            return REAL
+        if isinstance(e, E.EEmptySet):
+            if e.elem_sort_name == "Loc":
+                return SET_LOC
+            if e.elem_sort_name == "Int":
+                return SET_INT
+            self._emit(
+                "SORT003",
+                f"empty set of unknown element sort {e.elem_sort_name!r} in {where}",
+            )
+            return None
+        if isinstance(e, E.ESingleton):
+            elem = self.infer(e.arg, where)
+            if elem is None:
+                return None
+            if elem not in (LOC, INT):
+                self._emit(
+                    "SORT003",
+                    f"singleton of a {elem} (need Loc or Int) in {where}",
+                )
+                return None
+            return SetSort(elem)
+        if isinstance(e, (E.EUnion, E.EInter, E.EDiff)):
+            op = type(e).__name__[1:].lower()
+            lhs = self._want_set(e.lhs, where, op)
+            rhs = self._want_set(e.rhs, where, op)
+            return self._join(lhs, rhs, where, op)
+        if isinstance(e, E.EMember):
+            elem = self.infer(e.elem, where)
+            the_set = self._want_set(e.the_set, where, "member")
+            if (
+                elem is not None
+                and isinstance(the_set, SetSort)
+                and the_set.elem != elem
+            ):
+                self._emit(
+                    "SORT003",
+                    f"membership of a {elem} in a {the_set} in {where}",
+                )
+            return BOOL
+        if isinstance(e, E.ESubset):
+            lhs = self._want_set(e.lhs, where, "subset")
+            rhs = self._want_set(e.rhs, where, "subset")
+            self._join(lhs, rhs, where, "subset")
+            return BOOL
+        if isinstance(e, E.EOld):
+            return self.infer(e.arg, where)
+        if isinstance(e, (E.EAllGe, E.EAllLe)):
+            op = "all_ge" if isinstance(e, E.EAllGe) else "all_le"
+            the_set = self.infer(e.the_set, where)
+            if the_set is not None and the_set != SET_INT:
+                self._emit(
+                    "SORT003", f"{op} over a {the_set} (need Set<Int>) in {where}"
+                )
+            self._want(e.bound, INT, where, op)
+            return BOOL
+        self._emit("SORT003", f"unknown expression {type(e).__name__} in {where}")
+        return None
+
+    def _want(self, e: E.Expr, sort: Sort, where: str, op: str) -> Optional[Sort]:
+        got = self.infer(e, where)
+        if got is not None and got != sort:
+            self._emit("SORT003", f"{op} expects {sort}, got {got} in {where}")
+        return got
+
+    def _want_numeric(self, e: E.Expr, where: str, op: str) -> Optional[Sort]:
+        got = self.infer(e, where)
+        if got is not None and got not in _NUMERIC:
+            self._emit("SORT003", f"{op} expects Int/Real, got {got} in {where}")
+        return got
+
+    def _want_set(self, e: E.Expr, where: str, op: str) -> Optional[Sort]:
+        got = self.infer(e, where)
+        if got is not None and not isinstance(got, SetSort):
+            self._emit("SORT003", f"{op} expects a set, got {got} in {where}")
+            return None
+        return got
+
+    def _join(
+        self, a: Optional[Sort], b: Optional[Sort], where: str, what: str
+    ) -> Optional[Sort]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a != b:
+            if set((a, b)) <= set(_NUMERIC):  # numeric promotion
+                return REAL
+            self._emit("SORT003", f"{what} mix {a} and {b} in {where}")
+            return None
+        return a
+
+
+def _proc_lookup(proc: Procedure) -> Callable[[str], Sort]:
+    def lookup(name: str) -> Sort:
+        if name.startswith("$imp"):  # elaboration-introduced ghost temps
+            return LOC
+        return proc.var_sort(name)
+
+    return lookup
+
+
+def check_procedure_sorts(
+    structure: str, program: Program, proc: Procedure
+) -> List[LintDiagnostic]:
+    """Sort-check one procedure: body, contracts and call sites."""
+    sig = program.class_sig
+    checker = SortChecker(structure, sig, _proc_lookup(proc), proc.name)
+
+    def check_bool(e: E.Expr, where: str) -> None:
+        got = checker.infer(e, where)
+        if got is not None and got != BOOL:
+            checker._emit("SORT004", f"{where} must be Bool, got {got}")
+
+    for i, e in enumerate(proc.requires):
+        check_bool(e, f"requires[{i}]")
+    for i, e in enumerate(proc.ensures):
+        check_bool(e, f"ensures[{i}]")
+    if proc.modifies is not None:
+        got = checker.infer(proc.modifies, "modifies")
+        if got is not None and got != SET_LOC:
+            checker._emit("SORT004", f"modifies must be Set<Loc>, got {got}")
+
+    def walk(stmts, prefix: str) -> None:
+        for i, s in enumerate(stmts):
+            checker._path = f"{prefix}[{i}]"
+            if isinstance(s, SAssign):
+                try:
+                    var = checker.lookup(s.var)
+                except KeyError:
+                    checker._emit(
+                        "SORT001",
+                        f"assignment to unknown variable {s.var!r}",
+                        var=s.var,
+                    )
+                    var = None
+                got = checker.infer(s.expr, f"{s.var} := ...")
+                if var is not None and got is not None and var != got:
+                    checker._emit(
+                        "SORT004",
+                        f"assigning a {got} to {s.var} ({var})",
+                    )
+            elif isinstance(s, (SStore, SMut)):
+                obj = checker.infer(s.obj, f"target of .{s.field} := ...")
+                if obj is not None and obj != LOC:
+                    checker._emit(
+                        "SORT004",
+                        f"store target of .{s.field} is a {obj}, not a location",
+                    )
+                try:
+                    fsort = sig.sort_of_field(s.field)
+                except KeyError:
+                    checker._emit(
+                        "SORT002",
+                        f"store to unknown field {s.field!r} of class {sig.name}",
+                        field=s.field,
+                    )
+                    fsort = None
+                got = checker.infer(s.expr, f".{s.field} := rhs")
+                if fsort is not None and got is not None and fsort != got:
+                    checker._emit(
+                        "SORT004",
+                        f"storing a {got} into .{s.field} ({fsort})",
+                    )
+                if isinstance(s, SMut) and s.aux is not None:
+                    checker.infer(s.aux, f"aux of Mut .{s.field}")
+            elif isinstance(s, (SNew, SNewObj)):
+                try:
+                    var = checker.lookup(s.var)
+                except KeyError:
+                    checker._emit(
+                        "SORT001",
+                        f"allocation into unknown variable {s.var!r}",
+                        var=s.var,
+                    )
+                    var = None
+                if var is not None and var != LOC:
+                    checker._emit(
+                        "SORT004", f"allocation target {s.var} is a {var}, not Loc"
+                    )
+            elif isinstance(s, SCall):
+                _check_call(checker, program, proc, s)
+            elif isinstance(s, SIf):
+                check_bool(s.cond, "if-condition")
+                walk(s.then, f"{prefix}[{i}].then")
+                walk(s.els, f"{prefix}[{i}].els")
+                checker._path = ""
+            elif isinstance(s, SWhile):
+                check_bool(s.cond, "loop condition")
+                for j, inv in enumerate(s.invariants):
+                    check_bool(inv, f"invariant[{j}]")
+                if s.decreases is not None:
+                    got = checker.infer(s.decreases, "decreases")
+                    if got is not None and got not in _NUMERIC:
+                        checker._emit(
+                            "SORT004", f"decreases must be numeric, got {got}"
+                        )
+                walk(s.body, f"{prefix}[{i}].body")
+                checker._path = ""
+            elif isinstance(s, (SAssert, SAssume)):
+                check_bool(s.expr, "assert" if isinstance(s, SAssert) else "assume")
+            elif isinstance(s, (SAssertLCAndRemove, SInferLCOutsideBr)):
+                got = checker.infer(s.obj, "LC macro target")
+                if got is not None and got != LOC:
+                    checker._emit(
+                        "SORT004", f"LC macro target is a {got}, not a location"
+                    )
+            elif hasattr(s, "stmts"):  # SBlock
+                walk(s.stmts, f"{prefix}[{i}]")
+                checker._path = ""
+
+    walk(proc.body, "body")
+    checker._path = ""
+    return checker.out
+
+
+def _check_call(
+    checker: SortChecker, program: Program, proc: Procedure, s: SCall
+) -> None:
+    callee = program.procedures.get(s.proc)
+    if callee is None:
+        checker._emit(
+            "SORT005",
+            f"call to unknown procedure {s.proc!r}",
+            hint="see the program's procedure table",
+            callee=s.proc,
+        )
+        return
+    if len(s.args) != len(callee.params):
+        checker._emit(
+            "SORT005",
+            f"call to {s.proc} passes {len(s.args)} args, "
+            f"signature has {len(callee.params)} params",
+            callee=s.proc,
+        )
+    for arg, (pname, psort) in zip(s.args, callee.params):
+        got = checker.infer(arg, f"argument {pname} of {s.proc}")
+        if got is not None and got != psort:
+            checker._emit(
+                "SORT005",
+                f"argument {pname} of {s.proc} expects {psort}, got {got}",
+                callee=s.proc,
+            )
+    if len(s.outs) != len(callee.outs):
+        checker._emit(
+            "SORT005",
+            f"call to {s.proc} binds {len(s.outs)} outs, "
+            f"signature has {len(callee.outs)}",
+            callee=s.proc,
+        )
+    for out_name, (oname, osort) in zip(s.outs, callee.outs):
+        try:
+            got = checker.lookup(out_name)
+        except KeyError:
+            checker._emit(
+                "SORT001",
+                f"call out-binding to unknown variable {out_name!r}",
+                var=out_name,
+            )
+            continue
+        if got != osort:
+            checker._emit(
+                "SORT005",
+                f"out {oname} of {s.proc} is a {osort}, bound to {out_name} ({got})",
+                callee=s.proc,
+            )
+
+
+def check_template(
+    structure: str,
+    sig: ClassSignature,
+    template: E.Expr,
+    where: str,
+    env: Dict[str, Sort],
+    expect: Optional[Sort],
+) -> List[LintDiagnostic]:
+    """Sort-check one intrinsic-definition template under ``env``
+    (the ``$x``/``$v``/``$aux`` template variables)."""
+
+    def lookup(name: str) -> Sort:
+        if name in env:
+            return env[name]
+        if name in ("Br", "Br2", "Alloc") or name.startswith("Br_"):
+            return SET_LOC
+        raise KeyError(name)
+
+    checker = SortChecker(structure, sig, lookup, procedure="")
+    got = checker.infer(template, where)
+    if expect is not None and got is not None and got != expect:
+        checker._emit("SORT004", f"{where} must be {expect}, got {got}")
+    return checker.out

@@ -1,0 +1,115 @@
+"""Pass 2: the Fig. 2 well-behavedness checker as a diagnostic pass.
+
+Well-behaved programs may only touch the heap and the broken sets
+through the FWYB macros (Section 4.1): mutation via ``SMut``,
+allocation via ``SNewObj``, broken-set shrinking via
+``SAssertLCAndRemove``, LC assumption via ``SInferLCOutsideBr``, no raw
+``assume``, and branch/loop conditions never mention a broken set.
+
+Unlike the historical string-list checker this pass recurses into
+``SBlock`` bodies -- statements inside a block are just as capable of
+violating Fig. 2 -- and reports structured diagnostics with statement
+paths.  :func:`repro.lang.wellbehaved.wb_violations` is a thin shim
+over this pass that renders the legacy message strings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.ast import (
+    Procedure,
+    SAssign,
+    SAssume,
+    SBlock,
+    SIf,
+    SNew,
+    SStore,
+    SWhile,
+    Stmt,
+)
+from ..lang.exprs import expr_vars
+from .diagnostics import LintDiagnostic, mkdiag
+
+__all__ = ["check_wellbehaved"]
+
+
+def _mentions_broken_set(expr) -> bool:
+    return any(v == "Br" or v.startswith("Br_") for v in expr_vars(expr))
+
+
+def check_wellbehaved(structure: str, proc: Procedure) -> List[LintDiagnostic]:
+    out: List[LintDiagnostic] = []
+
+    def emit(code: str, path: str, message: str, hint: str, **data: str) -> None:
+        out.append(mkdiag(code, structure, proc.name, path, message, hint, **data))
+
+    def walk(stmts: List[Stmt], prefix: str) -> None:
+        for i, s in enumerate(stmts):
+            path = f"{prefix}[{i}]"
+            if isinstance(s, SStore):
+                emit(
+                    "WB001",
+                    path,
+                    f"raw heap mutation .{s.field}",
+                    "use Mut so the impact set reaches the broken set",
+                    field=s.field,
+                )
+            elif isinstance(s, SNew):
+                emit(
+                    "WB002",
+                    path,
+                    "raw allocation",
+                    "use NewObj so the fresh object enters the broken set",
+                )
+            elif isinstance(s, SAssume):
+                emit(
+                    "WB003",
+                    path,
+                    "raw assume",
+                    "use InferLCOutsideBr; arbitrary assumptions break soundness",
+                )
+            elif isinstance(s, SAssign):
+                if s.var == "Br" or s.var.startswith("Br_"):
+                    emit(
+                        "WB004",
+                        path,
+                        f"direct assignment to broken set {s.var}",
+                        "use Mut/NewObj/AssertLCAndRemove",
+                    )
+                if s.var == "Alloc":
+                    emit(
+                        "WB005",
+                        path,
+                        "direct Alloc assignment",
+                        "allocation bookkeeping is NewObj's job",
+                    )
+            elif isinstance(s, SIf):
+                if _mentions_broken_set(s.cond):
+                    emit(
+                        "WB006",
+                        path,
+                        "if-condition mentions the broken set",
+                        "conditions may not observe Br (Fig. 2)",
+                        cond="if",
+                    )
+                walk(s.then, f"{path}.then")
+                walk(s.els, f"{path}.els")
+            elif isinstance(s, SWhile):
+                if _mentions_broken_set(s.cond):
+                    emit(
+                        "WB006",
+                        path,
+                        "loop condition mentions the broken set",
+                        "conditions may not observe Br (Fig. 2)",
+                        cond="loop",
+                    )
+                walk(s.body, f"{path}.body")
+            elif isinstance(s, SBlock):
+                # The historical checker skipped block bodies entirely;
+                # elaborated macros are wrapped in SBlock, so that hole
+                # let every raw store inside a block escape Fig. 2.
+                walk(s.stmts, path)
+
+    walk(proc.body, "body")
+    return out

@@ -3,6 +3,10 @@
 Subcommands:
 
 - ``repro list``    -- show the structure/method registry
+- ``repro lint``    -- run the multi-pass static analyzer (no solver):
+  structured diagnostics with stable codes (``WB001``, ``GHOST002``,
+  ``FLOW005``, ...), ``--format json`` for machine consumption,
+  ``--fail-on`` severity gating
 - ``repro verify``  -- verify methods through the session engine
   (``--format json`` for the structured result schema, ``--events PATH``
   to stream typed per-VC events as JSON Lines)
@@ -16,6 +20,8 @@ Subcommands:
 
 Examples::
 
+    repro lint --all --format json
+    repro lint --structure "Singly-Linked List" --fail-on warning
     repro verify --all --jobs 4 --cache-dir .vc-cache
     repro verify --structure "Binary Search Tree" --method bst_insert
     repro verify --method sll_find --format json --events events.jsonl
@@ -32,6 +38,12 @@ Exit-code contract (tested in ``tests/test_session.py``):
 - **2** -- usage error: unknown selection, unknown backend, bad flags;
 - **3** -- internal error: a solver error verdict, a crashed worker, or
   a crash in VC generation (the run itself is untrustworthy).
+
+``repro lint`` reuses the same numbers with its own meanings (tested in
+``tests/test_lint.py``): **0** -- no finding at or above the
+``--fail-on`` severity threshold (default ``error``); **1** -- at least
+one finding at/above the threshold; **2** -- usage error; **3** -- the
+analyzer itself crashed.
 
 Carve-outs: ``bench`` without ``--check`` returns 0 when the only
 failures are budget timeouts (a partial table is still a successful
@@ -232,6 +244,86 @@ def cmd_list(args) -> int:
     print(f"\n{sum(len(e.methods) for e in EXPERIMENTS)} methods, "
           f"backends: {', '.join(available_backends())}")
     return 0
+
+
+# -- repro lint --------------------------------------------------------------
+
+
+def cmd_lint(args) -> int:
+    from .analysis import lint_program
+
+    try:
+        chosen = _select(args.structure, args.method, args.all)
+    except SelectionError as e:
+        print(f"selection error: {e}", file=sys.stderr)
+        return EXIT_USAGE
+    if not chosen:
+        print("nothing selected: pass --all, --structure or --method", file=sys.stderr)
+        return EXIT_USAGE
+
+    # Group the selection per experiment so structure-level checks (LC /
+    # impact templates, unused ghost fields) run once per structure.
+    by_structure: dict = {}
+    for exp, m in chosen:
+        by_structure.setdefault(exp.structure, (exp, []))[1].append(m)
+
+    start = time.perf_counter()
+    findings = []
+    try:
+        for _structure, (exp, methods) in by_structure.items():
+            findings.extend(
+                lint_program(
+                    exp.program_factory(),
+                    exp.ids_factory(),
+                    methods=methods,
+                    structure=exp.structure,
+                )
+            )
+    except Exception as e:  # noqa: BLE001 - analyzer crash is exit 3
+        print(f"lint internal error: {type(e).__name__}: {e}", file=sys.stderr)
+        return EXIT_INTERNAL
+    findings.sort(key=lambda d: d.sort_key)
+    wall = time.perf_counter() - start
+
+    from .analysis import SEVERITIES
+
+    counts = {sev: 0 for sev in SEVERITIES}
+    for d in findings:
+        counts[d.severity] += 1
+
+    if args.format == "json":
+        json.dump(
+            {
+                "schema_version": 7,
+                "command": "lint",
+                "fail_on": args.fail_on,
+                "wall_s": round(wall, 3),
+                "n_methods": len(chosen),
+                "n_findings": len(findings),
+                "severity_counts": counts,
+                "findings": [d.to_json() for d in findings],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        sys.stdout.write("\n")
+    else:
+        for d in findings:
+            where = f"{d.structure}." if d.structure else ""
+            print(f"{where}{d.render()}")
+        print(
+            f"\n{len(findings)} finding(s) "
+            f"({counts['error']} errors, {counts['warning']} warnings, "
+            f"{counts['info']} infos) over {len(chosen)} method(s) "
+            f"in {wall:.2f}s"
+        )
+
+    if args.fail_on == "never":
+        return EXIT_VERIFIED
+    threshold = SEVERITIES.index(args.fail_on)
+    if any(SEVERITIES.index(d.severity) <= threshold for d in findings):
+        return EXIT_REFUTED
+    return EXIT_VERIFIED
 
 
 # -- repro verify ------------------------------------------------------------
@@ -681,6 +773,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list the structure/method registry")
     p_list.set_defaults(func=cmd_list)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the multi-pass static analyzer (solver-free)")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every registry method")
+    p_lint.add_argument("--structure", default=None,
+                        help="restrict to one structure")
+    p_lint.add_argument("--method", action="append", default=[],
+                        help="restrict to named method(s); repeatable")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text",
+                        help="human-readable findings (text) or the "
+                             "structured lint document (json)")
+    p_lint.add_argument("--fail-on", choices=["error", "warning", "info", "never"],
+                        default="error",
+                        help="exit 1 when a finding at/above this severity "
+                             "exists (default error; never = always exit 0)")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_verify = sub.add_parser("verify", help="verify methods via the engine")
     _add_engine_args(p_verify)

@@ -18,7 +18,7 @@ An :class:`IntrinsicDefinition` packages:
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional, Union
+from typing import Dict, FrozenSet, List, Optional, Union
 
 from ..lang.ast import ClassSignature
 from ..lang import exprs as E
@@ -73,6 +73,16 @@ class IntrinsicDefinition:
     mut_pre: Dict[str, E.Expr] = dc_field(default_factory=dict)
     #: named custom mutation macros (variant name -> CustomMutation)
     custom_muts: Dict[str, "CustomMutation"] = dc_field(default_factory=dict)
+    #: Ghost maps the *user* program may read -- the scaffolding/steering
+    #: relaxation of Section 4.3 / Appendix D.4.  Navigation pointers
+    #: (``last``, ``p``) and stored auxiliary data a real implementation
+    #: would keep in the node (treap priorities, AVL heights, RBT colors)
+    #: are declared ghost so the LC can constrain them, but user code
+    #: legitimately reads and branches on them.  The static ghost-flow
+    #: lint (``repro.analysis.ghostflow``) exempts exactly these maps;
+    #: every other ghost map (accumulators like ``keys``/``length``)
+    #: stays invisible to user code.
+    steering_ghosts: FrozenSet[str] = frozenset()
 
     def __post_init__(self):
         for fname in self.impact:

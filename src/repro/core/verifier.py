@@ -36,7 +36,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # avoids the repro.analysis <-> repro.core import cycle
+    from ..analysis.diagnostics import LintDiagnostic
 
 from ..lang.ast import Procedure, Program
 from ..lang.ghost import ghost_violations
@@ -133,6 +136,12 @@ class MethodPlan:
     wb_failures: List[str]
     ghost_failures: List[str]
     vcs: List[PlannedVC]
+    #: Structured diagnostics from the pre-plan static analyzer
+    #: (``repro lint`` run over the method).  Advisory: lint findings do
+    #: not fail verification -- the wb/ghost failure lists above remain
+    #: the binding checks -- but the session surfaces error-severity ones
+    #: as plan-stage ``lint`` events.
+    lint: List["LintDiagnostic"] = dc_field(default_factory=list)
     simplify: bool = False
     # Generate-phase timing split: ``plan_s`` is the whole phase's wall
     # clock (checks, elaboration, VC generation, rewrite+simplify);
@@ -209,6 +218,11 @@ class Verifier:
 
         wb = wb_violations(proc) if proc.is_well_behaved else []
         ghost = ghost_violations(proc, self.program.class_sig)
+        # Pre-plan static analysis (imported lazily: repro.analysis pulls
+        # in repro.core, whose __init__ imports this module).
+        from ..analysis.driver import lint_method
+
+        lint = lint_method(self.program, self.ids, proc_name)
 
         elab_program = self.elaborated_program()
         gen = VcGen(
@@ -289,6 +303,7 @@ class Verifier:
             wb_failures=wb,
             ghost_failures=ghost,
             vcs=planned,
+            lint=lint,
             simplify=self.simplify,
             plan_s=time.perf_counter() - plan_started,
             simplify_s=simplify_s,

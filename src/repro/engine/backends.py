@@ -229,7 +229,7 @@ class Smtlib2Backend(SolverBackend):
                 raise SolverError(
                     f"external solver '{self.command}' timed out after "
                     f"{self.timeout_s:g}s"
-                )
+                ) from None
             out = (proc.stdout or "").strip().splitlines()
             answer = out[-1].strip() if out else ""
             if answer == "unsat":
@@ -278,7 +278,7 @@ class Smtlib2Backend(SolverBackend):
                 raise SolverError(
                     f"external solver '{self.command}' timed out on a "
                     f"{len(remainders)}-goal batch"
-                )
+                ) from None
             answers = [
                 line.strip()
                 for line in (proc.stdout or "").splitlines()

@@ -173,7 +173,7 @@ class BenchDB:
         return run_id
 
     def ingest_file(self, report_path, **kw) -> int:
-        with open(report_path, "r", encoding="utf-8") as handle:
+        with open(report_path, encoding="utf-8") as handle:
             return self.ingest(json.load(handle), **kw)
 
     def prune(self, keep_last: int) -> int:

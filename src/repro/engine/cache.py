@@ -51,7 +51,7 @@ def key_for_text(
 ) -> str:
     """The cache key for an already-serialized canonical formula."""
     payload = f"{backend}|{encoding}|{conflict_budget}|{text}"
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def formula_key(
@@ -87,7 +87,7 @@ def formula_key(
 def _checksum(record: dict) -> str:
     body = {k: v for k, v in record.items() if k != "checksum"}
     blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 class VcCache:
@@ -114,7 +114,7 @@ class VcCache:
         """Validated record for ``key``, or None (poison is purged)."""
         path = self._path(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 record = json.load(handle)
         except (OSError, ValueError):
             record = None

@@ -64,7 +64,7 @@ def _checksum(body: dict) -> str:
     import hashlib
 
     blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def _entry_files(root: Path) -> Iterable[Path]:
@@ -107,7 +107,7 @@ class AccessIndex:
         if self._entries is not None:
             return self._entries
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
+            with open(self.path, encoding="utf-8") as handle:
                 record = json.load(handle)
         except (OSError, ValueError):
             record = None
@@ -241,7 +241,7 @@ def _validate_entry(tier_name: str, path: Path) -> bool:
     from .cache import _checksum as record_checksum
 
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             record = json.load(handle)
     except (OSError, ValueError):
         return False

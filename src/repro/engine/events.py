@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis.diagnostics import LintDiagnostic
 from ..core.verifier import MethodPlan, MethodReport
 from .tasks import TaskResult, assemble_report
 
@@ -38,7 +39,7 @@ __all__ = [
     "build_result",
 ]
 
-EVENT_KINDS = ("planned", "cache_hit", "dedup", "solved", "timeout", "error")
+EVENT_KINDS = ("planned", "lint", "cache_hit", "dedup", "solved", "timeout", "error")
 TERMINAL_KINDS = ("cache_hit", "dedup", "solved", "timeout", "error")
 
 
@@ -196,6 +197,9 @@ class VerificationResult:
     plan_cached: bool = False
     event_counts: Dict[str, int] = dc_field(default_factory=dict)
     diagnostics: List[Diagnostic] = dc_field(default_factory=list)
+    # Advisory pre-plan static-analysis findings (``repro lint``) in
+    # deterministic order; never merged into ``failed``.
+    lint: List[LintDiagnostic] = dc_field(default_factory=list)
     # ``portfolio:`` runs (schema v7): member backend spec -> number of
     # VC slots whose race that member won.  Empty for plain backends.
     portfolio_wins: Dict[str, int] = dc_field(default_factory=dict)
@@ -252,6 +256,7 @@ class VerificationResult:
             "events": dict(self.event_counts),
             "verdicts": [v.to_json() for v in self.verdicts],
             "diagnostics": [d.to_json() for d in self.diagnostics],
+            "lint": [d.to_json() for d in self.lint],
         }
         if self.simplify:
             out["simplify"] = {
@@ -364,5 +369,6 @@ def build_result(
         plan_cached=plan.from_cache,
         event_counts=dict(event_counts or {}),
         diagnostics=list(diagnostics or []),
+        lint=list(plan.lint),
         portfolio_wins=wins,
     )

@@ -40,6 +40,7 @@ from fractions import Fraction
 from pathlib import Path
 from typing import List, Optional
 
+from ..analysis.diagnostics import LintDiagnostic
 from ..core.ids import IntrinsicDefinition
 from ..core.verifier import MethodPlan, PlannedVC
 from ..lang.ast import Program
@@ -50,7 +51,7 @@ from .codec import decode_nodes, encode_terms
 __all__ = ["PlanCache", "plan_key", "code_fingerprint"]
 
 #: Bump when the stored record layout changes (independent of code hash).
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2  # v2: plans carry the lint diagnostics block
 
 #: Modules whose source determines the plan output.  The program text
 #: itself is covered by the AST repr in the key, so structure modules
@@ -61,6 +62,12 @@ _FINGERPRINT_MODULES = (
     "repro.lang.ghost",
     "repro.lang.semantics",
     "repro.lang.wellbehaved",
+    "repro.analysis.diagnostics",
+    "repro.analysis.sortcheck",
+    "repro.analysis.wellbehaved",
+    "repro.analysis.ghostflow",
+    "repro.analysis.dataflow",
+    "repro.analysis.driver",
     "repro.core.fwyb",
     "repro.core.ids",
     "repro.core.impact",
@@ -134,7 +141,7 @@ def plan_key(
             repr(ids),
         )
     )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 # -- JSON-safe codec node tables --------------------------------------------
@@ -258,7 +265,7 @@ class PlanCache:
         path = self._path(key)
         started = time.perf_counter()
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 record = json.load(handle)
         except (OSError, ValueError):
             record = None
@@ -286,6 +293,7 @@ class PlanCache:
                 wb_failures=list(doc["wb_failures"]),
                 ghost_failures=list(doc["ghost_failures"]),
                 vcs=[_vc_from_json(entry) for entry in doc["vcs"]],
+                lint=[LintDiagnostic.from_json(d) for d in doc["lint"]],
                 simplify=doc["simplify"],
             )
         except (KeyError, IndexError, TypeError, ValueError):
@@ -319,6 +327,7 @@ class PlanCache:
                 "encoding": plan.encoding,
                 "wb_failures": list(plan.wb_failures),
                 "ghost_failures": list(plan.ghost_failures),
+                "lint": [d.to_json() for d in plan.lint],
                 "simplify": plan.simplify,
                 "vcs": [_vc_to_json(pvc) for pvc in plan.vcs],
             },

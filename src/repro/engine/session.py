@@ -337,6 +337,25 @@ class VerificationSession:
             plan = self._plan(request.program, request.ids, method)
             state = _MethodState(plan=plan, started=started)
 
+            # Advisory lint events first: error-severity findings of the
+            # pre-plan static analyzer, outside the per-VC slot contract
+            # (index -1, no terminal event, never affect verdicts).
+            for diag in plan.lint:
+                if diag.severity != "error":
+                    continue
+                yield stamped(
+                    VcEvent(
+                        kind="lint",
+                        structure=plan.structure,
+                        method=plan.method,
+                        index=-1,
+                        label=diag.code,
+                        detail=diag.render(),
+                        stage="plan",
+                    ),
+                    state,
+                )
+
             # Phase 1 events: every slot is announced, static failures
             # terminate immediately (stage="plan").
             for pvc in plan.vcs:

@@ -1,4 +1,4 @@
-"""The well-behavedness checker (Fig. 2 of the paper).
+"""The well-behavedness checker (Fig. 2 of the paper) -- legacy view.
 
 Well-behaved programs may only touch the heap and the broken sets through
 the FWYB macros; this is the "programming discipline" of Section 4.1 that
@@ -10,57 +10,49 @@ makes dropping the quantified invariant sound (Proposition 3.7):
 - LC may be assumed only via ``SInferLCOutsideBr`` (guarded by x not in Br),
 - branch/loop conditions never mention Br,
 - no raw ``assume`` statements.
+
+The actual checking lives in :mod:`repro.analysis.wellbehaved`, which
+reports structured diagnostics with codes and statement paths (and,
+unlike the historical checker here, recurses into ``SBlock`` bodies).
+:func:`wb_violations` is a thin shim rendering those diagnostics into
+the historical message strings that ``Verifier`` and ``MethodReport``
+consumers expect.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from .ast import Procedure, SAssign, SAssume, SIf, SNew, SStore, SWhile, Stmt
-from .exprs import expr_vars
+from .ast import Procedure
 
 __all__ = ["wb_violations"]
 
 
-def _mentions_broken_set(expr) -> bool:
-    return any(v == "Br" or v.startswith("Br_") for v in expr_vars(expr))
-
-
 def wb_violations(proc: Procedure) -> List[str]:
-    out: List[str] = []
+    # Imported lazily: repro.analysis pulls in repro.core, whose __init__
+    # imports the verifier, which imports this module.
+    from ..analysis.wellbehaved import check_wellbehaved
 
-    def walk(stmts: List[Stmt]):
-        for s in stmts:
-            if isinstance(s, SStore):
-                out.append(
-                    f"{proc.name}: raw heap mutation .{s.field} (use Mut)"
-                )
-            elif isinstance(s, SNew):
-                out.append(f"{proc.name}: raw allocation (use NewObj)")
-            elif isinstance(s, SAssume):
-                out.append(
-                    f"{proc.name}: raw assume (use InferLCOutsideBr)"
-                )
-            elif isinstance(s, SAssign):
-                if s.var == "Br" or s.var.startswith("Br_"):
-                    out.append(
-                        f"{proc.name}: direct broken-set assignment "
-                        "(use Mut/NewObj/AssertLCAndRemove)"
-                    )
-                if s.var == "Alloc":
-                    out.append(f"{proc.name}: direct Alloc assignment")
-            elif isinstance(s, SIf):
-                if _mentions_broken_set(s.cond):
-                    out.append(
-                        f"{proc.name}: if-condition mentions the broken set"
-                    )
-                walk(s.then)
-                walk(s.els)
-            elif isinstance(s, SWhile):
-                if _mentions_broken_set(s.cond):
-                    out.append(
-                        f"{proc.name}: loop condition mentions the broken set"
-                    )
-                walk(s.body)
-    walk(proc.body)
+    out: List[str] = []
+    for d in check_wellbehaved("", proc):
+        if d.code == "WB001":
+            out.append(
+                f"{proc.name}: raw heap mutation .{d.datum('field')} (use Mut)"
+            )
+        elif d.code == "WB002":
+            out.append(f"{proc.name}: raw allocation (use NewObj)")
+        elif d.code == "WB003":
+            out.append(f"{proc.name}: raw assume (use InferLCOutsideBr)")
+        elif d.code == "WB004":
+            out.append(
+                f"{proc.name}: direct broken-set assignment "
+                "(use Mut/NewObj/AssertLCAndRemove)"
+            )
+        elif d.code == "WB005":
+            out.append(f"{proc.name}: direct Alloc assignment")
+        elif d.code == "WB006":
+            which = (
+                "if-condition" if d.datum("cond") == "if" else "loop condition"
+            )
+            out.append(f"{proc.name}: {which} mentions the broken set")
     return out

@@ -107,6 +107,7 @@ def avl_ids() -> IntrinsicDefinition:
         lc_parts={"Br": avl_lc()},
         correlation=isnil(F(X, "p")),
         impact=impact,
+        steering_ghosts=frozenset({"p", "height"}),
     )
 
 
@@ -397,7 +398,7 @@ def proc_avl_insert():
             le(F(r, "height"), add(old(F(x, "height")), I(1))),
         ],
         modifies=F(x, "hs"),
-        locals={"z": LOC, "tmp": LOC, "y": LOC, "xp": LOC, "w": LOC},
+        locals={"z": LOC, "tmp": LOC, "y": LOC, "xp": LOC},
         body=[
             SInferLCOutsideBr(x),
             SInferLCOutsideBr(F(x, "p")),
@@ -413,6 +414,7 @@ def proc_avl_insert():
                     SIf(
                         lt(k, F(x, "key")),
                         [
+                            SAssign("y", F(x, "l")),
                             SIf(
                                 isnil(F(x, "l")),
                                 [
@@ -428,7 +430,6 @@ def proc_avl_insert():
                                     SAssign("tmp", z),
                                 ],
                                 [
-                                    SAssign("y", F(x, "l")),
                                     SInferLCOutsideBr(y),
                                     SCall(("tmp",), "avl_insert", (y, k)),
                                     SInferLCOutsideBr(y),
@@ -440,6 +441,7 @@ def proc_avl_insert():
                             SAssertLCAndRemove(tmp),
                         ],
                         [
+                            SAssign("y", F(x, "r")),
                             SIf(
                                 isnil(F(x, "r")),
                                 [
@@ -455,7 +457,6 @@ def proc_avl_insert():
                                     SAssign("tmp", z),
                                 ],
                                 [
-                                    SAssign("y", F(x, "r")),
                                     SInferLCOutsideBr(y),
                                     SCall(("tmp",), "avl_insert", (y, k)),
                                     SInferLCOutsideBr(y),
@@ -516,7 +517,6 @@ def proc_avl_delete():
             "tmp": LOC,
             "y": LOC,
             "xp": LOC,
-            "w": LOC,
             "m": LOC,
             "rest": LOC,
         },

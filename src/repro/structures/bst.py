@@ -163,6 +163,7 @@ def bst_ids() -> IntrinsicDefinition:
         lc_parts={"Br": bst_lc()},
         correlation=isnil(F(X, "p")),
         impact=dict(BST_IMPACT),
+        steering_ghosts=frozenset({"p"}),
     )
 
 

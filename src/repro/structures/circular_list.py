@@ -194,6 +194,7 @@ def circular_ids() -> IntrinsicDefinition:
                 pre=eq(F(X, "last"), X),
             ),
         },
+        steering_ghosts=frozenset({"prev", "last"}),
     )
 
 

@@ -128,6 +128,7 @@ def rbt_ids() -> IntrinsicDefinition:
         lc_parts={"Br": rbt_lc()},
         correlation=and_(isnil(F(X, "p")), F(X, "black")),
         impact=impact,
+        steering_ghosts=frozenset({"p", "black"}),
     )
 
 
@@ -411,6 +412,7 @@ def proc_rbt_insert_rec():
                     SIf(
                         lt(k, F(x, "key")),
                         [
+                            SAssign("y", F(x, "l")),
                             SIf(
                                 isnil(F(x, "l")),
                                 [
@@ -426,7 +428,6 @@ def proc_rbt_insert_rec():
                                     SAssign("tmp", z),
                                 ],
                                 [
-                                    SAssign("y", F(x, "l")),
                                     SInferLCOutsideBr(y),
                                     SCall(("tmp",), "rbt_insert_rec", (y, k)),
                                     SInferLCOutsideBr(y),
@@ -466,6 +467,7 @@ def proc_rbt_insert_rec():
                             ),
                         ],
                         [
+                            SAssign("y", F(x, "r")),
                             SIf(
                                 isnil(F(x, "r")),
                                 [
@@ -481,7 +483,6 @@ def proc_rbt_insert_rec():
                                     SAssign("tmp", z),
                                 ],
                                 [
-                                    SAssign("y", F(x, "r")),
                                     SInferLCOutsideBr(y),
                                     SCall(("tmp",), "rbt_insert_rec", (y, k)),
                                     SInferLCOutsideBr(y),

@@ -174,6 +174,7 @@ def sched_ids() -> IntrinsicDefinition:
             }
             for field in sched_signature().all_fields
         },
+        steering_ghosts=frozenset({"prev", "p", "broot"}),
     )
 
 
@@ -262,7 +263,6 @@ def proc_sched_list_remove_first():
         ],
         modifies=union(singleton(h), singleton(F(h, "next"))),
         locals={"n2": LOC},
-        ghost_locals={"cur": LOC},
         body=[
             SInferLCOutsideBr(h, broken_set="Br_list"),
             SAssign("n2", F(h, "next")),
@@ -364,7 +364,6 @@ def proc_sched_move_request():
         modifies=union(
             singleton(h), union(singleton(F(h, "next")), singleton(F(h, "p")))
         ),
-        locals={"n2": LOC},
         body=[
             SCall(("r",), "sched_list_remove_first", (h,)),
             SCall((), "sched_bst_delete_leaf", (h,)),

@@ -87,6 +87,7 @@ def treap_ids() -> IntrinsicDefinition:
         lc_parts={"Br": treap_lc()},
         correlation=isnil(F(X, "p")),
         impact=impact,
+        steering_ghosts=frozenset({"p", "prio"}),
     )
 
 
@@ -246,6 +247,7 @@ def proc_treap_insert():
                     SIf(
                         lt(k, F(x, "key")),
                         [
+                            SAssign("y", F(x, "l")),
                             SIf(
                                 isnil(F(x, "l")),
                                 [
@@ -260,7 +262,6 @@ def proc_treap_insert():
                                     SAssign("tmp", z),
                                 ],
                                 [
-                                    SAssign("y", F(x, "l")),
                                     SInferLCOutsideBr(y),
                                     SCall(("tmp",), "treap_insert", (y, k, pr)),
                                     SInferLCOutsideBr(y),
@@ -315,6 +316,7 @@ def proc_treap_insert():
                             ),
                         ],
                         [
+                            SAssign("y", F(x, "r")),
                             SIf(
                                 isnil(F(x, "r")),
                                 [
@@ -329,7 +331,6 @@ def proc_treap_insert():
                                     SAssign("tmp", z),
                                 ],
                                 [
-                                    SAssign("y", F(x, "r")),
                                     SInferLCOutsideBr(y),
                                     SCall(("tmp",), "treap_insert", (y, k, pr)),
                                     SInferLCOutsideBr(y),

@@ -1,0 +1,270 @@
+"""Spec-lint tests: the multi-pass static analyzer (``repro lint``).
+
+Four obligations, mirroring the analyzer's contract:
+
+1. *Registry cleanliness* -- every registered structure/method lints
+   clean, so any finding on user code is a real defect, not noise.
+2. *Mutant detection* -- the hand-broken methods from the mutation
+   corpus (``tests/test_mutation_negative.py``) are flagged statically
+   with stable codes where a solver-free pass can see the break, and
+   the one genuinely semantic mutant is pinned as lint-silent (that
+   rejection is the solver's job, and the mutation tests prove it).
+3. *Determinism and purity* -- linting is a pure function of the AST:
+   two runs give identical output and no SMT terms are interned, so
+   lint can never perturb plan caching or verification.
+4. *Surfaces* -- the CLI exit-code contract, the ``verify`` lint block
+   and lint events, the plan-cache round-trip, and the legacy
+   ``wb_violations`` shim (including the SBlock recursion fix).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis import lint_experiment, lint_method, lint_program
+from repro.analysis.diagnostics import CODES, SEVERITIES, LintDiagnostic
+from repro.core.verifier import Verifier
+from repro.engine.plancache import PlanCache
+from repro.engine.session import VerificationRequest, VerificationSession
+from repro.lang import exprs as E
+from repro.lang.ast import SAssertLCAndRemove, SBlock, SCall, SIf, SMut, SStore
+from repro.lang.wellbehaved import wb_violations
+from repro.smt.terms import Term
+from repro.structures.registry import EXPERIMENTS
+from repro.structures.sll import sll_ids, sll_program
+from repro.structures.sorted_list import sorted_ids, sorted_program
+
+from test_mutation_negative import _DROP, _first_only, _mutate
+
+# -- the mutation corpus, linted --------------------------------------------
+
+
+def _codes(diags):
+    return [(d.code, d.path) for d in diags]
+
+
+@pytest.fixture()
+def dropped_ghost_update():
+    """Corpus mutant 1: `z.keys := {k} u x.keys` deleted."""
+    return _mutate(
+        sll_program(),
+        "sll_insert_front",
+        _first_only(lambda s: isinstance(s, SMut) and s.field == "keys", lambda s: _DROP),
+    )
+
+
+def test_dropped_ghost_update_flagged_statically(dropped_ghost_update):
+    """The satellite requirement: the dropped-ghost-update mutant is
+    caught *without a solver*, with its stable code."""
+    diags = lint_method(dropped_ghost_update, sll_ids(), "sll_insert_front")
+    assert _codes(diags) == [("GHOST002", "body[3].then[5]")]
+    (d,) = diags
+    assert d.severity == "error"
+    assert "keys" in d.message
+    assert "fix what you broke" in d.hint
+
+
+def test_skipped_fix_flagged_statically():
+    """Corpus mutant 2: deleting the AssertLCAndRemove leaves the broken
+    set provably non-empty at exit -- the must-empty pass sees it."""
+    program = _mutate(
+        sll_program(),
+        "sll_insert",
+        _first_only(lambda s: isinstance(s, SAssertLCAndRemove), lambda s: _DROP),
+    )
+    diags = lint_method(program, sll_ids(), "sll_insert")
+    assert _codes(diags) == [("FLOW005", "body[8].then[0]")]
+
+
+def test_semantic_mutant_is_lint_silent():
+    """Corpus mutant 3 (sorted_find early-exit off-by-one) is a purely
+    semantic break: no solver-free pass can flag it, and pinning the
+    silence documents the lint/solver boundary.  Its rejection is
+    covered by tests/test_mutation_negative.py."""
+
+    def is_early_exit(s):
+        return isinstance(s, SIf) and any(isinstance(t, SCall) for t in s.els)
+
+    def weaken(s):
+        k = E.V("k")
+        new_cond = E.or_(
+            E.gt(E.F(E.V("x"), "key"), E.sub(k, E.I(2))),
+            E.eq(E.F(E.V("x"), "next"), E.NIL_E),
+        )
+        return SIf(new_cond, s.then, s.els)
+
+    program = _mutate(sorted_program(), "sorted_find", _first_only(is_early_exit, weaken))
+    assert lint_method(program, sorted_ids(), "sorted_find") == []
+
+
+def test_raw_store_mutant_flagged():
+    """Third statically-flaggable mutant: demote the ghost Mut to a raw
+    heap store.  Fig. 2 well-behavedness (as a lint pass) rejects it."""
+    program = _mutate(
+        sll_program(),
+        "sll_insert_front",
+        _first_only(
+            lambda s: isinstance(s, SMut) and s.field == "keys",
+            lambda s: SStore(s.obj, s.field, s.expr),
+        ),
+    )
+    diags = lint_method(program, sll_ids(), "sll_insert_front")
+    assert ("WB001", "body[3].then[3]") in _codes(diags)
+
+
+# -- registry cleanliness ----------------------------------------------------
+
+
+@pytest.mark.parametrize("exp", EXPERIMENTS, ids=lambda e: e.structure)
+def test_registry_lints_clean(exp):
+    diags = lint_experiment(exp)
+    assert diags == [], "\n".join(d.render() for d in diags)
+
+
+# -- determinism and purity --------------------------------------------------
+
+
+def test_lint_is_deterministic(dropped_ghost_update):
+    a = lint_program(dropped_ghost_update, sll_ids())
+    b = lint_program(dropped_ghost_update, sll_ids())
+    assert a == b
+    assert [d.to_json() for d in a] == [d.to_json() for d in b]
+
+
+def test_lint_interns_no_terms(dropped_ghost_update):
+    """Purity: the passes walk the surface AST only.  Interning a term
+    would shift the engine's shared DAG (and anything keyed off it)."""
+    before = len(Term._intern)
+    for exp in EXPERIMENTS:
+        lint_experiment(exp)
+    lint_program(dropped_ghost_update, sll_ids())
+    assert len(Term._intern) == before
+
+
+def test_diagnostics_sorted_and_coded(dropped_ghost_update):
+    diags = lint_program(dropped_ghost_update, sll_ids())
+    assert diags == sorted(diags, key=lambda d: d.sort_key)
+    for d in diags:
+        assert d.code in CODES
+        assert d.severity in SEVERITIES
+
+
+# -- the legacy wb_violations shim (SBlock recursion fix) --------------------
+
+
+def test_wb_violations_recurses_into_sblock():
+    """Regression: a raw store hidden inside an SBlock used to slip past
+    wb_violations (the legacy walker never descended into blocks).  The
+    rewrite over the lint pass closes the hole."""
+    program = _mutate(
+        sll_program(),
+        "sll_insert_front",
+        _first_only(
+            lambda s: isinstance(s, SMut) and s.field == "keys",
+            lambda s: SBlock([SStore(s.obj, s.field, s.expr)]),
+        ),
+    )
+    msgs = wb_violations(program.proc("sll_insert_front"))
+    assert msgs == ["sll_insert_front: raw heap mutation .keys (use Mut)"]
+
+
+def test_wb_violations_clean_on_registry_method():
+    assert wb_violations(sll_program().proc("sll_insert_front")) == []
+
+
+# -- serialization round-trips -----------------------------------------------
+
+
+def test_diagnostic_json_round_trip(dropped_ghost_update):
+    for d in lint_program(dropped_ghost_update, sll_ids()):
+        assert LintDiagnostic.from_json(d.to_json()) == d
+        assert LintDiagnostic.from_json(json.loads(json.dumps(d.to_json()))) == d
+
+
+def test_plan_carries_lint_and_cache_round_trips(tmp_path, dropped_ghost_update):
+    """Verifier.plan runs lint as pre-plan validation; the plan cache
+    (format v2) must reproduce the diagnostics block verbatim."""
+    plan = Verifier(dropped_ghost_update, sll_ids()).plan("sll_insert_front")
+    assert [d.code for d in plan.lint] == ["GHOST002"]
+
+    cache = PlanCache(tmp_path)
+    key = "ab" * 32
+    cache.put(key, plan)
+    warm = cache.get(key, conflict_budget=None)
+    assert warm is not None and warm.from_cache
+    assert warm.lint == plan.lint
+
+
+# -- session surfaces: lint events and the verify lint block -----------------
+
+
+def test_session_emits_lint_events_and_result_block(dropped_ghost_update):
+    with VerificationSession(jobs=1, diagnostics=False) as session:
+        run = session.submit(
+            VerificationRequest(dropped_ghost_update, sll_ids(), "sll_insert_front")
+        )
+        events = list(run)
+        result = run.results()[0]
+    lint_events = [e for e in events if e.kind == "lint"]
+    assert [e.label for e in lint_events] == ["GHOST002"]
+    (ev,) = lint_events
+    assert ev.index == -1 and ev.stage == "plan" and "keys" in ev.detail
+    # lint is advisory: the *solver* rejects the method, lint annotates it.
+    assert not result.ok
+    doc = result.to_json()
+    assert [d["code"] for d in doc["lint"]] == ["GHOST002"]
+
+
+def test_clean_method_has_empty_lint_block():
+    with VerificationSession(jobs=1, diagnostics=False) as session:
+        run = session.submit(VerificationRequest(sll_program(), sll_ids(), "sll_find"))
+        events = list(run)
+        result = run.results()[0]
+    assert [e for e in events if e.kind == "lint"] == []
+    assert result.ok and result.to_json()["lint"] == []
+
+
+# -- the CLI contract --------------------------------------------------------
+
+
+def test_cli_lint_all_is_clean_and_exits_zero(capsys):
+    assert cli.main(["lint", "--all", "--fail-on", "warning"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_cli_lint_json_document(capsys):
+    assert cli.main(["lint", "--all", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["command"] == "lint"
+    assert doc["findings"] == [] and doc["n_findings"] == 0
+    assert doc["n_methods"] == sum(len(e.methods) for e in EXPERIMENTS)
+    assert set(doc["severity_counts"]) == set(SEVERITIES)
+
+
+def test_cli_lint_usage_errors():
+    assert cli.main(["lint"]) == 2  # nothing selected
+    assert cli.main(["lint", "--structure", "No Such Structure"]) == 2
+    assert cli.main(["lint", "--method", "no_such_method"]) == 2
+
+
+def test_cli_lint_dirty_registry_exit_codes(monkeypatch, capsys, dropped_ghost_update):
+    """Findings at/above --fail-on exit 1; below (or `never`) exit 0."""
+    exp = next(e for e in EXPERIMENTS if e.structure == "Singly-Linked List")
+    dirty = dataclasses.replace(
+        exp,
+        program_factory=lambda: dropped_ghost_update,
+        methods=["sll_insert_front"],
+    )
+    monkeypatch.setattr(cli, "EXPERIMENTS", [dirty])
+    assert cli.main(["lint", "--all"]) == 1
+    assert "GHOST002" in capsys.readouterr().out
+    assert cli.main(["lint", "--all", "--fail-on", "never"]) == 0
+    capsys.readouterr()
+    code = cli.main(["lint", "--all", "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert doc["n_findings"] == 1 and doc["findings"][0]["code"] == "GHOST002"
+    assert doc["severity_counts"]["error"] == 1

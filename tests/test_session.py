@@ -512,7 +512,7 @@ def test_verify_format_json_and_events_jsonl_validate(tmp_path, capsys):
     errs = checker.SchemaErrors()
     checker.check_report(doc, errs)
     assert errs.problems == []
-    with open(events_path, "r", encoding="utf-8") as handle:
+    with open(events_path, encoding="utf-8") as handle:
         checker.check_events_jsonl(handle, errs)
     assert errs.problems == []
     # The refuted method's JSON results carry original-vocabulary atoms.
