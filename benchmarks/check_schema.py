@@ -23,11 +23,17 @@ rest of the repo):
 - ``repro lint --format json`` documents (``command: "lint"``):
   finding shapes, ``n_findings`` and the per-severity tally;
 - ``--events`` JSONL streams: every line is a well-formed event, ``seq``
-  is dense and strictly increasing, each (method, vc) slot pairs one
-  ``planned`` with one later terminal event, and a ``winner`` field
-  (portfolio race attribution) only appears on terminal events, as a
-  string; ``lint`` events sit outside the slot contract (``vc: -1``,
-  ``stage: "plan"``, label = diagnostic code) and settle nothing.
+  is strictly increasing across the whole stream (session-scoped: a
+  single-request CLI stream is dense, a daemon stream interleaved with
+  other clients shows gaps -- the gate checks order, not density), each
+  (method, vc) slot pairs one ``planned`` with one later terminal event,
+  and a ``winner`` field (portfolio race attribution) only appears on
+  terminal events, as a string; ``lint`` events sit outside the slot
+  contract (``vc: -1``, ``stage: "plan"``, label = diagnostic code) and
+  settle nothing.  The service's ``POST /v1/verify/stream`` terminates
+  its stream with one ``{"kind": "summary", ...}`` line carrying the
+  full result document; when present it must be last and is validated
+  with the report checker.
 
 Exit codes: 0 valid, 1 schema violation, 2 usage error -- matching the
 CLI's documented contract.
@@ -313,12 +319,15 @@ def check_report(doc: dict, errs: SchemaErrors) -> None:
 
 
 def check_events_jsonl(lines, errs: SchemaErrors) -> None:
-    """Validate an ``--events`` JSON Lines stream."""
+    """Validate an ``--events`` JSON Lines stream (or a service stream)."""
     planned = {}
     settled = {}
-    # seq restarts per request; a CLI run is one request per method, so
-    # monotonicity is checked within each (structure, method) group.
-    prev_seq = {}
+    # seq is allocated from the owning session's run-scoped counter, so
+    # it is strictly increasing across the whole stream.  It is dense
+    # only when the session served nothing else concurrently (the CLI
+    # case); daemon streams interleaved with other clients show gaps.
+    prev_seq = -1
+    summary_at = None
     n = 0
     for lineno, raw in enumerate(lines, start=1):
         raw = raw.strip()
@@ -326,6 +335,10 @@ def check_events_jsonl(lines, errs: SchemaErrors) -> None:
             continue
         n += 1
         where = f"events line {lineno}"
+        errs.check(
+            summary_at is None,
+            f"{where}: event after the summary line {summary_at}",
+        )
         try:
             event = json.loads(raw)
         except ValueError as e:
@@ -334,6 +347,13 @@ def check_events_jsonl(lines, errs: SchemaErrors) -> None:
         if not errs.check(isinstance(event, dict), f"{where}: not an object"):
             continue
         kind = event.get("kind")
+        if kind == "summary":
+            # The service stream's terminal line: the blocking-response
+            # result document, validated by the report checker.
+            summary_at = lineno
+            doc = {k: v for k, v in event.items() if k != "kind"}
+            check_report(doc, errs)
+            continue
         if not errs.check(kind in EVENT_KINDS, f"{where}: unknown kind {kind!r}"):
             continue
         for key, types in (
@@ -350,11 +370,12 @@ def check_events_jsonl(lines, errs: SchemaErrors) -> None:
                     f"{where}: {key!r} has type {type(event[key]).__name__}",
                 )
         seq = event.get("seq")
-        group = (event.get("structure"), event.get("method"))
         if isinstance(seq, int):
-            last = prev_seq.get(group, -1)
-            errs.check(seq > last, f"{where}: seq {seq} not increasing for {group}")
-            prev_seq[group] = max(last, seq)
+            errs.check(
+                seq > prev_seq,
+                f"{where}: seq {seq} not greater than previous {prev_seq}",
+            )
+            prev_seq = max(prev_seq, seq)
         if kind == "lint":
             # Advisory static-analysis events live outside the per-VC slot
             # contract: plan stage, vc index -1, label is the lint code.
@@ -414,24 +435,30 @@ def check_events_jsonl(lines, errs: SchemaErrors) -> None:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("report", help="bench_results.json (schema v7) to validate")
+    parser.add_argument("report", nargs="?", default=None,
+                        help="bench_results.json (schema v7) to validate")
     parser.add_argument("--events", default=None, metavar="JSONL",
-                        help="also validate an --events JSON Lines stream")
+                        help="also validate an --events JSON Lines stream "
+                             "(a service stream's summary line is accepted)")
     args = parser.parse_args(argv)  # argparse exits 2 on usage errors
+    if args.report is None and args.events is None:
+        parser.error("nothing to validate: pass a report, --events, or both")
     errs = SchemaErrors()
-    try:
-        with open(args.report, encoding="utf-8") as handle:
-            doc = json.load(handle)
-    except (OSError, ValueError) as e:
-        print(f"cannot read {args.report}: {e}", file=sys.stderr)
-        return 2
-    if not isinstance(doc, dict):
-        print(f"{args.report}: top level is not an object", file=sys.stderr)
-        return 1
-    if doc.get("command") == "lint":
-        check_lint_report(doc, errs)
-    else:
-        check_report(doc, errs)
+    doc: dict = {}
+    if args.report is not None:
+        try:
+            with open(args.report, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as e:
+            print(f"cannot read {args.report}: {e}", file=sys.stderr)
+            return 2
+        if not isinstance(doc, dict):
+            print(f"{args.report}: top level is not an object", file=sys.stderr)
+            return 1
+        if doc.get("command") == "lint":
+            check_lint_report(doc, errs)
+        else:
+            check_report(doc, errs)
     if args.events:
         try:
             with open(args.events, encoding="utf-8") as handle:
@@ -444,6 +471,9 @@ def main(argv=None) -> int:
             print(f"SCHEMA: {problem}", file=sys.stderr)
         print(f"\n{len(errs.problems)} schema problem(s)", file=sys.stderr)
         return 1
+    if args.report is None:
+        print(f"schema ok: {args.events} (events stream valid)")
+        return 0
     if doc.get("command") == "lint":
         summary = f"{len(doc.get('findings', []))} findings"
     else:

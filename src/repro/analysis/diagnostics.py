@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, Optional
 
-__all__ = ["SEVERITIES", "CODES", "LintDiagnostic"]
+__all__ = ["SEVERITIES", "CODES", "EXPLANATIONS", "LintDiagnostic", "explain_code"]
 
 #: Ordered from most to least severe (the CLI's --fail-on thresholds).
 SEVERITIES = ("error", "warning", "info")
@@ -49,6 +49,159 @@ CODES: Dict[str, tuple] = {
     "FLOW004": ("warning", "unused ghost field (never constrained by LC or updated)"),
     "FLOW005": ("error", "broken set possibly non-empty at procedure exit"),
 }
+
+
+#: code -> (detection logic, minimal example) for ``repro lint --explain``.
+#: Every code in :data:`CODES` has an entry (pinned by tests); the example
+#: is the smallest while-language sketch that triggers the finding.
+EXPLANATIONS: Dict[str, tuple] = {
+    "SORT001": (
+        "Every variable read in an expression is resolved against the "
+        "procedure's parameters, locals, ghost locals and out-parameters; "
+        "a name none of them binds is reported at its use site.",
+        "y := x + 1   // 'x' never declared: SORT001",
+    ),
+    "SORT002": (
+        "Field reads/stores are resolved against the class signature "
+        "(user and ghost fields); an unknown field name is reported.",
+        "v := u.nxet   // signature declares 'next': SORT002",
+    ),
+    "SORT003": (
+        "Expressions are sort-checked bottom-up (Int/Bool/Loc/sets/maps); "
+        "an operator applied to operands of the wrong sort is reported.",
+        "b := u + true   // Int '+' applied to a Bool: SORT003",
+    ),
+    "SORT004": (
+        "Statement contexts are checked against the sorts they require: "
+        "assignment RHS vs variable, stored value vs field, branch/loop "
+        "conditions vs Bool.",
+        "if (u.key) { ... }   // Int condition: SORT004",
+    ),
+    "SORT005": (
+        "Every call is checked against the callee's signature: the "
+        "procedure must exist, arity must match, and each argument/out "
+        "binding must have the declared sort.",
+        "call find(u, v)   // find declares one parameter: SORT005",
+    ),
+    "WB001": (
+        "Walks the body for raw heap writes (field store outside the Mut "
+        "macro); Fig. 2 well-behaved programs mutate only through Mut, "
+        "which inserts the broken-set bookkeeping.",
+        "u.next := v   // raw store: WB001; write Mut(u, next, v)",
+    ),
+    "WB002": (
+        "Allocation outside the NewObj macro: a raw 'new' skips the "
+        "broken-set insertion and LC obligations for the fresh object.",
+        "u := new Node   // raw allocation: WB002; write NewObj(u)",
+    ),
+    "WB003": (
+        "A raw 'assume' can smuggle unjustified facts into the VC "
+        "hypotheses; Fig. 2 admits only InferLCOutsideBr, whose premise "
+        "(membership outside Br) the verifier checks.",
+        "assume LC(u)   // raw assume: WB003; write InferLCOutsideBr(u)",
+    ),
+    "WB004": (
+        "Direct assignment to the broken-set variable: Br must evolve "
+        "only through the Mut/NewObj/AssertLCAndRemove macros so its "
+        "contents stay in sync with the heap edits.",
+        "Br := {}   // direct Br write: WB004; use AssertLCAndRemove",
+    ),
+    "WB005": (
+        "Direct assignment to the allocation set Alloc, which only "
+        "NewObj may extend.",
+        "Alloc := Alloc + {u}   // WB005; use NewObj(u)",
+    ),
+    "WB006": (
+        "Branch and loop conditions must not inspect the broken set: "
+        "control flow depending on Br makes the fix-order observable and "
+        "breaks the FWYB discipline's locality argument.",
+        "if (u in Br) { ... }   // WB006",
+    ),
+    "GHOST001": (
+        "Flow check: a value read from ghost state (ghost field or ghost "
+        "local) is assigned into user-visible state, so erasing the "
+        "ghosts would change program behavior.",
+        "u.key := u.ghost_rank   // ghost -> user flow: GHOST001",
+    ),
+    "GHOST002": (
+        "For every AssertLCAndRemove(x), the LC conjuncts that mention a "
+        "ghost field of x are collected; if some ghost field the LC "
+        "constrains was never Mut-updated on any path since the object "
+        "entered the broken set, the fix cannot generally succeed -- the "
+        "classic dropped-ghost-update mutation.",
+        "Mut(u, next, v); AssertLCAndRemove(u)   // LC needs u.reach "
+        "updated too: GHOST002",
+    ),
+    "GHOST003": (
+        "Statements in ghost context (ghost-local assignments, ghost-"
+        "field Muts) must not write user fields or user locals.",
+        "ghost block writes u.next   // user mutation in ghost context: GHOST003",
+    ),
+    "GHOST004": (
+        "Allocation inside ghost context would let ghost code extend "
+        "Alloc, which user-state erasure cannot undo.",
+        "ghost block does NewObj(t)   // GHOST004",
+    ),
+    "GHOST005": (
+        "Every loop whose body is ghost code (or that only advances "
+        "ghost state) must declare a decreases measure; otherwise ghost "
+        "erasure could diverge.",
+        "while (g != nil) { g := g.ghost_next }   // no decreases: GHOST005",
+    ),
+    "IMP001": (
+        "Every Mut(x, f, v) site is checked against the intrinsic "
+        "definition's impact table: field f must declare which LC "
+        "instances the write can break, else the broken-set insertion "
+        "is unsound.",
+        "Mut(u, color, red)   // 'color' has no impact set: IMP001",
+    ),
+    "IMP002": (
+        "A Mut site naming a custom mutation variant is checked against "
+        "the table: the variant must exist and be bound to the same "
+        "field being written.",
+        "Mut[left_rotate](u, right, v)   // variant bound to 'left': IMP002",
+    ),
+    "FLOW001": (
+        "Forward definite-assignment dataflow over the CFG: a local, "
+        "ghost local or out-parameter read on some path before any "
+        "assignment dominates it is reported.",
+        "if (c) { v := u }; w := v   // v unassigned when !c: FLOW001",
+    ),
+    "FLOW002": (
+        "Constant-condition folding marks then/else arms and loop bodies "
+        "that can never execute.",
+        "if (false) { u.key := 0 }   // unreachable arm: FLOW002",
+    ),
+    "FLOW003": (
+        "A declared local (user or ghost) that no expression in the body "
+        "ever reads.",
+        "var tmp: Int; tmp := 3   // tmp never read: FLOW003",
+    ),
+    "FLOW004": (
+        "A declared ghost field that no LC conjunct constrains and no "
+        "Mut ever updates: dead specification state.",
+        "ghost field shadow: Int   // unused everywhere: FLOW004",
+    ),
+    "FLOW005": (
+        "Backward must-empty dataflow: for procedures whose contract "
+        "promises Br = {} on exit, every path must discharge each "
+        "Mut/NewObj insertion with an AssertLCAndRemove reaching that "
+        "exit (aliasing resolved conservatively); a possibly-surviving "
+        "member is reported -- the classic skipped-fix mutation.",
+        "Mut(u, next, v); return   // u never fixed: FLOW005",
+    ),
+}
+
+
+def explain_code(code: str) -> str:
+    """Human-readable ``--explain`` rendering for one diagnostic code."""
+    severity, description = CODES[code]
+    detection, example = EXPLANATIONS[code]
+    return (
+        f"{code} [{severity}] {description}\n\n"
+        f"detection:\n  {detection}\n\n"
+        f"example:\n  {example}"
+    )
 
 
 @dataclass(frozen=True)

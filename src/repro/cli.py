@@ -13,6 +13,11 @@ Subcommands:
 - ``repro bench``   -- regenerate the paper's tables with a machine-readable
   ``bench_results.json`` report (schema v7); ``--db PATH`` appends the
   run to a bench trajectory database (``benchmarks/db.py``)
+- ``repro serve``   -- the verification-as-a-service daemon: stdlib-only
+  HTTP with blocking (``POST /v1/verify``) and streamed-JSONL
+  (``POST /v1/verify/stream``) verdicts, an admission-controlled
+  request queue, per-client solve-time budgets (``X-Client-Id``), and
+  one shared hot-cache session across tenants (see ``repro.service``)
 - ``repro cache``   -- cache lifecycle: ``stats`` (per-tier entry
   counts/bytes/hit rates), ``gc`` (age/LRU sweep under ``--cache-max-mb``
   / ``--cache-max-age-days`` budgets), ``verify`` (validate every entry,
@@ -27,6 +32,9 @@ Examples::
     repro verify --method sll_find --format json --events events.jsonl
     repro bench --suite table2 --budget 10 --limit 3 --output bench_results.json
     repro bench --method sll_find --db bench_trajectory.db
+    repro serve --port 8765 --cache-dir .vc-cache --max-inflight 2 \\
+        --max-queue 16 --client-budget-s 30
+    repro lint --explain GHOST002
     repro cache stats --cache-dir .vc-cache --format json
     repro cache gc --cache-dir .vc-cache --cache-max-mb 256
 
@@ -172,16 +180,29 @@ def _crash_result(exp: Experiment, method: str, exc: Exception, session, start: 
 
 
 def _safe_verify(
-    session: VerificationSession, exp: Experiment, method: str, events_sink=None
+    session: VerificationSession,
+    exp: Experiment,
+    method: str,
+    events_sink=None,
+    timeout_s: Optional[float] = None,
+    method_budget_s: Optional[float] = None,
 ):
     """Verify one method; a crash (e.g. in VC generation) becomes an
     ``error:`` row instead of killing the whole run, like the historical
     table2 harness.  ``events_sink`` receives each VcEvent as it lands
-    (the ``--events`` JSONL stream)."""
+    (the ``--events`` JSONL stream and the service's stream endpoint);
+    ``timeout_s``/``method_budget_s`` are per-request budget overrides
+    (the service's, taking precedence over the session defaults)."""
     start = time.perf_counter()
     try:
         run = session.submit(
-            VerificationRequest(exp.program_factory(), exp.ids_factory(), method)
+            VerificationRequest(
+                exp.program_factory(),
+                exp.ids_factory(),
+                method,
+                timeout_s=timeout_s,
+                method_budget_s=method_budget_s,
+            )
         )
         for event in run:
             if events_sink is not None:
@@ -251,6 +272,18 @@ def cmd_list(args) -> int:
 
 def cmd_lint(args) -> int:
     from .analysis import lint_program
+
+    if args.explain:
+        from .analysis.diagnostics import CODES, explain_code
+
+        code = args.explain
+        if code not in CODES:
+            known = ", ".join(sorted(CODES))
+            print(f"lint: unknown diagnostic code {code!r} (known: {known})",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        print(explain_code(code))
+        return EXIT_VERIFIED
 
     try:
         chosen = _select(args.structure, args.method, args.all)
@@ -635,6 +668,31 @@ def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None
     return doc
 
 
+# -- repro serve -------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    from .service.server import ServeConfig, run_server
+
+    try:
+        session = _session_from_args(args)
+    except BackendError as e:
+        print(f"backend error: {e}", file=sys.stderr)
+        return EXIT_USAGE
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        client_budget_s=args.client_budget_s,
+        budget_window_s=args.budget_window_s,
+        queue_timeout_s=args.queue_timeout_s,
+        drain_timeout_s=args.drain_timeout_s,
+        quiet=args.quiet,
+    )
+    return run_server(session, config)
+
+
 # -- repro cache -------------------------------------------------------------
 
 
@@ -717,7 +775,7 @@ def cmd_cache_verify(args) -> int:
 # -- argument parsing --------------------------------------------------------
 
 
-def _add_engine_args(p: argparse.ArgumentParser) -> None:
+def _add_engine_args(p: argparse.ArgumentParser, selection: bool = True) -> None:
     p.add_argument("--jobs", "-j", type=int, default=1,
                    help="worker processes for VC solving (default 1)")
     p.add_argument("--backend", default="intree",
@@ -758,9 +816,10 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-max-age-days", type=float, default=None,
                    help="cache lifecycle budget: evict entries not accessed "
                         "for this many days when the session closes")
-    p.add_argument("--structure", default=None, help="restrict to one structure")
-    p.add_argument("--method", action="append", default=[],
-                   help="restrict to named method(s); repeatable")
+    if selection:
+        p.add_argument("--structure", default=None, help="restrict to one structure")
+        p.add_argument("--method", action="append", default=[],
+                       help="restrict to named method(s); repeatable")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -789,6 +848,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="error",
                         help="exit 1 when a finding at/above this severity "
                              "exists (default error; never = always exit 0)")
+    p_lint.add_argument("--explain", default=None, metavar="CODE",
+                        help="print a diagnostic code's description, detection "
+                             "logic and a minimal example, then exit (exit 2 "
+                             "on unknown codes)")
     p_lint.set_defaults(func=cmd_lint)
 
     p_verify = sub.add_parser("verify", help="verify methods via the engine")
@@ -835,6 +898,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trajectory label for --db: runs are only "
                               "compared within one label (e.g. smoke, avl-cold)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the verification-as-a-service daemon (stdlib-only HTTP: "
+             "blocking + streamed JSONL verdicts, admission control, "
+             "per-client budgets; see README 'Service')")
+    _add_engine_args(p_serve, selection=False)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="bind port (default 8765; 0 = ephemeral)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="default per-VC wall-clock timeout in seconds "
+                              "(requests may override with 'timeout_s')")
+    p_serve.add_argument("--max-inflight", type=int, default=2,
+                         help="requests verifying concurrently (default 2); "
+                              "methods still serialize on the shared session's "
+                              "submission lock, this bounds admitted requests")
+    p_serve.add_argument("--max-queue", type=int, default=16,
+                         help="waiting requests beyond --max-inflight before "
+                              "the daemon sheds load with 429 (default 16)")
+    p_serve.add_argument("--client-budget-s", type=float, default=None,
+                         help="per-client solve-second budget: each X-Client-Id "
+                              "gets this many wall seconds of verification per "
+                              "--budget-window-s, continuously refilled; "
+                              "exhausted clients get 429 + Retry-After "
+                              "(default: no budgets)")
+    p_serve.add_argument("--budget-window-s", type=float, default=60.0,
+                         help="refill window for --client-budget-s (default 60)")
+    p_serve.add_argument("--queue-timeout-s", type=float, default=30.0,
+                         help="max seconds a request may wait in the admission "
+                              "queue before 503 queue_timeout (default 30)")
+    p_serve.add_argument("--drain-timeout-s", type=float, default=60.0,
+                         help="max seconds to wait for in-flight requests on "
+                              "SIGTERM/SIGINT before exiting (default 60)")
+    p_serve.add_argument("--quiet", "-q", action="store_true",
+                         help="suppress per-request access logging")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="cache lifecycle: stats, gc (age/LRU sweep), verify")

@@ -4,9 +4,11 @@ The session's unit of progress is the :class:`VcEvent`: every VC slot of
 a method emits exactly one ``planned`` event when the plan lands and
 exactly one *terminal* event (``cache_hit`` | ``dedup`` | ``solved`` |
 ``timeout`` | ``error``) when its verdict is known.  Events are typed,
-JSON-serializable, and ordered -- ``seq`` is the position in the
-request's stream -- so machine consumers (the ``--events`` JSONL mode,
-dashboards, CI) replay verification progress without parsing log text.
+JSON-serializable, and ordered -- ``seq`` is allocated from the owning
+session's run-scoped counter, strictly increasing across every stream
+the session produces -- so machine consumers (the ``--events`` JSONL
+mode, the ``repro serve`` stream endpoint, dashboards, CI) replay
+verification progress without parsing log text.
 
 A method's events culminate in a :class:`VerificationResult`: per-VC
 :class:`VcVerdict`s in plan order, timing and shrink stats, event-kind
@@ -89,6 +91,34 @@ class VcEvent:
         if self.winner is not None:
             out["winner"] = self.winner
         return out
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "VcEvent":
+        """Inverse of :meth:`to_json`: rebuild an event from its wire form.
+
+        The wire form elides defaults (``detail`` when empty, ``time_s``
+        on non-terminal events, shrink stats when zero), so the
+        round-trip law is on the *serialized* side:
+        ``VcEvent.from_json(e.to_json()).to_json() == e.to_json()`` for
+        every event the session emits.  This is what lets a remote
+        consumer of the ``repro serve`` JSONL stream reconstruct typed
+        events with in-process semantics (``is_terminal`` included).
+        """
+        return cls(
+            kind=doc["kind"],
+            structure=doc["structure"],
+            method=doc["method"],
+            index=doc["vc"],
+            label=doc["label"],
+            verdict=doc.get("verdict"),
+            detail=doc.get("detail", ""),
+            time_s=float(doc.get("time_s", 0.0)),
+            seq=doc.get("seq", -1),
+            stage=doc.get("stage", "solve"),
+            nodes_before=doc.get("nodes_before", 0),
+            nodes_after=doc.get("nodes_after", 0),
+            winner=doc.get("winner"),
+        )
 
 
 @dataclass(frozen=True)

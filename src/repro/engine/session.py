@@ -29,7 +29,21 @@ Event-stream contract (validated in ``tests/test_session.py`` and by
 - a VC's ``planned`` event always precedes its terminal event; under
   ``jobs=1`` the whole stream is deterministic, under parallelism only
   this per-VC partial order (and per-method grouping) is guaranteed;
-- ``seq`` increments by one per event within a request's stream.
+- ``seq`` is allocated from one *session-scoped* counter, so it is
+  strictly increasing within every request's stream and totally ordered
+  across every stream the session ever produced (a single-request
+  session sees 0, 1, 2, ...; concurrent requests see gaps where the
+  other streams' events interleaved).
+
+Thread-safety contract (the ``repro serve`` daemon relies on this, and
+``tests/test_session.py`` pins it): :meth:`~VerificationSession.submit`
+may be called from any number of threads against one shared session.
+Method verification serializes on an internal submission lock -- the
+lock guards the process-global interned-term state, the plan/verdict
+caches and the persistent worker pool -- and is held while a method's
+events are being produced, so each *run's* event stream must be
+consumed from a single thread (draining it releases the lock for the
+next tenant between methods).
 
 Verdicts are identical to the legacy blocking engine at any ``jobs``,
 with and without batching, warm or cold cache (parity-tested).
@@ -38,6 +52,7 @@ with and without batching, warm or cold cache (parity-tested).
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 import time
 from pathlib import Path
 from dataclasses import dataclass, field as dc_field, replace as dc_replace
@@ -189,17 +204,36 @@ class VerificationSession:
         self.cache_max_age_days = cache_max_age_days
         self._pool = None
         self._swept = False
+        # Concurrent submit() support: the submission lock serializes
+        # per-method plan+solve work across threads (interned terms,
+        # caches and the pool are not otherwise thread-safe); reentrant
+        # so a single thread may still interleave two of its own runs,
+        # as the pre-daemon API allowed.  The seq counter is
+        # session-scoped: every event the session ever emits gets a
+        # globally unique, strictly increasing sequence number.
+        self._lock = threading.RLock()
+        self._seq_lock = threading.Lock()
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            seq = self._seq
+            self._seq += 1
+            return seq
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
         """Release the persistent worker pool and, when lifecycle budgets
-        are configured, sweep the cache dir (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        self._sweep_caches()
+        are configured, sweep the cache dir (idempotent).  Takes the
+        submission lock, so an in-flight submit finishes its current
+        method before the pool is torn down."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+            self._sweep_caches()
 
     def _sweep_caches(self) -> None:
         if (
@@ -324,99 +358,118 @@ class VerificationSession:
             if request.method_budget_s is not None
             else self.method_budget_s
         )
-        seq = [0]
+        for method in request.method_list:
+            # One method = one critical section: concurrent submits
+            # interleave *between* methods, never inside one (the
+            # interned-term state, plan cache, verdict cache and pool
+            # are all touched below).  The lock is deliberately held
+            # across the yields -- the consumer drives the solve, so
+            # releasing mid-method would let a second tenant corrupt
+            # the shared state the first is still reading.
+            with self._lock:
+                yield from self._method_events(
+                    request, method, timeout_s, budget_s, results
+                )
+
+    def _method_events(
+        self,
+        request: VerificationRequest,
+        method: str,
+        timeout_s: Optional[float],
+        budget_s: Optional[float],
+        results: List[VerificationResult],
+    ) -> Iterator[VcEvent]:
+        """One method's event stream; caller holds the submission lock."""
 
         def stamped(event: VcEvent, state: _MethodState) -> VcEvent:
-            event = dc_replace(event, seq=seq[0])
-            seq[0] += 1
+            event = dc_replace(event, seq=self._next_seq())
             state.event_counts[event.kind] = state.event_counts.get(event.kind, 0) + 1
             return event
 
-        for method in request.method_list:
-            started = time.perf_counter()
-            plan = self._plan(request.program, request.ids, method)
-            state = _MethodState(plan=plan, started=started)
+        started = time.perf_counter()
+        plan = self._plan(request.program, request.ids, method)
+        state = _MethodState(plan=plan, started=started)
 
-            # Advisory lint events first: error-severity findings of the
-            # pre-plan static analyzer, outside the per-VC slot contract
-            # (index -1, no terminal event, never affect verdicts).
-            for diag in plan.lint:
-                if diag.severity != "error":
-                    continue
+        # Advisory lint events first: error-severity findings of the
+        # pre-plan static analyzer, outside the per-VC slot contract
+        # (index -1, no terminal event, never affect verdicts).
+        for diag in plan.lint:
+            if diag.severity != "error":
+                continue
+            yield stamped(
+                VcEvent(
+                    kind="lint",
+                    structure=plan.structure,
+                    method=plan.method,
+                    index=-1,
+                    label=diag.code,
+                    detail=diag.render(),
+                    stage="plan",
+                ),
+                state,
+            )
+
+        # Phase 1 events: every slot is announced, static failures
+        # terminate immediately (stage="plan").
+        for pvc in plan.vcs:
+            yield stamped(
+                VcEvent(
+                    kind="planned",
+                    structure=plan.structure,
+                    method=plan.method,
+                    index=pvc.index,
+                    label=pvc.label,
+                    detail=pvc.failure or "",
+                    stage="plan",
+                    nodes_before=pvc.nodes_before,
+                    nodes_after=pvc.nodes_after,
+                ),
+                state,
+            )
+        for pvc in plan.vcs:
+            if pvc.failure is not None:
                 yield stamped(
                     VcEvent(
-                        kind="lint",
-                        structure=plan.structure,
-                        method=plan.method,
-                        index=-1,
-                        label=diag.code,
-                        detail=diag.render(),
-                        stage="plan",
-                    ),
-                    state,
-                )
-
-            # Phase 1 events: every slot is announced, static failures
-            # terminate immediately (stage="plan").
-            for pvc in plan.vcs:
-                yield stamped(
-                    VcEvent(
-                        kind="planned",
+                        kind="error",
                         structure=plan.structure,
                         method=plan.method,
                         index=pvc.index,
                         label=pvc.label,
-                        detail=pvc.failure or "",
+                        verdict="error",
+                        detail=pvc.failure,
                         stage="plan",
-                        nodes_before=pvc.nodes_before,
-                        nodes_after=pvc.nodes_after,
                     ),
                     state,
                 )
-            for pvc in plan.vcs:
-                if pvc.failure is not None:
-                    yield stamped(
-                        VcEvent(
-                            kind="error",
-                            structure=plan.structure,
-                            method=plan.method,
-                            index=pvc.index,
-                            label=pvc.label,
-                            verdict="error",
-                            detail=pvc.failure,
-                            stage="plan",
-                        ),
-                        state,
-                    )
 
-            # Phase 2 events: one terminal event per solvable slot, pushed
-            # as the scheduler's streaming protocol delivers verdicts.
-            units = self._units(plan, timeout_s)
-            use_pool = (
-                self.persistent_pool
-                and self.jobs > 1
-                and timeout_s is None
-                and budget_s is None
+        # Phase 2 events: one terminal event per solvable slot, pushed
+        # as the scheduler's streaming protocol delivers verdicts.
+        units = self._units(plan, timeout_s)
+        use_pool = (
+            self.persistent_pool
+            and self.jobs > 1
+            and timeout_s is None
+            and budget_s is None
+        )
+        solve_started = time.perf_counter()
+        for res in stream_tasks(
+            units,
+            jobs=self.jobs,
+            cache=self.cache,
+            mp_context=self.mp_context,
+            deadline_s=budget_s,
+            # Lazy: the pool is only materialized when a cache-missing
+            # unit actually reaches a worker, so warm-cache submits
+            # spawn no processes.
+            pool_factory=self._ensure_pool if use_pool else None,
+        ):
+            state.task_results.append(res)
+            yield stamped(
+                event_for_result(plan.structure, plan.method, res), state
             )
-            solve_started = time.perf_counter()
-            for res in stream_tasks(
-                units,
-                jobs=self.jobs,
-                cache=self.cache,
-                mp_context=self.mp_context,
-                deadline_s=budget_s,
-                # Lazy: the pool is only materialized when a cache-missing
-                # unit actually reaches a worker, so warm-cache submits
-                # spawn no processes.
-                pool_factory=self._ensure_pool if use_pool else None,
-            ):
-                state.task_results.append(res)
-                yield stamped(
-                    event_for_result(plan.structure, plan.method, res), state
-                )
-            state.solve_s = time.perf_counter() - solve_started
+        state.solve_s = time.perf_counter() - solve_started
 
-            results.append(self._finish(state))
+        results.append(self._finish(state))
 
     def _finish(self, state: _MethodState) -> VerificationResult:
         diagnostics: List[Diagnostic] = []

@@ -1,0 +1,290 @@
+"""Wire models of the verification service: requests, responses, errors.
+
+Everything the daemon reads or writes over HTTP is defined here, with
+one schema version stamp per surface:
+
+- :class:`VerifyRequest` -- the ``POST /v1/verify[/stream]`` body:
+  registry selectors (``structure`` / ``methods`` / ``all``), an
+  optional backend pin, and per-request budget overrides.  Parsing is
+  *strict*: unknown keys, wrong types, and empty selections are
+  :class:`ValidationError`\\ s (HTTP 400), never silently ignored -- a
+  typo'd ``"methdos"`` must not quietly verify nothing.
+- :class:`VerifyResponse` -- the blocking response and the stream's
+  terminal summary line.  Its JSON is deliberately the *same document*
+  ``repro verify --format json`` prints (``schema_version`` 7,
+  ``command: "verify"``), extended with a ``service`` block
+  (:data:`SERVICE_SCHEMA_VERSION`), so ``benchmarks/check_schema.py``
+  validates both surfaces with one checker.
+- :class:`ServiceError` -- the typed error envelope: every non-2xx
+  response body is ``{"schema_version": 1, "error": {"code", "message"
+  [, "retry_after_s"]}}`` with a stable machine-readable ``code``.
+
+:func:`schema_doc` renders the whole contract (endpoints, request
+fields, error codes) as a JSON document served at ``GET /v1/schema``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..engine.events import VerificationResult
+
+__all__ = [
+    "SERVICE_SCHEMA_VERSION",
+    "RESULT_SCHEMA_VERSION",
+    "ServiceError",
+    "ValidationError",
+    "VerifyRequest",
+    "VerifyResponse",
+    "schema_doc",
+    "verdicts_equal",
+    "ERROR_CODES",
+]
+
+#: Version of the service's own wire surfaces (request body, error
+#: envelope, /metrics, /healthz, /v1/registry, /v1/schema).
+SERVICE_SCHEMA_VERSION = 1
+
+#: Version of the shared result-document schema (the CLI's
+#: ``verify --format json`` / bench_results.json lineage).
+RESULT_SCHEMA_VERSION = 7
+
+
+class ServiceError(Exception):
+    """An HTTP-facing failure with a stable error code.
+
+    ``status`` is the HTTP status to send, ``code`` the machine-readable
+    discriminator, ``retry_after_s`` (when set) additionally becomes a
+    ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+    def to_json(self) -> dict:
+        error = {"code": self.code, "message": self.message}
+        if self.retry_after_s is not None:
+            error["retry_after_s"] = round(self.retry_after_s, 3)
+        return {"schema_version": SERVICE_SCHEMA_VERSION, "error": error}
+
+
+class ValidationError(ServiceError):
+    """A malformed request body (HTTP 400)."""
+
+    def __init__(self, message: str):
+        super().__init__(400, "invalid_request", message)
+
+
+_REQUEST_FIELDS = {
+    "structure": "optional str: restrict to one registry structure",
+    "methods": "optional [str, ...]: restrict to named methods",
+    "all": "optional bool: select every registry method",
+    "backend": "optional str: must equal the backend the daemon serves",
+    "timeout_s": "optional positive number: per-VC wall-clock timeout",
+    "method_budget_s": "optional positive number: per-method wall-clock budget",
+    "client": "optional str: client id (X-Client-Id header wins if both set)",
+}
+
+
+def _opt_positive(doc: dict, key: str) -> Optional[float]:
+    value = doc.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{key!r} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{key!r} must be positive, got {value!r}")
+    return float(value)
+
+
+def _opt_str(doc: dict, key: str) -> Optional[str]:
+    value = doc.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise ValidationError(f"{key!r} must be a non-empty string")
+    return value
+
+
+@dataclass(frozen=True)
+class VerifyRequest:
+    """A validated ``POST /v1/verify[/stream]`` body."""
+
+    structure: Optional[str] = None
+    methods: Tuple[str, ...] = ()
+    all: bool = False
+    backend: Optional[str] = None
+    timeout_s: Optional[float] = None
+    method_budget_s: Optional[float] = None
+    client: Optional[str] = None
+
+    @classmethod
+    def from_json(cls, doc: object) -> "VerifyRequest":
+        """Strictly parse a request body; :class:`ValidationError` on any
+        unknown key, type mismatch, or empty selection."""
+        if not isinstance(doc, dict):
+            raise ValidationError(
+                f"request body must be a JSON object, got {type(doc).__name__}"
+            )
+        unknown = sorted(set(doc) - set(_REQUEST_FIELDS))
+        if unknown:
+            known = ", ".join(sorted(_REQUEST_FIELDS))
+            raise ValidationError(
+                f"unknown field(s) {', '.join(repr(k) for k in unknown)} "
+                f"(known: {known})"
+            )
+        all_ = doc.get("all", False)
+        if not isinstance(all_, bool):
+            raise ValidationError(f"'all' must be a bool, got {type(all_).__name__}")
+        methods = doc.get("methods", [])
+        if not isinstance(methods, list) or not all(
+            isinstance(m, str) and m for m in methods
+        ):
+            raise ValidationError("'methods' must be a list of non-empty strings")
+        request = cls(
+            structure=_opt_str(doc, "structure"),
+            methods=tuple(methods),
+            all=all_,
+            backend=_opt_str(doc, "backend"),
+            timeout_s=_opt_positive(doc, "timeout_s"),
+            method_budget_s=_opt_positive(doc, "method_budget_s"),
+            client=_opt_str(doc, "client"),
+        )
+        if not request.all and request.structure is None and not request.methods:
+            raise ValidationError(
+                "empty selection: pass 'all': true, a 'structure', or 'methods'"
+            )
+        return request
+
+    def to_json(self) -> dict:
+        out: dict = {}
+        if self.structure is not None:
+            out["structure"] = self.structure
+        if self.methods:
+            out["methods"] = list(self.methods)
+        if self.all:
+            out["all"] = True
+        if self.backend is not None:
+            out["backend"] = self.backend
+        if self.timeout_s is not None:
+            out["timeout_s"] = self.timeout_s
+        if self.method_budget_s is not None:
+            out["method_budget_s"] = self.method_budget_s
+        if self.client is not None:
+            out["client"] = self.client
+        return out
+
+
+@dataclass
+class VerifyResponse:
+    """The blocking-response / stream-summary document for one request.
+
+    ``rows`` are ``(structure, method, VerificationResult, status)``
+    exactly as the CLI's verify path produces them.
+    """
+
+    rows: List[tuple]
+    wall_s: float
+    jobs: int
+    backend: str
+    simplify: bool
+    batch: bool
+    client: str
+
+    @property
+    def ok(self) -> bool:
+        return all(status == "verified" for *_r, status in self.rows)
+
+    def to_json(self) -> dict:
+        results = []
+        for _structure, _method, result, status in self.rows:
+            results.append(dict(result.to_json(), status=status))
+        return {
+            # The shared result-document schema: identical required keys
+            # to `repro verify --format json`, so check_schema.py's
+            # check_report validates service responses unchanged.
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "command": "verify",
+            "jobs": self.jobs,
+            "backend": self.backend,
+            "simplify": self.simplify,
+            "batch": self.batch,
+            "wall_s": round(self.wall_s, 3),
+            "n_methods": len(results),
+            "n_verified": sum(1 for r in results if r["status"] == "verified"),
+            "results": results,
+            "service": {
+                "schema_version": SERVICE_SCHEMA_VERSION,
+                "client": self.client,
+            },
+        }
+
+
+def verdicts_equal(a: VerificationResult, b: VerificationResult) -> bool:
+    """Verdict-level equality of two results (order-sensitive), used by
+    parity tests and the CI gate: same ok bit, same per-VC statuses."""
+    return (
+        a.ok == b.ok
+        and a.n_vcs == b.n_vcs
+        and [v.status for v in a.verdicts] == [v.status for v in b.verdicts]
+        and a.failed == b.failed
+    )
+
+
+#: Stable error codes the daemon emits, with the HTTP status each rides on.
+ERROR_CODES = {
+    "invalid_request": 400,
+    "unknown_selection": 400,
+    "backend_unsupported": 400,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "payload_too_large": 413,
+    "queue_full": 429,
+    "client_budget_exhausted": 429,
+    "queue_timeout": 503,
+    "draining": 503,
+    "internal_error": 500,
+}
+
+
+def schema_doc() -> dict:
+    """The machine-readable service contract (``GET /v1/schema``)."""
+    return {
+        "schema_version": SERVICE_SCHEMA_VERSION,
+        "result_schema_version": RESULT_SCHEMA_VERSION,
+        "endpoints": {
+            "POST /v1/verify": "blocking verification; body = verify request, "
+                               "response = result document (schema_version "
+                               f"{RESULT_SCHEMA_VERSION})",
+            "POST /v1/verify/stream": "chunked application/x-ndjson: one VcEvent "
+                                      "per line as verdicts land, then one "
+                                      '{"kind": "summary", ...result document} line',
+            "GET /healthz": "liveness + drain state",
+            "GET /v1/registry": "verifiable structures/methods and backends",
+            "GET /v1/schema": "this document",
+            "GET /metrics": "requests, queue depth, in-flight, per-client "
+                            "budgets, cache hit rates, per-backend solve seconds",
+        },
+        "request_fields": dict(_REQUEST_FIELDS),
+        "headers": {
+            "X-Client-Id": "budget accounting key; unset clients share the "
+                           "'anonymous' bucket",
+        },
+        "error_envelope": {
+            "schema_version": SERVICE_SCHEMA_VERSION,
+            "error": {"code": "str (stable)", "message": "str",
+                      "retry_after_s": "number, only on 429/503 backpressure"},
+        },
+        "error_codes": dict(ERROR_CODES),
+    }

@@ -1,0 +1,306 @@
+"""Admission control for the verification daemon.
+
+The service's capacity story in one object: an :class:`AdmissionQueue`
+decides, per incoming request, whether it runs now, waits its turn, or
+is turned away -- before any verification work starts.  Three gates, in
+order:
+
+1. **per-client budget** -- a token bucket of *solve seconds* per
+   ``X-Client-Id``.  A client starts with ``client_budget_s`` seconds of
+   balance, refilled continuously at ``client_budget_s /
+   budget_window_s`` per second (so the budget reads as "S solve-seconds
+   per window").  Admission requires a *positive* balance; the actual
+   wall seconds a request consumed are charged on completion (the
+   balance may go negative -- an expensive request is never cut off
+   mid-solve, it just pushes the client's next admission further out).
+   An exhausted budget raises :class:`BudgetExhausted` carrying the
+   ``Retry-After`` seconds until the balance is positive again.
+2. **concurrency** -- at most ``max_inflight`` requests hold an
+   execution slot at once.
+3. **bounded FIFO queue** -- requests beyond the in-flight limit wait in
+   arrival order, at most ``max_queue`` deep (:class:`QueueFull`
+   otherwise -- load is shed at the door, never by stalling in-flight
+   work), each for at most its deadline (:class:`QueueTimeout` after
+   ``queue_timeout_s``).
+
+Slots transfer FIFO: a completing request hands its slot directly to the
+oldest waiter, so the queue can never be starved by fresh arrivals.
+Everything is stdlib ``threading``; the clock is injectable for
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "BudgetExhausted",
+    "Draining",
+    "QueueFull",
+    "QueueTimeout",
+    "TokenBucket",
+]
+
+
+class AdmissionError(Exception):
+    """A request the queue refused; carries the HTTP-facing envelope."""
+
+    status = 429
+    code = "admission_rejected"
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class QueueFull(AdmissionError):
+    status = 429
+    code = "queue_full"
+
+
+class BudgetExhausted(AdmissionError):
+    status = 429
+    code = "client_budget_exhausted"
+
+
+class QueueTimeout(AdmissionError):
+    status = 503
+    code = "queue_timeout"
+
+
+class Draining(AdmissionError):
+    status = 503
+    code = "draining"
+
+
+class TokenBucket:
+    """A continuous token bucket denominated in solve seconds.
+
+    Not thread-safe on its own -- the owning queue's lock serializes
+    access.  ``capacity_s`` is both the starting balance and the cap;
+    ``refill_per_s`` tokens accrue per wall second (lazily, on read).
+    """
+
+    def __init__(
+        self,
+        capacity_s: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.capacity_s = capacity_s
+        self.refill_per_s = refill_per_s
+        self.charged_s = 0.0
+        self.requests = 0
+        self._clock = clock
+        self._balance = capacity_s
+        self._at = clock()
+
+    def balance(self) -> float:
+        now = self._clock()
+        self._balance = min(
+            self.capacity_s, self._balance + (now - self._at) * self.refill_per_s
+        )
+        self._at = now
+        return self._balance
+
+    def charge(self, seconds: float) -> None:
+        self.balance()  # settle accrual before the debit
+        self._balance -= seconds
+        self.charged_s += seconds
+
+    def retry_after_s(self) -> float:
+        """Seconds until the balance is positive again (0 if it is)."""
+        balance = self.balance()
+        if balance > 0:
+            return 0.0
+        if self.refill_per_s <= 0:
+            return float("inf")
+        return -balance / self.refill_per_s
+
+
+class AdmissionQueue:
+    """The daemon's admission gate; see the module docstring.
+
+    Usage (always pair the calls, ``finally`` included)::
+
+        queue.admit(client_id)         # raises an AdmissionError or returns
+        try:
+            ...  # do the work
+        finally:
+            queue.release(client_id, charge_s=elapsed)
+
+    ``client_budget_s=None`` disables budgets entirely (every client is
+    always admissible); ``max_queue=0`` makes the queue purely
+    concurrency-gated (excess load is shed immediately).
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 2,
+        max_queue: int = 16,
+        client_budget_s: Optional[float] = None,
+        budget_window_s: float = 60.0,
+        queue_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.client_budget_s = client_budget_s
+        self.budget_window_s = budget_window_s
+        self.queue_timeout_s = queue_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._waiting: deque = deque()  # FIFO of threading.Event tickets
+        self._draining = False
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.counters = {
+            "received": 0,
+            "admitted": 0,
+            "completed": 0,
+            "rejected_queue_full": 0,
+            "rejected_budget": 0,
+            "rejected_draining": 0,
+            "queue_timeouts": 0,
+        }
+
+    # -- admission ----------------------------------------------------------
+
+    def _bucket(self, client_id: str) -> Optional[TokenBucket]:
+        if self.client_budget_s is None:
+            return None
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.client_budget_s,
+                self.client_budget_s / self.budget_window_s,
+                clock=self._clock,
+            )
+            self._buckets[client_id] = bucket
+        return bucket
+
+    def admit(self, client_id: str, deadline_s: Optional[float] = None) -> None:
+        """Block until the request holds an execution slot, or raise.
+
+        ``deadline_s`` overrides the queue-level wait deadline for this
+        request.  Raises :class:`Draining`, :class:`BudgetExhausted`,
+        :class:`QueueFull` or :class:`QueueTimeout`.
+        """
+        with self._lock:
+            self.counters["received"] += 1
+            if self._draining:
+                self.counters["rejected_draining"] += 1
+                raise Draining("server is draining; not accepting new requests")
+            bucket = self._bucket(client_id)
+            if bucket is not None:
+                bucket.requests += 1
+                if bucket.balance() <= 0:
+                    retry = bucket.retry_after_s()
+                    self.counters["rejected_budget"] += 1
+                    raise BudgetExhausted(
+                        f"client {client_id!r} solve-time budget exhausted "
+                        f"(balance {bucket.balance():.2f}s of "
+                        f"{self.client_budget_s:g}s per {self.budget_window_s:g}s window)",
+                        retry_after_s=retry,
+                    )
+            # Fast path: a free slot and nobody queued ahead of us.
+            if self._inflight < self.max_inflight and not self._waiting:
+                self._inflight += 1
+                self.counters["admitted"] += 1
+                return
+            if len(self._waiting) >= self.max_queue:
+                self.counters["rejected_queue_full"] += 1
+                raise QueueFull(
+                    f"queue full ({len(self._waiting)}/{self.max_queue} waiting, "
+                    f"{self._inflight}/{self.max_inflight} in flight)"
+                )
+            ticket = threading.Event()
+            self._waiting.append(ticket)
+        # Wait outside the lock; release() hands the slot over by setting
+        # the ticket (the slot is already ours then -- inflight was never
+        # decremented).
+        deadline = self.queue_timeout_s if deadline_s is None else deadline_s
+        ticket.wait(deadline)
+        with self._lock:
+            if ticket.is_set():  # granted (possibly just after the timeout)
+                self.counters["admitted"] += 1
+                return
+            self._waiting.remove(ticket)
+            self.counters["queue_timeouts"] += 1
+            raise QueueTimeout(
+                f"request waited past its {deadline:g}s queue deadline"
+            )
+
+    def release(self, client_id: str, charge_s: float = 0.0) -> None:
+        """Return a slot: charge the client, hand the slot FIFO onward."""
+        with self._lock:
+            bucket = self._bucket(client_id)
+            if bucket is not None and charge_s > 0:
+                bucket.charge(charge_s)
+            self.counters["completed"] += 1
+            if self._waiting:
+                self._waiting.popleft().set()  # slot transfers, FIFO
+            else:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    # -- drain --------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting; already-queued and in-flight work finishes."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def wait_idle(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until no request is in flight or queued; True if idle."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._inflight == 0 and not self._waiting,
+                timeout=timeout_s,
+            )
+
+    # -- observability ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The /metrics view: counters, gauges, per-client budgets."""
+        with self._lock:
+            out = {
+                "counters": dict(self.counters),
+                "depth": len(self._waiting),
+                "inflight": self._inflight,
+                "max_queue": self.max_queue,
+                "max_inflight": self.max_inflight,
+                "queue_timeout_s": self.queue_timeout_s,
+                "draining": self._draining,
+                "budgets": {
+                    "enabled": self.client_budget_s is not None,
+                    "client_budget_s": self.client_budget_s,
+                    "budget_window_s": self.budget_window_s,
+                },
+            }
+            clients = {}
+            for client_id, bucket in sorted(self._buckets.items()):
+                clients[client_id] = {
+                    "balance_s": round(bucket.balance(), 4),
+                    "charged_s": round(bucket.charged_s, 4),
+                    "requests": bucket.requests,
+                }
+            out["clients"] = clients
+            return out

@@ -268,3 +268,27 @@ def test_cli_lint_dirty_registry_exit_codes(monkeypatch, capsys, dropped_ghost_u
     assert code == 1
     assert doc["n_findings"] == 1 and doc["findings"][0]["code"] == "GHOST002"
     assert doc["severity_counts"]["error"] == 1
+
+
+def test_explanations_cover_every_code():
+    """--explain is total over the stable code table: every code has a
+    detection-logic blurb and a minimal triggering example."""
+    from repro.analysis.diagnostics import EXPLANATIONS, explain_code
+
+    assert set(EXPLANATIONS) == set(CODES)
+    for code, (severity, description) in CODES.items():
+        text = explain_code(code)
+        assert text.startswith(f"{code} [{severity}] {description}")
+        assert "detection:" in text and "example:" in text
+
+
+def test_cli_lint_explain(capsys):
+    assert cli.main(["lint", "--explain", "GHOST002"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("GHOST002 [error]")
+    assert "dropped ghost update" in out
+    assert "example:" in out
+
+    assert cli.main(["lint", "--explain", "NOPE999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown diagnostic code" in err and "GHOST002" in err

@@ -18,6 +18,7 @@ also enforces in CI):
 import importlib.util
 import json
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -191,6 +192,70 @@ def test_multi_method_request_streams_in_order(loaded):
     assert all(m == "sll_find" for m in methods_seen[:switch])
     assert all(m == "sll_insert_front" for m in methods_seen[switch:])
     assert all(r.ok for r in results)
+
+
+def test_seq_is_session_scoped_across_requests(loaded):
+    """The seq counter belongs to the session, not the request: a later
+    submit continues where the previous one stopped (the daemon relies
+    on this for globally ordered streams), and single-threaded use stays
+    dense from zero."""
+    program, ids = loaded[OK_METHOD[0]]
+    with VerificationSession(diagnostics=False) as session:
+        first, _ = _events_of(session, program, ids, OK_METHOD[1])
+        second, _ = _events_of(session, program, ids, OK_METHOD[1])
+    seqs = [e.seq for e in first + second]
+    assert seqs == list(range(len(seqs)))
+    assert second[0].seq == first[-1].seq + 1
+
+
+def test_concurrent_submits_share_one_session(loaded, reference):
+    """Thread-safety contract: concurrent submit() calls from multiple
+    threads serialize on the submission lock, every thread gets verdicts
+    identical to the sequential reference, and seq values are globally
+    unique and per-stream increasing."""
+    program, ids = loaded[OK_METHOD[0]]
+    ref = reference[OK_METHOD[1]]
+    outcomes = {}
+    errors = []
+    barrier = threading.Barrier(4)
+
+    with VerificationSession(diagnostics=False) as session:
+
+        def worker(name):
+            try:
+                barrier.wait(timeout=10)
+                events, result = _events_of(session, program, ids, OK_METHOD[1])
+                outcomes[name] = (events, result)
+            except Exception as e:  # surfaced below; threads must not die silently
+                errors.append((name, e))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+    assert errors == []
+    assert len(outcomes) == 4
+    all_seqs = []
+    for events, result in outcomes.values():
+        assert (result.ok, result.n_vcs, result.failed) == (
+            ref.ok, ref.n_vcs, ref.failed
+        )
+        stream_seqs = [e.seq for e in events]
+        assert stream_seqs == sorted(stream_seqs)
+        all_seqs.extend(stream_seqs)
+    assert len(set(all_seqs)) == len(all_seqs)  # globally unique
+
+
+def test_vcevent_json_round_trip(loaded):
+    program, ids = loaded[OK_METHOD[0]]
+    with VerificationSession(diagnostics=False) as session:
+        events, _ = _events_of(session, program, ids, OK_METHOD[1])
+    from repro.engine.events import VcEvent
+
+    for event in events:
+        doc = event.to_json()
+        assert VcEvent.from_json(doc).to_json() == doc
 
 
 def test_persistent_pool_is_reused_across_submits(loaded):
