@@ -1,8 +1,9 @@
-"""CI schema gate: validate bench_results.json (v7) and events JSONL files.
+"""CI schema gate: validate bench_results.json (v8), events and journal JSONL.
 
 Usage::
 
     python benchmarks/check_schema.py bench_results.json [--events events.jsonl]
+    python benchmarks/check_schema.py --journal .vc-cache/journal/RUN.jsonl
 
 Checks, without any third-party schema library (stdlib only, like the
 rest of the repo):
@@ -13,7 +14,10 @@ rest of the repo):
   ``plan_cached`` flag), the plan-cache stats block, the v6 ``cache``
   lifecycle block (per-tier entry counts/bytes/hit rates), the v7
   per-method ``portfolio`` block (member win counts of a
-  ``portfolio:`` race, bounded by the method's solved events), and the
+  ``portfolio:`` race, bounded by the method's solved events), the v8
+  robustness attribution (``retries``: supervised worker retries behind
+  the row; ``quarantined``: VCs failed to an error verdict after the
+  retry policy gave up), and the
   event-count invariants of the session API -- every VC is ``planned``
   exactly once and settled by exactly one terminal event
   (``cache_hit`` | ``dedup`` | ``solved`` | ``timeout`` | ``error``),
@@ -33,7 +37,13 @@ rest of the repo):
   settle nothing.  The service's ``POST /v1/verify/stream`` terminates
   its stream with one ``{"kind": "summary", ...}`` line carrying the
   full result document; when present it must be last and is validated
-  with the report checker.
+  with the report checker;
+- ``--journal`` run-journal JSONL files (``<cache-dir>/journal/``):
+  first line is a schema-1 ``start`` header, every intact line carries a
+  valid self-checksum (SHA-256 of the canonical dump minus the checksum
+  field), slot lines have the settled-slot shape, and a torn trailing
+  line -- the crash scar ``--resume`` exists for -- is tolerated, never
+  an error.
 
 Exit codes: 0 valid, 1 schema violation, 2 usage error -- matching the
 CLI's documented contract.
@@ -42,6 +52,7 @@ CLI's documented contract.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 from typing import List
@@ -66,9 +77,26 @@ _REQUIRED_RESULT_KEYS = {
     "dedup_hits": int,
     "timeouts": int,
     "errors": int,
+    "retries": int,
+    "quarantined": int,
     "encoding": str,
     "failed": list,
     "events": dict,
+}
+
+JOURNAL_SCHEMA = 1
+JOURNAL_KINDS = ("start", "slot", "method_end", "end")
+
+_REQUIRED_SLOT_KEYS = {
+    "structure": str,
+    "method": str,
+    "vc": int,
+    "label": str,
+    "verdict": str,
+    "detail": str,
+    "time_s": (int, float),
+    "cached": bool,
+    "deduped": bool,
 }
 
 _REQUIRED_FINDING_KEYS = {
@@ -167,8 +195,8 @@ def _check_finding(entry: dict, where: str, errs: SchemaErrors) -> None:
 def check_lint_report(doc: dict, errs: SchemaErrors) -> None:
     """Validate a ``repro lint --format json`` document."""
     errs.check(
-        doc.get("schema_version") == 7,
-        f"schema_version is {doc.get('schema_version')!r}, expected 7",
+        doc.get("schema_version") == 8,
+        f"schema_version is {doc.get('schema_version')!r}, expected 8",
     )
     _check_typed_keys(doc, _REQUIRED_LINT_KEYS, "lint report", errs)
     findings = doc.get("findings", [])
@@ -197,8 +225,8 @@ def check_lint_report(doc: dict, errs: SchemaErrors) -> None:
 def check_report(doc: dict, errs: SchemaErrors) -> None:
     """Validate a bench_results.json or `verify --format json` document."""
     errs.check(
-        doc.get("schema_version") == 7,
-        f"schema_version is {doc.get('schema_version')!r}, expected 7",
+        doc.get("schema_version") == 8,
+        f"schema_version is {doc.get('schema_version')!r}, expected 8",
     )
     is_verify = doc.get("command") == "verify" and "suite" not in doc
     spec = dict(_REQUIRED_BENCH_KEYS)
@@ -245,6 +273,23 @@ def check_report(doc: dict, errs: SchemaErrors) -> None:
                 ok == (not entry["failed"]),
                 f"{where}: ok={ok} inconsistent with failed list",
             )
+        retries = entry.get("retries")
+        if isinstance(retries, int):
+            errs.check(retries >= 0, f"{where}: retries {retries} is negative")
+        quarantined = entry.get("quarantined")
+        if isinstance(quarantined, int):
+            errs.check(
+                quarantined >= 0,
+                f"{where}: quarantined {quarantined} is negative",
+            )
+            if isinstance(entry.get("errors"), int):
+                # A quarantined VC settles as an error verdict, so the
+                # quarantine count can never exceed the error count.
+                errs.check(
+                    quarantined <= entry["errors"],
+                    f"{where}: quarantined {quarantined} exceeds "
+                    f"errors {entry['errors']}",
+                )
         lint = entry.get("lint")
         if lint is not None and errs.check(
             isinstance(lint, list), f"{where}: lint is not a list"
@@ -428,21 +473,149 @@ def check_events_jsonl(lines, errs: SchemaErrors) -> None:
                 isinstance(winner, str) and bool(winner),
                 f"{where}: winner {winner!r} is not a backend spec",
             )
+        # Robustness attribution (v8): retries only on terminal events,
+        # as a positive count (the field is elided when zero);
+        # quarantined only as the literal true on error verdicts.
+        retries = event.get("retries")
+        if retries is not None:
+            errs.check(
+                kind in TERMINAL_KINDS,
+                f"{where}: retries on a non-terminal {kind!r} event",
+            )
+            errs.check(
+                isinstance(retries, int) and retries > 0,
+                f"{where}: retries {retries!r} is not a positive count",
+            )
+        quarantined = event.get("quarantined")
+        if quarantined is not None:
+            errs.check(
+                quarantined is True,
+                f"{where}: quarantined {quarantined!r} (only true is emitted)",
+            )
+            errs.check(
+                kind == "error",
+                f"{where}: quarantined on a {kind!r} event (quarantine "
+                "settles a slot as an error verdict)",
+            )
     for slot in planned:
         errs.check(slot in settled, f"events: {slot} planned but never settled")
     errs.check(n > 0, "events: stream is empty")
 
 
+def _journal_checksum(record: dict) -> str:
+    """The journal/cache self-checksum: SHA-256 of the canonical dump
+    minus the checksum field (mirrors ``repro.engine.cache._checksum``;
+    reimplemented here because this gate is import-free on purpose)."""
+    body = {k: v for k, v in record.items() if k != "checksum"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def check_journal_jsonl(lines, errs: SchemaErrors) -> int:
+    """Validate a run-journal JSONL file; returns the intact slot count."""
+    lines = [line.strip() for line in lines]
+    while lines and not lines[-1]:
+        lines.pop()
+    if not errs.check(bool(lines), "journal: file is empty"):
+        return 0
+    last = len(lines) - 1
+    slots = 0
+    declared_slots = None
+    saw_start = False
+    saw_end = False
+    for i, raw in enumerate(lines):
+        if not raw:
+            continue
+        where = f"journal line {i + 1}"
+        try:
+            rec = json.loads(raw)
+        except ValueError:
+            # A torn trailing line is the crash scar the journal exists
+            # to survive; anywhere else it is damage worth flagging.
+            errs.check(i == last, f"{where}: not JSON (and not the last line)")
+            continue
+        if not errs.check(isinstance(rec, dict), f"{where}: not an object"):
+            continue
+        errs.check(
+            rec.get("checksum") == _journal_checksum(rec),
+            f"{where}: checksum mismatch",
+        )
+        kind = rec.get("kind")
+        if not errs.check(kind in JOURNAL_KINDS, f"{where}: unknown kind {kind!r}"):
+            continue
+        if i == 0:
+            errs.check(kind == "start", f"{where}: first line kind {kind!r}, "
+                                        "expected 'start'")
+        if kind == "start":
+            saw_start = True
+            errs.check(
+                rec.get("schema") == JOURNAL_SCHEMA,
+                f"{where}: journal schema {rec.get('schema')!r}, "
+                f"expected {JOURNAL_SCHEMA}",
+            )
+            errs.check(
+                isinstance(rec.get("run_id"), str) and bool(rec.get("run_id")),
+                f"{where}: start line has no run_id",
+            )
+            errs.check(
+                isinstance(rec.get("config"), dict),
+                f"{where}: start line has no config object",
+            )
+        elif kind == "slot":
+            slots += 1
+            _check_typed_keys(rec, _REQUIRED_SLOT_KEYS, where, errs)
+            errs.check(
+                rec.get("verdict") in VERDICTS,
+                f"{where}: slot verdict {rec.get('verdict')!r}",
+            )
+            if "retries" in rec:
+                errs.check(
+                    isinstance(rec["retries"], int) and rec["retries"] > 0,
+                    f"{where}: retries {rec['retries']!r} is not a "
+                    "positive count",
+                )
+            if "quarantined" in rec:
+                errs.check(
+                    rec["quarantined"] is True,
+                    f"{where}: quarantined {rec['quarantined']!r} "
+                    "(only true is journaled)",
+                )
+        elif kind == "method_end":
+            errs.check(
+                isinstance(rec.get("ok"), bool),
+                f"{where}: method_end has no bool ok",
+            )
+        elif kind == "end":
+            errs.check(not saw_end, f"{where}: second end line")
+            saw_end = True
+            errs.check(i == last, f"{where}: end line is not last")
+            declared_slots = rec.get("slots")
+    errs.check(saw_start, "journal: no start header line")
+    if saw_end and isinstance(declared_slots, int):
+        errs.check(
+            declared_slots == slots,
+            f"journal: end line declares {declared_slots} slots, "
+            f"counted {slots}",
+        )
+    return slots
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", nargs="?", default=None,
-                        help="bench_results.json (schema v7) to validate")
+                        help="bench_results.json (schema v8) to validate")
     parser.add_argument("--events", default=None, metavar="JSONL",
                         help="also validate an --events JSON Lines stream "
                              "(a service stream's summary line is accepted)")
+    parser.add_argument("--journal", default=None, metavar="JSONL",
+                        help="also validate a crash-safe run journal "
+                             "(<cache-dir>/journal/<run_id>.jsonl; a torn "
+                             "trailing line is tolerated)")
     args = parser.parse_args(argv)  # argparse exits 2 on usage errors
-    if args.report is None and args.events is None:
-        parser.error("nothing to validate: pass a report, --events, or both")
+    if args.report is None and args.events is None and args.journal is None:
+        parser.error(
+            "nothing to validate: pass a report, --events, --journal, or any mix"
+        )
     errs = SchemaErrors()
     doc: dict = {}
     if args.report is not None:
@@ -466,20 +639,30 @@ def main(argv=None) -> int:
         except OSError as e:
             print(f"cannot read {args.events}: {e}", file=sys.stderr)
             return 2
+    journal_slots = 0
+    if args.journal:
+        try:
+            with open(args.journal, encoding="utf-8") as handle:
+                journal_slots = check_journal_jsonl(handle, errs)
+        except OSError as e:
+            print(f"cannot read {args.journal}: {e}", file=sys.stderr)
+            return 2
     if errs.problems:
         for problem in errs.problems:
             print(f"SCHEMA: {problem}", file=sys.stderr)
         print(f"\n{len(errs.problems)} schema problem(s)", file=sys.stderr)
         return 1
-    if args.report is None:
-        print(f"schema ok: {args.events} (events stream valid)")
-        return 0
-    if doc.get("command") == "lint":
-        summary = f"{len(doc.get('findings', []))} findings"
-    else:
-        summary = f"{len(doc.get('results', []))} methods"
-    print(f"schema ok: {args.report} ({summary}"
-          + (", events stream valid)" if args.events else ")"))
+    parts = []
+    if args.report is not None:
+        if doc.get("command") == "lint":
+            parts.append(f"{args.report}: {len(doc.get('findings', []))} findings")
+        else:
+            parts.append(f"{args.report}: {len(doc.get('results', []))} methods")
+    if args.events:
+        parts.append(f"{args.events}: events stream valid")
+    if args.journal:
+        parts.append(f"{args.journal}: journal valid, {journal_slots} slot(s)")
+    print("schema ok: " + "; ".join(parts))
     return 0
 
 

@@ -11,7 +11,7 @@ Subcommands:
   (``--format json`` for the structured result schema, ``--events PATH``
   to stream typed per-VC events as JSON Lines)
 - ``repro bench``   -- regenerate the paper's tables with a machine-readable
-  ``bench_results.json`` report (schema v7); ``--db PATH`` appends the
+  ``bench_results.json`` report (schema v8); ``--db PATH`` appends the
   run to a bench trajectory database (``benchmarks/db.py``)
 - ``repro serve``   -- the verification-as-a-service daemon: stdlib-only
   HTTP with blocking (``POST /v1/verify``) and streamed-JSONL
@@ -69,6 +69,7 @@ import argparse
 import json
 import os
 import platform
+import signal
 import subprocess
 import sys
 import time
@@ -78,6 +79,9 @@ from typing import List, Optional, Tuple
 
 from .engine import VerificationResult, VerificationSession
 from .engine.backends import BackendError, available_backends
+from .engine.faults import FaultSpecError
+from .engine.faults import install as install_faults
+from .engine.journal import JournalReplay
 from .engine.session import VerificationRequest
 from .structures.registry import EXPERIMENTS, Experiment, method_sizes
 
@@ -133,7 +137,11 @@ def _session_from_args(
     method_budget_s: Optional[float] = None,
     encoding: Optional[str] = None,
     diagnostics: bool = True,
+    resume: Optional[JournalReplay] = None,
 ) -> VerificationSession:
+    # Install the fault plan before the session touches any fault site;
+    # a bad spec is a usage error (FaultSpecError) handled by callers.
+    install_faults(getattr(args, "faults", None))
     return VerificationSession(
         jobs=args.jobs,
         backend=args.backend,
@@ -150,6 +158,9 @@ def _session_from_args(
         plan_cache=args.plan_cache,
         cache_max_mb=args.cache_max_mb,
         cache_max_age_days=args.cache_max_age_days,
+        max_retries=getattr(args, "max_retries", 2),
+        journal=getattr(args, "journal", True),
+        resume=resume,
     )
 
 
@@ -327,7 +338,7 @@ def cmd_lint(args) -> int:
     if args.format == "json":
         json.dump(
             {
-                "schema_version": 7,
+                "schema_version": 8,
                 "command": "lint",
                 "fail_on": args.fail_on,
                 "wall_s": round(wall, 3),
@@ -362,7 +373,33 @@ def cmd_lint(args) -> int:
 # -- repro verify ------------------------------------------------------------
 
 
+def _sigterm_to_interrupt(_signum, _frame):
+    raise KeyboardInterrupt
+
+
 def cmd_verify(args) -> int:
+    # A polite SIGTERM gets the same clean unwind as Ctrl-C: the
+    # KeyboardInterrupt runs every finally on the way out (workers
+    # reaped, journal flushed, session lock released) and main() maps
+    # it to exit 130 -- never exit 3, the interrupt is not an internal
+    # error.  The previous disposition is restored on the way out:
+    # embedded callers (tests driving main() in-process) must not leak
+    # the handler into their process, where later *forked* solver
+    # workers would inherit it and trap the pool's own terminate()
+    # SIGTERM as a Python-level interrupt instead of dying.
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+    except ValueError:
+        pass  # not the main thread (embedded use, e.g. the service)
+    try:
+        return _cmd_verify(args)
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+
+
+def _cmd_verify(args) -> int:
     try:
         chosen = _select(args.structure, args.method, args.all)
     except SelectionError as e:
@@ -371,11 +408,42 @@ def cmd_verify(args) -> int:
     if not chosen:
         print("nothing selected: pass --all, --structure or --method", file=sys.stderr)
         return EXIT_USAGE
+    resume = None
+    if args.resume:
+        if not args.cache_dir:
+            print("--resume needs --cache-dir (journals live under it)",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            resume = JournalReplay.load(args.cache_dir, args.resume)
+        except (FileNotFoundError, ValueError) as e:
+            print(f"resume error: {e}", file=sys.stderr)
+            return EXIT_USAGE
     try:
-        session = _session_from_args(args)
+        session = _session_from_args(args, resume=resume)
     except BackendError as e:
         print(f"backend error: {e}", file=sys.stderr)
         return EXIT_USAGE
+    except FaultSpecError as e:
+        print(f"faults error: {e}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as e:  # resume config mismatch
+        print(f"resume error: {e}", file=sys.stderr)
+        return EXIT_USAGE
+    if resume is not None:
+        print(
+            f"resume: run {resume.run_id} replays {resume.n_slots} settled "
+            f"slot(s)"
+            + (f", {resume.skipped_lines} damaged line(s) skipped"
+               if resume.skipped_lines else ""),
+            file=sys.stderr,
+        )
+    if session.run_journal is not None:
+        print(
+            f"journal: run {session.run_journal.run_id} "
+            f"({session.run_journal.path})",
+            file=sys.stderr,
+        )
 
     events_on_stdout = args.events == "-"
     if events_on_stdout and args.format == "json":
@@ -429,7 +497,7 @@ def cmd_verify(args) -> int:
 def _verify_doc(args, rows, wall) -> dict:
     """The ``verify --format json`` document: structured session results."""
     return {
-        "schema_version": 7,
+        "schema_version": 8,
         "command": "verify",
         "jobs": args.jobs,
         "backend": args.backend,
@@ -463,6 +531,9 @@ def cmd_bench(args) -> int:
         )
     except BackendError as e:
         print(f"backend error: {e}", file=sys.stderr)
+        return EXIT_USAGE
+    except FaultSpecError as e:
+        print(f"faults error: {e}", file=sys.stderr)
         return EXIT_USAGE
 
     try:
@@ -600,6 +671,11 @@ def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None
             "dedup_hits": report.dedup_hits,
             "timeouts": report.timeouts,
             "errors": report.errors,
+            # Robustness attribution (schema v8): total supervised worker
+            # retries behind this row, and how many VCs were quarantined
+            # to an error verdict after exhausting the retry policy.
+            "retries": report.retries,
+            "quarantined": report.quarantined,
             "encoding": report.encoding,
             "failed": report.failed,
             # Per-VC event-kind counts of this method's session stream
@@ -635,7 +711,7 @@ def _dump_json(path, suite, args, rows, wall, budget=None, plan_cache_stats=None
         for kind, count in r["events"].items():
             event_totals[kind] = event_totals.get(kind, 0) + count
     doc = {
-        "schema_version": 7,
+        "schema_version": 8,
         "suite": suite,
         "jobs": args.jobs,
         "backend": args.backend,
@@ -678,6 +754,9 @@ def cmd_serve(args) -> int:
         session = _session_from_args(args)
     except BackendError as e:
         print(f"backend error: {e}", file=sys.stderr)
+        return EXIT_USAGE
+    except FaultSpecError as e:
+        print(f"faults error: {e}", file=sys.stderr)
         return EXIT_USAGE
     config = ServeConfig(
         host=args.host,
@@ -816,6 +895,17 @@ def _add_engine_args(p: argparse.ArgumentParser, selection: bool = True) -> None
     p.add_argument("--cache-max-age-days", type=float, default=None,
                    help="cache lifecycle budget: evict entries not accessed "
                         "for this many days when the session closes")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="supervised retry budget per work unit: a unit whose "
+                        "worker dies is requeued with exponential backoff up "
+                        "to this many times; repeated crashes with no "
+                        "progress quarantine the unit to an error verdict "
+                        "(default 2; 0 disables retries)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault-injection plan, e.g. "
+                        "'worker_crash:p=0.3,seed=7;cache_write:errno=ENOSPC'"
+                        " (also via the REPRO_FAULTS env var; see README "
+                        "'Robustness' for the grammar and the site table)")
     if selection:
         p.add_argument("--structure", default=None, help="restrict to one structure")
         p.add_argument("--method", action="append", default=[],
@@ -871,6 +961,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--json", default=None,
                           help="write a bench-style JSON report here "
                                "(legacy; prefer --format json)")
+    p_verify.add_argument("--journal", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="append every settled slot to a crash-safe run "
+                               "journal under <cache-dir>/journal/ so a killed "
+                               "run can be resumed (default on; needs "
+                               "--cache-dir; --no-journal disables)")
+    p_verify.add_argument("--resume", default=None, metavar="RUN_ID",
+                          help="replay the settled slots of a previous run's "
+                               "journal and solve only the remainder (the "
+                               "session config must match; needs --cache-dir)")
     p_verify.add_argument("--quiet", "-q", action="store_true")
     p_verify.set_defaults(func=cmd_verify)
 

@@ -33,6 +33,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
@@ -40,6 +41,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 from ..smt.printer import incremental_script, script
 from ..smt.solver import IncrementalSolver, Solver, SolverError
 from ..smt.terms import Term, mk_and, mk_implies, mk_not
+from . import faults
 
 __all__ = [
     "BackendError",
@@ -79,6 +81,23 @@ class BackendUnavailable(BackendError):
 
 class CrossCheckMismatch(BackendError):
     """Two backends disagreed on a verdict -- a soundness alarm."""
+
+
+def _solve_entry_faults() -> None:
+    """Chaos-plane hook at the leaf backends' solve entry.
+
+    ``solve_hang`` stalls the call (exercising timeout/kill paths);
+    ``solve_error`` raises :exc:`SolverError` (per-goal error for a
+    single solve, context-level failure for a batch).  Leaf entry --
+    not :func:`make_backend` -- so composite specs (crosscheck,
+    portfolio fallthrough) fire once per member call, like a real
+    flaky solver would.
+    """
+    rule = faults.fire("solve_hang")
+    if rule is not None:
+        time.sleep(rule.hang_s)
+    if faults.fire("solve_error") is not None:
+        raise SolverError("injected fault: solve_error")
 
 
 @dataclass
@@ -147,6 +166,7 @@ class InTreeBackend(SolverBackend):
         conflict_budget: Optional[int] = None,
         pre_simplified: bool = False,
     ) -> BackendVerdict:
+        _solve_entry_faults()
         solver = Solver(conflict_budget=conflict_budget, assume_rewritten=pre_simplified)
         solver.add(mk_not(formula))
         result = solver.check()
@@ -164,6 +184,7 @@ class InTreeBackend(SolverBackend):
         """Shared-prefix incremental solving: the prefix's CNF, congruence
         closure and simplex state are built once; each VC only pays for
         its own remainder (``valid`` iff ``prefix /\\ ~remainder`` unsat)."""
+        _solve_entry_faults()
         inc = IncrementalSolver(
             conflict_budget=conflict_budget, assume_rewritten=pre_simplified
         )
@@ -206,6 +227,7 @@ class Smtlib2Backend(SolverBackend):
         conflict_budget: Optional[int] = None,
         pre_simplified: bool = False,
     ) -> BackendVerdict:
+        _solve_entry_faults()
         # Pre-simplified formulas serialize to proportionally smaller
         # SMT-LIB2 scripts; no extra handling is needed here.
         text = script([mk_not(formula)])
@@ -257,6 +279,7 @@ class Smtlib2Backend(SolverBackend):
         The prefix is asserted once at the outer scope so the external
         solver keeps its clauses and theory state across every
         ``(check-sat)`` -- the SMT-LIB2 face of incremental solving."""
+        _solve_entry_faults()
         remainders = list(remainders)
         if not remainders:
             return

@@ -14,10 +14,12 @@ and the VC is recomputed -- a wrong verdict is never served.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -25,11 +27,31 @@ from ..smt.printer import to_smtlib
 from ..smt.rewriter import rewrite
 from ..smt.simplify import simplify
 from ..smt.terms import Term, deep_recursion
+from . import faults
 from .cachectl import AccessIndex
 
 __all__ = ["VcCache", "formula_key", "formula_text", "key_for_text"]
 
 _CACHEABLE = ("valid", "invalid")
+
+# Disk conditions a cache degrades (rather than crashes) on: a full or
+# read-only filesystem mid-run should cost cache warmth, never verdicts.
+_DEGRADE_ERRNOS = (errno.ENOSPC, errno.EROFS)
+
+
+def _disk_degrade(cache, exc: OSError, what: str) -> bool:
+    """Disable ``cache`` (warning once) if ``exc`` is ENOSPC/EROFS."""
+    if getattr(exc, "errno", None) not in _DEGRADE_ERRNOS:
+        return False
+    if not cache.disabled:
+        cache.disabled = True
+        warnings.warn(
+            f"{what} disabled for the rest of the run "
+            f"({exc.strerror or exc}); verdicts are unaffected",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return True
 
 
 def formula_text(formula: Term, canonical: bool = False) -> str:
@@ -106,6 +128,10 @@ class VcCache:
         # bookkeeping; a lost or poisoned index degrades eviction order,
         # never verdicts.
         self.index = AccessIndex(self.root)
+        # Set when the filesystem under ``root`` fills up or goes
+        # read-only mid-run: the cache degrades to a no-op writer rather
+        # than raising out of ``settle()``.
+        self.disabled = False
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -113,6 +139,13 @@ class VcCache:
     def get(self, key: str) -> Optional[dict]:
         """Validated record for ``key``, or None (poison is purged)."""
         path = self._path(key)
+        try:
+            # An injected read fault is a pure miss: the entry on disk is
+            # fine, so it must not fall into the poison purge below.
+            faults.maybe_os_error("cache_read", token=key)
+        except OSError:
+            self.index.record_miss(key)
+            return None
         try:
             with open(path, encoding="utf-8") as handle:
                 record = json.load(handle)
@@ -141,19 +174,23 @@ class VcCache:
     def put(self, key: str, verdict: str, detail: str = "", **meta) -> None:
         """Store a definitive verdict (transient errors/timeouts are not
         cacheable -- they depend on the machine, not the formula)."""
-        if verdict not in _CACHEABLE:
+        if verdict not in _CACHEABLE or self.disabled:
             return
         record = dict(meta)
         record.update({"key": key, "verdict": verdict, "detail": detail})
         record["checksum"] = _checksum(record)
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish so a concurrent reader never sees a torn entry.
         # try/finally (not ``except OSError``) so the temp file is also
         # reclaimed when json.dump raises a non-OS error such as a
-        # TypeError on unserializable metadata.
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        # TypeError on unserializable metadata.  ENOSPC/EROFS anywhere in
+        # the write path disables the cache for the rest of the run
+        # (warning once) instead of raising out of the solve loop.
+        tmp = None
         try:
+            faults.maybe_os_error("cache_write", token=key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(record, handle)
             os.replace(tmp, path)
@@ -165,10 +202,10 @@ class VcCache:
                 self.index.touch(key, size=os.path.getsize(path))
             except OSError:
                 pass
-        except OSError:
-            pass
+        except OSError as exc:
+            _disk_degrade(self, exc, "VC cache writes")
         finally:
-            if os.path.exists(tmp):
+            if tmp is not None and os.path.exists(tmp):
                 try:
                     os.unlink(tmp)
                 except OSError:

@@ -64,6 +64,11 @@ class VcEvent:
     # Terminal events of a ``portfolio:`` race: the member backend spec
     # whose definitive verdict won the slot.
     winner: Optional[str] = None
+    # Supervised-retry attribution (schema v8): worker-crash respawns
+    # this slot's verdict survived, and whether the slot was quarantined
+    # (forced to an error verdict after repeated crashes).
+    retries: int = 0
+    quarantined: bool = False
 
     @property
     def is_terminal(self) -> bool:
@@ -90,6 +95,10 @@ class VcEvent:
             out["nodes_after"] = self.nodes_after
         if self.winner is not None:
             out["winner"] = self.winner
+        if self.retries:
+            out["retries"] = self.retries
+        if self.quarantined:
+            out["quarantined"] = True
         return out
 
     @classmethod
@@ -118,6 +127,8 @@ class VcEvent:
             nodes_before=doc.get("nodes_before", 0),
             nodes_after=doc.get("nodes_after", 0),
             winner=doc.get("winner"),
+            retries=doc.get("retries", 0),
+            quarantined=doc.get("quarantined", False),
         )
 
 
@@ -133,6 +144,8 @@ class VcVerdict:
     cached: bool = False
     deduped: bool = False
     winner: Optional[str] = None  # portfolio races: winning member spec
+    retries: int = 0  # worker-crash respawns this verdict survived
+    quarantined: bool = False  # errored out after repeated crashes
 
     def to_json(self) -> dict:
         out = {"vc": self.index, "label": self.label, "status": self.status}
@@ -145,6 +158,10 @@ class VcVerdict:
             out["deduped"] = True
         if self.winner is not None:
             out["winner"] = self.winner
+        if self.retries:
+            out["retries"] = self.retries
+        if self.quarantined:
+            out["quarantined"] = True
         return out
 
 
@@ -233,6 +250,11 @@ class VerificationResult:
     # ``portfolio:`` runs (schema v7): member backend spec -> number of
     # VC slots whose race that member won.  Empty for plain backends.
     portfolio_wins: Dict[str, int] = dc_field(default_factory=dict)
+    # Supervised-retry aggregates (schema v8): total worker-crash
+    # respawns absorbed across the method's VCs, and how many slots
+    # were quarantined to error verdicts.
+    retries: int = 0
+    quarantined: int = 0
 
     @property
     def shrink_pct(self) -> float:
@@ -279,6 +301,8 @@ class VerificationResult:
             "dedup_hits": self.dedup_hits,
             "timeouts": self.timeouts,
             "errors": self.errors,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
             "wb_ok": self.wb_ok,
             "ghost_ok": self.ghost_ok,
             "failed": list(self.failed),
@@ -321,6 +345,8 @@ def event_for_result(structure: str, method: str, res: TaskResult) -> VcEvent:
         detail=res.detail,
         time_s=res.time_s,
         winner=res.winner,
+        retries=res.retries,
+        quarantined=res.quarantined,
     )
 
 
@@ -371,6 +397,8 @@ def build_result(
                 cached=res.cached,
                 deduped=res.deduped,
                 winner=res.winner,
+                retries=res.retries,
+                quarantined=res.quarantined,
             )
         )
     return VerificationResult(
@@ -401,4 +429,6 @@ def build_result(
         diagnostics=list(diagnostics or []),
         lint=list(plan.lint),
         portfolio_wins=wins,
+        retries=sum(r.retries for r in results),
+        quarantined=sum(1 for r in results if r.quarantined),
     )

@@ -1,0 +1,287 @@
+"""Deterministic, seedable fault-injection plane for chaos testing.
+
+A :class:`FaultPlan` is parsed from the ``REPRO_FAULTS`` environment
+variable (or the ``--faults`` CLI flag, which sets it) and describes
+which *fault sites* in the engine should misbehave, how often, and in
+what way.  The grammar is::
+
+    SPEC   := SITE ( ";" SITE )*
+    SITE   := NAME ( ":" PARAM ( "," PARAM )* )?
+    PARAM  := KEY "=" VALUE
+
+for example::
+
+    worker_crash:p=0.3,seed=7;cache_write:errno=ENOSPC;solve_hang:after=2
+
+Every site decision is *deterministic*: probabilistic sites hash
+``(seed, site, token)`` where ``token`` is a stable identifier of the
+work item (e.g. the unit's method and VC index), so the same spec on
+the same workload injects exactly the same faults — across runs and
+across process boundaries (workers re-derive the plan from the
+inherited environment variable).
+
+Fault rules are **transient by default**: a rule only fires on a
+unit's first attempt (``attempt=0``), so supervised retries absorb
+every injected crash deterministically.  Pass ``sticky=1`` to make a
+site fire on retries too (used to pin the quarantine path in tests).
+
+Per-site ``after=N`` (skip the first N visits) and ``times=N`` (fire
+at most N times) counters are process-local: each worker process
+starts fresh, which keeps decisions reproducible for a fixed
+schedule.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Registry of injection sites: name -> (location, effect).
+FAULT_SITES: Dict[str, str] = {
+    "worker_crash": "scheduler worker entry: the worker process dies (os._exit) "
+    "before solving its unit",
+    "worker_stream": "scheduler worker mid-stream: the worker dies after shipping "
+    "a batch result, leaving the remainder unsolved",
+    "solve_hang": "backend solve entry: the solve call sleeps for hang_s seconds",
+    "solve_error": "backend solve entry: the solve call raises SolverError",
+    "cache_read": "VC cache get: reading the entry raises OSError(errno)",
+    "cache_write": "VC cache put: writing the entry raises OSError(errno)",
+    "plan_read": "plan cache get: reading the entry raises OSError(errno)",
+    "plan_write": "plan cache put: writing the entry raises OSError(errno)",
+    "journal_write": "run journal append: the write raises OSError(errno)",
+    "handler": "service request handler entry: the request fails with an "
+    "internal_error envelope",
+}
+
+#: Sites that kill worker processes — their presence forces the scheduler
+#: onto the process-per-unit isolation path so deaths are supervised.
+_WORKER_SITES = ("worker_crash", "worker_stream")
+
+_BOOL_TRUE = ("1", "true", "yes", "on")
+_BOOL_FALSE = ("0", "false", "no", "off")
+
+
+class FaultSpecError(ValueError):
+    """Raised for a malformed ``REPRO_FAULTS`` / ``--faults`` spec."""
+
+
+@dataclass
+class FaultRule:
+    """Parsed parameters for one fault site."""
+
+    site: str
+    p: float = 1.0
+    seed: int = 0
+    after: int = 0
+    times: Optional[int] = None
+    errno_name: str = "ENOSPC"
+    hang_s: float = 3600.0
+    sticky: bool = False
+
+    @property
+    def errno(self) -> int:
+        return getattr(_errno, self.errno_name)
+
+
+def _parse_bool(site: str, key: str, value: str) -> bool:
+    low = value.lower()
+    if low in _BOOL_TRUE:
+        return True
+    if low in _BOOL_FALSE:
+        return False
+    raise FaultSpecError(f"fault site {site!r}: {key}={value!r} is not a boolean")
+
+
+def _parse_rule(chunk: str) -> FaultRule:
+    name, _, params = chunk.partition(":")
+    name = name.strip()
+    if name not in FAULT_SITES:
+        known = ", ".join(sorted(FAULT_SITES))
+        raise FaultSpecError(f"unknown fault site {name!r} (known sites: {known})")
+    rule = FaultRule(site=name)
+    if not params.strip():
+        return rule
+    for item in params.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if not sep or not value:
+            raise FaultSpecError(
+                f"fault site {name!r}: parameter {item!r} must look like key=value"
+            )
+        try:
+            if key == "p":
+                rule.p = float(value)
+                if not 0.0 <= rule.p <= 1.0:
+                    raise FaultSpecError(
+                        f"fault site {name!r}: p={value} outside [0, 1]"
+                    )
+            elif key == "seed":
+                rule.seed = int(value)
+            elif key == "after":
+                rule.after = int(value)
+                if rule.after < 0:
+                    raise FaultSpecError(f"fault site {name!r}: after must be >= 0")
+            elif key == "times":
+                rule.times = int(value)
+                if rule.times < 0:
+                    raise FaultSpecError(f"fault site {name!r}: times must be >= 0")
+            elif key == "errno":
+                code = value.upper()
+                if not hasattr(_errno, code):
+                    raise FaultSpecError(
+                        f"fault site {name!r}: unknown errno name {value!r}"
+                    )
+                rule.errno_name = code
+            elif key == "hang_s":
+                rule.hang_s = float(value)
+                if rule.hang_s < 0:
+                    raise FaultSpecError(f"fault site {name!r}: hang_s must be >= 0")
+            elif key == "sticky":
+                rule.sticky = _parse_bool(name, key, value)
+            else:
+                raise FaultSpecError(
+                    f"fault site {name!r}: unknown parameter {key!r}"
+                )
+        except ValueError as exc:
+            if isinstance(exc, FaultSpecError):
+                raise
+            raise FaultSpecError(
+                f"fault site {name!r}: bad value for {key}: {value!r}"
+            ) from exc
+    return rule
+
+
+class FaultPlan:
+    """A parsed fault spec plus per-process visit/fire counters."""
+
+    def __init__(self, rules: Dict[str, FaultRule], spec: str):
+        self.rules = rules
+        self.spec = spec
+        self._visits: Dict[str, int] = {}
+        self._fires: Dict[str, int] = {}
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        rules: Dict[str, FaultRule] = {}
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            rule = _parse_rule(chunk)
+            rules[rule.site] = rule
+        if not rules:
+            raise FaultSpecError("empty fault spec")
+        return cls(rules, spec)
+
+    def rule(self, site: str) -> Optional[FaultRule]:
+        return self.rules.get(site)
+
+    def wants_worker_isolation(self) -> bool:
+        return any(site in self.rules for site in _WORKER_SITES)
+
+    def _decide(self, rule: FaultRule, token: str, visit: int) -> bool:
+        basis = token if token else str(visit)
+        digest = hashlib.sha256(
+            f"{rule.seed}|{rule.site}|{basis}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") % 1_000_000
+        return draw / 1_000_000.0 < rule.p
+
+    def fire(self, site: str, token: str = "", attempt: int = 0) -> Optional[FaultRule]:
+        """Return the rule if the site should misfire now, else ``None``."""
+        rule = self.rules.get(site)
+        if rule is None:
+            return None
+        if attempt > 0 and not rule.sticky:
+            return None
+        visit = self._visits.get(site, 0) + 1
+        self._visits[site] = visit
+        if visit <= rule.after:
+            return None
+        if rule.times is not None and self._fires.get(site, 0) >= rule.times:
+            return None
+        if rule.p < 1.0 and not self._decide(rule, token, visit):
+            return None
+        self._fires[site] = self._fires.get(site, 0) + 1
+        return rule
+
+    def maybe_os_error(self, site: str, token: str = "", attempt: int = 0) -> None:
+        """Raise ``OSError(rule.errno)`` if the site fires."""
+        rule = self.fire(site, token=token, attempt=attempt)
+        if rule is not None:
+            raise OSError(rule.errno, f"injected fault: {site}")
+
+
+# Module-level active plan, cached against the env spec so the parent
+# process keeps one stateful plan instance while workers (which inherit
+# the env var) lazily build their own.
+_cached_spec: Optional[str] = None
+_cached_plan: Optional[FaultPlan] = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The plan described by ``REPRO_FAULTS``, or ``None`` when unset."""
+    global _cached_spec, _cached_plan
+    spec = os.environ.get(ENV_VAR, "").strip()
+    if not spec:
+        _cached_spec = None
+        _cached_plan = None
+        return None
+    if spec != _cached_spec:
+        _cached_plan = FaultPlan.parse(spec)
+        _cached_spec = spec
+    return _cached_plan
+
+
+def install(spec: Optional[str]) -> Optional[FaultPlan]:
+    """Validate ``spec``, export it to the environment, and activate it.
+
+    Exporting matters: scheduler workers are separate processes and
+    re-derive the plan from the inherited environment.  With a falsy
+    ``spec`` this is a no-op that returns whatever is already active.
+    """
+    global _cached_spec, _cached_plan
+    if not spec:
+        return active()
+    plan = FaultPlan.parse(spec)
+    os.environ[ENV_VAR] = spec
+    _cached_spec = spec
+    _cached_plan = plan
+    return plan
+
+
+def clear() -> None:
+    """Drop the active plan and the env var (used by tests)."""
+    global _cached_spec, _cached_plan
+    os.environ.pop(ENV_VAR, None)
+    _cached_spec = None
+    _cached_plan = None
+
+
+def fire(site: str, token: str = "", attempt: int = 0) -> Optional[FaultRule]:
+    plan = active()
+    if plan is None:
+        return None
+    return plan.fire(site, token=token, attempt=attempt)
+
+
+def maybe_os_error(site: str, token: str = "", attempt: int = 0) -> None:
+    plan = active()
+    if plan is not None:
+        plan.maybe_os_error(site, token=token, attempt=attempt)
+
+
+def explain_sites() -> str:
+    """A ``lint --explain``-style table of fault site names."""
+    width = max(len(name) for name in FAULT_SITES)
+    lines = [f"{name.ljust(width)}  {desc}" for name, desc in sorted(FAULT_SITES.items())]
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""Crash-safe run journal: append-only, fsync'd, self-validating JSONL.
+
+The VC cache deliberately stores only *definitive* verdicts (valid /
+invalid) -- timeouts, errors, and per-slot attribution such as the
+portfolio winner or retry counts depend on the machine and the run, not
+the formula.  That makes a ``kill -9`` mid-run lose every non-cacheable
+outcome.  The journal closes that gap: every settled slot of a run is
+appended (write + flush + fsync) to
+``<cache-dir>/journal/<run_id>.jsonl`` as it lands, so
+``repro verify --resume RUN_ID`` can replay settled slots and solve
+only the remainder.
+
+Each line is a JSON object carrying its own SHA-256 checksum (the same
+canonical-dump scheme as the cache tiers).  Loading tolerates a torn
+trailing line (the crash case the journal exists for) and skips any
+checksum-failing line, so a damaged journal degrades to replaying
+fewer slots -- it can never replay a wrong verdict.
+
+Line kinds::
+
+    {"kind": "start", "run_id": ..., "schema": 1, "config": {...}, ...}
+    {"kind": "slot", "structure": ..., "method": ..., "vc": N, ...}
+    {"kind": "method_end", "structure": ..., "method": ..., "ok": ...}
+    {"kind": "end", "slots": N, ...}
+
+A resumed run writes a *new* journal (recording replayed slots too), so
+resumes chain: each journal is always a complete picture of its run's
+settled work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from . import faults
+from .cache import _checksum
+from .tasks import TaskResult
+
+__all__ = ["RunJournal", "JournalReplay", "journal_dir"]
+
+SCHEMA = 1
+
+
+def journal_dir(cache_dir) -> Path:
+    return Path(cache_dir) / "journal"
+
+
+def _new_run_id() -> str:
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return f"{stamp}-{os.urandom(3).hex()}"
+
+
+class RunJournal:
+    """Appender for one run's journal file."""
+
+    def __init__(self, path: Path, run_id: str, config: dict) -> None:
+        self.path = path
+        self.run_id = run_id
+        self.config = dict(config)
+        self.slots = 0
+        # Flipped on a failed append (e.g. disk full): the run keeps
+        # going without a journal rather than dying on bookkeeping.
+        self.disabled = False
+        self._handle = open(path, "w", encoding="utf-8")
+        self._append(
+            {
+                "kind": "start",
+                "run_id": run_id,
+                "schema": SCHEMA,
+                "config": self.config,
+            }
+        )
+
+    @classmethod
+    def create(
+        cls, cache_dir, config: dict, run_id: Optional[str] = None
+    ) -> "RunJournal":
+        root = journal_dir(cache_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        rid = run_id or _new_run_id()
+        return cls(root / f"{rid}.jsonl", rid, config)
+
+    def _append(self, record: dict) -> None:
+        if self.disabled:
+            return
+        record["checksum"] = _checksum(record)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        try:
+            faults.maybe_os_error("journal_write", token=record.get("kind", ""))
+            self._handle.write(line + "\n")
+            # Flush + fsync per record: a settled slot survives any
+            # subsequent kill, which is the journal's whole contract.
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            self.disabled = True
+            warnings.warn(
+                f"run journal disabled for the rest of the run "
+                f"({exc.strerror or exc}); --resume will not see later slots",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def record_slot(self, structure: str, method: str, res: TaskResult) -> None:
+        """Journal one settled slot, attribution included."""
+        rec = {
+            "kind": "slot",
+            "structure": structure,
+            "method": method,
+            "vc": res.index,
+            "label": res.label,
+            "verdict": res.verdict,
+            "detail": res.detail,
+            "time_s": res.time_s,
+            "cached": res.cached,
+            "deduped": res.deduped,
+        }
+        if res.winner is not None:
+            rec["winner"] = res.winner
+        if res.retries:
+            rec["retries"] = res.retries
+        if res.quarantined:
+            rec["quarantined"] = True
+        self.slots += 1
+        self._append(rec)
+
+    def record_method_end(self, structure: str, method: str, ok: bool) -> None:
+        self._append(
+            {"kind": "method_end", "structure": structure, "method": method, "ok": ok}
+        )
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self._append({"kind": "end", "slots": self.slots})
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+
+class JournalReplay:
+    """A loaded journal: the settled slots a resumed run can skip."""
+
+    def __init__(self, run_id: str, path: Path, config: dict) -> None:
+        self.run_id = run_id
+        self.path = path
+        self.config = config
+        # (structure, method) -> vc index -> slot record
+        self.slots: Dict[Tuple[str, str], Dict[int, dict]] = {}
+        self.skipped_lines = 0
+        self.complete = False  # saw the "end" line
+
+    @property
+    def n_slots(self) -> int:
+        return sum(len(m) for m in self.slots.values())
+
+    def results_for(self, structure: str, method: str) -> Dict[int, TaskResult]:
+        """The method's settled slots, rebuilt as :class:`TaskResult`s."""
+        out: Dict[int, TaskResult] = {}
+        for vc, rec in self.slots.get((structure, method), {}).items():
+            out[vc] = TaskResult(
+                index=vc,
+                label=rec["label"],
+                verdict=rec["verdict"],
+                detail=rec.get("detail", ""),
+                time_s=rec.get("time_s", 0.0),
+                cached=bool(rec.get("cached", False)),
+                deduped=bool(rec.get("deduped", False)),
+                winner=rec.get("winner"),
+                retries=int(rec.get("retries", 0)),
+                quarantined=bool(rec.get("quarantined", False)),
+            )
+        return out
+
+    @classmethod
+    def load(cls, cache_dir, run_id: str) -> "JournalReplay":
+        path = journal_dir(cache_dir) / f"{run_id}.jsonl"
+        try:
+            with open(path, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise FileNotFoundError(
+                f"no journal for run {run_id!r} under {journal_dir(cache_dir)}"
+            ) from exc
+        replay: Optional[JournalReplay] = None
+        last = len(lines) - 1
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                if i == last:
+                    continue  # torn trailing line: the expected crash scar
+                if replay is not None:
+                    replay.skipped_lines += 1
+                continue
+            if not isinstance(rec, dict) or rec.get("checksum") != _checksum(rec):
+                if replay is not None:
+                    replay.skipped_lines += 1
+                continue
+            kind = rec.get("kind")
+            if replay is None:
+                if kind != "start" or rec.get("schema") != SCHEMA:
+                    raise ValueError(
+                        f"{path} is not a schema-{SCHEMA} run journal"
+                    )
+                replay = cls(rec.get("run_id", run_id), path, rec.get("config", {}))
+                continue
+            if kind == "slot":
+                method_slots = replay.slots.setdefault(
+                    (rec["structure"], rec["method"]), {}
+                )
+                method_slots[int(rec["vc"])] = rec
+            elif kind == "end":
+                replay.complete = True
+        if replay is None:
+            raise ValueError(f"{path} has no valid journal header")
+        return replay

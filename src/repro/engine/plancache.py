@@ -44,7 +44,8 @@ from ..analysis.diagnostics import LintDiagnostic
 from ..core.ids import IntrinsicDefinition
 from ..core.verifier import MethodPlan, PlannedVC
 from ..lang.ast import Program
-from .cache import _checksum
+from . import faults
+from .cache import _checksum, _disk_degrade
 from .cachectl import AccessIndex
 from .codec import decode_nodes, encode_terms
 
@@ -251,6 +252,9 @@ class PlanCache:
         # process (sweep-protected) and the advisory access-time index.
         self.session_keys: set = set()
         self.index = AccessIndex(self.root)
+        # Mirrors VcCache: flipped on ENOSPC/EROFS so a full disk costs
+        # plan-cache warmth for the rest of the run, never the plan.
+        self.disabled = False
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -264,6 +268,14 @@ class PlanCache:
         """
         path = self._path(key)
         started = time.perf_counter()
+        try:
+            # An injected read fault is a pure miss: the entry on disk is
+            # fine, so it must not fall into the poison purge below.
+            faults.maybe_os_error("plan_read", token=key)
+        except OSError:
+            self.misses += 1
+            self.index.record_miss(key)
+            return None
         try:
             with open(path, encoding="utf-8") as handle:
                 record = json.load(handle)
@@ -318,6 +330,8 @@ class PlanCache:
         return plan
 
     def put(self, key: str, plan: MethodPlan) -> None:
+        if self.disabled:
+            return
         record = {
             "key": key,
             "format": _FORMAT_VERSION,
@@ -334,10 +348,14 @@ class PlanCache:
         }
         record["checksum"] = _checksum(record)
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish so a concurrent reader never sees a torn entry.
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        # ENOSPC/EROFS degrades to uncached planning for the rest of the
+        # run (warning once) instead of raising out of the plan phase.
+        tmp = None
         try:
+            faults.maybe_os_error("plan_write", token=key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(record, handle)
             os.replace(tmp, path)
@@ -348,10 +366,10 @@ class PlanCache:
                 self.index.touch(key, size=os.path.getsize(path))
             except OSError:
                 pass
-        except OSError:
-            pass
+        except OSError as exc:
+            _disk_degrade(self, exc, "plan cache writes")
         finally:
-            if os.path.exists(tmp):
+            if tmp is not None and os.path.exists(tmp):
                 try:
                     os.unlink(tmp)
                 except OSError:

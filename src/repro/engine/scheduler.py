@@ -40,6 +40,7 @@ the process path, since a race needs real concurrent workers.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 from dataclasses import replace
 from multiprocessing.connection import wait as conn_wait
@@ -47,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..smt.solver import SolverError
 from ..smt.terms import Term
+from . import faults
 from .backends import BackendError, SolverBackend, make_backend, portfolio_members
 from .cache import VcCache, formula_text, key_for_text
 from .codec import encode_term
@@ -63,6 +65,18 @@ __all__ = ["stream_tasks", "solve_tasks", "solve_one", "solve_batch"]
 
 _POLL_S = 0.05
 _DEFINITIVE = ("valid", "invalid")
+# Exit code for fault-injected worker deaths (distinguishable from real
+# crashes in logs, handled identically by the supervised-retry policy).
+_FAULT_EXIT = 98
+# Retry backoff: base * 2**attempt, capped.
+_BACKOFF_BASE_S = 0.1
+_BACKOFF_CAP_S = 2.0
+
+
+def _unit_token(unit: TaskUnit) -> str:
+    """Stable per-unit token for deterministic fault decisions."""
+    slots = _unit_slots(unit)
+    return f"{unit.structure}|{unit.method}|{slots[0][0]}"
 
 
 def solve_one(task: SolveTask, backend: Optional[SolverBackend] = None) -> TaskResult:
@@ -203,6 +217,19 @@ def _worker(conn, unit: TaskUnit) -> None:
         except (BrokenPipeError, OSError):
             return False
 
+    # Chaos plane: a worker re-derives the fault plan from the inherited
+    # REPRO_FAULTS env var.  ``worker_crash`` dies before solving (the
+    # parent sees a clean death with zero progress); ``worker_stream``
+    # dies between streamed batch results (progress, then death).  Both
+    # use os._exit because the except-BaseException nets below would
+    # otherwise convert an injected exception into polite error results.
+    plan = faults.active()
+    attempt = getattr(unit, "attempt", 0)
+    if plan is not None and plan.fire(
+        "worker_crash", token=_unit_token(unit), attempt=attempt
+    ):
+        os._exit(_FAULT_EXIT)
+
     if isinstance(unit, BatchTask):
         reported = 0
         try:
@@ -210,6 +237,12 @@ def _worker(conn, unit: TaskUnit) -> None:
                 if not ship(res):
                     break
                 reported += 1
+                if plan is not None and plan.fire(
+                    "worker_stream",
+                    token=f"{_unit_token(unit)}|{reported}",
+                    attempt=attempt,
+                ):
+                    os._exit(_FAULT_EXIT)
         except BaseException as e:  # noqa: BLE001 - must never die silently
             for entry in unit.entries[reported:]:
                 ship(
@@ -269,6 +302,7 @@ class _Running:
         "race",
         "member",
         "active",
+        "delivered",
     )
 
     def __init__(self, proc, conn, unit: TaskUnit, race=None, member=None):
@@ -280,6 +314,10 @@ class _Running:
         self.race: Optional[_Race] = race
         self.member: Optional[str] = member  # member backend spec in the race
         self.active = True
+        # Results this worker streamed back before dying/finishing: the
+        # retry policy's transient-vs-deterministic signal (a crash after
+        # progress is not the same crash happening again).
+        self.delivered = 0
         # A batch is granted the summed budget of its entries up front:
         # a non-streaming backend (one smtlib2 subprocess answers all N
         # goals at once) must not be killed after a single slice.  When
@@ -299,6 +337,7 @@ def solve_tasks(
     cache: Optional[VcCache] = None,
     mp_context: Optional[str] = None,
     deadline_s: Optional[float] = None,
+    max_retries: int = 2,
 ) -> List[TaskResult]:
     """Solve every unit; returns per-VC results in unit/entry order.
 
@@ -310,7 +349,12 @@ def solve_tasks(
     results = {
         res.index: res
         for res in stream_tasks(
-            units, jobs=jobs, cache=cache, mp_context=mp_context, deadline_s=deadline_s
+            units,
+            jobs=jobs,
+            cache=cache,
+            mp_context=mp_context,
+            deadline_s=deadline_s,
+            max_retries=max_retries,
         )
     }
     return [results[ix] for ix, _label in flat]
@@ -323,6 +367,7 @@ def stream_tasks(
     mp_context: Optional[str] = None,
     deadline_s: Optional[float] = None,
     pool_factory=None,
+    max_retries: int = 2,
 ):
     """Solve every unit, *yielding* one :class:`TaskResult` per VC slot
     as each verdict lands (completion order, not submission order).
@@ -356,6 +401,16 @@ def stream_tasks(
     callable invoked only once at least one cache-missing unit actually
     needs a worker -- a fully warm-cache run spawns no processes at all.
     Without one, a throwaway pool is used.
+
+    Worker deaths on the isolation path are *supervised*: a dead
+    worker's unsettled slots are retried up to ``max_retries`` times
+    with bounded exponential backoff.  A crash is classified transient
+    when it is the unit's first, or when the worker streamed progress
+    before dying; a unit that crashes twice in a row with no progress
+    (a deterministic crash -- retrying would loop) or exhausts the
+    retry budget is quarantined: its slots settle as ``error`` verdicts
+    carrying ``retries``/``quarantined`` attribution.  Race members are
+    exempt (a dead member just leaves the race, as before).
     """
     key_of: Dict[int, Optional[str]] = {}
     attrib: Dict[int, Tuple[str, str, str]] = {}
@@ -486,12 +541,16 @@ def stream_tasks(
                 retry_tasks.append(_waiter_task(w_unit, w_ix, w_label, w_formula))
         return out
 
+    fault_plan = faults.active()
     needs_isolation = (
         deadline_s is not None
         or any(u.timeout_s is not None for u in pending)
         # A race needs real concurrent workers to win and losers to
         # cancel, so portfolio units always take the process path.
         or any(portfolio_of(u.backend_spec) for u in pending)
+        # Worker-killing fault plans need the supervised process path:
+        # a pool would hang or poison its imap on a member death.
+        or (fault_plan is not None and fault_plan.wants_worker_isolation())
     )
     if not needs_isolation:
         if jobs <= 1:
@@ -533,6 +592,9 @@ def stream_tasks(
     ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
     queue: List[TaskUnit] = list(pending)
     running: List[_Running] = []
+    # Crash-retried units parked until their backoff expires:
+    # (not_before, unit) pairs drained back into the queue by the loop.
+    delayed: List[Tuple[float, TaskUnit]] = []
     bag_deadline = (
         time.perf_counter() + deadline_s if deadline_s is not None else None
     )
@@ -576,8 +638,11 @@ def stream_tasks(
         """Route one worker message: plain units settle directly; race
         members settle a slot only on its first definitive verdict."""
         run.remaining.pop(msg.index, None)
+        run.delivered += 1
         race = run.race
         if race is None:
+            if run.unit.attempt and not msg.retries:
+                msg.retries = run.unit.attempt
             return settle(msg)
         if msg.index not in race.remaining:
             return []  # a sibling already won this slot
@@ -662,8 +727,69 @@ def stream_tasks(
         race.remaining.clear()
         return out
 
+    def crash_retry(run: _Running, now: float, detail: str) -> List[TaskResult]:
+        """Supervised retry for a dead worker's unsettled slots.
+
+        Transient crashes (the unit's first, or a death after streamed
+        progress) respawn the remainder after a bounded exponential
+        backoff; a unit that crashes twice in a row with no progress,
+        or exhausts ``max_retries``, is quarantined: retrying a
+        deterministic crash would loop forever.
+        """
+        out: List[TaskResult] = []
+        if not run.remaining:
+            return out
+        unit = run.unit
+        progressed = run.delivered > 0
+        streak = 1 if progressed else unit.crash_streak + 1
+        total = unit.attempt + 1
+        if streak >= 2 or total > max_retries:
+            why = (
+                "crashed repeatedly with no progress"
+                if streak >= 2
+                else f"retry budget ({max_retries}) exhausted"
+            )
+            for ix, label in run.remaining.items():
+                out.extend(
+                    settle(
+                        TaskResult(
+                            ix,
+                            label,
+                            "error",
+                            f"quarantined after {total} worker crash(es), "
+                            f"{why}: {detail}",
+                            time_s=now - run.started,
+                            retries=unit.attempt,
+                            quarantined=True,
+                        )
+                    )
+                )
+            run.remaining.clear()
+            return out
+        backoff = min(_BACKOFF_BASE_S * (2 ** unit.attempt), _BACKOFF_CAP_S)
+        if isinstance(unit, BatchTask) and len(run.remaining) < len(unit.entries):
+            # Partial progress: only the unsettled entries come back, as
+            # standalone tasks (the shared-prefix context died with the
+            # worker anyway).
+            retry_units: List[TaskUnit] = [
+                replace(t, attempt=total, crash_streak=streak)
+                for t in _requeue_singles(unit, run.remaining)
+            ]
+        else:
+            retry_units = [replace(unit, attempt=total, crash_streak=streak)]
+        run.remaining.clear()
+        for retry_unit in retry_units:
+            delayed.append((now + backoff, retry_unit))
+        return out
+
     try:
-        while queue or running or retry_tasks:
+        while queue or running or retry_tasks or delayed:
+            if delayed:
+                now0 = time.perf_counter()
+                due = [u for t, u in delayed if t <= now0]
+                if due:
+                    delayed[:] = [(t, u) for t, u in delayed if t > now0]
+                    queue.extend(due)
             if retry_tasks:
                 # Orphaned dedup waiters go back into the bag standalone.
                 queue.extend(retry_tasks)
@@ -676,6 +802,14 @@ def stream_tasks(
                             TaskResult(ix, label, "timeout", detail), fanout_all=True
                         )
                 queue.clear()
+                # Crash-retried units still waiting out their backoff
+                # have no budget left either.
+                for _not_before, unit in delayed:
+                    for ix, label in _unit_slots(unit):
+                        yield from settle(
+                            TaskResult(ix, label, "timeout", detail), fanout_all=True
+                        )
+                del delayed[:]
                 # Workers may have streamed verdicts the parent has not
                 # received yet.  Those are real -- drain every pipe (as
                 # the dead-worker path does) before terminating, so they
@@ -739,11 +873,8 @@ def stream_tasks(
                     if run.race is not None:
                         yield from race_sweep(run.race, now)
                     else:
-                        yield from fail_remaining(
-                            run,
-                            "error",
-                            f"worker died (exitcode {run.proc.exitcode})",
-                            now,
+                        yield from crash_retry(
+                            run, now, f"worker died (exitcode {run.proc.exitcode})"
                         )
                 elif finished:
                     retire(run)
@@ -834,11 +965,8 @@ def stream_tasks(
                     if run.race is not None:
                         yield from race_sweep(run.race, now)
                     elif run.remaining:
-                        yield from fail_remaining(
-                            run,
-                            "error",
-                            f"worker died (exitcode {run.proc.exitcode})",
-                            now,
+                        yield from crash_retry(
+                            run, now, f"worker died (exitcode {run.proc.exitcode})"
                         )
             running = [r for r in running if r.active]
     finally:

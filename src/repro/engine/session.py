@@ -63,6 +63,7 @@ from ..core.verifier import MethodPlan, Verifier
 from ..lang.ast import Program
 from .backends import make_backend
 from .cache import VcCache
+from .journal import JournalReplay, RunJournal
 from .plancache import PlanCache, plan_key
 from .diagnostics import diagnose
 from .events import Diagnostic, VcEvent, VerificationResult, build_result, event_for_result
@@ -133,6 +134,17 @@ class VerificationRun:
             )
         return results[0]
 
+    def close(self) -> None:
+        """Abandon the run without draining it.
+
+        Closing the event generator unwinds the scheduler mid-stream --
+        its ``finally`` retires every live worker -- and releases the
+        session's submission lock.  The clean-interrupt path: a SIGINT
+        handler (or a ``KeyboardInterrupt`` catcher) calls this so no
+        worker processes outlive the run.
+        """
+        self._events.close()
+
 
 class VerificationSession:
     """Long-lived verification service: backend + cache + worker pool.
@@ -171,6 +183,9 @@ class VerificationSession:
         plan_cache: bool = True,
         cache_max_mb: Optional[float] = None,
         cache_max_age_days: Optional[float] = None,
+        max_retries: int = 2,
+        journal: bool = True,
+        resume: Optional[JournalReplay] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.backend_spec = backend
@@ -214,6 +229,36 @@ class VerificationSession:
         self._lock = threading.RLock()
         self._seq_lock = threading.Lock()
         self._seq = 0
+        # Supervised-retry budget for worker deaths on the isolation path.
+        self.max_retries = max(0, int(max_retries))
+        # Crash-safe run journal: every settled slot (timeouts, errors
+        # and attribution included -- outcomes the VC cache deliberately
+        # never stores) is appended under <cache_dir>/journal/ so a
+        # killed run can be resumed.  A resumed session replays the
+        # loaded journal's settled slots and solves only the remainder;
+        # it writes a *new* journal of its own, so resumes chain.
+        self.resume = resume
+        self.run_journal = (
+            RunJournal.create(cache_dir, self._journal_config())
+            if cache_dir and journal
+            else None
+        )
+        if resume is not None and resume.config != self._journal_config():
+            raise ValueError(
+                f"cannot resume run {resume.run_id}: its journal was written "
+                f"under config {resume.config!r}, this session is "
+                f"{self._journal_config()!r}"
+            )
+
+    def _journal_config(self) -> dict:
+        """The configuration a journal's slots are only valid under."""
+        return {
+            "backend": self.backend_spec,
+            "encoding": self.encoding,
+            "memory_safety": self.memory_safety,
+            "conflict_budget": self.conflict_budget,
+            "simplify": self.simplify,
+        }
 
     def _next_seq(self) -> int:
         with self._seq_lock:
@@ -233,6 +278,8 @@ class VerificationSession:
                 self._pool.terminate()
                 self._pool.join()
                 self._pool = None
+            if self.run_journal is not None:
+                self.run_journal.close()
             self._sweep_caches()
 
     def _sweep_caches(self) -> None:
@@ -311,7 +358,12 @@ class VerificationSession:
             simplify=self.simplify,
         )
 
-    def _units(self, plan: MethodPlan, timeout_s: Optional[float]) -> List[TaskUnit]:
+    def _units(
+        self,
+        plan: MethodPlan,
+        timeout_s: Optional[float],
+        skip: Optional[set] = None,
+    ) -> List[TaskUnit]:
         if self.batch:
             return batches_from_plan(
                 plan,
@@ -319,10 +371,11 @@ class VerificationSession:
                 timeout_s=timeout_s,
                 batch_size=self.batch_size,
                 batch_node_limit=self.batch_node_limit,
+                skip=skip,
             )
         return list(
             tasks_from_plan(
-                plan, backend_spec=self.backend_spec, timeout_s=timeout_s
+                plan, backend_spec=self.backend_spec, timeout_s=timeout_s, skip=skip
             )
         )
 
@@ -442,9 +495,30 @@ class VerificationSession:
                     state,
                 )
 
+        # Resumed run: replay the loaded journal's settled slots for
+        # this method (stored verdicts, timings and attribution, with
+        # fresh seq numbers), then solve only the remainder.  A slot
+        # whose label no longer matches the plan is not replayed -- the
+        # program changed under the journal, so it re-solves.
+        replayed: dict = {}
+        if self.resume is not None:
+            labels = {pvc.index: pvc.label for pvc in plan.solvable()}
+            replayed = {
+                ix: res
+                for ix, res in self.resume.results_for(
+                    plan.structure, plan.method
+                ).items()
+                if labels.get(ix) == res.label
+            }
+        for ix in sorted(replayed):
+            res = replayed[ix]
+            state.task_results.append(res)
+            self._journal_slot(plan, res)
+            yield stamped(event_for_result(plan.structure, plan.method, res), state)
+
         # Phase 2 events: one terminal event per solvable slot, pushed
         # as the scheduler's streaming protocol delivers verdicts.
-        units = self._units(plan, timeout_s)
+        units = self._units(plan, timeout_s, skip=set(replayed) or None)
         use_pool = (
             self.persistent_pool
             and self.jobs > 1
@@ -462,14 +536,25 @@ class VerificationSession:
             # unit actually reaches a worker, so warm-cache submits
             # spawn no processes.
             pool_factory=self._ensure_pool if use_pool else None,
+            max_retries=self.max_retries,
         ):
             state.task_results.append(res)
+            self._journal_slot(plan, res)
             yield stamped(
                 event_for_result(plan.structure, plan.method, res), state
             )
         state.solve_s = time.perf_counter() - solve_started
 
-        results.append(self._finish(state))
+        result = self._finish(state)
+        if self.run_journal is not None:
+            self.run_journal.record_method_end(
+                plan.structure, plan.method, result.ok
+            )
+        results.append(result)
+
+    def _journal_slot(self, plan: MethodPlan, res: TaskResult) -> None:
+        if self.run_journal is not None:
+            self.run_journal.record_slot(plan.structure, plan.method, res)
 
     def _finish(self, state: _MethodState) -> VerificationResult:
         diagnostics: List[Diagnostic] = []

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.verifier import MethodPlan, MethodReport
 from ..smt.terms import Term, mk_and, mk_implies
@@ -55,6 +55,11 @@ class SolveTask:
     # The plan phase already ran rewrite+simplify on this formula, so
     # backends may skip their own array-elimination pass.
     pre_simplified: bool = False
+    # Supervised-retry bookkeeping: how many times this unit has already
+    # been respawned after a worker death, and how many of those deaths
+    # were consecutive with no progress (the deterministic-crash signal).
+    attempt: int = 0
+    crash_streak: int = 0
 
     def formula(self) -> Term:
         return decode_term(self.nodes)
@@ -94,6 +99,8 @@ class BatchTask:
     backend_spec: str = "intree"
     timeout_s: Optional[float] = None
     pre_simplified: bool = False
+    attempt: int = 0
+    crash_streak: int = 0
 
     def decode(self) -> Tuple[List[Term], List[Term], List[Term]]:
         """Rebuild ``(prefix_terms, remainders, full_formulas)``."""
@@ -123,6 +130,12 @@ class TaskResult:
     # spec that produced the winning definitive verdict (also carried by
     # dedup fan-outs of that verdict).  None everywhere else.
     winner: Optional[str] = None
+    # Supervised-retry attribution: how many times this slot's unit was
+    # respawned after a worker death before this verdict landed, and
+    # whether the slot was quarantined (verdict forced to "error" after
+    # repeated crashes exhausted the retry policy).
+    retries: int = 0
+    quarantined: bool = False
 
     def failure(self) -> Optional[str]:
         """The ``MethodReport.failed`` entry this result contributes.
@@ -143,8 +156,13 @@ def tasks_from_plan(
     plan: MethodPlan,
     backend_spec: str = "intree",
     timeout_s: Optional[float] = None,
+    skip: Optional[Set[int]] = None,
 ) -> List[SolveTask]:
-    """The solvable slots of a plan, as wire-ready tasks."""
+    """The solvable slots of a plan, as wire-ready tasks.
+
+    ``skip`` names VC indices already settled elsewhere (a resumed run
+    replaying its journal) that must not be re-solved.
+    """
     return [
         SolveTask(
             structure=plan.structure,
@@ -159,6 +177,7 @@ def tasks_from_plan(
             pre_simplified=plan.simplify,
         )
         for pvc in plan.solvable()
+        if not skip or pvc.index not in skip
     ]
 
 
@@ -208,6 +227,7 @@ def batches_from_plan(
     timeout_s: Optional[float] = None,
     batch_size: int = 16,
     batch_node_limit: int = 2400,
+    skip: Optional[Set[int]] = None,
 ) -> List[TaskUnit]:
     """Pack a plan's solvable VCs into :class:`BatchTask`s.
 
@@ -289,6 +309,8 @@ def batches_from_plan(
             )
 
     for pvc in plan.solvable():
+        if skip and pvc.index in skip:
+            continue
         size = pvc.nodes_after if plan.simplify else pvc.nodes_before
         if size > batch_node_limit:
             flush()

@@ -48,7 +48,7 @@ SERVICE_SCHEMA_VERSION = 1
 
 #: Version of the shared result-document schema (the CLI's
 #: ``verify --format json`` / bench_results.json lineage).
-RESULT_SCHEMA_VERSION = 7
+RESULT_SCHEMA_VERSION = 8
 
 
 class ServiceError(Exception):

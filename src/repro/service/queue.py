@@ -147,6 +147,7 @@ class AdmissionQueue:
         client_budget_s: Optional[float] = None,
         budget_window_s: float = 60.0,
         queue_timeout_s: float = 30.0,
+        drain_retry_after_s: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         if max_inflight < 1:
@@ -158,6 +159,10 @@ class AdmissionQueue:
         self.client_budget_s = client_budget_s
         self.budget_window_s = budget_window_s
         self.queue_timeout_s = queue_timeout_s
+        # Hint for 503 draining rejections: how long a client should wait
+        # before retrying (a restarting daemon is typically back within
+        # its drain window).  None = no Retry-After header on draining.
+        self.drain_retry_after_s = drain_retry_after_s
         self._clock = clock
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -201,7 +206,10 @@ class AdmissionQueue:
             self.counters["received"] += 1
             if self._draining:
                 self.counters["rejected_draining"] += 1
-                raise Draining("server is draining; not accepting new requests")
+                raise Draining(
+                    "server is draining; not accepting new requests",
+                    retry_after_s=self.drain_retry_after_s,
+                )
             bucket = self._bucket(client_id)
             if bucket is not None:
                 bucket.requests += 1

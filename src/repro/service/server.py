@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
 
+from ..engine import faults
 from ..engine.session import VerificationSession
 from .models import (
     SERVICE_SCHEMA_VERSION,
@@ -129,6 +130,7 @@ class ReproServer(ThreadingHTTPServer):
             client_budget_s=config.client_budget_s,
             budget_window_s=config.budget_window_s,
             queue_timeout_s=config.queue_timeout_s,
+            drain_retry_after_s=config.drain_timeout_s,
         )
         self.metrics = _Metrics()
         self._drain_started = threading.Event()
@@ -288,6 +290,14 @@ class _Handler(BaseHTTPRequestHandler):
     # -- POST ---------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            faults.maybe_os_error("handler", token=self.path)
+        except OSError as e:
+            self.server.metrics.count_http("internal_errors")
+            self._send_error_envelope(
+                ServiceError(500, "internal_error", f"handler fault: {e}")
+            )
+            return
         path = self.path.split("?", 1)[0]
         if path not in ("/v1/verify", "/v1/verify/stream"):
             self._send_error_envelope(

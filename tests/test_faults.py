@@ -1,0 +1,194 @@
+"""Unit tests for the deterministic fault-injection plane.
+
+The grammar, the determinism contract (same seed + token -> same
+decision, across fresh plan instances), the transient-by-default rule
+(``attempt > 0`` suppresses non-sticky sites), the ``after``/``times``
+counters, the errno surface of ``maybe_os_error``, the
+``install``/``active``/``clear`` environment round-trip that carries
+plans across process boundaries, and the cache-degradation satellite:
+an injected ENOSPC on ``VcCache.put``/``PlanCache.put`` warns once and
+degrades the tier to uncached instead of failing the run.
+"""
+
+import errno
+import warnings
+
+import pytest
+
+from repro.engine import faults
+from repro.engine.cache import VcCache
+from repro.engine.faults import ENV_VAR, FAULT_SITES, FaultPlan, FaultSpecError
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_env():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+# -- grammar ------------------------------------------------------------------
+
+
+def test_parse_full_spec_and_defaults():
+    plan = FaultPlan.parse(
+        "worker_crash:p=0.3,seed=7;cache_write:errno=ENOSPC;solve_hang:after=2"
+    )
+    assert sorted(plan.rules) == ["cache_write", "solve_hang", "worker_crash"]
+    crash = plan.rule("worker_crash")
+    assert crash.p == 0.3 and crash.seed == 7 and not crash.sticky
+    write = plan.rule("cache_write")
+    assert write.p == 1.0 and write.errno == errno.ENOSPC
+    hang = plan.rule("solve_hang")
+    assert hang.after == 2 and hang.hang_s == 3600.0
+    assert plan.wants_worker_isolation()
+    assert not FaultPlan.parse("cache_read").wants_worker_isolation()
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "",
+        " ; ",
+        "bogus_site",
+        "worker_crash:p=1.5",
+        "worker_crash:p=nope",
+        "cache_write:errno=ENOBOGUS",
+        "worker_crash:frequency=2",
+        "worker_crash:p",
+        "solve_hang:hang_s=-1",
+        "worker_crash:after=-3",
+        "worker_crash:sticky=perhaps",
+    ],
+)
+def test_parse_rejects_bad_specs(spec):
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse(spec)
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_probabilistic_decisions_are_deterministic_per_token():
+    tokens = [f"S|m|{i}" for i in range(64)]
+
+    def pattern(seed):
+        plan = FaultPlan.parse(f"worker_crash:p=0.3,seed={seed}")
+        return [plan.fire("worker_crash", token=t) is not None for t in tokens]
+
+    first = pattern(7)
+    assert first == pattern(7), "same seed+tokens must reproduce exactly"
+    assert any(first) and not all(first), "p=0.3 over 64 tokens fires some"
+    assert first != pattern(8), "a different seed is a different schedule"
+
+
+def test_non_sticky_rules_only_fire_on_first_attempt():
+    plan = FaultPlan.parse("worker_crash")
+    assert plan.fire("worker_crash", token="t", attempt=0) is not None
+    assert plan.fire("worker_crash", token="t", attempt=1) is None
+    sticky = FaultPlan.parse("worker_crash:sticky=1")
+    assert sticky.fire("worker_crash", token="t", attempt=3) is not None
+
+
+def test_after_and_times_counters():
+    plan = FaultPlan.parse("solve_error:after=2,times=1")
+    fired = [plan.fire("solve_error") is not None for _ in range(5)]
+    # Visits 1-2 are skipped by after, visit 3 fires, times=1 caps the rest.
+    assert fired == [False, False, True, False, False]
+
+
+def test_unlisted_site_never_fires():
+    plan = FaultPlan.parse("cache_write")
+    assert plan.fire("worker_crash", token="t") is None
+
+
+def test_maybe_os_error_raises_the_configured_errno():
+    plan = FaultPlan.parse("cache_write:errno=EROFS")
+    with pytest.raises(OSError) as exc:
+        plan.maybe_os_error("cache_write", token="k")
+    assert exc.value.errno == errno.EROFS
+    plan.maybe_os_error("cache_read", token="k")  # unlisted: no-op
+
+
+# -- environment round-trip ---------------------------------------------------
+
+
+def test_install_active_clear_round_trip(monkeypatch):
+    assert faults.active() is None
+    plan = faults.install("worker_crash:p=0.5,seed=3")
+    assert plan is faults.active()
+    # The env var is exported so spawned workers re-derive the same plan.
+    import os
+
+    assert os.environ[ENV_VAR] == "worker_crash:p=0.5,seed=3"
+    assert FaultPlan.parse(os.environ[ENV_VAR]).rule("worker_crash").seed == 3
+    # A falsy install is a no-op that keeps the active plan.
+    assert faults.install(None) is plan
+    faults.clear()
+    assert faults.active() is None and ENV_VAR not in os.environ
+
+
+def test_install_rejects_bad_spec_without_poisoning_env():
+    import os
+
+    with pytest.raises(FaultSpecError):
+        faults.install("not_a_site")
+    assert ENV_VAR not in os.environ and faults.active() is None
+
+
+def test_active_follows_env_changes(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "cache_read")
+    assert faults.active().rule("cache_read") is not None
+    monkeypatch.setenv(ENV_VAR, "cache_write")
+    assert faults.active().rule("cache_read") is None
+    assert faults.active().rule("cache_write") is not None
+
+
+def test_explain_sites_table_covers_every_site():
+    table = faults.explain_sites()
+    for name in FAULT_SITES:
+        assert name in table
+
+
+# -- satellite: cache tiers degrade to uncached on disk-full ------------------
+
+
+def test_vc_cache_put_degrades_once_on_enospc(tmp_path):
+    faults.install("cache_write:errno=ENOSPC")
+    cache = VcCache(tmp_path)
+    with pytest.warns(RuntimeWarning, match="VC cache writes disabled"):
+        cache.put("k" * 64, "valid")
+    assert cache.disabled
+    assert cache.get("k" * 64) is None  # nothing was written
+    # Further puts are silent no-ops: the warning fires exactly once.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        cache.put("j" * 64, "valid")
+    assert cache.get("j" * 64) is None
+
+
+def test_vc_cache_read_fault_degrades_to_miss(tmp_path):
+    cache = VcCache(tmp_path)
+    cache.put("k" * 64, "valid", detail="")
+    assert cache.get("k" * 64)["verdict"] == "valid"
+    faults.install("cache_read:errno=EIO")
+    assert cache.get("k" * 64) is None  # injected EIO reads as a miss
+    faults.clear()
+    assert cache.get("k" * 64)["verdict"] == "valid"
+
+
+def test_plan_cache_put_degrades_on_erofs(tmp_path):
+    from types import SimpleNamespace
+
+    from repro.engine.plancache import PlanCache
+
+    stub = SimpleNamespace(
+        structure="S", method="m", encoding="decidable", wb_failures=(),
+        ghost_failures=(), lint=(), simplify=True, vcs=(),
+    )
+    faults.install("plan_write:errno=EROFS")
+    cache = PlanCache(tmp_path / "plan")
+    with pytest.warns(RuntimeWarning, match="plan cache writes disabled"):
+        cache.put("p" * 64, stub)
+    assert cache.disabled
+    assert cache.get("p" * 64, None) is None

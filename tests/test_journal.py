@@ -1,0 +1,353 @@
+"""The crash-safe run journal and ``--resume``.
+
+Unit coverage for the JSONL format (per-line checksums, torn-trailing-
+line tolerance, poison skipping, the schema-1 header contract), the
+session-level replay path (settled slots are re-emitted without
+re-solving; a config mismatch refuses to resume), and the acceptance
+scenarios end to end over the CLI: a run killed with ``SIGKILL``
+mid-verify is resumed to verdict parity with a fault-free baseline, and
+SIGINT/SIGTERM mid-verify unwind cleanly -- workers reaped, journal
+flushed, exit 130 (never exit 3 for a clean interrupt).
+"""
+
+import json
+import multiprocessing as mp
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import faults
+from repro.engine.journal import JournalReplay, RunJournal, journal_dir
+from repro.engine.session import VerificationRequest, VerificationSession
+from repro.engine.tasks import TaskResult
+from repro.structures.registry import EXPERIMENTS
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_env():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _sll():
+    exp = next(e for e in EXPERIMENTS if "sll_find" in e.methods)
+    return exp.program_factory(), exp.ids_factory()
+
+
+def _result(vc, verdict="valid", **kw):
+    return TaskResult(
+        index=vc, label=f"vc-{vc}", verdict=verdict, detail=kw.pop("detail", ""),
+        time_s=0.01, **kw,
+    )
+
+
+# -- format -------------------------------------------------------------------
+
+
+def test_journal_roundtrip_rebuilds_results(tmp_path):
+    journal = RunJournal.create(tmp_path, {"backend": "intree"})
+    journal.record_slot("S", "m", _result(0))
+    journal.record_slot("S", "m", _result(1, verdict="error", detail="boom",
+                                          retries=2, quarantined=True))
+    journal.record_slot("S", "m2", _result(0, winner="intree"))
+    journal.record_method_end("S", "m", ok=False)
+    journal.close()
+
+    replay = JournalReplay.load(tmp_path, journal.run_id)
+    assert replay.complete and replay.skipped_lines == 0
+    assert replay.n_slots == 3
+    assert replay.config == {"backend": "intree"}
+    rebuilt = replay.results_for("S", "m")
+    assert rebuilt[0] == _result(0)
+    assert rebuilt[1].quarantined and rebuilt[1].retries == 2
+    assert rebuilt[1].detail == "boom"
+    assert replay.results_for("S", "m2")[0].winner == "intree"
+    assert replay.results_for("S", "nope") == {}
+
+
+def test_torn_trailing_line_is_tolerated(tmp_path):
+    journal = RunJournal.create(tmp_path, {})
+    journal.record_slot("S", "m", _result(0))
+    journal.record_slot("S", "m", _result(1))
+    # Simulate a kill mid-append: a torn, non-JSON trailing line.
+    path = journal.path
+    journal._handle.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind":"slot","struct')
+    replay = JournalReplay.load(tmp_path, journal.run_id)
+    assert not replay.complete  # the end line never landed
+    assert replay.n_slots == 2
+    assert replay.skipped_lines == 0  # a torn tail is expected, not damage
+
+
+def test_poisoned_line_is_skipped_never_replayed(tmp_path):
+    journal = RunJournal.create(tmp_path, {})
+    journal.record_slot("S", "m", _result(0))
+    journal.record_slot("S", "m", _result(1))
+    journal.close()
+    lines = journal.path.read_text().splitlines()
+    # Flip the verdict inside slot 0's line without fixing its checksum.
+    lines[1] = lines[1].replace('"valid"', '"error"')
+    journal.path.write_text("\n".join(lines) + "\n")
+    replay = JournalReplay.load(tmp_path, journal.run_id)
+    assert replay.skipped_lines == 1
+    assert list(replay.results_for("S", "m")) == [1]  # slot 0 dropped, not lied
+
+
+def test_load_rejects_missing_and_headerless_journals(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        JournalReplay.load(tmp_path, "no-such-run")
+    root = journal_dir(tmp_path)
+    root.mkdir(parents=True)
+    (root / "bogus.jsonl").write_text('{"kind":"slot","vc":0}\n' * 3)
+    with pytest.raises(ValueError):
+        JournalReplay.load(tmp_path, "bogus")
+
+
+def test_journal_write_fault_disables_journal_not_run(tmp_path):
+    faults.install("journal_write:after=1")  # the start line lands, slots fail
+    with pytest.warns(RuntimeWarning, match="run journal disabled"):
+        journal = RunJournal.create(tmp_path, {})
+        journal.record_slot("S", "m", _result(0))
+    assert journal.disabled
+    journal.record_slot("S", "m", _result(1))  # silent no-op, no raise
+    journal.close()
+
+
+# -- session resume -----------------------------------------------------------
+
+
+def test_resume_replays_settled_slots_without_solving(tmp_path):
+    program, ids = _sll()
+    d1, d2 = tmp_path / "a", tmp_path / "b"
+    with VerificationSession(cache_dir=str(d1), diagnostics=False) as s1:
+        first = s1.verify(program, ids, "sll_find")
+        run_id = s1.run_journal.run_id
+    # Move the journal to a *fresh* cache dir so replayed slots are the
+    # only way to settle without solving; the sticky solve_error fault
+    # below turns any actual solve into a loud failure.
+    journal_dir(d2).mkdir(parents=True)
+    shutil.copy(journal_dir(d1) / f"{run_id}.jsonl", journal_dir(d2))
+    replay = JournalReplay.load(str(d2), run_id)
+    assert replay.complete and replay.n_slots == first.n_vcs
+    faults.install("solve_error:sticky=1")
+    with VerificationSession(
+        cache_dir=str(d2), resume=replay, diagnostics=False
+    ) as s2:
+        run = s2.submit(VerificationRequest(program, ids, "sll_find"))
+        events = list(run)
+        second = run.results()[0]
+    assert (second.ok, second.n_vcs, second.failed) == (
+        first.ok, first.n_vcs, first.failed
+    )
+    # The event contract survives replay: every slot planned once and
+    # settled once, seq strictly increasing.
+    seqs = [e.seq for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    kinds = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    assert kinds["planned"] == second.n_vcs
+    assert sum(v for k, v in kinds.items() if k != "planned") == second.n_vcs
+
+
+def test_resume_solves_the_unsettled_remainder(tmp_path):
+    program, ids = _sll()
+    with VerificationSession(cache_dir=str(tmp_path), diagnostics=False) as s1:
+        first = s1.verify(program, ids, "sll_find")
+        run_id = s1.run_journal.run_id
+    # Truncate the journal to the header + three slots, with a torn tail
+    # -- the on-disk shape an actual kill -9 leaves behind.
+    path = journal_dir(tmp_path) / f"{run_id}.jsonl"
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:4]) + '\n{"kind":"sl')
+    replay = JournalReplay.load(str(tmp_path), run_id)
+    assert not replay.complete and replay.n_slots == 3
+    with VerificationSession(
+        cache_dir=str(tmp_path), resume=replay, diagnostics=False
+    ) as s2:
+        second = s2.verify(program, ids, "sll_find")
+    assert (second.ok, second.n_vcs, second.failed) == (
+        first.ok, first.n_vcs, first.failed
+    )
+
+
+def test_resume_refuses_a_config_mismatch(tmp_path):
+    program, ids = _sll()
+    with VerificationSession(cache_dir=str(tmp_path), diagnostics=False) as s1:
+        s1.verify(program, ids, "sll_find")
+        run_id = s1.run_journal.run_id
+    replay = JournalReplay.load(str(tmp_path), run_id)
+    with pytest.raises(ValueError, match="cannot resume"):
+        VerificationSession(
+            cache_dir=str(tmp_path), simplify=False, resume=replay,
+            diagnostics=False,
+        )
+
+
+def test_journal_opt_out_and_resumes_chain(tmp_path):
+    program, ids = _sll()
+    with VerificationSession(
+        cache_dir=str(tmp_path), journal=False, diagnostics=False
+    ) as session:
+        session.verify(program, ids, "sll_find")
+        assert session.run_journal is None
+    assert not journal_dir(tmp_path).exists()
+
+
+def test_run_close_reaps_workers_and_releases_the_session():
+    """``run.close()`` is the clean-interrupt path: closing the event
+    generator mid-run unwinds the scheduler's finally blocks (workers
+    reaped) and releases the session lock for the next submission."""
+    program, ids = _sll()
+    faults.install("solve_hang:hang_s=45")
+    with VerificationSession(jobs=2, diagnostics=False) as session:
+        run = session.submit(VerificationRequest(program, ids, "sll_find"))
+        events = iter(run)
+        seen = next(events)
+        assert seen.kind == "planned"
+        run.close()
+        assert mp.active_children() == []
+        faults.clear()
+        result = session.verify(program, ids, "sll_find")  # lock released
+        assert result.ok
+
+
+# -- CLI acceptance: kill -9 + --resume, clean SIGINT/SIGTERM ----------------
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def _verify_cmd(*extra):
+    return [
+        sys.executable, "-m", "repro", "verify", "--method", "sll_find",
+        "--no-batch", "--quiet", *extra,
+    ]
+
+
+def _wait_for_journal_slots(cache_dir, min_slots=1, timeout_s=90.0):
+    """Poll until some journal under ``cache_dir`` has settled slots."""
+    deadline = time.time() + timeout_s
+    root = journal_dir(cache_dir)
+    while time.time() < deadline:
+        for path in root.glob("*.jsonl"):
+            slots = sum(1 for line in path.read_text().splitlines()
+                        if '"kind":"slot"' in line)
+            if slots >= min_slots:
+                return path.stem
+        time.sleep(0.05)
+    raise AssertionError(f"no journal with {min_slots} slot(s) in {root}")
+
+
+def _hung_verify(cache_dir):
+    """Start a verify that settles a couple of slots, then hangs."""
+    return subprocess.Popen(
+        _verify_cmd(
+            "--cache-dir", str(cache_dir),
+            "--faults", "solve_hang:after=2,hang_s=60",
+        ),
+        env=_cli_env(), cwd=str(REPO),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+
+
+def _reap_group(proc, timeout_s=15.0):
+    """Assert the subprocess's whole process group exits; kill stragglers."""
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        try:
+            os.killpg(proc.pid, 0)
+        except ProcessLookupError:
+            return True
+        time.sleep(0.1)
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        return True
+    return False
+
+
+def test_kill9_midrun_then_resume_reaches_fault_free_parity(tmp_path):
+    """The tentpole acceptance: SIGKILL a run mid-verify, resume from
+    its journal, and the resumed report matches a fault-free baseline
+    row for row (ok/status/n_vcs/failed -- wall timings are the only
+    legitimately machine-dependent fields)."""
+    baseline = subprocess.run(
+        _verify_cmd("--format", "json"),
+        env=_cli_env(), cwd=str(REPO), capture_output=True, text=True,
+        timeout=300,
+    )
+    assert baseline.returncode == 0, baseline.stderr
+    base_rows = json.loads(baseline.stdout)["results"]
+
+    cache = tmp_path / "cache"
+    proc = _hung_verify(cache)
+    try:
+        run_id = _wait_for_journal_slots(cache)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+    assert proc.wait(timeout=30) == -signal.SIGKILL
+
+    resumed = subprocess.run(
+        _verify_cmd("--format", "json", "--cache-dir", str(cache),
+                    "--resume", run_id),
+        env=_cli_env(), cwd=str(REPO), capture_output=True, text=True,
+        timeout=300,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert f"resume: run {run_id}" in resumed.stderr
+    rows = json.loads(resumed.stdout)["results"]
+    assert len(rows) == len(base_rows) == 1
+    for key in ("structure", "method", "ok", "n_vcs", "failed"):
+        assert rows[0][key] == base_rows[0][key], key
+    # The killed run's journal is still a valid, loadable artifact.
+    assert JournalReplay.load(str(cache), run_id).n_slots >= 1
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+def test_interrupt_midverify_unwinds_cleanly(tmp_path, signum):
+    """SIGINT/SIGTERM mid-verify: exit 130 (not 3), the journal is
+    flushed and loadable, and no worker process outlives the run."""
+    cache = tmp_path / "cache"
+    proc = _hung_verify(cache)
+    try:
+        run_id = _wait_for_journal_slots(cache)
+        os.kill(proc.pid, signum)
+        rc = proc.wait(timeout=30)
+    except BaseException:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+        raise
+    assert rc == 130
+    assert _reap_group(proc), "a worker outlived the interrupted run"
+    replay = JournalReplay.load(str(cache), run_id)
+    assert replay.n_slots >= 1 and replay.skipped_lines == 0
+
+
+def test_inprocess_verify_restores_sigterm_disposition():
+    """An in-process main() must restore the host's SIGTERM handler on
+    the way out: the SIGTERM->KeyboardInterrupt trap leaking into the
+    host process would be inherited by every later *forked* solver
+    worker, which then traps the worker pool's own terminate() signal
+    instead of dying (a deadlocked Pool.terminate at session close)."""
+    from repro import cli
+
+    before = signal.getsignal(signal.SIGTERM)
+    assert cli.main(["verify", "--method", "sll_find", "-q"]) == 0
+    assert signal.getsignal(signal.SIGTERM) is before

@@ -1,0 +1,137 @@
+"""Supervised retry/backoff and quarantine in the scheduler.
+
+Worker deaths used to fail every remaining slot of the dead worker's
+unit as a solver error.  Under the supervised-retry policy a crashed
+unit is requeued (with bounded exponential backoff) up to
+``max_retries`` times; a unit that crashes repeatedly without progress
+-- or exhausts the budget -- is quarantined to an error verdict with
+``retries``/``quarantined`` attribution.  Crashes are injected through
+the deterministic fault plane (``repro.engine.faults``), which the
+worker processes re-derive from the inherited ``REPRO_FAULTS`` env var.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.engine import faults, solve_tasks
+from repro.engine.codec import encode_term, encode_terms
+from repro.engine.tasks import BatchEntry, BatchTask, SolveTask
+from repro.smt import terms as T
+from repro.smt.rewriter import rewrite
+from repro.smt.simplify import simplify
+from repro.smt.sorts import INT
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_env():
+    faults.clear()
+    yield
+    faults.clear()
+    assert mp.active_children() == []  # every test must reap its workers
+
+
+def _single(name, index):
+    """A standalone task over its own symbol (no cross-task dedup)."""
+    formula = simplify(rewrite(T.mk_le(T.mk_const(name, INT), T.mk_int(3))))
+    return SolveTask(
+        structure="S",
+        method="m",
+        index=index,
+        label=f"vc-{name}",
+        nodes=encode_term(formula),
+        encoding="decidable",
+        conflict_budget=None,
+        backend_spec="intree",
+        pre_simplified=True,
+    )
+
+
+def _batch(names):
+    formulas = [
+        simplify(rewrite(T.mk_le(T.mk_const(name, INT), T.mk_int(3))))
+        for name in names
+    ]
+    nodes, indices = encode_terms(formulas)
+    return BatchTask(
+        structure="S",
+        method="m",
+        nodes=nodes,
+        prefix=(),
+        entries=tuple(
+            BatchEntry(index=i, label=f"vc-{name}", formula_ix=ix, remainder_ix=ix)
+            for i, (name, ix) in enumerate(zip(names, indices))
+        ),
+        encoding="decidable",
+        conflict_budget=None,
+        backend_spec="intree",
+        pre_simplified=True,
+    )
+
+
+def test_worker_crash_is_absorbed_by_one_retry():
+    """A transient (non-sticky) crash plan kills every unit's first
+    worker; the supervised retry re-runs each unit and every slot still
+    settles with a real verdict, attributed with retries=1."""
+    faults.install("worker_crash")
+    results = solve_tasks([_single("a", 0), _single("b", 1)], jobs=2)
+    assert len(results) == 2
+    for res in results:
+        assert res.verdict in ("valid", "invalid")
+        assert res.retries == 1
+        assert not res.quarantined
+
+
+def test_worker_fault_plan_forces_isolation_with_one_job():
+    """Worker-killing fault sites must force the process-per-unit path
+    even at jobs=1 (a pooled worker's os._exit would poison the pool)."""
+    faults.install("worker_crash")
+    results = solve_tasks([_single("c", 0)], jobs=1)
+    assert results[0].verdict in ("valid", "invalid")
+    assert results[0].retries == 1
+
+
+def test_sticky_crash_quarantines_with_attribution():
+    """A deterministic (sticky) crash defeats the retry: two crashes
+    with no progress quarantine the unit to an error verdict."""
+    faults.install("worker_crash:sticky=1")
+    results = solve_tasks([_single("d", 0)], jobs=1)
+    (res,) = results
+    assert res.verdict == "error"
+    assert res.quarantined
+    assert res.retries == 1  # one retry was attempted before giving up
+    assert "quarantined" in res.detail
+    assert "worker died" in res.detail
+
+
+def test_max_retries_zero_disables_retry():
+    faults.install("worker_crash")
+    results = solve_tasks([_single("e", 0)], jobs=1, max_retries=0)
+    (res,) = results
+    assert res.verdict == "error"
+    assert res.quarantined
+    assert res.retries == 0
+    assert "retry budget (0) exhausted" in res.detail
+
+
+def test_mid_batch_crash_requeues_remainder_as_singles():
+    """A worker that dies after streaming its first batch verdict made
+    progress: the delivered slot keeps its verdict (retries=0), the
+    unsolved remainder is retried standalone and settles too."""
+    faults.install("worker_stream")
+    results = solve_tasks([_batch(["f", "g", "h"])], jobs=1)
+    by_index = {r.index: r for r in results}
+    assert sorted(by_index) == [0, 1, 2]
+    for res in by_index.values():
+        assert res.verdict in ("valid", "invalid")
+        assert not res.quarantined
+    # The slot delivered before the crash was first-attempt work ...
+    delivered = [r for r in by_index.values() if r.retries == 0]
+    retried = [r for r in by_index.values() if r.retries == 1]
+    # ... and the remainder carries the retry attribution.
+    assert len(delivered) == 1 and len(retried) == 2
+
+
+def test_fault_free_runs_carry_no_retry_attribution():
+    results = solve_tasks([_single("i", 0)], jobs=1)
+    assert results[0].retries == 0 and not results[0].quarantined

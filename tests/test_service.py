@@ -175,6 +175,20 @@ def test_queue_draining_rejects_new_work_and_waits_idle():
     assert queue.snapshot()["counters"]["rejected_draining"] == 1
 
 
+def test_queue_draining_rejection_carries_retry_after():
+    queue = AdmissionQueue(max_inflight=1, drain_retry_after_s=12.5)
+    queue.begin_drain()
+    with pytest.raises(Draining) as exc:
+        queue.admit("a")
+    assert exc.value.retry_after_s == 12.5
+    # Without the knob the rejection has no retry hint (no header sent).
+    bare = AdmissionQueue(max_inflight=1)
+    bare.begin_drain()
+    with pytest.raises(Draining) as exc:
+        bare.admit("a")
+    assert exc.value.retry_after_s is None
+
+
 # -- wire models --------------------------------------------------------------
 
 
@@ -326,7 +340,7 @@ def test_blocking_verify_document_validates_and_counts(tmp_path):
         )
         assert status == 200
         doc = json.loads(body)
-        assert doc["schema_version"] == 7 and doc["command"] == "verify"
+        assert doc["schema_version"] == 8 and doc["command"] == "verify"
         assert doc["n_methods"] == 1 and doc["n_verified"] == 1
         assert doc["service"] == {"schema_version": 1, "client": "tester"}
         errs = checker.SchemaErrors()
@@ -449,6 +463,60 @@ def test_graceful_drain_finishes_inflight_rejects_new(monkeypatch):
         while not server.drained_clean and time.time() < deadline:
             time.sleep(0.02)
         assert server.drained_clean
+
+
+def test_draining_503_carries_retry_after_and_healthz_reports(monkeypatch):
+    """The drain rejection tells clients when to come back: the 503
+    envelope carries retry_after_s (= the drain window) plus a
+    Retry-After header, and /healthz flips to "draining" while the
+    admitted work finishes."""
+    entered, gate = _gated_safe_verify(monkeypatch)
+    with serving(drain_timeout_s=45.0) as (base, server, _session):
+        inflight = {}
+
+        def occupant():
+            inflight["response"] = _post(base, "/v1/verify",
+                                         {"methods": [FAST_METHOD]})
+
+        thread = threading.Thread(target=occupant)
+        thread.start()
+        assert entered.wait(30)
+        server.begin_drain()
+
+        status, doc, _ = _get(base, "/healthz")
+        assert status == 200 and doc["status"] == "draining"
+
+        status, body, headers = _post(base, "/v1/verify",
+                                      {"methods": [FAST_METHOD]})
+        assert status == 503
+        envelope = json.loads(body)
+        assert envelope["error"]["code"] == "draining"
+        assert envelope["error"]["retry_after_s"] == 45.0
+        assert headers["Retry-After"] == "45"
+
+        gate.set()
+        thread.join(timeout=60)
+        status, _body, _ = inflight["response"]
+        assert status == 200  # the admitted request still completed
+
+
+def test_handler_fault_site_yields_internal_error_envelope():
+    from repro.engine import faults
+
+    with serving() as (base, _server, _session):
+        faults.install("handler")
+        try:
+            status, body, _ = _post(base, "/v1/verify",
+                                    {"methods": [FAST_METHOD]})
+        finally:
+            faults.clear()
+        assert status == 500
+        envelope = json.loads(body)
+        assert envelope["error"]["code"] == "internal_error"
+        assert "injected fault: handler" in envelope["error"]["message"]
+        # With the plan cleared the same request is served normally.
+        status, body, _ = _post(base, "/v1/verify", {"methods": [FAST_METHOD]})
+        assert status == 200 and json.loads(body)["n_verified"] == 1
 
 
 def test_metrics_shape(tmp_path):

@@ -550,7 +550,7 @@ def test_bench_json_is_schema_v6_with_event_counts(tmp_path, capsys):
          "--budget", "60", "--output", str(out)]
     ) == 0
     doc = json.loads(out.read_text())
-    assert doc["schema_version"] == 7
+    assert doc["schema_version"] == 8
     for entry in doc["results"]:
         assert entry["events"]["planned"] == entry["n_vcs"]
         # v5 phase split: generation (incl. simplify) + solve stay within
@@ -572,7 +572,7 @@ def test_verify_format_json_and_events_jsonl_validate(tmp_path, capsys):
     )
     assert code == 1  # the failing method refutes
     doc = json.loads(capsys.readouterr().out)
-    assert doc["schema_version"] == 7 and doc["command"] == "verify"
+    assert doc["schema_version"] == 8 and doc["command"] == "verify"
     checker = _load_check_schema()
     errs = checker.SchemaErrors()
     checker.check_report(doc, errs)
